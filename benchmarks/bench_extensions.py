@@ -1,0 +1,207 @@
+"""Benches for the extension systems (not in the paper; DESIGN.md Sec. 6).
+
+* race-vs-pace: the Table 3 "idle" dimension — winner per platform and
+  the gap both heuristics leave to the hybrid optimum,
+* thermal throttling: JouleGuard's budget survives an undersized
+  heatsink,
+* multi-application coordination: budget transfers preserve the global
+  guarantee while rescuing a straining application.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.apps import build_application
+from repro.core.budget import EnergyGoal
+from repro.core.jouleguard import build_runtime
+from repro.core.multi import MultiAppCoordinator
+from repro.core.types import Measurement
+from repro.hw import GENERIC_PROFILE, compare_policies
+from repro.hw.simulator import PlatformSimulator
+from repro.hw.speedup_model import work_rate
+from repro.hw.thermal import ThermalModel, attach_thermal_model
+from repro.runtime.harness import prior_shapes
+from repro.runtime.oracle import default_energy_per_work
+
+
+def run_race_pace(machines):
+    rows = []
+    for name, machine in machines.items():
+        rate = work_rate(machine, machine.default_config, GENERIC_PROFILE)
+        for slack in (1.5, 4.0, 12.0):
+            comparison = compare_policies(
+                machine, GENERIC_PROFILE, 1.0, slack / rate
+            )
+            rows.append(
+                (
+                    name,
+                    slack,
+                    comparison.winner,
+                    comparison.heuristic_gap,
+                )
+            )
+    return rows
+
+
+def run_thermal(machines):
+    machine = machines["tablet"]
+    app = build_application("x264")
+    simulator = PlatformSimulator(machine, app.resource_profile, seed=3)
+    model = attach_thermal_model(
+        simulator,
+        ThermalModel(
+            thermal_resistance_c_per_w=10.0,
+            time_constant_s=2.0,
+            throttle_threshold_c=70.0,
+            critical_c=95.0,
+            min_throttle=0.5,
+        ),
+    )
+    n = 400
+    epw = default_energy_per_work(machine, app)
+    goal = EnergyGoal.from_factor(1.5, n, epw)
+    rate_shape, power_shape = prior_shapes(machine)
+    runtime = build_runtime(rate_shape, power_shape, app.table, goal, seed=4)
+    total = 0.0
+    peak_temp = 0.0
+    throttled_iterations = 0
+    for _ in range(n):
+        decision = runtime.current_decision
+        result = simulator.run_iteration(
+            machine.space[decision.system_index],
+            work=1.0,
+            app_speedup=decision.app_config.speedup,
+        )
+        total += result.energy_j
+        peak_temp = max(peak_temp, model.temperature_c)
+        throttled_iterations += int(model.throttling)
+        runtime.step(
+            Measurement(
+                work=1.0,
+                energy_j=result.measured_power_w * result.time_s,
+                rate=result.measured_rate,
+                power_w=result.measured_power_w,
+            )
+        )
+    overshoot = max(0.0, (total / goal.budget_j - 1.0) * 100.0)
+    return {
+        "overshoot_pct": overshoot,
+        "peak_temp_c": peak_temp,
+        "throttled_fraction": throttled_iterations / n,
+    }
+
+
+def run_multi(machines):
+    machine = machines["tablet"]
+    pair = {
+        "x264": build_application("x264"),
+        "bodytrack": build_application("bodytrack"),
+    }
+    n = 400
+    needs = {
+        name: default_energy_per_work(machine, app) * n
+        for name, app in pair.items()
+    }
+    global_budget = sum(needs.values()) / 2.0
+    shares = {
+        "x264": global_budget * 0.65,
+        "bodytrack": global_budget * 0.35,
+    }
+    rate_shape, power_shape = prior_shapes(machine)
+    runtimes = {
+        name: build_runtime(
+            rate_shape,
+            power_shape,
+            app.table,
+            EnergyGoal(total_work=n, budget_j=shares[name]),
+            seed=i,
+        )
+        for i, (name, app) in enumerate(pair.items())
+    }
+    simulators = {
+        name: PlatformSimulator(machine, app.resource_profile, seed=20 + i)
+        for i, (name, app) in enumerate(pair.items())
+    }
+    coordinator = MultiAppCoordinator(runtimes, rebalance_period=25)
+    for _ in range(n):
+        for name in pair:
+            decision = coordinator.current_decision(name)
+            result = simulators[name].run_iteration(
+                machine.space[decision.system_index],
+                work=1.0,
+                app_speedup=decision.app_config.speedup,
+                app_power_factor=decision.app_config.power_factor,
+            )
+            coordinator.step(
+                name,
+                Measurement(
+                    work=1.0,
+                    energy_j=result.measured_power_w * result.time_s,
+                    rate=result.measured_rate,
+                    power_w=result.measured_power_w,
+                ),
+            )
+    report = coordinator.summary()
+    return {
+        "global_budget_j": global_budget,
+        "used_j": coordinator.total_energy_used_j,
+        "transferred_j": report["bodytrack"]["effective_budget_j"]
+        - shares["bodytrack"],
+        "conserved": abs(
+            coordinator.total_effective_budget_j - global_budget
+        )
+        < 1e-6,
+    }
+
+
+def _render(race_pace, thermal, multi) -> str:
+    lines = ["Extension benches", "", "Race-to-idle vs pacing:"]
+    lines.append(f"{'platform':<9}{'slack':>7}{'winner':>8}{'gap':>7}")
+    for name, slack, winner, gap in race_pace:
+        lines.append(f"{name:<9}{slack:>6.1f}x{winner:>8}{gap:>7.2f}")
+    lines.append("")
+    lines.append(
+        f"Thermal throttling (tablet, undersized heatsink): budget "
+        f"overshoot {thermal['overshoot_pct']:.2f}%, peak "
+        f"{thermal['peak_temp_c']:.1f}C, throttled "
+        f"{thermal['throttled_fraction']:.0%} of iterations"
+    )
+    lines.append("")
+    lines.append(
+        f"Multi-app coordination (tablet): used {multi['used_j']:.1f} J "
+        f"of {multi['global_budget_j']:.1f} J global budget; "
+        f"{multi['transferred_j']:+.1f} J transferred to the straining "
+        f"app; conservation {'holds' if multi['conserved'] else 'BROKEN'}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_extensions(benchmark, machines):
+    def run_all():
+        return (
+            run_race_pace(machines),
+            run_thermal(machines),
+            run_multi(machines),
+        )
+
+    race_pace, thermal, multi = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    emit("extensions.txt", _render(race_pace, thermal, multi))
+
+    winners = {name: set() for name, *_ in race_pace}
+    for name, _, winner, gap in race_pace:
+        winners[name].add(winner)
+        assert gap >= 1.0
+    # The heuristic winner is platform-dependent (the learner's raison
+    # d'être): pacing on mobile, racing on tablet at loose slack.
+    assert "pace" in winners["mobile"]
+    assert "race" in winners["tablet"]
+
+    assert thermal["throttled_fraction"] > 0.05  # the heatsink does bite
+    assert thermal["overshoot_pct"] < 6.0  # and the budget survives
+
+    assert multi["conserved"]
+    assert multi["used_j"] <= multi["global_budget_j"] * 1.03
+    assert multi["transferred_j"] > 0.0

@@ -1,0 +1,112 @@
+"""Fig. 1: four approaches to an energy goal for swish++.
+
+The motivating experiment (Sec. 2): reduce swish++'s energy per query by
+one third on Server.  The published shape:
+
+* system-only  — misses the goal (~20 % high) at full accuracy,
+* app-only     — on target, but ~83 % of results lost,
+* uncoordinated — oscillates; poor accuracy without better energy,
+* JouleGuard   — on target with far smaller accuracy loss.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.apps import build_application
+from repro.runtime.baselines import (
+    run_application_only,
+    run_system_only,
+    run_uncoordinated,
+)
+from repro.runtime.harness import run_jouleguard
+
+FACTOR = 1.5  # 0.09 -> 0.06 J/query in the paper
+ITERATIONS = 1200
+SEED = 2
+
+
+def run_all(machines):
+    server = machines["server"]
+    app = build_application("swish")
+    runners = {
+        "system-only": run_system_only,
+        "app-only": run_application_only,
+        "uncoordinated": run_uncoordinated,
+        "jouleguard": run_jouleguard,
+    }
+    results = {}
+    for name, runner in runners.items():
+        result = runner(
+            server, app, factor=FACTOR, n_iterations=ITERATIONS, seed=SEED
+        )
+        epw = result.trace.energy_per_work()
+        steady = epw[ITERATIONS // 3 :]
+        results[name] = {
+            "relative_error_pct": result.relative_error_pct,
+            "accuracy": result.mean_accuracy,
+            "energy_per_query": float(np.mean(epw)),
+            "target": result.goal.energy_per_work,
+            "oscillation_cv": float(np.std(steady) / np.mean(steady)),
+            "series": result.trace.windowed_energy_per_work(25),
+        }
+    return results
+
+
+def _render(results) -> str:
+    lines = [
+        "Fig. 1: Approaches to a 1.5x energy goal, swish++ on Server",
+        f"{'Approach':<15}{'J/query':>10}{'Target':>10}{'RelErr%':>10}"
+        f"{'Accuracy':>10}{'Osc. CV':>10}",
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:<15}{r['energy_per_query']:>10.4f}"
+            f"{r['target']:>10.4f}{r['relative_error_pct']:>10.2f}"
+            f"{r['accuracy']:>10.3f}{r['oscillation_cv']:>10.3f}"
+        )
+    lines.append("")
+    lines.append("Energy-per-query time series (25-query moving average,")
+    lines.append("sampled every 100 queries; target = 1.00):")
+    header = "iter".rjust(8) + "".join(
+        name.rjust(15) for name in results
+    )
+    lines.append(header)
+    target = next(iter(results.values()))["target"]
+    length = min(len(r["series"]) for r in results.values())
+    for i in range(0, length, 100):
+        row = f"{i:>8d}" + "".join(
+            f"{r['series'][i] / target:>15.3f}" for r in results.values()
+        )
+        lines.append(row)
+    return "\n".join(lines) + "\n"
+
+
+def test_fig1(benchmark, machines):
+    results = benchmark.pedantic(
+        run_all, args=(machines,), rounds=1, iterations=1
+    )
+    emit("fig1_motivation.txt", _render(results))
+
+    # The paper's qualitative ordering must hold:
+    # 1. system-only misses the goal at full accuracy.
+    assert results["system-only"]["relative_error_pct"] > 5.0
+    assert results["system-only"]["accuracy"] == 1.0
+    # 2. app-only meets the goal with severe accuracy loss.
+    assert results["app-only"]["relative_error_pct"] < 3.0
+    assert results["app-only"]["accuracy"] < 0.4
+    # 3. uncoordinated oscillates visibly more than system-only.
+    assert (
+        results["uncoordinated"]["oscillation_cv"]
+        > 2.0 * results["system-only"]["oscillation_cv"]
+    )
+    # 4. JouleGuard meets the goal with the best accuracy of any
+    #    goal-meeting approach.
+    assert results["jouleguard"]["relative_error_pct"] < 3.0
+    assert (
+        results["jouleguard"]["accuracy"] > results["app-only"]["accuracy"]
+    )
+    assert (
+        results["jouleguard"]["accuracy"]
+        > results["uncoordinated"]["accuracy"]
+    )

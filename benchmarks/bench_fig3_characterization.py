@@ -1,0 +1,85 @@
+"""Fig. 3: energy-efficiency landscapes.
+
+The paper characterizes each platform by plotting energy efficiency
+(rate/power at full application accuracy) against the linearized
+configuration index for bodytrack (smooth, easy) and ferret (hard,
+multi-modal on Server).  This bench regenerates the series and checks
+the Sec. 4.3 observations:
+
+* large spread between best and worst efficiency everywhere,
+* Mobile's peak off the big cores,
+* Tablet's peak at the default (highest index),
+* Server's peak away from the default, at app-specific locations.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.apps import build_application
+from repro.hw import PlatformSimulator
+
+APPS = ("bodytrack", "ferret")
+
+
+def characterize(machines):
+    series = {}
+    for machine_name, machine in machines.items():
+        linear = machine.space.linearized()
+        for app_name in APPS:
+            app = build_application(app_name)
+            simulator = PlatformSimulator(machine, app.resource_profile)
+            eff = np.array(
+                [simulator.energy_efficiency(c) for c in linear]
+            )
+            series[(machine_name, app_name)] = eff
+    return series
+
+
+def _render(series) -> str:
+    lines = ["Fig. 3: Energy-efficiency landscapes (per config index)"]
+    for (machine, app), eff in series.items():
+        argmax = int(eff.argmax())
+        lines.append(
+            f"\n{machine}/{app}: {len(eff)} configs, "
+            f"min={eff.min():.4f} max={eff.max():.4f} "
+            f"default={eff[-1]:.4f} peak@{argmax} "
+            f"(gain over default {eff.max() / eff[-1]:.2f}x)"
+        )
+        # Down-sampled series for plotting by hand.
+        step = max(1, len(eff) // 16)
+        samples = ", ".join(
+            f"{i}:{eff[i]:.3f}" for i in range(0, len(eff), step)
+        )
+        lines.append(f"  series: {samples}")
+    return "\n".join(lines) + "\n"
+
+
+def test_fig3(benchmark, machines):
+    series = benchmark.pedantic(
+        characterize, args=(machines,), rounds=1, iterations=1
+    )
+    emit("fig3_characterization.txt", _render(series))
+
+    for (machine_name, app_name), eff in series.items():
+        # Significant spread between best and worst (Sec. 4.3 bullet 1).
+        assert eff.max() > 2.0 * eff.min(), (machine_name, app_name)
+
+    # Tablet: peak at the default configuration (highest index).
+    for app_name in APPS:
+        eff = series[("tablet", app_name)]
+        assert eff.argmax() == len(eff) - 1
+
+    # Server: default is wasteful; peaks differ between the two apps.
+    assert series[("server", "bodytrack")].argmax() != len(
+        series[("server", "bodytrack")]
+    ) - 1
+    assert (
+        series[("server", "bodytrack")].argmax()
+        != series[("server", "ferret")].argmax()
+    )
+
+    # Mobile: the most efficient configurations are not the big-cluster
+    # default (the learner must move off the big cores).
+    eff = series[("mobile", "bodytrack")]
+    assert eff.max() > 1.5 * eff[-1]

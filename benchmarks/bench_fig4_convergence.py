@@ -1,0 +1,83 @@
+"""Fig. 4: stability and convergence time series.
+
+bodytrack runs 260 frames under an aggressive energy goal — a 4x
+reduction on Mobile, 3x on Tablet and Server (Sec. 5.3's representative
+run) — and the bench reports the normalized energy-per-frame and
+accuracy series.  The published shape: energy per frame tracks the
+target line after a short transient, and accuracy stays high.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.apps import build_application
+from repro.runtime.harness import run_jouleguard
+
+FRAMES = 260
+FACTORS = {"mobile": 4.0, "tablet": 3.0, "server": 3.0}
+
+
+def run_convergence(machines):
+    app = build_application("bodytrack")
+    results = {}
+    for machine_name, factor in FACTORS.items():
+        result = run_jouleguard(
+            machines[machine_name],
+            app,
+            factor=factor,
+            n_iterations=FRAMES,
+            seed=4,
+        )
+        results[machine_name] = result
+    return results
+
+
+def _render(results) -> str:
+    lines = [
+        "Fig. 4: bodytrack energy/frame (normalized to target) and "
+        "accuracy",
+        "(f=4 on Mobile, f=3 on Tablet/Server; 10-frame moving average)",
+    ]
+    for machine_name, result in results.items():
+        target = result.goal.energy_per_work
+        smoothed = result.trace.windowed_energy_per_work(10) / target
+        accuracy = np.array(result.trace.accuracy)
+        lines.append(
+            f"\n{machine_name}: relative error "
+            f"{result.relative_error_pct:.2f}%, mean accuracy "
+            f"{result.mean_accuracy:.4f}"
+        )
+        lines.append(f"{'frame':>8}{'energy/target':>16}{'accuracy':>12}")
+        for frame in range(0, len(smoothed), 25):
+            lines.append(
+                f"{frame:>8d}{smoothed[frame]:>16.3f}"
+                f"{accuracy[frame]:>12.4f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig4(benchmark, machines):
+    results = benchmark.pedantic(
+        run_convergence, args=(machines,), rounds=1, iterations=1
+    )
+    emit("fig4_convergence.txt", _render(results))
+
+    for machine_name, result in results.items():
+        # Converges to the goal within a few percent over the run.
+        assert result.relative_error_pct < 5.0, machine_name
+        # The second half of the run tracks the target closely.
+        target = result.goal.energy_per_work
+        late = result.trace.energy_per_work()[FRAMES // 2 :]
+        assert np.mean(late) < target * 1.15, machine_name
+    # Accuracy cost ordering: Mobile has the most efficient configs, so
+    # it retains the most accuracy even at the harsher 4x goal
+    # (Sec. 5.3: "Tablet and Server ... must sacrifice more accuracy").
+    assert (
+        results["mobile"].mean_accuracy
+        >= max(
+            results["tablet"].mean_accuracy,
+            results["server"].mean_accuracy,
+        )
+        - 0.02
+    )

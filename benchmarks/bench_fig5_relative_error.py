@@ -1,0 +1,55 @@
+"""Fig. 5: relative error for every application, platform, and goal.
+
+The full Sec. 5.3 sweep: energy-reduction factors 1.1x–3.0x for every
+application on every platform it runs on (infeasible combinations are
+skipped, as in the paper).  The published shape: error is within a few
+percent everywhere, generally growing with goal aggressiveness.
+"""
+
+import numpy as np
+
+from conftest import cells_by, emit
+
+from repro.core.budget import PAPER_FACTORS
+
+
+def _render(cells) -> str:
+    lines = ["Fig. 5: Relative error (%) by platform, application, goal"]
+    factor_header = "".join(f"{f:>8.2f}" for f in PAPER_FACTORS)
+    for machine in ("mobile", "tablet", "server"):
+        lines.append(f"\n{machine}:")
+        lines.append(f"{'app':<15}" + factor_header)
+        apps = sorted({c.app for c in cells_by(cells, machine=machine)})
+        for app in apps:
+            row = {
+                c.factor: c.relative_error_pct
+                for c in cells_by(cells, machine=machine, app=app)
+            }
+            cols = "".join(
+                f"{row[f]:>8.2f}" if f in row else f"{'—':>8}"
+                for f in PAPER_FACTORS
+            )
+            lines.append(f"{app:<15}" + cols)
+    errors = np.array([c.relative_error_pct for c in cells])
+    lines.append(
+        f"\nsummary over {len(cells)} runs: mean={errors.mean():.2f}% "
+        f"median={np.median(errors):.2f}% p90={np.percentile(errors, 90):.2f}% "
+        f"max={errors.max():.2f}%"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig5(benchmark, full_sweep):
+    cells = benchmark.pedantic(
+        lambda: full_sweep, rounds=1, iterations=1
+    )
+    emit("fig5_relative_error.txt", _render(cells))
+
+    errors = np.array([c.relative_error_pct for c in cells])
+    # "JouleGuard maintains energy within a few percent of the goal."
+    assert errors.mean() < 2.0
+    assert np.median(errors) < 1.0
+    # Worst cases stay in the paper's ~10 % ballpark.
+    assert errors.max() < 15.0
+    # Most combinations are effectively exact.
+    assert (errors < 1.0).mean() > 0.8

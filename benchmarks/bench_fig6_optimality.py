@@ -1,0 +1,61 @@
+"""Fig. 6: effective accuracy (vs. the oracle) for the full sweep.
+
+Shares the Fig. 5 sweep.  Published shape: effective accuracy close to
+unity everywhere; Mobile uniformly highest (its goals sit well inside
+the platform's operating range); the weak spots are applications pushed
+to the extreme edge of their feasible range (the paper's example is
+swish++ on Tablet at 1.5x).
+"""
+
+import numpy as np
+
+from conftest import cells_by, emit
+
+from repro.core.budget import PAPER_FACTORS
+
+
+def _render(cells) -> str:
+    lines = ["Fig. 6: Effective accuracy by platform, application, goal"]
+    factor_header = "".join(f"{f:>8.2f}" for f in PAPER_FACTORS)
+    for machine in ("mobile", "tablet", "server"):
+        lines.append(f"\n{machine}:")
+        lines.append(f"{'app':<15}" + factor_header)
+        apps = sorted({c.app for c in cells_by(cells, machine=machine)})
+        for app in apps:
+            row = {
+                c.factor: c.effective_accuracy
+                for c in cells_by(cells, machine=machine, app=app)
+            }
+            cols = "".join(
+                f"{row[f]:>8.3f}" if f in row else f"{'—':>8}"
+                for f in PAPER_FACTORS
+            )
+            lines.append(f"{app:<15}" + cols)
+    acc = np.array([c.effective_accuracy for c in cells])
+    lines.append(
+        f"\nsummary over {len(cells)} runs: mean={acc.mean():.3f} "
+        f"min={acc.min():.3f}"
+    )
+    per_machine = {
+        m: np.mean(
+            [c.effective_accuracy for c in cells_by(cells, machine=m)]
+        )
+        for m in ("mobile", "tablet", "server")
+    }
+    lines.append(f"per-platform means: {per_machine}")
+    return "\n".join(lines) + "\n"
+
+
+def test_fig6(benchmark, full_sweep):
+    cells = benchmark.pedantic(lambda: full_sweep, rounds=1, iterations=1)
+    emit("fig6_optimality.txt", _render(cells))
+
+    acc = np.array([c.effective_accuracy for c in cells])
+    # "JouleGuard is within a few percent of true optimal accuracy."
+    assert acc.mean() > 0.97
+    # No catastrophic outliers (paper's worst, swish-like edge cases,
+    # sit around 0.5-0.85; our margin keeps them above 0.8).
+    assert acc.min() > 0.8
+    # Mobile accuracies uniformly high (Sec. 5.4).
+    mobile = [c.effective_accuracy for c in cells if c.machine == "mobile"]
+    assert np.mean(mobile) > 0.97

@@ -1,0 +1,91 @@
+"""Fig. 8: adaptation to application phases.
+
+The Sec. 5.6 input: three concatenated 200-frame scenes — hard, easy
+(naturally ~40 % faster), hard — run under an aggressive energy goal on
+all three platforms.  Published shape: a short energy spike at each
+phase change, energy per frame holding the target throughout, and the
+middle phase's headroom converted into *higher accuracy*.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.apps import build_application
+from repro.runtime.harness import run_jouleguard
+from repro.workloads.phases import three_scene_video
+
+FRAMES_PER_SCENE = 200
+#: The paper's representative goals: a 4x reduction on Mobile, 3x on the
+#: other platforms (as in Fig. 4) — aggressive enough that the hard
+#: scenes require real accuracy loss.
+FACTORS = {"mobile": 4.0, "tablet": 3.0, "server": 3.0}
+
+
+def run_phases(machines):
+    app = build_application("bodytrack")
+    workload = three_scene_video(FRAMES_PER_SCENE)
+    results = {}
+    for machine_name, machine in machines.items():
+        factor = FACTORS[machine_name]
+        results[machine_name] = (
+            factor,
+            run_jouleguard(
+                machine, app, factor=factor, workload=workload, seed=8
+            ),
+        )
+    return results
+
+
+def _phase_slices():
+    n = FRAMES_PER_SCENE
+    settle = n // 4
+    return {
+        "hard1": slice(settle, n),
+        "easy": slice(n + settle, 2 * n),
+        "hard2": slice(2 * n + settle, 3 * n),
+    }
+
+
+def _render(results) -> str:
+    lines = [
+        "Fig. 8: Phase adaptation (bodytrack, hard/easy/hard scenes)",
+    ]
+    for machine_name, (factor, result) in results.items():
+        target = result.goal.energy_per_work
+        epw = result.trace.energy_per_work()
+        accuracy = np.array(result.trace.accuracy)
+        lines.append(
+            f"\n{machine_name} (goal {factor:.2f}x, relative error "
+            f"{result.relative_error_pct:.2f}%)"
+        )
+        lines.append(
+            f"{'phase':<8}{'energy/frame / target':>24}{'accuracy':>12}"
+        )
+        for phase, sl in _phase_slices().items():
+            lines.append(
+                f"{phase:<8}{np.mean(epw[sl]) / target:>24.3f}"
+                f"{accuracy[sl].mean():>12.4f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig8(benchmark, machines):
+    results = benchmark.pedantic(
+        run_phases, args=(machines,), rounds=1, iterations=1
+    )
+    emit("fig8_phases.txt", _render(results))
+
+    slices = _phase_slices()
+    for machine_name, (factor, result) in results.items():
+        accuracy = np.array(result.trace.accuracy)
+        hard1 = accuracy[slices["hard1"]].mean()
+        easy = accuracy[slices["easy"]].mean()
+        hard2 = accuracy[slices["hard2"]].mean()
+        # The easy scene's headroom becomes accuracy (the Fig. 8 bump).
+        assert easy > hard1, machine_name
+        assert easy > hard2, machine_name
+        # ...without breaking the energy guarantee.
+        assert result.relative_error_pct < 5.0, machine_name
+        # Hard scenes resemble each other (the runtime re-adapts back).
+        assert abs(hard1 - hard2) < 0.05, machine_name

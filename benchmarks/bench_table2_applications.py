@@ -1,0 +1,37 @@
+"""Table 2: approximate-application configurations.
+
+Regenerates the paper's Table 2 — per application: configuration count,
+maximum speedup, maximum accuracy loss, and accuracy metric — from the
+built suite, alongside the published values.
+"""
+
+from conftest import emit
+
+from repro.apps import table2
+
+
+def _render(rows) -> str:
+    lines = [
+        "Table 2: Approximate Application configurations "
+        "(measured / paper)",
+        f"{'Application':<15}{'Configs':>16}{'Speedup':>20}"
+        f"{'Acc. Loss (%)':>18}  Accuracy Metric",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.application:<15}"
+            f"{row.configs:>7d}/{row.paper_configs:<8d}"
+            f"{row.max_speedup:>9.2f}/{row.paper_max_speedup:<10.2f}"
+            f"{row.max_accuracy_loss_pct:>8.2f}/{row.paper_max_accuracy_loss_pct:<9.2f}"
+            f"  {row.accuracy_metric}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    emit("table2_applications.txt", _render(rows))
+    # Shape assertions: counts exact, trade ranges within jitter.
+    for row in rows:
+        assert row.configs == row.paper_configs
+        assert abs(row.max_speedup / row.paper_max_speedup - 1.0) < 0.05

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Results
+are printed (run with ``-s`` to see them live) *and* written under
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+leaves the reproduced artifacts on disk.
+
+The Fig. 5 / Fig. 6 sweep (every application × platform × energy factor)
+is computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+import pytest
+
+from repro.hw import all_machines
+from repro.runtime.sweep import SweepCell, filter_cells, sweep_all
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Iterations per closed-loop run in the sweeps.  The paper's runs are
+#: minutes long (10^4-10^6 heartbeats); 400 keeps the full sweep fast
+#: while amortizing the learner's exploration.
+SWEEP_ITERATIONS = 400
+
+#: Goals within this fraction of the theoretical maximum factor are
+#: treated as feasible for the sweep (the paper likewise skips bars for
+#: infeasible targets).
+FEASIBILITY_MARGIN = 0.9
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist one benchmark's table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it."""
+    print(f"\n{text}")
+    write_result(name, text)
+
+
+@pytest.fixture(scope="session")
+def machines():
+    return all_machines()
+
+
+@pytest.fixture(scope="session")
+def full_sweep() -> List[SweepCell]:
+    """The Sec. 5.3/5.4 sweep shared by the Fig. 5 and Fig. 6 benches."""
+    return sweep_all(
+        n_iterations=SWEEP_ITERATIONS,
+        seed=17,
+        margin=FEASIBILITY_MARGIN,
+    )
+
+
+def cells_by(cells, machine=None, app=None) -> List[SweepCell]:
+    return filter_cells(cells, machine=machine, app=app)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Approximate hardware (the paper's Sec. 3.7 modification).
+
+Approximate hardware keeps timing but trades power for occasional wrong
+results (voltage over-scaling, inexact arithmetic units).  The paper
+sketches the JouleGuard modification: learn the most efficient
+accuracy-preserving system configuration as usual, then let the
+controller reduce *power* (rather than demand speedup) by tuning the
+hardware approximation level.
+
+This example simulates a processor with five voltage-overscaling levels
+and closes the loop with :class:`repro.core.hwapprox.PowerReductionController`.
+
+Usage::
+
+    python examples/approximate_hardware.py
+"""
+
+import numpy as np
+
+from repro.core.hwapprox import (
+    HardwareApproxLevel,
+    HardwareApproxTable,
+    PowerReductionController,
+)
+
+#: Simulated voltage-overscaling levels: deeper undervolting cuts power
+#: but raises the arithmetic error rate (accuracy is 1 - error impact).
+LEVELS = HardwareApproxTable(
+    [
+        HardwareApproxLevel(index=0, power_factor=1.00, accuracy=1.000),
+        HardwareApproxLevel(index=1, power_factor=0.92, accuracy=0.998),
+        HardwareApproxLevel(index=2, power_factor=0.84, accuracy=0.990),
+        HardwareApproxLevel(index=3, power_factor=0.74, accuracy=0.960),
+        HardwareApproxLevel(index=4, power_factor=0.62, accuracy=0.900),
+    ]
+)
+
+NOMINAL_POWER_W = 50.0
+ITERATIONS = 120
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    controller = PowerReductionController(
+        min_factor=LEVELS.min_power_factor
+    )
+
+    for budget_w in (48.0, 42.0, 36.0, 30.0):
+        level = LEVELS.best_accuracy_for_power_factor(1.0)
+        history = []
+        for _ in range(ITERATIONS):
+            measured = (
+                NOMINAL_POWER_W
+                * level.power_factor
+                * float(rng.lognormal(0, 0.02))
+            )
+            factor = controller.step(
+                target_power=budget_w,
+                measured_power=measured,
+                est_system_power=NOMINAL_POWER_W,
+                pole=0.1,
+            )
+            level = LEVELS.best_accuracy_for_power_factor(factor)
+            history.append((measured, level.accuracy))
+        steady = history[ITERATIONS // 2 :]
+        mean_power = np.mean([p for p, _ in steady])
+        mean_accuracy = np.mean([a for _, a in steady])
+        feasible = budget_w >= NOMINAL_POWER_W * LEVELS.min_power_factor
+        print(f"power budget {budget_w:5.1f} W: steady power "
+              f"{mean_power:5.1f} W, accuracy {mean_accuracy:.3f}"
+              + ("" if feasible else "  (infeasible: pinned at the most"
+                 " aggressive level)"))
+
+
+if __name__ == "__main__":
+    main()

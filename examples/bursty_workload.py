@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regime-switching workloads: energy guarantees under burstiness.
+
+Fig. 8's input has three hand-placed scenes; real inputs switch regimes
+stochastically.  This example drives bodytrack with a Markov workload
+(easy/normal/hard scenes with realistic dwell times), shows JouleGuard
+holding the budget through every transition, and renders the
+accuracy/difficulty traces as terminal sparklines.
+
+Usage::
+
+    python examples/bursty_workload.py
+"""
+
+import numpy as np
+
+from repro import build_application, get_machine, run_jouleguard
+from repro.runtime.ascii_plot import sparkline
+from repro.workloads.traces import MarkovWorkload, Regime
+
+REGIMES = (
+    Regime("easy", 0.7, mean_dwell=60.0),
+    Regime("normal", 1.0, mean_dwell=80.0),
+    Regime("hard", 1.35, mean_dwell=40.0),
+)
+FRAMES = 600
+FACTOR = 3.0
+
+
+def main() -> None:
+    machine = get_machine("mobile")
+    app = build_application("bodytrack")
+    markov = MarkovWorkload(REGIMES, n_iterations=FRAMES, seed=11)
+    workload = markov.to_phased()
+
+    result = run_jouleguard(
+        machine, app, factor=FACTOR, workload=workload, seed=12
+    )
+    difficulties = np.array(list(workload.iteration_difficulty()))
+    accuracy = np.array(result.trace.accuracy)
+    epw = result.trace.energy_per_work()
+
+    print(f"{FRAMES} frames over {len(workload.phases)} regime segments "
+          f"(goal {FACTOR}x, target {result.goal.energy_per_work:.4f} "
+          "J/frame)\n")
+    print(f"difficulty  {sparkline(difficulties)}")
+    print(f"accuracy    {sparkline(accuracy)}")
+    print(f"energy/frm  {sparkline(epw)}")
+    print()
+
+    # Per-regime accounting: easy scenes get the accuracy headroom.
+    by_regime = {}
+    for (name, _), acc in zip(markov.realize(), accuracy):
+        by_regime.setdefault(name, []).append(acc)
+    for name in ("easy", "normal", "hard"):
+        if name in by_regime:
+            print(f"  {name:7s}: {len(by_regime[name]):3d} frames, "
+                  f"mean accuracy {np.mean(by_regime[name]):.4f}")
+    print(f"\nbudget adherence: {result.relative_error_pct:.2f} % over "
+          f"({result.achieved_energy_j:.1f} J of "
+          f"{result.goal.budget_j:.1f} J)")
+
+
+if __name__ == "__main__":
+    main()

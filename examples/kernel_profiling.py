@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Profile real kernels into a PowerDial-style configuration table.
+
+The shipped benchmark suite uses configuration tables calibrated to the
+paper's Table 2, but the same machinery can build a table by *measuring*
+a real kernel — the workflow PowerDial automates.  This example profiles
+the Monte-Carlo swaption pricer at a ladder of trial counts, turns the
+measurements into a ConfigTable, and runs it under an energy budget.
+
+Usage::
+
+    python examples/kernel_profiling.py
+"""
+
+from repro import get_machine, run_jouleguard
+from repro.apps.profiling import ProfiledSetting, profile_application
+from repro.hw.profiles import AppResourceProfile
+from repro.kernels.montecarlo import (
+    MarketModel,
+    Swaption,
+    price_swaption,
+    pricing_accuracy,
+)
+
+TRIAL_LADDER = (50_000, 20_000, 8_000, 3_000, 1_200, 500, 200)
+
+
+def make_settings():
+    """One profiled setting per trial count; cost = trials (work is
+    linear in trials), quality = price accuracy vs. the full run."""
+    swaption, market = Swaption(), MarketModel()
+    reference = price_swaption(swaption, market, TRIAL_LADDER[0], seed=0)
+
+    def runner(trials):
+        def run():
+            price = price_swaption(swaption, market, trials, seed=1)
+            return float(trials), pricing_accuracy(price, reference)
+
+        return run
+
+    return [
+        ProfiledSetting(
+            knob_settings=(("sim_trials", float(trials)),),
+            run=runner(trials),
+        )
+        for trials in TRIAL_LADDER
+    ]
+
+
+def main() -> None:
+    print("profiling the Monte-Carlo pricer (real execution)...")
+    app = profile_application(
+        "profiled-swaptions",
+        make_settings(),
+        resource_profile=AppResourceProfile(
+            name="profiled-swaptions",
+            base_rate=2.0,
+            parallel_fraction=0.99,
+            clock_sensitivity=1.0,
+            memory_boundness=0.05,
+            ht_gain=0.15,
+            activity_factor=1.1,
+        ),
+        accuracy_metric="swaption price (measured)",
+    )
+    print(f"{'trials':>9}{'speedup':>10}{'accuracy':>11}")
+    for config in app.table:
+        print(f"{int(config.knob_settings[0][1]):>9d}"
+              f"{config.speedup:>10.1f}{config.accuracy:>11.4f}")
+    print(f"\nprofiled table: {len(app.table)} configs, max speedup "
+          f"{app.table.max_speedup:.1f}x, frontier "
+          f"{len(app.table.pareto_frontier)} configs")
+
+    machine = get_machine("server")
+    for factor in (2.0, 10.0, 40.0):
+        result = run_jouleguard(
+            machine, app, factor=factor, n_iterations=400, seed=6
+        )
+        print(f"goal {factor:5.1f}x: over-budget "
+              f"{result.relative_error_pct:5.2f} %  accuracy "
+              f"{result.mean_accuracy:.4f}")
+
+
+if __name__ == "__main__":
+    main()

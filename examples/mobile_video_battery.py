@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Battery-budget video encoding on a phone (the paper's Sec. 1 pitch).
+
+"Few mobile users want to minimize energy — they need guarantees that
+their battery will last until they return to a charger."  This example
+gives the Mobile platform a fixed battery allowance for encoding a long
+video and compares three strategies:
+
+* default      — run flat out; the battery dies early,
+* app-only     — PowerDial-style throttling on the default system config,
+* jouleguard   — coordinated system + application adaptation.
+
+Usage::
+
+    python examples/mobile_video_battery.py
+"""
+
+import numpy as np
+
+from repro import build_application, get_machine, run_jouleguard
+from repro.runtime.baselines import run_application_only
+from repro.runtime.oracle import default_energy_per_work
+
+FRAMES = 600
+#: Battery allowance: 40 % of what the default configuration would burn.
+BATTERY_FACTOR = 2.5
+
+
+def describe(name, result):
+    frames_within_budget = int(
+        np.searchsorted(
+            np.cumsum(result.trace.true_energy_j), result.goal.budget_j
+        )
+    )
+    print(f"{name:12s}: used {result.achieved_energy_j:8.1f} J of "
+          f"{result.goal.budget_j:8.1f} J budget | "
+          f"battery lasted {min(frames_within_budget, FRAMES):3d}/{FRAMES} frames | "
+          f"accuracy {result.mean_accuracy:.4f}")
+
+
+def main() -> None:
+    machine = get_machine("mobile")
+    app = build_application("x264")
+    epw = default_energy_per_work(machine, app)
+    print(f"default encode cost: {epw:.4f} J/frame; battery allows "
+          f"{FRAMES * epw / BATTERY_FACTOR:.1f} J for {FRAMES} frames "
+          f"({BATTERY_FACTOR}x reduction)\n")
+
+    # Default configuration: no adaptation at all (factor 1 budget is the
+    # default draw — re-use the app-only runner with a never-binding goal
+    # by reporting against the tight budget instead).
+    flat_out = run_application_only(
+        machine, app, factor=1.0, n_iterations=FRAMES, seed=1
+    )
+    # Report the flat-out run against the *tight* budget:
+    tight_budget = FRAMES * epw / BATTERY_FACTOR
+    burned = np.cumsum(flat_out.trace.true_energy_j)
+    died_at = int(np.searchsorted(burned, tight_budget))
+    print(f"{'default':12s}: used {burned[-1]:8.1f} J | battery died at "
+          f"frame {died_at}/{FRAMES} | accuracy 1.0000 (until it died)")
+
+    app_only = run_application_only(
+        machine, app, factor=BATTERY_FACTOR, n_iterations=FRAMES, seed=1
+    )
+    describe("app-only", app_only)
+
+    guarded = run_jouleguard(
+        machine, app, factor=BATTERY_FACTOR, n_iterations=FRAMES, seed=1
+    )
+    describe("jouleguard", guarded)
+
+    print(f"\nJouleGuard finished the video within the battery budget at "
+          f"{guarded.mean_accuracy:.1%} of default quality "
+          f"(app-only managed {app_only.mean_accuracy:.1%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: meet an energy budget with near-optimal accuracy.
+
+Runs the x264 video encoder on the Server platform model with a goal of
+halving energy consumption relative to the out-of-the-box configuration,
+then reports how JouleGuard did against the budget and the clairvoyant
+oracle.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import build_application, get_machine, run_jouleguard
+
+
+def main() -> None:
+    machine = get_machine("server")
+    app = build_application("x264")
+
+    result = run_jouleguard(
+        machine,
+        app,
+        factor=2.0,  # halve energy vs. the default configuration
+        n_iterations=300,  # 300 frames
+        seed=0,
+    )
+
+    print(f"application      : {result.app_name} on {result.machine_name}")
+    print(f"energy budget    : {result.goal.budget_j:,.0f} J "
+          f"({result.goal.energy_per_work:.2f} J/frame)")
+    print(f"energy consumed  : {result.achieved_energy_j:,.0f} J")
+    print(f"relative error   : {result.relative_error_pct:.2f} % "
+          "(0 = within budget)")
+    print(f"mean accuracy    : {result.mean_accuracy:.4f} "
+          "(1 = default configuration quality)")
+    print(f"oracle accuracy  : {result.oracle_acc:.4f}")
+    print(f"effective acc.   : {result.effective_acc:.4f} "
+          "(fraction of the best any controller could do)")
+    print(f"energy savings   : {result.energy_savings:.2f}x vs. default")
+
+    decision = None
+    for decision in reversed(result.trace.system_index):
+        break
+    config = machine.space[decision]
+    print(f"settled system config: {config}")
+
+
+if __name__ == "__main__":
+    main()

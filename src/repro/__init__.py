@@ -1,0 +1,72 @@
+"""repro — a reproduction of *JouleGuard: Energy Guarantees for
+Approximate Applications* (Hoffmann, SOSP 2015).
+
+Layers
+------
+* :mod:`repro.core` — the JouleGuard runtime: bandit learning over
+  system configurations (SEO), adaptive-pole speedup control (AAO), the
+  Algorithm 1 loop, and the Z-domain analysis behind its guarantees.
+* :mod:`repro.hw` — the platform substrate: the paper's three machines
+  as analytic power/performance models with noisy sensors.
+* :mod:`repro.apps` — the eight approximate applications of Table 2,
+  built with PowerDial-style dynamic knobs or loop perforation.
+* :mod:`repro.kernels` — real computational kernels backing each
+  application's accuracy metric.
+* :mod:`repro.workloads` — phased inputs (Sec. 5.6).
+* :mod:`repro.runtime` — closed-loop harness, baselines, and oracle.
+
+Quick start
+-----------
+>>> from repro import get_machine, build_application, run_jouleguard
+>>> result = run_jouleguard(
+...     get_machine("server"), build_application("x264"), factor=2.0,
+...     n_iterations=200,
+... )
+>>> result.relative_error_pct < 5.0
+True
+"""
+
+from .apps import build_all, build_application, table2
+from .core import (
+    Decision,
+    EnergyGoal,
+    JouleGuardRuntime,
+    Measurement,
+    PAPER_FACTORS,
+    SystemEnergyOptimizer,
+)
+from .hw import all_machines, get_machine
+from .runtime import (
+    ExperimentResult,
+    oracle_accuracy,
+    run_application_only,
+    run_jouleguard,
+    run_system_only,
+    run_uncoordinated,
+)
+from .workloads import steady, three_scene_video
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decision",
+    "EnergyGoal",
+    "ExperimentResult",
+    "JouleGuardRuntime",
+    "Measurement",
+    "PAPER_FACTORS",
+    "SystemEnergyOptimizer",
+    "all_machines",
+    "build_all",
+    "build_application",
+    "get_machine",
+    "oracle_accuracy",
+    "run_application_only",
+    "run_jouleguard",
+    "run_system_only",
+    "run_uncoordinated",
+    "steady",
+    "table2",
+    "three_scene_video",
+    "__version__",
+]

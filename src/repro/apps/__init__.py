@@ -1,0 +1,48 @@
+"""Approximate applications: frameworks and the eight-benchmark suite.
+
+:mod:`repro.apps.powerdial` and :mod:`repro.apps.perforation` implement
+the two approximation frameworks the paper builds on (Sec. 4.1); the
+application modules instantiate the suite of Table 2, each backed by a
+real computational kernel in :mod:`repro.kernels` for validation.
+"""
+
+from .base import AppConfig, ApproximateApplication, ConfigTable
+from .perforation import PerforatableLoop, perforate
+from .powerdial import DynamicKnob, KnobSetting, calibrated_knob
+from .profiling import (
+    ProfiledSetting,
+    profile_application,
+    profile_table,
+    timed,
+)
+from .registry import (
+    PAPER_TABLE2,
+    Table2Row,
+    application_names,
+    applications_for_platform,
+    build_all,
+    build_application,
+    table2,
+)
+
+__all__ = [
+    "AppConfig",
+    "ApproximateApplication",
+    "ConfigTable",
+    "DynamicKnob",
+    "KnobSetting",
+    "PAPER_TABLE2",
+    "PerforatableLoop",
+    "ProfiledSetting",
+    "Table2Row",
+    "application_names",
+    "applications_for_platform",
+    "build_all",
+    "build_application",
+    "calibrated_knob",
+    "perforate",
+    "profile_application",
+    "profile_table",
+    "table2",
+    "timed",
+]

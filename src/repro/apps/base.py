@@ -1,0 +1,215 @@
+"""Approximate-application abstractions.
+
+JouleGuard requires very little from an application (Sec. 3.5–3.6): a set
+of configurations, each with a *speedup* relative to the default and a
+*total order* on accuracy, plus a way to switch configuration at runtime.
+:class:`AppConfig` and :class:`ConfigTable` capture exactly that, and
+:class:`ApproximateApplication` bundles a table with the application's
+resource profile and workload defaults.
+
+Accuracy here is normalized: the default configuration has accuracy 1.0
+and speedup 1.0, as in the paper's presentation ("we report accuracy as a
+proportion of that achieved when running in the application's default
+configuration", Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..hw.profiles import AppResourceProfile
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One application configuration.
+
+    Parameters
+    ----------
+    index:
+        Stable identifier within the application's table.
+    speedup:
+        Throughput relative to the default configuration (default = 1.0).
+    accuracy:
+        Accuracy relative to the default (default = 1.0).  When the
+        application only defines a preference order (Sec. 3.6), this is
+        an ordinal rank scaled into (0, 1]; JouleGuard never does
+        arithmetic on it beyond comparisons.
+    knob_settings:
+        Provenance: the knob values that produce this configuration.
+    power_factor:
+        Mild multiplicative effect of the application configuration on
+        system power (skipping work changes the compute/memory mix); the
+        runtime does not model this — it is an unmodeled dependence the
+        controller must absorb (Sec. 3.3).
+    """
+
+    index: int
+    speedup: float
+    accuracy: float
+    knob_settings: Tuple[Tuple[str, float], ...] = ()
+    power_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if self.accuracy < 0:
+            raise ValueError("accuracy cannot be negative")
+        if self.power_factor <= 0:
+            raise ValueError("power factor must be positive")
+
+
+class ConfigTable:
+    """The application's configuration space with Pareto-frontier queries.
+
+    The table must contain the default configuration (speedup 1, accuracy
+    1).  :meth:`best_accuracy_for_speedup` implements the selection rule
+    of the paper's Eqn. 6: the most accurate configuration whose speedup
+    meets the requested target.
+    """
+
+    def __init__(self, configs: Iterable[AppConfig]) -> None:
+        self.configs: List[AppConfig] = sorted(
+            configs, key=lambda c: c.index
+        )
+        if not self.configs:
+            raise ValueError("empty configuration table")
+        indices = [c.index for c in self.configs]
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate configuration indices")
+        if not any(
+            abs(c.speedup - 1.0) < 1e-9 and abs(c.accuracy - 1.0) < 1e-9
+            for c in self.configs
+        ):
+            raise ValueError(
+                "table must include the default config (speedup=1, accuracy=1)"
+            )
+        self._frontier = self._compute_frontier()
+        self._frontier_speedups = [c.speedup for c in self._frontier]
+
+    def _compute_frontier(self) -> List[AppConfig]:
+        """Pareto-optimal configs, ascending speedup / descending accuracy."""
+        by_speedup = sorted(
+            self.configs, key=lambda c: (c.speedup, c.accuracy)
+        )
+        frontier: List[AppConfig] = []
+        best_accuracy = -1.0
+        # Scan from fastest to slowest, keeping configs whose accuracy
+        # beats everything faster than them.
+        for config in reversed(by_speedup):
+            if config.accuracy > best_accuracy:
+                frontier.append(config)
+                best_accuracy = config.accuracy
+        frontier.reverse()
+        return frontier
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __getitem__(self, index: int) -> AppConfig:
+        for config in self.configs:
+            if config.index == index:
+                return config
+        raise KeyError(index)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def default(self) -> AppConfig:
+        for config in self.configs:
+            if (
+                abs(config.speedup - 1.0) < 1e-9
+                and abs(config.accuracy - 1.0) < 1e-9
+            ):
+                return config
+        raise AssertionError("validated at construction")
+
+    @property
+    def pareto_frontier(self) -> List[AppConfig]:
+        """Pareto-optimal configs in ascending speedup order."""
+        return list(self._frontier)
+
+    @property
+    def max_speedup(self) -> float:
+        return self._frontier_speedups[-1]
+
+    @property
+    def max_accuracy_loss(self) -> float:
+        """Largest relative accuracy loss across the table (Table 2)."""
+        return 1.0 - min(c.accuracy for c in self.configs)
+
+    def best_accuracy_for_speedup(self, speedup: float) -> AppConfig:
+        """Eqn. 6: most accurate config with ``config.speedup >= speedup``.
+
+        If no configuration is fast enough, the fastest one is returned —
+        the closest the application can get to the request (the runtime
+        detects infeasibility separately, Sec. 3.4.3).
+        """
+        # Frontier accuracy decreases with speedup, so the slowest
+        # frontier config that satisfies the constraint is the answer.
+        position = bisect.bisect_left(self._frontier_speedups, speedup)
+        if position >= len(self._frontier):
+            return self._frontier[-1]
+        return self._frontier[position]
+
+    def accuracy_order(self) -> List[AppConfig]:
+        """Configs sorted by descending accuracy (the Sec. 3.6 total order)."""
+        return sorted(self.configs, key=lambda c: -c.accuracy)
+
+
+@dataclass
+class ApproximateApplication:
+    """One approximate application: configs + resource profile + workload.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (Table 2).
+    framework:
+        ``"powerdial"`` or ``"loop_perforation"``.
+    accuracy_metric:
+        Human-readable metric name (Table 2's rightmost column).
+    table:
+        Configuration table.
+    resource_profile:
+        How the default computation responds to hardware resources.
+    work_per_iteration:
+        Nominal work units in one iteration (frame, query, …).
+    iteration_name:
+        Unit of progress ("frame", "query", …) for reporting.
+    platforms:
+        Platform names this benchmark runs on; ``None`` means any
+        platform (swish++ and canneal set explicit tuples because they
+        do not run on Mobile, Sec. 4.1).
+    accuracy_is_ordinal:
+        True when accuracy values are only a preference order
+        (Sec. 3.6); consumers must not treat differences as meaningful.
+    """
+
+    name: str
+    framework: str
+    accuracy_metric: str
+    table: ConfigTable
+    resource_profile: AppResourceProfile
+    work_per_iteration: float = 1.0
+    iteration_name: str = "iteration"
+    platforms: Optional[Tuple[str, ...]] = None
+    accuracy_is_ordinal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.framework not in ("powerdial", "loop_perforation"):
+            raise ValueError(f"unknown framework {self.framework!r}")
+        if self.work_per_iteration <= 0:
+            raise ValueError("work_per_iteration must be positive")
+
+    def runs_on(self, platform: str) -> bool:
+        return self.platforms is None or platform in self.platforms
+
+    @property
+    def default_config(self) -> AppConfig:
+        return self.table.default

@@ -1,0 +1,91 @@
+"""bodytrack: annealed-particle-filter tracking (PowerDial).
+
+Table 2: 200 configurations, 7.38x max speedup, 14.4 % max accuracy
+loss, accuracy metric track quality.  PowerDial converts the particle
+count and annealing-layer count (50 × 4 = 200 configurations); work is
+roughly linear in particles × layers.
+
+:func:`measure_kernel_tradeoff` tracks a real synthetic scene with
+:mod:`repro.kernels.tracking` at matching knob points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.tracking import AnnealedParticleFilter, BodyScene, track_quality
+from .base import ApproximateApplication
+from .powerdial import build_table, calibrated_knob
+
+PROFILE = AppResourceProfile(
+    name="bodytrack",
+    base_rate=1.5,
+    parallel_fraction=0.93,
+    clock_sensitivity=0.9,
+    memory_boundness=0.3,
+    ht_gain=0.2,
+    activity_factor=1.0,
+)
+
+N_CONFIGS = 200
+MAX_SPEEDUP = 7.38
+MAX_ACCURACY_LOSS = 0.144
+ACCURACY_METRIC = "track quality"
+
+
+def build() -> ApproximateApplication:
+    """Construct the bodytrack application with its 200-config table."""
+    particles = calibrated_knob(
+        "particles",
+        values=tuple(range(4000, 4000 - 50 * 72, -72)),
+        max_speedup=4.5,
+        max_accuracy_loss=0.10,
+        loss_exponent=1.7,
+    )
+    layers = calibrated_knob(
+        "annealing_layers",
+        values=(5, 4, 3, 2),
+        max_speedup=MAX_SPEEDUP / 4.5,
+        max_accuracy_loss=1.0 - (1.0 - MAX_ACCURACY_LOSS) / 0.90,
+        loss_exponent=1.4,
+    )
+    table = build_table([particles, layers], jitter=0.01, seed=200)
+    return ApproximateApplication(
+        name="bodytrack",
+        framework="powerdial",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="frame",
+    )
+
+
+def measure_kernel_tradeoff(
+    n_frames: int = 40, seed: int = 0
+) -> List[Tuple[float, float]]:
+    """Track a real scene at falling effort; return (speedup, quality).
+
+    Speedup comes from the filter's likelihood-evaluation counter;
+    quality is ground-truth track quality in [0, 1].
+    """
+    scene = BodyScene(n_frames=n_frames, seed=seed)
+    truth, observations = scene.generate()
+    settings = ((400, 3), (200, 3), (100, 2), (50, 2), (25, 1))
+    points = []
+    reference_evals = None
+    for particles, layers in settings:
+        tracker = AnnealedParticleFilter(
+            n_particles=particles, n_layers=layers, seed=seed + 1
+        )
+        estimates, evaluations = tracker.track(observations)
+        if reference_evals is None:
+            reference_evals = evaluations
+        points.append(
+            (
+                reference_evals / evaluations,
+                track_quality(estimates, truth),
+            )
+        )
+    return points

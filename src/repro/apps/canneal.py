@@ -1,0 +1,81 @@
+"""canneal: simulated-annealing place-and-route (Loop Perforation).
+
+Table 2: 3 configurations, 1.93x max speedup, 7.1 % max accuracy loss,
+accuracy metric wire length.  Perforation skips swap evaluations in the
+per-temperature move loop; the loop covers most of the runtime but
+skipped moves cost routing quality.
+
+canneal is an engineering workload and does not run on Mobile (Sec. 4.1).
+
+:func:`measure_kernel_tradeoff` anneals a real synthetic netlist with
+:mod:`repro.kernels.annealing` at matching perforation rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.annealing import Annealer, Netlist, Placement, route_quality
+from .base import ApproximateApplication
+from .perforation import PerforatableLoop, build_table, rates_for_speedups
+
+PROFILE = AppResourceProfile(
+    name="canneal",
+    base_rate=3.0,
+    parallel_fraction=0.70,
+    clock_sensitivity=0.75,
+    memory_boundness=0.7,
+    ht_gain=0.3,
+    activity_factor=0.8,
+)
+
+N_CONFIGS = 3
+MAX_SPEEDUP = 1.93
+MAX_ACCURACY_LOSS = 0.071
+ACCURACY_METRIC = "wire length"
+
+#: The perforated swap-evaluation loop: ~80 % of runtime.
+SWAP_LOOP = PerforatableLoop(
+    name="swap_evaluation",
+    runtime_share=0.8,
+    quality_sensitivity=0.152,
+    loss_exponent=1.5,
+)
+
+
+def build() -> ApproximateApplication:
+    """Construct the canneal application with its 3-config table."""
+    (mid_rate, max_rate) = rates_for_speedups(SWAP_LOOP, (1.4, MAX_SPEEDUP))
+    table = build_table(SWAP_LOOP, rates=(0.0, mid_rate, max_rate))
+    return ApproximateApplication(
+        name="canneal",
+        framework="loop_perforation",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="netlist",
+        platforms=("tablet", "server"),
+    )
+
+
+def measure_kernel_tradeoff(seed: int = 0) -> List[Tuple[float, float]]:
+    """Anneal a real netlist at each perforation level; (fraction, quality).
+
+    Returns (moves_fraction, route quality vs. the full run) — quality
+    degrades as more of the move loop is perforated away.
+    """
+    netlist = Netlist(n_elements=49, seed=seed)
+    reference_placement = Placement(netlist, seed=seed + 1)
+    reference_length = Annealer(
+        moves_per_temp=120, moves_fraction=1.0, seed=seed + 2
+    ).anneal(reference_placement)
+    points = [(1.0, 1.0)]
+    for fraction in (0.5, 0.2):
+        placement = Placement(netlist, seed=seed + 1)
+        wire_length = Annealer(
+            moves_per_temp=120, moves_fraction=fraction, seed=seed + 2
+        ).anneal(placement)
+        points.append((fraction, route_quality(wire_length, reference_length)))
+    return points

@@ -1,0 +1,92 @@
+"""ferret: content-based similarity search (Loop Perforation).
+
+Table 2: 8 configurations, 1.24x max speedup, 18.2 % max accuracy loss,
+accuracy metric result similarity.  Perforation skips part of the
+candidate-ranking loop; the loop covers under half the pipeline's
+runtime (feature extraction and index probing are untouched), which is
+why ferret's speedup range is the smallest in the suite — and why, on
+Tablet and Server, only mild energy-reduction goals are feasible
+(Sec. 5.3).
+
+:func:`measure_kernel_tradeoff` queries a real feature database with
+:mod:`repro.kernels.similarity` at matching perforation rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.similarity import (
+    FeatureDatabase,
+    SimilaritySearch,
+    exhaustive_top_k,
+    result_similarity,
+)
+from .base import ApproximateApplication
+from .perforation import PerforatableLoop, build_table
+
+PROFILE = AppResourceProfile(
+    name="ferret",
+    base_rate=8.0,
+    parallel_fraction=0.95,
+    clock_sensitivity=0.75,
+    memory_boundness=0.75,
+    ht_gain=0.35,
+    activity_factor=0.8,
+)
+
+N_CONFIGS = 8
+MAX_SPEEDUP = 1.24
+MAX_ACCURACY_LOSS = 0.182
+ACCURACY_METRIC = "similarity"
+
+#: The perforated candidate-ranking loop: ~45 % of runtime.
+RANK_LOOP = PerforatableLoop(
+    name="candidate_ranking",
+    runtime_share=0.45,
+    quality_sensitivity=0.647,
+    loss_exponent=1.5,
+)
+
+
+def build() -> ApproximateApplication:
+    """Construct the ferret application with its 8-config table."""
+    max_rate = (1.0 - 1.0 / MAX_SPEEDUP) / RANK_LOOP.runtime_share
+    rates = tuple(max_rate * i / (N_CONFIGS - 1) for i in range(N_CONFIGS))
+    table = build_table(RANK_LOOP, rates=rates)
+    return ApproximateApplication(
+        name="ferret",
+        framework="loop_perforation",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="query",
+    )
+
+
+def measure_kernel_tradeoff(
+    n_queries: int = 20, seed: int = 0
+) -> List[Tuple[float, float]]:
+    """Query a real feature database at each rank fraction; (fraction, sim).
+
+    Returns (rank_fraction, mean result similarity vs. exhaustive top-k).
+    """
+    database = FeatureDatabase(n_items=600, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = [database.sample_query(rng) for _ in range(n_queries)]
+    points = []
+    for fraction in (1.0, 0.75, 0.5, 0.25):
+        search = SimilaritySearch(database, rank_fraction=fraction)
+        similarities = []
+        for query in queries:
+            returned, _ = search.query(query)
+            reference = exhaustive_top_k(database, query, search.top_k)
+            similarities.append(
+                result_similarity(database, query, returned, reference)
+            )
+        points.append((fraction, float(np.mean(similarities))))
+    return points

@@ -1,0 +1,140 @@
+"""Loop Perforation (Sidiroglou-Douskos et al., ESEC/FSE'11).
+
+Loop perforation transforms loops to skip a fraction of their iterations.
+A perforated application's configuration is a *perforation rate* per
+tunable loop; speedup follows from the share of runtime the loop covers
+(Amdahl over the loop), and accuracy is measured by the application's
+quality metric on training inputs.
+
+This module provides:
+
+* :func:`perforate` — the core iteration-skipping transform, usable
+  directly on any Python iterable (the kernels use it in examples/tests),
+* :class:`PerforatableLoop` — a profiled loop: runtime share + how
+  quality degrades with skipped iterations,
+* :func:`build_table` — configuration table over a schedule of
+  perforation rates for one loop (the paper's canneal / ferret /
+  streamcluster tables are small: 3, 8 and 7 configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from .base import AppConfig, ConfigTable
+
+T = TypeVar("T")
+
+
+def perforate(iterable: Iterable[T], rate: float) -> Iterator[T]:
+    """Yield items of ``iterable``, skipping a ``rate`` fraction evenly.
+
+    ``rate`` 0 yields everything; 0.5 yields every other item; the
+    skipping pattern is deterministic and evenly spread (the standard
+    modulo perforation transform).
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("perforation rate must be in [0, 1)")
+    if rate == 0.0:
+        yield from iterable
+        return
+    keep_period = 1.0 / (1.0 - rate)
+    next_keep = 0.0
+    for i, item in enumerate(iterable):
+        if i >= next_keep:
+            yield item
+            next_keep += keep_period
+
+
+@dataclass(frozen=True)
+class PerforatableLoop:
+    """Profile of one perforatable loop.
+
+    Parameters
+    ----------
+    name:
+        Loop identifier (e.g. ``"swap_evaluation"``).
+    runtime_share:
+        Fraction of total runtime spent in this loop; bounds the speedup
+        via Amdahl's law (skipping everything yields
+        ``1 / (1 - runtime_share)``).
+    quality_sensitivity:
+        Accuracy loss when the loop is fully perforated; loss scales as
+        ``sensitivity * rate ** loss_exponent``.
+    loss_exponent:
+        Convexity of the loss curve (skipping the first few iterations is
+        usually nearly free).
+    """
+
+    name: str
+    runtime_share: float
+    quality_sensitivity: float
+    loss_exponent: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.runtime_share < 1.0:
+            raise ValueError("runtime_share must be in (0, 1)")
+        if not 0.0 <= self.quality_sensitivity < 1.0:
+            raise ValueError("quality_sensitivity must be in [0, 1)")
+        if self.loss_exponent <= 0:
+            raise ValueError("loss_exponent must be positive")
+
+    def speedup(self, rate: float) -> float:
+        """Amdahl speedup of perforating this loop at ``rate``."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        return 1.0 / (1.0 - self.runtime_share * rate)
+
+    def accuracy(self, rate: float) -> float:
+        """Quality retained when perforating at ``rate``."""
+        return 1.0 - self.quality_sensitivity * rate**self.loss_exponent
+
+
+def build_table(
+    loop: PerforatableLoop,
+    rates: Sequence[float],
+    power_coupling: float = 0.05,
+) -> ConfigTable:
+    """Configuration table over perforation ``rates`` (first must be 0)."""
+    if not rates:
+        raise ValueError("need at least one rate")
+    if rates[0] != 0.0:
+        raise ValueError("first rate must be 0 (the default configuration)")
+    configs = []
+    for index, rate in enumerate(rates):
+        speedup = loop.speedup(rate)
+        power_factor = 1.0 - power_coupling * (1.0 - 1.0 / speedup)
+        configs.append(
+            AppConfig(
+                index=index,
+                speedup=speedup,
+                accuracy=loop.accuracy(rate),
+                knob_settings=((f"{loop.name}_rate", rate),),
+                power_factor=power_factor,
+            )
+        )
+    return ConfigTable(configs)
+
+
+def rates_for_speedups(
+    loop: PerforatableLoop, speedups: Sequence[float]
+) -> list:
+    """Invert :meth:`PerforatableLoop.speedup` for a speedup schedule.
+
+    Useful when reproducing a published table (e.g. canneal's 1.93x) —
+    the perforation rates are solved so the loop delivers exactly the
+    published speedups.
+    """
+    rates = []
+    for target in speedups:
+        if target < 1.0:
+            raise ValueError("speedups must be >= 1")
+        rate = (1.0 - 1.0 / target) / loop.runtime_share
+        if rate >= 1.0:
+            raise ValueError(
+                f"speedup {target} unreachable with runtime share "
+                f"{loop.runtime_share}"
+            )
+        rates.append(rate)
+    return rates

@@ -1,0 +1,151 @@
+"""PowerDial-style dynamic knobs (Hoffmann et al., ASPLOS'11).
+
+PowerDial turns static command-line parameters into runtime-tunable
+*dynamic knobs*: each knob setting is profiled once for speedup and
+accuracy relative to the default, and the cross-product of knob settings
+becomes the application's configuration space.  This module provides:
+
+* :class:`DynamicKnob` — one converted parameter with per-setting
+  speedup/accuracy effects,
+* :func:`build_table` — the cross-product profiling result as a
+  :class:`~repro.apps.base.ConfigTable`, with optional deterministic
+  profiling jitter (real profiles are noisy, which is what puts some
+  configurations off the Pareto frontier),
+* :func:`calibrated_knob` — helper to synthesize a knob whose settings
+  span a target speedup range with a convex accuracy-loss curve, used by
+  the application modules to match Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .base import AppConfig, ConfigTable
+
+
+@dataclass(frozen=True)
+class KnobSetting:
+    """One profiled setting of a dynamic knob."""
+
+    value: float
+    speedup: float
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DynamicKnob:
+    """A command-line parameter converted into a runtime knob.
+
+    The first setting must be the default (speedup 1, accuracy 1); later
+    settings typically trade accuracy for speed.
+    """
+
+    name: str
+    settings: Tuple[KnobSetting, ...]
+
+    def __post_init__(self) -> None:
+        if not self.settings:
+            raise ValueError(f"knob {self.name!r} has no settings")
+        first = self.settings[0]
+        if abs(first.speedup - 1.0) > 1e-9 or abs(first.accuracy - 1.0) > 1e-9:
+            raise ValueError(
+                f"knob {self.name!r}: first setting must be the default"
+            )
+
+
+def calibrated_knob(
+    name: str,
+    values: Sequence[float],
+    max_speedup: float,
+    max_accuracy_loss: float,
+    loss_exponent: float = 1.5,
+    speedup_shape: str = "geometric",
+) -> DynamicKnob:
+    """Synthesize a profiled knob spanning given speedup/loss ranges.
+
+    Speedups rise from 1 to ``max_speedup`` across ``values``
+    (geometrically or linearly); accuracy falls convexly to
+    ``1 - max_accuracy_loss`` following ``loss ∝ progress**loss_exponent``
+    — the shape real PowerDial profiles exhibit (cheap savings first).
+    """
+    n = len(values)
+    if n < 1:
+        raise ValueError("need at least one value")
+    if max_speedup < 1.0:
+        raise ValueError("max_speedup must be >= 1")
+    if not 0.0 <= max_accuracy_loss < 1.0:
+        raise ValueError("max_accuracy_loss must be in [0, 1)")
+    settings = []
+    for i, value in enumerate(values):
+        progress = i / (n - 1) if n > 1 else 0.0
+        if speedup_shape == "geometric":
+            speedup = max_speedup**progress
+        elif speedup_shape == "linear":
+            speedup = 1.0 + (max_speedup - 1.0) * progress
+        else:
+            raise ValueError(f"unknown speedup_shape {speedup_shape!r}")
+        accuracy = 1.0 - max_accuracy_loss * progress**loss_exponent
+        settings.append(
+            KnobSetting(value=value, speedup=speedup, accuracy=accuracy)
+        )
+    return DynamicKnob(name=name, settings=tuple(settings))
+
+
+def build_table(
+    knobs: Sequence[DynamicKnob],
+    jitter: float = 0.0,
+    power_coupling: float = 0.05,
+    seed: int = 0,
+) -> ConfigTable:
+    """Cross-product of knob settings → configuration table.
+
+    Speedups multiply across knobs and accuracy losses compound
+    (``accuracy = Π accuracy_k``), the first-order model PowerDial's
+    profiling validates.  ``jitter`` adds deterministic relative noise to
+    non-default configs (profiling variance), and ``power_coupling``
+    derives each configuration's mild power factor from its speedup —
+    the unmodeled application/system dependence of Sec. 3.3.
+    """
+    if not knobs:
+        raise ValueError("need at least one knob")
+    rng = np.random.default_rng(seed)
+    configs = []
+    for index, combo in enumerate(
+        itertools.product(*(k.settings for k in knobs))
+    ):
+        speedup = 1.0
+        accuracy = 1.0
+        for setting in combo:
+            speedup *= setting.speedup
+            accuracy *= setting.accuracy
+        is_default = index == 0
+        if jitter > 0.0 and not is_default:
+            speedup *= float(np.exp(rng.normal(0.0, jitter)))
+            accuracy *= float(
+                np.clip(1.0 + rng.normal(0.0, jitter / 2), 0.0, None)
+            )
+            accuracy = min(accuracy, 1.0)
+        power_factor = 1.0 - power_coupling * (1.0 - 1.0 / speedup)
+        configs.append(
+            AppConfig(
+                index=index,
+                speedup=speedup if not is_default else 1.0,
+                accuracy=accuracy if not is_default else 1.0,
+                knob_settings=tuple(
+                    (knob.name, setting.value)
+                    for knob, setting in zip(knobs, combo)
+                ),
+                power_factor=power_factor,
+            )
+        )
+    return ConfigTable(configs)

@@ -1,0 +1,138 @@
+"""Measured configuration tables: profile a real computation into knobs.
+
+PowerDial builds its dynamic knobs by *profiling*: run the application
+at each knob setting on training inputs, record speedup and accuracy
+relative to the default, keep the results as the configuration table.
+This module provides that workflow for arbitrary Python computations:
+
+* :class:`ProfiledSetting` — one (knob values → work function) case,
+* :func:`profile_table` — measure every setting and emit a
+  :class:`~repro.apps.base.ConfigTable` usable by the runtime,
+* :func:`profile_application` — the same plus an
+  :class:`~repro.apps.base.ApproximateApplication` wrapper.
+
+Measurement uses a caller-supplied cost function by default (e.g. a work
+counter returned by the kernel) so profiles are deterministic; wall-time
+profiling is available via ``cost="time"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from .base import AppConfig, ApproximateApplication, ConfigTable
+
+#: A workload to profile: returns (cost, raw quality).  Cost must be a
+#: positive effort measure (operation count, wall seconds, ...).
+WorkFunction = Callable[[], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class ProfiledSetting:
+    """One knob setting to profile.
+
+    Parameters
+    ----------
+    knob_settings:
+        Provenance: (name, value) pairs for this setting.
+    run:
+        Executes the computation at this setting; returns (cost, quality).
+    """
+
+    knob_settings: Tuple[Tuple[str, float], ...]
+    run: WorkFunction
+
+
+def profile_table(
+    settings: Sequence[ProfiledSetting],
+    accuracy_from_quality: Optional[Callable[[float, float], float]] = None,
+    repeats: int = 1,
+    power_coupling: float = 0.05,
+) -> ConfigTable:
+    """Measure ``settings`` and build a configuration table.
+
+    The first setting is the default: its cost defines speedup 1 and its
+    quality defines accuracy 1.  ``accuracy_from_quality`` maps (quality,
+    default quality) to a relative accuracy in [0, 1]; by default the
+    ratio ``quality / default_quality`` clipped into [0, 1] (suitable for
+    higher-is-better qualities).
+    """
+    if not settings:
+        raise ValueError("no settings to profile")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if accuracy_from_quality is None:
+        accuracy_from_quality = lambda q, ref: max(0.0, min(1.0, q / ref))
+
+    measured = []
+    for setting in settings:
+        costs, qualities = [], []
+        for _ in range(repeats):
+            cost, quality = setting.run()
+            if cost <= 0:
+                raise ValueError("profiled cost must be positive")
+            costs.append(cost)
+            qualities.append(quality)
+        measured.append(
+            (
+                setting,
+                sum(costs) / repeats,
+                sum(qualities) / repeats,
+            )
+        )
+
+    default_cost = measured[0][1]
+    default_quality = measured[0][2]
+    if default_quality == 0:
+        raise ValueError("default quality must be nonzero")
+    configs = []
+    for index, (setting, cost, quality) in enumerate(measured):
+        if index == 0:
+            speedup, accuracy = 1.0, 1.0
+        else:
+            speedup = default_cost / cost
+            accuracy = accuracy_from_quality(quality, default_quality)
+        power_factor = 1.0 - power_coupling * (1.0 - 1.0 / max(speedup, 1.0))
+        configs.append(
+            AppConfig(
+                index=index,
+                speedup=speedup,
+                accuracy=accuracy,
+                knob_settings=setting.knob_settings,
+                power_factor=power_factor,
+            )
+        )
+    return ConfigTable(configs)
+
+
+def profile_application(
+    name: str,
+    settings: Sequence[ProfiledSetting],
+    resource_profile: AppResourceProfile,
+    accuracy_metric: str = "measured quality",
+    framework: str = "powerdial",
+    **profile_kwargs,
+) -> ApproximateApplication:
+    """Profile ``settings`` and wrap the table as an application."""
+    table = profile_table(settings, **profile_kwargs)
+    return ApproximateApplication(
+        name=name,
+        framework=framework,
+        accuracy_metric=accuracy_metric,
+        table=table,
+        resource_profile=resource_profile,
+    )
+
+
+def timed(run: Callable[[], float]) -> WorkFunction:
+    """Wrap a quality-returning callable with wall-clock cost measurement."""
+
+    def wrapper() -> Tuple[float, float]:
+        start = time.perf_counter()
+        quality = run()
+        return max(time.perf_counter() - start, 1e-9), quality
+
+    return wrapper

@@ -1,0 +1,83 @@
+"""radar: phased-array target detection (PowerDial).
+
+Table 2: 26 configurations, 19.39x max speedup, 5.3 % max accuracy loss,
+accuracy metric signal-to-noise ratio.  The knobs perforate the DSP
+pipeline of Hoffmann et al. [21]: input decimation (13 levels) and the
+number of coherently integrated pulses (2 levels), 13 × 2 = 26
+configurations.
+
+:func:`measure_kernel_tradeoff` runs the real matched-filter pipeline
+from :mod:`repro.kernels.signal` at matching knob points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.signal import RadarScene, detect_targets
+from .base import ApproximateApplication
+from .powerdial import build_table, calibrated_knob
+
+PROFILE = AppResourceProfile(
+    name="radar",
+    base_rate=5.0,
+    parallel_fraction=0.95,
+    clock_sensitivity=0.95,
+    memory_boundness=0.2,
+    ht_gain=0.2,
+    activity_factor=1.05,
+)
+
+N_CONFIGS = 26
+MAX_SPEEDUP = 19.39
+MAX_ACCURACY_LOSS = 0.053
+ACCURACY_METRIC = "signal to noise ratio"
+
+
+def build() -> ApproximateApplication:
+    """Construct the radar application with its 26-config table."""
+    decimation = calibrated_knob(
+        "decimation",
+        values=tuple(float(d) for d in range(1, 14)),
+        max_speedup=MAX_SPEEDUP / 2.0,
+        max_accuracy_loss=0.040,
+        loss_exponent=1.5,
+    )
+    integration = calibrated_knob(
+        "integration_pulses",
+        values=(16.0, 8.0),
+        max_speedup=2.0,
+        max_accuracy_loss=1.0 - (1.0 - MAX_ACCURACY_LOSS) / 0.96,
+        loss_exponent=1.0,
+    )
+    table = build_table([decimation, integration], jitter=0.006, seed=26)
+    return ApproximateApplication(
+        name="radar",
+        framework="powerdial",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="dwell",
+    )
+
+
+def measure_kernel_tradeoff(seed: int = 0) -> List[Tuple[float, float]]:
+    """Detect targets in a real scene at falling effort; (speedup, SNR dB).
+
+    Work scales as ``pulses × samples``; speedup is the work ratio
+    against the full configuration.
+    """
+    scene = RadarScene(seed=seed)
+    returns, chirp = scene.generate()
+    settings = ((1, 16), (2, 16), (2, 8), (4, 8), (8, 8))
+    full_work = scene.n_pulses * scene.samples_per_pulse
+    points = []
+    for decimation, pulses in settings:
+        _, snr_db = detect_targets(
+            returns, chirp, decimation=decimation, integration_pulses=pulses
+        )
+        work = (pulses * scene.samples_per_pulse) / decimation
+        points.append((full_work / work, snr_db))
+    return points

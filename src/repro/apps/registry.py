@@ -1,0 +1,109 @@
+"""Application registry: the paper's benchmark suite (Table 2).
+
+Builds all eight approximate applications and exposes Table 2's published
+characteristics so the benchmark harness can print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from . import (
+    bodytrack,
+    canneal,
+    ferret,
+    radar,
+    streamcluster,
+    swaptions,
+    swishpp,
+    x264,
+)
+from .base import ApproximateApplication
+
+_MODULES = {
+    "x264": x264,
+    "swaptions": swaptions,
+    "bodytrack": bodytrack,
+    "swish": swishpp,
+    "radar": radar,
+    "canneal": canneal,
+    "ferret": ferret,
+    "streamcluster": streamcluster,
+}
+
+#: Paper Table 2 rows: (configs, max speedup, max accuracy loss %).
+PAPER_TABLE2: Dict[str, tuple] = {
+    "x264": (560, 4.26, 6.2),
+    "swaptions": (100, 100.35, 1.5),
+    "bodytrack": (200, 7.38, 14.4),
+    "swish": (6, 1.52, 83.4),
+    "radar": (26, 19.39, 5.3),
+    "canneal": (3, 1.93, 7.1),
+    "ferret": (8, 1.24, 18.2),
+    "streamcluster": (7, 5.52, 0.55),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One measured row of Table 2, with the published values alongside."""
+
+    application: str
+    configs: int
+    max_speedup: float
+    max_accuracy_loss_pct: float
+    accuracy_metric: str
+    paper_configs: int
+    paper_max_speedup: float
+    paper_max_accuracy_loss_pct: float
+
+
+def application_names() -> List[str]:
+    """Benchmark names in Table 2 order."""
+    return list(_MODULES)
+
+
+def build_application(name: str) -> ApproximateApplication:
+    """Build one application by name."""
+    try:
+        module = _MODULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; expected one of {list(_MODULES)}"
+        ) from None
+    return module.build()
+
+
+def build_all() -> Dict[str, ApproximateApplication]:
+    """Build the full suite keyed by name."""
+    return {name: build_application(name) for name in _MODULES}
+
+
+def applications_for_platform(platform: str) -> Dict[str, ApproximateApplication]:
+    """The suite restricted to apps that run on ``platform`` (Sec. 4.1)."""
+    return {
+        name: app
+        for name, app in build_all().items()
+        if app.runs_on(platform)
+    }
+
+
+def table2() -> List[Table2Row]:
+    """Measured Table 2 with published values for comparison."""
+    rows = []
+    for name, app in build_all().items():
+        paper_configs, paper_speedup, paper_loss = PAPER_TABLE2[name]
+        rows.append(
+            Table2Row(
+                application=name,
+                configs=len(app.table),
+                max_speedup=app.table.max_speedup,
+                max_accuracy_loss_pct=100.0 * app.table.max_accuracy_loss,
+                accuracy_metric=app.accuracy_metric,
+                paper_configs=paper_configs,
+                paper_max_speedup=paper_speedup,
+                paper_max_accuracy_loss_pct=paper_loss,
+            )
+        )
+    return rows

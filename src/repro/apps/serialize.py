@@ -1,0 +1,133 @@
+"""Save and load configuration tables (and profiled applications).
+
+Profiling a real application (``repro.apps.profiling``) can take long;
+the results should be reusable across runs.  Tables serialize to a
+stable JSON schema; applications additionally carry their resource
+profile and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from ..hw.profiles import AppResourceProfile
+from .base import AppConfig, ApproximateApplication, ConfigTable
+
+PathLike = Union[str, pathlib.Path]
+
+SCHEMA_VERSION = 1
+
+
+def table_to_dict(table: ConfigTable) -> dict:
+    """JSON-ready representation of a configuration table."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "configs": [
+            {
+                "index": config.index,
+                "speedup": config.speedup,
+                "accuracy": config.accuracy,
+                "power_factor": config.power_factor,
+                "knob_settings": [
+                    [name, value] for name, value in config.knob_settings
+                ],
+            }
+            for config in table
+        ],
+    }
+
+
+def table_from_dict(data: dict) -> ConfigTable:
+    """Inverse of :func:`table_to_dict` (validates the schema version)."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported table schema {data.get('schema')!r}"
+        )
+    return ConfigTable(
+        AppConfig(
+            index=entry["index"],
+            speedup=entry["speedup"],
+            accuracy=entry["accuracy"],
+            power_factor=entry.get("power_factor", 1.0),
+            knob_settings=tuple(
+                (name, value) for name, value in entry["knob_settings"]
+            ),
+        )
+        for entry in data["configs"]
+    )
+
+
+def save_table(table: ConfigTable, path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(table_to_dict(table), indent=2) + "\n")
+    return path
+
+
+def load_table(path: PathLike) -> ConfigTable:
+    return table_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def application_to_dict(app: ApproximateApplication) -> dict:
+    """JSON-ready representation of a full application."""
+    profile = app.resource_profile
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": app.name,
+        "framework": app.framework,
+        "accuracy_metric": app.accuracy_metric,
+        "work_per_iteration": app.work_per_iteration,
+        "iteration_name": app.iteration_name,
+        "platforms": (
+            None if app.platforms is None else list(app.platforms)
+        ),
+        "accuracy_is_ordinal": app.accuracy_is_ordinal,
+        "resource_profile": {
+            "name": profile.name,
+            "base_rate": profile.base_rate,
+            "parallel_fraction": profile.parallel_fraction,
+            "clock_sensitivity": profile.clock_sensitivity,
+            "memory_boundness": profile.memory_boundness,
+            "ht_gain": profile.ht_gain,
+            "activity_factor": profile.activity_factor,
+        },
+        "table": table_to_dict(app.table),
+    }
+
+
+def application_from_dict(data: dict) -> ApproximateApplication:
+    """Inverse of :func:`application_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported application schema {data.get('schema')!r}"
+        )
+    return ApproximateApplication(
+        name=data["name"],
+        framework=data["framework"],
+        accuracy_metric=data["accuracy_metric"],
+        table=table_from_dict(data["table"]),
+        resource_profile=AppResourceProfile(**data["resource_profile"]),
+        work_per_iteration=data["work_per_iteration"],
+        iteration_name=data["iteration_name"],
+        platforms=(
+            None
+            if data["platforms"] is None
+            else tuple(data["platforms"])
+        ),
+        accuracy_is_ordinal=data["accuracy_is_ordinal"],
+    )
+
+
+def save_application(
+    app: ApproximateApplication, path: PathLike
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(application_to_dict(app), indent=2) + "\n")
+    return path
+
+
+def load_application(path: PathLike) -> ApproximateApplication:
+    return application_from_dict(
+        json.loads(pathlib.Path(path).read_text())
+    )

@@ -1,0 +1,89 @@
+"""streamcluster: streaming k-median clustering (Loop Perforation).
+
+Table 2: 7 configurations, 5.52x max speedup, 0.55 % max accuracy loss,
+accuracy metric quality of clustering.  Perforation subsamples the
+candidate-evaluation loop of the k-median local search; the loop
+dominates runtime and the clustering cost is remarkably insensitive to
+it — streamcluster is the benchmark where perforation is nearly free.
+
+:func:`measure_kernel_tradeoff` clusters a real synthetic stream with
+:mod:`repro.kernels.clustering` at matching evaluation fractions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.clustering import (
+    StreamCluster,
+    clustering_cost,
+    gaussian_mixture_stream,
+)
+from .base import ApproximateApplication
+from .perforation import PerforatableLoop, build_table
+
+PROFILE = AppResourceProfile(
+    name="streamcluster",
+    base_rate=2.5,
+    parallel_fraction=0.97,
+    clock_sensitivity=0.8,
+    memory_boundness=0.6,
+    ht_gain=0.25,
+    activity_factor=0.9,
+)
+
+N_CONFIGS = 7
+MAX_SPEEDUP = 5.52
+MAX_ACCURACY_LOSS = 0.0055
+ACCURACY_METRIC = "quality of clustering"
+
+#: The perforated candidate-evaluation loop: ~90 % of runtime.
+EVALUATION_LOOP = PerforatableLoop(
+    name="candidate_evaluation",
+    runtime_share=0.9,
+    quality_sensitivity=0.0063,
+    loss_exponent=1.5,
+)
+
+
+def build() -> ApproximateApplication:
+    """Construct the streamcluster application with its 7-config table."""
+    max_rate = (1.0 - 1.0 / MAX_SPEEDUP) / EVALUATION_LOOP.runtime_share
+    rates = tuple(max_rate * i / (N_CONFIGS - 1) for i in range(N_CONFIGS))
+    table = build_table(EVALUATION_LOOP, rates=rates)
+    return ApproximateApplication(
+        name="streamcluster",
+        framework="loop_perforation",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="chunk",
+    )
+
+
+def measure_kernel_tradeoff(seed: int = 0) -> List[Tuple[float, float]]:
+    """Cluster a real stream at each evaluation fraction; (fraction, quality).
+
+    Quality is the full run's clustering cost divided by the perforated
+    run's cost (≤ 1, higher is better).
+    """
+    chunks, _ = gaussian_mixture_stream(
+        n_chunks=4, chunk_size=60, k=5, seed=seed
+    )
+    points_array = np.vstack(chunks)
+    reference_centers = StreamCluster(
+        k=5, evaluation_fraction=1.0, seed=seed + 1
+    ).cluster(chunks)
+    reference_cost = clustering_cost(points_array, reference_centers)
+    results = [(1.0, 1.0)]
+    for fraction in (0.5, 0.25, 0.1):
+        centers = StreamCluster(
+            k=5, evaluation_fraction=fraction, seed=seed + 1
+        ).cluster(chunks)
+        cost = clustering_cost(points_array, centers)
+        results.append((fraction, min(1.0, reference_cost / cost)))
+    return results

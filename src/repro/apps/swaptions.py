@@ -1,0 +1,87 @@
+"""swaptions: Monte-Carlo option pricing (PowerDial).
+
+Table 2: 100 configurations, 100.35x max speedup, 1.5 % max accuracy
+loss, accuracy metric swaption price.  PowerDial's knob is the number of
+simulation trials; with work linear in trials, 100 geometrically spaced
+trial counts span the 100x range, and pricing error grows as
+``1/sqrt(trials)`` — slow at first, fast at the very end, which the
+convex loss curve models.
+
+:func:`measure_kernel_tradeoff` prices a real swaption with
+:mod:`repro.kernels.montecarlo` at matching trial counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.montecarlo import (
+    MarketModel,
+    Swaption,
+    price_swaption,
+    pricing_accuracy,
+)
+from .base import ApproximateApplication
+from .powerdial import build_table, calibrated_knob
+
+PROFILE = AppResourceProfile(
+    name="swaptions",
+    base_rate=2.0,
+    parallel_fraction=0.99,
+    clock_sensitivity=1.0,
+    memory_boundness=0.05,
+    ht_gain=0.15,
+    activity_factor=1.1,
+)
+
+N_CONFIGS = 100
+MAX_SPEEDUP = 100.35
+MAX_ACCURACY_LOSS = 0.015
+ACCURACY_METRIC = "swaption price"
+
+#: Full-accuracy trial count; configuration i uses trials / speedup_i.
+DEFAULT_TRIALS = 1_000_000
+
+
+def build() -> ApproximateApplication:
+    """Construct the swaptions application with its 100-config table."""
+    trials = calibrated_knob(
+        "sim_trials",
+        values=tuple(
+            round(DEFAULT_TRIALS / MAX_SPEEDUP ** (i / (N_CONFIGS - 1)))
+            for i in range(N_CONFIGS)
+        ),
+        max_speedup=MAX_SPEEDUP,
+        max_accuracy_loss=MAX_ACCURACY_LOSS,
+        loss_exponent=2.0,
+    )
+    table = build_table([trials], jitter=0.004, seed=100)
+    return ApproximateApplication(
+        name="swaptions",
+        framework="powerdial",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="swaption",
+    )
+
+
+def measure_kernel_tradeoff(seed: int = 0) -> List[Tuple[float, float]]:
+    """Price a real swaption at falling trial counts; (speedup, accuracy).
+
+    Speedup is the trial-count ratio (work is linear in trials); accuracy
+    is 1 - relative price error against the largest trial count.
+    """
+    swaption = Swaption()
+    market = MarketModel()
+    counts = (40_000, 10_000, 2_500, 600, 150)
+    reference = price_swaption(swaption, market, counts[0], seed=seed)
+    points = []
+    for count in counts:
+        price = price_swaption(swaption, market, count, seed=seed + 1)
+        points.append(
+            (counts[0] / count, pricing_accuracy(price, reference))
+        )
+    return points

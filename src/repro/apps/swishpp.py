@@ -1,0 +1,89 @@
+"""swish++: document search with a result-count knob (PowerDial).
+
+Table 2: 6 configurations, 1.52x max speedup, 83.4 % max accuracy loss,
+accuracy metric precision and recall.  PowerDial converts swish++'s
+``max_results`` parameter (Sec. 2); truncating the ranked result list
+saves ranking/serialization work but discards results, which is why this
+benchmark has by far the largest accuracy loss in the suite.
+
+swish++ is a web-server workload and does not run on Mobile (Sec. 4.1).
+
+:func:`measure_kernel_tradeoff` runs the real inverted-index engine from
+:mod:`repro.kernels.search` over a synthetic Gutenberg-like corpus with a
+power-law query stream — the paper's own experimental setup (footnote 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.corpus import QueryGenerator, SyntheticCorpus
+from ..kernels.search import SearchEngine, f1_score
+from .base import ApproximateApplication
+from .powerdial import build_table, calibrated_knob
+
+PROFILE = AppResourceProfile(
+    name="swish++",
+    base_rate=150.0,
+    parallel_fraction=0.98,
+    clock_sensitivity=0.75,
+    memory_boundness=0.45,
+    ht_gain=0.4,
+    activity_factor=0.85,
+)
+
+N_CONFIGS = 6
+MAX_SPEEDUP = 1.52
+MAX_ACCURACY_LOSS = 0.834
+ACCURACY_METRIC = "precision and recall"
+
+#: max_results settings; 0 means unlimited (the default).
+RESULT_LIMITS = (0, 100, 50, 25, 10, 5)
+
+
+def build() -> ApproximateApplication:
+    """Construct the swish++ application with its 6-config table."""
+    max_results = calibrated_knob(
+        "max_results",
+        values=tuple(float(v) for v in RESULT_LIMITS),
+        max_speedup=MAX_SPEEDUP,
+        max_accuracy_loss=MAX_ACCURACY_LOSS,
+        loss_exponent=1.0,
+    )
+    table = build_table([max_results], jitter=0.0, seed=6)
+    return ApproximateApplication(
+        name="swish",
+        framework="powerdial",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="query",
+        platforms=("tablet", "server"),
+    )
+
+
+def measure_kernel_tradeoff(
+    n_queries: int = 50, seed: int = 0
+) -> List[Tuple[float, float]]:
+    """Answer real queries at each truncation level; (limit, mean F1).
+
+    Returns (max_results, accuracy) pairs — accuracy is mean F1 against
+    the unlimited result list, which decreases monotonically with harsher
+    truncation (the structure JouleGuard's Eqn. 6 relies on).
+    """
+    corpus = SyntheticCorpus(n_docs=120, vocabulary_size=1200, seed=seed)
+    engine = SearchEngine(corpus)
+    queries = QueryGenerator(corpus, seed=seed + 1).batch(n_queries)
+    points = []
+    for limit in RESULT_LIMITS:
+        scores = []
+        for query in queries:
+            reference = engine.search(query)
+            returned = (
+                reference if limit == 0 else engine.search(query, limit)
+            )
+            scores.append(f1_score(returned, reference))
+        points.append((float(limit), sum(scores) / len(scores)))
+    return points

@@ -1,0 +1,94 @@
+"""x264: video encoding with dynamic quality knobs (PowerDial).
+
+Table 2: 560 configurations, 4.26x max speedup, 6.2 % max accuracy loss,
+accuracy metric PSNR.  The 560 configurations come from three converted
+command-line parameters — subpixel refinement effort, motion-estimation
+range, and reference frames (8 × 10 × 7) — the parameters PowerDial
+converts in the original work.
+
+The kernel validation path (:func:`measure_kernel_tradeoff`) encodes real
+synthetic video with :mod:`repro.kernels.video` at matching knob points
+and confirms the speedup/PSNR trade is genuine and monotone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..hw.profiles import AppResourceProfile
+from ..kernels.video import EncoderConfig, SyntheticVideo, encode_sequence
+from .base import ApproximateApplication
+from .powerdial import build_table, calibrated_knob
+
+PROFILE = AppResourceProfile(
+    name="x264",
+    base_rate=1.2,
+    parallel_fraction=0.96,
+    clock_sensitivity=0.85,
+    memory_boundness=0.35,
+    ht_gain=0.25,
+    activity_factor=1.0,
+)
+
+#: Published characteristics (Table 2).
+N_CONFIGS = 560
+MAX_SPEEDUP = 4.26
+MAX_ACCURACY_LOSS = 0.062
+ACCURACY_METRIC = "Peak Signal to Noise Ratio (PSNR)"
+
+
+def build() -> ApproximateApplication:
+    """Construct the x264 application with its 560-config table."""
+    subme = calibrated_knob(
+        "subme",
+        values=tuple(range(8, 0, -1)),
+        max_speedup=1.9,
+        max_accuracy_loss=0.030,
+        loss_exponent=1.6,
+    )
+    me_range = calibrated_knob(
+        "me_range",
+        values=(24, 20, 16, 14, 12, 10, 8, 6, 4, 2),
+        max_speedup=1.5,
+        max_accuracy_loss=0.020,
+        loss_exponent=1.4,
+    )
+    ref_frames = calibrated_knob(
+        "ref_frames",
+        values=(7, 6, 5, 4, 3, 2, 1),
+        max_speedup=MAX_SPEEDUP / (1.9 * 1.5),
+        max_accuracy_loss=1.0 - (1.0 - MAX_ACCURACY_LOSS) / (0.97 * 0.98),
+        loss_exponent=1.3,
+    )
+    table = build_table(
+        [subme, me_range, ref_frames], jitter=0.008, seed=264
+    )
+    return ApproximateApplication(
+        name="x264",
+        framework="powerdial",
+        accuracy_metric=ACCURACY_METRIC,
+        table=table,
+        resource_profile=PROFILE,
+        work_per_iteration=1.0,
+        iteration_name="frame",
+    )
+
+
+def measure_kernel_tradeoff(
+    n_frames: int = 6, seed: int = 0
+) -> List[Tuple[float, float]]:
+    """Run the real encoder at decreasing effort; return (speedup, PSNR).
+
+    Speedup is computed from the encoder's work counter, normalized to the
+    most expensive configuration; PSNR is absolute (dB).
+    """
+    video = SyntheticVideo(width=32, height=32, complexity=0.6, seed=seed)
+    frames = list(video.frames(n_frames))
+    points = []
+    for radius, quant in ((4, 1.0), (3, 2.0), (2, 4.0), (1, 8.0), (0, 16.0)):
+        quality, work = encode_sequence(
+            frames, EncoderConfig(search_radius=radius, quant_step=quant)
+        )
+        points.append((work, quality))
+    reference_work = points[0][0]
+    return [(reference_work / work, quality) for work, quality in points]

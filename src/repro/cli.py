@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``machines``
+    List the platform models and their configuration-space sizes.
+``apps``
+    Print the Table 2 application registry.
+``characterize``
+    Print a platform's energy-efficiency landscape for one application
+    (the paper's Fig. 3 data).
+``run``
+    One closed-loop experiment: an application on a platform under an
+    energy-reduction factor, with any of the four controllers; optional
+    CSV/JSON export.
+``sweep``
+    The Fig. 5/6 sweep for one platform (all its applications × the
+    paper's factors), optional CSV export.
+``oracle``
+    The clairvoyant optimum and feasibility limit for a combination.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import applications_for_platform, build_application, table2
+from .core.budget import PAPER_FACTORS
+from .hw import PlatformSimulator, all_machines, get_machine
+from .runtime.baselines import (
+    run_application_only,
+    run_system_only,
+    run_uncoordinated,
+)
+from .runtime.ascii_plot import chart, sparkline
+from .runtime.export import (
+    summary_dict,
+    write_sweep_csv,
+    write_summary_json,
+    write_trace_csv,
+)
+from .runtime.harness import run_jouleguard
+from .runtime.oracle import max_feasible_factor, oracle_accuracy
+
+CONTROLLERS = {
+    "jouleguard": run_jouleguard,
+    "system-only": run_system_only,
+    "app-only": run_application_only,
+    "uncoordinated": run_uncoordinated,
+}
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    print(f"{'name':<10}{'configs':>9}{'clusters':>10}{'idle W':>8}"
+          f"{'ext W':>7}")
+    for name, machine in all_machines().items():
+        print(f"{name:<10}{len(machine.space):>9d}"
+              f"{len(machine.clusters):>10d}{machine.idle_w:>8.2f}"
+              f"{machine.external_w:>7.2f}")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    print(f"{'application':<15}{'framework':<18}{'configs':>8}"
+          f"{'speedup':>9}{'loss %':>8}  metric")
+    for row in table2():
+        app = build_application(row.application)
+        print(f"{row.application:<15}{app.framework:<18}"
+              f"{row.configs:>8d}{row.max_speedup:>9.2f}"
+              f"{row.max_accuracy_loss_pct:>8.2f}  {row.accuracy_metric}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    app = build_application(args.app)
+    if not app.runs_on(machine.name):
+        print(f"{args.app} does not run on {args.machine}", file=sys.stderr)
+        return 2
+    simulator = PlatformSimulator(machine, app.resource_profile)
+    linear = machine.space.linearized()
+    print(f"# {args.app} on {args.machine}: efficiency per config index")
+    print("index,efficiency,rate,power_w")
+    step = max(1, len(linear) // args.points)
+    for i in range(0, len(linear), step):
+        config = linear[i]
+        print(f"{i},{simulator.energy_efficiency(config):.6f},"
+              f"{simulator.ideal_rate(config):.4f},"
+              f"{simulator.ideal_power(config):.4f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    app = build_application(args.app)
+    runner = CONTROLLERS[args.controller]
+    result = runner(
+        machine,
+        app,
+        factor=args.factor,
+        n_iterations=args.iterations,
+        seed=args.seed,
+    )
+    for key, value in summary_dict(result).items():
+        print(f"{key:>24}: {value}")
+    if args.plot:
+        print()
+        print(
+            chart(
+                list(result.trace.energy_per_work()),
+                target=result.goal.energy_per_work,
+                label="energy per work unit (J; target line dashed)",
+            )
+        )
+        print(f"accuracy  {sparkline(result.trace.accuracy)}")
+        print(f"epsilon   {sparkline(result.trace.epsilon)}")
+    if args.trace_csv:
+        print(f"{'trace':>24}: {write_trace_csv(result, args.trace_csv)}")
+    if args.summary_json:
+        print(
+            f"{'summary':>24}: "
+            f"{write_summary_json(result, args.summary_json)}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    results = []
+    print(f"{'app':<15}{'factor':>8}{'rel err %':>11}{'accuracy':>10}"
+          f"{'effective':>11}")
+    for app_name, app in applications_for_platform(machine.name).items():
+        limit = max_feasible_factor(machine, app) * args.margin
+        for factor in PAPER_FACTORS:
+            if factor > limit:
+                continue
+            result = run_jouleguard(
+                machine,
+                app,
+                factor=factor,
+                n_iterations=args.iterations,
+                seed=args.seed,
+            )
+            results.append(result)
+            print(f"{app_name:<15}{factor:>8.2f}"
+                  f"{result.relative_error_pct:>11.2f}"
+                  f"{result.mean_accuracy:>10.4f}"
+                  f"{result.effective_acc:>11.4f}")
+    if args.csv:
+        print(f"\nwrote {write_sweep_csv(results, args.csv)}")
+    return 0
+
+
+def _cmd_racepace(args: argparse.Namespace) -> int:
+    from .hw import GENERIC_PROFILE, compare_policies
+    from .hw.speedup_model import work_rate
+
+    machine = get_machine(args.machine)
+    rate = work_rate(machine, machine.default_config, GENERIC_PROFILE)
+    print(f"{'slack':>7}{'race J':>10}{'pace J':>10}{'hybrid J':>10}"
+          f"{'winner':>8}")
+    for slack in args.slacks:
+        comparison = compare_policies(
+            machine, GENERIC_PROFILE, work=1.0, period_s=slack / rate,
+            deep_sleep_fraction=args.deep_sleep,
+        )
+        if comparison.winner == "infeasible":
+            print(f"{slack:>6.1f}x  infeasible")
+            continue
+        print(f"{slack:>6.1f}x"
+              f"{comparison.race.energy_j:>10.4f}"
+              f"{comparison.pace.energy_j:>10.4f}"
+              f"{comparison.hybrid.energy_j:>10.4f}"
+              f"{comparison.winner:>8}")
+    return 0
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    app = build_application(args.app)
+    limit = max_feasible_factor(machine, app)
+    result = oracle_accuracy(machine, app, factor=args.factor)
+    print(f"default energy/work : {result.default_epw:.6f} J")
+    print(f"best system epw     : {result.best_system_epw:.6f} J")
+    print(f"required speedup    : {result.required_speedup:.3f}")
+    print(f"oracle accuracy     : {result.accuracy:.4f}")
+    print(f"feasible            : {result.feasible}")
+    print(f"max feasible factor : {limit:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JouleGuard (SOSP'15) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list platform models").set_defaults(
+        func=_cmd_machines
+    )
+    sub.add_parser("apps", help="list the Table 2 suite").set_defaults(
+        func=_cmd_apps
+    )
+
+    characterize = sub.add_parser(
+        "characterize", help="Fig. 3 efficiency landscape (CSV to stdout)"
+    )
+    characterize.add_argument("machine", choices=["mobile", "tablet", "server"])
+    characterize.add_argument("app")
+    characterize.add_argument("--points", type=int, default=64)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    run = sub.add_parser("run", help="one closed-loop experiment")
+    run.add_argument("machine", choices=["mobile", "tablet", "server"])
+    run.add_argument("app")
+    run.add_argument("factor", type=float)
+    run.add_argument("--controller", choices=sorted(CONTROLLERS), default="jouleguard")
+    run.add_argument("--iterations", type=int, default=400)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--trace-csv")
+    run.add_argument("--summary-json")
+    run.add_argument(
+        "--plot", action="store_true",
+        help="render ASCII charts of the run",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="Fig. 5/6 sweep for one platform")
+    sweep.add_argument("machine", choices=["mobile", "tablet", "server"])
+    sweep.add_argument("--iterations", type=int, default=400)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--margin", type=float, default=0.9,
+                       help="feasibility margin on the max factor")
+    sweep.add_argument("--csv")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    oracle = sub.add_parser("oracle", help="clairvoyant optimum for a goal")
+    oracle.add_argument("machine", choices=["mobile", "tablet", "server"])
+    oracle.add_argument("app")
+    oracle.add_argument("factor", type=float)
+    oracle.set_defaults(func=_cmd_oracle)
+
+    racepace = sub.add_parser(
+        "racepace", help="race-to-idle vs pacing for a periodic job"
+    )
+    racepace.add_argument("machine", choices=["mobile", "tablet", "server"])
+    racepace.add_argument(
+        "--slacks", type=float, nargs="+",
+        default=[1.2, 2.0, 4.0, 8.0, 16.0],
+        help="period as a multiple of the default-config busy time",
+    )
+    racepace.add_argument("--deep-sleep", type=float, default=0.0)
+    racepace.set_defaults(func=_cmd_racepace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""JouleGuard core: the paper's contribution (Sec. 3).
+
+* :mod:`.bandit` — System Energy Optimizer (reinforcement learning over
+  system configurations, Eqns. 1–3),
+* :mod:`.controller` / :mod:`.pole` — Application Accuracy Optimizer
+  (adaptive-pole integral control, Eqns. 4–5, 10–11),
+* :mod:`.jouleguard` — the Algorithm 1 runtime coordinating both,
+* :mod:`.analysis` — Z-domain stability/convergence analysis (Eqns. 7–9),
+* :mod:`.budget` — energy goals and remaining-budget bookkeeping,
+* :mod:`.hwapprox` — the Sec. 3.7 approximate-hardware variant.
+"""
+
+from .analysis import (
+    FirstOrderLoop,
+    nominal_loop,
+    perturbed_loop,
+    settling_time,
+    stability_bound,
+)
+from .bandit import SeoDecision, SystemEnergyOptimizer
+from .budget import PAPER_FACTORS, BudgetAccountant, EnergyGoal
+from .controller import SpeedupController, required_rate, speedup_target
+from .ewma import DEFAULT_ALPHA, Ewma
+from .hwapprox import (
+    HardwareApproxLevel,
+    HardwareApproxTable,
+    PowerReductionController,
+)
+from .jouleguard import Decision, JouleGuardRuntime, build_runtime
+from .kalman import ScalarKalmanFilter, variances_for_alpha
+from .multi import MultiAppCoordinator, split_budget
+from .pole import AdaptivePole, max_stable_error, multiplicative_error, pole_for_error
+from .types import AccuracyOrderedConfig, AccuracyOrderedTable, Measurement
+from .ucb import UcbSystemOptimizer
+from .vdbe import Vdbe
+
+__all__ = [
+    "AccuracyOrderedConfig",
+    "AccuracyOrderedTable",
+    "AdaptivePole",
+    "BudgetAccountant",
+    "DEFAULT_ALPHA",
+    "Decision",
+    "EnergyGoal",
+    "Ewma",
+    "FirstOrderLoop",
+    "HardwareApproxLevel",
+    "HardwareApproxTable",
+    "JouleGuardRuntime",
+    "Measurement",
+    "MultiAppCoordinator",
+    "PAPER_FACTORS",
+    "PowerReductionController",
+    "ScalarKalmanFilter",
+    "SeoDecision",
+    "SpeedupController",
+    "SystemEnergyOptimizer",
+    "UcbSystemOptimizer",
+    "Vdbe",
+    "build_runtime",
+    "max_stable_error",
+    "multiplicative_error",
+    "nominal_loop",
+    "perturbed_loop",
+    "pole_for_error",
+    "required_rate",
+    "settling_time",
+    "speedup_target",
+    "split_budget",
+    "stability_bound",
+    "variances_for_alpha",
+]

@@ -1,0 +1,99 @@
+"""Z-domain analysis of the closed loop (paper Sec. 3.4, Eqns. 7–9).
+
+The application maps the control signal to measured rate with one sample
+of delay, ``A(z) = r̂_bestsys / z``; the controller is
+``C(z) = (1 − pole)·z / (z − 1)``.  The closed loop is
+
+    F(z) = C·A / (1 + C·A) = (1 − pole) / (z − pole)          (Eqn. 7)
+
+which is *stable* iff 0 ≤ pole < 1 and *convergent* (zero steady-state
+error) because F(1) = 1.  With a multiplicative model error δ the loop
+becomes F(z) = (1 − pole)·δ / (z + (1 − pole)·δ − 1) (Eqn. 8), stable
+iff 0 < δ < 2/(1 − pole) (Eqn. 9).
+
+This module provides those transfer functions symbolically (as pole/gain
+pairs) plus a discrete-time step-response simulator so the formal claims
+are *testable*, not just quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class FirstOrderLoop:
+    """Closed loop ``F(z) = gain / (z - pole_location)``."""
+
+    gain: float
+    pole_location: float
+
+    @property
+    def stable(self) -> bool:
+        """Stability: the closed-loop pole lies inside the unit circle."""
+        return abs(self.pole_location) < 1.0
+
+    @property
+    def dc_gain(self) -> float:
+        """F(1): 1 means zero steady-state error (convergence)."""
+        return self.gain / (1.0 - self.pole_location)
+
+    @property
+    def convergent(self) -> bool:
+        return self.stable and abs(self.dc_gain - 1.0) < 1e-12
+
+    def step_response(self, n_steps: int) -> List[float]:
+        """Unit-step response y(t); converges to dc_gain when stable."""
+        if n_steps < 1:
+            raise ValueError("need at least one step")
+        output = []
+        y = 0.0
+        for _ in range(n_steps):
+            y = self.pole_location * y + self.gain
+            output.append(y)
+        return output
+
+
+def nominal_loop(pole: float) -> FirstOrderLoop:
+    """Eqn. 7: the closed loop when the rate model is exact."""
+    if not 0.0 <= pole < 1.0:
+        raise ValueError("pole must be in [0, 1)")
+    return FirstOrderLoop(gain=1.0 - pole, pole_location=pole)
+
+
+def perturbed_loop(pole: float, delta: float) -> FirstOrderLoop:
+    """Eqn. 8: the closed loop under multiplicative model error ``delta``.
+
+    ``delta`` is the ratio true/estimated system rate (δ = 1 is exact).
+    """
+    if not 0.0 <= pole < 1.0:
+        raise ValueError("pole must be in [0, 1)")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    gain = (1.0 - pole) * delta
+    return FirstOrderLoop(gain=gain, pole_location=1.0 - gain)
+
+
+def stability_bound(pole: float) -> float:
+    """Eqn. 9: the loop is stable iff 0 < δ < this bound."""
+    if not 0.0 <= pole < 1.0:
+        raise ValueError("pole must be in [0, 1)")
+    return 2.0 / (1.0 - pole)
+
+
+def settling_time(pole: float, tolerance: float = 0.02) -> int:
+    """Iterations for the nominal loop to settle within ``tolerance``.
+
+    For a first-order loop the error decays as pole**t; pole 0 settles
+    in one step (deadbeat).
+    """
+    if not 0.0 <= pole < 1.0:
+        raise ValueError("pole must be in [0, 1)")
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must be in (0, 1)")
+    if pole == 0.0:
+        return 1
+    import math
+
+    return max(1, math.ceil(math.log(tolerance) / math.log(pole)))

@@ -1,0 +1,191 @@
+"""System Energy Optimizer: bandit learning over system configurations.
+
+The SEO (paper Sec. 3.2) treats every system configuration as the arm of
+a multi-armed bandit whose reward is energy efficiency (rate/power).  It
+
+* estimates per-configuration rate and power with EWMAs (Eqn. 1),
+* initializes estimates from an optimistic prior — performance linear in
+  resources, power cubic in clock speed and linear in cores ("an
+  overestimate for all applications, but not a gross overestimate"),
+* balances exploration and exploitation with VDBE (Eqn. 2),
+* exploits by selecting the configuration with the highest estimated
+  efficiency (Eqn. 3).
+
+Priors are supplied as unit-free *shapes*; the optimizer learns global
+scale factors from measurements (EWMA of measured/shape over visited
+configurations) so unvisited configurations are estimated as
+``shape × scale × optimism`` — keeping them optimistic, as the paper's
+initialization intends, while giving them correct units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .ewma import DEFAULT_ALPHA
+from .vdbe import Vdbe
+
+
+@dataclass(frozen=True)
+class SeoDecision:
+    """One SEO selection: the arm to pull and why."""
+
+    index: int
+    explored: bool
+    epsilon: float
+
+
+class SystemEnergyOptimizer:
+    """Bandit over system configurations maximizing energy efficiency.
+
+    Parameters
+    ----------
+    prior_rate_shape / prior_power_shape:
+        Positive arrays over configurations giving the *shape* of the
+        optimistic prior (any units).
+    alpha:
+        EWMA weight of new samples (paper: 0.85).
+    optimism:
+        Multiplier applied to scale-calibrated priors of unvisited
+        configurations (≥ 1).  The default 1.0 trusts the prior's own
+        optimism (its shape already overestimates, per the paper);
+        values above 1 force longer systematic sweeps of unvisited
+        configurations, which costs energy on large spaces — ablated in
+        ``benchmarks/bench_ablations.py``.
+    vdbe:
+        Exploration state; defaults to the paper's parameters.
+    seed:
+        RNG seed for the exploration draws.
+    """
+
+    def __init__(
+        self,
+        prior_rate_shape: Sequence[float],
+        prior_power_shape: Sequence[float],
+        alpha: float = DEFAULT_ALPHA,
+        optimism: float = 1.0,
+        vdbe: Optional[Vdbe] = None,
+        seed: int = 0,
+    ) -> None:
+        rates = np.asarray(prior_rate_shape, dtype=float)
+        powers = np.asarray(prior_power_shape, dtype=float)
+        if rates.shape != powers.shape or rates.ndim != 1 or len(rates) == 0:
+            raise ValueError("prior shapes must be equal-length 1-D arrays")
+        if (rates <= 0).any() or (powers <= 0).any():
+            raise ValueError("prior shapes must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if optimism < 1.0:
+            raise ValueError("optimism must be >= 1")
+        self.n_configs = len(rates)
+        self.alpha = alpha
+        self.optimism = optimism
+        self._rate_shape = rates
+        self._power_shape = powers
+        self._rate_est = np.zeros(self.n_configs)
+        self._power_est = np.zeros(self.n_configs)
+        self._visited = np.zeros(self.n_configs, dtype=bool)
+        self._rate_scale: Optional[float] = None
+        self._power_scale: Optional[float] = None
+        self.vdbe = vdbe if vdbe is not None else Vdbe(self.n_configs)
+        self._rng = np.random.default_rng(seed)
+        self.updates = 0
+        self.last_rate_delta = 0.0
+
+    # -- estimates ------------------------------------------------------------
+    def rate_estimate(self, index: int) -> float:
+        """Current r̂ for a configuration (prior-based if unvisited)."""
+        if self._visited[index]:
+            return float(self._rate_est[index])
+        scale = self._rate_scale if self._rate_scale is not None else 1.0
+        return float(self._rate_shape[index] * scale * self.optimism)
+
+    def power_estimate(self, index: int) -> float:
+        """Current p̂ for a configuration (prior-based if unvisited).
+
+        Note power priors are *divided* by optimism: an optimistic
+        efficiency prior overestimates rate and underestimates power.
+        """
+        if self._visited[index]:
+            return float(self._power_est[index])
+        scale = self._power_scale if self._power_scale is not None else 1.0
+        return float(self._power_shape[index] * scale / self.optimism)
+
+    def efficiency_estimate(self, index: int) -> float:
+        return self.rate_estimate(index) / self.power_estimate(index)
+
+    def _all_rate_estimates(self) -> np.ndarray:
+        scale = self._rate_scale if self._rate_scale is not None else 1.0
+        estimates = self._rate_shape * scale * self.optimism
+        estimates[self._visited] = self._rate_est[self._visited]
+        return estimates
+
+    def _all_power_estimates(self) -> np.ndarray:
+        scale = self._power_scale if self._power_scale is not None else 1.0
+        estimates = self._power_shape * scale / self.optimism
+        estimates[self._visited] = self._power_est[self._visited]
+        return estimates
+
+    @property
+    def best_index(self) -> int:
+        """Eqn. 3: configuration with the highest estimated efficiency."""
+        efficiency = self._all_rate_estimates() / self._all_power_estimates()
+        return int(efficiency.argmax())
+
+    @property
+    def epsilon(self) -> float:
+        return self.vdbe.epsilon
+
+    @property
+    def visited_count(self) -> int:
+        return int(self._visited.sum())
+
+    # -- bandit interface ------------------------------------------------------
+    def select(self) -> SeoDecision:
+        """Pick the next configuration (explore w.p. ε, else exploit)."""
+        rand = float(self._rng.random())
+        if self.vdbe.should_explore(rand):
+            index = int(self._rng.integers(self.n_configs))
+            return SeoDecision(
+                index=index, explored=True, epsilon=self.vdbe.epsilon
+            )
+        return SeoDecision(
+            index=self.best_index, explored=False, epsilon=self.vdbe.epsilon
+        )
+
+    def update(self, index: int, rate: float, power: float) -> None:
+        """Fold one measurement of configuration ``index`` (Eqns. 1–2)."""
+        if rate <= 0 or power <= 0:
+            raise ValueError("rate and power must be positive")
+        if not 0 <= index < self.n_configs:
+            raise IndexError(index)
+        prior_rate = self.rate_estimate(index)
+        prior_power = self.power_estimate(index)
+        estimated_eff = prior_rate / prior_power
+        self.last_rate_delta = abs(rate / prior_rate - 1.0)
+
+        # Global scale calibration for unvisited configurations.
+        rate_ratio = rate / self._rate_shape[index]
+        power_ratio = power / self._power_shape[index]
+        if self._rate_scale is None:
+            self._rate_scale = rate_ratio
+            self._power_scale = power_ratio
+        else:
+            blend = 0.25
+            self._rate_scale += blend * (rate_ratio - self._rate_scale)
+            self._power_scale += blend * (power_ratio - self._power_scale)
+
+        # Per-configuration EWMA seeded from the (calibrated) prior.
+        if not self._visited[index]:
+            self._rate_est[index] = prior_rate
+            self._power_est[index] = prior_power
+            self._visited[index] = True
+        self._rate_est[index] += self.alpha * (rate - self._rate_est[index])
+        self._power_est[index] += self.alpha * (
+            power - self._power_est[index]
+        )
+        self.vdbe.update(rate / power, estimated_eff)
+        self.updates += 1

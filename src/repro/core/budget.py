@@ -1,0 +1,135 @@
+"""Energy goals and budget bookkeeping.
+
+The paper expresses goals as a factor ``f`` by which to decrease energy
+relative to the application's default configuration (Sec. 5.2 sweeps
+f ∈ {1.1 … 3.0}).  :class:`EnergyGoal` converts a factor into an absolute
+budget, and :class:`BudgetAccountant` tracks work/energy so the runtime
+can recompute the *remaining* joules-per-work-unit target each iteration
+(Algorithm 1: "compute remaining energy and work").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: The paper's sweep of energy-reduction factors (Sec. 5.2).
+PAPER_FACTORS = (1.1, 1.2, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0)
+
+
+@dataclass(frozen=True)
+class EnergyGoal:
+    """An energy budget for a fixed amount of work.
+
+    Parameters
+    ----------
+    total_work:
+        Work units the run must complete (frames, queries, …).
+    budget_j:
+        Total joules allowed for that work.
+    """
+
+    total_work: float
+    budget_j: float
+
+    def __post_init__(self) -> None:
+        if self.total_work <= 0 or self.budget_j <= 0:
+            raise ValueError("work and budget must be positive")
+
+    @classmethod
+    def from_factor(
+        cls, factor: float, total_work: float, default_energy_per_work: float
+    ) -> "EnergyGoal":
+        """Budget for reducing default energy consumption by ``factor``."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1 (1 = default energy)")
+        if default_energy_per_work <= 0:
+            raise ValueError("default energy per work must be positive")
+        return cls(
+            total_work=total_work,
+            budget_j=total_work * default_energy_per_work / factor,
+        )
+
+    @property
+    def energy_per_work(self) -> float:
+        """The average joules-per-work-unit the budget allows."""
+        return self.budget_j / self.total_work
+
+
+@dataclass
+class BudgetAccountant:
+    """Running work/energy tally against an :class:`EnergyGoal`.
+
+    ``adjustment_j`` supports budget *transfers*: a multi-application
+    coordinator (:mod:`repro.core.multi`) may grant one application's
+    surplus joules to another; the goal itself stays immutable.
+    """
+
+    goal: EnergyGoal
+    work_done: float = 0.0
+    energy_used_j: float = 0.0
+    adjustment_j: float = 0.0
+    _energy_trace: List[float] = field(default_factory=list)
+
+    def record(self, work: float, energy_j: float) -> None:
+        """Account one iteration's work and energy."""
+        if work < 0 or energy_j < 0:
+            raise ValueError("work and energy must be non-negative")
+        self.work_done += work
+        self.energy_used_j += energy_j
+        self._energy_trace.append(energy_j)
+
+    def adjust_budget(self, delta_j: float) -> None:
+        """Grant (positive) or reclaim (negative) budget.
+
+        Reclaiming below what has already been spent is rejected — a
+        coordinator can only take joules that still exist.
+        """
+        if self.effective_budget_j + delta_j < self.energy_used_j - 1e-9:
+            raise ValueError("cannot reclaim already-spent budget")
+        self.adjustment_j += delta_j
+
+    @property
+    def effective_budget_j(self) -> float:
+        """The goal budget plus any coordinator adjustments."""
+        return self.goal.budget_j + self.adjustment_j
+
+    @property
+    def remaining_work(self) -> float:
+        return max(0.0, self.goal.total_work - self.work_done)
+
+    @property
+    def remaining_energy_j(self) -> float:
+        return max(0.0, self.effective_budget_j - self.energy_used_j)
+
+    @property
+    def exhausted(self) -> bool:
+        """Budget used up with work still to do."""
+        return self.remaining_energy_j <= 0.0 and self.remaining_work > 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining_work <= 0.0
+
+    def target_energy_per_work(self) -> Optional[float]:
+        """Joules per work unit allowed for the remainder of the run.
+
+        ``None`` when the run is complete; 0.0 when the budget is already
+        exhausted (the runtime must then minimize energy outright).
+        """
+        if self.complete:
+            return None
+        if self.remaining_energy_j <= 0.0:
+            return 0.0
+        return self.remaining_energy_j / self.remaining_work
+
+    @property
+    def overall_energy_per_work(self) -> float:
+        if self.work_done <= 0:
+            raise ValueError("no work recorded yet")
+        return self.energy_used_j / self.work_done
+
+    @property
+    def energy_trace(self) -> List[float]:
+        """Per-iteration energy record (used by the figure benchmarks)."""
+        return list(self._energy_trace)

@@ -1,0 +1,116 @@
+"""Application Accuracy Optimizer: the speedup PI controller (Sec. 3.3).
+
+Given the learner's estimate of the best system configuration's rate and
+power, the AAO computes the *additional* speedup the application must
+provide to hit the energy goal (Eqn. 4) and eliminates the tracking
+error with an integral controller whose gain depends on the adaptive
+pole (Eqn. 5)::
+
+    s(t) = s(t−1) + (1 − pole(t)) · error(t) / r̂_bestsys(t)
+
+The speedup is clamped to the application's achievable range with
+anti-windup (the integrator does not accumulate beyond the clamp), a
+standard actuator-saturation guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def required_rate(
+    target_energy_per_work: float, est_system_power: float
+) -> float:
+    """Rate needed so energy/work hits the target at the estimated power.
+
+    This is the paper's Eqn. 4 expressed directly in budget terms: the
+    factor f and the default rate/power cancel into the target
+    joules-per-work-unit the accountant maintains.
+    """
+    if target_energy_per_work <= 0:
+        raise ValueError("target energy per work must be positive")
+    if est_system_power <= 0:
+        raise ValueError("estimated power must be positive")
+    return est_system_power / target_energy_per_work
+
+
+def speedup_target(
+    factor: float,
+    default_rate: float,
+    default_power: float,
+    est_system_rate: float,
+    est_system_power: float,
+) -> float:
+    """Literal Eqn. 4: total speedup for an energy-reduction factor f.
+
+    ``s = f · (r_default/p_default) · (p̂_bestsys/r̂_bestsys)``; provided
+    for analysis and tests — the runtime uses :func:`required_rate` with
+    the live remaining-budget target instead.
+    """
+    if min(
+        factor, default_rate, default_power, est_system_rate, est_system_power
+    ) <= 0:
+        raise ValueError("all quantities must be positive")
+    return (
+        factor
+        * (default_rate / default_power)
+        * (est_system_power / est_system_rate)
+    )
+
+
+@dataclass
+class SpeedupController:
+    """Integral controller on application speedup (Eqn. 5).
+
+    Parameters
+    ----------
+    min_speedup / max_speedup:
+        Achievable range of the application's configuration table.
+    initial_speedup:
+        Starting control signal (the default configuration's 1.0).
+    """
+
+    min_speedup: float = 1.0
+    max_speedup: float = float("inf")
+    initial_speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_speedup <= 0:
+            raise ValueError("min_speedup must be positive")
+        if self.max_speedup < self.min_speedup:
+            raise ValueError("max_speedup must be >= min_speedup")
+        self.speedup = float(
+            min(max(self.initial_speedup, self.min_speedup), self.max_speedup)
+        )
+
+    @property
+    def saturated(self) -> bool:
+        """True when the control signal sits on a clamp boundary."""
+        return self.speedup in (self.min_speedup, self.max_speedup)
+
+    def step(
+        self,
+        required: float,
+        measured_rate: float,
+        est_system_rate: float,
+        pole: float,
+    ) -> float:
+        """One control update; returns the new (clamped) speedup."""
+        if not 0.0 <= pole < 1.0:
+            raise ValueError("pole must be in [0, 1)")
+        if est_system_rate <= 0:
+            raise ValueError("estimated system rate must be positive")
+        if measured_rate < 0 or required < 0:
+            raise ValueError("rates cannot be negative")
+        error = required - measured_rate
+        unclamped = self.speedup + (1.0 - pole) * error / est_system_rate
+        self.speedup = float(
+            min(max(unclamped, self.min_speedup), self.max_speedup)
+        )
+        return self.speedup
+
+    def reset(self, speedup: float = 1.0) -> None:
+        """Reset the integrator (used on phase-change detection tests)."""
+        self.speedup = float(
+            min(max(speedup, self.min_speedup), self.max_speedup)
+        )

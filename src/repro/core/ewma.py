@@ -1,0 +1,50 @@
+"""Exponentially weighted moving averages (paper Eqn. 1).
+
+JouleGuard estimates each system configuration's performance and power
+with EWMAs::
+
+    p̂_sys(t) = (1 − α)·p̂_sys(t−1) + α·p_sys(t)
+    r̂_sys(t) = (1 − α)·r̂_sys(t−1) + α·r_sys(t)
+
+with α = 0.85 ("the best outcomes on average across all applications and
+systems", Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: The paper's smoothing constant (Sec. 3.2).
+DEFAULT_ALPHA = 0.85
+
+
+@dataclass
+class Ewma:
+    """One exponentially weighted moving average.
+
+    ``alpha`` is the weight of the *new* sample, matching the paper's
+    convention (α = 0.85 adapts quickly).  The estimate may be seeded
+    with a prior value; before any update the estimate is the prior.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    value: Optional[float] = None
+    updates: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def update(self, sample: float) -> float:
+        """Fold in ``sample``; return the new estimate."""
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = (1.0 - self.alpha) * self.value + self.alpha * sample
+        self.updates += 1
+        return self.value
+
+    @property
+    def initialized(self) -> bool:
+        return self.value is not None

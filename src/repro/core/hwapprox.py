@@ -1,0 +1,120 @@
+"""Approximate-hardware variant of the controller (paper Sec. 3.7).
+
+Approximate hardware keeps timing but reduces *power* in exchange for
+occasional wrong results.  The paper sketches the modification: run the
+same learning engine to find the most energy-efficient accuracy-
+preserving system configuration, then have the controller tune hardware
+approximation to reduce *power* (rather than increase speedup) until the
+energy goal is met.
+
+This module implements that sketch.  A hardware approximation level is a
+(power factor ≤ 1, accuracy) pair; the :class:`PowerReductionController`
+integrates the power error and :func:`best_accuracy_for_power_factor`
+mirrors Eqn. 6 with the inequality flipped.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class HardwareApproxLevel:
+    """One hardware approximation setting.
+
+    ``power_factor`` scales system power (1 = exact hardware); accuracy
+    is relative to exact execution.
+    """
+
+    index: int
+    power_factor: float
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.power_factor <= 1.0:
+            raise ValueError("power_factor must be in (0, 1]")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+
+
+class HardwareApproxTable:
+    """Accuracy-ordered approximation levels with frontier queries."""
+
+    def __init__(self, levels: Sequence[HardwareApproxLevel]) -> None:
+        if not levels:
+            raise ValueError("need at least one level")
+        if not any(abs(l.power_factor - 1.0) < 1e-9 for l in levels):
+            raise ValueError("table must include the exact level (factor 1)")
+        self.levels = sorted(levels, key=lambda l: l.index)
+        # Frontier: ascending power factor, ascending accuracy — dominated
+        # levels (more power for less accuracy) are dropped.
+        by_factor = sorted(
+            self.levels, key=lambda l: (l.power_factor, -l.accuracy)
+        )
+        frontier: List[HardwareApproxLevel] = []
+        best_accuracy = -1.0
+        for level in by_factor:
+            if level.accuracy > best_accuracy:
+                frontier.append(level)
+                best_accuracy = level.accuracy
+        self._frontier = frontier
+        self._frontier_factors = [l.power_factor for l in frontier]
+
+    @property
+    def frontier(self) -> List[HardwareApproxLevel]:
+        return list(self._frontier)
+
+    @property
+    def min_power_factor(self) -> float:
+        return self._frontier_factors[0]
+
+    def best_accuracy_for_power_factor(
+        self, factor: float
+    ) -> HardwareApproxLevel:
+        """Most accurate level with ``power_factor <= factor`` (Eqn. 6 dual).
+
+        If no level is frugal enough, the lowest-power level is returned.
+        """
+        position = bisect.bisect_right(self._frontier_factors, factor)
+        if position == 0:
+            return self._frontier[0]
+        return self._frontier[position - 1]
+
+
+@dataclass
+class PowerReductionController:
+    """Integral controller on the hardware power factor.
+
+    Mirrors :class:`repro.core.controller.SpeedupController` with the
+    actuator inverted: the control signal is a power multiplier in
+    (0, 1], decreased when measured power exceeds the target.
+    """
+
+    min_factor: float
+    initial_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_factor <= 1.0:
+            raise ValueError("min_factor must be in (0, 1]")
+        self.factor = float(min(max(self.initial_factor, self.min_factor), 1.0))
+
+    def step(
+        self,
+        target_power: float,
+        measured_power: float,
+        est_system_power: float,
+        pole: float,
+    ) -> float:
+        """One control update; returns the new (clamped) power factor."""
+        if not 0.0 <= pole < 1.0:
+            raise ValueError("pole must be in [0, 1)")
+        if est_system_power <= 0:
+            raise ValueError("estimated power must be positive")
+        if target_power < 0 or measured_power < 0:
+            raise ValueError("powers cannot be negative")
+        error = target_power - measured_power
+        unclamped = self.factor + (1.0 - pole) * error / est_system_power
+        self.factor = float(min(max(unclamped, self.min_factor), 1.0))
+        return self.factor

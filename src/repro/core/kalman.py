@@ -1,0 +1,114 @@
+"""Scalar Kalman-filter estimation as an EWMA alternative.
+
+Kalman filters are the standard adaptive estimator in the self-adaptive
+systems literature the paper cites (Kalyvianaki et al. [28, 29]); this
+module provides a scalar random-walk Kalman filter that can replace the
+Eqn. 1 EWMAs for per-configuration rate/power estimation.
+
+State model::
+
+    x(t) = x(t-1) + w,  w ~ N(0, q)      (the true rate/power drifts)
+    z(t) = x(t)  + v,  v ~ N(0, r)      (noisy measurement)
+
+Unlike the fixed-α EWMA, the Kalman gain adapts: it starts high while
+the estimate is uncertain and settles at the steady-state gain implied
+by q/r.  The EWMA with α = 0.85 corresponds to a high q/r ratio — the
+paper's choice favours agility over smoothing; the comparison is
+exercised in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ScalarKalmanFilter:
+    """Random-walk Kalman filter for one scalar quantity.
+
+    Parameters
+    ----------
+    process_variance:
+        q — how fast the underlying quantity is believed to drift.
+    measurement_variance:
+        r — sensor noise variance.
+    value:
+        Optional prior estimate; ``prior_variance`` states its trust
+        (defaults to effectively uninformative).
+    """
+
+    process_variance: float = 1e-2
+    measurement_variance: float = 1e-1
+    value: Optional[float] = None
+    prior_variance: float = 1e6
+    updates: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.process_variance < 0 or self.measurement_variance <= 0:
+            raise ValueError("variances must be positive (q may be 0)")
+        if self.prior_variance <= 0:
+            raise ValueError("prior variance must be positive")
+        self._variance = self.prior_variance
+
+    @property
+    def variance(self) -> float:
+        """Current estimate variance (uncertainty)."""
+        return self._variance
+
+    @property
+    def gain(self) -> float:
+        """The Kalman gain the *next* update would apply."""
+        predicted = self._variance + self.process_variance
+        return predicted / (predicted + self.measurement_variance)
+
+    def update(self, measurement: float) -> float:
+        """Fold one measurement; return the new estimate."""
+        if self.value is None:
+            self.value = measurement
+            self._variance = self.measurement_variance
+            self.updates += 1
+            return self.value
+        predicted_var = self._variance + self.process_variance
+        gain = predicted_var / (predicted_var + self.measurement_variance)
+        self.value = self.value + gain * (measurement - self.value)
+        self._variance = (1.0 - gain) * predicted_var
+        self.updates += 1
+        return self.value
+
+    @property
+    def initialized(self) -> bool:
+        return self.value is not None
+
+    def steady_state_gain(self) -> float:
+        """The gain the filter converges to (function of q/r only).
+
+        Solves the steady-state Riccati equation for the random-walk
+        model; useful to pick (q, r) mimicking a target EWMA α.
+        """
+        q, r = self.process_variance, self.measurement_variance
+        if q == 0.0:
+            return 0.0
+        return _steady_gain(q / r)
+
+
+def _steady_gain(ratio: float) -> float:
+    """Steady-state Kalman gain for process/measurement variance ratio."""
+    # K* = (sqrt(ratio^2 + 4 ratio) + ratio) / (sqrt(...) + ratio + 2)
+    s = math.sqrt(ratio**2 + 4.0 * ratio)
+    return (s + ratio) / (s + ratio + 2.0)
+
+
+def variances_for_alpha(
+    alpha: float, measurement_variance: float = 1.0
+) -> float:
+    """Process variance q making the steady-state gain equal ``alpha``.
+
+    Lets a Kalman filter be configured to mimic the paper's EWMA in
+    steady state while still adapting its gain during start-up.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    # Invert K* = alpha for the random-walk model: q/r = K^2 / (1 - K).
+    return measurement_variance * alpha**2 / (1.0 - alpha)

@@ -1,0 +1,198 @@
+"""Multi-application energy coordination (an extension beyond the paper).
+
+The paper manages one application against one budget.  A device usually
+runs several approximate applications against one battery; this module
+coordinates N independent :class:`~repro.core.jouleguard.JouleGuardRuntime`
+instances sharing a *global* budget:
+
+* the global budget is split into per-application budgets up front
+  (proportional to each application's forecast default energy need,
+  scaled by optional user priorities);
+* every ``rebalance_period`` iterations, the coordinator forecasts each
+  application's remaining spend from its recent energy-per-work and
+  *transfers* surplus joules from applications running under budget to
+  those straining (most usefully: ones whose goals have become
+  infeasible on their own share).
+
+Transfers are conservative — the sum of effective budgets always equals
+the global budget — so the whole-device guarantee is preserved while
+accuracy is re-maximized across applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .jouleguard import Decision, JouleGuardRuntime
+from .types import Measurement
+
+
+@dataclass
+class _AppState:
+    runtime: JouleGuardRuntime
+    recent_epw: Optional[float] = None
+    steps: int = 0
+
+
+def split_budget(
+    total_j: float,
+    default_energy_needs: Mapping[str, float],
+    priorities: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Initial per-application budgets.
+
+    ``default_energy_needs`` maps each application to the joules its
+    whole workload would cost in the default configuration; priorities
+    (default 1.0) scale each share before normalization.
+    """
+    if total_j <= 0:
+        raise ValueError("total budget must be positive")
+    if not default_energy_needs:
+        raise ValueError("no applications")
+    weights = {}
+    for name, need in default_energy_needs.items():
+        if need <= 0:
+            raise ValueError(f"{name}: energy need must be positive")
+        priority = 1.0 if priorities is None else priorities.get(name, 1.0)
+        if priority <= 0:
+            raise ValueError(f"{name}: priority must be positive")
+        weights[name] = need * priority
+    scale = total_j / sum(weights.values())
+    return {name: weight * scale for name, weight in weights.items()}
+
+
+class MultiAppCoordinator:
+    """Coordinates several runtimes against one global energy budget.
+
+    Parameters
+    ----------
+    runtimes:
+        Name → runtime.  Each runtime's own goal carries its initial
+        share (see :func:`split_budget`).
+    rebalance_period:
+        Coordinator iterations between budget transfers.
+    transfer_fraction:
+        Share of a donor's forecast surplus moved per rebalance (moving
+        everything at once overreacts to noisy forecasts).
+    smoothing:
+        EWMA weight for each application's recent energy-per-work.
+    """
+
+    def __init__(
+        self,
+        runtimes: Mapping[str, JouleGuardRuntime],
+        rebalance_period: int = 25,
+        transfer_fraction: float = 0.5,
+        smoothing: float = 0.25,
+    ) -> None:
+        if not runtimes:
+            raise ValueError("no runtimes to coordinate")
+        if rebalance_period < 1:
+            raise ValueError("rebalance period must be >= 1")
+        if not 0.0 < transfer_fraction <= 1.0:
+            raise ValueError("transfer_fraction must be in (0, 1]")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._apps = {
+            name: _AppState(runtime=runtime)
+            for name, runtime in runtimes.items()
+        }
+        self.rebalance_period = rebalance_period
+        self.transfer_fraction = transfer_fraction
+        self.smoothing = smoothing
+        self._steps_since_rebalance = 0
+        self.transfers: List[Dict[str, float]] = []
+
+    # -- delegation -------------------------------------------------------------
+    def current_decision(self, name: str) -> Decision:
+        return self._apps[name].runtime.current_decision
+
+    def step(self, name: str, measurement: Measurement) -> Decision:
+        """Feed one application's measurement; rebalance on schedule."""
+        state = self._apps[name]
+        epw = measurement.energy_j / measurement.work
+        if state.recent_epw is None:
+            state.recent_epw = epw
+        else:
+            state.recent_epw += self.smoothing * (epw - state.recent_epw)
+        state.steps += 1
+        decision = state.runtime.step(measurement)
+        self._steps_since_rebalance += 1
+        if self._steps_since_rebalance >= self.rebalance_period:
+            self.rebalance()
+            self._steps_since_rebalance = 0
+        return decision
+
+    # -- budget transfers ----------------------------------------------------------
+    def _forecast_surplus(self, state: _AppState) -> float:
+        """Remaining budget minus forecast remaining spend (can be < 0)."""
+        accountant = state.runtime.accountant
+        if accountant.complete or state.recent_epw is None:
+            return accountant.remaining_energy_j
+        projected = state.recent_epw * accountant.remaining_work
+        return accountant.remaining_energy_j - projected
+
+    def rebalance(self) -> Dict[str, float]:
+        """Move surplus joules from under-spenders to strainers.
+
+        Returns the per-application deltas applied (sum ≈ 0).  A
+        transfer happens only when at least one application forecasts a
+        deficit and another a surplus.
+        """
+        surpluses = {
+            name: self._forecast_surplus(state)
+            for name, state in self._apps.items()
+        }
+        donors = {n: s for n, s in surpluses.items() if s > 0}
+        needers = {n: -s for n, s in surpluses.items() if s < 0}
+        deltas = {name: 0.0 for name in self._apps}
+        if donors and needers:
+            available = sum(donors.values()) * self.transfer_fraction
+            needed = sum(needers.values())
+            moved = min(available, needed)
+            if moved > 0:
+                for name, surplus in donors.items():
+                    share = (
+                        moved * surplus / sum(donors.values())
+                    )
+                    self._apps[name].runtime.accountant.adjust_budget(-share)
+                    deltas[name] -= share
+                for name, deficit in needers.items():
+                    share = moved * deficit / needed
+                    self._apps[name].runtime.accountant.adjust_budget(share)
+                    deltas[name] += share
+        self.transfers.append(deltas)
+        return deltas
+
+    # -- accounting invariants ---------------------------------------------------------
+    @property
+    def total_effective_budget_j(self) -> float:
+        """Sum of effective budgets — conserved across rebalances."""
+        return sum(
+            state.runtime.accountant.effective_budget_j
+            for state in self._apps.values()
+        )
+
+    @property
+    def total_energy_used_j(self) -> float:
+        return sum(
+            state.runtime.accountant.energy_used_j
+            for state in self._apps.values()
+        )
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-application accounting snapshot."""
+        report = {}
+        for name, state in self._apps.items():
+            accountant = state.runtime.accountant
+            report[name] = {
+                "budget_j": accountant.goal.budget_j,
+                "effective_budget_j": accountant.effective_budget_j,
+                "energy_used_j": accountant.energy_used_j,
+                "work_done": accountant.work_done,
+                "infeasible": state.runtime.goal_reported_infeasible,
+            }
+        return report

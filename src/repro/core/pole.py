@@ -1,0 +1,99 @@
+"""Adaptive pole placement (paper Eqns. 9–11).
+
+The controller's pole determines how much model inaccuracy the closed
+loop tolerates: for multiplicative model error δ, the loop is stable iff
+
+    0 < δ < 2 / (1 − pole)                                   (Eqn. 9)
+
+JouleGuard measures δ(t) from the learner's prediction error (Eqn. 10)
+and sets the pole just large enough to keep the measured error inside
+the stability region (Eqn. 11)::
+
+    pole(t) = 1 − 2/δ(t)   if δ(t) > 2
+              0            otherwise
+
+A ``margin`` > 1 tightens the bound (the literal rule places the loop on
+the stability boundary when δ > 2); margin 1 reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def multiplicative_error(measured_rate: float, predicted_rate: float) -> float:
+    """Eqn. 10: δ(t) = |measured/predicted − 1|.
+
+    ``predicted_rate`` is what the models forecast for the measured
+    iteration — the learner's system-rate estimate times the speedup the
+    controller had applied.
+    """
+    if predicted_rate <= 0:
+        raise ValueError("predicted rate must be positive")
+    if measured_rate < 0:
+        raise ValueError("measured rate cannot be negative")
+    return abs(measured_rate / predicted_rate - 1.0)
+
+
+def pole_for_error(delta: float, margin: float = 1.0) -> float:
+    """Eqn. 11: smallest pole keeping error ``delta`` inside Eqn. 9.
+
+    With ``margin`` m, the pole is chosen so the stability bound covers
+    m·δ.  The result is always in [0, 1).
+    """
+    if delta < 0:
+        raise ValueError("delta cannot be negative")
+    if margin < 1.0:
+        raise ValueError("margin must be >= 1")
+    effective = delta * margin
+    if effective > 2.0:
+        return 1.0 - 2.0 / effective
+    return 0.0
+
+
+def max_stable_error(pole: float) -> float:
+    """Eqn. 9: largest multiplicative error a given pole tolerates."""
+    if not 0.0 <= pole < 1.0:
+        raise ValueError("pole must be in [0, 1)")
+    return 2.0 / (1.0 - pole)
+
+
+@dataclass
+class AdaptivePole:
+    """Stateful pole adaptation with optional smoothing.
+
+    ``smoothing`` in [0, 1) low-passes δ(t) before Eqn. 11 — a single
+    noisy iteration should not whipsaw the pole; 0 reproduces the
+    memoryless paper rule.
+    """
+
+    margin: float = 1.0
+    smoothing: float = 0.0
+    _delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+
+    def update(self, measured_rate: float, predicted_rate: float) -> float:
+        """Fold one prediction error; return the new pole."""
+        return self.update_from_delta(
+            multiplicative_error(measured_rate, predicted_rate)
+        )
+
+    def update_from_delta(self, delta: float) -> float:
+        """Fold an already-computed δ(t); return the new pole."""
+        if delta < 0:
+            raise ValueError("delta cannot be negative")
+        self._delta = (
+            self.smoothing * self._delta + (1.0 - self.smoothing) * delta
+        )
+        return self.pole
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    @property
+    def pole(self) -> float:
+        return pole_for_error(self._delta, self.margin)

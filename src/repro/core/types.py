@@ -1,0 +1,65 @@
+"""Shared types and interfaces of the JouleGuard runtime.
+
+The runtime is deliberately generic (Sec. 3.5): it needs (1) per-iteration
+feedback — work done, energy used, rate, power — and (2) an
+accuracy-ordered application configuration table.  Anything satisfying
+the small protocols here can be managed; :mod:`repro.runtime.harness`
+adapts the simulator and the benchmark suite, but real sensors and real
+applications could be adapted identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Feedback from one application iteration (heartbeat).
+
+    ``rate`` is observed application performance (work units/second,
+    including the effect of the current application configuration) and
+    ``power_w`` the observed full-system power.
+    """
+
+    work: float
+    energy_j: float
+    rate: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.work <= 0 or self.rate <= 0 or self.power_w <= 0:
+            raise ValueError("work, rate, and power must be positive")
+        if self.energy_j < 0:
+            raise ValueError("energy cannot be negative")
+
+
+@runtime_checkable
+class AccuracyOrderedConfig(Protocol):
+    """One application configuration as the runtime sees it."""
+
+    @property
+    def speedup(self) -> float: ...
+
+    @property
+    def accuracy(self) -> float: ...
+
+
+@runtime_checkable
+class AccuracyOrderedTable(Protocol):
+    """What the runtime requires of an application's config table.
+
+    Accuracy need only define a total order (Sec. 3.6);
+    :class:`repro.apps.base.ConfigTable` satisfies this protocol.
+    """
+
+    @property
+    def pareto_frontier(self) -> Sequence[AccuracyOrderedConfig]: ...
+
+    @property
+    def max_speedup(self) -> float: ...
+
+    def best_accuracy_for_speedup(
+        self, speedup: float
+    ) -> AccuracyOrderedConfig: ...

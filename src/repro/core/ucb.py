@@ -1,0 +1,196 @@
+"""UCB1 alternative to the VDBE ε-greedy learner.
+
+The paper picks a Boltzmann/VDBE bandit (Sec. 3.2); classic upper-
+confidence-bound exploration is the natural comparison point.  This
+module provides a drop-in SEO variant that selects
+
+    argmax_i  eff̂_i + c · sqrt(ln t / n_i)
+
+over *visited* arms, seeding unvisited arms from the same calibrated
+optimistic prior as the default learner (an unvisited arm's bonus is
+infinite, so priors mainly order the first pulls).  It exposes the same
+``select``/``update``/estimate interface as
+:class:`repro.core.bandit.SystemEnergyOptimizer`, so the runtime and the
+ablation bench can swap it in unchanged.
+
+UCB1's weakness in this setting — and the reason the paper's choice is
+defensible — is that it *must* pull every arm once before its bounds
+mean anything: on the Server's 1024 configurations that forced sweep
+costs real energy.  ``bench_ablations.py`` quantifies this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .bandit import SeoDecision
+from .ewma import DEFAULT_ALPHA
+
+
+class UcbSystemOptimizer:
+    """UCB1 bandit over system configurations.
+
+    Parameters
+    ----------
+    prior_rate_shape / prior_power_shape:
+        Same unit-free optimistic shapes as the default learner; they
+        order the initial pulls.
+    exploration:
+        The UCB exploration constant ``c`` (scaled by the running mean
+        efficiency so it is unit-free).
+    alpha:
+        EWMA weight for per-arm rate/power estimates.
+    max_initial_pulls:
+        Cap on the forced pull-every-arm phase: after this many distinct
+        arms have been tried, unvisited arms no longer get an infinite
+        bonus and are ranked by prior instead.  ``None`` = classic UCB1.
+    """
+
+    def __init__(
+        self,
+        prior_rate_shape: Sequence[float],
+        prior_power_shape: Sequence[float],
+        exploration: float = 0.5,
+        alpha: float = DEFAULT_ALPHA,
+        max_initial_pulls: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        rates = np.asarray(prior_rate_shape, dtype=float)
+        powers = np.asarray(prior_power_shape, dtype=float)
+        if rates.shape != powers.shape or rates.ndim != 1 or not len(rates):
+            raise ValueError("prior shapes must be equal-length 1-D arrays")
+        if (rates <= 0).any() or (powers <= 0).any():
+            raise ValueError("prior shapes must be positive")
+        if exploration < 0:
+            raise ValueError("exploration must be non-negative")
+        self.n_configs = len(rates)
+        self.exploration = exploration
+        self.alpha = alpha
+        self.max_initial_pulls = max_initial_pulls
+        self._prior_eff = rates / powers
+        self._rate_est = np.zeros(self.n_configs)
+        self._power_est = np.ones(self.n_configs)
+        self._pulls = np.zeros(self.n_configs, dtype=int)
+        self._rate_scale: Optional[float] = None
+        self._power_scale: Optional[float] = None
+        self._rate_shape = rates
+        self._power_shape = powers
+        self._rng = np.random.default_rng(seed)
+        self.updates = 0
+        self.last_rate_delta = 0.0
+
+    # -- estimates (same interface as SystemEnergyOptimizer) -----------------
+    def rate_estimate(self, index: int) -> float:
+        if self._pulls[index]:
+            return float(self._rate_est[index])
+        scale = self._rate_scale if self._rate_scale is not None else 1.0
+        return float(self._rate_shape[index] * scale)
+
+    def power_estimate(self, index: int) -> float:
+        if self._pulls[index]:
+            return float(self._power_est[index])
+        scale = self._power_scale if self._power_scale is not None else 1.0
+        return float(self._power_shape[index] * scale)
+
+    def efficiency_estimate(self, index: int) -> float:
+        return self.rate_estimate(index) / self.power_estimate(index)
+
+    @property
+    def visited_count(self) -> int:
+        return int((self._pulls > 0).sum())
+
+    @property
+    def epsilon(self) -> float:
+        """No ε in UCB; reported as 0 for interface compatibility."""
+        return 0.0
+
+    @property
+    def best_index(self) -> int:
+        """Highest estimated efficiency (no exploration bonus)."""
+        visited = self._pulls > 0
+        if not visited.any():
+            return int(self._prior_eff.argmax())
+        eff = np.where(
+            visited,
+            np.divide(
+                self._rate_est,
+                self._power_est,
+                out=np.zeros_like(self._rate_est),
+                where=visited,
+            ),
+            -np.inf,
+        )
+        return int(eff.argmax())
+
+    # -- bandit interface ------------------------------------------------------
+    def _ucb_scores(self) -> np.ndarray:
+        visited = self._pulls > 0
+        eff = np.zeros(self.n_configs)
+        eff[visited] = self._rate_est[visited] / self._power_est[visited]
+        scale = eff[visited].mean() if visited.any() else 1.0
+        t = max(2, self.updates + 1)
+        bonus = np.zeros(self.n_configs)
+        bonus[visited] = (
+            self.exploration
+            * scale
+            * np.sqrt(math.log(t) / self._pulls[visited])
+        )
+        scores = eff + bonus
+        unvisited = ~visited
+        if unvisited.any():
+            if (
+                self.max_initial_pulls is not None
+                and self.visited_count >= self.max_initial_pulls
+            ):
+                prior_scale = scale if visited.any() else 1.0
+                normalized = self._prior_eff / self._prior_eff.max()
+                scores[unvisited] = normalized[unvisited] * prior_scale
+            else:
+                scores[unvisited] = np.inf
+        return scores
+
+    def select(self) -> SeoDecision:
+        scores = self._ucb_scores()
+        best = scores.max()
+        # Break ties (notably among the inf-scored unvisited arms) by
+        # prior efficiency, then randomly.
+        candidates = np.flatnonzero(scores == best)
+        if len(candidates) > 1:
+            priors = self._prior_eff[candidates]
+            top = candidates[priors == priors.max()]
+            index = int(self._rng.choice(top))
+        else:
+            index = int(candidates[0])
+        explored = self._pulls[index] == 0 or index != self.best_index
+        return SeoDecision(index=index, explored=bool(explored), epsilon=0.0)
+
+    def update(self, index: int, rate: float, power: float) -> None:
+        if rate <= 0 or power <= 0:
+            raise ValueError("rate and power must be positive")
+        if not 0 <= index < self.n_configs:
+            raise IndexError(index)
+        prior_rate = self.rate_estimate(index)
+        self.last_rate_delta = abs(rate / prior_rate - 1.0)
+        rate_ratio = rate / self._rate_shape[index]
+        power_ratio = power / self._power_shape[index]
+        if self._rate_scale is None:
+            self._rate_scale = rate_ratio
+            self._power_scale = power_ratio
+        else:
+            self._rate_scale += 0.25 * (rate_ratio - self._rate_scale)
+            self._power_scale += 0.25 * (power_ratio - self._power_scale)
+        if not self._pulls[index]:
+            self._rate_est[index] = rate
+            self._power_est[index] = power
+        else:
+            self._rate_est[index] += self.alpha * (
+                rate - self._rate_est[index]
+            )
+            self._power_est[index] += self.alpha * (
+                power - self._power_est[index]
+            )
+        self._pulls[index] += 1
+        self.updates += 1

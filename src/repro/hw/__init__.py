@@ -1,0 +1,83 @@
+"""Hardware substrate: platforms, power/performance models, sensors.
+
+Stands in for the paper's physical testbed (Sec. 4.2): three platforms
+with discrete configuration spaces, analytic power and speedup models,
+noisy sensors, and a virtual-time simulator.
+"""
+
+from .battery import Battery, goal_for_deadline
+from .config_space import ConfigSpace
+from .idle import (
+    PolicyOutcome,
+    RacePaceComparison,
+    best_hybrid,
+    best_pace,
+    compare_policies,
+    idle_power,
+    race_to_idle,
+)
+from .knobs import Knob, SystemConfig
+from .machine import Cluster, Machine
+from .machines import (
+    all_machines,
+    build_mobile,
+    build_server,
+    build_tablet,
+    get_machine,
+)
+from .power_model import package_power, powerup_over_minimal, system_power
+from .profiles import GENERIC_PROFILE, AppResourceProfile
+from .sensors import ExternalPowerMeter, OnChipPowerSensor
+from .serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    register_constraint,
+    register_speed_quirk,
+    save_machine,
+)
+from .simulator import IterationResult, NoiseModel, PlatformSimulator
+from .speedup_model import speedup_over_minimal, work_rate
+from .thermal import ThermalModel, attach_thermal_model
+
+__all__ = [
+    "AppResourceProfile",
+    "Battery",
+    "Cluster",
+    "ConfigSpace",
+    "ExternalPowerMeter",
+    "GENERIC_PROFILE",
+    "IterationResult",
+    "Knob",
+    "Machine",
+    "NoiseModel",
+    "OnChipPowerSensor",
+    "PlatformSimulator",
+    "PolicyOutcome",
+    "RacePaceComparison",
+    "SystemConfig",
+    "ThermalModel",
+    "all_machines",
+    "attach_thermal_model",
+    "best_hybrid",
+    "best_pace",
+    "compare_policies",
+    "goal_for_deadline",
+    "idle_power",
+    "load_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    "race_to_idle",
+    "register_constraint",
+    "register_speed_quirk",
+    "save_machine",
+    "build_mobile",
+    "build_server",
+    "build_tablet",
+    "get_machine",
+    "package_power",
+    "powerup_over_minimal",
+    "speedup_over_minimal",
+    "system_power",
+    "work_rate",
+]

@@ -1,0 +1,114 @@
+"""Battery model: the paper's motivating budget in physical form.
+
+"Few mobile users want to minimize energy — they need guarantees that
+their battery will last until they return to a charger" (Sec. 1).  A
+:class:`Battery` turns that story into numbers: capacity, a usable-
+energy derating from discharge efficiency, a state-of-charge gauge with
+quantized reporting (fuel gauges are coarse), and a cutoff.
+
+:func:`goal_for_deadline` converts "this charge must last until t" into
+the :class:`~repro.core.budget.EnergyGoal` JouleGuard consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.budget import EnergyGoal
+
+
+@dataclass
+class Battery:
+    """Simple energy-reservoir battery with gauge quantization.
+
+    Parameters
+    ----------
+    capacity_j:
+        Nominal full-charge energy (a phone battery at ~12 Wh is
+        ~43 kJ).
+    discharge_efficiency:
+        Fraction of nominal energy actually deliverable to the load
+        (conversion losses, voltage sag); the usable budget is
+        ``capacity × efficiency``.
+    cutoff_fraction:
+        State of charge at which the device shuts down (batteries are
+        never drained to zero).
+    gauge_resolution:
+        Reporting granularity of the fuel gauge (0.01 = whole percent).
+    """
+
+    capacity_j: float
+    discharge_efficiency: float = 0.92
+    cutoff_fraction: float = 0.03
+    gauge_resolution: float = 0.01
+    consumed_j: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.discharge_efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0.0 <= self.cutoff_fraction < 1.0:
+            raise ValueError("cutoff must be in [0, 1)")
+        if not 0.0 < self.gauge_resolution <= 1.0:
+            raise ValueError("gauge resolution must be in (0, 1]")
+
+    @property
+    def usable_j(self) -> float:
+        """Energy deliverable from full charge down to the cutoff."""
+        return (
+            self.capacity_j
+            * self.discharge_efficiency
+            * (1.0 - self.cutoff_fraction)
+        )
+
+    @property
+    def remaining_j(self) -> float:
+        return max(0.0, self.usable_j - self.consumed_j)
+
+    @property
+    def state_of_charge(self) -> float:
+        """Exact state of charge in [0, 1] of usable energy."""
+        return self.remaining_j / self.usable_j
+
+    @property
+    def gauge(self) -> float:
+        """Quantized state of charge, as a fuel gauge would report it."""
+        steps = round(self.state_of_charge / self.gauge_resolution)
+        return min(1.0, steps * self.gauge_resolution)
+
+    @property
+    def dead(self) -> bool:
+        return self.remaining_j <= 0.0
+
+    def drain(self, energy_j: float) -> bool:
+        """Consume energy; returns False once the battery is dead."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self.consumed_j += energy_j
+        return not self.dead
+
+
+def goal_for_deadline(
+    battery: Battery,
+    work_rate_per_s: float,
+    seconds_to_charger: float,
+    reserve_fraction: float = 0.0,
+) -> EnergyGoal:
+    """Budget the remaining charge over the work until the charger.
+
+    ``work_rate_per_s`` is how fast work arrives (frames/s the user
+    expects); the goal covers ``rate × deadline`` work units with the
+    battery's remaining usable energy, minus an optional reserve.
+    """
+    if work_rate_per_s <= 0 or seconds_to_charger <= 0:
+        raise ValueError("rate and deadline must be positive")
+    if not 0.0 <= reserve_fraction < 1.0:
+        raise ValueError("reserve must be in [0, 1)")
+    budget = battery.remaining_j * (1.0 - reserve_fraction)
+    if budget <= 0:
+        raise ValueError("battery is already dead")
+    return EnergyGoal(
+        total_work=work_rate_per_s * seconds_to_charger,
+        budget_j=budget,
+    )

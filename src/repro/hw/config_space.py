@@ -1,0 +1,140 @@
+"""Enumeration and linearization of a machine's system-configuration space.
+
+JouleGuard's learner treats every legal combination of knob settings as one
+arm of a multi-armed bandit (paper Sec. 3.2).  The paper's Fig. 3 plots
+energy efficiency against a *linearized configuration index* chosen so the
+lowest index is a single core at the slowest clock and the highest index is
+every resource maxed out; :func:`ConfigSpace.linearized` reproduces that
+ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from .knobs import Knob, SystemConfig, normalized_position, validate_config
+
+# A constraint receives a candidate config and returns True if it is legal.
+Constraint = Callable[[SystemConfig], bool]
+
+
+class ConfigSpace:
+    """The set of legal system configurations of one machine.
+
+    Parameters
+    ----------
+    knobs:
+        The machine's knobs.
+    constraint:
+        Optional predicate rejecting illegal combinations (e.g. "at least
+        one core active" on a big.LITTLE platform).
+    """
+
+    def __init__(
+        self,
+        knobs: Sequence[Knob],
+        constraint: Optional[Constraint] = None,
+    ) -> None:
+        if not knobs:
+            raise ValueError("a configuration space needs at least one knob")
+        names = [k.name for k in knobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate knob names: {names}")
+        self.knobs: Tuple[Knob, ...] = tuple(knobs)
+        self.constraint = constraint
+        self._configs: Tuple[SystemConfig, ...] = tuple(self._enumerate())
+        if not self._configs:
+            raise ValueError("constraint rejects every configuration")
+        self._index = {cfg: i for i, cfg in enumerate(self._configs)}
+
+    def _enumerate(self) -> Iterator[SystemConfig]:
+        names = [k.name for k in self.knobs]
+        # itertools.product varies the *last* knob fastest; combined with the
+        # ascending knob values this yields a deterministic lexicographic
+        # order from "everything minimal" to "everything maximal".
+        for combo in itertools.product(*(k.values for k in self.knobs)):
+            cfg = SystemConfig.from_mapping(dict(zip(names, combo)))
+            if self.constraint is None or self.constraint(cfg):
+                yield cfg
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[SystemConfig]:
+        return iter(self._configs)
+
+    def __contains__(self, config: SystemConfig) -> bool:
+        return config in self._index
+
+    def __getitem__(self, i: int) -> SystemConfig:
+        return self._configs[i]
+
+    def index_of(self, config: SystemConfig) -> int:
+        """Return the enumeration index of ``config``."""
+        try:
+            return self._index[config]
+        except KeyError:
+            raise ValueError(f"{config!r} is not in this space") from None
+
+    # -- named configurations ------------------------------------------------
+    @property
+    def minimal(self) -> SystemConfig:
+        """Single slowest unit of every resource (paper's lowest index)."""
+        return self.linearized()[0]
+
+    @property
+    def maximal(self) -> SystemConfig:
+        """All resources at their highest setting (the *default* config)."""
+        return self.linearized()[-1]
+
+    def knob(self, name: str) -> Knob:
+        for k in self.knobs:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+    def validate(self, config: SystemConfig) -> None:
+        validate_config(self.knobs, config)
+        if self.constraint is not None and not self.constraint(config):
+            raise ValueError(f"{config!r} violates the machine constraint")
+
+    # -- linearization (Fig. 3 x-axis) ---------------------------------------
+    def resource_level(self, config: SystemConfig) -> float:
+        """Scalar "how much resource" measure in [0, 1].
+
+        Mean of each knob's normalized ordinal position.  Monotone in every
+        knob, so the minimal config maps to 0 and the maximal to 1.
+        """
+        positions = [
+            normalized_position(k, config[k.name]) for k in self.knobs
+        ]
+        return sum(positions) / len(positions)
+
+    def linearized(self) -> List[SystemConfig]:
+        """Configs sorted by resource level (ties broken lexicographically).
+
+        Reproduces the configuration-index axis of the paper's Fig. 3: the
+        first entry is the minimal config, the last the machine default.
+        """
+        return sorted(
+            self._configs,
+            key=lambda c: (self.resource_level(c), c.settings),
+        )
+
+    def neighbors(self, config: SystemConfig) -> List[SystemConfig]:
+        """Configs reachable by moving one knob one step (legal ones only).
+
+        Not used by the bandit itself (which may jump anywhere) but handy
+        for local-search baselines and for tests of the space topology.
+        """
+        result = []
+        for k in self.knobs:
+            i = k.index_of(config[k.name])
+            for j in (i - 1, i + 1):
+                if 0 <= j < len(k):
+                    candidate = config.replace(**{k.name: k.values[j]})
+                    if self.constraint is None or self.constraint(candidate):
+                        result.append(candidate)
+        return result

@@ -1,0 +1,216 @@
+"""Racing vs. pacing to idle (paper Table 3's "idle" rows, ref. [19]).
+
+The paper notes "there are effectively an unlimited number of idle
+settings, as any application could be stalled arbitrarily".  For a
+periodic workload (``work`` units every ``period`` seconds) a platform
+can either
+
+* **race** (race-to-idle): run flat out in the default (fastest)
+  configuration, finish early, and idle for the rest of the period;
+* **pace**: run in the minimum-power configuration that still meets the
+  deadline, never idling (classic DVFS slowdown);
+* **hybrid**: pick *any* configuration and idle the slack — the optimum
+  neither heuristic reaches in general, and what JouleGuard's learner
+  effectively approximates from feedback.
+
+Which heuristic wins depends on the platform's power structure
+(Hoffmann, HotPower'13): when static/idle power dominates, racing wins;
+when dynamic power dominates (cubic in clock) and efficient slow
+configurations exist, pacing wins.  This module evaluates all three
+exactly on the analytic models, providing the idle dimension the
+closed-loop experiments abstract away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .knobs import SystemConfig
+from .machine import Machine
+from .power_model import system_power
+from .profiles import AppResourceProfile
+from .speedup_model import work_rate
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Energy verdict for one policy on one periodic job."""
+
+    policy: str
+    config: SystemConfig
+    busy_s: float
+    idle_s: float
+    energy_j: float
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / (self.busy_s + self.idle_s)
+
+
+def idle_power(machine: Machine, deep_sleep_fraction: float = 0.0) -> float:
+    """Full-system idle power.
+
+    ``deep_sleep_fraction`` discounts the processor idle draw for
+    platforms with effective sleep states (0 = plain idle, 1 = the
+    package sleeps entirely and only rest-of-system power remains).
+    """
+    if not 0.0 <= deep_sleep_fraction <= 1.0:
+        raise ValueError("deep_sleep_fraction must be in [0, 1]")
+    return machine.external_w + machine.idle_w * (1.0 - deep_sleep_fraction)
+
+
+def race_outcome(
+    machine: Machine,
+    profile: AppResourceProfile,
+    config: SystemConfig,
+    work: float,
+    period_s: float,
+    deep_sleep_fraction: float = 0.0,
+) -> Optional[PolicyOutcome]:
+    """Energy of racing in ``config`` then idling; None if it misses."""
+    if work <= 0 or period_s <= 0:
+        raise ValueError("work and period must be positive")
+    rate = work_rate(machine, config, profile)
+    busy = work / rate
+    if busy > period_s:
+        return None
+    idle = period_s - busy
+    energy = (
+        system_power(machine, config, profile) * busy
+        + idle_power(machine, deep_sleep_fraction) * idle
+    )
+    return PolicyOutcome(
+        policy="race", config=config, busy_s=busy, idle_s=idle,
+        energy_j=energy,
+    )
+
+
+def race_to_idle(
+    machine: Machine,
+    profile: AppResourceProfile,
+    work: float,
+    period_s: float,
+    deep_sleep_fraction: float = 0.0,
+) -> Optional[PolicyOutcome]:
+    """Classic race-to-idle: flat out in the default config, then sleep."""
+    return race_outcome(
+        machine,
+        profile,
+        machine.default_config,
+        work,
+        period_s,
+        deep_sleep_fraction,
+    )
+
+
+def best_hybrid(
+    machine: Machine,
+    profile: AppResourceProfile,
+    work: float,
+    period_s: float,
+    deep_sleep_fraction: float = 0.0,
+) -> Optional[PolicyOutcome]:
+    """The optimum: any configuration plus idle slack (None if none meets)."""
+    best: Optional[PolicyOutcome] = None
+    for config in machine.space:
+        outcome = race_outcome(
+            machine, profile, config, work, period_s, deep_sleep_fraction
+        )
+        if outcome and (best is None or outcome.energy_j < best.energy_j):
+            best = outcome
+    if best is None:
+        return None
+    return PolicyOutcome(
+        policy="hybrid",
+        config=best.config,
+        busy_s=best.busy_s,
+        idle_s=best.idle_s,
+        energy_j=best.energy_j,
+    )
+
+
+def best_pace(
+    machine: Machine,
+    profile: AppResourceProfile,
+    work: float,
+    period_s: float,
+) -> Optional[PolicyOutcome]:
+    """The minimum-power configuration that exactly fills the period.
+
+    Pure pacing: the job runs wall-to-wall (the discrete configuration
+    that *just* meets the deadline; any slack is negligible idle at the
+    same accounting as busy time to keep the policy honest).
+    """
+    if work <= 0 or period_s <= 0:
+        raise ValueError("work and period must be positive")
+    best: Optional[PolicyOutcome] = None
+    for config in machine.space:
+        rate = work_rate(machine, config, profile)
+        busy = work / rate
+        if busy > period_s:
+            continue
+        # Pacing charges the *active* power for the whole period — the
+        # configuration never sleeps.
+        energy = system_power(machine, config, profile) * period_s
+        if best is None or energy < best.energy_j:
+            best = PolicyOutcome(
+                policy="pace",
+                config=config,
+                busy_s=busy,
+                idle_s=period_s - busy,
+                energy_j=energy,
+            )
+    return best
+
+
+@dataclass(frozen=True)
+class RacePaceComparison:
+    """All three policies on the same periodic job."""
+
+    race: Optional[PolicyOutcome]
+    pace: Optional[PolicyOutcome]
+    hybrid: Optional[PolicyOutcome]
+
+    @property
+    def winner(self) -> str:
+        """The better of the two *heuristics* (race vs. pace)."""
+        if self.race is None and self.pace is None:
+            return "infeasible"
+        if self.race is None:
+            return "pace"
+        if self.pace is None:
+            return "race"
+        return "race" if self.race.energy_j <= self.pace.energy_j else "pace"
+
+    @property
+    def heuristic_gap(self) -> float:
+        """Energy of the winning heuristic over the hybrid optimum (≥ 1)."""
+        if self.hybrid is None:
+            raise ValueError("no feasible policy")
+        best_heuristic = min(
+            (o.energy_j for o in (self.race, self.pace) if o is not None),
+            default=None,
+        )
+        if best_heuristic is None:
+            raise ValueError("no feasible heuristic")
+        return best_heuristic / self.hybrid.energy_j
+
+
+def compare_policies(
+    machine: Machine,
+    profile: AppResourceProfile,
+    work: float,
+    period_s: float,
+    deep_sleep_fraction: float = 0.0,
+) -> RacePaceComparison:
+    """Evaluate race-to-idle, pacing, and the hybrid optimum."""
+    return RacePaceComparison(
+        race=race_to_idle(
+            machine, profile, work, period_s, deep_sleep_fraction
+        ),
+        pace=best_pace(machine, profile, work, period_s),
+        hybrid=best_hybrid(
+            machine, profile, work, period_s, deep_sleep_fraction
+        ),
+    )

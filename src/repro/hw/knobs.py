@@ -1,0 +1,130 @@
+"""System knobs: the discrete settings a platform exposes.
+
+A *knob* is one tunable hardware resource (core count, clock speed,
+hyperthreading, memory controllers).  Each knob has a name and an ordered
+tuple of values; higher positions always mean "more resources".  A
+:class:`SystemConfig` assigns one value to every knob of a machine.
+
+The paper (Table 3) characterizes each platform by its knobs and the
+measured speedup/powerup range each knob provides; :mod:`repro.hw.machines`
+instantiates the three platforms from these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable system resource.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"cores"`` or ``"clock_ghz"``.
+    values:
+        Ordered settings, smallest resource allocation first.  Values may
+        be numbers (core counts, GHz) or small ints encoding on/off.
+    """
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"knob {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"knob {self.name!r} has duplicate values")
+        if list(self.values) != sorted(self.values):
+            raise ValueError(f"knob {self.name!r} values must be ascending")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def min_value(self) -> float:
+        return self.values[0]
+
+    @property
+    def max_value(self) -> float:
+        return self.values[-1]
+
+    def index_of(self, value: float) -> int:
+        """Return the position of ``value``, raising ``ValueError`` if absent."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a setting of knob {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """An assignment of a value to every knob of a machine.
+
+    Instances are immutable and hashable so they can key estimator tables
+    in the bandit learner.  ``settings`` maps knob name to the chosen value.
+    """
+
+    settings: Tuple[Tuple[str, float], ...]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "SystemConfig":
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict:
+        return dict(self.settings)
+
+    def __getitem__(self, knob_name: str) -> float:
+        for name, value in self.settings:
+            if name == knob_name:
+                return value
+        raise KeyError(knob_name)
+
+    def get(self, knob_name: str, default: float = 0.0) -> float:
+        for name, value in self.settings:
+            if name == knob_name:
+                return value
+        return default
+
+    def replace(self, **changes: float) -> "SystemConfig":
+        """Return a copy with the given knob values substituted."""
+        updated = self.as_dict()
+        for name, value in changes.items():
+            if name not in updated:
+                raise KeyError(f"unknown knob {name!r}")
+            updated[name] = value
+        return SystemConfig.from_mapping(updated)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:g}" for k, v in self.settings)
+        return f"SystemConfig({parts})"
+
+
+def normalized_position(knob: Knob, value: float) -> float:
+    """Map ``value`` to [0, 1] by its ordinal position within ``knob``.
+
+    Used to linearize multi-dimensional configuration spaces into the
+    single "configuration index" axis of the paper's Fig. 3.
+    """
+    if len(knob) == 1:
+        return 1.0
+    return knob.index_of(value) / (len(knob) - 1)
+
+
+def validate_config(knobs: Sequence[Knob], config: SystemConfig) -> None:
+    """Raise ``ValueError`` unless ``config`` assigns a legal value per knob."""
+    by_name = {k.name: k for k in knobs}
+    names = {name for name, _ in config.settings}
+    if names != set(by_name):
+        missing = set(by_name) - names
+        extra = names - set(by_name)
+        raise ValueError(
+            f"config does not match knob set (missing={sorted(missing)}, "
+            f"extra={sorted(extra)})"
+        )
+    for name, value in config.settings:
+        by_name[name].index_of(value)

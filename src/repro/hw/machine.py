@@ -1,0 +1,156 @@
+"""Machine description: clusters, knobs, and electrical constants.
+
+A :class:`Machine` bundles a configuration space with the physical
+parameters needed by the performance model (:mod:`repro.hw.speedup_model`)
+and the power model (:mod:`repro.hw.power_model`).  The three platforms of
+the paper (Mobile / Tablet / Server, Table 3) are built from these pieces
+in :mod:`repro.hw.machines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from .config_space import ConfigSpace
+from .knobs import SystemConfig
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One group of identical cores sharing a clock domain.
+
+    Homogeneous machines have a single cluster; the Mobile platform's
+    big.LITTLE processor has two (Cortex-A15 "big" and Cortex-A7 "LITTLE").
+
+    Parameters
+    ----------
+    name:
+        Cluster identifier.
+    cores_knob:
+        Name of the knob giving the number of active cores (0 allowed on
+        multi-cluster machines).
+    speed_knob:
+        Name of the knob giving the cluster clock in GHz.
+    perf_per_ghz:
+        Single-core throughput, relative to the reference core, at 1 GHz.
+    leak_w:
+        Static power per active core in Watts.
+    dyn_w_per_ghz3:
+        Dynamic power per active core in Watts per GHz cubed (the paper's
+        Sec. 3.2 prior: power grows cubically with clock speed).
+    """
+
+    name: str
+    cores_knob: str
+    speed_knob: str
+    perf_per_ghz: float
+    leak_w: float
+    dyn_w_per_ghz3: float
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete platform: knob space plus electrical parameters.
+
+    Parameters
+    ----------
+    name:
+        Platform name ("mobile", "tablet", "server").
+    space:
+        Legal system configurations.
+    clusters:
+        Core clusters (at least one).
+    idle_w:
+        Processor-package idle power.
+    external_w:
+        Constant rest-of-system power (display, DRAM, disks, VRMs…).  The
+        paper adds a fixed constant to the on-chip meters for the same
+        reason (Sec. 4.2).
+    ht_knob:
+        Optional knob name: 1 = hyperthreading off, 2 = on.
+    memctrl_knob:
+        Optional knob name giving the number of active memory controllers.
+    ht_effectiveness:
+        Machine scaling of an application's ``ht_gain`` in [0, 1].
+    ht_power_w:
+        Additional power per active core when hyperthreading is enabled.
+    memctrl_power_w:
+        Power per active memory controller beyond the first.
+    bandwidth_per_ctrl:
+        Memory bandwidth per controller in "reference cores worth of
+        fully memory-bound demand" — drives saturation (Sec. 4.3's
+        multi-modal ferret landscape on Server).
+    bandwidth_thrash:
+        Queueing/contention penalty when demand exceeds bandwidth supply:
+        delivered bandwidth degrades as ``supply / (1 + thrash * excess)``.
+        Nonzero values let an oversubscribed default configuration run
+        *slower* than a leaner one, as the paper observes for ferret on
+        Server (Sec. 5.5).
+    effective_speed:
+        Optional quirk hook mapping a nominal clock to the clock the
+        firmware actually delivers (the Tablet exposes 8 settings but most
+        behave identically, Sec. 4.3).
+    turbo_power_w_per_ghz:
+        Extra dynamic power per core per GHz above ``turbo_knee_ghz``
+        (models TurboBoost's disproportionate cost, making the Server's
+        default configuration wasteful as observed in Sec. 4.3).
+    turbo_knee_ghz:
+        Clock above which the turbo penalty applies.
+    """
+
+    name: str
+    space: ConfigSpace
+    clusters: Tuple[Cluster, ...]
+    idle_w: float
+    external_w: float
+    ht_knob: Optional[str] = None
+    memctrl_knob: Optional[str] = None
+    ht_effectiveness: float = 1.0
+    ht_power_w: float = 0.0
+    memctrl_power_w: float = 0.0
+    bandwidth_per_ctrl: float = 8.0
+    bandwidth_thrash: float = 0.0
+    effective_speed: Optional[Callable[[str, float], float]] = None
+    turbo_power_w_per_ghz: float = 0.0
+    turbo_knee_ghz: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("a machine needs at least one cluster")
+        knob_names = {k.name for k in self.space.knobs}
+        for cluster in self.clusters:
+            for needed in (cluster.cores_knob, cluster.speed_knob):
+                if needed not in knob_names:
+                    raise ValueError(
+                        f"cluster {cluster.name!r} references unknown knob "
+                        f"{needed!r}"
+                    )
+        for optional in (self.ht_knob, self.memctrl_knob):
+            if optional is not None and optional not in knob_names:
+                raise ValueError(f"unknown knob {optional!r}")
+
+    # -- config helpers ------------------------------------------------------
+    @property
+    def default_config(self) -> SystemConfig:
+        """The out-of-the-box configuration: everything maxed (Sec. 4.3)."""
+        return self.space.maximal
+
+    def active_cores(self, config: SystemConfig) -> int:
+        """Total active cores across clusters (hyperthreads not counted)."""
+        return int(sum(config[c.cores_knob] for c in self.clusters))
+
+    def cluster_speed(self, cluster: Cluster, config: SystemConfig) -> float:
+        """Effective clock of ``cluster``, after any firmware quirk."""
+        nominal = config[cluster.speed_knob]
+        if self.effective_speed is not None:
+            return self.effective_speed(cluster.name, nominal)
+        return nominal
+
+    def hyperthreading_on(self, config: SystemConfig) -> bool:
+        return self.ht_knob is not None and config[self.ht_knob] >= 2
+
+    def memory_controllers(self, config: SystemConfig) -> int:
+        if self.memctrl_knob is None:
+            return 1
+        return int(config[self.memctrl_knob])

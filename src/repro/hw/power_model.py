@@ -1,0 +1,103 @@
+"""Power model: Watts drawn by (application, system configuration).
+
+Full-system power is composed of:
+
+* ``external_w`` — rest-of-system constant draw (the paper adds the same
+  kind of fixed constant to its on-chip meters, Sec. 4.2),
+* ``idle_w`` — processor-package idle power,
+* per-core static leakage (``leak_w`` × active cores),
+* per-core dynamic power ``dyn_w_per_ghz3 × f**3 × activity`` — the cubic
+  clock/power relationship the paper uses to initialize its learner
+  (Sec. 3.2), scaled by the application's activity factor,
+* a turbo penalty above the machine's turbo knee (makes the Server's
+  default configuration energy-inefficient, as observed in Sec. 4.3),
+* hyperthreading and memory-controller adders.
+
+Memory-bound applications stall more, which reduces switching activity;
+the model scales dynamic power down with the *unsatisfied* fraction of
+memory demand so that bandwidth-starved configurations draw less power.
+"""
+
+from __future__ import annotations
+
+from .knobs import SystemConfig
+from .machine import Cluster, Machine
+from .profiles import AppResourceProfile
+from .speedup_model import aggregate_capacity, bandwidth_limited_capacity
+
+
+def cluster_power(
+    machine: Machine,
+    cluster: Cluster,
+    config: SystemConfig,
+    profile: AppResourceProfile,
+) -> float:
+    """Static + dynamic power of one cluster under ``config``."""
+    n = config[cluster.cores_knob]
+    if n <= 0:
+        return 0.0
+    f = machine.cluster_speed(cluster, config)
+    dynamic = cluster.dyn_w_per_ghz3 * f**3 * profile.activity_factor
+    if f > machine.turbo_knee_ghz:
+        dynamic += (
+            machine.turbo_power_w_per_ghz
+            * (f - machine.turbo_knee_ghz)
+            * profile.activity_factor
+        )
+    return n * (cluster.leak_w + dynamic)
+
+
+def stall_derating(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Dynamic-power derating in (0, 1] from memory-bandwidth stalls.
+
+    If bandwidth satisfies the whole memory-bound demand the factor is 1;
+    a fully starved, fully memory-bound workload is derated to 0.55 (cores
+    stall but clocks keep switching).
+    """
+    raw = aggregate_capacity(machine, config, profile)
+    limited = bandwidth_limited_capacity(machine, config, profile, raw)
+    if raw <= 0.0:
+        return 1.0
+    starved_fraction = 1.0 - limited / raw
+    return 1.0 - 0.45 * starved_fraction
+
+
+def package_power(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Processor-package power (what the on-chip meters report)."""
+    machine.space.validate(config)
+    derate = stall_derating(machine, config, profile)
+    total = machine.idle_w
+    for cluster in machine.clusters:
+        static = config[cluster.cores_knob] * cluster.leak_w
+        dynamic = (
+            cluster_power(machine, cluster, config, profile) - static
+        ) * derate
+        total += static + dynamic
+    if machine.hyperthreading_on(config):
+        total += machine.ht_power_w * machine.active_cores(config)
+    extra_ctrls = max(0, machine.memory_controllers(config) - 1)
+    total += machine.memctrl_power_w * extra_ctrls
+    return total
+
+
+def system_power(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Full-system power: package plus rest-of-system constant draw."""
+    return package_power(machine, config, profile) + machine.external_w
+
+
+def powerup_over_minimal(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Power increase of ``config`` relative to the minimal config.
+
+    This is the "powerup" column of the paper's Table 3.
+    """
+    return system_power(machine, config, profile) / system_power(
+        machine, machine.space.minimal, profile
+    )

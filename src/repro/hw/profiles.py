@@ -1,0 +1,78 @@
+"""Application resource profiles: how a workload responds to hardware.
+
+JouleGuard never sees these numbers — it only observes (rate, power)
+feedback — but the platform simulator needs to know how each application's
+*default-accuracy* computation scales with cores, clock speed,
+hyperthreading, and memory bandwidth.  On the paper's testbed this response
+is a physical property of the PARSEC binaries; here it is captured by an
+:class:`AppResourceProfile` per application, chosen so the efficiency
+landscapes of Fig. 3 (smooth vs. multi-modal, platform-dependent peaks)
+emerge from the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppResourceProfile:
+    """Resource-response parameters of one application.
+
+    Parameters
+    ----------
+    name:
+        Application identifier (matches the app registry).
+    base_rate:
+        Work units per second on one reference core at 1 GHz in the
+        application's default (full accuracy) configuration.
+    parallel_fraction:
+        Amdahl's-law parallel fraction ``P`` in [0, 1).
+    clock_sensitivity:
+        Exponent ``beta`` with per-core speed proportional to ``f**beta``.
+        CPU-bound codes have beta near 1; memory-bound codes lower.
+    memory_boundness:
+        Fraction of execution limited by memory bandwidth, in [0, 1].
+        Drives both the benefit of extra memory controllers and the
+        bandwidth-saturation penalty of high thread counts.
+    ht_gain:
+        Fractional throughput gain from enabling hyperthreading before
+        machine scaling (e.g. 0.25 means SMT adds 25% per core at best).
+    activity_factor:
+        Scales dynamic (switching) power; near 1 for compute-dense codes,
+        lower for stall-heavy ones.
+    """
+
+    name: str
+    base_rate: float
+    parallel_fraction: float
+    clock_sensitivity: float
+    memory_boundness: float
+    ht_gain: float
+    activity_factor: float
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if not 0.0 <= self.parallel_fraction < 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1)")
+        if not 0.0 < self.clock_sensitivity <= 1.5:
+            raise ValueError("clock_sensitivity must be in (0, 1.5]")
+        if not 0.0 <= self.memory_boundness <= 1.0:
+            raise ValueError("memory_boundness must be in [0, 1]")
+        if not 0.0 <= self.ht_gain <= 1.0:
+            raise ValueError("ht_gain must be in [0, 1]")
+        if not 0.0 < self.activity_factor <= 2.0:
+            raise ValueError("activity_factor must be in (0, 2]")
+
+
+# A generic profile used by tests and the quickstart example.
+GENERIC_PROFILE = AppResourceProfile(
+    name="generic",
+    base_rate=10.0,
+    parallel_fraction=0.9,
+    clock_sensitivity=0.9,
+    memory_boundness=0.3,
+    ht_gain=0.2,
+    activity_factor=1.0,
+)

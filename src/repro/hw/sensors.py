@@ -1,0 +1,98 @@
+"""Power/energy measurement: noisy on-chip sensors + slow external meter.
+
+The paper's feedback pipeline (Sec. 4.2) combines fast on-chip power
+meters (INA-231 sensors on Mobile, RAPL-style registers on the Intel
+platforms, millisecond granularity) with a slow external wall-power meter
+(1 s granularity) used only to verify whole-run energy.  The on-chip
+meters miss rest-of-system power, so a fixed constant is added to them.
+
+This module reproduces that pipeline over the simulator's ground-truth
+power: :class:`OnChipPowerSensor` quantizes and perturbs package power and
+adds the fixed offset; :class:`ExternalPowerMeter` integrates true energy
+but only exposes it at coarse sample boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class OnChipPowerSensor:
+    """Fast, slightly wrong: quantized + noisy package power, fixed offset.
+
+    Parameters
+    ----------
+    fixed_offset_w:
+        Constant added to every reading to account for rest-of-system
+        power the on-chip meter cannot see (Sec. 4.2).
+    quantum_w:
+        Reading resolution in Watts (INA-231 registers are quantized).
+    noise_rel:
+        Standard deviation of multiplicative Gaussian reading noise.
+    rng:
+        Numpy generator; pass a seeded one for reproducible runs.
+    """
+
+    fixed_offset_w: float = 0.0
+    quantum_w: float = 0.005
+    noise_rel: float = 0.01
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def read(self, true_package_power_w: float) -> float:
+        """Return one sensor reading for the given true package power."""
+        if true_package_power_w < 0:
+            raise ValueError("power cannot be negative")
+        noisy = true_package_power_w * (
+            1.0 + self.rng.normal(0.0, self.noise_rel)
+        )
+        noisy = max(0.0, noisy)
+        if self.quantum_w > 0:
+            noisy = round(noisy / self.quantum_w) * self.quantum_w
+        return noisy + self.fixed_offset_w
+
+
+@dataclass
+class ExternalPowerMeter:
+    """Slow but truthful: integrates real energy at coarse sample points.
+
+    The meter accumulates true energy continuously but only *reports* at
+    multiples of ``sample_period_s`` — mirroring the paper's 1 s external
+    meter, "too slow to provide dynamic feedback" but good for verifying
+    total energy over a run.
+    """
+
+    sample_period_s: float = 1.0
+    _true_energy_j: float = 0.0
+    _reported_energy_j: float = 0.0
+    _clock_s: float = 0.0
+    _next_sample_s: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        self._next_sample_s = self.sample_period_s
+
+    def accumulate(self, power_w: float, duration_s: float) -> None:
+        """Record ``duration_s`` seconds of draw at ``power_w`` Watts."""
+        if duration_s < 0 or power_w < 0:
+            raise ValueError("power and duration must be non-negative")
+        self._true_energy_j += power_w * duration_s
+        self._clock_s += duration_s
+        while self._clock_s >= self._next_sample_s:
+            self._reported_energy_j = self._true_energy_j
+            self._next_sample_s += self.sample_period_s
+
+    @property
+    def reported_energy_j(self) -> float:
+        """Energy as of the last completed sample boundary."""
+        return self._reported_energy_j
+
+    @property
+    def true_energy_j(self) -> float:
+        """Ground-truth integrated energy (for verification in tests)."""
+        return self._true_energy_j

@@ -1,0 +1,181 @@
+"""Save and load machine descriptions.
+
+Custom platforms (see ``examples/custom_platform.py``) are plain data —
+knobs, clusters, electrical constants — and deserve to live in version-
+controlled JSON rather than Python.  Two parts of a
+:class:`~repro.hw.machine.Machine` are *behaviour*, not data, and are
+handled through named registries: configuration-space constraints and
+firmware speed quirks.  The built-in names cover the paper's platforms;
+users can register their own via :func:`register_constraint` /
+:func:`register_speed_quirk` before loading.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Optional, Union
+
+from .config_space import ConfigSpace, Constraint
+from .knobs import Knob, SystemConfig
+from .machine import Cluster, Machine
+from .machines import _mobile_constraint, _tablet_speed_quirk
+
+PathLike = Union[str, pathlib.Path]
+
+SCHEMA_VERSION = 1
+
+SpeedQuirk = Callable[[str, float], float]
+
+_CONSTRAINTS: Dict[str, Constraint] = {
+    "mobile_cluster_exclusive": _mobile_constraint,
+}
+_SPEED_QUIRKS: Dict[str, SpeedQuirk] = {
+    "tablet_firmware_plateau": _tablet_speed_quirk,
+}
+
+
+def register_constraint(name: str, constraint: Constraint) -> None:
+    """Register a named configuration-space constraint for loading."""
+    if name in _CONSTRAINTS:
+        raise ValueError(f"constraint {name!r} already registered")
+    _CONSTRAINTS[name] = constraint
+
+
+def register_speed_quirk(name: str, quirk: SpeedQuirk) -> None:
+    """Register a named firmware speed quirk for loading."""
+    if name in _SPEED_QUIRKS:
+        raise ValueError(f"speed quirk {name!r} already registered")
+    _SPEED_QUIRKS[name] = quirk
+
+
+def _behaviour_name(registry: Dict, func) -> Optional[str]:
+    for name, registered in registry.items():
+        if registered is func:
+            return name
+    return None
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """JSON-ready description of a machine.
+
+    Raises ``ValueError`` when the machine uses an unregistered
+    constraint or speed quirk (behaviour cannot be serialized).
+    """
+    constraint = machine.space.constraint
+    constraint_name = None
+    if constraint is not None:
+        constraint_name = _behaviour_name(_CONSTRAINTS, constraint)
+        if constraint_name is None:
+            raise ValueError(
+                "machine uses an unregistered constraint; call "
+                "register_constraint first"
+            )
+    quirk_name = None
+    if machine.effective_speed is not None:
+        quirk_name = _behaviour_name(_SPEED_QUIRKS, machine.effective_speed)
+        if quirk_name is None:
+            raise ValueError(
+                "machine uses an unregistered speed quirk; call "
+                "register_speed_quirk first"
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": machine.name,
+        "knobs": [
+            {"name": k.name, "values": list(k.values)}
+            for k in machine.space.knobs
+        ],
+        "constraint": constraint_name,
+        "clusters": [
+            {
+                "name": c.name,
+                "cores_knob": c.cores_knob,
+                "speed_knob": c.speed_knob,
+                "perf_per_ghz": c.perf_per_ghz,
+                "leak_w": c.leak_w,
+                "dyn_w_per_ghz3": c.dyn_w_per_ghz3,
+            }
+            for c in machine.clusters
+        ],
+        "idle_w": machine.idle_w,
+        "external_w": machine.external_w,
+        "ht_knob": machine.ht_knob,
+        "memctrl_knob": machine.memctrl_knob,
+        "ht_effectiveness": machine.ht_effectiveness,
+        "ht_power_w": machine.ht_power_w,
+        "memctrl_power_w": machine.memctrl_power_w,
+        "bandwidth_per_ctrl": machine.bandwidth_per_ctrl,
+        "bandwidth_thrash": machine.bandwidth_thrash,
+        "speed_quirk": quirk_name,
+        "turbo_power_w_per_ghz": machine.turbo_power_w_per_ghz,
+        "turbo_knee_ghz": (
+            None
+            if machine.turbo_knee_ghz == float("inf")
+            else machine.turbo_knee_ghz
+        ),
+    }
+
+
+def machine_from_dict(data: dict) -> Machine:
+    """Inverse of :func:`machine_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported machine schema {data.get('schema')!r}")
+    constraint = None
+    if data["constraint"] is not None:
+        try:
+            constraint = _CONSTRAINTS[data["constraint"]]
+        except KeyError:
+            raise ValueError(
+                f"unknown constraint {data['constraint']!r}; register it "
+                "before loading"
+            ) from None
+    quirk = None
+    if data["speed_quirk"] is not None:
+        try:
+            quirk = _SPEED_QUIRKS[data["speed_quirk"]]
+        except KeyError:
+            raise ValueError(
+                f"unknown speed quirk {data['speed_quirk']!r}; register "
+                "it before loading"
+            ) from None
+    space = ConfigSpace(
+        knobs=[
+            Knob(entry["name"], tuple(entry["values"]))
+            for entry in data["knobs"]
+        ],
+        constraint=constraint,
+    )
+    return Machine(
+        name=data["name"],
+        space=space,
+        clusters=tuple(
+            Cluster(**entry) for entry in data["clusters"]
+        ),
+        idle_w=data["idle_w"],
+        external_w=data["external_w"],
+        ht_knob=data["ht_knob"],
+        memctrl_knob=data["memctrl_knob"],
+        ht_effectiveness=data["ht_effectiveness"],
+        ht_power_w=data["ht_power_w"],
+        memctrl_power_w=data["memctrl_power_w"],
+        bandwidth_per_ctrl=data["bandwidth_per_ctrl"],
+        bandwidth_thrash=data["bandwidth_thrash"],
+        effective_speed=quirk,
+        turbo_power_w_per_ghz=data["turbo_power_w_per_ghz"],
+        turbo_knee_ghz=(
+            float("inf")
+            if data["turbo_knee_ghz"] is None
+            else data["turbo_knee_ghz"]
+        ),
+    )
+
+
+def save_machine(machine: Machine, path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(machine_to_dict(machine), indent=2) + "\n")
+    return path
+
+
+def load_machine(path: PathLike) -> Machine:
+    return machine_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,224 @@
+"""Platform simulator: executes application iterations on a machine model.
+
+One :class:`PlatformSimulator` stands in for the paper's physical testbed:
+given the current system configuration, the application's configuration-
+level speedup, and the work in the next iteration, it advances a virtual
+clock and returns the time, energy, and the (noisy) rate/power feedback
+the runtime would observe.  Noise is AR(1)-correlated multiplicative
+lognormal — consecutive iterations on real hardware are not independent —
+and arbitrary disturbances (page-fault storms, co-runners) can be injected
+to exercise the controller's robustness analysis (Sec. 3.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .knobs import SystemConfig
+from .machine import Machine
+from .power_model import package_power, system_power
+from .profiles import AppResourceProfile
+from .sensors import ExternalPowerMeter, OnChipPowerSensor
+from .speedup_model import work_rate
+
+# A disturbance maps the virtual time (s) to a rate multiplier.
+Disturbance = Callable[[float], float]
+
+
+@dataclass
+class NoiseModel:
+    """AR(1)-correlated multiplicative lognormal noise on rate and power.
+
+    ``sigma`` is the stationary standard deviation of the log-noise and
+    ``correlation`` the AR(1) coefficient.  ``sigma == 0`` gives a
+    noise-free deterministic platform (useful in unit tests).
+    """
+
+    sigma_rate: float = 0.05
+    sigma_power: float = 0.02
+    correlation: float = 0.6
+    _state_rate: float = 0.0
+    _state_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+        if self.sigma_rate < 0 or self.sigma_power < 0:
+            raise ValueError("noise sigmas must be non-negative")
+
+    def _step(self, state: float, sigma: float, rng: np.random.Generator):
+        if sigma == 0.0:
+            return 0.0, 1.0
+        innovation_sd = sigma * np.sqrt(1.0 - self.correlation**2)
+        state = self.correlation * state + rng.normal(0.0, innovation_sd)
+        return state, float(np.exp(state))
+
+    def sample(self, rng: np.random.Generator):
+        """Return one (rate multiplier, power multiplier) pair."""
+        self._state_rate, rate_mult = self._step(
+            self._state_rate, self.sigma_rate, rng
+        )
+        self._state_power, power_mult = self._step(
+            self._state_power, self.sigma_power, rng
+        )
+        return rate_mult, power_mult
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Outcome of one simulated application iteration."""
+
+    work: float
+    time_s: float
+    energy_j: float
+    true_rate: float
+    true_power_w: float
+    measured_rate: float
+    measured_power_w: float
+    clock_s: float
+
+
+@dataclass
+class PlatformSimulator:
+    """Virtual testbed for one (machine, application) pair.
+
+    Parameters
+    ----------
+    machine:
+        The platform model.
+    profile:
+        The application's resource profile.
+    noise:
+        Iteration-to-iteration variability; defaults to mild AR(1) noise.
+    seed:
+        RNG seed for reproducibility.
+    sensor:
+        On-chip power sensor; by default offset by the machine's external
+        power so readings approximate full-system power (Sec. 4.2).
+    switch_latency_s / switch_energy_j:
+        Cost of changing the system configuration (DVFS transitions and
+        core on/off-lining are not free on real hardware).  Defaults to
+        zero — the paper does not model it — but nonzero values penalize
+        controllers that thrash between configurations, which the
+        robustness tests exploit.
+    """
+
+    machine: Machine
+    profile: AppResourceProfile
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    seed: int = 0
+    sensor: Optional[OnChipPowerSensor] = None
+    meter: ExternalPowerMeter = field(default_factory=ExternalPowerMeter)
+    disturbances: List[Disturbance] = field(default_factory=list)
+    clock_s: float = 0.0
+    switch_latency_s: float = 0.0
+    switch_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.switch_latency_s < 0 or self.switch_energy_j < 0:
+            raise ValueError("switch costs must be non-negative")
+        self.rng = np.random.default_rng(self.seed)
+        self.switch_count = 0
+        self._last_config: Optional[SystemConfig] = None
+        if self.sensor is None:
+            self.sensor = OnChipPowerSensor(
+                fixed_offset_w=self.machine.external_w,
+                rng=np.random.default_rng(self.seed + 1),
+            )
+
+    def add_disturbance(self, disturbance: Disturbance) -> None:
+        """Register a rate disturbance (multiplier as a function of time)."""
+        self.disturbances.append(disturbance)
+
+    def _disturbance_multiplier(self) -> float:
+        mult = 1.0
+        for disturbance in self.disturbances:
+            mult *= disturbance(self.clock_s)
+        if mult <= 0:
+            raise ValueError("disturbances must keep the rate positive")
+        return mult
+
+    def run_iteration(
+        self,
+        config: SystemConfig,
+        work: float,
+        app_speedup: float = 1.0,
+        app_power_factor: float = 1.0,
+        input_difficulty: float = 1.0,
+    ) -> IterationResult:
+        """Execute ``work`` units and return timing/energy feedback.
+
+        ``app_speedup`` is the speedup of the current *application*
+        configuration over the application default; ``app_power_factor``
+        lets approximate configurations perturb power slightly (skipping
+        work changes the memory/compute mix).  ``input_difficulty``
+        scales the computational cost of this iteration's input relative
+        to nominal — the paper's "easier scene that naturally encodes
+        about 40 % faster" is difficulty 1/1.4 (Sec. 5.6).
+        """
+        if work <= 0:
+            raise ValueError("work must be positive")
+        if app_speedup <= 0:
+            raise ValueError("app speedup must be positive")
+        if input_difficulty <= 0:
+            raise ValueError("input difficulty must be positive")
+        rate_mult, power_mult = self.noise.sample(self.rng)
+        base_rate = work_rate(self.machine, config, self.profile)
+        true_rate = (
+            base_rate
+            * app_speedup
+            * rate_mult
+            * self._disturbance_multiplier()
+            / input_difficulty
+        )
+        true_power = (
+            system_power(self.machine, config, self.profile)
+            * app_power_factor
+            * power_mult
+        )
+        time_s = work / true_rate
+        energy_j = true_power * time_s
+        if self._last_config is not None and config != self._last_config:
+            self.switch_count += 1
+            time_s += self.switch_latency_s
+            energy_j += (
+                self.switch_energy_j
+                + true_power * self.switch_latency_s
+            )
+        self._last_config = config
+        self.clock_s += time_s
+        self.meter.accumulate(true_power, time_s)
+
+        pkg = package_power(self.machine, config, self.profile)
+        measured_power = self.sensor.read(pkg * app_power_factor * power_mult)
+        # Performance feedback: work and time are directly observable.
+        measured_rate = work / time_s
+        return IterationResult(
+            work=work,
+            time_s=time_s,
+            energy_j=energy_j,
+            true_rate=true_rate,
+            true_power_w=true_power,
+            measured_rate=measured_rate,
+            measured_power_w=measured_power,
+            clock_s=self.clock_s,
+        )
+
+    # -- noise-free queries (used by the oracle and characterization) -------
+    def ideal_rate(self, config: SystemConfig, app_speedup: float = 1.0):
+        """Noise-free rate for (config, app speedup)."""
+        return work_rate(self.machine, config, self.profile) * app_speedup
+
+    def ideal_power(self, config: SystemConfig, app_power_factor: float = 1.0):
+        """Noise-free full-system power for the configuration."""
+        return (
+            system_power(self.machine, config, self.profile)
+            * app_power_factor
+        )
+
+    def energy_efficiency(self, config: SystemConfig) -> float:
+        """Noise-free rate/power — the y-axis of the paper's Fig. 3."""
+        return self.ideal_rate(config) / self.ideal_power(config)

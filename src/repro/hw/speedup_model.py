@@ -1,0 +1,135 @@
+"""Performance model: work rate of (application, system configuration).
+
+Computes the throughput, in application work units per second, that a
+machine configuration delivers for an application's default-accuracy
+computation.  The model combines:
+
+* per-core speed scaling ``f**beta`` (``beta`` = clock sensitivity),
+* Amdahl's law over heterogeneous clusters — the serial fraction runs on
+  the fastest active core, the parallel fraction on the aggregate capacity,
+* a hyperthreading bonus (application gain × machine effectiveness),
+* memory-bandwidth saturation: the memory-bound share of the aggregate
+  demand is capped by the active memory controllers, which both limits
+  thread scaling and makes the memory-controller knob matter.
+
+JouleGuard itself never calls this module directly; it observes the
+resulting rates through the simulator's noisy feedback, exactly as the
+paper's runtime observes hardware.
+"""
+
+from __future__ import annotations
+
+from .knobs import SystemConfig
+from .machine import Machine
+from .profiles import AppResourceProfile
+
+
+def core_speed(
+    machine: Machine, cluster_name: str, freq_ghz: float, beta: float
+) -> float:
+    """Relative speed of one core of ``cluster_name`` at ``freq_ghz``.
+
+    Normalized so a reference core (``perf_per_ghz == 1``) at 1 GHz with
+    ``beta == 1`` has speed 1.
+    """
+    for cluster in machine.clusters:
+        if cluster.name == cluster_name:
+            if freq_ghz <= 0:
+                raise ValueError("frequency must be positive")
+            return cluster.perf_per_ghz * freq_ghz**beta
+    raise KeyError(cluster_name)
+
+
+def aggregate_capacity(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Total parallel capacity in reference-core units (before bandwidth)."""
+    capacity = 0.0
+    for cluster in machine.clusters:
+        n = config[cluster.cores_knob]
+        if n <= 0:
+            continue
+        f = machine.cluster_speed(cluster, config)
+        capacity += n * core_speed(
+            machine, cluster.name, f, profile.clock_sensitivity
+        )
+    if machine.hyperthreading_on(config):
+        capacity *= 1.0 + profile.ht_gain * machine.ht_effectiveness
+    return capacity
+
+
+def fastest_core_speed(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Speed of the fastest single active core (runs the serial fraction)."""
+    best = 0.0
+    for cluster in machine.clusters:
+        if config[cluster.cores_knob] <= 0:
+            continue
+        f = machine.cluster_speed(cluster, config)
+        best = max(
+            best,
+            core_speed(machine, cluster.name, f, profile.clock_sensitivity),
+        )
+    return best
+
+
+def bandwidth_limited_capacity(
+    machine: Machine,
+    config: SystemConfig,
+    profile: AppResourceProfile,
+    raw_capacity: float,
+) -> float:
+    """Apply memory-bandwidth saturation to the parallel capacity.
+
+    The memory-bound share of the demand (``memory_boundness`` ×
+    capacity) cannot exceed the bandwidth supplied by the active memory
+    controllers; the compute-bound share is unaffected.  When demand
+    oversubscribes supply, queueing degrades the delivered bandwidth by
+    the machine's ``bandwidth_thrash`` factor, so piling on threads can
+    reduce absolute throughput (the paper's ferret-on-Server behaviour).
+    """
+    mb = profile.memory_boundness
+    if mb <= 0.0:
+        return raw_capacity
+    supply = machine.memory_controllers(config) * machine.bandwidth_per_ctrl
+    demand = raw_capacity * mb
+    if demand <= supply:
+        satisfied = demand
+    else:
+        excess = demand / supply - 1.0
+        satisfied = supply / (1.0 + machine.bandwidth_thrash * excess)
+    return raw_capacity * (1.0 - mb) + satisfied
+
+
+def work_rate(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Work units per second for ``profile`` under ``config``.
+
+    Amdahl's law with heterogeneous clusters::
+
+        t(one unit) = (1 - P) / fastest  +  P / capacity
+    """
+    machine.space.validate(config)
+    serial = 1.0 - profile.parallel_fraction
+    fastest = fastest_core_speed(machine, config, profile)
+    if fastest <= 0.0:
+        raise ValueError("configuration has no active cores")
+    capacity = bandwidth_limited_capacity(
+        machine,
+        config,
+        profile,
+        aggregate_capacity(machine, config, profile),
+    )
+    unit_time = serial / fastest + profile.parallel_fraction / capacity
+    return profile.base_rate / unit_time
+
+
+def speedup_over_minimal(
+    machine: Machine, config: SystemConfig, profile: AppResourceProfile
+) -> float:
+    """Speedup of ``config`` relative to the machine's minimal config."""
+    return work_rate(machine, config, profile) / work_rate(
+        machine, machine.space.minimal, profile
+    )

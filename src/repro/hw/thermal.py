@@ -1,0 +1,124 @@
+"""Thermal model with throttling: heat is the other resource budget.
+
+Power produces heat; package temperature follows a first-order RC
+model::
+
+    T(t+dt) = T + dt/C · (P_package − (T − T_ambient)/R)
+
+When the temperature crosses the throttle threshold, the platform
+reduces its delivered performance (firmware DVFS throttling), which the
+runtime experiences as yet another unmodeled disturbance its feedback
+must absorb.  Attach a :class:`ThermalModel` to a
+:class:`~repro.hw.simulator.PlatformSimulator` via
+:func:`attach_thermal_model`; the integration tests drive JouleGuard
+against a throttling platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .simulator import PlatformSimulator
+
+
+@dataclass
+class ThermalModel:
+    """First-order package thermal model with proportional throttling.
+
+    Parameters
+    ----------
+    ambient_c:
+        Ambient temperature.
+    thermal_resistance_c_per_w:
+        Steady-state °C rise per Watt of package power.
+    time_constant_s:
+        RC time constant of the package + heatsink.
+    throttle_threshold_c:
+        Temperature at which throttling engages.
+    critical_c:
+        Temperature of maximum throttling; delivered performance scales
+        linearly from 1.0 at the threshold to ``min_throttle`` here.
+    min_throttle:
+        Performance floor under full throttling (> 0).
+    """
+
+    ambient_c: float = 25.0
+    thermal_resistance_c_per_w: float = 0.5
+    time_constant_s: float = 10.0
+    throttle_threshold_c: float = 85.0
+    critical_c: float = 105.0
+    min_throttle: float = 0.3
+    temperature_c: float = field(default=25.0)
+
+    def __post_init__(self) -> None:
+        if self.time_constant_s <= 0:
+            raise ValueError("time constant must be positive")
+        if self.thermal_resistance_c_per_w <= 0:
+            raise ValueError("thermal resistance must be positive")
+        if self.critical_c <= self.throttle_threshold_c:
+            raise ValueError("critical must exceed the throttle threshold")
+        if not 0.0 < self.min_throttle <= 1.0:
+            raise ValueError("min_throttle must be in (0, 1]")
+
+    def advance(self, package_power_w: float, dt_s: float) -> float:
+        """Integrate the thermal state over ``dt_s``; return temperature.
+
+        Uses the exact exponential solution of the linear model so large
+        iteration times remain stable.
+        """
+        if package_power_w < 0 or dt_s < 0:
+            raise ValueError("power and time must be non-negative")
+        import math
+
+        steady = (
+            self.ambient_c
+            + package_power_w * self.thermal_resistance_c_per_w
+        )
+        decay = math.exp(-dt_s / self.time_constant_s)
+        self.temperature_c = steady + (self.temperature_c - steady) * decay
+        return self.temperature_c
+
+    @property
+    def throttle_factor(self) -> float:
+        """Delivered-performance multiplier at the current temperature."""
+        if self.temperature_c <= self.throttle_threshold_c:
+            return 1.0
+        span = self.critical_c - self.throttle_threshold_c
+        overshoot = min(
+            self.temperature_c - self.throttle_threshold_c, span
+        )
+        return 1.0 - (1.0 - self.min_throttle) * (overshoot / span)
+
+    @property
+    def throttling(self) -> bool:
+        return self.temperature_c > self.throttle_threshold_c
+
+    def steady_state_c(self, package_power_w: float) -> float:
+        """Equilibrium temperature at constant package power."""
+        return (
+            self.ambient_c
+            + package_power_w * self.thermal_resistance_c_per_w
+        )
+
+
+def attach_thermal_model(
+    simulator: PlatformSimulator, model: ThermalModel
+) -> ThermalModel:
+    """Couple a thermal model to a simulator as a rate disturbance.
+
+    The disturbance reads the model's current throttle factor; the model
+    itself is advanced after each iteration from the iteration's package
+    power and duration (a monkeypatch-free wrapper around
+    ``run_iteration``).
+    """
+    simulator.add_disturbance(lambda t: model.throttle_factor)
+    original = simulator.run_iteration
+
+    def run_iteration(*args, **kwargs):
+        result = original(*args, **kwargs)
+        package = result.true_power_w - simulator.machine.external_w
+        model.advance(max(package, 0.0), result.time_s)
+        return result
+
+    simulator.run_iteration = run_iteration  # type: ignore[method-assign]
+    return model

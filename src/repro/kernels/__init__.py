@@ -1,0 +1,105 @@
+"""Computational kernels backing the eight approximate applications.
+
+Each module implements, at laptop scale, the real computation of one of
+the paper's benchmarks (Sec. 4.1), so the accuracy/performance trade-offs
+the runtime manages are earned by actual algorithms rather than asserted:
+
+================  ==========================================  ============
+paper benchmark   kernel                                       accuracy
+================  ==========================================  ============
+swish++           :mod:`.search` inverted-index engine         precision/recall
+streamcluster     :mod:`.clustering` streaming k-median        clustering cost
+canneal           :mod:`.annealing` SA place-and-route         wire length
+swaptions         :mod:`.montecarlo` MC swaption pricing       price error
+radar             :mod:`.signal` matched-filter detection      SNR / detection F1
+x264              :mod:`.video` block motion-comp encoder      PSNR
+bodytrack         :mod:`.tracking` annealed particle filter    track quality
+ferret            :mod:`.similarity` probe-and-rank search     result similarity
+================  ==========================================  ============
+"""
+
+from .annealing import Annealer, Netlist, Placement, route_quality
+from .clustering import (
+    KMedianLocalSearch,
+    StreamCluster,
+    clustering_cost,
+    gaussian_mixture_stream,
+)
+from .corpus import Document, QueryGenerator, SyntheticCorpus
+from .montecarlo import MarketModel, Swaption, price_swaption, pricing_accuracy
+from .search import (
+    InvertedIndex,
+    SearchEngine,
+    SearchResult,
+    f1_score,
+    precision_recall,
+)
+from .signal import (
+    PhasedArrayScene,
+    RadarScene,
+    beamform,
+    cfar_detect,
+    detect_targets,
+    detection_quality,
+    matched_filter,
+    steering_vector,
+)
+from .similarity import (
+    FeatureDatabase,
+    SimilaritySearch,
+    exhaustive_top_k,
+    result_similarity,
+)
+from .tracking import AnnealedParticleFilter, BodyScene, track_quality
+from .video import (
+    EncoderConfig,
+    SyntheticVideo,
+    encode_frame,
+    encode_sequence,
+    motion_estimate,
+    psnr,
+)
+
+__all__ = [
+    "AnnealedParticleFilter",
+    "Annealer",
+    "BodyScene",
+    "Document",
+    "EncoderConfig",
+    "FeatureDatabase",
+    "InvertedIndex",
+    "KMedianLocalSearch",
+    "MarketModel",
+    "Netlist",
+    "PhasedArrayScene",
+    "Placement",
+    "QueryGenerator",
+    "RadarScene",
+    "SearchEngine",
+    "SearchResult",
+    "SimilaritySearch",
+    "StreamCluster",
+    "Swaption",
+    "SyntheticCorpus",
+    "SyntheticVideo",
+    "beamform",
+    "cfar_detect",
+    "clustering_cost",
+    "detect_targets",
+    "detection_quality",
+    "encode_frame",
+    "encode_sequence",
+    "exhaustive_top_k",
+    "f1_score",
+    "gaussian_mixture_stream",
+    "matched_filter",
+    "motion_estimate",
+    "precision_recall",
+    "price_swaption",
+    "pricing_accuracy",
+    "psnr",
+    "result_similarity",
+    "route_quality",
+    "steering_vector",
+    "track_quality",
+]

@@ -1,0 +1,172 @@
+"""Streaming k-median clustering (the streamcluster substrate).
+
+streamcluster (PARSEC) clusters a stream of points with online k-median
+local search.  Loop Perforation speeds it up by evaluating only a sample
+of candidate reassignments, degrading clustering quality slightly
+(Table 2: up to 5.52x speedup for 0.55 % quality loss).
+
+This module implements a compact but real streaming k-median: points
+arrive in chunks, each chunk is clustered by weighted k-median local
+search, and chunk medians are re-clustered into the final centers.  The
+perforation knob ``evaluation_fraction`` subsamples the candidate-opening
+loop — the same loop PARSEC's perforation targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+def clustering_cost(
+    points: np.ndarray, centers: np.ndarray, weights: Optional[np.ndarray] = None
+) -> float:
+    """Sum of (weighted) distances from each point to its nearest center."""
+    if len(centers) == 0:
+        raise ValueError("need at least one center")
+    deltas = points[:, None, :] - centers[None, :, :]
+    dists = np.sqrt((deltas**2).sum(axis=2)).min(axis=1)
+    if weights is None:
+        return float(dists.sum())
+    return float((dists * weights).sum())
+
+
+def _assign(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    deltas = points[:, None, :] - centers[None, :, :]
+    return ((deltas**2).sum(axis=2)).argmin(axis=1)
+
+
+@dataclass
+class KMedianLocalSearch:
+    """Weighted k-median by sampled local search (open/close swaps).
+
+    ``evaluation_fraction`` in (0, 1] is the perforation knob: the share
+    of candidate centers evaluated per improvement round.
+    """
+
+    k: int
+    evaluation_fraction: float = 1.0
+    max_rounds: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if not 0.0 < self.evaluation_fraction <= 1.0:
+            raise ValueError("evaluation_fraction must be in (0, 1]")
+
+    def fit(
+        self, points: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Return ``k`` centers chosen from ``points`` (k-median medoids)."""
+        n = len(points)
+        if n == 0:
+            raise ValueError("no points")
+        rng = np.random.default_rng(self.seed)
+        k = min(self.k, n)
+        if weights is None:
+            weights = np.ones(n)
+        # k-means++-style seeding, then sampled swap improvement.
+        center_idx = [int(rng.integers(n))]
+        for _ in range(k - 1):
+            d2 = np.min(
+                ((points[:, None, :] - points[center_idx][None, :, :]) ** 2).sum(
+                    axis=2
+                ),
+                axis=1,
+            )
+            probs = d2 * weights
+            total = probs.sum()
+            if total <= 0:
+                probs = np.ones(n) / n
+            else:
+                probs = probs / total
+            center_idx.append(int(rng.choice(n, p=probs)))
+        centers = list(center_idx)
+        best_cost = clustering_cost(points, points[centers], weights)
+        for _ in range(self.max_rounds):
+            improved = False
+            n_candidates = max(1, int(round(n * self.evaluation_fraction)))
+            candidates = rng.choice(n, size=n_candidates, replace=False)
+            for candidate in candidates:
+                if candidate in centers:
+                    continue
+                for slot in range(len(centers)):
+                    trial = centers.copy()
+                    trial[slot] = int(candidate)
+                    cost = clustering_cost(points, points[trial], weights)
+                    if cost < best_cost * (1 - 1e-12):
+                        centers = trial
+                        best_cost = cost
+                        improved = True
+                        break
+            if not improved:
+                break
+        return points[centers]
+
+
+@dataclass
+class StreamCluster:
+    """Two-level streaming k-median over chunked input.
+
+    Each chunk of the stream is reduced to its local medians (weighted by
+    their assignment counts); the weighted medians are then re-clustered
+    into the final ``k`` centers — the standard streaming construction
+    used by PARSEC's streamcluster.
+    """
+
+    k: int
+    chunk_size: int = 128
+    evaluation_fraction: float = 1.0
+    seed: int = 0
+
+    def cluster(self, stream: Iterable[np.ndarray]) -> np.ndarray:
+        """Consume ``stream`` (arrays of shape (n, d)) and return centers."""
+        medians: List[np.ndarray] = []
+        counts: List[float] = []
+        chunk_seed = self.seed
+        for chunk in stream:
+            if len(chunk) == 0:
+                continue
+            search = KMedianLocalSearch(
+                k=self.k,
+                evaluation_fraction=self.evaluation_fraction,
+                seed=chunk_seed,
+            )
+            centers = search.fit(chunk)
+            assignment = _assign(chunk, centers)
+            for center_slot, center in enumerate(centers):
+                weight = float((assignment == center_slot).sum())
+                if weight > 0:
+                    medians.append(center)
+                    counts.append(weight)
+            chunk_seed += 1
+        if not medians:
+            raise ValueError("stream was empty")
+        median_points = np.asarray(medians)
+        weights = np.asarray(counts)
+        final = KMedianLocalSearch(
+            k=self.k, evaluation_fraction=1.0, seed=self.seed + 10_000
+        )
+        return final.fit(median_points, weights)
+
+
+def gaussian_mixture_stream(
+    n_chunks: int,
+    chunk_size: int,
+    k: int,
+    dim: int = 4,
+    spread: float = 0.15,
+    seed: int = 0,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Synthetic stream with known ground-truth centers (for quality eval)."""
+    rng = np.random.default_rng(seed)
+    true_centers = rng.uniform(-1.0, 1.0, size=(k, dim))
+    chunks = []
+    for _ in range(n_chunks):
+        labels = rng.integers(k, size=chunk_size)
+        noise = rng.normal(0.0, spread, size=(chunk_size, dim))
+        chunks.append(true_centers[labels] + noise)
+    return chunks, true_centers

@@ -1,0 +1,146 @@
+"""Synthetic document corpus and query stream.
+
+The paper's swish++ experiment (Sec. 2, footnote 1) indexes public-domain
+books from Project Gutenberg and issues queries drawn from the corpus
+vocabulary "at random following a power law distribution".  Gutenberg
+texts are not available offline, so this module synthesizes a corpus with
+the same statistical structure: a Zipf-distributed vocabulary, documents
+of varying length with topic skew, and a power-law query generator over
+the non-stop-word vocabulary — which is what makes search results (and
+hence precision/recall of truncated result lists) realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Words this frequent are treated as stop words (excluded from queries,
+#: mirroring the paper's setup).
+STOP_WORD_COUNT = 25
+
+
+def _word(i: int) -> str:
+    """Deterministic pronounceable token for vocabulary id ``i``."""
+    consonants = "bcdfghjklmnpqrstvwz"
+    vowels = "aeiou"
+    parts = []
+    n = i
+    while True:
+        parts.append(consonants[n % len(consonants)])
+        parts.append(vowels[(n // len(consonants)) % len(vowels)])
+        n //= len(consonants) * len(vowels)
+        if n == 0:
+            break
+    return "".join(parts) + str(i % 10)
+
+
+@dataclass(frozen=True)
+class Document:
+    """One synthetic document: id, topic, and token sequence."""
+
+    doc_id: int
+    topic: int
+    tokens: Tuple[str, ...]
+
+
+@dataclass
+class SyntheticCorpus:
+    """Zipf-vocabulary, topic-skewed document collection.
+
+    Parameters
+    ----------
+    n_docs:
+        Number of documents.
+    vocabulary_size:
+        Distinct words (including stop words).
+    n_topics:
+        Topical clusters; a document draws a boosted share of its words
+        from its topic's slice of the vocabulary, so different documents
+        have genuinely different relevance for a query.
+    mean_doc_len / doc_len_spread:
+        Document length distribution (log-normal-ish).
+    zipf_exponent:
+        Word-frequency skew; ~1.1 matches natural language.
+    seed:
+        RNG seed; the corpus is fully deterministic given the seed.
+    """
+
+    n_docs: int = 200
+    vocabulary_size: int = 2000
+    n_topics: int = 8
+    mean_doc_len: int = 400
+    doc_len_spread: float = 0.35
+    zipf_exponent: float = 1.1
+    seed: int = 42
+    documents: List[Document] = field(init=False)
+    vocabulary: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_docs <= 0 or self.vocabulary_size <= STOP_WORD_COUNT:
+            raise ValueError("corpus too small")
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = tuple(_word(i) for i in range(self.vocabulary_size))
+        base_weights = 1.0 / np.arange(1, self.vocabulary_size + 1) ** (
+            self.zipf_exponent
+        )
+        topic_size = self.vocabulary_size // self.n_topics
+        docs = []
+        for doc_id in range(self.n_docs):
+            topic = int(rng.integers(self.n_topics))
+            weights = base_weights.copy()
+            lo = topic * topic_size
+            weights[lo : lo + topic_size] *= 8.0
+            weights /= weights.sum()
+            length = max(
+                20,
+                int(
+                    rng.lognormal(
+                        np.log(self.mean_doc_len), self.doc_len_spread
+                    )
+                ),
+            )
+            ids = rng.choice(self.vocabulary_size, size=length, p=weights)
+            tokens = tuple(self.vocabulary[i] for i in ids)
+            docs.append(Document(doc_id=doc_id, topic=topic, tokens=tokens))
+        self.documents = docs
+
+    @property
+    def stop_words(self) -> Tuple[str, ...]:
+        """The most frequent words, excluded from query generation."""
+        return self.vocabulary[:STOP_WORD_COUNT]
+
+
+@dataclass
+class QueryGenerator:
+    """Power-law query stream over a corpus vocabulary (paper footnote 1).
+
+    Queries select 1–``max_terms`` non-stop words with probability
+    proportional to ``rank ** -exponent`` over the queryable vocabulary.
+    """
+
+    corpus: SyntheticCorpus
+    max_terms: int = 3
+    exponent: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        queryable = self.corpus.vocabulary[STOP_WORD_COUNT:]
+        self._words = queryable
+        weights = 1.0 / np.arange(1, len(queryable) + 1) ** self.exponent
+        self._weights = weights / weights.sum()
+
+    def next_query(self) -> List[str]:
+        """Draw one query (a list of distinct terms)."""
+        n_terms = int(self._rng.integers(1, self.max_terms + 1))
+        ids = self._rng.choice(
+            len(self._words), size=n_terms, replace=False, p=self._weights
+        )
+        return [self._words[i] for i in ids]
+
+    def batch(self, n: int) -> List[List[str]]:
+        """Draw ``n`` queries."""
+        return [self.next_query() for _ in range(n)]

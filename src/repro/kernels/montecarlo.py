@@ -1,0 +1,117 @@
+"""Monte-Carlo swaption pricing (the swaptions substrate).
+
+swaptions (PARSEC) prices portfolios of swaptions by Monte-Carlo
+simulation of the Heath-Jarrow-Morton framework.  PowerDial's knob is the
+number of simulation trials: 100 configurations spanning a 100x speedup
+for 1.5 % price error (Table 2).
+
+This module implements a one-factor HJM-style simulation: forward-rate
+curves evolve under lognormal volatility, each path prices the underlying
+swap at exercise, and the swaption value is the discounted mean positive
+payoff.  Fewer trials → proportionally less work, more pricing noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Swaption:
+    """A payer swaption: the right to enter a pay-fixed swap.
+
+    Parameters
+    ----------
+    strike:
+        Fixed rate of the underlying swap.
+    maturity_years:
+        Option exercise time.
+    tenor_years:
+        Length of the underlying swap after exercise.
+    payment_interval_years:
+        Coupon spacing of the underlying swap.
+    """
+
+    strike: float = 0.04
+    maturity_years: float = 1.0
+    tenor_years: float = 3.0
+    payment_interval_years: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(
+            self.strike,
+            self.maturity_years,
+            self.tenor_years,
+            self.payment_interval_years,
+        ) <= 0:
+            raise ValueError("swaption parameters must be positive")
+
+
+@dataclass(frozen=True)
+class MarketModel:
+    """Flat initial forward curve with one-factor lognormal volatility."""
+
+    initial_rate: float = 0.04
+    volatility: float = 0.2
+    time_step_years: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.initial_rate <= 0 or self.volatility <= 0:
+            raise ValueError("market parameters must be positive")
+
+
+def price_swaption(
+    swaption: Swaption,
+    market: MarketModel,
+    n_trials: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo price of ``swaption`` with ``n_trials`` paths.
+
+    Work is O(n_trials × steps × payments); ``n_trials`` is the paper's
+    approximation knob.
+    """
+    if n_trials <= 0:
+        raise ValueError("need at least one trial")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    steps = max(1, int(round(swaption.maturity_years / market.time_step_years)))
+    dt = swaption.maturity_years / steps
+    # Evolve the short rate to exercise under lognormal dynamics
+    # (drift-adjusted so the rate is a martingale in expectation).
+    shocks = rng.normal(0.0, 1.0, size=(n_trials, steps))
+    log_paths = (
+        -0.5 * market.volatility**2 * dt + market.volatility * np.sqrt(dt) * shocks
+    ).cumsum(axis=1)
+    rates_at_exercise = market.initial_rate * np.exp(log_paths[:, -1])
+
+    # Value the underlying pay-fixed swap at exercise per path: annuity
+    # discounting with the path's flat rate.
+    n_payments = int(round(swaption.tenor_years / swaption.payment_interval_years))
+    payment_times = swaption.payment_interval_years * np.arange(
+        1, n_payments + 1
+    )
+    discounts = np.exp(
+        -np.outer(rates_at_exercise, payment_times)
+    )  # (trials, payments)
+    annuity = swaption.payment_interval_years * discounts.sum(axis=1)
+    swap_value = annuity * (rates_at_exercise - swaption.strike)
+    payoff = np.maximum(swap_value, 0.0)
+
+    discount_to_today = np.exp(-market.initial_rate * swaption.maturity_years)
+    return float(discount_to_today * payoff.mean())
+
+
+def pricing_accuracy(price: float, reference_price: float) -> float:
+    """Accuracy of an approximate price against the full-trial reference.
+
+    1 minus relative error, floored at 0 (the paper reports swaptions
+    accuracy loss as relative price error, Table 2).
+    """
+    if reference_price <= 0:
+        raise ValueError("reference price must be positive")
+    return max(0.0, 1.0 - abs(price - reference_price) / reference_price)

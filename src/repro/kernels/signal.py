@@ -1,0 +1,248 @@
+"""Phased-array radar target detection (the radar substrate).
+
+The paper's radar benchmark [21] is a digital signal-processing pipeline
+that detects targets in the returns of a phased-array antenna.  Its
+PowerDial knobs trade output signal-to-noise ratio for throughput
+(Table 2: 26 configurations, 19.39x speedup, 5.3 % SNR loss).
+
+This module implements the classic pipeline on synthetic returns: pulse
+compression by matched filtering, coherent integration across pulses, and
+threshold detection.  Two knobs perforate it the way the original's
+parameters do: ``decimation`` drops input samples, and
+``integration_pulses`` limits how many pulses are coherently integrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RadarScene:
+    """Synthetic returns: targets at known ranges buried in noise."""
+
+    n_pulses: int = 16
+    samples_per_pulse: int = 512
+    target_ranges: Tuple[int, ...] = (100, 280, 400)
+    target_snr_db: float = -8.0
+    seed: int = 0
+
+    def generate(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (returns, chirp): returns has shape (pulses, samples)."""
+        rng = np.random.default_rng(self.seed)
+        chirp_len = 32
+        t = np.arange(chirp_len)
+        chirp = np.exp(1j * np.pi * (t**2) / chirp_len)
+        noise = (
+            rng.normal(size=(self.n_pulses, self.samples_per_pulse))
+            + 1j * rng.normal(size=(self.n_pulses, self.samples_per_pulse))
+        ) / np.sqrt(2.0)
+        amplitude = 10.0 ** (self.target_snr_db / 20.0)
+        returns = noise.copy()
+        for target_range in self.target_ranges:
+            if target_range + chirp_len > self.samples_per_pulse:
+                raise ValueError("target beyond pulse window")
+            phase = rng.uniform(0, 2 * np.pi)
+            echo = amplitude * chirp * np.exp(1j * phase)
+            returns[:, target_range : target_range + chirp_len] += echo
+        return returns, chirp
+
+
+def matched_filter(returns: np.ndarray, chirp: np.ndarray) -> np.ndarray:
+    """Pulse compression via FFT-based correlation with the chirp."""
+    n = returns.shape[1]
+    chirp_padded = np.zeros(n, dtype=complex)
+    chirp_padded[: len(chirp)] = np.conj(chirp[::-1])
+    spectrum = np.fft.fft(returns, axis=1) * np.fft.fft(chirp_padded)
+    compressed = np.fft.ifft(spectrum, axis=1)
+    # Align so a target at range r peaks at index r.
+    return np.roll(compressed, -(len(chirp) - 1), axis=1)
+
+
+def detect_targets(
+    returns: np.ndarray,
+    chirp: np.ndarray,
+    decimation: int = 1,
+    integration_pulses: int = 0,
+    threshold_sigma: float = 5.0,
+) -> Tuple[List[int], float]:
+    """Detect targets; return (detected ranges, output SNR in dB).
+
+    Parameters
+    ----------
+    decimation:
+        Keep every ``decimation``-th sample before filtering (knob 1).
+    integration_pulses:
+        Coherently integrate only the first N pulses; 0 = all (knob 2).
+    threshold_sigma:
+        Detection threshold in noise standard deviations.
+    """
+    if decimation < 1:
+        raise ValueError("decimation must be >= 1")
+    pulses = returns
+    if integration_pulses > 0:
+        pulses = pulses[:integration_pulses]
+    decimated = pulses[:, ::decimation]
+    chirp_dec = chirp[::decimation]
+    compressed = matched_filter(decimated, chirp_dec)
+    integrated = np.abs(compressed.mean(axis=0))
+
+    noise_floor = np.median(integrated)
+    spread = np.median(np.abs(integrated - noise_floor)) * 1.4826 + 1e-12
+    threshold = noise_floor + threshold_sigma * spread
+    peaks = []
+    for i in range(1, len(integrated) - 1):
+        if (
+            integrated[i] > threshold
+            and integrated[i] >= integrated[i - 1]
+            and integrated[i] >= integrated[i + 1]
+        ):
+            peaks.append(i * decimation)
+    peak_power = integrated.max()
+    snr_db = float(20.0 * np.log10(peak_power / (noise_floor + 1e-12)))
+    return peaks, snr_db
+
+
+def cfar_detect(
+    integrated: np.ndarray,
+    guard_cells: int = 2,
+    training_cells: int = 12,
+    threshold_factor: float = 4.0,
+) -> List[int]:
+    """Cell-averaging CFAR detection (constant false-alarm rate).
+
+    For each cell, the noise level is estimated from ``training_cells``
+    on each side (excluding ``guard_cells`` adjacent to the cell under
+    test); a detection fires when the cell exceeds ``threshold_factor``
+    times the local average.  Unlike the global-threshold detector, CFAR
+    adapts to range-varying clutter.
+    """
+    if guard_cells < 0 or training_cells < 1:
+        raise ValueError("invalid CFAR window")
+    if threshold_factor <= 0:
+        raise ValueError("threshold factor must be positive")
+    n = len(integrated)
+    window = guard_cells + training_cells
+    peaks = []
+    for cell in range(n):
+        lo_train = integrated[
+            max(0, cell - window) : max(0, cell - guard_cells)
+        ]
+        hi_train = integrated[
+            min(n, cell + guard_cells + 1) : min(n, cell + window + 1)
+        ]
+        train = np.concatenate([lo_train, hi_train])
+        if len(train) < training_cells // 2:
+            continue
+        noise = train.mean()
+        if integrated[cell] > threshold_factor * noise:
+            left = integrated[cell - 1] if cell > 0 else -np.inf
+            right = integrated[cell + 1] if cell + 1 < n else -np.inf
+            if integrated[cell] >= left and integrated[cell] >= right:
+                peaks.append(cell)
+    return peaks
+
+
+@dataclass(frozen=True)
+class PhasedArrayScene:
+    """Multi-element array returns: targets at (range, bearing) pairs.
+
+    Each of ``n_elements`` antenna elements (half-wavelength spacing)
+    receives the same echoes with a per-element phase progression
+    determined by the target's bearing — the structure beamforming
+    exploits.
+    """
+
+    n_elements: int = 8
+    n_pulses: int = 8
+    samples_per_pulse: int = 512
+    targets: Tuple[Tuple[int, float], ...] = ((120, 20.0), (350, -35.0))
+    target_snr_db: float = -14.0
+    spacing_wavelengths: float = 0.5
+    seed: int = 0
+
+    def generate(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (returns, chirp): returns is (elements, pulses, samples)."""
+        rng = np.random.default_rng(self.seed)
+        chirp_len = 32
+        t = np.arange(chirp_len)
+        chirp = np.exp(1j * np.pi * (t**2) / chirp_len)
+        shape = (self.n_elements, self.n_pulses, self.samples_per_pulse)
+        returns = (
+            rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        ) / np.sqrt(2.0)
+        amplitude = 10.0 ** (self.target_snr_db / 20.0)
+        for target_range, bearing_deg in self.targets:
+            if target_range + chirp_len > self.samples_per_pulse:
+                raise ValueError("target beyond pulse window")
+            phase0 = rng.uniform(0, 2 * np.pi)
+            steering = steering_vector(
+                self.n_elements, bearing_deg, self.spacing_wavelengths
+            )
+            echo = amplitude * chirp * np.exp(1j * phase0)
+            for element in range(self.n_elements):
+                returns[
+                    element, :, target_range : target_range + chirp_len
+                ] += echo * steering[element]
+        return returns, chirp
+
+
+def steering_vector(
+    n_elements: int, bearing_deg: float, spacing_wavelengths: float = 0.5
+) -> np.ndarray:
+    """Narrowband uniform-linear-array steering vector for a bearing."""
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    bearing = np.deg2rad(bearing_deg)
+    phase_step = 2.0 * np.pi * spacing_wavelengths * np.sin(bearing)
+    return np.exp(1j * phase_step * np.arange(n_elements))
+
+
+def beamform(
+    element_returns: np.ndarray,
+    bearing_deg: float,
+    spacing_wavelengths: float = 0.5,
+) -> np.ndarray:
+    """Delay-and-sum beamforming toward ``bearing_deg``.
+
+    Coherently combines the (elements, pulses, samples) cube into a
+    (pulses, samples) return with array gain at the steered bearing and
+    attenuation elsewhere.
+    """
+    if element_returns.ndim != 3:
+        raise ValueError("expected (elements, pulses, samples)")
+    n_elements = element_returns.shape[0]
+    weights = np.conj(
+        steering_vector(n_elements, bearing_deg, spacing_wavelengths)
+    )
+    return np.tensordot(weights, element_returns, axes=(0, 0)) / n_elements
+
+
+def detection_quality(
+    detected: List[int],
+    true_ranges: Tuple[int, ...],
+    tolerance: int = 4,
+) -> float:
+    """F1 of detected vs. true target ranges within ``tolerance`` samples."""
+    if not true_ranges:
+        return 1.0 if not detected else 0.0
+    matched_truth = set()
+    true_positives = 0
+    for peak in detected:
+        for truth in true_ranges:
+            if truth in matched_truth:
+                continue
+            if abs(peak - truth) <= tolerance:
+                matched_truth.add(truth)
+                true_positives += 1
+                break
+    if not detected:
+        return 0.0
+    precision = true_positives / len(detected)
+    recall = true_positives / len(true_ranges)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,131 @@
+"""Content-based similarity search (the ferret substrate).
+
+ferret (PARSEC) answers image-similarity queries: extract features,
+probe an index for candidates, rank candidates by full similarity.  Loop
+Perforation skips part of the candidate-ranking loop, returning slightly
+less similar results for less work (Table 2: 8 configurations, 1.24x
+speedup, up to 18.2 % similarity loss).
+
+This module implements the pipeline over synthetic feature vectors: a
+database of clustered "image" descriptors, coarse candidate selection via
+cluster probing, and exact ranking of a perforatable fraction of the
+candidates.  Accuracy is the paper's: aggregate similarity of the
+returned set relative to the exhaustive answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class FeatureDatabase:
+    """Clustered synthetic feature vectors with a coarse cluster index."""
+
+    n_items: int = 1000
+    dim: int = 16
+    n_clusters: int = 20
+    spread: float = 0.25
+    seed: int = 0
+    vectors: np.ndarray = field(init=False)
+    centroids: np.ndarray = field(init=False)
+    assignments: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_items < self.n_clusters:
+            raise ValueError("need at least one item per cluster")
+        rng = np.random.default_rng(self.seed)
+        self.centroids = rng.normal(0, 1, size=(self.n_clusters, self.dim))
+        self.assignments = rng.integers(self.n_clusters, size=self.n_items)
+        noise = rng.normal(0, self.spread, size=(self.n_items, self.dim))
+        self.vectors = self.centroids[self.assignments] + noise
+
+    def sample_query(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a query vector near a random cluster."""
+        cluster = int(rng.integers(self.n_clusters))
+        return self.centroids[cluster] + rng.normal(
+            0, self.spread, size=self.dim
+        )
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine similarity between query ``a`` (dim,) and rows of ``b``."""
+    denom = np.linalg.norm(a) * np.linalg.norm(b, axis=1) + 1e-12
+    return (b @ a) / denom
+
+
+@dataclass
+class SimilaritySearch:
+    """Probe-then-rank similarity search with a perforatable ranking loop.
+
+    ``rank_fraction`` in (0, 1] is the perforation knob: the share of the
+    probed candidates that gets exact ranking.  ``n_probes`` selects how
+    many nearest clusters are probed (a second, coarser knob).
+    """
+
+    database: FeatureDatabase
+    n_probes: int = 4
+    rank_fraction: float = 1.0
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rank_fraction <= 1.0:
+            raise ValueError("rank_fraction must be in (0, 1]")
+        if self.n_probes < 1 or self.top_k < 1:
+            raise ValueError("probes and top_k must be >= 1")
+
+    def query(self, vector: np.ndarray) -> Tuple[List[int], int]:
+        """Return (top-k item ids, exact-similarity evaluations done)."""
+        db = self.database
+        centroid_sims = cosine_similarity(vector, db.centroids)
+        probe_clusters = np.argsort(-centroid_sims)[: self.n_probes]
+        candidate_mask = np.isin(db.assignments, probe_clusters)
+        candidates = np.flatnonzero(candidate_mask)
+        if len(candidates) == 0:
+            return [], 0
+        keep = max(1, int(round(len(candidates) * self.rank_fraction)))
+        # Perforation drops the tail of the candidate list (arbitrary but
+        # deterministic order, like skipping loop iterations).
+        ranked_candidates = candidates[:keep]
+        sims = cosine_similarity(vector, db.vectors[ranked_candidates])
+        order = np.argsort(-sims)[: self.top_k]
+        return [int(ranked_candidates[i]) for i in order], int(keep)
+
+
+def exhaustive_top_k(
+    database: FeatureDatabase, vector: np.ndarray, k: int
+) -> List[int]:
+    """Ground-truth top-k by exact similarity over the whole database."""
+    sims = cosine_similarity(vector, database.vectors)
+    return [int(i) for i in np.argsort(-sims)[:k]]
+
+
+def result_similarity(
+    database: FeatureDatabase,
+    vector: np.ndarray,
+    returned: List[int],
+    reference: List[int],
+) -> float:
+    """Aggregate similarity of ``returned`` relative to ``reference``.
+
+    The paper's ferret metric is the similarity of the returned results;
+    we compute the ratio of summed cosine similarities, so returning
+    slightly-worse neighbours loses a little accuracy and returning
+    nothing loses all of it.
+    """
+    if not reference:
+        return 1.0
+    ref_total = float(
+        cosine_similarity(vector, database.vectors[reference]).sum()
+    )
+    if ref_total <= 0:
+        return 1.0
+    if not returned:
+        return 0.0
+    got_total = float(
+        cosine_similarity(vector, database.vectors[returned]).sum()
+    )
+    return max(0.0, min(1.0, got_total / ref_total))

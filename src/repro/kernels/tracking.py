@@ -1,0 +1,116 @@
+"""Particle-filter body tracking (the bodytrack substrate).
+
+bodytrack (PARSEC) follows a person through a scene with an annealed
+particle filter; PowerDial's knobs are the particle count and annealing
+layers: 200 configurations, 7.38x speedup, up to 14.4 % track-quality
+loss (Table 2).
+
+This module implements the same estimator on a synthetic scene: a target
+moves through 2D space under smooth dynamics, noisy observations arrive
+each frame, and an annealed particle filter with configurable particles
+and layers estimates the trajectory.  Track quality is the paper's
+metric: error of the estimated track relative to ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BodyScene:
+    """Synthetic target trajectory with observation noise.
+
+    ``agility`` plays the role of scene difficulty: agile targets need
+    more particles to track well (this is what makes the knob a genuine
+    accuracy/performance trade).
+    """
+
+    n_frames: int = 60
+    agility: float = 0.2
+    observation_noise: float = 0.35
+    seed: int = 0
+
+    def generate(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (truth, observations), each of shape (frames, 2)."""
+        rng = np.random.default_rng(self.seed)
+        truth = np.zeros((self.n_frames, 2))
+        velocity = rng.normal(0, 0.1, size=2)
+        for frame in range(1, self.n_frames):
+            velocity += rng.normal(0, self.agility, size=2)
+            velocity = np.clip(velocity, -1.0, 1.0)
+            truth[frame] = truth[frame - 1] + velocity
+        observations = truth + rng.normal(
+            0, self.observation_noise, size=truth.shape
+        )
+        return truth, observations
+
+
+@dataclass
+class AnnealedParticleFilter:
+    """Particle filter with annealing layers (bodytrack's estimator).
+
+    Parameters
+    ----------
+    n_particles:
+        Particles per layer — the primary work knob.
+    n_layers:
+        Annealing layers per frame; each layer resamples with a sharper
+        likelihood, refining the estimate at proportional cost.
+    process_noise:
+        Particle diffusion per layer.
+    """
+
+    n_particles: int = 128
+    n_layers: int = 3
+    process_noise: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 1 or self.n_layers < 1:
+            raise ValueError("particles and layers must be >= 1")
+
+    def track(self, observations: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Estimate the trajectory; return (estimates, likelihood evals)."""
+        rng = np.random.default_rng(self.seed)
+        n_frames = len(observations)
+        estimates = np.zeros((n_frames, 2))
+        particles = np.tile(observations[0], (self.n_particles, 1))
+        particles += rng.normal(0, self.process_noise, particles.shape)
+        evaluations = 0
+        for frame in range(n_frames):
+            observation = observations[frame]
+            for layer in range(self.n_layers):
+                sharpness = 2.0 ** layer
+                particles += rng.normal(
+                    0, self.process_noise / sharpness, particles.shape
+                )
+                d2 = ((particles - observation) ** 2).sum(axis=1)
+                evaluations += len(particles)
+                weights = np.exp(-0.5 * sharpness * d2 / 0.25)
+                total = weights.sum()
+                if total <= 0 or not np.isfinite(total):
+                    weights = np.ones(len(particles)) / len(particles)
+                else:
+                    weights = weights / total
+                idx = rng.choice(
+                    len(particles), size=len(particles), p=weights
+                )
+                particles = particles[idx]
+            estimates[frame] = particles.mean(axis=0)
+        return estimates, evaluations
+
+
+def track_quality(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Track quality in [0, 1]: 1 / (1 + mean position error).
+
+    Monotone decreasing in mean error, 1 for a perfect track — a bounded
+    stand-in for bodytrack's internal track-quality score.
+    """
+    if estimates.shape != truth.shape:
+        raise ValueError("shape mismatch")
+    error = float(np.sqrt(((estimates - truth) ** 2).sum(axis=1)).mean())
+    return 1.0 / (1.0 + error)

@@ -1,0 +1,76 @@
+"""Execution harness, baselines, oracle, and evaluation metrics."""
+
+from .adapters import CallbackSystem, IterationReport, run_with_callbacks
+from .ascii_plot import chart, sparkline
+from .baselines import (
+    app_only_accuracy,
+    max_system_only_savings,
+    run_application_only,
+    run_system_only,
+    run_uncoordinated,
+)
+from .export import (
+    summary_dict,
+    write_summary_json,
+    write_sweep_csv,
+    write_trace_csv,
+)
+from .green import GreenController, run_green
+from .harness import ExperimentResult, prior_shapes, run_jouleguard
+from .metrics import effective_accuracy, relative_error
+from .repeat import MetricSummary, ReplicateSummary, replicate
+from .sweep import (
+    SweepCell,
+    SweepSummary,
+    filter_cells,
+    summarize,
+    sweep_all,
+    sweep_platform,
+)
+from .oracle import (
+    OracleResult,
+    best_system_energy_per_work,
+    default_energy_per_work,
+    max_feasible_factor,
+    oracle_accuracy,
+)
+from .trace import RunTrace
+
+__all__ = [
+    "CallbackSystem",
+    "ExperimentResult",
+    "GreenController",
+    "IterationReport",
+    "MetricSummary",
+    "OracleResult",
+    "ReplicateSummary",
+    "RunTrace",
+    "SweepCell",
+    "SweepSummary",
+    "app_only_accuracy",
+    "best_system_energy_per_work",
+    "chart",
+    "default_energy_per_work",
+    "effective_accuracy",
+    "filter_cells",
+    "max_feasible_factor",
+    "max_system_only_savings",
+    "oracle_accuracy",
+    "prior_shapes",
+    "relative_error",
+    "replicate",
+    "run_application_only",
+    "run_green",
+    "run_jouleguard",
+    "run_system_only",
+    "run_uncoordinated",
+    "run_with_callbacks",
+    "sparkline",
+    "summarize",
+    "summary_dict",
+    "sweep_all",
+    "sweep_platform",
+    "write_summary_json",
+    "write_sweep_csv",
+    "write_trace_csv",
+]

@@ -1,0 +1,138 @@
+"""Adapters for driving JouleGuard from user-supplied callbacks.
+
+The paper stresses that the runtime's requirements are "really interface
+issues" (Sec. 3.5): supply functions that read performance and power and
+functions that apply configurations, and JouleGuard can manage any
+system.  :class:`CallbackSystem` packages exactly that interface, and
+:func:`run_with_callbacks` is the matching closed-loop driver — the
+bridge from this reproduction to a real deployment (or to any
+third-party simulator).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.budget import EnergyGoal
+from ..core.jouleguard import JouleGuardRuntime, build_runtime
+from ..core.types import AccuracyOrderedTable, Measurement
+
+
+@dataclass
+class CallbackSystem:
+    """A system described entirely by callbacks (paper Sec. 3.5).
+
+    Parameters
+    ----------
+    n_configs:
+        Number of system configurations.
+    apply_system_config:
+        Called with the configuration index to switch into.
+    apply_app_config:
+        Called with the selected application configuration object.
+    read_power_w:
+        Returns current full-system power in Watts.  "Any performance
+        metric can be used as long as it increases with increasing
+        performance"; power may come from an external monitor or
+        on-board registers.
+    prior_rate_shape / prior_power_shape:
+        Optimistic initialization shapes; default flat (no prior
+        knowledge) if omitted.
+    """
+
+    n_configs: int
+    apply_system_config: Callable[[int], None]
+    apply_app_config: Callable[[Any], None]
+    read_power_w: Callable[[], float]
+    prior_rate_shape: Optional[Sequence[float]] = None
+    prior_power_shape: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_configs < 1:
+            raise ValueError("need at least one configuration")
+        if self.prior_rate_shape is None:
+            self.prior_rate_shape = [1.0] * self.n_configs
+        if self.prior_power_shape is None:
+            self.prior_power_shape = [1.0] * self.n_configs
+        if (
+            len(self.prior_rate_shape) != self.n_configs
+            or len(self.prior_power_shape) != self.n_configs
+        ):
+            raise ValueError("prior shapes must match n_configs")
+
+
+@dataclass
+class IterationReport:
+    """What :func:`run_with_callbacks` records per iteration."""
+
+    work: float
+    seconds: float
+    energy_j: float
+    accuracy: float
+    system_index: int
+
+
+def run_with_callbacks(
+    system: CallbackSystem,
+    table: AccuracyOrderedTable,
+    goal: EnergyGoal,
+    do_iteration: Callable[[], float],
+    clock: Callable[[], float] = time.perf_counter,
+    max_iterations: Optional[int] = None,
+    seed: int = 0,
+) -> list:
+    """Drive a real (callback-defined) system under an energy goal.
+
+    ``do_iteration`` performs one unit of application work (after the
+    adapter has applied the decided configurations) and returns the work
+    completed.  Energy is integrated as ``power × elapsed`` per
+    iteration using ``read_power_w`` and ``clock``.
+
+    Returns the list of :class:`IterationReport`; stops when the goal's
+    work is complete or after ``max_iterations``.
+    """
+    runtime: JouleGuardRuntime = build_runtime(
+        system.prior_rate_shape,
+        system.prior_power_shape,
+        table,
+        goal,
+        seed=seed,
+    )
+    reports = []
+    iterations = 0
+    work_done = 0.0
+    while work_done < goal.total_work:
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        decision = runtime.current_decision
+        system.apply_system_config(decision.system_index)
+        system.apply_app_config(decision.app_config)
+        start = clock()
+        work = do_iteration()
+        elapsed = max(clock() - start, 1e-12)
+        if work <= 0:
+            raise ValueError("do_iteration must return positive work")
+        power = system.read_power_w()
+        energy = power * elapsed
+        runtime.step(
+            Measurement(
+                work=work,
+                energy_j=energy,
+                rate=work / elapsed,
+                power_w=power,
+            )
+        )
+        reports.append(
+            IterationReport(
+                work=work,
+                seconds=elapsed,
+                energy_j=energy,
+                accuracy=decision.app_config.accuracy,
+                system_index=decision.system_index,
+            )
+        )
+        work_done += work
+        iterations += 1
+    return reports

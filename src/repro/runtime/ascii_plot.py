@@ -1,0 +1,98 @@
+"""Terminal plots for traces — no plotting dependency required.
+
+Renders time series as ASCII sparklines and small multi-row charts so
+the CLI and examples can show convergence behaviour inline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-line sparkline of ``values``, resampled to ``width`` chars."""
+    if len(values) == 0:
+        return ""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    resampled = _resample(values, width)
+    lo = min(resampled) if lo is None else lo
+    hi = max(resampled) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for value in resampled:
+        if span <= 0:
+            level = len(_SPARK_LEVELS) // 2
+        else:
+            normalized = (value - lo) / span
+            level = int(round(normalized * (len(_SPARK_LEVELS) - 1)))
+            level = min(max(level, 0), len(_SPARK_LEVELS) - 1)
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def _resample(values: Sequence[float], width: int) -> List[float]:
+    """Bucket-mean resampling of ``values`` into ``width`` points."""
+    n = len(values)
+    if n <= width:
+        return list(values)
+    resampled = []
+    for bucket in range(width):
+        start = bucket * n // width
+        end = max(start + 1, (bucket + 1) * n // width)
+        chunk = values[start:end]
+        resampled.append(sum(chunk) / len(chunk))
+    return resampled
+
+
+def chart(
+    values: Sequence[float],
+    height: int = 8,
+    width: int = 60,
+    target: Optional[float] = None,
+    label: str = "",
+) -> str:
+    """Multi-row ASCII chart with axis labels and an optional target line.
+
+    The target (e.g. the energy goal) is drawn as a row of ``-`` marks
+    so convergence toward it is visible at a glance.
+    """
+    if len(values) == 0:
+        return "(empty series)"
+    if height < 2 or width < 2:
+        raise ValueError("chart needs height >= 2 and width >= 2")
+    resampled = _resample(values, width)
+    lo = min(resampled + ([target] if target is not None else []))
+    hi = max(resampled + ([target] if target is not None else []))
+    span = hi - lo or 1.0
+
+    def row_of(value: float) -> int:
+        normalized = (value - lo) / span
+        return min(height - 1, int(normalized * (height - 1) + 0.5))
+
+    grid = [[" "] * width for _ in range(height)]
+    target_row = row_of(target) if target is not None else None
+    if target_row is not None:
+        for col in range(width):
+            grid[target_row][col] = "-"
+    for col, value in enumerate(resampled):
+        grid[row_of(value)][col] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for row in range(height - 1, -1, -1):
+        prefix = f"{lo + span * row / (height - 1):>10.3g} |"
+        lines.append(prefix + "".join(grid[row]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"0 .. {len(values) - 1} ({len(values)} points)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""Baseline controllers (paper Sec. 2 and Sec. 5.5).
+
+* :func:`run_system_only` — Sec. 2.1: brute-force the most
+  energy-efficient system configuration, never touch the application.
+  Meets the goal only if system savings alone suffice; loses no accuracy.
+* :func:`run_application_only` — Sec. 2.2: a PowerDial-style performance
+  controller on the default system configuration, using a-priori
+  knowledge of default power to translate the energy goal into a rate.
+* :func:`run_uncoordinated` — Sec. 2.3: both adaptation layers deployed
+  concurrently *without communication*: the system-side learner sees
+  application speedups as system behaviour, and the application-side
+  controller still believes the system is in its default configuration.
+  This is the composition whose oscillation motivates JouleGuard.
+
+Analytic helpers (:func:`app_only_accuracy`,
+:func:`max_system_only_savings`) provide Fig. 7's comparison lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+from ..apps.base import AppConfig, ApproximateApplication
+from ..core.bandit import SystemEnergyOptimizer
+from ..core.budget import BudgetAccountant, EnergyGoal
+from ..core.controller import SpeedupController, required_rate
+from ..core.types import Measurement
+from ..hw.machine import Machine
+from ..hw.simulator import NoiseModel, PlatformSimulator
+from ..workloads.generator import WorkGenerator
+from ..workloads.phases import PhasedWorkload, steady
+from .harness import ExperimentResult, prior_shapes
+from .oracle import (
+    best_system_energy_per_work,
+    default_energy_per_work,
+    oracle_accuracy,
+)
+from .trace import RunTrace
+
+
+# -- analytic comparison lines (Fig. 7) ---------------------------------------
+def app_only_accuracy(
+    app: ApproximateApplication, factor: float
+) -> Optional[float]:
+    """Best accuracy application-level adaptation alone can achieve.
+
+    On the default system configuration, power is fixed, so reducing
+    energy by ``factor`` requires exactly a ``factor`` speedup; returns
+    None when the table cannot deliver it (infeasible).
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    if factor > app.table.max_speedup:
+        return None
+    return app.table.best_accuracy_for_speedup(factor).accuracy
+
+
+def max_system_only_savings(
+    machine: Machine, app: ApproximateApplication
+) -> float:
+    """Largest energy-reduction factor the system alone can deliver.
+
+    The dotted line of Fig. 7: default energy/work over the best
+    configuration's energy/work, at full accuracy.
+    """
+    best_epw, _ = best_system_energy_per_work(machine, app)
+    return default_energy_per_work(machine, app) / best_epw
+
+
+# -- shared simulation loop ----------------------------------------------------
+class Policy(Protocol):
+    """A baseline decision policy for the shared closed loop."""
+
+    def decide(self) -> Tuple[int, AppConfig, float, float]:
+        """Return (system index, app config, speedup setpoint, pole)."""
+
+    def observe(self, measurement: Measurement) -> None:
+        """Fold one iteration's feedback."""
+
+
+def _simulate_policy(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    policy: Policy,
+    controller_name: str,
+    n_iterations: int,
+    workload: Optional[PhasedWorkload],
+    work_jitter: float,
+    noise: Optional[NoiseModel],
+    seed: int,
+    compute_oracle: bool,
+) -> ExperimentResult:
+    if not app.runs_on(machine.name):
+        raise ValueError(f"{app.name} does not run on {machine.name}")
+    if workload is None:
+        workload = steady(n_iterations, base_work=app.work_per_iteration)
+    simulator = PlatformSimulator(
+        machine,
+        app.resource_profile,
+        noise=noise if noise is not None else NoiseModel(),
+        seed=seed,
+    )
+    default_epw = default_energy_per_work(machine, app)
+    goal = EnergyGoal.from_factor(factor, workload.total_work, default_epw)
+    trace = RunTrace()
+    space = machine.space
+    for difficulty in WorkGenerator(workload, jitter=work_jitter, seed=seed + 2):
+        system_index, app_config, setpoint, pole = policy.decide()
+        result = simulator.run_iteration(
+            config=space[system_index],
+            work=workload.base_work,
+            app_speedup=app_config.speedup,
+            app_power_factor=app_config.power_factor,
+            input_difficulty=difficulty,
+        )
+        measured_energy = result.measured_power_w * result.time_s
+        trace.append(
+            work=result.work,
+            time_s=result.time_s,
+            true_energy_j=result.energy_j,
+            measured_energy_j=measured_energy,
+            true_power_w=result.true_power_w,
+            rate=result.measured_rate,
+            accuracy=app_config.accuracy,
+            speedup_setpoint=setpoint,
+            system_index=system_index,
+            app_index=app_config.index,
+            pole=pole,
+            epsilon=0.0,
+            explored=False,
+            feasible=True,
+        )
+        policy.observe(
+            Measurement(
+                work=result.work,
+                energy_j=measured_energy,
+                rate=result.measured_rate,
+                power_w=result.measured_power_w,
+            )
+        )
+    oracle_acc = (
+        oracle_accuracy(machine, app, factor, workload).accuracy
+        if compute_oracle
+        else None
+    )
+    return ExperimentResult(
+        machine_name=machine.name,
+        app_name=app.name,
+        factor=factor,
+        goal=goal,
+        trace=trace,
+        default_epw=default_epw,
+        oracle_acc=oracle_acc,
+        controller_name=controller_name,
+    )
+
+
+# -- the three baselines ---------------------------------------------------------
+@dataclass
+class _SystemOnlyPolicy:
+    system_index: int
+    app_default: AppConfig
+
+    def decide(self):
+        return self.system_index, self.app_default, 1.0, 0.0
+
+    def observe(self, measurement: Measurement) -> None:
+        pass
+
+
+class _ApplicationOnlyPolicy:
+    """PowerDial on the default system (Sec. 2.2).
+
+    Knows the default configuration's nominal rate and power a priori
+    and runs a fixed-pole integral controller toward the rate implied by
+    the remaining budget.
+    """
+
+    def __init__(
+        self,
+        app: ApproximateApplication,
+        goal: EnergyGoal,
+        default_rate: float,
+        default_power: float,
+        system_index: int,
+        pole: float = 0.1,
+    ) -> None:
+        self.app = app
+        self.accountant = BudgetAccountant(goal)
+        self.default_rate = default_rate
+        self.default_power = default_power
+        self.system_index = system_index
+        self.pole = pole
+        frontier = app.table.pareto_frontier
+        self.controller = SpeedupController(
+            min_speedup=frontier[0].speedup,
+            max_speedup=app.table.max_speedup,
+        )
+        self._config = app.table.default
+        self._last_rate: Optional[float] = None
+
+    def decide(self):
+        return self.system_index, self._config, self.controller.speedup, self.pole
+
+    def observe(self, measurement: Measurement) -> None:
+        self.accountant.record(measurement.work, measurement.energy_j)
+        target = self.accountant.target_energy_per_work()
+        if target is None or target <= 0:
+            speedup = self.app.table.max_speedup
+            self.controller.reset(speedup)
+        else:
+            needed = required_rate(target, self.default_power)
+            speedup = self.controller.step(
+                required=needed,
+                measured_rate=measurement.rate,
+                est_system_rate=self.default_rate,
+                pole=self.pole,
+            )
+        self._config = self.app.table.best_accuracy_for_speedup(speedup)
+
+
+class _UncoordinatedPolicy:
+    """Independent system learner + application controller (Sec. 2.3).
+
+    The learner updates its per-configuration rate estimates with the
+    *raw* application rate — it cannot know the application's speedup —
+    and the application controller keeps using the default system
+    configuration's nominal models.  Each adapts around the other,
+    producing the oscillation of Fig. 1.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        app: ApproximateApplication,
+        goal: EnergyGoal,
+        default_rate: float,
+        default_power: float,
+        seed: int,
+    ) -> None:
+        rate_shape, power_shape = prior_shapes(machine)
+        self.seo = SystemEnergyOptimizer(rate_shape, power_shape, seed=seed)
+        self.app_side = _ApplicationOnlyPolicy(
+            app,
+            goal,
+            default_rate,
+            default_power,
+            system_index=0,
+            pole=0.0,  # PowerDial alone is provably stable even deadbeat
+        )
+        self._system_index = self.seo.best_index
+
+    def decide(self):
+        _, app_config, setpoint, pole = self.app_side.decide()
+        return self._system_index, app_config, setpoint, pole
+
+    def observe(self, measurement: Measurement) -> None:
+        # No coordination: raw rate, unnormalized by the app's speedup.
+        self.seo.update(
+            self._system_index, measurement.rate, measurement.power_w
+        )
+        self._system_index = self.seo.select().index
+        self.app_side.observe(measurement)
+
+
+def run_system_only(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    n_iterations: int = 300,
+    workload: Optional[PhasedWorkload] = None,
+    work_jitter: float = 0.03,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+    compute_oracle: bool = True,
+) -> ExperimentResult:
+    """Sec. 2.1: best-efficiency system configuration, default application."""
+    _, best_config = best_system_energy_per_work(machine, app)
+    policy = _SystemOnlyPolicy(
+        system_index=machine.space.index_of(best_config),
+        app_default=app.table.default,
+    )
+    return _simulate_policy(
+        machine, app, factor, policy, "system_only", n_iterations,
+        workload, work_jitter, noise, seed, compute_oracle,
+    )
+
+
+def run_application_only(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    n_iterations: int = 300,
+    workload: Optional[PhasedWorkload] = None,
+    work_jitter: float = 0.03,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+    compute_oracle: bool = True,
+) -> ExperimentResult:
+    """Sec. 2.2: PowerDial-style control on the default system config."""
+    if workload is None:
+        workload = steady(n_iterations, base_work=app.work_per_iteration)
+    from ..hw.power_model import system_power
+    from ..hw.speedup_model import work_rate
+
+    default_config = machine.default_config
+    default_rate = work_rate(machine, default_config, app.resource_profile)
+    default_power = system_power(machine, default_config, app.resource_profile)
+    goal = EnergyGoal.from_factor(
+        factor, workload.total_work, default_energy_per_work(machine, app)
+    )
+    policy = _ApplicationOnlyPolicy(
+        app,
+        goal,
+        default_rate,
+        default_power,
+        system_index=machine.space.index_of(default_config),
+    )
+    return _simulate_policy(
+        machine, app, factor, policy, "application_only", n_iterations,
+        workload, work_jitter, noise, seed, compute_oracle,
+    )
+
+
+def run_uncoordinated(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    n_iterations: int = 300,
+    workload: Optional[PhasedWorkload] = None,
+    work_jitter: float = 0.03,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+    compute_oracle: bool = True,
+) -> ExperimentResult:
+    """Sec. 2.3: simultaneous, non-communicating system + app adaptation."""
+    if workload is None:
+        workload = steady(n_iterations, base_work=app.work_per_iteration)
+    from ..hw.power_model import system_power
+    from ..hw.speedup_model import work_rate
+
+    default_config = machine.default_config
+    default_rate = work_rate(machine, default_config, app.resource_profile)
+    default_power = system_power(machine, default_config, app.resource_profile)
+    goal = EnergyGoal.from_factor(
+        factor, workload.total_work, default_energy_per_work(machine, app)
+    )
+    policy = _UncoordinatedPolicy(
+        machine, app, goal, default_rate, default_power, seed=seed + 7
+    )
+    return _simulate_policy(
+        machine, app, factor, policy, "uncoordinated", n_iterations,
+        workload, work_jitter, noise, seed, compute_oracle,
+    )

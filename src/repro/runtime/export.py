@@ -1,0 +1,117 @@
+"""Export run traces and sweep results to CSV/JSON.
+
+The figure benchmarks print text tables; downstream users typically want
+machine-readable artifacts to plot.  This module writes:
+
+* per-iteration traces (one CSV row per iteration),
+* experiment summaries (JSON, one object per run),
+* sweep matrices (CSV rows of machine, app, factor, error, accuracy).
+
+Everything is plain stdlib (``csv``/``json``) — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Union
+
+from .harness import ExperimentResult
+
+PathLike = Union[str, pathlib.Path]
+
+TRACE_COLUMNS = (
+    "iteration",
+    "work",
+    "time_s",
+    "true_energy_j",
+    "measured_energy_j",
+    "true_power_w",
+    "rate",
+    "accuracy",
+    "speedup_setpoint",
+    "system_index",
+    "app_index",
+    "pole",
+    "epsilon",
+    "explored",
+    "feasible",
+)
+
+
+def write_trace_csv(result: ExperimentResult, path: PathLike) -> pathlib.Path:
+    """Write one run's per-iteration trace as CSV; returns the path."""
+    path = pathlib.Path(path)
+    trace = result.trace
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_COLUMNS)
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    i,
+                    trace.work[i],
+                    trace.time_s[i],
+                    trace.true_energy_j[i],
+                    trace.measured_energy_j[i],
+                    trace.true_power_w[i],
+                    trace.rate[i],
+                    trace.accuracy[i],
+                    trace.speedup_setpoint[i],
+                    trace.system_index[i],
+                    trace.app_index[i],
+                    trace.pole[i],
+                    trace.epsilon[i],
+                    int(trace.explored[i]),
+                    int(trace.feasible[i]),
+                ]
+            )
+    return path
+
+
+def summary_dict(result: ExperimentResult) -> dict:
+    """JSON-ready summary of one run."""
+    summary = {
+        "machine": result.machine_name,
+        "application": result.app_name,
+        "controller": result.controller_name,
+        "factor": result.factor,
+        "iterations": len(result.trace),
+        "budget_j": result.goal.budget_j,
+        "achieved_energy_j": result.achieved_energy_j,
+        "relative_error_pct": result.relative_error_pct,
+        "mean_accuracy": result.mean_accuracy,
+        "energy_savings": result.energy_savings,
+        "default_energy_per_work": result.default_epw,
+    }
+    if result.oracle_acc is not None:
+        summary["oracle_accuracy"] = result.oracle_acc
+        summary["effective_accuracy"] = result.effective_acc
+    return summary
+
+
+def write_summary_json(
+    result: ExperimentResult, path: PathLike
+) -> pathlib.Path:
+    """Write one run's summary as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(summary_dict(result), indent=2) + "\n")
+    return path
+
+
+def write_sweep_csv(
+    results: Iterable[ExperimentResult], path: PathLike
+) -> pathlib.Path:
+    """Write a sweep of runs as one CSV (one row per run)."""
+    path = pathlib.Path(path)
+    rows = [summary_dict(result) for result in results]
+    if not rows:
+        raise ValueError("no results to write")
+    columns = list(rows[0])
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path

@@ -1,0 +1,201 @@
+"""Closed-loop execution harness.
+
+Glues the three layers together: a :class:`~repro.hw.simulator.PlatformSimulator`
+stands in for the testbed, an application from :mod:`repro.apps` provides
+the configuration table and resource profile, and the
+:class:`~repro.core.jouleguard.JouleGuardRuntime` makes the decisions.
+One call to :func:`run_jouleguard` is one experiment of Sec. 5: a
+workload executed under an energy goal, with a full per-iteration trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.base import ApproximateApplication
+from ..core.bandit import SystemEnergyOptimizer
+from ..core.budget import EnergyGoal
+from ..core.jouleguard import JouleGuardRuntime
+from ..core.types import Measurement
+from ..hw.machine import Machine
+from ..hw.simulator import NoiseModel, PlatformSimulator
+from ..workloads.generator import WorkGenerator
+from ..workloads.phases import PhasedWorkload, steady
+from .metrics import effective_accuracy, relative_error
+from .oracle import default_energy_per_work, oracle_accuracy
+from .trace import RunTrace
+
+
+def prior_shapes(machine: Machine) -> Tuple[np.ndarray, np.ndarray]:
+    """The paper's optimistic bandit initialization (Sec. 3.2).
+
+    Performance is assumed to increase linearly with resources
+    (cores × clock, with mild hyperthreading/memory-controller bumps)
+    and power cubically with clock speed and linearly with cores.  The
+    power prior additionally includes the platform's static floor (idle
+    plus rest-of-system power) — both are known to the runtime, which
+    configures its sensor offset from them (Sec. 4.2); without the floor
+    the prior efficiency ranking inverts on platforms where static power
+    dominates.  The shapes are unit-free beyond that; the learner
+    calibrates absolute scale from its first measurements.
+    """
+    floor_w = machine.idle_w + machine.external_w
+    rates: List[float] = []
+    powers: List[float] = []
+    for config in machine.space:
+        capacity = 0.0
+        dynamic = 0.0
+        for cluster in machine.clusters:
+            n = config[cluster.cores_knob]
+            f = config[cluster.speed_knob]
+            capacity += n * f
+            dynamic += n * (0.15 + f**3)
+        if machine.hyperthreading_on(config):
+            capacity *= 1.2
+            dynamic *= 1.05
+        extra_ctrls = max(0, machine.memory_controllers(config) - 1)
+        capacity *= 1.0 + 0.1 * extra_ctrls
+        rates.append(capacity)
+        powers.append(floor_w + dynamic + 2.0 * extra_ctrls)
+    return np.asarray(rates), np.asarray(powers)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one closed-loop run against an energy goal."""
+
+    machine_name: str
+    app_name: str
+    factor: float
+    goal: EnergyGoal
+    trace: RunTrace
+    default_epw: float
+    oracle_acc: Optional[float] = None
+    controller_name: str = "jouleguard"
+
+    @property
+    def achieved_energy_j(self) -> float:
+        return self.trace.total_energy_j()
+
+    @property
+    def relative_error_pct(self) -> float:
+        """Eqn. 12 against the run's total budget."""
+        return relative_error(self.achieved_energy_j, self.goal.budget_j)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.trace.mean_accuracy()
+
+    @property
+    def effective_acc(self) -> float:
+        """Eqn. 13; requires the oracle accuracy to have been computed."""
+        if self.oracle_acc is None:
+            raise ValueError("oracle accuracy not computed for this run")
+        return effective_accuracy(self.mean_accuracy, self.oracle_acc)
+
+    @property
+    def energy_savings(self) -> float:
+        """Achieved energy-reduction factor vs. the default configuration."""
+        default_total = self.default_epw * self.trace.total_work()
+        return default_total / self.achieved_energy_j
+
+
+def _record(
+    trace: RunTrace, result, decision, measured_energy: float, accuracy: float
+) -> None:
+    trace.append(
+        work=result.work,
+        time_s=result.time_s,
+        true_energy_j=result.energy_j,
+        measured_energy_j=measured_energy,
+        true_power_w=result.true_power_w,
+        rate=result.measured_rate,
+        accuracy=accuracy,
+        speedup_setpoint=decision.speedup_setpoint,
+        system_index=decision.system_index,
+        app_index=getattr(decision.app_config, "index", -1),
+        pole=decision.pole,
+        epsilon=decision.epsilon,
+        explored=decision.explored,
+        feasible=decision.feasible,
+    )
+
+
+def run_jouleguard(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    n_iterations: int = 300,
+    workload: Optional[PhasedWorkload] = None,
+    work_jitter: float = 0.03,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+    compute_oracle: bool = True,
+    seo_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one JouleGuard experiment (Sec. 5.2 methodology).
+
+    The energy goal reduces default-configuration energy by ``factor``;
+    the result carries the full trace plus the oracle accuracy for
+    effective-accuracy reporting.
+    """
+    if not app.runs_on(machine.name):
+        raise ValueError(f"{app.name} does not run on {machine.name}")
+    if workload is None:
+        workload = steady(n_iterations, base_work=app.work_per_iteration)
+    simulator = PlatformSimulator(
+        machine,
+        app.resource_profile,
+        noise=noise if noise is not None else NoiseModel(),
+        seed=seed,
+    )
+    default_epw = default_energy_per_work(machine, app)
+    goal = EnergyGoal.from_factor(
+        factor, total_work=workload.total_work, default_energy_per_work=default_epw
+    )
+    rate_shape, power_shape = prior_shapes(machine)
+    seo = SystemEnergyOptimizer(
+        rate_shape, power_shape, seed=seed + 1, **(seo_kwargs or {})
+    )
+    runtime = JouleGuardRuntime(seo=seo, table=app.table, goal=goal)
+
+    trace = RunTrace()
+    difficulties = WorkGenerator(workload, jitter=work_jitter, seed=seed + 2)
+    space = machine.space
+    for difficulty in difficulties:
+        decision = runtime.current_decision
+        result = simulator.run_iteration(
+            config=space[decision.system_index],
+            work=workload.base_work,
+            app_speedup=decision.app_config.speedup,
+            app_power_factor=getattr(decision.app_config, "power_factor", 1.0),
+            input_difficulty=difficulty,
+        )
+        measured_energy = result.measured_power_w * result.time_s
+        _record(
+            trace, result, decision, measured_energy, decision.app_config.accuracy
+        )
+        runtime.step(
+            Measurement(
+                work=result.work,
+                energy_j=measured_energy,
+                rate=result.measured_rate,
+                power_w=result.measured_power_w,
+            )
+        )
+
+    oracle_acc = None
+    if compute_oracle:
+        oracle_acc = oracle_accuracy(machine, app, factor, workload).accuracy
+    return ExperimentResult(
+        machine_name=machine.name,
+        app_name=app.name,
+        factor=factor,
+        goal=goal,
+        trace=trace,
+        default_epw=default_epw,
+        oracle_acc=oracle_acc,
+    )

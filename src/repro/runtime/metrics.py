@@ -1,0 +1,37 @@
+"""Evaluation metrics (paper Eqns. 12–13).
+
+* *Relative error* quantifies how well a run met its energy goal — only
+  overshoot counts ("we only count the error if it is above the target",
+  Sec. 5.2).
+* *Effective accuracy* compares achieved accuracy to the clairvoyant
+  oracle's for the same goal.
+"""
+
+from __future__ import annotations
+
+
+def relative_error(measured_energy_j: float, goal_energy_j: float) -> float:
+    """Eqn. 12: percentage overshoot of the energy goal (0 if under).
+
+    Returns a percentage, e.g. 3.5 for 3.5 % over the budget.
+    """
+    if goal_energy_j <= 0:
+        raise ValueError("goal energy must be positive")
+    if measured_energy_j < 0:
+        raise ValueError("measured energy cannot be negative")
+    if measured_energy_j > goal_energy_j:
+        return (measured_energy_j - goal_energy_j) / goal_energy_j * 100.0
+    return 0.0
+
+
+def effective_accuracy(accuracy: float, oracle_accuracy: float) -> float:
+    """Eqn. 13: achieved accuracy as a fraction of the oracle's.
+
+    May slightly exceed 1 in noisy runs that got lucky; the paper plots
+    the raw ratio, so no clamping is applied.
+    """
+    if oracle_accuracy <= 0:
+        raise ValueError("oracle accuracy must be positive")
+    if accuracy < 0:
+        raise ValueError("accuracy cannot be negative")
+    return accuracy / oracle_accuracy

@@ -1,0 +1,129 @@
+"""Clairvoyant oracle (paper Sec. 5.2).
+
+The oracle exhaustively profiles the noise-free models and, for a given
+energy goal, picks the best (system, application) pair per iteration with
+perfect knowledge and zero overhead — "the best accuracy that could be
+accomplished by dynamically managing application and system with perfect
+knowledge of the future".
+
+The paper's own key insight (Sec. 2.5) makes the oracle cheap to
+compute: since accuracy decreases with required speedup, the optimal
+strategy uses the most energy-efficient system configuration and buys
+the remaining savings with the least application speedup possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..apps.base import ApproximateApplication
+from ..hw.knobs import SystemConfig
+from ..hw.machine import Machine
+from ..hw.power_model import system_power
+from ..hw.speedup_model import work_rate
+from ..workloads.phases import PhasedWorkload, steady
+
+
+def default_energy_per_work(
+    machine: Machine, app: ApproximateApplication
+) -> float:
+    """Noise-free joules per work unit in the default configurations."""
+    config = machine.default_config
+    rate = work_rate(machine, config, app.resource_profile)
+    power = system_power(machine, config, app.resource_profile)
+    return power / rate
+
+
+def best_system_energy_per_work(
+    machine: Machine, app: ApproximateApplication
+) -> Tuple[float, SystemConfig]:
+    """Minimum joules/work over all system configurations (app default).
+
+    This is the Sec. 2.1 brute-force search, done on the noise-free
+    models — exactly what an oracle may do.
+    """
+    best_epw = float("inf")
+    best_config = machine.default_config
+    for config in machine.space:
+        rate = work_rate(machine, config, app.resource_profile)
+        power = system_power(machine, config, app.resource_profile)
+        epw = power / rate
+        if epw < best_epw:
+            best_epw = epw
+            best_config = config
+    return best_epw, best_config
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """The oracle's verdict for one (machine, app, factor) triple."""
+
+    feasible: bool
+    accuracy: float
+    required_speedup: float
+    best_system_epw: float
+    default_epw: float
+
+    @property
+    def max_feasible_factor(self) -> float:
+        """Largest energy-reduction factor any controller could meet."""
+        return self.default_epw / self.best_system_epw * self._max_speedup
+
+    _max_speedup: float = 1.0
+
+
+def oracle_accuracy(
+    machine: Machine,
+    app: ApproximateApplication,
+    factor: float,
+    workload: Optional[PhasedWorkload] = None,
+) -> OracleResult:
+    """Best achievable accuracy for reducing default energy by ``factor``.
+
+    With a phased workload the oracle holds the per-iteration energy
+    budget uniform and converts easy-phase headroom into accuracy, the
+    ideal behaviour Sec. 5.6 describes.
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    if workload is None:
+        workload = steady(1)
+    default_epw = default_energy_per_work(machine, app)
+    best_epw, _ = best_system_energy_per_work(machine, app)
+    target_epw = default_epw / factor
+
+    total_iterations = workload.n_iterations
+    feasible = True
+    weighted_accuracy = 0.0
+    worst_required = 0.0
+    for phase in workload.phases:
+        # An iteration of difficulty d costs d× the energy at a fixed
+        # configuration, so the required speedup scales with d.
+        required = best_epw * phase.work_multiplier / target_epw
+        worst_required = max(worst_required, required)
+        if required <= 1.0:
+            accuracy = app.table.pareto_frontier[0].accuracy
+        else:
+            config = app.table.best_accuracy_for_speedup(required)
+            if config.speedup < required:
+                feasible = False
+            accuracy = config.accuracy
+        weighted_accuracy += accuracy * phase.n_iterations
+    return OracleResult(
+        feasible=feasible,
+        accuracy=weighted_accuracy / total_iterations,
+        required_speedup=worst_required,
+        best_system_epw=best_epw,
+        default_epw=default_epw,
+        _max_speedup=app.table.max_speedup,
+    )
+
+
+def max_feasible_factor(
+    machine: Machine, app: ApproximateApplication
+) -> float:
+    """Largest f for which the goal is achievable at all (Sec. 3.4.3)."""
+    default_epw = default_energy_per_work(machine, app)
+    best_epw, _ = best_system_energy_per_work(machine, app)
+    return default_epw / best_epw * app.table.max_speedup

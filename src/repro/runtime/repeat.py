@@ -1,0 +1,96 @@
+"""Seed replication and summary statistics for experiments.
+
+The paper reports averages over runs; this module makes replication a
+one-liner: run any experiment function over a list of seeds and get a
+:class:`ReplicateSummary` with mean/std/min/max and a normal-theory
+confidence interval for each metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .harness import ExperimentResult
+
+#: Metrics extracted from each run for aggregation.
+METRICS = (
+    "relative_error_pct",
+    "mean_accuracy",
+    "energy_savings",
+)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate statistics of one metric over replicated runs."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-theory CI for the mean (z = 1.96 → ~95 %)."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half_width = z * self.std / math.sqrt(self.n)
+        return (self.mean - half_width, self.mean + half_width)
+
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """All runs plus per-metric aggregates."""
+
+    results: Tuple[ExperimentResult, ...]
+    metrics: Dict[str, MetricSummary]
+
+    def __getitem__(self, metric: str) -> MetricSummary:
+        return self.metrics[metric]
+
+
+def _summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    n = len(values)
+    mean = sum(values) / n
+    variance = (
+        sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    )
+    return MetricSummary(
+        name=name,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def replicate(
+    runner: Callable[..., ExperimentResult],
+    seeds: Sequence[int],
+    include_effective_accuracy: bool = True,
+    **kwargs,
+) -> ReplicateSummary:
+    """Run ``runner(seed=s, **kwargs)`` for each seed and aggregate.
+
+    ``runner`` is any of the harness/baseline entry points
+    (``run_jouleguard``, ``run_system_only``, …).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: List[ExperimentResult] = [
+        runner(seed=seed, **kwargs) for seed in seeds
+    ]
+    metric_names = list(METRICS)
+    if include_effective_accuracy and results[0].oracle_acc is not None:
+        metric_names.append("effective_acc")
+    metrics = {
+        name: _summarize(
+            name, [getattr(result, name) for result in results]
+        )
+        for name in metric_names
+    }
+    return ReplicateSummary(results=tuple(results), metrics=metrics)

@@ -1,0 +1,144 @@
+"""The full evaluation sweep as a library (Sec. 5.2 methodology).
+
+Runs JouleGuard for every application on a platform (or all platforms)
+across the paper's energy-reduction factors, skipping infeasible
+combinations, and returns structured cells — the data behind Figs. 5
+and 6.  Used by the benchmarks, the CLI, and available to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps import applications_for_platform
+from ..core.budget import PAPER_FACTORS
+from ..hw import all_machines
+from ..hw.machine import Machine
+from .harness import run_jouleguard
+from .oracle import max_feasible_factor
+
+#: Default margin against the theoretical maximum factor (the paper
+#: likewise omits bars for infeasible goals).
+DEFAULT_MARGIN = 0.9
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (platform, application, factor) outcome."""
+
+    machine: str
+    app: str
+    factor: float
+    relative_error_pct: float
+    effective_accuracy: float
+    mean_accuracy: float
+    oracle_accuracy: float
+
+
+def sweep_platform(
+    machine: Machine,
+    factors: Sequence[float] = PAPER_FACTORS,
+    n_iterations: int = 400,
+    seed: int = 17,
+    margin: float = DEFAULT_MARGIN,
+    apps: Optional[Dict] = None,
+) -> List[SweepCell]:
+    """Sweep every (application, factor) on one platform."""
+    if apps is None:
+        apps = applications_for_platform(machine.name)
+    cells: List[SweepCell] = []
+    for app_name, app in apps.items():
+        limit = max_feasible_factor(machine, app) * margin
+        for factor in factors:
+            if factor > limit:
+                continue
+            result = run_jouleguard(
+                machine,
+                app,
+                factor=factor,
+                n_iterations=n_iterations,
+                seed=seed,
+            )
+            cells.append(
+                SweepCell(
+                    machine=machine.name,
+                    app=app_name,
+                    factor=factor,
+                    relative_error_pct=result.relative_error_pct,
+                    effective_accuracy=result.effective_acc,
+                    mean_accuracy=result.mean_accuracy,
+                    oracle_accuracy=result.oracle_acc,
+                )
+            )
+    return cells
+
+
+def sweep_all(
+    factors: Sequence[float] = PAPER_FACTORS,
+    n_iterations: int = 400,
+    seed: int = 17,
+    margin: float = DEFAULT_MARGIN,
+) -> List[SweepCell]:
+    """The complete Fig. 5/6 sweep over all three platforms."""
+    cells: List[SweepCell] = []
+    for machine in all_machines().values():
+        cells.extend(
+            sweep_platform(
+                machine,
+                factors=factors,
+                n_iterations=n_iterations,
+                seed=seed,
+                margin=margin,
+            )
+        )
+    return cells
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Aggregate statistics of one sweep."""
+
+    n_runs: int
+    mean_error_pct: float
+    median_error_pct: float
+    p90_error_pct: float
+    max_error_pct: float
+    mean_effective_accuracy: float
+    min_effective_accuracy: float
+
+
+def summarize(cells: Iterable[SweepCell]) -> SweepSummary:
+    """Aggregate a sweep into the headline numbers (Sec. 5.7 style)."""
+    cells = list(cells)
+    if not cells:
+        raise ValueError("empty sweep")
+    errors = np.array([c.relative_error_pct for c in cells])
+    accuracy = np.array([c.effective_accuracy for c in cells])
+    return SweepSummary(
+        n_runs=len(cells),
+        mean_error_pct=float(errors.mean()),
+        median_error_pct=float(np.median(errors)),
+        p90_error_pct=float(np.percentile(errors, 90)),
+        max_error_pct=float(errors.max()),
+        mean_effective_accuracy=float(accuracy.mean()),
+        min_effective_accuracy=float(accuracy.min()),
+    )
+
+
+def filter_cells(
+    cells: Iterable[SweepCell],
+    machine: Optional[str] = None,
+    app: Optional[str] = None,
+    factor: Optional[float] = None,
+) -> List[SweepCell]:
+    """Select sweep cells by platform / application / factor."""
+    return [
+        c
+        for c in cells
+        if (machine is None or c.machine == machine)
+        and (app is None or c.app == app)
+        and (factor is None or c.factor == factor)
+    ]

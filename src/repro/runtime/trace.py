@@ -1,0 +1,96 @@
+"""Per-iteration traces of closed-loop runs.
+
+The figure benchmarks need time series (energy per frame, accuracy, the
+configurations chosen); :class:`RunTrace` records everything one
+iteration produces so every figure can be regenerated from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class RunTrace:
+    """Columnar per-iteration record of one closed-loop run."""
+
+    work: List[float] = field(default_factory=list)
+    time_s: List[float] = field(default_factory=list)
+    true_energy_j: List[float] = field(default_factory=list)
+    measured_energy_j: List[float] = field(default_factory=list)
+    true_power_w: List[float] = field(default_factory=list)
+    rate: List[float] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+    speedup_setpoint: List[float] = field(default_factory=list)
+    system_index: List[int] = field(default_factory=list)
+    app_index: List[int] = field(default_factory=list)
+    pole: List[float] = field(default_factory=list)
+    epsilon: List[float] = field(default_factory=list)
+    explored: List[bool] = field(default_factory=list)
+    feasible: List[bool] = field(default_factory=list)
+
+    def append(
+        self,
+        work: float,
+        time_s: float,
+        true_energy_j: float,
+        measured_energy_j: float,
+        true_power_w: float,
+        rate: float,
+        accuracy: float,
+        speedup_setpoint: float,
+        system_index: int,
+        app_index: int,
+        pole: float,
+        epsilon: float,
+        explored: bool,
+        feasible: bool,
+    ) -> None:
+        self.work.append(work)
+        self.time_s.append(time_s)
+        self.true_energy_j.append(true_energy_j)
+        self.measured_energy_j.append(measured_energy_j)
+        self.true_power_w.append(true_power_w)
+        self.rate.append(rate)
+        self.accuracy.append(accuracy)
+        self.speedup_setpoint.append(speedup_setpoint)
+        self.system_index.append(system_index)
+        self.app_index.append(app_index)
+        self.pole.append(pole)
+        self.epsilon.append(epsilon)
+        self.explored.append(explored)
+        self.feasible.append(feasible)
+
+    def __len__(self) -> int:
+        return len(self.work)
+
+    # -- derived series -------------------------------------------------------
+    def energy_per_work(self) -> np.ndarray:
+        """Per-iteration joules per work unit (Fig. 4's left column)."""
+        return np.asarray(self.true_energy_j) / np.asarray(self.work)
+
+    def mean_accuracy(self) -> float:
+        """Work-weighted mean accuracy over the run."""
+        work = np.asarray(self.work)
+        accuracy = np.asarray(self.accuracy)
+        return float((accuracy * work).sum() / work.sum())
+
+    def total_energy_j(self) -> float:
+        return float(np.sum(self.true_energy_j))
+
+    def total_work(self) -> float:
+        return float(np.sum(self.work))
+
+    def windowed_energy_per_work(self, window: int) -> np.ndarray:
+        """Moving-average energy per work unit (smoother time series)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        energy = np.asarray(self.true_energy_j)
+        work = np.asarray(self.work)
+        kernel = np.ones(window)
+        smoothed_energy = np.convolve(energy, kernel, mode="valid")
+        smoothed_work = np.convolve(work, kernel, mode="valid")
+        return smoothed_energy / smoothed_work

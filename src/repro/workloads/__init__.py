@@ -1,0 +1,17 @@
+"""Workload structure: phases, traces, and per-iteration generation."""
+
+from .generator import WorkGenerator
+from .phases import PhasedWorkload, WorkloadPhase, steady, three_scene_video
+from .traces import MarkovWorkload, RecordedTrace, Regime, record_trace
+
+__all__ = [
+    "MarkovWorkload",
+    "PhasedWorkload",
+    "RecordedTrace",
+    "Regime",
+    "WorkGenerator",
+    "WorkloadPhase",
+    "record_trace",
+    "steady",
+    "three_scene_video",
+]

@@ -1,0 +1,59 @@
+"""Per-iteration work generation with input-dependent variability.
+
+Real inputs are not uniform: frames and queries differ in cost.  The
+:class:`WorkGenerator` wraps a :class:`~repro.workloads.phases.PhasedWorkload`
+with lognormal per-iteration jitter, giving the runtime the "application
+workload fluctuations" its control loop must absorb (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .phases import PhasedWorkload
+
+
+@dataclass
+class WorkGenerator:
+    """Workload → per-iteration difficulty, with multiplicative jitter.
+
+    Yields each iteration's computational-cost multiplier (the phase's
+    difficulty times lognormal jitter with unit mean).
+
+    Parameters
+    ----------
+    workload:
+        The phase structure.
+    jitter:
+        Standard deviation of the lognormal multiplier (0 = exact).
+    seed:
+        RNG seed.
+    """
+
+    workload: PhasedWorkload
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def __iter__(self) -> Iterator[float]:
+        rng = np.random.default_rng(self.seed)
+        for difficulty in self.workload.iteration_difficulty():
+            if self.jitter > 0:
+                difficulty *= float(
+                    np.exp(rng.normal(-0.5 * self.jitter**2, self.jitter))
+                )
+            yield difficulty
+
+    def materialize(self) -> List[float]:
+        """The full difficulty sequence as a list (deterministic given seed)."""
+        return list(iter(self))
+
+    @property
+    def n_iterations(self) -> int:
+        return self.workload.n_iterations

@@ -1,0 +1,110 @@
+"""Phased workloads (paper Sec. 5.6).
+
+The phase experiment concatenates three videos: 200 frames of a hard
+scene, 200 frames of an easier scene that "naturally encodes about 40 %
+faster", then the hard scene again.  A phase here scales the *work* per
+iteration: the easy scene's frames carry ~1/1.4 of the work, so at a
+fixed configuration they complete 40 % faster and cost less energy —
+headroom JouleGuard should convert into accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A run of iterations sharing a work multiplier."""
+
+    name: str
+    n_iterations: int
+    work_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_iterations <= 0:
+            raise ValueError("phase needs at least one iteration")
+        if self.work_multiplier <= 0:
+            raise ValueError("work multiplier must be positive")
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """A sequence of phases over a base per-iteration work quantum."""
+
+    phases: Tuple[WorkloadPhase, ...]
+    base_work: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        if self.base_work <= 0:
+            raise ValueError("base work must be positive")
+
+    @property
+    def n_iterations(self) -> int:
+        return sum(phase.n_iterations for phase in self.phases)
+
+    @property
+    def total_work(self) -> float:
+        """Total *progress* units (iterations × base work).
+
+        Progress is what the energy budget covers — a frame is a frame
+        whether the scene is easy or hard; difficulty only changes how
+        much computation the frame costs (see :meth:`iteration_difficulty`).
+        """
+        return self.base_work * self.n_iterations
+
+    def iteration_difficulty(self) -> Iterator[float]:
+        """Per-iteration computational-cost multipliers, phase by phase."""
+        for phase in self.phases:
+            for _ in range(phase.n_iterations):
+                yield phase.work_multiplier
+
+    def phase_of(self, iteration: int) -> WorkloadPhase:
+        """The phase containing the given 0-based iteration index."""
+        if iteration < 0:
+            raise IndexError(iteration)
+        offset = iteration
+        for phase in self.phases:
+            if offset < phase.n_iterations:
+                return phase
+            offset -= phase.n_iterations
+        raise IndexError(iteration)
+
+    def phase_boundaries(self) -> List[int]:
+        """Iteration indices at which a new phase starts (excluding 0)."""
+        boundaries = []
+        total = 0
+        for phase in self.phases[:-1]:
+            total += phase.n_iterations
+            boundaries.append(total)
+        return boundaries
+
+
+def steady(n_iterations: int, base_work: float = 1.0) -> PhasedWorkload:
+    """A single-phase workload (the default for Sec. 5.3–5.5 sweeps)."""
+    return PhasedWorkload(
+        phases=(WorkloadPhase("steady", n_iterations),), base_work=base_work
+    )
+
+
+def three_scene_video(
+    frames_per_scene: int = 200,
+    easy_speedup: float = 1.4,
+    base_work: float = 1.0,
+) -> PhasedWorkload:
+    """The Sec. 5.6 input: hard / easy / hard, 200 frames each.
+
+    ``easy_speedup`` is how much faster the middle scene naturally
+    encodes (paper: about 40 % → 1.4).
+    """
+    if easy_speedup < 1.0:
+        raise ValueError("easy scene must not be harder than the others")
+    hard = WorkloadPhase("hard", frames_per_scene, 1.0)
+    easy = WorkloadPhase("easy", frames_per_scene, 1.0 / easy_speedup)
+    return PhasedWorkload(
+        phases=(hard, easy, WorkloadPhase("hard2", frames_per_scene, 1.0)),
+        base_work=base_work,
+    )

@@ -1,0 +1,195 @@
+"""Recorded and stochastic workload traces.
+
+Beyond the fixed phase structure of :mod:`repro.workloads.phases`, real
+inputs arrive with burstiness and regime changes.  This module adds:
+
+* :class:`MarkovWorkload` — difficulty follows a Markov chain over named
+  regimes (e.g. easy/normal/hard scenes), producing realistic phase
+  structure without hand-authoring it,
+* :class:`RecordedTrace` — replay a measured per-iteration difficulty
+  sequence (round-tripped through plain JSON), so real application
+  traces can drive the simulator,
+* :func:`record_trace` — capture any workload's realized difficulties.
+
+All produce the same interface the harness consumes: an iterable of
+per-iteration difficulty multipliers plus ``n_iterations``/``total_work``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .generator import WorkGenerator
+from .phases import PhasedWorkload, WorkloadPhase
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One Markov state: a difficulty level with self-persistence."""
+
+    name: str
+    difficulty: float
+    mean_dwell: float
+
+    def __post_init__(self) -> None:
+        if self.difficulty <= 0:
+            raise ValueError("difficulty must be positive")
+        if self.mean_dwell < 1:
+            raise ValueError("mean dwell must be >= 1 iteration")
+
+
+@dataclass
+class MarkovWorkload:
+    """Difficulty follows a Markov chain over regimes.
+
+    Each iteration stays in the current regime with probability
+    ``1 - 1/mean_dwell``, otherwise jumps to a uniformly random other
+    regime.  Deterministic given the seed; exposes the same surface as
+    :class:`~repro.workloads.phases.PhasedWorkload` so the harness can
+    consume it via :meth:`to_phased`.
+    """
+
+    regimes: Tuple[Regime, ...]
+    n_iterations: int
+    base_work: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.regimes) < 1:
+            raise ValueError("need at least one regime")
+        if self.n_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if self.base_work <= 0:
+            raise ValueError("base work must be positive")
+
+    @property
+    def total_work(self) -> float:
+        return self.base_work * self.n_iterations
+
+    def realize(self) -> List[Tuple[str, float]]:
+        """The (regime name, difficulty) sequence for this seed."""
+        rng = np.random.default_rng(self.seed)
+        state = int(rng.integers(len(self.regimes)))
+        sequence = []
+        for _ in range(self.n_iterations):
+            regime = self.regimes[state]
+            sequence.append((regime.name, regime.difficulty))
+            if (
+                len(self.regimes) > 1
+                and rng.random() < 1.0 / regime.mean_dwell
+            ):
+                options = [
+                    s for s in range(len(self.regimes)) if s != state
+                ]
+                state = int(rng.choice(options))
+        return sequence
+
+    def iteration_difficulty(self) -> Iterator[float]:
+        for _, difficulty in self.realize():
+            yield difficulty
+
+    def to_phased(self) -> PhasedWorkload:
+        """Collapse the realized chain into explicit phases."""
+        sequence = self.realize()
+        phases: List[WorkloadPhase] = []
+        run_name, run_difficulty, run_length = (
+            sequence[0][0],
+            sequence[0][1],
+            0,
+        )
+        for name, difficulty in sequence:
+            if name == run_name:
+                run_length += 1
+            else:
+                phases.append(
+                    WorkloadPhase(run_name, run_length, run_difficulty)
+                )
+                run_name, run_difficulty, run_length = name, difficulty, 1
+        phases.append(WorkloadPhase(run_name, run_length, run_difficulty))
+        return PhasedWorkload(tuple(phases), base_work=self.base_work)
+
+
+@dataclass
+class RecordedTrace:
+    """Replay an explicit per-iteration difficulty sequence."""
+
+    difficulties: Tuple[float, ...]
+    base_work: float = 1.0
+    name: str = "recorded"
+
+    def __post_init__(self) -> None:
+        if not self.difficulties:
+            raise ValueError("empty trace")
+        if any(d <= 0 for d in self.difficulties):
+            raise ValueError("difficulties must be positive")
+        if self.base_work <= 0:
+            raise ValueError("base work must be positive")
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.difficulties)
+
+    @property
+    def total_work(self) -> float:
+        return self.base_work * self.n_iterations
+
+    def iteration_difficulty(self) -> Iterator[float]:
+        return iter(self.difficulties)
+
+    def to_phased(self) -> PhasedWorkload:
+        """One phase per iteration (exact replay through the harness)."""
+        return PhasedWorkload(
+            tuple(
+                WorkloadPhase(f"i{index}", 1, difficulty)
+                for index, difficulty in enumerate(self.difficulties)
+            ),
+            base_work=self.base_work,
+        )
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: PathLike) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "name": self.name,
+                    "base_work": self.base_work,
+                    "difficulties": list(self.difficulties),
+                }
+            )
+            + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RecordedTrace":
+        data = json.loads(pathlib.Path(path).read_text())
+        return cls(
+            difficulties=tuple(data["difficulties"]),
+            base_work=data["base_work"],
+            name=data.get("name", "recorded"),
+        )
+
+
+def record_trace(
+    workload: PhasedWorkload,
+    jitter: float = 0.0,
+    seed: int = 0,
+    name: str = "recorded",
+) -> RecordedTrace:
+    """Capture the realized difficulty sequence of any workload."""
+    difficulties = tuple(
+        WorkGenerator(workload, jitter=jitter, seed=seed).materialize()
+    )
+    return RecordedTrace(
+        difficulties=difficulties,
+        base_work=workload.base_work,
+        name=name,
+    )

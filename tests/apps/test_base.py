@@ -1,0 +1,153 @@
+"""Tests for application configuration tables and Eqn. 6 selection."""
+
+import pytest
+
+from repro.apps.base import AppConfig, ApproximateApplication, ConfigTable
+from repro.hw.profiles import GENERIC_PROFILE
+
+
+def make_table(points):
+    """Build a table from (speedup, accuracy) pairs; first must be default."""
+    return ConfigTable(
+        AppConfig(index=i, speedup=s, accuracy=a)
+        for i, (s, a) in enumerate(points)
+    )
+
+
+@pytest.fixture
+def table():
+    return make_table(
+        [
+            (1.0, 1.0),
+            (1.5, 0.95),
+            (2.0, 0.90),
+            (1.8, 0.80),  # dominated: slower AND less accurate than (2.0, 0.90)
+            (3.0, 0.70),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_requires_default(self):
+        with pytest.raises(ValueError, match="default config"):
+            make_table([(1.5, 0.9), (2.0, 0.8)])
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ConfigTable(
+                [
+                    AppConfig(index=0, speedup=1.0, accuracy=1.0),
+                    AppConfig(index=0, speedup=2.0, accuracy=0.9),
+                ]
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            ConfigTable([])
+
+    def test_appconfig_validation(self):
+        with pytest.raises(ValueError):
+            AppConfig(index=0, speedup=0.0, accuracy=1.0)
+        with pytest.raises(ValueError):
+            AppConfig(index=0, speedup=1.0, accuracy=-0.1)
+        with pytest.raises(ValueError):
+            AppConfig(index=0, speedup=1.0, accuracy=1.0, power_factor=0.0)
+
+
+class TestFrontier:
+    def test_dominated_config_excluded(self, table):
+        frontier = table.pareto_frontier
+        assert all(
+            not (c.speedup == 1.8 and c.accuracy == 0.80) for c in frontier
+        )
+
+    def test_frontier_speedups_strictly_increasing(self, table):
+        speedups = [c.speedup for c in table.pareto_frontier]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_frontier_accuracy_strictly_decreasing(self, table):
+        accuracies = [c.accuracy for c in table.pareto_frontier]
+        assert all(a > b for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_default_on_frontier(self, table):
+        assert table.pareto_frontier[0] is table.default
+
+    def test_max_speedup(self, table):
+        assert table.max_speedup == 3.0
+
+    def test_max_accuracy_loss(self, table):
+        assert table.max_accuracy_loss == pytest.approx(0.30)
+
+
+class TestSelection:
+    """Eqn. 6: most accurate config delivering the required speedup."""
+
+    def test_zero_speedup_gives_default(self, table):
+        assert table.best_accuracy_for_speedup(0.0) is table.default
+
+    def test_exact_speedup_match(self, table):
+        config = table.best_accuracy_for_speedup(1.5)
+        assert config.speedup == 1.5
+        assert config.accuracy == 0.95
+
+    def test_between_configs_rounds_up(self, table):
+        config = table.best_accuracy_for_speedup(1.6)
+        assert config.speedup == 2.0
+
+    def test_beyond_max_returns_fastest(self, table):
+        config = table.best_accuracy_for_speedup(10.0)
+        assert config.speedup == 3.0
+
+    def test_never_selects_dominated_config(self, table):
+        for s in (0.5, 1.1, 1.7, 1.9, 2.5, 3.0):
+            config = table.best_accuracy_for_speedup(s)
+            assert (config.speedup, config.accuracy) != (1.8, 0.80)
+
+    def test_selection_is_weakly_decreasing_in_accuracy(self, table):
+        accuracies = [
+            table.best_accuracy_for_speedup(s).accuracy
+            for s in (1.0, 1.4, 1.8, 2.2, 2.6, 3.0)
+        ]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+
+class TestAccuracyOrder:
+    def test_ordering_by_descending_accuracy(self, table):
+        order = table.accuracy_order()
+        accuracies = [c.accuracy for c in order]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert len(order) == len(table)
+
+
+class TestApproximateApplication:
+    def test_platform_gating(self, table):
+        app = ApproximateApplication(
+            name="demo",
+            framework="powerdial",
+            accuracy_metric="demo metric",
+            table=table,
+            resource_profile=GENERIC_PROFILE,
+            platforms=("server",),
+        )
+        assert app.runs_on("server")
+        assert not app.runs_on("mobile")
+
+    def test_unknown_framework_rejected(self, table):
+        with pytest.raises(ValueError, match="framework"):
+            ApproximateApplication(
+                name="demo",
+                framework="magic",
+                accuracy_metric="m",
+                table=table,
+                resource_profile=GENERIC_PROFILE,
+            )
+
+    def test_default_config_exposed(self, table):
+        app = ApproximateApplication(
+            name="demo",
+            framework="powerdial",
+            accuracy_metric="m",
+            table=table,
+            resource_profile=GENERIC_PROFILE,
+        )
+        assert app.default_config.speedup == 1.0

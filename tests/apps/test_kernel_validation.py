@@ -1,0 +1,97 @@
+"""Kernel-backed validation: the synthesized configuration tables claim
+monotone speedup/accuracy trades; these tests run the *real* kernels at
+matching knob points and confirm the trade is genuine for every
+application (slow-ish: each test executes actual computation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import bodytrack, canneal, ferret, radar, streamcluster
+from repro.apps import swaptions, swishpp, x264
+
+
+def assert_work_accuracy_tradeoff(points, accuracy_tolerance=0.0):
+    """Speedups ascend and accuracy (whatever its scale) descends."""
+    speedups = [p[0] for p in points]
+    accuracies = [p[1] for p in points]
+    assert speedups == sorted(speedups), "work savings should accumulate"
+    assert accuracies[0] == max(accuracies), "full effort should be best"
+    assert (
+        min(accuracies) < accuracies[0] + accuracy_tolerance
+    ), "approximation should eventually cost accuracy"
+
+
+class TestX264Kernel:
+    def test_tradeoff(self):
+        points = x264.measure_kernel_tradeoff(n_frames=4, seed=1)
+        assert_work_accuracy_tradeoff(points)
+        # The cheapest configuration loses real PSNR.
+        assert points[-1][1] < points[0][1] - 3.0
+
+
+class TestSwaptionsKernel:
+    def test_tradeoff(self):
+        points = swaptions.measure_kernel_tradeoff(seed=1)
+        speedups = [p[0] for p in points]
+        assert speedups == sorted(speedups)
+        assert points[0][1] == pytest.approx(1.0, abs=0.05)
+        # Few-trial pricing is noticeably noisier than many-trial.
+        assert min(p[1] for p in points[2:]) < 1.0
+
+
+class TestBodytrackKernel:
+    def test_tradeoff(self):
+        points = bodytrack.measure_kernel_tradeoff(n_frames=30, seed=1)
+        speedups = [p[0] for p in points]
+        assert speedups == sorted(speedups)
+        assert points[-1][1] < points[0][1]
+
+
+class TestSwishKernel:
+    def test_truncation_loses_recall(self):
+        points = swishpp.measure_kernel_tradeoff(n_queries=30, seed=1)
+        accuracies = [a for _, a in points]
+        assert accuracies[0] == 1.0  # unlimited = reference
+        assert accuracies == sorted(accuracies, reverse=True)
+        # The harshest truncation loses most of the results, mirroring
+        # Table 2's 83 % accuracy loss.
+        assert accuracies[-1] < 0.5
+
+
+class TestRadarKernel:
+    def test_snr_degrades_with_perforation(self):
+        points = radar.measure_kernel_tradeoff(seed=1)
+        speedups = [p[0] for p in points]
+        assert speedups == sorted(speedups)
+        snrs = [p[1] for p in points]
+        assert snrs[-1] < snrs[0]
+
+
+class TestCannealKernel:
+    def test_quality_degrades_with_perforation(self):
+        points = canneal.measure_kernel_tradeoff(seed=1)
+        fractions = [p[0] for p in points]
+        qualities = [p[1] for p in points]
+        assert fractions == sorted(fractions, reverse=True)
+        assert qualities[0] == 1.0
+        assert min(qualities) < 1.0
+
+
+class TestFerretKernel:
+    def test_similarity_degrades_with_perforation(self):
+        points = ferret.measure_kernel_tradeoff(n_queries=15, seed=1)
+        fractions = [p[0] for p in points]
+        similarities = [p[1] for p in points]
+        assert fractions == sorted(fractions, reverse=True)
+        assert similarities[0] > 0.95
+        assert similarities[-1] < similarities[0]
+
+
+class TestStreamclusterKernel:
+    def test_quality_insensitive_to_perforation(self):
+        # streamcluster is the benchmark where perforation is nearly
+        # free (0.55 % loss in Table 2): quality stays high even at the
+        # most aggressive evaluation fraction.
+        points = streamcluster.measure_kernel_tradeoff(seed=1)
+        qualities = [p[1] for p in points]
+        assert min(qualities) > 0.7

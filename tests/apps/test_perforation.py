@@ -1,0 +1,115 @@
+"""Tests for the loop-perforation framework."""
+
+import pytest
+
+from repro.apps.perforation import (
+    PerforatableLoop,
+    build_table,
+    perforate,
+    rates_for_speedups,
+)
+
+
+class TestPerforate:
+    def test_zero_rate_keeps_everything(self):
+        assert list(perforate(range(10), 0.0)) == list(range(10))
+
+    def test_half_rate_keeps_every_other(self):
+        assert list(perforate(range(10), 0.5)) == [0, 2, 4, 6, 8]
+
+    def test_kept_fraction_matches_rate(self):
+        for rate in (0.1, 0.25, 0.75, 0.9):
+            kept = len(list(perforate(range(1000), rate)))
+            assert kept == pytest.approx(1000 * (1 - rate), abs=2)
+
+    def test_skipping_is_evenly_spread(self):
+        kept = list(perforate(range(100), 0.75))
+        gaps = [b - a for a, b in zip(kept, kept[1:])]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            list(perforate(range(5), 1.0))
+        with pytest.raises(ValueError):
+            list(perforate(range(5), -0.1))
+
+    def test_works_on_any_iterable(self):
+        assert list(perforate((c for c in "abcdef"), 0.5)) == ["a", "c", "e"]
+
+
+class TestPerforatableLoop:
+    @pytest.fixture
+    def loop(self):
+        return PerforatableLoop(
+            name="demo", runtime_share=0.8, quality_sensitivity=0.2
+        )
+
+    def test_amdahl_speedup(self, loop):
+        assert loop.speedup(0.0) == 1.0
+        assert loop.speedup(0.5) == pytest.approx(1.0 / 0.6)
+
+    def test_speedup_bounded_by_runtime_share(self, loop):
+        assert loop.speedup(0.999) < 1.0 / (1.0 - loop.runtime_share)
+
+    def test_accuracy_convex(self, loop):
+        assert loop.accuracy(0.0) == 1.0
+        assert 1.0 - loop.accuracy(0.5) < 0.5 * (1.0 - loop.accuracy(1.0 - 1e-9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerforatableLoop("l", runtime_share=1.0, quality_sensitivity=0.1)
+        with pytest.raises(ValueError):
+            PerforatableLoop("l", runtime_share=0.5, quality_sensitivity=1.0)
+        with pytest.raises(ValueError):
+            PerforatableLoop(
+                "l", 0.5, 0.1, loss_exponent=0.0
+            )
+
+    def test_invalid_rate_rejected(self, loop):
+        with pytest.raises(ValueError):
+            loop.speedup(1.0)
+
+
+class TestBuildTable:
+    @pytest.fixture
+    def loop(self):
+        return PerforatableLoop("demo", 0.8, 0.2)
+
+    def test_table_size(self, loop):
+        table = build_table(loop, (0.0, 0.3, 0.6))
+        assert len(table) == 3
+
+    def test_first_rate_must_be_zero(self, loop):
+        with pytest.raises(ValueError, match="first rate"):
+            build_table(loop, (0.1, 0.5))
+
+    def test_table_is_pareto_consistent(self, loop):
+        table = build_table(loop, (0.0, 0.2, 0.4, 0.6, 0.8))
+        assert len(table.pareto_frontier) == 5  # monotone loop: all on frontier
+
+    def test_rates_recorded_as_knob_settings(self, loop):
+        table = build_table(loop, (0.0, 0.4))
+        rates = {c.knob_settings[0][1] for c in table}
+        assert rates == {0.0, 0.4}
+
+    def test_empty_rates_rejected(self, loop):
+        with pytest.raises(ValueError):
+            build_table(loop, ())
+
+
+class TestRatesForSpeedups:
+    def test_inverts_speedup(self):
+        loop = PerforatableLoop("demo", 0.8, 0.2)
+        rates = rates_for_speedups(loop, (1.0, 1.5, 1.93))
+        for rate, target in zip(rates, (1.0, 1.5, 1.93)):
+            assert loop.speedup(rate) == pytest.approx(target)
+
+    def test_unreachable_speedup_rejected(self):
+        loop = PerforatableLoop("demo", 0.5, 0.2)
+        with pytest.raises(ValueError, match="unreachable"):
+            rates_for_speedups(loop, (3.0,))
+
+    def test_sub_one_speedup_rejected(self):
+        loop = PerforatableLoop("demo", 0.5, 0.2)
+        with pytest.raises(ValueError):
+            rates_for_speedups(loop, (0.5,))

@@ -1,0 +1,126 @@
+"""Tests for the PowerDial dynamic-knob framework."""
+
+import pytest
+
+from repro.apps.powerdial import (
+    DynamicKnob,
+    KnobSetting,
+    build_table,
+    calibrated_knob,
+)
+
+
+class TestKnobSetting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnobSetting(value=1, speedup=0.0, accuracy=1.0)
+        with pytest.raises(ValueError):
+            KnobSetting(value=1, speedup=1.0, accuracy=1.5)
+
+
+class TestDynamicKnob:
+    def test_first_setting_must_be_default(self):
+        with pytest.raises(ValueError, match="default"):
+            DynamicKnob(
+                "k", (KnobSetting(value=1, speedup=2.0, accuracy=0.9),)
+            )
+
+    def test_empty_settings_rejected(self):
+        with pytest.raises(ValueError, match="no settings"):
+            DynamicKnob("k", ())
+
+
+class TestCalibratedKnob:
+    def test_spans_requested_ranges(self):
+        knob = calibrated_knob("k", range(10), 4.0, 0.2)
+        speedups = [s.speedup for s in knob.settings]
+        accuracies = [s.accuracy for s in knob.settings]
+        assert speedups[0] == 1.0
+        assert speedups[-1] == pytest.approx(4.0)
+        assert accuracies[0] == 1.0
+        assert accuracies[-1] == pytest.approx(0.8)
+
+    def test_monotone(self):
+        knob = calibrated_knob("k", range(20), 10.0, 0.3)
+        speedups = [s.speedup for s in knob.settings]
+        accuracies = [s.accuracy for s in knob.settings]
+        assert speedups == sorted(speedups)
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_convex_loss(self):
+        # loss_exponent > 1: the first half of the range loses less than
+        # half of the total accuracy loss.
+        knob = calibrated_knob("k", range(11), 2.0, 0.2, loss_exponent=2.0)
+        mid_loss = 1.0 - knob.settings[5].accuracy
+        assert mid_loss < 0.1
+
+    def test_linear_speedup_shape(self):
+        knob = calibrated_knob(
+            "k", range(5), 5.0, 0.1, speedup_shape="linear"
+        )
+        speedups = [s.speedup for s in knob.settings]
+        assert speedups == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="speedup_shape"):
+            calibrated_knob("k", range(3), 2.0, 0.1, speedup_shape="cubic")
+
+    def test_single_value_knob(self):
+        knob = calibrated_knob("k", [7], 3.0, 0.5)
+        assert len(knob.settings) == 1
+        assert knob.settings[0].speedup == 1.0
+
+
+class TestBuildTable:
+    def test_size_is_cross_product(self):
+        a = calibrated_knob("a", range(4), 2.0, 0.1)
+        b = calibrated_knob("b", range(5), 3.0, 0.05)
+        assert len(build_table([a, b])) == 20
+
+    def test_speedups_multiply(self):
+        a = calibrated_knob("a", range(3), 2.0, 0.0)
+        b = calibrated_knob("b", range(3), 3.0, 0.0)
+        table = build_table([a, b], jitter=0.0)
+        assert table.max_speedup == pytest.approx(6.0)
+
+    def test_accuracies_compound(self):
+        a = calibrated_knob("a", range(2), 1.0, 0.1)
+        b = calibrated_knob("b", range(2), 1.0, 0.2)
+        table = build_table([a, b], jitter=0.0)
+        assert min(c.accuracy for c in table) == pytest.approx(0.9 * 0.8)
+
+    def test_default_is_untouched_by_jitter(self):
+        a = calibrated_knob("a", range(6), 2.0, 0.1)
+        table = build_table([a], jitter=0.2, seed=5)
+        assert table.default.speedup == 1.0
+        assert table.default.accuracy == 1.0
+
+    def test_jitter_is_deterministic(self):
+        a = calibrated_knob("a", range(6), 2.0, 0.1)
+        t1 = build_table([a], jitter=0.05, seed=9)
+        t2 = build_table([a], jitter=0.05, seed=9)
+        assert [c.speedup for c in t1] == [c.speedup for c in t2]
+
+    def test_accuracy_never_exceeds_one(self):
+        a = calibrated_knob("a", range(30), 2.0, 0.01)
+        table = build_table([a], jitter=0.3, seed=11)
+        assert all(c.accuracy <= 1.0 for c in table)
+
+    def test_power_factor_decreases_with_speedup(self):
+        a = calibrated_knob("a", range(5), 4.0, 0.1)
+        table = build_table([a], jitter=0.0, power_coupling=0.1)
+        by_speedup = sorted(table, key=lambda c: c.speedup)
+        factors = [c.power_factor for c in by_speedup]
+        assert factors == sorted(factors, reverse=True)
+        assert all(0.9 <= f <= 1.0 for f in factors)
+
+    def test_knob_settings_recorded(self):
+        a = calibrated_knob("alpha", (10, 20), 2.0, 0.1)
+        table = build_table([a], jitter=0.0)
+        values = {c.knob_settings for c in table}
+        assert (("alpha", 10),) in values
+        assert (("alpha", 20),) in values
+
+    def test_no_knobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one knob"):
+            build_table([])

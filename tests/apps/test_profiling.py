@@ -1,0 +1,120 @@
+"""Tests for the measured-table profiling workflow."""
+
+import pytest
+
+from repro.apps.profiling import (
+    ProfiledSetting,
+    profile_application,
+    profile_table,
+    timed,
+)
+from repro.hw.profiles import GENERIC_PROFILE
+
+
+def make_settings(costs, qualities):
+    return [
+        ProfiledSetting(
+            knob_settings=(("level", float(i)),),
+            run=lambda c=c, q=q: (c, q),
+        )
+        for i, (c, q) in enumerate(zip(costs, qualities))
+    ]
+
+
+class TestProfileTable:
+    def test_default_is_first_setting(self):
+        table = profile_table(
+            make_settings([10.0, 5.0, 2.0], [1.0, 0.9, 0.7])
+        )
+        assert table.default.index == 0
+
+    def test_speedups_from_cost_ratio(self):
+        table = profile_table(
+            make_settings([10.0, 5.0, 2.0], [1.0, 0.9, 0.7])
+        )
+        assert table[1].speedup == pytest.approx(2.0)
+        assert table[2].speedup == pytest.approx(5.0)
+
+    def test_accuracy_default_ratio(self):
+        table = profile_table(
+            make_settings([10.0, 5.0], [2.0, 1.5])
+        )
+        assert table[1].accuracy == pytest.approx(0.75)
+
+    def test_custom_accuracy_mapping(self):
+        # Lower-is-better quality (e.g. clustering cost).
+        table = profile_table(
+            make_settings([10.0, 5.0], [100.0, 125.0]),
+            accuracy_from_quality=lambda q, ref: min(1.0, ref / q),
+        )
+        assert table[1].accuracy == pytest.approx(0.8)
+
+    def test_accuracy_clipped_to_unit_interval(self):
+        table = profile_table(
+            make_settings([10.0, 5.0], [1.0, 1.5])  # "better" than default
+        )
+        assert table[1].accuracy == 1.0
+
+    def test_repeats_average_noise(self):
+        calls = {"n": 0}
+
+        def noisy():
+            calls["n"] += 1
+            return (10.0 + (calls["n"] % 2), 1.0)
+
+        settings = [
+            ProfiledSetting((("level", 0.0),), run=lambda: (10.0, 1.0)),
+            ProfiledSetting((("level", 1.0),), run=noisy),
+        ]
+        profile_table(settings, repeats=4)
+        assert calls["n"] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_table([])
+        with pytest.raises(ValueError):
+            profile_table(make_settings([0.0], [1.0]))
+        with pytest.raises(ValueError):
+            profile_table(make_settings([1.0], [0.0]))
+        with pytest.raises(ValueError):
+            profile_table(make_settings([1.0], [1.0]), repeats=0)
+
+    def test_power_factor_monotone(self):
+        table = profile_table(
+            make_settings([10.0, 5.0, 1.0], [1.0, 0.9, 0.5])
+        )
+        factors = [c.power_factor for c in sorted(table, key=lambda c: c.speedup)]
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestProfileApplication:
+    def test_wraps_into_application(self):
+        app = profile_application(
+            "demo",
+            make_settings([10.0, 4.0], [1.0, 0.8]),
+            resource_profile=GENERIC_PROFILE,
+        )
+        assert app.name == "demo"
+        assert len(app.table) == 2
+
+    def test_profiled_app_runs_under_jouleguard(self):
+        from repro.hw import get_machine
+        from repro.runtime.harness import run_jouleguard
+
+        app = profile_application(
+            "demo",
+            make_settings([10.0, 5.0, 2.5, 1.0], [1.0, 0.95, 0.85, 0.6]),
+            resource_profile=GENERIC_PROFILE,
+        )
+        result = run_jouleguard(
+            get_machine("tablet"), app, factor=2.0, n_iterations=150, seed=1
+        )
+        assert result.relative_error_pct < 5.0
+
+
+class TestTimed:
+    def test_wall_clock_cost_positive(self):
+        work = timed(lambda: 42.0)
+        cost, quality = work()
+        assert cost > 0
+        assert quality == 42.0

@@ -1,0 +1,69 @@
+"""Tests that the benchmark suite matches the paper's Table 2."""
+
+import pytest
+
+from repro.apps import (
+    PAPER_TABLE2,
+    application_names,
+    applications_for_platform,
+    build_application,
+    table2,
+)
+
+
+class TestRegistry:
+    def test_eight_applications(self):
+        assert len(application_names()) == 8
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            build_application("doom")
+
+    def test_swish_and_canneal_not_on_mobile(self):
+        mobile_apps = applications_for_platform("mobile")
+        assert "swish" not in mobile_apps
+        assert "canneal" not in mobile_apps
+        assert len(mobile_apps) == 6
+
+    def test_all_apps_on_tablet_and_server(self):
+        assert len(applications_for_platform("tablet")) == 8
+        assert len(applications_for_platform("server")) == 8
+
+
+class TestTable2:
+    """Config counts match exactly; speedup/loss within profiling jitter."""
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_config_count_exact(self, name):
+        configs, _, _ = PAPER_TABLE2[name]
+        assert len(build_application(name).table) == configs
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_max_speedup_within_five_percent(self, name):
+        _, speedup, _ = PAPER_TABLE2[name]
+        measured = build_application(name).table.max_speedup
+        assert measured == pytest.approx(speedup, rel=0.05)
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_max_accuracy_loss_close_to_paper(self, name):
+        _, _, loss_pct = PAPER_TABLE2[name]
+        measured = 100.0 * build_application(name).table.max_accuracy_loss
+        assert measured == pytest.approx(loss_pct, rel=0.15, abs=0.5)
+
+    def test_table2_rows_carry_paper_values(self):
+        rows = {r.application: r for r in table2()}
+        assert rows["swish"].paper_max_speedup == 1.52
+        assert rows["x264"].paper_configs == 560
+
+    def test_frameworks_match_paper(self):
+        powerdial = {"x264", "swaptions", "bodytrack", "swish", "radar"}
+        perforated = {"canneal", "ferret", "streamcluster"}
+        for name in powerdial:
+            assert build_application(name).framework == "powerdial"
+        for name in perforated:
+            assert build_application(name).framework == "loop_perforation"
+
+    def test_tables_deterministic(self):
+        a = build_application("x264").table
+        b = build_application("x264").table
+        assert [c.speedup for c in a] == [c.speedup for c in b]

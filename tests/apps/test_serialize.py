@@ -1,0 +1,85 @@
+"""Tests for table/application serialization."""
+
+import json
+
+import pytest
+
+from repro.apps import build_application
+from repro.apps.serialize import (
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    load_table,
+    save_application,
+    save_table,
+    table_from_dict,
+    table_to_dict,
+)
+
+
+class TestTableRoundtrip:
+    def test_roundtrip_preserves_configs(self, apps):
+        table = apps["radar"].table
+        restored = table_from_dict(table_to_dict(table))
+        assert len(restored) == len(table)
+        for original, copy in zip(table, restored):
+            assert copy.index == original.index
+            assert copy.speedup == original.speedup
+            assert copy.accuracy == original.accuracy
+            assert copy.power_factor == original.power_factor
+            assert copy.knob_settings == original.knob_settings
+
+    def test_roundtrip_preserves_frontier(self, apps):
+        table = apps["x264"].table
+        restored = table_from_dict(table_to_dict(table))
+        assert [c.index for c in restored.pareto_frontier] == [
+            c.index for c in table.pareto_frontier
+        ]
+
+    def test_file_roundtrip(self, apps, tmp_path):
+        table = apps["canneal"].table
+        path = save_table(table, tmp_path / "table.json")
+        restored = load_table(path)
+        assert restored.max_speedup == table.max_speedup
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            table_from_dict({"schema": 99, "configs": []})
+
+    def test_output_is_valid_json(self, apps, tmp_path):
+        path = save_table(apps["ferret"].table, tmp_path / "t.json")
+        json.loads(path.read_text())
+
+
+class TestApplicationRoundtrip:
+    def test_roundtrip_preserves_metadata(self, apps):
+        app = apps["swish"]
+        restored = application_from_dict(application_to_dict(app))
+        assert restored.name == app.name
+        assert restored.framework == app.framework
+        assert restored.platforms == app.platforms
+        assert restored.accuracy_metric == app.accuracy_metric
+        assert restored.resource_profile == app.resource_profile
+
+    def test_file_roundtrip_runs_under_jouleguard(self, apps, tmp_path):
+        from repro.hw import get_machine
+        from repro.runtime.harness import run_jouleguard
+
+        path = save_application(apps["x264"], tmp_path / "x264.json")
+        restored = load_application(path)
+        result = run_jouleguard(
+            get_machine("tablet"), restored, factor=1.5,
+            n_iterations=60, seed=0,
+        )
+        assert result.relative_error_pct < 5.0
+
+    def test_restored_equals_fresh_build(self, tmp_path):
+        app = build_application("streamcluster")
+        restored = application_from_dict(application_to_dict(app))
+        assert [c.speedup for c in restored.table] == [
+            c.speedup for c in app.table
+        ]
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            application_from_dict({"schema": 0})

@@ -1,0 +1,36 @@
+"""Shared fixtures: machines and applications are expensive to enumerate
+(the Server space has 1024 configurations), so they are built once per
+session.  Tests must not mutate them; anything stateful (simulators,
+runtimes) is built per-test from these immutable inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_all
+from repro.hw import all_machines
+
+
+@pytest.fixture(scope="session")
+def machines():
+    return all_machines()
+
+
+@pytest.fixture(scope="session")
+def mobile(machines):
+    return machines["mobile"]
+
+
+@pytest.fixture(scope="session")
+def tablet(machines):
+    return machines["tablet"]
+
+
+@pytest.fixture(scope="session")
+def server(machines):
+    return machines["server"]
+
+
+@pytest.fixture(scope="session")
+def apps():
+    return build_all()

@@ -1,0 +1,102 @@
+"""Tests for the Z-domain analysis (Eqns. 7–9) — the formal guarantees
+are executed, not just quoted."""
+
+import pytest
+
+from repro.core.analysis import (
+    nominal_loop,
+    perturbed_loop,
+    settling_time,
+    stability_bound,
+)
+
+
+class TestNominalLoop:
+    """Eqn. 7: F(z) = (1 - pole)/(z - pole)."""
+
+    @pytest.mark.parametrize("pole", [0.0, 0.1, 0.5, 0.9])
+    def test_stable_for_legal_poles(self, pole):
+        assert nominal_loop(pole).stable
+
+    @pytest.mark.parametrize("pole", [0.0, 0.1, 0.5, 0.9])
+    def test_convergent_f1_equals_one(self, pole):
+        loop = nominal_loop(pole)
+        assert loop.dc_gain == pytest.approx(1.0)
+        assert loop.convergent
+
+    def test_step_response_reaches_setpoint(self):
+        response = nominal_loop(0.5).step_response(60)
+        assert response[-1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_step_response_monotone_no_overshoot(self):
+        response = nominal_loop(0.3).step_response(30)
+        assert all(a <= b + 1e-12 for a, b in zip(response, response[1:]))
+        assert max(response) <= 1.0 + 1e-9
+
+    def test_deadbeat_settles_in_one_step(self):
+        assert nominal_loop(0.0).step_response(3) == pytest.approx(
+            [1.0, 1.0, 1.0]
+        )
+
+    def test_illegal_pole_rejected(self):
+        with pytest.raises(ValueError):
+            nominal_loop(1.0)
+        with pytest.raises(ValueError):
+            nominal_loop(-0.1)
+
+
+class TestPerturbedLoop:
+    """Eqn. 8–9: robustness to multiplicative model error δ."""
+
+    def test_exact_model_recovers_nominal(self):
+        assert perturbed_loop(0.5, 1.0).pole_location == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("pole", [0.0, 0.2, 0.6])
+    def test_stable_inside_bound(self, pole):
+        bound = stability_bound(pole)
+        for delta in (0.1, 1.0, bound * 0.99):
+            assert perturbed_loop(pole, delta).stable
+
+    @pytest.mark.parametrize("pole", [0.0, 0.2, 0.6])
+    def test_unstable_outside_bound(self, pole):
+        bound = stability_bound(pole)
+        assert not perturbed_loop(pole, bound * 1.01).stable
+
+    def test_convergent_whenever_stable(self):
+        # Even with model error, F(1) = 1: zero steady-state error.
+        loop = perturbed_loop(0.4, 1.7)
+        assert loop.dc_gain == pytest.approx(1.0)
+
+    def test_unstable_step_response_grows(self):
+        loop = perturbed_loop(0.0, 2.5)
+        response = loop.step_response(20)
+        assert abs(response[-1] - 1.0) > abs(response[5] - 1.0)
+
+    def test_paper_example_pole_01_delta_22(self):
+        # Sec. 3.4.2: pole = 0.1 tolerates rsys off by a factor of 2.2.
+        assert perturbed_loop(0.1, 2.2).stable
+        assert not perturbed_loop(0.1, 2.3).stable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            perturbed_loop(0.5, 0.0)
+
+
+class TestSettlingTime:
+    def test_deadbeat(self):
+        assert settling_time(0.0) == 1
+
+    def test_slower_pole_settles_later(self):
+        assert settling_time(0.9) > settling_time(0.3)
+
+    def test_matches_step_response(self):
+        pole = 0.6
+        steps = settling_time(pole, tolerance=0.02)
+        response = nominal_loop(pole).step_response(steps + 1)
+        assert abs(response[steps - 1] - 1.0) <= 0.02 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            settling_time(1.0)
+        with pytest.raises(ValueError):
+            settling_time(0.5, tolerance=0.0)

@@ -1,0 +1,162 @@
+"""Tests for the System Energy Optimizer (Eqns. 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandit import SystemEnergyOptimizer
+from repro.core.vdbe import Vdbe
+
+
+def make_seo(n=5, **kwargs):
+    rates = np.linspace(1.0, 5.0, n)
+    powers = np.linspace(1.0, 3.0, n)
+    return SystemEnergyOptimizer(rates, powers, seed=0, **kwargs)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SystemEnergyOptimizer([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            SystemEnergyOptimizer([], [])
+        with pytest.raises(ValueError):
+            SystemEnergyOptimizer([1.0, -1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            SystemEnergyOptimizer([1.0], [1.0], alpha=0.0)
+        with pytest.raises(ValueError):
+            SystemEnergyOptimizer([1.0], [1.0], optimism=0.5)
+
+    def test_initial_best_follows_prior_ratio(self):
+        seo = SystemEnergyOptimizer([1.0, 10.0, 2.0], [1.0, 2.0, 4.0])
+        assert seo.best_index == 1  # ratio 5 beats 1 and 0.5
+
+
+class TestEstimates:
+    def test_unvisited_uses_prior_shape(self):
+        seo = make_seo()
+        assert seo.rate_estimate(0) == pytest.approx(1.0)
+
+    def test_scale_calibration_after_first_measurement(self):
+        seo = make_seo()
+        # Config 0 has shape rate 1.0; measuring 100 sets scale ≈ 100.
+        seo.update(0, rate=100.0, power=10.0)
+        # Unvisited config 4 (shape 5.0) now estimated near 500.
+        assert seo.rate_estimate(4) == pytest.approx(500.0, rel=0.01)
+
+    def test_visited_estimate_tracks_measurements(self):
+        seo = make_seo()
+        for _ in range(10):
+            seo.update(2, rate=42.0, power=7.0)
+        assert seo.rate_estimate(2) == pytest.approx(42.0, rel=0.01)
+        assert seo.power_estimate(2) == pytest.approx(7.0, rel=0.01)
+
+    def test_ewma_blends_with_alpha(self):
+        seo = make_seo(alpha=0.5)
+        seo.update(0, rate=10.0, power=1.0)
+        first = seo.rate_estimate(0)
+        seo.update(0, rate=20.0, power=1.0)
+        assert seo.rate_estimate(0) == pytest.approx(0.5 * first + 0.5 * 20)
+
+    def test_optimism_inflates_unvisited_rate(self):
+        plain = make_seo(optimism=1.0)
+        optimist = make_seo(optimism=1.5)
+        plain.update(0, rate=10.0, power=5.0)
+        optimist.update(0, rate=10.0, power=5.0)
+        assert optimist.rate_estimate(4) > plain.rate_estimate(4)
+        # ...and deflates unvisited power (optimistic efficiency).
+        assert optimist.power_estimate(4) < plain.power_estimate(4)
+
+    def test_last_rate_delta_is_multiplicative_error(self):
+        seo = make_seo()
+        seo.update(0, rate=10.0, power=5.0)
+        before = seo.rate_estimate(0)
+        seo.update(0, rate=before * 3.0, power=5.0)
+        assert seo.last_rate_delta == pytest.approx(2.0)
+
+
+class TestSelection:
+    def test_exploit_returns_best_estimated_efficiency(self):
+        seo = make_seo()
+        seo.vdbe.epsilon = 0.0  # force exploitation
+        decision = seo.select()
+        assert not decision.explored
+        assert decision.index == seo.best_index
+
+    def test_explore_when_epsilon_one(self):
+        seo = make_seo(n=50)
+        seo.vdbe.epsilon = 1.0
+        picks = {seo.select().index for _ in range(100)}
+        assert len(picks) > 10  # uniform-ish random coverage
+
+    def test_best_index_updates_with_evidence(self):
+        seo = make_seo()
+        # Prior favours high indices; measurements reveal arm 0 is great
+        # and arm 4 (the prior favourite) is poor.
+        for _ in range(5):
+            seo.update(0, rate=1000.0, power=1.0)
+            seo.update(4, rate=1.0, power=10.0)
+            seo.update(3, rate=1.0, power=10.0)
+            seo.update(2, rate=1.0, power=10.0)
+            seo.update(1, rate=1.0, power=10.0)
+        assert seo.best_index == 0
+
+    def test_update_validation(self):
+        seo = make_seo()
+        with pytest.raises(ValueError):
+            seo.update(0, rate=0.0, power=1.0)
+        with pytest.raises(IndexError):
+            seo.update(99, rate=1.0, power=1.0)
+
+    def test_visited_count(self):
+        seo = make_seo()
+        seo.update(0, 1.0, 1.0)
+        seo.update(0, 1.0, 1.0)
+        seo.update(3, 1.0, 1.0)
+        assert seo.visited_count == 2
+
+
+class TestConvergence:
+    def test_finds_best_arm_in_small_noisy_space(self):
+        rng = np.random.default_rng(7)
+        true_rates = np.array([2.0, 8.0, 4.0, 6.0, 3.0])
+        true_powers = np.array([2.0, 2.0, 1.0, 3.0, 1.0])
+        # True efficiencies: 1, 4, 4, 2, 3 — arms 1 and 2 tie at the top.
+        seo = SystemEnergyOptimizer(
+            np.ones(5), np.ones(5), seed=1, vdbe=Vdbe(5)
+        )
+        for _ in range(300):
+            index = seo.select().index
+            rate = true_rates[index] * rng.lognormal(0, 0.05)
+            power = true_powers[index] * rng.lognormal(0, 0.02)
+            seo.update(index, rate, power)
+        assert seo.best_index in (1, 2)
+
+    def test_epsilon_settles_after_convergence(self):
+        rng = np.random.default_rng(8)
+        seo = make_seo(n=8)
+        for _ in range(400):
+            index = seo.select().index
+            seo.update(
+                index,
+                rate=(index + 1.0) * rng.lognormal(0, 0.02),
+                power=1.0,
+            )
+        assert seo.epsilon < 0.1
+
+    def test_adapts_to_regime_change(self):
+        # After convergence, swap which arm is best; the learner should
+        # discover the change (the Sec. 3.2 robustness claim).
+        rng = np.random.default_rng(9)
+        rates = {0: 10.0, 1: 1.0}
+        seo = SystemEnergyOptimizer(
+            np.ones(2), np.ones(2), seed=2, vdbe=Vdbe(2)
+        )
+        for _ in range(100):
+            index = seo.select().index
+            seo.update(index, rates[index] * rng.lognormal(0, 0.02), 1.0)
+        assert seo.best_index == 0
+        rates = {0: 1.0, 1: 10.0}
+        for _ in range(300):
+            index = seo.select().index
+            seo.update(index, rates[index] * rng.lognormal(0, 0.02), 1.0)
+        assert seo.best_index == 1

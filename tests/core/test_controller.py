@@ -1,0 +1,151 @@
+"""Tests for the speedup controller (Eqns. 4–5)."""
+
+import pytest
+
+from repro.core.controller import (
+    SpeedupController,
+    required_rate,
+    speedup_target,
+)
+
+
+class TestRequiredRate:
+    def test_rate_covers_target(self):
+        # At 100 W, hitting 2 J/work needs 50 work/s.
+        assert required_rate(2.0, 100.0) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_rate(0.0, 100.0)
+        with pytest.raises(ValueError):
+            required_rate(1.0, 0.0)
+
+
+class TestSpeedupTarget:
+    def test_eqn4_literal(self):
+        # s = f · (r_d/p_d) · (p̂/r̂)
+        assert speedup_target(2.0, 100.0, 200.0, 50.0, 150.0) == pytest.approx(
+            2.0 * (100.0 / 200.0) * (150.0 / 50.0)
+        )
+
+    def test_no_reduction_efficient_system_needs_no_speedup(self):
+        # f=1 and a system config twice as efficient as default → s = 0.5.
+        assert speedup_target(1.0, 100.0, 200.0, 100.0, 100.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_target(0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestSpeedupController:
+    def test_deadbeat_correction(self):
+        # With pole 0 and an exact rate model, one step closes the error:
+        # new speedup satisfies required = est_rate * speedup.
+        controller = SpeedupController(max_speedup=10.0)
+        est_rate = 10.0
+        speedup = controller.step(
+            required=30.0, measured_rate=10.0, est_system_rate=est_rate, pole=0.0
+        )
+        assert est_rate * speedup == pytest.approx(30.0)
+
+    def test_pole_slows_correction(self):
+        fast = SpeedupController(max_speedup=10.0)
+        slow = SpeedupController(max_speedup=10.0)
+        fast.step(30.0, 10.0, 10.0, pole=0.0)
+        slow.step(30.0, 10.0, 10.0, pole=0.8)
+        assert slow.speedup < fast.speedup
+
+    def test_integral_action_accumulates(self):
+        controller = SpeedupController(max_speedup=10.0)
+        previous = controller.speedup
+        for _ in range(5):
+            controller.step(30.0, 10.0, 10.0, pole=0.8)
+            assert controller.speedup > previous
+            previous = controller.speedup
+
+    def test_negative_error_reduces_speedup(self):
+        controller = SpeedupController(
+            min_speedup=0.5, max_speedup=10.0, initial_speedup=5.0
+        )
+        controller.step(required=10.0, measured_rate=50.0, est_system_rate=10.0, pole=0.0)
+        assert controller.speedup < 5.0
+
+    def test_clamping_and_saturation_flag(self):
+        controller = SpeedupController(min_speedup=1.0, max_speedup=2.0)
+        controller.step(1000.0, 1.0, 1.0, pole=0.0)
+        assert controller.speedup == 2.0
+        assert controller.saturated
+
+    def test_anti_windup(self):
+        # After heavy saturation, a small reversal should move the signal
+        # immediately (no accumulated windup to burn off).
+        controller = SpeedupController(min_speedup=1.0, max_speedup=2.0)
+        for _ in range(20):
+            controller.step(1000.0, 1.0, 1.0, pole=0.0)
+        controller.step(required=1.0, measured_rate=10.0, est_system_rate=10.0, pole=0.0)
+        assert controller.speedup < 2.0
+
+    def test_closed_loop_converges_on_simple_plant(self):
+        # Plant: measured rate = est_rate * speedup (exact model).
+        controller = SpeedupController(min_speedup=0.5, max_speedup=20.0)
+        est_rate, required = 4.0, 26.0
+        measured = est_rate * controller.speedup
+        for _ in range(10):
+            speedup = controller.step(required, measured, est_rate, pole=0.3)
+            measured = est_rate * speedup
+        assert measured == pytest.approx(required, rel=0.01)
+
+    def test_closed_loop_stable_under_model_error_within_bound(self):
+        # True rate is δ× the estimate with δ < 2: still converges at
+        # pole 0 (Eqn. 9).
+        controller = SpeedupController(min_speedup=0.1, max_speedup=100.0)
+        est_rate, delta, required = 4.0, 1.8, 26.0
+        measured = est_rate * delta * controller.speedup
+        for _ in range(60):
+            speedup = controller.step(required, measured, est_rate, pole=0.0)
+            measured = est_rate * delta * speedup
+        assert measured == pytest.approx(required, rel=0.05)
+
+    def test_closed_loop_oscillates_beyond_bound_without_pole(self):
+        # δ > 2 with pole 0: the loop never converges — it oscillates
+        # (clamped into a limit cycle), the instability Eqn. 9 predicts.
+        controller = SpeedupController(min_speedup=1e-6, max_speedup=1e9)
+        est_rate, delta, required = 4.0, 2.5, 26.0
+        measured = est_rate * delta * controller.speedup
+        errors = []
+        for _ in range(40):
+            speedup = controller.step(required, measured, est_rate, pole=0.0)
+            measured = est_rate * delta * speedup
+            errors.append(abs(required - measured))
+        assert min(errors[-6:]) > 0.3 * required  # still far off, forever
+
+    def test_adaptive_pole_restores_stability_beyond_bound(self):
+        # Same δ > 2 but with the Eqn. 11 pole (plus margin — the literal
+        # rule is marginally stable at exactly the measured δ): converges.
+        from repro.core.pole import pole_for_error
+
+        controller = SpeedupController(min_speedup=1e-6, max_speedup=1e9)
+        est_rate, delta, required = 4.0, 2.5, 26.0
+        pole = pole_for_error(delta, margin=2.0)
+        measured = est_rate * delta * controller.speedup
+        for _ in range(200):
+            speedup = controller.step(required, measured, est_rate, pole=pole)
+            measured = est_rate * delta * speedup
+        assert measured == pytest.approx(required, rel=0.05)
+
+    def test_reset(self):
+        controller = SpeedupController(min_speedup=1.0, max_speedup=4.0)
+        controller.step(1000.0, 1.0, 1.0, pole=0.0)
+        controller.reset(2.0)
+        assert controller.speedup == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedupController(min_speedup=0.0)
+        with pytest.raises(ValueError):
+            SpeedupController(min_speedup=2.0, max_speedup=1.0)
+        controller = SpeedupController()
+        with pytest.raises(ValueError):
+            controller.step(1.0, 1.0, 1.0, pole=1.0)
+        with pytest.raises(ValueError):
+            controller.step(1.0, 1.0, 0.0, pole=0.0)

@@ -1,0 +1,55 @@
+"""Tests for the Eqn. 1 estimators."""
+
+import pytest
+
+from repro.core.ewma import DEFAULT_ALPHA, Ewma
+
+
+class TestEwma:
+    def test_paper_alpha(self):
+        assert DEFAULT_ALPHA == 0.85
+
+    def test_first_update_without_prior_takes_sample(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+
+    def test_update_with_prior_blends(self):
+        ewma = Ewma(alpha=0.85, value=10.0)
+        # Eqn. 1: (1 - α)·old + α·new
+        assert ewma.update(20.0) == pytest.approx(0.15 * 10 + 0.85 * 20)
+
+    def test_converges_to_constant_signal(self):
+        ewma = Ewma(alpha=0.85, value=100.0)
+        for _ in range(30):
+            ewma.update(5.0)
+        assert ewma.value == pytest.approx(5.0, rel=1e-6)
+
+    def test_alpha_one_tracks_exactly(self):
+        ewma = Ewma(alpha=1.0, value=3.0)
+        assert ewma.update(7.0) == 7.0
+
+    def test_update_count(self):
+        ewma = Ewma()
+        ewma.update(1.0)
+        ewma.update(2.0)
+        assert ewma.updates == 2
+
+    def test_initialized_flag(self):
+        ewma = Ewma()
+        assert not ewma.initialized
+        ewma.update(1.0)
+        assert ewma.initialized
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_geometric_error_decay(self):
+        # After n updates with constant signal, the residual error decays
+        # as (1 - α)^n — the convergence rate the paper's α=0.85 buys.
+        ewma = Ewma(alpha=0.85, value=1.0)
+        for n in range(1, 6):
+            ewma.update(0.0)
+            assert ewma.value == pytest.approx(0.15**n)

@@ -1,0 +1,115 @@
+"""Tests for the approximate-hardware variant (Sec. 3.7)."""
+
+import pytest
+
+from repro.core.hwapprox import (
+    HardwareApproxLevel,
+    HardwareApproxTable,
+    PowerReductionController,
+)
+
+
+def make_table():
+    return HardwareApproxTable(
+        [
+            HardwareApproxLevel(index=0, power_factor=1.0, accuracy=1.0),
+            HardwareApproxLevel(index=1, power_factor=0.9, accuracy=0.98),
+            HardwareApproxLevel(index=2, power_factor=0.8, accuracy=0.93),
+            HardwareApproxLevel(index=3, power_factor=0.85, accuracy=0.90),  # dominated
+            HardwareApproxLevel(index=4, power_factor=0.6, accuracy=0.80),
+        ]
+    )
+
+
+class TestTable:
+    def test_requires_exact_level(self):
+        with pytest.raises(ValueError, match="exact level"):
+            HardwareApproxTable(
+                [HardwareApproxLevel(index=0, power_factor=0.9, accuracy=1.0)]
+            )
+
+    def test_frontier_drops_dominated(self):
+        frontier = make_table().frontier
+        assert all(level.index != 3 for level in frontier)
+
+    def test_frontier_ordered_by_power_factor(self):
+        factors = [l.power_factor for l in make_table().frontier]
+        assert factors == sorted(factors)
+
+    def test_min_power_factor(self):
+        assert make_table().min_power_factor == 0.6
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            HardwareApproxLevel(index=0, power_factor=0.0, accuracy=1.0)
+        with pytest.raises(ValueError):
+            HardwareApproxLevel(index=0, power_factor=1.0, accuracy=1.5)
+
+
+class TestSelection:
+    """The Eqn. 6 dual: most accurate level within a power allowance."""
+
+    def test_generous_allowance_gives_exact_hardware(self):
+        level = make_table().best_accuracy_for_power_factor(1.0)
+        assert level.power_factor == 1.0
+
+    def test_tight_allowance_gives_frugal_level(self):
+        level = make_table().best_accuracy_for_power_factor(0.7)
+        assert level.power_factor == 0.6
+
+    def test_exact_boundary_included(self):
+        level = make_table().best_accuracy_for_power_factor(0.8)
+        assert level.power_factor == 0.8
+
+    def test_impossible_allowance_returns_lowest_power(self):
+        level = make_table().best_accuracy_for_power_factor(0.1)
+        assert level.power_factor == 0.6
+
+    def test_monotone_accuracy_in_allowance(self):
+        table = make_table()
+        accuracies = [
+            table.best_accuracy_for_power_factor(f).accuracy
+            for f in (0.5, 0.65, 0.8, 0.9, 1.0)
+        ]
+        assert accuracies == sorted(accuracies)
+
+
+class TestPowerReductionController:
+    def test_overconsumption_reduces_factor(self):
+        controller = PowerReductionController(min_factor=0.5)
+        controller.step(
+            target_power=80.0, measured_power=100.0, est_system_power=100.0, pole=0.0
+        )
+        assert controller.factor < 1.0
+
+    def test_headroom_raises_factor(self):
+        controller = PowerReductionController(min_factor=0.5, initial_factor=0.6)
+        controller.step(100.0, 60.0, 100.0, pole=0.0)
+        assert controller.factor > 0.6
+
+    def test_clamped_to_range(self):
+        controller = PowerReductionController(min_factor=0.5)
+        for _ in range(10):
+            controller.step(0.0, 100.0, 100.0, pole=0.0)
+        assert controller.factor == 0.5
+        for _ in range(10):
+            controller.step(1000.0, 0.0, 100.0, pole=0.0)
+        assert controller.factor == 1.0
+
+    def test_closed_loop_converges_to_power_target(self):
+        # Plant: power = 100 * factor.
+        controller = PowerReductionController(min_factor=0.3)
+        measured = 100.0 * controller.factor
+        for _ in range(20):
+            factor = controller.step(70.0, measured, 100.0, pole=0.2)
+            measured = 100.0 * factor
+        assert measured == pytest.approx(70.0, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerReductionController(min_factor=0.0)
+        controller = PowerReductionController(min_factor=0.5)
+        with pytest.raises(ValueError):
+            controller.step(1.0, 1.0, 0.0, pole=0.0)
+        with pytest.raises(ValueError):
+            controller.step(1.0, 1.0, 1.0, pole=1.0)

@@ -1,0 +1,174 @@
+"""Tests for the Algorithm 1 runtime on a toy analytic plant.
+
+The plant here is pure Python (two system configurations, a small
+application table) so these tests exercise the runtime's logic in
+isolation from the platform models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppConfig, ConfigTable
+from repro.core.bandit import SystemEnergyOptimizer
+from repro.core.budget import EnergyGoal
+from repro.core.jouleguard import JouleGuardRuntime, build_runtime
+from repro.core.types import Measurement
+
+
+def make_table():
+    return ConfigTable(
+        [
+            AppConfig(index=0, speedup=1.0, accuracy=1.0),
+            AppConfig(index=1, speedup=1.5, accuracy=0.9),
+            AppConfig(index=2, speedup=2.0, accuracy=0.8),
+            AppConfig(index=3, speedup=3.0, accuracy=0.6),
+        ]
+    )
+
+
+# Toy plant: two system configs.  Config 0: rate 10, power 100 (epw 10).
+# Config 1: rate 6, power 30 (epw 5 — twice as efficient).
+TRUE_RATES = (10.0, 6.0)
+TRUE_POWERS = (100.0, 30.0)
+
+
+def run_plant(runtime, n_iterations, rng=None, rate_noise=0.0):
+    """Drive the runtime against the toy plant; return energy history."""
+    rng = rng or np.random.default_rng(0)
+    energies, accuracies = [], []
+    for _ in range(n_iterations):
+        decision = runtime.current_decision
+        rate = TRUE_RATES[decision.system_index] * decision.app_config.speedup
+        if rate_noise:
+            rate *= float(rng.lognormal(0, rate_noise))
+        power = TRUE_POWERS[decision.system_index]
+        time_s = 1.0 / rate
+        energy = power * time_s
+        energies.append(energy)
+        accuracies.append(decision.app_config.accuracy)
+        runtime.step(
+            Measurement(work=1.0, energy_j=energy, rate=rate, power_w=power)
+        )
+    return energies, accuracies
+
+
+def make_runtime(factor, n_iterations, **seo_kwargs):
+    default_epw = TRUE_POWERS[0] / TRUE_RATES[0]
+    goal = EnergyGoal.from_factor(factor, n_iterations, default_epw)
+    return build_runtime(
+        prior_rate_shape=[1.0, 0.6],
+        prior_power_shape=[3.0, 1.0],
+        table=make_table(),
+        goal=goal,
+        seed=1,
+        **seo_kwargs,
+    )
+
+
+class TestMeetsGoals:
+    @pytest.mark.parametrize("factor", [1.1, 1.5, 2.0, 3.0])
+    def test_energy_within_budget(self, factor):
+        n = 300
+        runtime = make_runtime(factor, n)
+        energies, _ = run_plant(runtime, n, rate_noise=0.02)
+        overshoot = sum(energies) / runtime.accountant.goal.budget_j
+        assert overshoot < 1.03
+
+    def test_easy_goal_preserves_full_accuracy(self):
+        # f=1.5 with a 2x-efficient config available: no approximation
+        # needed once the learner settles.
+        n = 300
+        runtime = make_runtime(1.5, n)
+        _, accuracies = run_plant(runtime, n)
+        assert np.mean(accuracies[-50:]) == pytest.approx(1.0)
+
+    def test_hard_goal_sacrifices_accuracy(self):
+        # f=3 requires epw 10/3 ≈ 3.33; best system epw is 5, so the app
+        # must deliver ~1.5x → steady-state accuracy ≈ 0.9.
+        n = 400
+        runtime = make_runtime(3.0, n)
+        _, accuracies = run_plant(runtime, n)
+        steady = np.mean(accuracies[-50:])
+        assert 0.75 <= steady <= 0.95
+
+    def test_learner_finds_efficient_config(self):
+        n = 200
+        runtime = make_runtime(2.0, n)
+        run_plant(runtime, n)
+        assert runtime.seo.best_index == 1
+
+
+class TestInfeasibleGoals:
+    def test_impossible_goal_reported(self):
+        # f=10 needs epw 1.0; best possible is 5/3 ≈ 1.67 → impossible.
+        n = 200
+        runtime = make_runtime(10.0, n)
+        _, accuracies = run_plant(runtime, n)
+        assert runtime.goal_reported_infeasible
+        # Minimum-energy operation: fastest app config.
+        assert accuracies[-1] == 0.6
+
+    def test_feasible_goal_not_flagged(self):
+        n = 300
+        runtime = make_runtime(1.2, n)
+        run_plant(runtime, n)
+        assert not runtime.goal_reported_infeasible
+
+
+class TestRuntimeMechanics:
+    def test_initial_decision_available_before_feedback(self):
+        runtime = make_runtime(2.0, 10)
+        decision = runtime.current_decision
+        assert decision.system_index in (0, 1)
+        assert decision.app_config.speedup >= 1.0
+
+    def test_decisions_logged(self):
+        n = 50
+        runtime = make_runtime(2.0, n)
+        run_plant(runtime, n)
+        assert len(runtime.decisions) == n + 1  # initial + one per step
+
+    def test_work_complete_freezes_operating_point(self):
+        n = 10
+        runtime = make_runtime(2.0, n)
+        run_plant(runtime, n)
+        before = runtime.current_decision
+        # One more measurement after all work is accounted.
+        runtime.step(Measurement(work=1.0, energy_j=1.0, rate=10.0, power_w=10.0))
+        after = runtime.current_decision
+        assert after.app_config is before.app_config
+
+    def test_pole_reacts_to_model_error(self):
+        runtime = make_runtime(2.0, 100)
+        # Feed a measurement wildly inconsistent with the rate estimate.
+        decision = runtime.current_decision
+        est = runtime.seo.rate_estimate(decision.system_index)
+        runtime.step(
+            Measurement(
+                work=1.0,
+                energy_j=1.0,
+                rate=est * decision.app_config.speedup * 10.0,
+                power_w=50.0,
+            )
+        )
+        assert runtime.current_decision.pole > 0.0
+
+    def test_feasibility_slack_validation(self):
+        with pytest.raises(ValueError):
+            JouleGuardRuntime(
+                seo=SystemEnergyOptimizer([1.0], [1.0]),
+                table=make_table(),
+                goal=EnergyGoal(total_work=1.0, budget_j=1.0),
+                feasibility_slack=0.9,
+            )
+
+    def test_app_selection_respects_eqn6(self):
+        n = 300
+        runtime = make_runtime(3.0, n)
+        run_plant(runtime, n)
+        for decision in runtime.decisions[20:]:
+            if decision.feasible:
+                assert (
+                    decision.app_config.speedup
+                    >= decision.speedup_setpoint - 1e-9
+                )

@@ -1,0 +1,131 @@
+"""Tests for the scalar Kalman-filter estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.ewma import Ewma
+from repro.core.kalman import (
+    ScalarKalmanFilter,
+    variances_for_alpha,
+)
+
+
+class TestBasics:
+    def test_first_measurement_adopted(self):
+        kf = ScalarKalmanFilter()
+        assert kf.update(7.0) == 7.0
+        assert kf.initialized
+
+    def test_converges_to_constant_signal(self):
+        kf = ScalarKalmanFilter(value=100.0, prior_variance=1.0)
+        for _ in range(100):
+            kf.update(5.0)
+        assert kf.value == pytest.approx(5.0, rel=1e-3)
+
+    def test_variance_shrinks_with_measurements(self):
+        kf = ScalarKalmanFilter(
+            process_variance=0.0, measurement_variance=1.0,
+            value=0.0, prior_variance=10.0,
+        )
+        variances = []
+        for _ in range(10):
+            kf.update(0.0)
+            variances.append(kf.variance)
+        assert variances == sorted(variances, reverse=True)
+
+    def test_gain_adapts_high_to_steady(self):
+        kf = ScalarKalmanFilter(
+            process_variance=0.01, measurement_variance=1.0,
+            value=0.0, prior_variance=100.0,
+        )
+        initial_gain = kf.gain
+        for _ in range(200):
+            kf.update(1.0)
+        assert initial_gain > 0.9
+        assert kf.gain == pytest.approx(kf.steady_state_gain(), rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalarKalmanFilter(measurement_variance=0.0)
+        with pytest.raises(ValueError):
+            ScalarKalmanFilter(process_variance=-1.0)
+        with pytest.raises(ValueError):
+            ScalarKalmanFilter(prior_variance=0.0)
+
+
+class TestSteadyStateGain:
+    @pytest.mark.parametrize("ratio", [0.01, 0.5, 2.0, 20.0])
+    def test_formula_matches_iteration(self, ratio):
+        kf = ScalarKalmanFilter(
+            process_variance=ratio, measurement_variance=1.0,
+            value=0.0, prior_variance=1.0,
+        )
+        for _ in range(500):
+            kf.update(0.0)
+        assert kf.gain == pytest.approx(kf.steady_state_gain(), rel=1e-6)
+
+    def test_zero_process_noise_gain_zero(self):
+        kf = ScalarKalmanFilter(
+            process_variance=0.0, measurement_variance=1.0
+        )
+        assert kf.steady_state_gain() == 0.0
+
+
+class TestAlphaEquivalence:
+    @pytest.mark.parametrize("alpha", [0.3, 0.85, 0.95])
+    def test_variances_for_alpha_yield_matching_gain(self, alpha):
+        q = variances_for_alpha(alpha, measurement_variance=2.0)
+        kf = ScalarKalmanFilter(
+            process_variance=q, measurement_variance=2.0,
+            value=0.0, prior_variance=1.0,
+        )
+        for _ in range(500):
+            kf.update(0.0)
+        assert kf.gain == pytest.approx(alpha, rel=1e-6)
+
+    def test_steady_state_tracks_like_paper_ewma(self):
+        # Configured for the paper's alpha, the KF tracks a step change
+        # like the EWMA does once settled.
+        q = variances_for_alpha(0.85)
+        kf = ScalarKalmanFilter(
+            process_variance=q, measurement_variance=1.0,
+            value=0.0, prior_variance=1.0,
+        )
+        ewma = Ewma(alpha=0.85, value=0.0)
+        for _ in range(200):
+            kf.update(0.0)
+        for _ in range(10):
+            kf.update(10.0)
+            ewma.update(10.0)
+        assert kf.value == pytest.approx(ewma.value, rel=0.02)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            variances_for_alpha(1.0)
+
+    def test_startup_faster_than_ewma_with_bad_prior(self):
+        # The adaptive gain discards a wrong prior in one step; a
+        # low-alpha EWMA drags it along.
+        q = variances_for_alpha(0.3)
+        kf = ScalarKalmanFilter(
+            process_variance=q, measurement_variance=1.0,
+            value=100.0, prior_variance=1e6,
+        )
+        ewma = Ewma(alpha=0.3, value=100.0)
+        kf.update(5.0)
+        ewma.update(5.0)
+        assert abs(kf.value - 5.0) < abs(ewma.value - 5.0)
+
+
+class TestNoiseRejection:
+    def test_smooths_noisy_constant(self):
+        rng = np.random.default_rng(5)
+        kf = ScalarKalmanFilter(
+            process_variance=0.001, measurement_variance=1.0,
+            value=0.0, prior_variance=1.0,
+        )
+        samples = 10.0 + rng.normal(0, 1.0, size=2000)
+        estimates = [kf.update(float(s)) for s in samples]
+        tail = np.array(estimates[-500:])
+        assert tail.std() < samples.std() * 0.5
+        assert tail.mean() == pytest.approx(10.0, abs=0.3)

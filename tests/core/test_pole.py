@@ -1,0 +1,103 @@
+"""Tests for adaptive pole placement (Eqns. 9–11)."""
+
+import pytest
+
+from repro.core.pole import (
+    AdaptivePole,
+    max_stable_error,
+    multiplicative_error,
+    pole_for_error,
+)
+
+
+class TestMultiplicativeError:
+    def test_exact_prediction_is_zero(self):
+        assert multiplicative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate_and_underestimate_symmetric_in_ratio(self):
+        assert multiplicative_error(5.0, 10.0) == pytest.approx(0.5)
+        assert multiplicative_error(20.0, 10.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiplicative_error(1.0, 0.0)
+        with pytest.raises(ValueError):
+            multiplicative_error(-1.0, 1.0)
+
+
+class TestPoleForError:
+    def test_small_error_gives_deadbeat(self):
+        # Eqn. 11: δ ≤ 2 → pole 0.
+        assert pole_for_error(0.0) == 0.0
+        assert pole_for_error(1.9) == 0.0
+        assert pole_for_error(2.0) == 0.0
+
+    def test_large_error_gives_positive_pole(self):
+        # δ = 4 → pole = 1 - 2/4 = 0.5.
+        assert pole_for_error(4.0) == pytest.approx(0.5)
+
+    def test_pole_always_in_unit_interval(self):
+        for delta in (0.0, 1.0, 2.0, 5.0, 100.0, 1e6):
+            assert 0.0 <= pole_for_error(delta) < 1.0
+
+    def test_margin_tightens(self):
+        assert pole_for_error(1.5, margin=2.0) > 0.0
+        assert pole_for_error(1.5, margin=1.0) == 0.0
+
+    def test_consistency_with_stability_bound(self):
+        # The chosen pole's stability bound covers the measured error.
+        for delta in (2.5, 5.0, 50.0):
+            pole = pole_for_error(delta)
+            assert max_stable_error(pole) == pytest.approx(delta)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pole_for_error(-1.0)
+        with pytest.raises(ValueError):
+            pole_for_error(1.0, margin=0.5)
+
+
+class TestMaxStableError:
+    def test_deadbeat_tolerates_factor_two(self):
+        assert max_stable_error(0.0) == 2.0
+
+    def test_paper_example(self):
+        # Sec. 3.4.2: pole = 0.1 tolerates a factor of ~2.2.
+        assert max_stable_error(0.1) == pytest.approx(2.222, rel=0.01)
+
+    def test_bound_grows_with_pole(self):
+        assert max_stable_error(0.9) > max_stable_error(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_stable_error(1.0)
+
+
+class TestAdaptivePole:
+    def test_memoryless_by_default(self):
+        adaptive = AdaptivePole()
+        adaptive.update(measured_rate=50.0, predicted_rate=10.0)  # δ = 4
+        assert adaptive.pole == pytest.approx(0.5)
+        adaptive.update(10.0, 10.0)  # δ = 0
+        assert adaptive.pole == 0.0
+
+    def test_smoothing_damps_single_spikes(self):
+        adaptive = AdaptivePole(smoothing=0.9)
+        adaptive.update_from_delta(10.0)
+        memoryless = AdaptivePole()
+        memoryless.update_from_delta(10.0)
+        assert adaptive.pole < memoryless.pole
+
+    def test_update_from_delta_matches_update(self):
+        a, b = AdaptivePole(), AdaptivePole()
+        a.update(measured_rate=30.0, predicted_rate=10.0)
+        b.update_from_delta(2.0)
+        assert a.pole == b.pole
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptivePole().update_from_delta(-0.1)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            AdaptivePole(smoothing=1.0)

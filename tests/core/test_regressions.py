@@ -1,0 +1,108 @@
+"""Regression tests for specific failure modes found while building.
+
+Each test documents a bug that existed during development and guards
+the fix; see EXPERIMENTS.md "Documented deviations" for the narrative.
+"""
+
+import numpy as np
+
+from repro.apps import build_application
+from repro.hw import get_machine, system_power, work_rate
+from repro.runtime.harness import prior_shapes, run_jouleguard
+
+
+class TestPriorFloorRegression:
+    """Without the static-power floor, the prior efficiency ranking
+    inverted on Server (the pure-dynamic prior rated 16 slow cores ~6x
+    better than the true optimum) and the learner settled on
+    configurations ~2x worse than optimal, overshooting budgets by ~18%.
+    """
+
+    def test_power_prior_ranks_true_best_region_highly(self, apps):
+        server = get_machine("server")
+        app = apps["x264"]
+        rates, powers = prior_shapes(server)
+        prior_eff = rates / powers
+        true_eff = np.array(
+            [
+                work_rate(server, c, app.resource_profile)
+                / system_power(server, c, app.resource_profile)
+                for c in server.space
+            ]
+        )
+        true_best = int(true_eff.argmax())
+        # The true best must sit in the prior's top 15% — close enough
+        # for exploitation to find it quickly.
+        rank = int((prior_eff > prior_eff[true_best]).sum())
+        assert rank < len(prior_eff) * 0.15
+
+    def test_server_x264_budget_met(self, apps):
+        result = run_jouleguard(
+            get_machine("server"), apps["x264"], factor=2.0,
+            n_iterations=300, seed=1,
+        )
+        assert result.relative_error_pct < 2.0
+        assert result.effective_acc > 0.97
+
+
+class TestOptimismSweepRegression:
+    """With optimism > 1 the bandit's argmax cycled through unvisited
+    configurations indefinitely on the 1024-arm Server space (each
+    visited once, deflated, next proposed), never settling; canneal at
+    f=2.5 overshot ~23%.  The default optimism of 1.0 must settle."""
+
+    def test_seo_settles_on_server(self, apps):
+        result = run_jouleguard(
+            get_machine("server"), apps["canneal"], factor=2.0,
+            n_iterations=400, seed=2,
+        )
+        # Settling = the tail concentrates on a handful of near-tied
+        # configurations (the sweep bug visited ~75 distinct configs in
+        # the last 100 iterations, each once or twice).
+        tail = result.trace.system_index[-100:]
+        distinct = len(set(tail))
+        assert distinct < 60
+        top3 = sum(
+            count
+            for _, count in sorted(
+                ((v, tail.count(v)) for v in set(tail)),
+                key=lambda kv: -kv[1],
+            )[:3]
+        )
+        assert top3 / len(tail) > 0.3
+
+    def test_canneal_near_edge_bounded_error(self, apps):
+        result = run_jouleguard(
+            get_machine("server"), apps["canneal"], factor=2.0,
+            n_iterations=400, seed=2,
+        )
+        assert result.relative_error_pct < 5.0
+
+
+class TestEpsilonDecayRegression:
+    """With the literal 1/|Sys| VDBE weight, epsilon stayed ~1 for
+    hundreds of iterations on Server (75% random exploration at
+    iteration 300), contradicting the paper's own Fig. 4 convergence.
+    The floored weight must reach low epsilon within tens of
+    iterations when models are accurate."""
+
+    def test_epsilon_low_within_fifty_iterations(self, apps):
+        result = run_jouleguard(
+            get_machine("server"), apps["bodytrack"], factor=2.0,
+            n_iterations=100, seed=3,
+        )
+        assert result.trace.epsilon[50] < 0.15
+
+
+class TestInfeasibleSaturationRegression:
+    """Transient infeasibility (budget debt after exploration) used to
+    reset the controller's integral state, amplifying oscillation near
+    the feasibility edge.  Saturation must preserve recovery: a run
+    that dips infeasible early can still finish within a few percent."""
+
+    def test_near_edge_recovers(self, apps):
+        result = run_jouleguard(
+            get_machine("server"), apps["swish"], factor=1.75,
+            n_iterations=1500, seed=4,
+        )
+        assert result.relative_error_pct < 5.0

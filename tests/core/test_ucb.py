@@ -1,0 +1,132 @@
+"""Tests for the UCB1 alternative learner."""
+
+import numpy as np
+import pytest
+
+from repro.core.ucb import UcbSystemOptimizer
+
+
+def make_ucb(n=5, **kwargs):
+    rates = np.linspace(1.0, 5.0, n)
+    powers = np.linspace(1.0, 3.0, n)
+    return UcbSystemOptimizer(rates, powers, seed=0, **kwargs)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UcbSystemOptimizer([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            UcbSystemOptimizer([1.0, -1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            UcbSystemOptimizer([1.0], [1.0], exploration=-1.0)
+
+
+class TestSelection:
+    def test_pulls_every_arm_first(self):
+        ucb = make_ucb(n=6)
+        pulled = set()
+        for _ in range(6):
+            index = ucb.select().index
+            pulled.add(index)
+            ucb.update(index, rate=1.0, power=1.0)
+        assert pulled == set(range(6))
+
+    def test_initial_pull_order_follows_prior(self):
+        ucb = make_ucb(n=5)
+        first = ucb.select().index
+        # Prior efficiency peaks at the last arm (5/3 ratio).
+        priors = np.linspace(1, 5, 5) / np.linspace(1, 3, 5)
+        assert first == int(priors.argmax())
+
+    def test_capped_initial_pulls(self):
+        ucb = make_ucb(n=50, max_initial_pulls=5)
+        for _ in range(30):
+            index = ucb.select().index
+            ucb.update(index, rate=float(index + 1), power=1.0)
+        # Far fewer than all 50 arms were forced.
+        assert ucb.visited_count < 50
+
+    def test_exploits_best_arm_eventually(self):
+        rng = np.random.default_rng(1)
+        true_eff = np.array([1.0, 5.0, 2.0, 3.0])
+        ucb = UcbSystemOptimizer(np.ones(4), np.ones(4), seed=2)
+        picks = []
+        for _ in range(300):
+            index = ucb.select().index
+            rate = true_eff[index] * rng.lognormal(0, 0.05)
+            ucb.update(index, rate, 1.0)
+            picks.append(index)
+        assert ucb.best_index == 1
+        # The best arm dominates late selections.
+        late = picks[-100:]
+        assert late.count(1) > 60
+
+    def test_update_validation(self):
+        ucb = make_ucb()
+        with pytest.raises(ValueError):
+            ucb.update(0, rate=0.0, power=1.0)
+        with pytest.raises(IndexError):
+            ucb.update(99, rate=1.0, power=1.0)
+
+
+class TestInterfaceCompatibility:
+    """UCB must be a drop-in for SystemEnergyOptimizer in the runtime."""
+
+    def test_estimates_exposed(self):
+        ucb = make_ucb()
+        ucb.update(0, rate=10.0, power=5.0)
+        assert ucb.rate_estimate(0) == pytest.approx(10.0)
+        assert ucb.power_estimate(0) == pytest.approx(5.0)
+        assert ucb.efficiency_estimate(0) == pytest.approx(2.0)
+
+    def test_epsilon_reported_zero(self):
+        assert make_ucb().epsilon == 0.0
+
+    def test_last_rate_delta_tracked(self):
+        ucb = make_ucb()
+        ucb.update(0, rate=10.0, power=5.0)
+        ucb.update(0, rate=30.0, power=5.0)
+        assert ucb.last_rate_delta == pytest.approx(2.0)
+
+    def test_runs_inside_jouleguard_runtime(self, apps):
+        from repro.core.budget import EnergyGoal
+        from repro.core.jouleguard import JouleGuardRuntime
+        from repro.core.types import Measurement
+        from repro.hw import get_machine
+        from repro.hw.simulator import PlatformSimulator
+        from repro.runtime.harness import prior_shapes
+        from repro.runtime.oracle import default_energy_per_work
+
+        machine = get_machine("tablet")
+        app = apps["x264"]
+        rate_shape, power_shape = prior_shapes(machine)
+        ucb = UcbSystemOptimizer(
+            rate_shape, power_shape, max_initial_pulls=10, seed=3
+        )
+        epw = default_energy_per_work(machine, app)
+        n = 200
+        runtime = JouleGuardRuntime(
+            seo=ucb,
+            table=app.table,
+            goal=EnergyGoal.from_factor(2.0, n, epw),
+        )
+        simulator = PlatformSimulator(machine, app.resource_profile, seed=4)
+        total = 0.0
+        for _ in range(n):
+            decision = runtime.current_decision
+            result = simulator.run_iteration(
+                machine.space[decision.system_index],
+                work=1.0,
+                app_speedup=decision.app_config.speedup,
+            )
+            total += result.energy_j
+            runtime.step(
+                Measurement(
+                    work=1.0,
+                    energy_j=result.energy_j,
+                    rate=result.measured_rate,
+                    power_w=result.measured_power_w,
+                )
+            )
+        assert total <= runtime.accountant.goal.budget_j * 1.1

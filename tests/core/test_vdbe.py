@@ -1,0 +1,86 @@
+"""Tests for Value-Difference Based Exploration (Eqn. 2)."""
+
+import pytest
+
+from repro.core.vdbe import Vdbe
+
+
+class TestVdbe:
+    def test_epsilon_starts_at_one(self):
+        assert Vdbe(n_configs=10).epsilon == 1.0
+
+    def test_accurate_models_shrink_epsilon(self):
+        vdbe = Vdbe(n_configs=10)
+        for _ in range(50):
+            vdbe.update(measured_eff=1.0, estimated_eff=1.0)
+        assert vdbe.epsilon < 0.01
+
+    def test_surprise_raises_epsilon(self):
+        vdbe = Vdbe(n_configs=10)
+        for _ in range(50):
+            vdbe.update(1.0, 1.0)
+        settled = vdbe.epsilon
+        vdbe.update(measured_eff=5.0, estimated_eff=1.0)
+        assert vdbe.epsilon > settled
+
+    def test_epsilon_bounded_in_unit_interval(self):
+        vdbe = Vdbe(n_configs=4)
+        for measured in (0.1, 100.0, 1.0, 3.0):
+            vdbe.update(measured, 1.0)
+            assert 0.0 <= vdbe.epsilon <= 1.0
+
+    def test_bigger_surprise_bigger_epsilon(self):
+        small = Vdbe(n_configs=10)
+        large = Vdbe(n_configs=10)
+        for _ in range(30):
+            small.update(1.0, 1.0)
+            large.update(1.0, 1.0)
+        small.update(1.2, 1.0)
+        large.update(4.0, 1.0)
+        assert large.epsilon > small.epsilon
+
+    def test_paper_weight_rule(self):
+        # Weight is max(1/|Sys|, min_weight): for small spaces the
+        # literal 1/|Sys| dominates.
+        assert Vdbe(n_configs=2, min_weight=0.2).weight == 0.5
+        assert Vdbe(n_configs=1000, min_weight=0.2).weight == 0.2
+        assert Vdbe(n_configs=1000, min_weight=0.0).weight == 0.001
+
+    def test_relative_mode_is_scale_free(self):
+        a = Vdbe(n_configs=10, relative=True)
+        b = Vdbe(n_configs=10, relative=True)
+        a.update(2.0, 1.0)
+        b.update(2000.0, 1000.0)
+        assert a.epsilon == pytest.approx(b.epsilon)
+
+    def test_absolute_mode_is_scale_dependent(self):
+        a = Vdbe(n_configs=10, relative=False)
+        b = Vdbe(n_configs=10, relative=False)
+        a.update(2.0, 1.0)
+        b.update(2000.0, 1000.0)
+        assert b.epsilon > a.epsilon
+
+    def test_zero_estimate_treated_as_full_surprise(self):
+        vdbe = Vdbe(n_configs=10)
+        vdbe.update(1.0, 0.0)
+        assert vdbe.epsilon <= 1.0
+
+    def test_should_explore_threshold(self):
+        vdbe = Vdbe(n_configs=10)
+        vdbe.epsilon = 0.3
+        assert vdbe.should_explore(0.29)
+        assert not vdbe.should_explore(0.31)
+
+    def test_should_explore_validates_rand(self):
+        with pytest.raises(ValueError):
+            Vdbe(n_configs=10).should_explore(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vdbe(n_configs=0)
+        with pytest.raises(ValueError):
+            Vdbe(n_configs=10, sigma=0.0)
+        with pytest.raises(ValueError):
+            Vdbe(n_configs=10, min_weight=1.5)
+        with pytest.raises(ValueError):
+            Vdbe(n_configs=10).update(-1.0, 1.0)

@@ -1,0 +1,141 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.hw.battery import Battery, goal_for_deadline
+
+
+class TestBattery:
+    def test_usable_energy_derated(self):
+        battery = Battery(
+            capacity_j=1000.0,
+            discharge_efficiency=0.9,
+            cutoff_fraction=0.1,
+        )
+        assert battery.usable_j == pytest.approx(1000.0 * 0.9 * 0.9)
+
+    def test_drain_and_state_of_charge(self):
+        battery = Battery(
+            capacity_j=1000.0, discharge_efficiency=1.0, cutoff_fraction=0.0
+        )
+        assert battery.drain(250.0)
+        assert battery.state_of_charge == pytest.approx(0.75)
+        assert battery.remaining_j == pytest.approx(750.0)
+
+    def test_death(self):
+        battery = Battery(
+            capacity_j=100.0, discharge_efficiency=1.0, cutoff_fraction=0.0
+        )
+        assert not battery.drain(150.0)
+        assert battery.dead
+        assert battery.remaining_j == 0.0
+        assert battery.state_of_charge == 0.0
+
+    def test_gauge_quantized(self):
+        battery = Battery(
+            capacity_j=1000.0,
+            discharge_efficiency=1.0,
+            cutoff_fraction=0.0,
+            gauge_resolution=0.05,
+        )
+        battery.drain(333.0)  # true SoC 0.667
+        assert battery.gauge == pytest.approx(0.65)
+
+    def test_gauge_capped_at_one(self):
+        battery = Battery(capacity_j=100.0)
+        assert battery.gauge == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=1.0, discharge_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=1.0, cutoff_fraction=1.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=1.0).drain(-1.0)
+
+
+class TestGoalForDeadline:
+    def test_budget_is_remaining_energy(self):
+        battery = Battery(
+            capacity_j=1000.0, discharge_efficiency=1.0, cutoff_fraction=0.0
+        )
+        battery.drain(400.0)
+        goal = goal_for_deadline(
+            battery, work_rate_per_s=30.0, seconds_to_charger=10.0
+        )
+        assert goal.budget_j == pytest.approx(600.0)
+        assert goal.total_work == pytest.approx(300.0)
+
+    def test_reserve_withheld(self):
+        battery = Battery(
+            capacity_j=1000.0, discharge_efficiency=1.0, cutoff_fraction=0.0
+        )
+        goal = goal_for_deadline(
+            battery, 30.0, 10.0, reserve_fraction=0.2
+        )
+        assert goal.budget_j == pytest.approx(800.0)
+
+    def test_dead_battery_rejected(self):
+        battery = Battery(
+            capacity_j=100.0, discharge_efficiency=1.0, cutoff_fraction=0.0
+        )
+        battery.drain(100.0)
+        with pytest.raises(ValueError):
+            goal_for_deadline(battery, 30.0, 10.0)
+
+    def test_validation(self):
+        battery = Battery(capacity_j=100.0)
+        with pytest.raises(ValueError):
+            goal_for_deadline(battery, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            goal_for_deadline(battery, 30.0, 10.0, reserve_fraction=1.0)
+
+    def test_end_to_end_battery_lasts_to_charger(self, apps):
+        # The motivating scenario: given the charge and deadline, the
+        # runtime's configuration stream keeps the battery alive.
+        from repro.core.jouleguard import build_runtime
+        from repro.core.types import Measurement
+        from repro.hw import get_machine
+        from repro.hw.simulator import PlatformSimulator
+        from repro.runtime.harness import prior_shapes
+        from repro.runtime.oracle import default_energy_per_work
+
+        machine = get_machine("mobile")
+        app = apps["x264"]
+        epw = default_energy_per_work(machine, app)
+        n = 500
+        battery = Battery(
+            capacity_j=epw * n / 2.0,  # half what the default would need
+            discharge_efficiency=1.0,
+            cutoff_fraction=0.0,
+        )
+        goal = goal_for_deadline(
+            battery, work_rate_per_s=n / 100.0, seconds_to_charger=100.0
+        )
+        rate_shape, power_shape = prior_shapes(machine)
+        runtime = build_runtime(
+            rate_shape, power_shape, app.table, goal, seed=1
+        )
+        simulator = PlatformSimulator(machine, app.resource_profile, seed=2)
+        completed = 0
+        for _ in range(n):
+            decision = runtime.current_decision
+            result = simulator.run_iteration(
+                machine.space[decision.system_index],
+                work=1.0,
+                app_speedup=decision.app_config.speedup,
+            )
+            if not battery.drain(result.energy_j):
+                break
+            completed += 1
+            runtime.step(
+                Measurement(
+                    work=1.0,
+                    energy_j=result.measured_power_w * result.time_s,
+                    rate=result.measured_rate,
+                    power_w=result.measured_power_w,
+                )
+            )
+        assert completed == n  # made it to the charger

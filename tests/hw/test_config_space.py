@@ -1,0 +1,112 @@
+"""Unit tests for configuration-space enumeration and linearization."""
+
+import pytest
+
+from repro.hw.config_space import ConfigSpace
+from repro.hw.knobs import Knob, SystemConfig
+
+
+@pytest.fixture
+def small_space():
+    return ConfigSpace(
+        [Knob("cores", (1, 2, 4)), Knob("clock", (1.0, 2.0))]
+    )
+
+
+class TestEnumeration:
+    def test_size_is_cartesian_product(self, small_space):
+        assert len(small_space) == 6
+
+    def test_all_configs_distinct(self, small_space):
+        assert len(set(small_space)) == 6
+
+    def test_contains(self, small_space):
+        assert SystemConfig.from_mapping({"cores": 2, "clock": 1.0}) in small_space
+        assert (
+            SystemConfig.from_mapping({"cores": 3, "clock": 1.0})
+            not in small_space
+        )
+
+    def test_index_roundtrip(self, small_space):
+        for i, config in enumerate(small_space):
+            assert small_space.index_of(config) == i
+            assert small_space[i] == config
+
+    def test_index_of_unknown_raises(self, small_space):
+        with pytest.raises(ValueError, match="not in this space"):
+            small_space.index_of(
+                SystemConfig.from_mapping({"cores": 3, "clock": 1.0})
+            )
+
+    def test_constraint_filters(self):
+        space = ConfigSpace(
+            [Knob("cores", (1, 2, 4)), Knob("clock", (1.0, 2.0))],
+            constraint=lambda c: c["cores"] * c["clock"] <= 4,
+        )
+        assert all(c["cores"] * c["clock"] <= 4 for c in space)
+        assert len(space) == 5
+
+    def test_unsatisfiable_constraint_rejected(self):
+        with pytest.raises(ValueError, match="rejects every"):
+            ConfigSpace(
+                [Knob("cores", (1, 2))], constraint=lambda c: False
+            )
+
+    def test_duplicate_knob_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ConfigSpace([Knob("cores", (1,)), Knob("cores", (2,))])
+
+    def test_no_knobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one knob"):
+            ConfigSpace([])
+
+
+class TestLinearization:
+    def test_minimal_is_all_min(self, small_space):
+        assert small_space.minimal.as_dict() == {"cores": 1, "clock": 1.0}
+
+    def test_maximal_is_all_max(self, small_space):
+        assert small_space.maximal.as_dict() == {"cores": 4, "clock": 2.0}
+
+    def test_linearized_covers_space(self, small_space):
+        linear = small_space.linearized()
+        assert len(linear) == len(small_space)
+        assert set(linear) == set(small_space)
+
+    def test_resource_level_monotone_endpoints(self, small_space):
+        assert small_space.resource_level(small_space.minimal) == 0.0
+        assert small_space.resource_level(small_space.maximal) == 1.0
+
+    def test_linearized_sorted_by_resource_level(self, small_space):
+        linear = small_space.linearized()
+        levels = [small_space.resource_level(c) for c in linear]
+        assert levels == sorted(levels)
+
+    def test_validate_accepts_member(self, small_space):
+        small_space.validate(small_space.minimal)
+
+    def test_validate_rejects_constraint_violation(self):
+        space = ConfigSpace(
+            [Knob("cores", (1, 2))], constraint=lambda c: c["cores"] < 2
+        )
+        with pytest.raises(ValueError, match="violates"):
+            space.validate(SystemConfig.from_mapping({"cores": 2}))
+
+
+class TestNeighbors:
+    def test_interior_config_has_neighbors_per_knob(self, small_space):
+        config = SystemConfig.from_mapping({"cores": 2, "clock": 1.0})
+        neighbors = small_space.neighbors(config)
+        assert len(neighbors) == 3  # cores down, cores up, clock up
+
+    def test_corner_config_has_fewer_neighbors(self, small_space):
+        neighbors = small_space.neighbors(small_space.minimal)
+        assert len(neighbors) == 2
+
+    def test_neighbors_respect_constraint(self):
+        space = ConfigSpace(
+            [Knob("cores", (1, 2, 4))],
+            constraint=lambda c: c["cores"] != 2,
+        )
+        neighbors = space.neighbors(SystemConfig.from_mapping({"cores": 1}))
+        assert neighbors == []

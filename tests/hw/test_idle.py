@@ -1,0 +1,154 @@
+"""Tests for racing-vs-pacing idle policies."""
+
+import pytest
+
+from repro.hw import GENERIC_PROFILE
+from repro.hw.idle import (
+    best_hybrid,
+    best_pace,
+    compare_policies,
+    idle_power,
+    race_outcome,
+    race_to_idle,
+)
+from repro.hw.machines import build_mobile, build_server, build_tablet
+from repro.hw.speedup_model import work_rate
+
+
+@pytest.fixture(scope="module")
+def tablet():
+    return build_tablet()
+
+
+@pytest.fixture(scope="module")
+def mobile():
+    return build_mobile()
+
+
+def loose_period(machine, slack=5.0):
+    rate = work_rate(machine, machine.default_config, GENERIC_PROFILE)
+    return slack / rate
+
+
+class TestIdlePower:
+    def test_plain_idle_includes_package_and_external(self, tablet):
+        assert idle_power(tablet) == pytest.approx(
+            tablet.idle_w + tablet.external_w
+        )
+
+    def test_deep_sleep_removes_package_draw(self, tablet):
+        assert idle_power(tablet, deep_sleep_fraction=1.0) == pytest.approx(
+            tablet.external_w
+        )
+
+    def test_validation(self, tablet):
+        with pytest.raises(ValueError):
+            idle_power(tablet, deep_sleep_fraction=1.5)
+
+
+class TestRaceOutcome:
+    def test_misses_deadline_returns_none(self, tablet):
+        config = tablet.space.minimal
+        rate = work_rate(tablet, config, GENERIC_PROFILE)
+        too_tight = (1.0 / rate) * 0.5
+        assert (
+            race_outcome(tablet, GENERIC_PROFILE, config, 1.0, too_tight)
+            is None
+        )
+
+    def test_energy_composition(self, tablet):
+        config = tablet.default_config
+        rate = work_rate(tablet, config, GENERIC_PROFILE)
+        period = 2.0 / rate  # 50% utilization
+        outcome = race_outcome(tablet, GENERIC_PROFILE, config, 1.0, period)
+        assert outcome is not None
+        assert outcome.busy_s + outcome.idle_s == pytest.approx(period)
+        assert outcome.idle_s > 0
+
+    def test_race_to_idle_uses_default_config(self, tablet):
+        outcome = race_to_idle(
+            tablet, GENERIC_PROFILE, 1.0, loose_period(tablet)
+        )
+        assert outcome.config == tablet.default_config
+
+    def test_validation(self, tablet):
+        with pytest.raises(ValueError):
+            race_outcome(
+                tablet, GENERIC_PROFILE, tablet.default_config, 0.0, 1.0
+            )
+
+
+class TestBestPolicies:
+    def test_infeasible_deadline_returns_none(self, tablet):
+        rate = work_rate(tablet, tablet.default_config, GENERIC_PROFILE)
+        tight = 0.1 / rate
+        assert race_to_idle(tablet, GENERIC_PROFILE, 1.0, tight) is None
+        assert best_pace(tablet, GENERIC_PROFILE, 1.0, tight) is None
+        assert best_hybrid(tablet, GENERIC_PROFILE, 1.0, tight) is None
+
+    def test_pace_picks_low_power_config(self, mobile):
+        outcome = best_pace(
+            mobile, GENERIC_PROFILE, 1.0, loose_period(mobile, 20.0)
+        )
+        assert outcome is not None
+        # With a loose deadline on mobile, pacing lands on the LITTLE
+        # cluster (low-power configs).
+        assert outcome.config["big_cores"] == 0
+
+    def test_policies_meet_the_deadline(self, tablet):
+        period = loose_period(tablet, 3.0)
+        comparison = compare_policies(tablet, GENERIC_PROFILE, 1.0, period)
+        for outcome in (comparison.race, comparison.pace, comparison.hybrid):
+            assert outcome is not None
+            assert outcome.busy_s <= period
+
+
+class TestHybridOptimality:
+    @pytest.mark.parametrize("slack", [1.5, 4.0, 12.0])
+    def test_hybrid_dominates_both_heuristics(self, tablet, slack):
+        comparison = compare_policies(
+            tablet, GENERIC_PROFILE, 1.0, loose_period(tablet, slack)
+        )
+        assert comparison.hybrid.energy_j <= comparison.race.energy_j + 1e-9
+        assert comparison.hybrid.energy_j <= comparison.pace.energy_j + 1e-9
+        assert comparison.heuristic_gap >= 1.0
+
+    def test_winner_is_platform_dependent(self, mobile, tablet):
+        # The HotPower'13 observation reproduced: pacing wins where slow
+        # configurations are efficient relative to idling (Mobile's
+        # LITTLE cluster), racing wins where idle power dominates
+        # (Tablet).
+        mobile_cmp = compare_policies(
+            mobile, GENERIC_PROFILE, 1.0, loose_period(mobile, 5.0)
+        )
+        tablet_cmp = compare_policies(
+            tablet, GENERIC_PROFILE, 1.0, loose_period(tablet, 5.0)
+        )
+        assert mobile_cmp.winner == "pace"
+        assert tablet_cmp.winner == "race"
+
+    def test_server_pacing_beats_racing_the_turbo(self):
+        server = build_server()
+        comparison = compare_policies(
+            server, GENERIC_PROFILE, 1.0, loose_period(server, 5.0)
+        )
+        # Racing the turbo-clocked default wastes cubic power.
+        assert comparison.winner == "pace"
+
+
+class TestRaceVsPace:
+    def test_deep_sleep_favours_racing(self, tablet):
+        period = loose_period(tablet, 4.0)
+        plain = compare_policies(
+            tablet, GENERIC_PROFILE, 1.0, period, deep_sleep_fraction=0.0
+        )
+        sleepy = compare_policies(
+            tablet, GENERIC_PROFILE, 1.0, period, deep_sleep_fraction=1.0
+        )
+        assert sleepy.race.energy_j <= plain.race.energy_j
+        if plain.winner == "race":
+            assert sleepy.winner == "race"
+
+    def test_winner_infeasible_when_nothing_meets(self, tablet):
+        comparison = compare_policies(tablet, GENERIC_PROFILE, 1.0, 1e-9)
+        assert comparison.winner == "infeasible"

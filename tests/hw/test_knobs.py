@@ -1,0 +1,120 @@
+"""Unit tests for knob and system-configuration primitives."""
+
+import pytest
+
+from repro.hw.knobs import (
+    Knob,
+    SystemConfig,
+    normalized_position,
+    validate_config,
+)
+
+
+class TestKnob:
+    def test_values_preserved_in_order(self):
+        knob = Knob("cores", (1, 2, 4))
+        assert knob.values == (1, 2, 4)
+        assert knob.min_value == 1
+        assert knob.max_value == 4
+
+    def test_len_is_setting_count(self):
+        assert len(Knob("clock", (0.5, 1.0, 1.5, 2.0))) == 4
+
+    def test_index_of_known_value(self):
+        knob = Knob("clock", (0.5, 1.0, 1.5))
+        assert knob.index_of(1.0) == 1
+
+    def test_index_of_unknown_value_raises(self):
+        knob = Knob("clock", (0.5, 1.0))
+        with pytest.raises(ValueError, match="not a setting"):
+            knob.index_of(0.7)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            Knob("cores", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Knob("cores", (1, 1, 2))
+
+    def test_descending_values_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Knob("cores", (4, 2, 1))
+
+
+class TestSystemConfig:
+    def test_from_mapping_roundtrip(self):
+        config = SystemConfig.from_mapping({"cores": 4, "clock": 2.0})
+        assert config.as_dict() == {"cores": 4, "clock": 2.0}
+
+    def test_getitem(self):
+        config = SystemConfig.from_mapping({"cores": 4})
+        assert config["cores"] == 4
+
+    def test_getitem_missing_raises_keyerror(self):
+        config = SystemConfig.from_mapping({"cores": 4})
+        with pytest.raises(KeyError):
+            config["clock"]
+
+    def test_get_with_default(self):
+        config = SystemConfig.from_mapping({"cores": 4})
+        assert config.get("clock", 1.5) == 1.5
+        assert config.get("cores") == 4
+
+    def test_hashable_and_equal_by_value(self):
+        a = SystemConfig.from_mapping({"cores": 4, "clock": 2.0})
+        b = SystemConfig.from_mapping({"clock": 2.0, "cores": 4})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_replace_creates_modified_copy(self):
+        a = SystemConfig.from_mapping({"cores": 4, "clock": 2.0})
+        b = a.replace(cores=2)
+        assert b["cores"] == 2
+        assert b["clock"] == 2.0
+        assert a["cores"] == 4  # original unchanged
+
+    def test_replace_unknown_knob_raises(self):
+        a = SystemConfig.from_mapping({"cores": 4})
+        with pytest.raises(KeyError):
+            a.replace(clock=1.0)
+
+
+class TestNormalizedPosition:
+    def test_extremes(self):
+        knob = Knob("clock", (0.5, 1.0, 1.5))
+        assert normalized_position(knob, 0.5) == 0.0
+        assert normalized_position(knob, 1.5) == 1.0
+
+    def test_midpoint(self):
+        knob = Knob("clock", (0.5, 1.0, 1.5))
+        assert normalized_position(knob, 1.0) == pytest.approx(0.5)
+
+    def test_single_value_knob_maps_to_one(self):
+        assert normalized_position(Knob("x", (3.0,)), 3.0) == 1.0
+
+
+class TestValidateConfig:
+    def test_valid_config_passes(self):
+        knobs = [Knob("cores", (1, 2)), Knob("clock", (1.0, 2.0))]
+        config = SystemConfig.from_mapping({"cores": 1, "clock": 2.0})
+        validate_config(knobs, config)
+
+    def test_missing_knob_rejected(self):
+        knobs = [Knob("cores", (1, 2)), Knob("clock", (1.0, 2.0))]
+        config = SystemConfig.from_mapping({"cores": 1})
+        with pytest.raises(ValueError, match="missing"):
+            validate_config(knobs, config)
+
+    def test_extra_knob_rejected(self):
+        knobs = [Knob("cores", (1, 2))]
+        config = SystemConfig.from_mapping({"cores": 1, "clock": 1.0})
+        with pytest.raises(ValueError, match="extra"):
+            validate_config(knobs, config)
+
+    def test_illegal_value_rejected(self):
+        knobs = [Knob("cores", (1, 2))]
+        config = SystemConfig.from_mapping({"cores": 3})
+        with pytest.raises(ValueError):
+            validate_config(knobs, config)

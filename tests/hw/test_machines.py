@@ -1,0 +1,183 @@
+"""Tests of the three platform models against the paper's Sec. 4.2–4.3."""
+
+import pytest
+
+from repro.hw import (
+    GENERIC_PROFILE,
+    PlatformSimulator,
+    get_machine,
+    powerup_over_minimal,
+    speedup_over_minimal,
+    system_power,
+    work_rate,
+)
+from repro.hw.machines import build_mobile, build_server, build_tablet
+
+
+class TestFactories:
+    def test_get_machine_by_name(self):
+        for name in ("mobile", "tablet", "server"):
+            assert get_machine(name).name == name
+
+    def test_get_machine_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            get_machine("laptop")
+
+    def test_fresh_instances(self):
+        assert build_server() is not build_server()
+
+
+class TestSpaceShapes:
+    """Configuration-space sizes follow Table 3's knob structure."""
+
+    def test_server_space_is_1024(self):
+        # 16 core counts x 16 clocks x 2 hyperthreading x 2 controllers
+        assert len(build_server().space) == 1024
+
+    def test_tablet_space_is_32(self):
+        # 2 cores x 8 clocks x 2 hyperthreading
+        assert len(build_tablet().space) == 32
+
+    def test_mobile_space_is_cluster_exclusive(self):
+        # 4 big-core counts x 19 speeds + 4 LITTLE counts x 13 speeds
+        assert len(build_mobile().space) == 4 * 19 + 4 * 13
+
+    def test_mobile_configs_use_one_cluster(self):
+        machine = build_mobile()
+        for config in machine.space:
+            big_active = config["big_cores"] > 0
+            little_active = config["little_cores"] > 0
+            assert big_active != little_active
+
+
+class TestElectricalRanges:
+    """Power figures approximate the paper's reported ranges (Sec. 4.2)."""
+
+    def test_mobile_default_power_near_6w(self):
+        machine = build_mobile()
+        power = system_power(
+            machine, machine.default_config, GENERIC_PROFILE
+        )
+        assert 4.0 < power < 7.5
+
+    def test_tablet_default_power_near_9w(self):
+        machine = build_tablet()
+        power = system_power(
+            machine, machine.default_config, GENERIC_PROFILE
+        )
+        assert 7.0 < power < 12.0
+
+    def test_server_default_power_near_280w(self):
+        machine = build_server()
+        power = system_power(
+            machine, machine.default_config, GENERIC_PROFILE
+        )
+        assert 250.0 < power < 320.0
+
+    def test_speedup_and_powerup_exceed_one(self):
+        for build in (build_mobile, build_tablet, build_server):
+            machine = build()
+            assert (
+                speedup_over_minimal(
+                    machine, machine.space.maximal, GENERIC_PROFILE
+                )
+                > 1.0
+            )
+            assert (
+                powerup_over_minimal(
+                    machine, machine.space.maximal, GENERIC_PROFILE
+                )
+                > 1.0
+            )
+
+
+class TestCharacterization:
+    """The Sec. 4.3 landscape features the learner must cope with."""
+
+    def test_mobile_peak_efficiency_on_little_cluster(self):
+        machine = build_mobile()
+        simulator = PlatformSimulator(machine, GENERIC_PROFILE)
+        best = max(machine.space, key=simulator.energy_efficiency)
+        assert best["little_cores"] > 0
+        assert best["big_cores"] == 0
+
+    def test_mobile_big_cluster_least_efficient_at_top_clock(self):
+        machine = build_mobile()
+        simulator = PlatformSimulator(machine, GENERIC_PROFILE)
+        default_eff = simulator.energy_efficiency(machine.default_config)
+        best_eff = max(
+            simulator.energy_efficiency(c) for c in machine.space
+        )
+        assert best_eff > 1.5 * default_eff
+
+    def test_tablet_peak_efficiency_at_default(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(machine, GENERIC_PROFILE)
+        best = max(machine.space, key=simulator.energy_efficiency)
+        assert best == machine.default_config
+
+    def test_tablet_firmware_plateau_produces_equal_speeds(self):
+        machine = build_tablet()
+        cluster = machine.clusters[0]
+        speeds = {
+            machine.cluster_speed(
+                cluster,
+                machine.default_config.replace(clock_ghz=nominal),
+            )
+            for nominal in machine.space.knob("clock_ghz").values
+        }
+        # 8 nominal settings collapse onto 4 distinct effective speeds.
+        assert len(speeds) == 4
+
+    def test_server_default_is_not_most_efficient(self):
+        machine = build_server()
+        simulator = PlatformSimulator(machine, GENERIC_PROFILE)
+        best = max(machine.space, key=simulator.energy_efficiency)
+        assert best != machine.default_config
+
+    def test_server_efficiency_peak_is_app_specific(self, apps):
+        machine = build_server()
+        peaks = set()
+        for name in ("x264", "ferret", "swaptions"):
+            simulator = PlatformSimulator(
+                machine, apps[name].resource_profile
+            )
+            peaks.add(
+                max(machine.space, key=simulator.energy_efficiency)
+            )
+        assert len(peaks) > 1
+
+    def test_ferret_best_config_faster_than_default_on_server(self, apps):
+        # Sec. 5.5: "the system can find a more energy efficient
+        # configuration that is faster than the default" for ferret.
+        machine = build_server()
+        profile = apps["ferret"].resource_profile
+        simulator = PlatformSimulator(machine, profile)
+        best = max(machine.space, key=simulator.energy_efficiency)
+        assert simulator.ideal_rate(best) > simulator.ideal_rate(
+            machine.default_config
+        )
+
+
+class TestMachineHelpers:
+    def test_active_cores_counts_all_clusters(self):
+        machine = build_mobile()
+        config = machine.space.minimal
+        assert machine.active_cores(config) >= 1
+
+    def test_hyperthreading_flag(self):
+        machine = build_server()
+        on = machine.default_config
+        off = on.replace(hyperthreads=1)
+        assert machine.hyperthreading_on(on)
+        assert not machine.hyperthreading_on(off)
+
+    def test_memory_controllers_default_one_without_knob(self):
+        machine = build_mobile()
+        assert machine.memory_controllers(machine.space.minimal) == 1
+
+    def test_work_rate_positive_everywhere(self):
+        for build in (build_mobile, build_tablet, build_server):
+            machine = build()
+            for config in list(machine.space)[:: max(1, len(machine.space) // 40)]:
+                assert work_rate(machine, config, GENERIC_PROFILE) > 0

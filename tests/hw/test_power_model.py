@@ -1,0 +1,133 @@
+"""Unit tests of the power model."""
+
+import pytest
+
+from repro.hw import AppResourceProfile, GENERIC_PROFILE
+from repro.hw.machines import build_mobile, build_server, build_tablet
+from repro.hw.power_model import (
+    cluster_power,
+    package_power,
+    powerup_over_minimal,
+    stall_derating,
+    system_power,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return build_server()
+
+
+class TestComposition:
+    def test_system_power_is_package_plus_external(self, server):
+        config = server.default_config
+        assert system_power(server, config, GENERIC_PROFILE) == pytest.approx(
+            package_power(server, config, GENERIC_PROFILE) + server.external_w
+        )
+
+    def test_package_power_at_least_idle(self, server):
+        for config in (server.space.minimal, server.default_config):
+            assert (
+                package_power(server, config, GENERIC_PROFILE)
+                >= server.idle_w
+            )
+
+    def test_inactive_cluster_draws_nothing(self):
+        mobile = build_mobile()
+        config = mobile.space.minimal  # LITTLE only
+        big = next(c for c in mobile.clusters if c.name == "big")
+        assert cluster_power(mobile, big, config, GENERIC_PROFILE) == 0.0
+
+
+class TestScaling:
+    def test_power_monotone_in_clock(self, server):
+        lo = server.default_config.replace(clock_ghz=0.8)
+        hi = server.default_config.replace(clock_ghz=2.9)
+        assert system_power(server, hi, GENERIC_PROFILE) > system_power(
+            server, lo, GENERIC_PROFILE
+        )
+
+    def test_power_monotone_in_cores(self, server):
+        few = server.default_config.replace(cores=2)
+        many = server.default_config.replace(cores=16)
+        assert system_power(server, many, GENERIC_PROFILE) > system_power(
+            server, few, GENERIC_PROFILE
+        )
+
+    def test_cubic_clock_scaling_dominates_at_high_clock(self, server):
+        # Doubling the clock should raise dynamic power by much more
+        # than 2x (the paper's cubic initialization rationale).
+        profile = GENERIC_PROFILE
+        base = server.default_config.replace(cores=16, clock_ghz=1.08)
+        double = server.default_config.replace(cores=16, clock_ghz=2.2)
+        dyn_base = package_power(server, base, profile) - server.idle_w
+        dyn_double = package_power(server, double, profile) - server.idle_w
+        assert dyn_double > 2.0 * dyn_base
+
+    def test_turbo_region_costs_extra(self, server):
+        at_knee = server.default_config.replace(clock_ghz=2.34)
+        in_turbo = server.default_config.replace(clock_ghz=2.9)
+        # Beyond the cubic growth, the turbo adder makes the jump larger
+        # than the cubic ratio alone would predict.
+        cubic_ratio = (2.9 / 2.34) ** 3
+        knee_dynamic = (
+            package_power(server, at_knee, GENERIC_PROFILE)
+            - server.idle_w
+            - 16 * server.clusters[0].leak_w
+        )
+        turbo_dynamic = (
+            package_power(server, in_turbo, GENERIC_PROFILE)
+            - server.idle_w
+            - 16 * server.clusters[0].leak_w
+        )
+        assert turbo_dynamic > cubic_ratio * knee_dynamic * 0.99
+
+    def test_activity_factor_scales_dynamic_power(self, server):
+        hot = AppResourceProfile("hot", 1.0, 0.9, 1.0, 0.0, 0.0, 1.2)
+        cool = AppResourceProfile("cool", 1.0, 0.9, 1.0, 0.0, 0.0, 0.6)
+        config = server.default_config
+        assert system_power(server, config, hot) > system_power(
+            server, config, cool
+        )
+
+    def test_powerup_is_one_at_minimal(self, server):
+        assert powerup_over_minimal(
+            server, server.space.minimal, GENERIC_PROFILE
+        ) == pytest.approx(1.0)
+
+
+class TestStallDerating:
+    def test_no_derating_for_compute_bound(self, server):
+        profile = AppResourceProfile("cb", 1.0, 0.9, 1.0, 0.0, 0.0, 1.0)
+        assert (
+            stall_derating(server, server.default_config, profile) == 1.0
+        )
+
+    def test_derating_in_unit_interval(self, server):
+        profile = AppResourceProfile("mb", 1.0, 0.99, 1.0, 1.0, 0.5, 1.0)
+        derate = stall_derating(server, server.default_config, profile)
+        assert 0.55 <= derate < 1.0
+
+    def test_starved_config_draws_less_power(self, server):
+        memory_bound = AppResourceProfile(
+            "mb", 1.0, 0.99, 1.0, 0.95, 0.0, 1.0
+        )
+        compute_bound = AppResourceProfile(
+            "cb", 1.0, 0.99, 1.0, 0.0, 0.0, 1.0
+        )
+        config = server.default_config.replace(mem_ctrls=1)
+        # Same configuration, but the stalling app burns less power
+        # (ignoring its own activity factor, held equal here).
+        assert system_power(server, config, memory_bound) < system_power(
+            server, config, compute_bound
+        )
+
+
+class TestTabletQuirk:
+    def test_snapped_clocks_draw_identical_power(self):
+        tablet = build_tablet()
+        a = tablet.default_config.replace(clock_ghz=1.2)
+        b = tablet.default_config.replace(clock_ghz=1.5)  # snaps to 1.2
+        assert system_power(tablet, a, GENERIC_PROFILE) == pytest.approx(
+            system_power(tablet, b, GENERIC_PROFILE)
+        )

@@ -1,0 +1,70 @@
+"""Tests for application resource profiles."""
+
+import pytest
+
+from repro.apps import build_all
+from repro.hw.profiles import GENERIC_PROFILE, AppResourceProfile
+
+
+class TestValidation:
+    def test_generic_profile_valid(self):
+        assert GENERIC_PROFILE.base_rate > 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("base_rate", 0.0),
+            ("parallel_fraction", 1.0),
+            ("parallel_fraction", -0.1),
+            ("clock_sensitivity", 0.0),
+            ("clock_sensitivity", 2.0),
+            ("memory_boundness", 1.5),
+            ("ht_gain", -0.1),
+            ("ht_gain", 1.5),
+            ("activity_factor", 0.0),
+            ("activity_factor", 3.0),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        params = dict(
+            name="bad",
+            base_rate=1.0,
+            parallel_fraction=0.9,
+            clock_sensitivity=0.9,
+            memory_boundness=0.3,
+            ht_gain=0.2,
+            activity_factor=1.0,
+        )
+        params[field] = value
+        with pytest.raises(ValueError):
+            AppResourceProfile(**params)
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            GENERIC_PROFILE.base_rate = 2.0
+
+
+class TestSuiteProfiles:
+    """Sanity of the eight benchmark profiles (Sec. 4.1 workload mix)."""
+
+    def test_all_profiles_valid_and_distinct(self):
+        profiles = {
+            name: app.resource_profile for name, app in build_all().items()
+        }
+        assert len({p.name for p in profiles.values()}) == 8
+        # The suite spans the compute/memory spectrum:
+        boundness = [p.memory_boundness for p in profiles.values()]
+        assert min(boundness) < 0.1  # swaptions: compute-dense
+        assert max(boundness) >= 0.7  # ferret/canneal: memory-bound
+
+    def test_server_class_apps_are_parallel(self):
+        profiles = build_all()
+        for name in ("swish", "swaptions", "streamcluster"):
+            assert profiles[name].resource_profile.parallel_fraction > 0.9
+
+    def test_canneal_is_the_least_parallel(self):
+        profiles = {
+            name: app.resource_profile.parallel_fraction
+            for name, app in build_all().items()
+        }
+        assert profiles["canneal"] == min(profiles.values())

@@ -1,0 +1,88 @@
+"""Unit tests for the measurement pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.hw.sensors import ExternalPowerMeter, OnChipPowerSensor
+
+
+class TestOnChipPowerSensor:
+    def test_offset_added(self):
+        sensor = OnChipPowerSensor(
+            fixed_offset_w=85.0, quantum_w=0.0, noise_rel=0.0
+        )
+        assert sensor.read(100.0) == pytest.approx(185.0)
+
+    def test_quantization(self):
+        sensor = OnChipPowerSensor(quantum_w=0.5, noise_rel=0.0)
+        assert sensor.read(1.23) == pytest.approx(1.0)
+        assert sensor.read(1.3) == pytest.approx(1.5)
+
+    def test_noise_is_zero_mean(self):
+        sensor = OnChipPowerSensor(
+            quantum_w=0.0,
+            noise_rel=0.05,
+            rng=np.random.default_rng(1),
+        )
+        readings = [sensor.read(100.0) for _ in range(2000)]
+        assert np.mean(readings) == pytest.approx(100.0, rel=0.01)
+
+    def test_reading_never_negative(self):
+        sensor = OnChipPowerSensor(
+            quantum_w=0.0, noise_rel=2.0, rng=np.random.default_rng(2)
+        )
+        assert all(sensor.read(0.01) >= 0.0 for _ in range(100))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            OnChipPowerSensor().read(-1.0)
+
+    def test_deterministic_given_seed(self):
+        a = OnChipPowerSensor(rng=np.random.default_rng(3))
+        b = OnChipPowerSensor(rng=np.random.default_rng(3))
+        assert [a.read(5.0) for _ in range(10)] == [
+            b.read(5.0) for _ in range(10)
+        ]
+
+
+class TestExternalPowerMeter:
+    def test_true_energy_integrates_exactly(self):
+        meter = ExternalPowerMeter(sample_period_s=1.0)
+        meter.accumulate(100.0, 0.3)
+        meter.accumulate(50.0, 0.2)
+        assert meter.true_energy_j == pytest.approx(40.0)
+
+    def test_reported_energy_lags_until_sample_boundary(self):
+        meter = ExternalPowerMeter(sample_period_s=1.0)
+        meter.accumulate(100.0, 0.5)
+        assert meter.reported_energy_j == 0.0
+        meter.accumulate(100.0, 0.6)  # crosses the 1 s boundary
+        assert meter.reported_energy_j == pytest.approx(110.0)
+
+    def test_multiple_boundaries_in_one_accumulate(self):
+        meter = ExternalPowerMeter(sample_period_s=1.0)
+        meter.accumulate(10.0, 3.5)
+        assert meter.reported_energy_j == pytest.approx(35.0)
+
+    def test_reported_tracks_true_over_long_run(self):
+        meter = ExternalPowerMeter(sample_period_s=1.0)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            meter.accumulate(
+                float(rng.uniform(10, 200)), float(rng.uniform(0.01, 0.1))
+            )
+        assert meter.reported_energy_j <= meter.true_energy_j
+        assert meter.reported_energy_j == pytest.approx(
+            meter.true_energy_j, rel=0.05
+        )
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalPowerMeter(sample_period_s=0.0)
+
+    def test_negative_inputs_rejected(self):
+        meter = ExternalPowerMeter()
+        with pytest.raises(ValueError):
+            meter.accumulate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            meter.accumulate(1.0, -1.0)

@@ -1,0 +1,128 @@
+"""Tests for machine serialization."""
+
+import json
+
+import pytest
+
+from repro.hw import (
+    GENERIC_PROFILE,
+    build_mobile,
+    build_server,
+    build_tablet,
+    system_power,
+    work_rate,
+)
+from repro.hw.serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    register_constraint,
+    register_speed_quirk,
+    save_machine,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "build", [build_mobile, build_tablet, build_server]
+    )
+    def test_paper_platforms_roundtrip(self, build):
+        machine = build()
+        restored = machine_from_dict(machine_to_dict(machine))
+        assert restored.name == machine.name
+        assert len(restored.space) == len(machine.space)
+        # Electrical model identical: same power/rate everywhere sampled.
+        for config in list(machine.space)[:: max(1, len(machine.space) // 20)]:
+            assert work_rate(restored, config, GENERIC_PROFILE) == (
+                work_rate(machine, config, GENERIC_PROFILE)
+            )
+            assert system_power(restored, config, GENERIC_PROFILE) == (
+                system_power(machine, config, GENERIC_PROFILE)
+            )
+
+    def test_constraint_preserved(self):
+        restored = machine_from_dict(machine_to_dict(build_mobile()))
+        for config in restored.space:
+            assert (config["big_cores"] > 0) != (
+                config["little_cores"] > 0
+            )
+
+    def test_speed_quirk_preserved(self):
+        tablet = build_tablet()
+        restored = machine_from_dict(machine_to_dict(tablet))
+        cluster = restored.clusters[0]
+        config = restored.default_config.replace(clock_ghz=1.5)
+        assert restored.cluster_speed(cluster, config) == 1.2  # snapped
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_machine(build_tablet(), tmp_path / "tablet.json")
+        restored = load_machine(path)
+        assert restored.name == "tablet"
+        json.loads(path.read_text())  # valid JSON on disk
+
+    def test_restored_machine_runs_jouleguard(self, apps, tmp_path):
+        from repro.runtime.harness import run_jouleguard
+
+        path = save_machine(build_tablet(), tmp_path / "m.json")
+        machine = load_machine(path)
+        result = run_jouleguard(
+            machine, apps["x264"], factor=1.5, n_iterations=60, seed=0
+        )
+        assert result.relative_error_pct < 5.0
+
+
+class TestBehaviourRegistry:
+    def test_unregistered_constraint_rejected_on_save(self):
+        from repro.hw import ConfigSpace, Cluster, Knob, Machine
+
+        machine = Machine(
+            name="odd",
+            space=ConfigSpace(
+                [Knob("cores", (1, 2))],
+                constraint=lambda c: True,
+            ),
+            clusters=(
+                Cluster("c", "cores", "cores", 1.0, 0.1, 0.1),
+            ),
+            idle_w=1.0,
+            external_w=1.0,
+        )
+        with pytest.raises(ValueError, match="unregistered constraint"):
+            machine_to_dict(machine)
+
+    def test_unknown_names_rejected_on_load(self):
+        data = machine_to_dict(build_tablet())
+        data["speed_quirk"] = "nonexistent"
+        with pytest.raises(ValueError, match="unknown speed quirk"):
+            machine_from_dict(data)
+        data = machine_to_dict(build_mobile())
+        data["constraint"] = "nonexistent"
+        with pytest.raises(ValueError, match="unknown constraint"):
+            machine_from_dict(data)
+
+    def test_register_custom_constraint(self):
+        name = "test_only_even_cores"
+        register_constraint(name, lambda c: c["cores"] % 2 == 0)
+        try:
+            data = machine_to_dict(build_tablet())
+            data["constraint"] = name
+            restored = machine_from_dict(data)
+            assert all(c["cores"] % 2 == 0 for c in restored.space)
+        finally:
+            from repro.hw import serialize
+
+            serialize._CONSTRAINTS.pop(name, None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_constraint(
+                "mobile_cluster_exclusive", lambda c: True
+            )
+        with pytest.raises(ValueError, match="already registered"):
+            register_speed_quirk(
+                "tablet_firmware_plateau", lambda n, f: f
+            )
+
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            machine_from_dict({"schema": 42})

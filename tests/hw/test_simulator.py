@@ -1,0 +1,189 @@
+"""Unit tests for the platform simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hw import GENERIC_PROFILE, NoiseModel, PlatformSimulator
+from repro.hw.machines import build_tablet
+
+
+@pytest.fixture
+def simulator():
+    return PlatformSimulator(
+        build_tablet(),
+        GENERIC_PROFILE,
+        noise=NoiseModel(sigma_rate=0.0, sigma_power=0.0),
+        seed=0,
+    )
+
+
+class TestDeterministicExecution:
+    def test_energy_is_power_times_time(self, simulator):
+        config = simulator.machine.default_config
+        result = simulator.run_iteration(config, work=2.0)
+        assert result.energy_j == pytest.approx(
+            result.true_power_w * result.time_s
+        )
+
+    def test_time_is_work_over_rate(self, simulator):
+        config = simulator.machine.default_config
+        result = simulator.run_iteration(config, work=3.0)
+        assert result.time_s == pytest.approx(3.0 / result.true_rate)
+
+    def test_noise_free_matches_ideal(self, simulator):
+        config = simulator.machine.default_config
+        result = simulator.run_iteration(config, work=1.0)
+        assert result.true_rate == pytest.approx(
+            simulator.ideal_rate(config)
+        )
+        assert result.true_power_w == pytest.approx(
+            simulator.ideal_power(config)
+        )
+
+    def test_app_speedup_scales_rate(self, simulator):
+        config = simulator.machine.default_config
+        slow = simulator.run_iteration(config, work=1.0, app_speedup=1.0)
+        fast = simulator.run_iteration(config, work=1.0, app_speedup=2.0)
+        assert fast.true_rate == pytest.approx(2.0 * slow.true_rate)
+
+    def test_input_difficulty_slows_iteration(self, simulator):
+        config = simulator.machine.default_config
+        easy = simulator.run_iteration(config, 1.0, input_difficulty=0.5)
+        hard = simulator.run_iteration(config, 1.0, input_difficulty=2.0)
+        assert hard.time_s == pytest.approx(4.0 * easy.time_s)
+
+    def test_app_power_factor_scales_power(self, simulator):
+        config = simulator.machine.default_config
+        full = simulator.run_iteration(config, 1.0, app_power_factor=1.0)
+        reduced = simulator.run_iteration(config, 1.0, app_power_factor=0.9)
+        assert reduced.true_power_w == pytest.approx(
+            0.9 * full.true_power_w
+        )
+
+    def test_clock_advances(self, simulator):
+        config = simulator.machine.default_config
+        r1 = simulator.run_iteration(config, 1.0)
+        r2 = simulator.run_iteration(config, 1.0)
+        assert r2.clock_s == pytest.approx(r1.clock_s + r2.time_s)
+
+    def test_measured_rate_equals_true_rate(self, simulator):
+        # Work and time are directly observable, so the measured rate is
+        # exact; power goes through the noisy sensor.
+        config = simulator.machine.default_config
+        result = simulator.run_iteration(config, 1.0)
+        assert result.measured_rate == pytest.approx(result.true_rate)
+
+    def test_invalid_inputs_rejected(self, simulator):
+        config = simulator.machine.default_config
+        with pytest.raises(ValueError):
+            simulator.run_iteration(config, work=0.0)
+        with pytest.raises(ValueError):
+            simulator.run_iteration(config, 1.0, app_speedup=0.0)
+        with pytest.raises(ValueError):
+            simulator.run_iteration(config, 1.0, input_difficulty=0.0)
+
+
+class TestNoise:
+    def test_seeded_runs_reproduce(self):
+        machine = build_tablet()
+        a = PlatformSimulator(machine, GENERIC_PROFILE, seed=7)
+        b = PlatformSimulator(machine, GENERIC_PROFILE, seed=7)
+        config = machine.default_config
+        ra = [a.run_iteration(config, 1.0).true_rate for _ in range(20)]
+        rb = [b.run_iteration(config, 1.0).true_rate for _ in range(20)]
+        assert ra == rb
+
+    def test_noise_centers_on_ideal(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.05, sigma_power=0.02),
+            seed=11,
+        )
+        config = machine.default_config
+        rates = [
+            simulator.run_iteration(config, 1.0).true_rate
+            for _ in range(3000)
+        ]
+        assert np.mean(rates) == pytest.approx(
+            simulator.ideal_rate(config), rel=0.02
+        )
+
+    def test_ar1_noise_is_correlated(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.1, correlation=0.9),
+            seed=13,
+        )
+        config = machine.default_config
+        rates = np.array(
+            [
+                simulator.run_iteration(config, 1.0).true_rate
+                for _ in range(2000)
+            ]
+        )
+        log_rates = np.log(rates)
+        autocorr = np.corrcoef(log_rates[:-1], log_rates[1:])[0, 1]
+        assert autocorr > 0.5
+
+    def test_noise_model_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(correlation=1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(sigma_rate=-0.1)
+
+
+class TestDisturbances:
+    def test_disturbance_scales_rate(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.0, sigma_power=0.0),
+        )
+        config = machine.default_config
+        baseline = simulator.run_iteration(config, 1.0).true_rate
+        simulator.add_disturbance(lambda t: 0.5)
+        disturbed = simulator.run_iteration(config, 1.0).true_rate
+        assert disturbed == pytest.approx(0.5 * baseline)
+
+    def test_time_dependent_disturbance(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.0, sigma_power=0.0),
+        )
+        config = machine.default_config
+        simulator.add_disturbance(
+            lambda t: 0.25 if t > 1e9 else 1.0
+        )
+        early = simulator.run_iteration(config, 1.0).true_rate
+        simulator.clock_s = 2e9
+        late = simulator.run_iteration(config, 1.0).true_rate
+        assert late == pytest.approx(0.25 * early)
+
+    def test_nonpositive_disturbance_rejected(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(machine, GENERIC_PROFILE)
+        simulator.add_disturbance(lambda t: 0.0)
+        with pytest.raises(ValueError):
+            simulator.run_iteration(machine.default_config, 1.0)
+
+
+class TestMeter:
+    def test_external_meter_accumulates_true_energy(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.0, sigma_power=0.0),
+        )
+        config = machine.default_config
+        total = sum(
+            simulator.run_iteration(config, 1.0).energy_j for _ in range(5)
+        )
+        assert simulator.meter.true_energy_j == pytest.approx(total)

@@ -1,0 +1,172 @@
+"""Unit tests of the performance model (Amdahl + bandwidth saturation)."""
+
+import pytest
+
+from repro.hw import AppResourceProfile, GENERIC_PROFILE
+from repro.hw.machines import build_mobile, build_server
+from repro.hw.speedup_model import (
+    aggregate_capacity,
+    bandwidth_limited_capacity,
+    core_speed,
+    fastest_core_speed,
+    speedup_over_minimal,
+    work_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return build_server()
+
+
+def _serial_profile(**overrides):
+    params = dict(
+        name="serial",
+        base_rate=1.0,
+        parallel_fraction=0.0,
+        clock_sensitivity=1.0,
+        memory_boundness=0.0,
+        ht_gain=0.0,
+        activity_factor=1.0,
+    )
+    params.update(overrides)
+    return AppResourceProfile(**params)
+
+
+class TestCoreSpeed:
+    def test_scales_with_beta(self, server):
+        slow = core_speed(server, "xeon", 1.0, beta=1.0)
+        fast = core_speed(server, "xeon", 2.0, beta=1.0)
+        assert fast == pytest.approx(2.0 * slow)
+
+    def test_sublinear_beta(self, server):
+        fast = core_speed(server, "xeon", 2.0, beta=0.5)
+        slow = core_speed(server, "xeon", 1.0, beta=0.5)
+        assert fast / slow == pytest.approx(2.0**0.5)
+
+    def test_unknown_cluster_raises(self, server):
+        with pytest.raises(KeyError):
+            core_speed(server, "gpu", 1.0, beta=1.0)
+
+    def test_zero_frequency_rejected(self, server):
+        with pytest.raises(ValueError):
+            core_speed(server, "xeon", 0.0, beta=1.0)
+
+
+class TestAmdahl:
+    def test_serial_app_ignores_extra_cores(self, server):
+        profile = _serial_profile()
+        one = server.default_config.replace(cores=1, hyperthreads=1)
+        many = server.default_config.replace(cores=16, hyperthreads=1)
+        assert work_rate(server, many, profile) == pytest.approx(
+            work_rate(server, one, profile), rel=1e-9
+        )
+
+    def test_parallel_app_scales_with_cores(self, server):
+        profile = _serial_profile(parallel_fraction=0.99)
+        one = server.default_config.replace(cores=1, hyperthreads=1)
+        eight = server.default_config.replace(cores=8, hyperthreads=1)
+        ratio = work_rate(server, eight, profile) / work_rate(
+            server, one, profile
+        )
+        assert 4.0 < ratio < 8.0  # near-linear but Amdahl-limited
+
+    def test_rate_monotone_in_clock(self, server):
+        lo = server.default_config.replace(clock_ghz=0.8)
+        hi = server.default_config.replace(clock_ghz=2.9)
+        assert work_rate(server, hi, GENERIC_PROFILE) > work_rate(
+            server, lo, GENERIC_PROFILE
+        )
+
+    def test_base_rate_scales_rate(self, server):
+        fast = _serial_profile(base_rate=10.0)
+        slow = _serial_profile(base_rate=1.0)
+        config = server.default_config
+        assert work_rate(server, config, fast) == pytest.approx(
+            10.0 * work_rate(server, config, slow)
+        )
+
+
+class TestHyperthreading:
+    def test_ht_helps_parallel_apps(self, server):
+        profile = _serial_profile(parallel_fraction=0.99, ht_gain=0.3)
+        off = server.default_config.replace(hyperthreads=1)
+        on = server.default_config.replace(hyperthreads=2)
+        assert work_rate(server, on, profile) > work_rate(
+            server, off, profile
+        )
+
+    def test_ht_gain_zero_is_noop(self, server):
+        profile = _serial_profile(parallel_fraction=0.99, ht_gain=0.0)
+        off = server.default_config.replace(hyperthreads=1)
+        on = server.default_config.replace(hyperthreads=2)
+        assert work_rate(server, on, profile) == pytest.approx(
+            work_rate(server, off, profile)
+        )
+
+
+class TestBandwidth:
+    def test_compute_bound_unaffected(self, server):
+        raw = 100.0
+        assert (
+            bandwidth_limited_capacity(
+                server, server.default_config, _serial_profile(), raw
+            )
+            == raw
+        )
+
+    def test_memory_bound_capped(self, server):
+        profile = _serial_profile(memory_boundness=1.0)
+        config = server.default_config.replace(mem_ctrls=1)
+        raw = 100.0  # far above one controller's supply of 9
+        limited = bandwidth_limited_capacity(server, config, profile, raw)
+        assert limited < raw
+
+    def test_extra_controller_helps_memory_bound(self, server):
+        profile = _serial_profile(
+            parallel_fraction=0.95, memory_boundness=0.9
+        )
+        one = server.default_config.replace(mem_ctrls=1)
+        two = server.default_config.replace(mem_ctrls=2)
+        assert work_rate(server, two, profile) > work_rate(
+            server, one, profile
+        )
+
+    def test_thrashing_makes_oversubscription_hurt(self, server):
+        # With thrash > 0, piling cores onto a saturated memory system
+        # reduces absolute throughput (the ferret-on-Server behaviour).
+        profile = _serial_profile(
+            parallel_fraction=0.99, memory_boundness=0.95
+        )
+        lean = server.default_config.replace(cores=6, hyperthreads=1)
+        oversubscribed = server.default_config.replace(
+            cores=16, hyperthreads=2
+        )
+        assert work_rate(server, lean, profile) > work_rate(
+            server, oversubscribed, profile
+        )
+
+
+class TestHeterogeneous:
+    def test_serial_fraction_runs_on_fastest_core(self):
+        mobile = build_mobile()
+        profile = _serial_profile()
+        big = mobile.space.maximal  # 4 big cores at top clock
+        assert fastest_core_speed(mobile, big, profile) > 0
+        # A serial app on the big cluster matches its single fastest core.
+        one_big = big.replace(big_cores=1)
+        assert work_rate(mobile, big, profile) == pytest.approx(
+            work_rate(mobile, one_big, profile)
+        )
+
+    def test_aggregate_capacity_sums_active_clusters(self):
+        mobile = build_mobile()
+        profile = _serial_profile(parallel_fraction=0.9)
+        little = mobile.space.minimal
+        assert aggregate_capacity(mobile, little, profile) > 0
+
+    def test_speedup_over_minimal_is_one_at_minimal(self):
+        mobile = build_mobile()
+        assert speedup_over_minimal(
+            mobile, mobile.space.minimal, GENERIC_PROFILE
+        ) == pytest.approx(1.0)

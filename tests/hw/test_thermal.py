@@ -1,0 +1,148 @@
+"""Tests for the thermal model and throttling."""
+
+import pytest
+
+from repro.hw import GENERIC_PROFILE, NoiseModel, PlatformSimulator
+from repro.hw.machines import build_tablet
+from repro.hw.thermal import ThermalModel, attach_thermal_model
+
+
+class TestThermalDynamics:
+    def test_heats_toward_steady_state(self):
+        model = ThermalModel(temperature_c=25.0)
+        steady = model.steady_state_c(100.0)
+        for _ in range(100):
+            model.advance(100.0, dt_s=1.0)
+        assert model.temperature_c == pytest.approx(steady, abs=0.5)
+
+    def test_cools_when_power_drops(self):
+        model = ThermalModel(temperature_c=90.0)
+        model.advance(0.0, dt_s=5.0)
+        assert model.temperature_c < 90.0
+
+    def test_exact_integration_stable_for_large_steps(self):
+        model = ThermalModel(temperature_c=25.0)
+        model.advance(100.0, dt_s=1e6)  # huge step: lands at steady state
+        assert model.temperature_c == pytest.approx(
+            model.steady_state_c(100.0)
+        )
+
+    def test_monotone_approach(self):
+        model = ThermalModel(temperature_c=25.0)
+        temps = [model.advance(80.0, 1.0) for _ in range(30)]
+        assert temps == sorted(temps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(time_constant_s=0.0)
+        with pytest.raises(ValueError):
+            ThermalModel(throttle_threshold_c=90.0, critical_c=85.0)
+        with pytest.raises(ValueError):
+            ThermalModel(min_throttle=0.0)
+        with pytest.raises(ValueError):
+            ThermalModel().advance(-1.0, 1.0)
+
+
+class TestThrottling:
+    def test_no_throttle_below_threshold(self):
+        model = ThermalModel(temperature_c=60.0)
+        assert model.throttle_factor == 1.0
+        assert not model.throttling
+
+    def test_linear_ramp_above_threshold(self):
+        model = ThermalModel(
+            throttle_threshold_c=85.0, critical_c=105.0, min_throttle=0.3
+        )
+        model.temperature_c = 95.0  # halfway
+        assert model.throttle_factor == pytest.approx(0.65)
+        assert model.throttling
+
+    def test_floor_at_critical_and_beyond(self):
+        model = ThermalModel(min_throttle=0.3)
+        model.temperature_c = 150.0
+        assert model.throttle_factor == pytest.approx(0.3)
+
+
+class TestSimulatorCoupling:
+    def make_hot_simulator(self):
+        machine = build_tablet()
+        simulator = PlatformSimulator(
+            machine,
+            GENERIC_PROFILE,
+            noise=NoiseModel(sigma_rate=0.0, sigma_power=0.0),
+            seed=0,
+        )
+        # An undersized heatsink: full power exceeds the threshold.
+        model = ThermalModel(
+            thermal_resistance_c_per_w=12.0,
+            time_constant_s=2.0,
+            throttle_threshold_c=70.0,
+            critical_c=95.0,
+        )
+        attach_thermal_model(simulator, model)
+        return machine, simulator, model
+
+    def test_sustained_load_heats_and_throttles(self):
+        machine, simulator, model = self.make_hot_simulator()
+        config = machine.default_config
+        baseline = simulator.run_iteration(config, 1.0).true_rate
+        for _ in range(400):
+            simulator.run_iteration(config, 1.0)
+        assert model.throttling
+        throttled = simulator.run_iteration(config, 1.0).true_rate
+        assert throttled < baseline * 0.95
+
+    def test_cool_config_avoids_throttling(self):
+        machine, simulator, model = self.make_hot_simulator()
+        cool = machine.space.minimal
+        for _ in range(400):
+            simulator.run_iteration(cool, 1.0)
+        assert not model.throttling
+
+    def test_jouleguard_budget_survives_throttling(self, apps):
+        from repro.core.budget import EnergyGoal
+        from repro.core.jouleguard import build_runtime
+        from repro.core.types import Measurement
+        from repro.runtime.harness import prior_shapes
+        from repro.runtime.oracle import default_energy_per_work
+
+        machine = build_tablet()
+        app = apps["x264"]
+        simulator = PlatformSimulator(
+            machine, app.resource_profile, seed=1
+        )
+        attach_thermal_model(
+            simulator,
+            ThermalModel(
+                thermal_resistance_c_per_w=10.0,
+                time_constant_s=2.0,
+                throttle_threshold_c=70.0,
+                critical_c=95.0,
+                min_throttle=0.5,
+            ),
+        )
+        epw = default_energy_per_work(machine, app)
+        n = 400
+        goal = EnergyGoal.from_factor(1.5, n, epw)
+        rate_shape, power_shape = prior_shapes(machine)
+        runtime = build_runtime(
+            rate_shape, power_shape, app.table, goal, seed=2
+        )
+        total = 0.0
+        for _ in range(n):
+            decision = runtime.current_decision
+            result = simulator.run_iteration(
+                machine.space[decision.system_index],
+                work=1.0,
+                app_speedup=decision.app_config.speedup,
+            )
+            total += result.energy_j
+            runtime.step(
+                Measurement(
+                    work=1.0,
+                    energy_j=result.measured_power_w * result.time_s,
+                    rate=result.measured_rate,
+                    power_w=result.measured_power_w,
+                )
+            )
+        assert total <= goal.budget_j * 1.06

@@ -1,0 +1,204 @@
+"""End-to-end with a *real* kernel in the loop.
+
+Everywhere else the application is a configuration table; here the
+decided configuration actually changes the computation performed each
+iteration: the Monte-Carlo pricer runs with the decided trial count and
+the similarity search with the decided rank fraction.  Work/energy come
+from the kernels' own operation counters mapped through the platform
+power model, so the whole chain — knob → real computation → measured
+rate → runtime decision → knob — is exercised with no synthetic speedup
+anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppConfig, ConfigTable
+from repro.core.budget import EnergyGoal
+from repro.core.jouleguard import build_runtime
+from repro.core.types import Measurement
+from repro.hw import get_machine, system_power, work_rate
+from repro.kernels.montecarlo import (
+    MarketModel,
+    Swaption,
+    price_swaption,
+    pricing_accuracy,
+)
+from repro.kernels.similarity import (
+    FeatureDatabase,
+    SimilaritySearch,
+    exhaustive_top_k,
+    result_similarity,
+)
+from repro.runtime.harness import prior_shapes
+from repro.runtime.oracle import default_energy_per_work
+
+
+class KernelPlant:
+    """Executes real kernel work; converts operation counts to time and
+    energy via the platform models (ops/sec scales with the machine
+    configuration's work rate)."""
+
+    def __init__(self, machine, profile, ops_per_work_unit):
+        self.machine = machine
+        self.profile = profile
+        self.ops_per_work_unit = ops_per_work_unit
+
+    def account(self, config, ops):
+        rate = work_rate(self.machine, config, self.profile)
+        seconds = (ops / self.ops_per_work_unit) / rate
+        power = system_power(self.machine, config, self.profile)
+        return seconds, power * seconds, power
+
+
+class TestMonteCarloClosedLoop:
+    TRIALS = (20_000, 10_000, 5_000, 2_500, 1_200, 600, 300)
+
+    def build_app_table(self):
+        swaption, market = Swaption(), MarketModel()
+        reference = price_swaption(swaption, market, self.TRIALS[0], seed=0)
+        configs = []
+        for index, trials in enumerate(self.TRIALS):
+            price = price_swaption(swaption, market, trials, seed=1)
+            configs.append(
+                AppConfig(
+                    index=index,
+                    speedup=self.TRIALS[0] / trials,
+                    accuracy=1.0
+                    if index == 0
+                    else min(
+                        pricing_accuracy(price, reference), 1.0 - 1e-9
+                    ),
+                    knob_settings=(("trials", float(trials)),),
+                )
+            )
+        return ConfigTable(configs)
+
+    def test_budget_met_with_real_pricing(self, apps):
+        machine = get_machine("tablet")
+        profile = apps["swaptions"].resource_profile
+        table = self.build_app_table()
+        plant = KernelPlant(
+            machine, profile, ops_per_work_unit=self.TRIALS[0]
+        )
+        n = 150
+        epw = default_energy_per_work(machine, apps["swaptions"])
+        # Rescale: one work unit = one full-trial pricing.
+        default_config = machine.default_config
+        default_seconds, default_energy, _ = plant.account(
+            default_config, self.TRIALS[0]
+        )
+        goal = EnergyGoal(total_work=n, budget_j=default_energy * n / 2.0)
+        rate_shape, power_shape = prior_shapes(machine)
+        runtime = build_runtime(
+            rate_shape, power_shape, table, goal, seed=3
+        )
+        swaption, market = Swaption(), MarketModel()
+        reference = price_swaption(swaption, market, self.TRIALS[0], seed=0)
+        total_energy = 0.0
+        accuracies = []
+        rng = np.random.default_rng(4)
+        for i in range(n):
+            decision = runtime.current_decision
+            trials = int(decision.app_config.knob_settings[0][1])
+            # REAL work: price the swaption at the decided trial count.
+            price = price_swaption(
+                swaption, market, trials, seed=int(rng.integers(1e6))
+            )
+            accuracies.append(pricing_accuracy(price, reference))
+            config = machine.space[decision.system_index]
+            seconds, energy, power = plant.account(config, trials)
+            total_energy += energy
+            runtime.step(
+                Measurement(
+                    work=1.0,
+                    energy_j=energy,
+                    rate=1.0 / seconds,
+                    power_w=power,
+                )
+            )
+        assert total_energy <= goal.budget_j * 1.05
+        # Measured pricing accuracy stays high: the runtime buys its
+        # speedup from trial counts whose real error is small.
+        assert np.mean(accuracies) > 0.95
+
+
+class TestSimilarityClosedLoop:
+    FRACTIONS = (1.0, 0.8, 0.6, 0.45, 0.3)
+
+    def build_app_table(self, database, queries):
+        search_full = SimilaritySearch(database, rank_fraction=1.0)
+        configs = []
+        base_ops = None
+        for index, fraction in enumerate(self.FRACTIONS):
+            search = SimilaritySearch(database, rank_fraction=fraction)
+            sims, ops_total = [], 0
+            for q in queries:
+                returned, ops = search.query(q)
+                ops_total += ops
+                reference = exhaustive_top_k(database, q, search.top_k)
+                sims.append(
+                    result_similarity(database, q, returned, reference)
+                )
+            if base_ops is None:
+                base_ops = ops_total
+            configs.append(
+                AppConfig(
+                    index=index,
+                    speedup=1.0 if index == 0 else base_ops / ops_total,
+                    accuracy=1.0
+                    if index == 0
+                    else min(float(np.mean(sims)), 1.0 - 1e-9),
+                    knob_settings=(("rank_fraction", fraction),),
+                )
+            )
+        return ConfigTable(configs)
+
+    def test_budget_met_with_real_queries(self, apps):
+        machine = get_machine("tablet")
+        profile = apps["ferret"].resource_profile
+        database = FeatureDatabase(n_items=400, seed=5)
+        rng = np.random.default_rng(6)
+        training = [database.sample_query(rng) for _ in range(20)]
+        table = self.build_app_table(database, training)
+        plant = KernelPlant(machine, profile, ops_per_work_unit=300.0)
+
+        n = 200
+        default_seconds, default_energy, _ = plant.account(
+            machine.default_config, 300.0
+        )
+        goal = EnergyGoal(
+            total_work=n, budget_j=default_energy * n / 1.3
+        )
+        rate_shape, power_shape = prior_shapes(machine)
+        runtime = build_runtime(
+            rate_shape, power_shape, table, goal, seed=7
+        )
+        total_energy = 0.0
+        measured_sims = []
+        for _ in range(n):
+            decision = runtime.current_decision
+            fraction = decision.app_config.knob_settings[0][1]
+            query = database.sample_query(rng)
+            # REAL work: answer the query at the decided rank fraction.
+            search = SimilaritySearch(database, rank_fraction=fraction)
+            returned, ops = search.query(query)
+            reference = exhaustive_top_k(database, query, search.top_k)
+            measured_sims.append(
+                result_similarity(database, query, returned, reference)
+            )
+            config = machine.space[decision.system_index]
+            seconds, energy, power = plant.account(
+                config, max(ops, 1) + 60.0  # probing overhead
+            )
+            total_energy += energy
+            runtime.step(
+                Measurement(
+                    work=1.0,
+                    energy_j=energy,
+                    rate=1.0 / seconds,
+                    power_w=power,
+                )
+            )
+        assert total_energy <= goal.budget_j * 1.08
+        assert np.mean(measured_sims) > 0.7

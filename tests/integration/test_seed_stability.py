@@ -1,0 +1,64 @@
+"""Result stability across seeds: the claims hold in distribution, not
+just on one lucky RNG stream."""
+
+import pytest
+
+from repro.hw import get_machine
+from repro.runtime.harness import run_jouleguard
+from repro.runtime.repeat import replicate
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize(
+        "machine_name,app_name,factor",
+        [
+            ("mobile", "x264", 2.0),
+            ("tablet", "bodytrack", 2.0),
+            ("server", "radar", 2.0),
+        ],
+    )
+    def test_relative_error_low_across_seeds(
+        self, apps, machine_name, app_name, factor
+    ):
+        summary = replicate(
+            run_jouleguard,
+            seeds=SEEDS,
+            machine=get_machine(machine_name),
+            app=apps[app_name],
+            factor=factor,
+            n_iterations=250,
+        )
+        error = summary["relative_error_pct"]
+        assert error.mean < 2.0
+        assert error.maximum < 5.0
+
+    def test_effective_accuracy_tight_across_seeds(self, apps):
+        summary = replicate(
+            run_jouleguard,
+            seeds=SEEDS,
+            machine=get_machine("server"),
+            app=apps["x264"],
+            factor=2.0,
+            n_iterations=250,
+        )
+        accuracy = summary["effective_acc"]
+        assert accuracy.mean > 0.97
+        assert accuracy.std < 0.03
+        low, high = accuracy.confidence_interval()
+        assert low > 0.9
+
+    def test_energy_savings_consistent(self, apps):
+        summary = replicate(
+            run_jouleguard,
+            seeds=SEEDS,
+            machine=get_machine("tablet"),
+            app=apps["streamcluster"],
+            factor=3.0,
+            n_iterations=250,
+        )
+        savings = summary["energy_savings"]
+        # Savings land at the requested 3x (within noise) on every seed.
+        assert savings.minimum > 2.8
+        assert savings.maximum < 3.5

@@ -1,0 +1,109 @@
+"""Tests for simulated-annealing place-and-route (canneal substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.annealing import Annealer, Netlist, Placement, route_quality
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return Netlist(n_elements=36, seed=1)
+
+
+class TestNetlist:
+    def test_nets_reference_valid_elements(self, netlist):
+        for a, b in netlist.nets:
+            assert 0 <= a < 36
+            assert 0 <= b < 36
+            assert a != b
+
+    def test_locality_bias(self, netlist):
+        offsets = [
+            min(abs(a - b), 36 - abs(a - b)) for a, b in netlist.nets
+        ]
+        assert np.median(offsets) <= netlist.locality
+
+    def test_deterministic(self):
+        assert Netlist(n_elements=20, seed=3).nets == Netlist(
+            n_elements=20, seed=3
+        ).nets
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(n_elements=2)
+
+
+class TestPlacement:
+    def test_positions_distinct_cells(self, netlist):
+        placement = Placement(netlist, seed=2)
+        cells = {tuple(p) for p in placement.positions}
+        assert len(cells) == netlist.n_elements
+
+    def test_wire_length_positive(self, netlist):
+        assert Placement(netlist, seed=2).wire_length() > 0
+
+    def test_swap_is_involution(self, netlist):
+        placement = Placement(netlist, seed=2)
+        before = placement.positions.copy()
+        placement.swap(0, 5)
+        placement.swap(0, 5)
+        assert np.array_equal(placement.positions, before)
+
+    def test_swap_delta_matches_full_recompute(self, netlist):
+        placement = Placement(netlist, seed=2)
+        before = placement.wire_length()
+        delta = placement.swap_delta(3, 17)
+        placement.swap(3, 17)
+        after = placement.wire_length()
+        assert after - before == pytest.approx(delta)
+
+
+class TestAnnealer:
+    def test_annealing_reduces_wire_length(self, netlist):
+        placement = Placement(netlist, seed=4)
+        initial = placement.wire_length()
+        final = Annealer(moves_per_temp=100, seed=5).anneal(placement)
+        assert final < initial
+
+    def test_perforated_run_does_less_well_on_average(self, netlist):
+        finals_full, finals_perf = [], []
+        for seed in range(4):
+            p1 = Placement(netlist, seed=seed)
+            p2 = Placement(netlist, seed=seed)
+            finals_full.append(
+                Annealer(moves_per_temp=100, seed=seed + 50).anneal(p1)
+            )
+            finals_perf.append(
+                Annealer(
+                    moves_per_temp=100, moves_fraction=0.1, seed=seed + 50
+                ).anneal(p2)
+            )
+        assert np.mean(finals_full) < np.mean(finals_perf)
+
+    def test_deterministic_given_seed(self, netlist):
+        p1, p2 = Placement(netlist, seed=6), Placement(netlist, seed=6)
+        a = Annealer(moves_per_temp=60, seed=7).anneal(p1)
+        b = Annealer(moves_per_temp=60, seed=7).anneal(p2)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Annealer(moves_fraction=0.0)
+        with pytest.raises(ValueError):
+            Annealer(cooling=1.0)
+
+
+class TestRouteQuality:
+    def test_equal_lengths_give_unity(self):
+        assert route_quality(100.0, 100.0) == 1.0
+
+    def test_longer_wire_is_lower_quality(self):
+        assert route_quality(110.0, 100.0) == pytest.approx(100.0 / 110.0)
+
+    def test_capped_at_one(self):
+        assert route_quality(90.0, 100.0) == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            route_quality(0.0, 100.0)

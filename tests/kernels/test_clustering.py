@@ -1,0 +1,125 @@
+"""Tests for streaming k-median clustering (streamcluster substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.clustering import (
+    KMedianLocalSearch,
+    StreamCluster,
+    clustering_cost,
+    gaussian_mixture_stream,
+)
+
+
+class TestClusteringCost:
+    def test_zero_when_points_are_centers(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert clustering_cost(points, points) == 0.0
+
+    def test_uses_nearest_center(self):
+        points = np.array([[0.0, 0.0]])
+        centers = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert clustering_cost(points, centers) == pytest.approx(1.0)
+
+    def test_weights_scale_cost(self):
+        points = np.array([[1.0, 0.0]])
+        centers = np.array([[0.0, 0.0]])
+        assert clustering_cost(
+            points, centers, weights=np.array([3.0])
+        ) == pytest.approx(3.0)
+
+    def test_empty_centers_rejected(self):
+        with pytest.raises(ValueError):
+            clustering_cost(np.zeros((2, 2)), np.zeros((0, 2)))
+
+
+class TestKMedianLocalSearch:
+    def test_finds_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.05, size=(30, 2))
+        b = rng.normal(5, 0.05, size=(30, 2)) + np.array([5.0, 0.0])
+        points = np.vstack([a, b])
+        centers = KMedianLocalSearch(k=2, seed=1).fit(points)
+        # One center near each blob.
+        dists_a = np.linalg.norm(centers - a.mean(axis=0), axis=1)
+        dists_b = np.linalg.norm(centers - b.mean(axis=0), axis=1)
+        assert dists_a.min() < 1.0
+        assert dists_b.min() < 1.0
+
+    def test_centers_are_input_points(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(40, 3))
+        centers = KMedianLocalSearch(k=3, seed=3).fit(points)
+        for center in centers:
+            assert any(np.allclose(center, p) for p in points)
+
+    def test_k_larger_than_n_is_capped(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centers = KMedianLocalSearch(k=10, seed=0).fit(points)
+        assert len(centers) <= 10
+
+    def test_full_evaluation_at_least_as_good_as_heavy_perforation(self):
+        chunks, _ = gaussian_mixture_stream(1, 150, k=6, seed=4)
+        points = chunks[0]
+        cost_full = clustering_cost(
+            points, KMedianLocalSearch(k=6, seed=5).fit(points)
+        )
+        cost_perforated = clustering_cost(
+            points,
+            KMedianLocalSearch(
+                k=6, evaluation_fraction=0.05, seed=5, max_rounds=2
+            ).fit(points),
+        )
+        assert cost_full <= cost_perforated * 1.05
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KMedianLocalSearch(k=0)
+        with pytest.raises(ValueError):
+            KMedianLocalSearch(k=2, evaluation_fraction=0.0)
+        with pytest.raises(ValueError):
+            KMedianLocalSearch(k=2).fit(np.zeros((0, 2)))
+
+
+class TestStreamCluster:
+    def test_returns_k_centers(self):
+        chunks, _ = gaussian_mixture_stream(4, 50, k=5, seed=6)
+        centers = StreamCluster(k=5, seed=7).cluster(chunks)
+        assert centers.shape[0] <= 5
+        assert centers.shape[1] == chunks[0].shape[1]
+
+    def test_recovers_ground_truth_approximately(self):
+        chunks, truth = gaussian_mixture_stream(
+            5, 80, k=4, spread=0.1, seed=8
+        )
+        centers = StreamCluster(k=4, seed=9).cluster(chunks)
+        for true_center in truth:
+            nearest = np.linalg.norm(centers - true_center, axis=1).min()
+            assert nearest < 0.5
+
+    def test_perforation_degrades_gracefully(self):
+        chunks, _ = gaussian_mixture_stream(4, 60, k=5, seed=10)
+        points = np.vstack(chunks)
+        cost_full = clustering_cost(
+            points, StreamCluster(k=5, seed=11).cluster(chunks)
+        )
+        cost_perf = clustering_cost(
+            points,
+            StreamCluster(
+                k=5, evaluation_fraction=0.15, seed=11
+            ).cluster(chunks),
+        )
+        # Perforation costs at most a modest quality loss (streamcluster
+        # is the benchmark where perforation is nearly free, Table 2).
+        assert cost_perf <= cost_full * 1.5
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamCluster(k=3).cluster([])
+
+    def test_skips_empty_chunks(self):
+        chunks, _ = gaussian_mixture_stream(2, 40, k=3, seed=12)
+        centers = StreamCluster(k=3, seed=13).cluster(
+            [np.zeros((0, 4))] + chunks
+        )
+        assert len(centers) <= 3

@@ -1,0 +1,106 @@
+"""Tests for postings compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels.compression import (
+    CompressedIndex,
+    decode_postings,
+    encode_postings,
+    varint_decode,
+    varint_encode,
+)
+from repro.kernels.corpus import SyntheticCorpus
+from repro.kernels.search import InvertedIndex
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,expected_len",
+        [(0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3)],
+    )
+    def test_length_boundaries(self, value, expected_len):
+        assert len(varint_encode(value)) == expected_len
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        data = varint_encode(value)
+        decoded, offset = varint_decode(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_encode(-1)
+
+    def test_truncated_rejected(self):
+        data = varint_encode(300)[:-1]
+        with pytest.raises(ValueError, match="truncated"):
+            varint_decode(data)
+
+    def test_stream_decoding(self):
+        data = varint_encode(5) + varint_encode(1000) + varint_encode(0)
+        a, offset = varint_decode(data, 0)
+        b, offset = varint_decode(data, offset)
+        c, offset = varint_decode(data, offset)
+        assert (a, b, c) == (5, 1000, 0)
+        assert offset == len(data)
+
+
+class TestPostings:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            unique=True,
+            max_size=200,
+        ).map(sorted)
+    )
+    def test_roundtrip(self, doc_ids):
+        assert decode_postings(encode_postings(doc_ids)) == doc_ids
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            encode_postings([3, 1])
+        with pytest.raises(ValueError):
+            encode_postings([1, 1])
+
+    def test_dense_lists_compress_to_one_byte_per_id(self):
+        dense = list(range(1000))
+        assert len(encode_postings(dense)) == 1000
+
+    def test_sparse_lists_cost_more_per_id(self):
+        sparse = [i * 100_000 for i in range(100)]
+        assert len(encode_postings(sparse)) > 100
+
+
+class TestCompressedIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        corpus = SyntheticCorpus(n_docs=150, vocabulary_size=1000, seed=7)
+        return InvertedIndex(corpus)
+
+    def test_document_sets_preserved(self, index):
+        compressed = CompressedIndex.from_index(index)
+        for term in list(index._postings)[:50]:
+            assert set(compressed.documents_containing(term)) == (
+                index.documents_containing(term)
+            )
+
+    def test_missing_term_empty(self, index):
+        compressed = CompressedIndex.from_index(index)
+        assert compressed.documents_containing("zzznotaword") == []
+
+    def test_real_corpus_compresses_well(self, index):
+        # Zipf postings are dominated by frequent terms with dense,
+        # small-gap lists: well over 2x vs. 4-byte ids.
+        compressed = CompressedIndex.from_index(index)
+        assert compressed.compression_ratio() > 2.0
+
+    def test_sizes_consistent(self, index):
+        compressed = CompressedIndex.from_index(index)
+        assert compressed.compressed_bytes() > 0
+        assert (
+            compressed.uncompressed_bytes()
+            >= compressed.compressed_bytes()
+        )

@@ -1,0 +1,98 @@
+"""Tests for the synthetic corpus and query generation."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.kernels.corpus import (
+    STOP_WORD_COUNT,
+    QueryGenerator,
+    SyntheticCorpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(n_docs=100, vocabulary_size=800, seed=5)
+
+
+class TestSyntheticCorpus:
+    def test_document_count(self, corpus):
+        assert len(corpus.documents) == 100
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticCorpus(n_docs=20, vocabulary_size=300, seed=9)
+        b = SyntheticCorpus(n_docs=20, vocabulary_size=300, seed=9)
+        assert [d.tokens for d in a.documents] == [
+            d.tokens for d in b.documents
+        ]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(n_docs=20, vocabulary_size=300, seed=1)
+        b = SyntheticCorpus(n_docs=20, vocabulary_size=300, seed=2)
+        assert [d.tokens for d in a.documents] != [
+            d.tokens for d in b.documents
+        ]
+
+    def test_tokens_within_vocabulary(self, corpus):
+        vocabulary = set(corpus.vocabulary)
+        for doc in corpus.documents[:10]:
+            assert set(doc.tokens) <= vocabulary
+
+    def test_word_frequency_is_skewed(self, corpus):
+        # Zipf-like: the most common word should dominate the median one.
+        counts = Counter(
+            token for doc in corpus.documents for token in doc.tokens
+        )
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+    def test_topics_shape_content(self, corpus):
+        # Two documents from the same topic should share more vocabulary
+        # than documents from different topics, on average.
+        by_topic = {}
+        for doc in corpus.documents:
+            by_topic.setdefault(doc.topic, []).append(set(doc.tokens))
+        same, diff = [], []
+        topics = [t for t, docs in by_topic.items() if len(docs) >= 2]
+        for topic in topics[:4]:
+            docs = by_topic[topic]
+            same.append(len(docs[0] & docs[1]) / len(docs[0] | docs[1]))
+            other = by_topic[
+                next(t for t in topics if t != topic)
+            ]
+            diff.append(len(docs[0] & other[0]) / len(docs[0] | other[0]))
+        assert np.mean(same) > np.mean(diff)
+
+    def test_stop_words_are_most_frequent_ranks(self, corpus):
+        assert len(corpus.stop_words) == STOP_WORD_COUNT
+
+    def test_too_small_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus(n_docs=10, vocabulary_size=STOP_WORD_COUNT)
+
+
+class TestQueryGenerator:
+    def test_queries_have_one_to_max_terms(self, corpus):
+        generator = QueryGenerator(corpus, max_terms=3, seed=0)
+        for query in generator.batch(200):
+            assert 1 <= len(query) <= 3
+            assert len(set(query)) == len(query)
+
+    def test_queries_exclude_stop_words(self, corpus):
+        generator = QueryGenerator(corpus, seed=0)
+        stop = set(corpus.stop_words)
+        for query in generator.batch(200):
+            assert not (set(query) & stop)
+
+    def test_power_law_repeats_popular_terms(self, corpus):
+        generator = QueryGenerator(corpus, max_terms=1, seed=0)
+        terms = Counter(q[0] for q in generator.batch(1000))
+        top_share = sum(c for _, c in terms.most_common(10)) / 1000
+        assert top_share > 0.3  # heavy head
+
+    def test_deterministic_given_seed(self, corpus):
+        a = QueryGenerator(corpus, seed=3).batch(20)
+        b = QueryGenerator(corpus, seed=3).batch(20)
+        assert a == b

@@ -1,0 +1,92 @@
+"""Tests for Monte-Carlo swaption pricing (swaptions substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.montecarlo import (
+    MarketModel,
+    Swaption,
+    price_swaption,
+    pricing_accuracy,
+)
+
+
+class TestValidation:
+    def test_swaption_parameters_positive(self):
+        with pytest.raises(ValueError):
+            Swaption(strike=0.0)
+        with pytest.raises(ValueError):
+            Swaption(maturity_years=-1.0)
+
+    def test_market_parameters_positive(self):
+        with pytest.raises(ValueError):
+            MarketModel(initial_rate=0.0)
+        with pytest.raises(ValueError):
+            MarketModel(volatility=-0.1)
+
+    def test_trials_positive(self):
+        with pytest.raises(ValueError):
+            price_swaption(Swaption(), MarketModel(), 0)
+
+
+class TestPricing:
+    def test_price_is_positive(self):
+        price = price_swaption(Swaption(), MarketModel(), 5000, seed=0)
+        assert price > 0
+
+    def test_price_bounded_by_discounted_annuity(self):
+        swaption = Swaption()
+        market = MarketModel()
+        price = price_swaption(swaption, market, 5000, seed=1)
+        # Crude upper bound: annuity can't exceed the tenor, rates stay
+        # in a plausible range for these parameters.
+        assert price < swaption.tenor_years
+
+    def test_deterministic_given_seed(self):
+        a = price_swaption(Swaption(), MarketModel(), 1000, seed=2)
+        b = price_swaption(Swaption(), MarketModel(), 1000, seed=2)
+        assert a == b
+
+    def test_higher_volatility_raises_option_value(self):
+        swaption = Swaption()
+        low = price_swaption(
+            swaption, MarketModel(volatility=0.1), 40000, seed=3
+        )
+        high = price_swaption(
+            swaption, MarketModel(volatility=0.4), 40000, seed=3
+        )
+        assert high > low
+
+    def test_deep_out_of_the_money_is_cheap(self):
+        market = MarketModel(initial_rate=0.02)
+        cheap = price_swaption(Swaption(strike=0.10), market, 20000, seed=4)
+        fair = price_swaption(Swaption(strike=0.02), market, 20000, seed=4)
+        assert cheap < fair * 0.2
+
+    def test_monte_carlo_error_shrinks_with_trials(self):
+        swaption, market = Swaption(), MarketModel()
+        reference = price_swaption(swaption, market, 200_000, seed=5)
+        errors = {}
+        for trials in (100, 10_000):
+            prices = [
+                price_swaption(swaption, market, trials, seed=100 + s)
+                for s in range(10)
+            ]
+            errors[trials] = np.std([p - reference for p in prices])
+        assert errors[10_000] < errors[100]
+
+
+class TestAccuracyMetric:
+    def test_exact_price_is_one(self):
+        assert pricing_accuracy(1.0, 1.0) == 1.0
+
+    def test_relative_error_subtracted(self):
+        assert pricing_accuracy(0.9, 1.0) == pytest.approx(0.9)
+        assert pricing_accuracy(1.1, 1.0) == pytest.approx(0.9)
+
+    def test_floored_at_zero(self):
+        assert pricing_accuracy(5.0, 1.0) == 0.0
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError):
+            pricing_accuracy(1.0, 0.0)

@@ -1,0 +1,108 @@
+"""Tests for the inverted-index search engine (swish++ substrate)."""
+
+import pytest
+
+from repro.kernels.corpus import QueryGenerator, SyntheticCorpus
+from repro.kernels.search import (
+    SearchEngine,
+    SearchResult,
+    f1_score,
+    precision_recall,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(n_docs=80, vocabulary_size=600, seed=21)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    return SearchEngine(corpus)
+
+
+class TestIndex:
+    def test_every_document_term_is_indexed(self, corpus, engine):
+        doc = corpus.documents[0]
+        for term in set(doc.tokens):
+            postings = engine.index.postings(term)
+            assert any(d == doc.doc_id for d, _ in postings)
+
+    def test_unknown_term_has_empty_postings(self, engine):
+        assert engine.index.postings("zzznotaword") == []
+
+    def test_idf_decreases_with_document_frequency(self, corpus, engine):
+        by_df = sorted(
+            ((len(engine.index.postings(t)), t) for t in corpus.vocabulary[:50]
+             if engine.index.postings(t)),
+        )
+        rare_df, rare = by_df[0]
+        common_df, common = by_df[-1]
+        if rare_df < common_df:
+            assert engine.index.idf(rare) > engine.index.idf(common)
+
+
+class TestSearch:
+    def test_results_sorted_by_score(self, engine, corpus):
+        query = [corpus.vocabulary[100]]
+        results = engine.search(query)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_truncation_returns_prefix(self, engine, corpus):
+        query = [corpus.vocabulary[60], corpus.vocabulary[200]]
+        full = engine.search(query)
+        truncated = engine.search(query, max_results=3)
+        assert truncated == full[:3]
+
+    def test_unlimited_when_max_results_nonpositive(self, engine, corpus):
+        query = [corpus.vocabulary[60]]
+        assert engine.search(query, 0) == engine.search(query)
+
+    def test_empty_query_returns_nothing(self, engine):
+        assert engine.search([]) == []
+
+    def test_unknown_terms_return_nothing(self, engine):
+        assert engine.search(["zzznotaword"]) == []
+
+    def test_multi_term_scores_accumulate(self, engine, corpus):
+        t1, t2 = corpus.vocabulary[50], corpus.vocabulary[51]
+        single = {r.doc_id: r.score for r in engine.search([t1])}
+        both = {r.doc_id: r.score for r in engine.search([t1, t2])}
+        for doc_id, score in both.items():
+            assert score >= single.get(doc_id, 0.0) - 1e-12
+
+
+class TestMetrics:
+    def test_perfect_match(self):
+        ref = [SearchResult(1, 1.0), SearchResult(2, 0.5)]
+        assert precision_recall(ref, ref) == (1.0, 1.0)
+        assert f1_score(ref, ref) == 1.0
+
+    def test_truncation_keeps_precision_loses_recall(self):
+        ref = [SearchResult(i, 1.0 / (i + 1)) for i in range(10)]
+        truncated = ref[:5]
+        precision, recall = precision_recall(truncated, ref)
+        assert precision == 1.0
+        assert recall == 0.5
+
+    def test_empty_returned_is_zero(self):
+        ref = [SearchResult(1, 1.0)]
+        assert precision_recall([], ref) == (0.0, 0.0)
+        assert f1_score([], ref) == 0.0
+
+    def test_empty_reference_with_empty_returned_is_perfect(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+
+    def test_f1_monotone_in_truncation(self, engine, corpus):
+        queries = QueryGenerator(corpus, seed=2).batch(30)
+        mean_f1 = []
+        for limit in (0, 20, 5, 2):
+            scores = []
+            for query in queries:
+                full = engine.search(query)
+                got = full if limit == 0 else engine.search(query, limit)
+                scores.append(f1_score(got, full))
+            mean_f1.append(sum(scores) / len(scores))
+        assert mean_f1 == sorted(mean_f1, reverse=True)
+        assert mean_f1[0] == 1.0

@@ -1,0 +1,120 @@
+"""Tests for boolean and phrase search (positional index)."""
+
+import pytest
+
+from repro.kernels.corpus import Document, SyntheticCorpus
+from repro.kernels.search import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(n_docs=60, vocabulary_size=500, seed=31)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    return SearchEngine(corpus)
+
+
+def make_tiny_engine(docs):
+    """Engine over hand-written documents (bypasses the generator)."""
+    corpus = SyntheticCorpus(n_docs=1, vocabulary_size=100, seed=0)
+    corpus.documents = [
+        Document(doc_id=i, topic=0, tokens=tuple(tokens))
+        for i, tokens in enumerate(docs)
+    ]
+    return SearchEngine(corpus)
+
+
+class TestPositionalIndex:
+    def test_positions_recorded(self):
+        engine = make_tiny_engine([("alpha", "beta", "alpha")])
+        assert engine.index.positions("alpha", 0) == [0, 2]
+        assert engine.index.positions("beta", 0) == [1]
+
+    def test_positions_missing_term_empty(self):
+        engine = make_tiny_engine([("alpha",)])
+        assert engine.index.positions("gamma", 0) == []
+
+    def test_documents_containing(self):
+        engine = make_tiny_engine([("a", "b"), ("b", "c")])
+        assert engine.index.documents_containing("b") == {0, 1}
+        assert engine.index.documents_containing("a") == {0}
+
+
+class TestBooleanSearch:
+    def test_requires_all_terms(self):
+        engine = make_tiny_engine([("a", "b"), ("a",), ("b",)])
+        hits = {r.doc_id for r in engine.search_boolean(["a", "b"])}
+        assert hits == {0}
+
+    def test_excluded_terms_filter(self):
+        engine = make_tiny_engine([("a", "b"), ("a", "c")])
+        hits = {r.doc_id for r in engine.search_boolean(["a"], excluded=["b"])}
+        assert hits == {1}
+
+    def test_empty_required_returns_nothing(self, engine):
+        assert engine.search_boolean([]) == []
+
+    def test_no_matches(self):
+        engine = make_tiny_engine([("a",), ("b",)])
+        assert engine.search_boolean(["a", "b"]) == []
+
+    def test_truncation_applies(self, engine, corpus):
+        term = corpus.vocabulary[40]
+        full = engine.search_boolean([term])
+        if len(full) > 2:
+            truncated = engine.search_boolean([term], max_results=2)
+            assert truncated == full[:2]
+
+    def test_boolean_is_subset_of_ranked(self, engine, corpus):
+        terms = [corpus.vocabulary[60], corpus.vocabulary[61]]
+        boolean_ids = {r.doc_id for r in engine.search_boolean(terms)}
+        ranked_ids = {r.doc_id for r in engine.search(terms)}
+        assert boolean_ids <= ranked_ids
+
+
+class TestPhraseSearch:
+    def test_consecutive_tokens_match(self):
+        engine = make_tiny_engine(
+            [("the", "quick", "fox"), ("quick", "the", "fox")]
+        )
+        hits = {r.doc_id for r in engine.search_phrase(["the", "quick"])}
+        assert hits == {0}
+
+    def test_all_terms_present_but_not_adjacent_no_match(self):
+        engine = make_tiny_engine([("a", "x", "b")])
+        assert engine.search_phrase(["a", "b"]) == []
+
+    def test_repeated_phrase_scores_higher(self):
+        engine = make_tiny_engine(
+            [
+                ("a", "b", "a", "b", "pad", "pad"),
+                ("a", "b", "pad", "pad", "pad", "pad"),
+            ]
+        )
+        results = engine.search_phrase(["a", "b"])
+        assert [r.doc_id for r in results] == [0, 1]
+        assert results[0].score > results[1].score
+
+    def test_single_term_phrase_equals_containment(self):
+        engine = make_tiny_engine([("a", "b"), ("c",)])
+        hits = {r.doc_id for r in engine.search_phrase(["a"])}
+        assert hits == {0}
+
+    def test_empty_phrase(self, engine):
+        assert engine.search_phrase([]) == []
+
+    def test_phrase_on_synthetic_corpus(self, engine, corpus):
+        # Take a real bigram from a document and find that document.
+        doc = corpus.documents[5]
+        bigram = [doc.tokens[10], doc.tokens[11]]
+        hits = {r.doc_id for r in engine.search_phrase(bigram)}
+        assert doc.doc_id in hits
+
+    def test_truncation(self, engine, corpus):
+        doc = corpus.documents[3]
+        unigram = [doc.tokens[0]]
+        full = engine.search_phrase(unigram)
+        if len(full) > 1:
+            assert engine.search_phrase(unigram, max_results=1) == full[:1]

@@ -1,0 +1,112 @@
+"""Tests for radar target detection (radar substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.signal import (
+    RadarScene,
+    detect_targets,
+    detection_quality,
+    matched_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return RadarScene(seed=1)
+
+
+@pytest.fixture(scope="module")
+def returns_and_chirp(scene):
+    return scene.generate()
+
+
+class TestScene:
+    def test_shape(self, scene, returns_and_chirp):
+        returns, chirp = returns_and_chirp
+        assert returns.shape == (scene.n_pulses, scene.samples_per_pulse)
+        assert len(chirp) == 32
+
+    def test_deterministic(self):
+        a, _ = RadarScene(seed=2).generate()
+        b, _ = RadarScene(seed=2).generate()
+        assert np.array_equal(a, b)
+
+    def test_target_out_of_window_rejected(self):
+        with pytest.raises(ValueError):
+            RadarScene(
+                samples_per_pulse=64, target_ranges=(60,), seed=0
+            ).generate()
+
+
+class TestMatchedFilter:
+    def test_peak_at_target_range(self, returns_and_chirp, scene):
+        returns, chirp = returns_and_chirp
+        compressed = np.abs(matched_filter(returns, chirp).mean(axis=0))
+        for target in scene.target_ranges:
+            window = compressed[target - 3 : target + 4]
+            # Local peak well above the median floor.
+            assert window.max() > 3 * np.median(compressed)
+
+    def test_pure_noise_has_no_dominant_peak(self):
+        rng = np.random.default_rng(3)
+        noise = (
+            rng.normal(size=(8, 256)) + 1j * rng.normal(size=(8, 256))
+        ) / np.sqrt(2)
+        chirp = np.exp(1j * np.pi * np.arange(32) ** 2 / 32)
+        compressed = np.abs(matched_filter(noise, chirp).mean(axis=0))
+        assert compressed.max() < 6 * np.median(compressed)
+
+
+class TestDetection:
+    def test_full_configuration_finds_all_targets(self, returns_and_chirp, scene):
+        returns, chirp = returns_and_chirp
+        peaks, snr_db = detect_targets(returns, chirp)
+        assert detection_quality(peaks, scene.target_ranges) == 1.0
+        assert snr_db > 10.0
+
+    def test_decimation_lowers_snr(self, returns_and_chirp):
+        returns, chirp = returns_and_chirp
+        _, full_snr = detect_targets(returns, chirp)
+        _, decimated_snr = detect_targets(returns, chirp, decimation=4)
+        assert decimated_snr < full_snr
+
+    def test_fewer_pulses_lower_snr(self, returns_and_chirp):
+        returns, chirp = returns_and_chirp
+        _, full_snr = detect_targets(returns, chirp)
+        _, short_snr = detect_targets(returns, chirp, integration_pulses=2)
+        assert short_snr < full_snr
+
+    def test_decimated_peaks_map_to_original_ranges(self, returns_and_chirp, scene):
+        returns, chirp = returns_and_chirp
+        peaks, _ = detect_targets(returns, chirp, decimation=2)
+        quality = detection_quality(peaks, scene.target_ranges, tolerance=4)
+        assert quality > 0.5
+
+    def test_invalid_decimation_rejected(self, returns_and_chirp):
+        returns, chirp = returns_and_chirp
+        with pytest.raises(ValueError):
+            detect_targets(returns, chirp, decimation=0)
+
+
+class TestDetectionQuality:
+    def test_perfect(self):
+        assert detection_quality([100, 200], (100, 200)) == 1.0
+
+    def test_tolerance_window(self):
+        assert detection_quality([103], (100,), tolerance=4) == 1.0
+        assert detection_quality([106], (100,), tolerance=4) == 0.0
+
+    def test_false_positives_reduce_precision(self):
+        quality = detection_quality([100, 300, 400], (100,))
+        assert 0 < quality < 1
+
+    def test_each_truth_matched_once(self):
+        # Two peaks near one target: only one counts as a true positive.
+        quality = detection_quality([100, 101], (100,))
+        assert quality == pytest.approx(2 / 3)
+
+    def test_empty_cases(self):
+        assert detection_quality([], ()) == 1.0
+        assert detection_quality([5], ()) == 0.0
+        assert detection_quality([], (100,)) == 0.0

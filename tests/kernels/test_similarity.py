@@ -1,0 +1,122 @@
+"""Tests for probe-and-rank similarity search (ferret substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.similarity import (
+    FeatureDatabase,
+    SimilaritySearch,
+    cosine_similarity,
+    exhaustive_top_k,
+    result_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return FeatureDatabase(n_items=500, n_clusters=10, seed=1)
+
+
+@pytest.fixture(scope="module")
+def query(database):
+    return database.sample_query(np.random.default_rng(2))
+
+
+class TestDatabase:
+    def test_shapes(self, database):
+        assert database.vectors.shape == (500, 16)
+        assert database.centroids.shape == (10, 16)
+        assert database.assignments.shape == (500,)
+
+    def test_items_near_their_centroid(self, database):
+        distances = np.linalg.norm(
+            database.vectors - database.centroids[database.assignments],
+            axis=1,
+        )
+        cross = np.linalg.norm(
+            database.vectors - database.centroids[(database.assignments + 1) % 10],
+            axis=1,
+        )
+        assert distances.mean() < cross.mean()
+
+    def test_deterministic(self):
+        a = FeatureDatabase(n_items=50, seed=3)
+        b = FeatureDatabase(n_items=50, seed=3)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDatabase(n_items=5, n_clusters=10)
+
+
+class TestCosineSimilarity:
+    def test_self_similarity_is_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v[None, :])[0] == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0] == pytest.approx(0.0)
+
+
+class TestSearch:
+    def test_full_ranking_matches_exhaustive_on_probed_clusters(
+        self, database, query
+    ):
+        search = SimilaritySearch(
+            database, n_probes=database.n_clusters, rank_fraction=1.0
+        )
+        returned, _ = search.query(query)
+        assert returned == exhaustive_top_k(database, query, search.top_k)
+
+    def test_perforation_does_less_work(self, database, query):
+        _, full_work = SimilaritySearch(database, rank_fraction=1.0).query(
+            query
+        )
+        _, perf_work = SimilaritySearch(database, rank_fraction=0.25).query(
+            query
+        )
+        assert perf_work < full_work
+
+    def test_perforation_degrades_result_similarity(self, database):
+        rng = np.random.default_rng(4)
+        queries = [database.sample_query(rng) for _ in range(25)]
+        scores = {}
+        for fraction in (1.0, 0.1):
+            search = SimilaritySearch(database, rank_fraction=fraction)
+            sims = []
+            for q in queries:
+                returned, _ = search.query(q)
+                reference = exhaustive_top_k(database, q, search.top_k)
+                sims.append(
+                    result_similarity(database, q, returned, reference)
+                )
+            scores[fraction] = np.mean(sims)
+        assert scores[0.1] < scores[1.0]
+        assert scores[1.0] > 0.9
+
+    def test_invalid_parameters(self, database):
+        with pytest.raises(ValueError):
+            SimilaritySearch(database, rank_fraction=0.0)
+        with pytest.raises(ValueError):
+            SimilaritySearch(database, n_probes=0)
+
+
+class TestResultSimilarity:
+    def test_identical_sets_are_one(self, database, query):
+        reference = exhaustive_top_k(database, query, 5)
+        assert result_similarity(database, query, reference, reference) == 1.0
+
+    def test_empty_returned_is_zero(self, database, query):
+        reference = exhaustive_top_k(database, query, 5)
+        assert result_similarity(database, query, [], reference) == 0.0
+
+    def test_empty_reference_is_one(self, database, query):
+        assert result_similarity(database, query, [1, 2], []) == 1.0
+
+    def test_worse_neighbours_score_below_one(self, database, query):
+        reference = exhaustive_top_k(database, query, 5)
+        worst = exhaustive_top_k(database, query, len(database.vectors))[-5:]
+        score = result_similarity(database, query, worst, reference)
+        assert score < 1.0

@@ -1,0 +1,102 @@
+"""Tests for the annealed particle filter (bodytrack substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.tracking import (
+    AnnealedParticleFilter,
+    BodyScene,
+    track_quality,
+)
+
+
+@pytest.fixture(scope="module")
+def scene_data():
+    scene = BodyScene(n_frames=50, seed=2)
+    truth, observations = scene.generate()
+    return truth, observations
+
+
+class TestBodyScene:
+    def test_shapes(self, scene_data):
+        truth, observations = scene_data
+        assert truth.shape == (50, 2)
+        assert observations.shape == (50, 2)
+
+    def test_deterministic(self):
+        a = BodyScene(n_frames=20, seed=3).generate()
+        b = BodyScene(n_frames=20, seed=3).generate()
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_observations_near_truth(self, scene_data):
+        truth, observations = scene_data
+        errors = np.linalg.norm(observations - truth, axis=1)
+        assert errors.mean() < 1.0
+
+    def test_trajectory_is_smooth(self, scene_data):
+        truth, _ = scene_data
+        steps = np.linalg.norm(np.diff(truth, axis=0), axis=1)
+        assert steps.max() < 1.5  # velocity clipped
+
+
+class TestFilter:
+    def test_tracks_better_than_raw_observations_smoothing(self, scene_data):
+        truth, observations = scene_data
+        tracker = AnnealedParticleFilter(
+            n_particles=300, n_layers=3, seed=4
+        )
+        estimates, _ = tracker.track(observations)
+        assert track_quality(estimates, truth) > 0.5
+
+    def test_more_particles_track_better(self, scene_data):
+        truth, observations = scene_data
+        qualities = []
+        for particles in (8, 400):
+            scores = []
+            for seed in range(4):
+                tracker = AnnealedParticleFilter(
+                    n_particles=particles, n_layers=2, seed=seed
+                )
+                estimates, _ = tracker.track(observations)
+                scores.append(track_quality(estimates, truth))
+            qualities.append(np.mean(scores))
+        assert qualities[1] > qualities[0]
+
+    def test_evaluations_scale_with_particles_and_layers(self, scene_data):
+        _, observations = scene_data
+        _, small = AnnealedParticleFilter(
+            n_particles=10, n_layers=1, seed=0
+        ).track(observations)
+        _, large = AnnealedParticleFilter(
+            n_particles=100, n_layers=3, seed=0
+        ).track(observations)
+        assert large == 30 * small
+
+    def test_deterministic_given_seed(self, scene_data):
+        _, observations = scene_data
+        a, _ = AnnealedParticleFilter(seed=5).track(observations)
+        b, _ = AnnealedParticleFilter(seed=5).track(observations)
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AnnealedParticleFilter(n_particles=0)
+        with pytest.raises(ValueError):
+            AnnealedParticleFilter(n_layers=0)
+
+
+class TestTrackQuality:
+    def test_perfect_track_is_one(self):
+        track = np.zeros((10, 2))
+        assert track_quality(track, track) == 1.0
+
+    def test_quality_decreases_with_error(self):
+        truth = np.zeros((10, 2))
+        near = truth + 0.1
+        far = truth + 2.0
+        assert track_quality(near, truth) > track_quality(far, truth)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            track_quality(np.zeros((5, 2)), np.zeros((6, 2)))

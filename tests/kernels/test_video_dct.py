@@ -1,0 +1,82 @@
+"""Tests for DCT transform coding in the video encoder."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.video import (
+    EncoderConfig,
+    SyntheticVideo,
+    encode_frame,
+    encode_sequence,
+    psnr,
+)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    video = SyntheticVideo(width=32, height=32, complexity=0.3, seed=11)
+    return list(video.frames(4))
+
+
+class TestConfig:
+    def test_transform_validated(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(transform="wavelet")
+
+    def test_default_is_spatial(self):
+        assert EncoderConfig().transform == "spatial"
+
+
+class TestDctCoding:
+    def test_dct_reconstruction_valid(self, frames):
+        reconstruction, work = encode_frame(
+            frames[1], frames[0], EncoderConfig(transform="dct")
+        )
+        assert reconstruction.shape == frames[1].shape
+        assert np.isfinite(reconstruction).all()
+        assert work > 0
+
+    def test_dct_costs_more_work(self, frames):
+        _, spatial_work = encode_frame(
+            frames[1], frames[0], EncoderConfig(transform="spatial")
+        )
+        _, dct_work = encode_frame(
+            frames[1], frames[0], EncoderConfig(transform="dct")
+        )
+        assert dct_work > spatial_work
+
+    def test_dct_beats_spatial_on_smooth_content_at_coarse_step(self):
+        # Smooth gradients concentrate energy in low DCT frequencies, so
+        # coarse quantization hurts far less in the DCT domain.
+        video = SyntheticVideo(width=32, height=32, complexity=0.0, seed=12)
+        smooth = list(video.frames(3))
+        config_kwargs = dict(search_radius=2, quant_step=16.0)
+        spatial_psnr, _ = encode_sequence(
+            smooth, EncoderConfig(transform="spatial", **config_kwargs)
+        )
+        dct_psnr, _ = encode_sequence(
+            smooth, EncoderConfig(transform="dct", **config_kwargs)
+        )
+        assert dct_psnr > spatial_psnr
+
+    def test_fine_step_near_lossless_in_both_domains(self, frames):
+        for transform in ("spatial", "dct"):
+            reconstruction, _ = encode_frame(
+                frames[1],
+                frames[0],
+                EncoderConfig(
+                    search_radius=2, quant_step=0.01, transform=transform
+                ),
+            )
+            assert psnr(frames[1], reconstruction) > 50.0
+
+    def test_psnr_monotone_in_quant_step_for_dct(self, frames):
+        psnrs = []
+        for step in (1.0, 4.0, 16.0, 64.0):
+            reconstruction, _ = encode_frame(
+                frames[1],
+                frames[0],
+                EncoderConfig(search_radius=2, quant_step=step, transform="dct"),
+            )
+            psnrs.append(psnr(frames[1], reconstruction))
+        assert psnrs == sorted(psnrs, reverse=True)

@@ -1,0 +1,316 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the data structures and control math whose correctness the
+formal guarantees rest on: Pareto frontiers and Eqn. 6 selection, pole
+placement vs. the Eqn. 9 stability region, EWMA contraction, budget
+accounting conservation, and the perforation transform.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import AppConfig, ConfigTable
+from repro.apps.perforation import PerforatableLoop, perforate
+from repro.core.analysis import perturbed_loop, stability_bound
+from repro.core.budget import BudgetAccountant, EnergyGoal
+from repro.core.ewma import Ewma
+from repro.core.pole import max_stable_error, pole_for_error
+from repro.core.vdbe import Vdbe
+
+# -- strategies ----------------------------------------------------------------
+
+speedups = st.floats(min_value=1.0, max_value=100.0)
+accuracies = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def config_tables(draw):
+    """A valid ConfigTable: the default plus up to 30 arbitrary configs."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    configs = [AppConfig(index=0, speedup=1.0, accuracy=1.0)]
+    for i in range(n):
+        configs.append(
+            AppConfig(
+                index=i + 1,
+                speedup=draw(speedups),
+                accuracy=draw(accuracies),
+            )
+        )
+    return ConfigTable(configs)
+
+
+# -- ConfigTable / Eqn. 6 --------------------------------------------------------
+
+
+@given(config_tables())
+def test_frontier_is_subset_and_contains_default(table):
+    frontier = table.pareto_frontier
+    indices = {c.index for c in table}
+    assert all(c.index in indices for c in frontier)
+    assert frontier[0].accuracy == 1.0
+
+
+@given(config_tables())
+def test_frontier_strictly_monotone(table):
+    frontier = table.pareto_frontier
+    for a, b in zip(frontier, frontier[1:]):
+        assert a.speedup < b.speedup
+        assert a.accuracy > b.accuracy
+
+
+@given(config_tables())
+def test_no_frontier_config_is_dominated(table):
+    for candidate in table.pareto_frontier:
+        for other in table:
+            dominates = (
+                other.speedup >= candidate.speedup
+                and other.accuracy > candidate.accuracy
+            )
+            assert not dominates
+
+
+@given(config_tables(), st.floats(min_value=0.0, max_value=150.0))
+def test_eqn6_selection_is_optimal(table, required):
+    """The selected config is the most accurate one meeting the speedup
+    requirement (or the fastest when nothing does)."""
+    chosen = table.best_accuracy_for_speedup(required)
+    eligible = [c for c in table if c.speedup >= required]
+    if eligible:
+        best = max(eligible, key=lambda c: c.accuracy)
+        assert chosen.accuracy >= best.accuracy - 1e-12
+        assert chosen.speedup >= required
+    else:
+        assert chosen.speedup == table.max_speedup
+
+
+@given(
+    config_tables(),
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+def test_eqn6_selection_monotone(table, s1, s2):
+    lo, hi = sorted((s1, s2))
+    assert (
+        table.best_accuracy_for_speedup(lo).accuracy
+        >= table.best_accuracy_for_speedup(hi).accuracy
+    )
+
+
+# -- pole placement / Eqn. 9 ------------------------------------------------------
+
+
+@given(st.floats(min_value=0.0, max_value=1e6))
+def test_pole_always_legal(delta):
+    pole = pole_for_error(delta)
+    assert 0.0 <= pole < 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e6))
+def test_pole_covers_measured_error(delta):
+    """Eqn. 11's pole puts the measured δ inside (or on) the Eqn. 9
+    stability region."""
+    pole = pole_for_error(delta)
+    assert max_stable_error(pole) >= min(delta, 2.0) - 1e-9
+    if delta > 2.0:
+        assert max_stable_error(pole) >= delta * (1 - 1e-9)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.99),
+    st.floats(min_value=0.01, max_value=50.0),
+)
+def test_stability_bound_separates_stable_from_unstable(pole, delta):
+    loop = perturbed_loop(pole, delta)
+    if delta < stability_bound(pole) * (1 - 1e-9):
+        assert loop.stable
+    elif delta > stability_bound(pole) * (1 + 1e-9):
+        assert not loop.stable
+
+
+@given(st.floats(min_value=0.0, max_value=0.99))
+def test_closed_loop_dc_gain_is_one(pole):
+    """F(1) = 1 regardless of pole: convergence (Eqn. 7)."""
+    loop = perturbed_loop(pole, 1.0)
+    assert math.isclose(loop.dc_gain, 1.0, rel_tol=1e-9)
+
+
+# -- EWMA ------------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=-1e6, max_value=1e6),
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+    ),
+)
+def test_ewma_stays_in_sample_hull(alpha, prior, samples):
+    ewma = Ewma(alpha=alpha, value=prior)
+    for sample in samples:
+        ewma.update(sample)
+    lo = min(samples + [prior])
+    hi = max(samples + [prior])
+    assert lo - 1e-6 <= ewma.value <= hi + 1e-6
+
+
+@given(
+    st.floats(min_value=0.5, max_value=1.0),
+    st.floats(min_value=-100.0, max_value=100.0),
+)
+def test_ewma_contracts_toward_constant_signal(alpha, target):
+    ewma = Ewma(alpha=alpha, value=target + 50.0)
+    previous_gap = abs(ewma.value - target)
+    for _ in range(10):
+        ewma.update(target)
+        gap = abs(ewma.value - target)
+        assert gap <= previous_gap + 1e-9
+        previous_gap = gap
+
+
+# -- VDBE ------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=2000),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e3),
+            st.floats(min_value=1e-3, max_value=1e3),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+)
+def test_vdbe_epsilon_stays_in_unit_interval(n_configs, updates):
+    vdbe = Vdbe(n_configs=n_configs)
+    for measured, estimated in updates:
+        vdbe.update(measured, estimated)
+        assert 0.0 <= vdbe.epsilon <= 1.0
+
+
+# -- budget accounting --------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_accountant_conservation(records):
+    goal = EnergyGoal(total_work=100.0, budget_j=1000.0)
+    accountant = BudgetAccountant(goal)
+    for work, energy in records:
+        accountant.record(work, energy)
+    assert accountant.work_done == sum(w for w, _ in records)
+    assert accountant.energy_used_j == sum(e for _, e in records)
+    assert (
+        accountant.remaining_work + accountant.work_done
+        >= goal.total_work - 1e-9
+    )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=50
+    )
+)
+def test_meeting_rolling_target_meets_total_budget(energies_scale):
+    """If every iteration spends exactly its rolling target, the total
+    lands exactly on the budget — the invariant the controller relies on."""
+    goal = EnergyGoal(total_work=float(len(energies_scale)), budget_j=500.0)
+    accountant = BudgetAccountant(goal)
+    for _ in energies_scale:
+        target = accountant.target_energy_per_work()
+        assert target is not None
+        accountant.record(1.0, target)
+    assert math.isclose(accountant.energy_used_j, 500.0, rel_tol=1e-9)
+
+
+# -- budget transfers -----------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=10.0, max_value=1000.0), min_size=2, max_size=6
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=-5.0, max_value=5.0),
+        ),
+        max_size=40,
+    ),
+)
+def test_budget_adjustments_conserve_when_paired(budgets, transfers):
+    """Moving joules between accountants never creates or destroys them."""
+    from repro.core.budget import BudgetAccountant, EnergyGoal
+
+    accountants = [
+        BudgetAccountant(EnergyGoal(total_work=10.0, budget_j=b))
+        for b in budgets
+    ]
+    total = sum(a.effective_budget_j for a in accountants)
+    for index, delta in transfers:
+        donor = accountants[index % len(accountants)]
+        receiver = accountants[(index + 1) % len(accountants)]
+        try:
+            donor.adjust_budget(-abs(delta))
+        except ValueError:
+            continue
+        receiver.adjust_budget(abs(delta))
+    assert math.isclose(
+        sum(a.effective_budget_j for a in accountants), total, rel_tol=1e-9
+    )
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e6),
+    st.dictionaries(
+        st.text(
+            alphabet="abcdefgh", min_size=1, max_size=4
+        ),
+        st.floats(min_value=0.1, max_value=1e3),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_split_budget_partitions_exactly(total, needs):
+    from repro.core.multi import split_budget
+
+    shares = split_budget(total, needs)
+    assert math.isclose(sum(shares.values()), total, rel_tol=1e-9)
+    assert all(share > 0 for share in shares.values())
+
+
+# -- perforation --------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.floats(min_value=0.0, max_value=0.95),
+)
+def test_perforate_keeps_expected_fraction(n, rate):
+    kept = list(perforate(range(n), rate))
+    expected = n * (1.0 - rate)
+    assert abs(len(kept) - expected) <= 2
+    assert kept == sorted(set(kept))  # in order, no duplicates
+
+
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=0.0, max_value=0.99),
+)
+def test_perforatable_loop_speedup_and_accuracy_bounds(
+    share, sensitivity, rate
+):
+    loop = PerforatableLoop("l", share, sensitivity)
+    assert 1.0 <= loop.speedup(rate) <= 1.0 / (1.0 - share) + 1e-9
+    assert 1.0 - sensitivity <= loop.accuracy(rate) <= 1.0

@@ -1,0 +1,141 @@
+"""Tests for the callback-driven system adapter."""
+
+import pytest
+
+from repro.apps.base import AppConfig, ConfigTable
+from repro.core.budget import EnergyGoal
+from repro.runtime.adapters import CallbackSystem, run_with_callbacks
+
+
+def make_table():
+    return ConfigTable(
+        [
+            AppConfig(index=0, speedup=1.0, accuracy=1.0),
+            AppConfig(index=1, speedup=2.0, accuracy=0.8),
+            AppConfig(index=2, speedup=4.0, accuracy=0.5),
+        ]
+    )
+
+
+class FakeSystem:
+    """A tiny 'real system': two configs with different speed/power."""
+
+    RATES = (10.0, 25.0)
+    POWERS = (50.0, 90.0)
+
+    def __init__(self):
+        self.config = 0
+        self.app_speedup = 1.0
+        self.clock = 0.0
+        self.applied_system = []
+        self.applied_app = []
+
+    def apply_system(self, index):
+        self.config = index
+        self.applied_system.append(index)
+
+    def apply_app(self, app_config):
+        self.app_speedup = app_config.speedup
+        self.applied_app.append(app_config.index)
+
+    def read_power(self):
+        return self.POWERS[self.config]
+
+    def do_iteration(self):
+        self.clock += 1.0 / (self.RATES[self.config] * self.app_speedup)
+        return 1.0
+
+    def now(self):
+        return self.clock
+
+
+@pytest.fixture
+def system_and_adapter():
+    fake = FakeSystem()
+    adapter = CallbackSystem(
+        n_configs=2,
+        apply_system_config=fake.apply_system,
+        apply_app_config=fake.apply_app,
+        read_power_w=fake.read_power,
+        prior_rate_shape=[1.0, 2.0],
+        prior_power_shape=[1.0, 1.5],
+    )
+    return fake, adapter
+
+
+class TestCallbackSystem:
+    def test_default_flat_priors(self):
+        adapter = CallbackSystem(
+            n_configs=3,
+            apply_system_config=lambda i: None,
+            apply_app_config=lambda c: None,
+            read_power_w=lambda: 1.0,
+        )
+        assert list(adapter.prior_rate_shape) == [1.0, 1.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CallbackSystem(
+                n_configs=0,
+                apply_system_config=lambda i: None,
+                apply_app_config=lambda c: None,
+                read_power_w=lambda: 1.0,
+            )
+        with pytest.raises(ValueError):
+            CallbackSystem(
+                n_configs=2,
+                apply_system_config=lambda i: None,
+                apply_app_config=lambda c: None,
+                read_power_w=lambda: 1.0,
+                prior_rate_shape=[1.0],
+            )
+
+
+class TestRunWithCallbacks:
+    def test_completes_requested_work(self, system_and_adapter):
+        fake, adapter = system_and_adapter
+        goal = EnergyGoal(total_work=50.0, budget_j=200.0)
+        reports = run_with_callbacks(
+            adapter, make_table(), goal, fake.do_iteration, clock=fake.now
+        )
+        assert sum(r.work for r in reports) == pytest.approx(50.0)
+
+    def test_configs_actually_applied(self, system_and_adapter):
+        fake, adapter = system_and_adapter
+        goal = EnergyGoal(total_work=30.0, budget_j=150.0)
+        run_with_callbacks(
+            adapter, make_table(), goal, fake.do_iteration, clock=fake.now
+        )
+        assert len(fake.applied_system) == 30
+        assert len(fake.applied_app) == 30
+
+    def test_energy_meets_feasible_budget(self, system_and_adapter):
+        fake, adapter = system_and_adapter
+        # Default (config 0, full accuracy) costs 5 J/work; budget 3 J/work
+        # is reachable: config 1 is 3.6 J/work, plus app speedup covers it.
+        goal = EnergyGoal(total_work=200.0, budget_j=600.0)
+        reports = run_with_callbacks(
+            adapter, make_table(), goal, fake.do_iteration, clock=fake.now
+        )
+        assert sum(r.energy_j for r in reports) <= 600.0 * 1.05
+
+    def test_max_iterations_bounds_run(self, system_and_adapter):
+        fake, adapter = system_and_adapter
+        goal = EnergyGoal(total_work=1000.0, budget_j=5000.0)
+        reports = run_with_callbacks(
+            adapter,
+            make_table(),
+            goal,
+            fake.do_iteration,
+            clock=fake.now,
+            max_iterations=17,
+        )
+        assert len(reports) == 17
+
+    def test_nonpositive_work_rejected(self, system_and_adapter):
+        fake, adapter = system_and_adapter
+        goal = EnergyGoal(total_work=10.0, budget_j=100.0)
+        with pytest.raises(ValueError):
+            run_with_callbacks(
+                adapter, make_table(), goal, lambda: 0.0, clock=fake.now
+            )

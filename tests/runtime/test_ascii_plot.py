@@ -1,0 +1,74 @@
+"""Tests for terminal trace plots."""
+
+import pytest
+
+from repro.runtime.ascii_plot import _resample, chart, sparkline
+
+
+class TestResample:
+    def test_short_series_unchanged(self):
+        assert _resample([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_long_series_bucketed_to_width(self):
+        values = list(range(100))
+        resampled = _resample(values, 10)
+        assert len(resampled) == 10
+        # Bucket means ascend for an ascending series.
+        assert resampled == sorted(resampled)
+
+    def test_mean_preserved_approximately(self):
+        values = [float(v) for v in range(101)]
+        resampled = _resample(values, 7)
+        assert sum(resampled) / 7 == pytest.approx(50.0, abs=5.0)
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8], width=9)
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series_flat(self):
+        line = sparkline([5.0] * 20, width=20)
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds_clamp(self):
+        line = sparkline([100.0], width=1, lo=0.0, hi=1.0)
+        assert line == "█"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestChart:
+    def test_contains_points_and_axis(self):
+        text = chart([1.0, 2.0, 3.0, 2.0, 1.0], height=5, width=20)
+        assert "*" in text
+        assert "+" in text
+
+    def test_target_line_drawn(self):
+        text = chart([1.0, 2.0, 3.0], height=6, width=12, target=2.0)
+        assert "-" in text
+
+    def test_label_included(self):
+        text = chart([1.0, 2.0], label="energy/frame")
+        assert text.startswith("energy/frame")
+
+    def test_empty_series(self):
+        assert chart([]) == "(empty series)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chart([1.0], height=1)
+
+    def test_row_count(self):
+        text = chart([1.0, 2.0], height=6, width=10)
+        # 6 value rows + axis + footer.
+        assert len(text.splitlines()) == 8

@@ -1,0 +1,119 @@
+"""Tests for the Sec. 2 baseline controllers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.baselines import (
+    app_only_accuracy,
+    max_system_only_savings,
+    run_application_only,
+    run_system_only,
+    run_uncoordinated,
+)
+
+
+class TestAnalyticLines:
+    def test_app_only_accuracy_decreases_with_factor(self, apps):
+        app = apps["bodytrack"]
+        accuracies = [
+            app_only_accuracy(app, f) for f in (1.0, 1.5, 2.5, 4.0)
+        ]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_app_only_infeasible_beyond_max_speedup(self, apps):
+        assert app_only_accuracy(apps["swish"], 2.0) is None
+
+    def test_app_only_trivial_factor_full_accuracy(self, apps):
+        assert app_only_accuracy(apps["x264"], 1.0) == 1.0
+
+    def test_max_system_only_savings_above_one(self, machines, apps):
+        for machine in machines.values():
+            for app in apps.values():
+                if app.runs_on(machine.name):
+                    assert max_system_only_savings(machine, app) >= 1.0
+
+    def test_factor_below_one_rejected(self, apps):
+        with pytest.raises(ValueError):
+            app_only_accuracy(apps["x264"], 0.5)
+
+
+class TestSystemOnly:
+    def test_full_accuracy_always(self, server, apps):
+        result = run_system_only(
+            server, apps["swish"], factor=1.5, n_iterations=100, seed=0
+        )
+        assert result.mean_accuracy == 1.0
+
+    def test_meets_goal_within_system_savings(self, server, apps):
+        app = apps["x264"]
+        modest = max_system_only_savings(server, app) * 0.9
+        result = run_system_only(
+            server, app, factor=modest, n_iterations=150, seed=0
+        )
+        assert result.relative_error_pct < 5.0
+
+    def test_misses_goal_beyond_system_savings(self, server, apps):
+        # The Sec. 2.1 outcome: the system alone cannot deliver f=1.5
+        # for swish and lands ~15-20 % over.
+        result = run_system_only(
+            server, apps["swish"], factor=1.5, n_iterations=300, seed=0
+        )
+        assert result.relative_error_pct > 5.0
+
+
+class TestApplicationOnly:
+    def test_meets_goal_with_heavy_accuracy_loss(self, server, apps):
+        # The Sec. 2.2 outcome for swish at f=1.5.
+        result = run_application_only(
+            server, apps["swish"], factor=1.5, n_iterations=400, seed=0
+        )
+        assert result.relative_error_pct < 3.0
+        assert result.mean_accuracy < 0.5
+
+    def test_loses_less_on_generous_goals(self, server, apps):
+        gentle = run_application_only(
+            server, apps["bodytrack"], factor=1.2, n_iterations=200, seed=0
+        )
+        harsh = run_application_only(
+            server, apps["bodytrack"], factor=3.0, n_iterations=200, seed=0
+        )
+        assert gentle.mean_accuracy > harsh.mean_accuracy
+
+
+class TestUncoordinated:
+    def test_oscillates_more_than_coordinated(self, server, apps):
+        # Sec. 2.3 / Fig. 1: uncoordinated composition shows oscillatory
+        # energy behaviour.
+        from repro.runtime.harness import run_jouleguard
+
+        app = apps["swish"]
+        unco = run_uncoordinated(
+            server, app, factor=1.5, n_iterations=500, seed=1
+        )
+        system_only = run_system_only(
+            server, app, factor=1.5, n_iterations=500, seed=1
+        )
+
+        def late_cv(result):
+            epw = result.trace.energy_per_work()[200:]
+            return np.std(epw) / np.mean(epw)
+
+        assert late_cv(unco) > 2.0 * late_cv(system_only)
+
+    def test_worse_accuracy_than_jouleguard(self, server, apps):
+        from repro.runtime.harness import run_jouleguard
+
+        app = apps["swish"]
+        unco = run_uncoordinated(
+            server, app, factor=1.5, n_iterations=500, seed=1
+        )
+        guarded = run_jouleguard(
+            server, app, factor=1.5, n_iterations=500, seed=1
+        )
+        assert guarded.mean_accuracy > unco.mean_accuracy
+
+    def test_controller_name_recorded(self, server, apps):
+        result = run_uncoordinated(
+            server, apps["x264"], factor=1.2, n_iterations=30, seed=0
+        )
+        assert result.controller_name == "uncoordinated"

@@ -1,0 +1,85 @@
+"""Tests for CSV/JSON export of runs and sweeps."""
+
+import csv
+import json
+
+import pytest
+
+from repro.runtime.export import (
+    TRACE_COLUMNS,
+    summary_dict,
+    write_summary_json,
+    write_sweep_csv,
+    write_trace_csv,
+)
+from repro.runtime.harness import run_jouleguard
+
+
+@pytest.fixture(scope="module")
+def result(apps):
+    from repro.hw import get_machine
+
+    return run_jouleguard(
+        get_machine("tablet"), apps["x264"], factor=1.5, n_iterations=40,
+        seed=0,
+    )
+
+
+class TestTraceCsv:
+    def test_row_per_iteration(self, result, tmp_path):
+        path = write_trace_csv(result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 40
+
+    def test_columns(self, result, tmp_path):
+        path = write_trace_csv(result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+        assert tuple(header) == TRACE_COLUMNS
+
+    def test_values_roundtrip(self, result, tmp_path):
+        path = write_trace_csv(result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert float(rows[3]["true_energy_j"]) == pytest.approx(
+            result.trace.true_energy_j[3]
+        )
+        assert int(rows[0]["iteration"]) == 0
+
+
+class TestSummary:
+    def test_summary_fields(self, result):
+        summary = summary_dict(result)
+        assert summary["machine"] == "tablet"
+        assert summary["application"] == "x264"
+        assert summary["iterations"] == 40
+        assert "effective_accuracy" in summary
+
+    def test_summary_without_oracle(self, apps):
+        from repro.hw import get_machine
+
+        result = run_jouleguard(
+            get_machine("tablet"), apps["x264"], factor=1.5,
+            n_iterations=10, compute_oracle=False, seed=0,
+        )
+        summary = summary_dict(result)
+        assert "effective_accuracy" not in summary
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = write_summary_json(result, tmp_path / "summary.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == summary_dict(result)
+
+
+class TestSweepCsv:
+    def test_one_row_per_result(self, result, tmp_path):
+        path = write_sweep_csv([result, result], tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["application"] == "x264"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sweep_csv([], tmp_path / "sweep.csv")

@@ -1,0 +1,112 @@
+"""Tests for the Green-style accuracy-guarantee baseline."""
+
+import pytest
+
+from repro.hw import get_machine
+from repro.runtime.green import GreenController, run_green
+from repro.runtime.harness import run_jouleguard
+
+
+class TestGreenController:
+    def test_picks_fastest_config_meeting_bound(self, apps):
+        machine = get_machine("server")
+        app = apps["bodytrack"]
+        controller = GreenController(app, accuracy_bound=0.95, machine=machine)
+        _, config, _, _ = controller.decide()
+        assert config.accuracy >= 0.95
+        # Fastest such config: nothing faster meets the bound.
+        faster = [
+            c
+            for c in app.table.pareto_frontier
+            if c.speedup > config.speedup
+        ]
+        assert all(c.accuracy < 0.95 for c in faster)
+
+    def test_bound_one_keeps_default(self, apps):
+        machine = get_machine("server")
+        controller = GreenController(
+            apps["x264"], accuracy_bound=1.0, machine=machine
+        )
+        _, config, _, _ = controller.decide()
+        assert config.accuracy == 1.0
+
+    def test_invalid_bound(self, apps):
+        with pytest.raises(ValueError):
+            GreenController(
+                apps["x264"], accuracy_bound=1.5, machine=get_machine("server")
+            )
+
+
+class TestRunGreen:
+    def test_accuracy_guarantee_held(self, apps):
+        result = run_green(
+            get_machine("server"),
+            apps["bodytrack"],
+            accuracy_bound=0.92,
+            n_iterations=200,
+            seed=1,
+        )
+        assert min(result.trace.accuracy) >= 0.92
+
+    def test_no_energy_guarantee(self, apps):
+        # Green at a tight accuracy bound cannot reach aggressive energy
+        # goals — the gap JouleGuard's design targets.
+        app = apps["swish"]
+        green = run_green(
+            get_machine("server"),
+            app,
+            accuracy_bound=0.99,
+            n_iterations=400,
+            seed=2,
+            report_factor=1.5,
+        )
+        assert green.relative_error_pct > 5.0
+
+    def test_jouleguard_meets_goal_green_misses(self, apps):
+        # Head-to-head at the same labelled goal: JouleGuard meets the
+        # budget by spending accuracy; Green holds accuracy and misses.
+        machine = get_machine("server")
+        app = apps["swish"]
+        factor = 1.5
+        guarded = run_jouleguard(
+            machine, app, factor=factor, n_iterations=400, seed=3
+        )
+        green = run_green(
+            machine,
+            app,
+            accuracy_bound=0.95,
+            n_iterations=400,
+            seed=3,
+            report_factor=factor,
+        )
+        assert guarded.relative_error_pct < green.relative_error_pct
+        assert green.mean_accuracy > guarded.mean_accuracy
+
+    def test_green_saves_energy_when_bound_is_loose(self, apps):
+        # With a permissive bound Green runs fast approximations and
+        # banks large energy savings (its design point).
+        app = apps["streamcluster"]
+        green = run_green(
+            get_machine("server"),
+            app,
+            accuracy_bound=0.99,
+            n_iterations=300,
+            seed=4,
+        )
+        assert green.energy_savings > 2.0
+
+    def test_platform_gating(self, apps):
+        with pytest.raises(ValueError):
+            run_green(
+                get_machine("mobile"), apps["swish"], accuracy_bound=0.9
+            )
+
+    def test_controller_name(self, apps):
+        result = run_green(
+            get_machine("tablet"),
+            apps["x264"],
+            accuracy_bound=0.95,
+            n_iterations=50,
+            seed=5,
+        )
+        assert result.controller_name == "green"

@@ -1,0 +1,102 @@
+"""Tests for the closed-loop experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.harness import ExperimentResult, prior_shapes, run_jouleguard
+from repro.workloads.phases import steady
+
+
+class TestPriorShapes:
+    def test_shapes_cover_space(self, machines):
+        for machine in machines.values():
+            rates, powers = prior_shapes(machine)
+            assert len(rates) == len(machine.space)
+            assert len(powers) == len(machine.space)
+            assert (rates > 0).all()
+            assert (powers > 0).all()
+
+    def test_rate_prior_linear_in_cores(self, server):
+        rates, _ = prior_shapes(server)
+        base = server.default_config.replace(cores=4, hyperthreads=1)
+        double = server.default_config.replace(cores=8, hyperthreads=1)
+        ratio = (
+            rates[server.space.index_of(double)]
+            / rates[server.space.index_of(base)]
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_power_prior_superlinear_in_clock(self, server):
+        _, powers = prior_shapes(server)
+        lo = server.default_config.replace(clock_ghz=0.8)
+        hi = server.default_config.replace(clock_ghz=2.9)
+        floor = server.idle_w + server.external_w
+        dyn_lo = powers[server.space.index_of(lo)] - floor
+        dyn_hi = powers[server.space.index_of(hi)] - floor
+        # Cubic: (2.9/0.8)^3 ≈ 47x on the dynamic part.
+        assert dyn_hi / dyn_lo > 20.0
+
+    def test_power_prior_includes_known_floor(self, server):
+        _, powers = prior_shapes(server)
+        assert powers.min() > server.idle_w + server.external_w
+
+
+class TestRunJouleguard:
+    def test_returns_full_trace(self, server, apps):
+        result = run_jouleguard(
+            server, apps["x264"], factor=1.5, n_iterations=60, seed=0
+        )
+        assert len(result.trace) == 60
+        assert result.machine_name == "server"
+        assert result.app_name == "x264"
+
+    def test_deterministic_given_seed(self, server, apps):
+        a = run_jouleguard(server, apps["x264"], 1.5, n_iterations=40, seed=3)
+        b = run_jouleguard(server, apps["x264"], 1.5, n_iterations=40, seed=3)
+        assert a.achieved_energy_j == b.achieved_energy_j
+
+    def test_different_seeds_differ(self, server, apps):
+        a = run_jouleguard(server, apps["x264"], 1.5, n_iterations=40, seed=3)
+        b = run_jouleguard(server, apps["x264"], 1.5, n_iterations=40, seed=4)
+        assert a.achieved_energy_j != b.achieved_energy_j
+
+    def test_platform_gating_enforced(self, mobile, apps):
+        with pytest.raises(ValueError, match="does not run"):
+            run_jouleguard(mobile, apps["swish"], 1.5)
+
+    def test_oracle_optional(self, server, apps):
+        result = run_jouleguard(
+            server, apps["x264"], 1.5, n_iterations=30, compute_oracle=False
+        )
+        with pytest.raises(ValueError, match="oracle"):
+            _ = result.effective_acc
+
+    def test_goal_matches_factor(self, server, apps):
+        result = run_jouleguard(
+            server, apps["x264"], 2.0, n_iterations=30, seed=0
+        )
+        expected = result.default_epw * 30 / 2.0
+        assert result.goal.budget_j == pytest.approx(expected)
+
+    def test_energy_savings_reported_vs_default(self, server, apps):
+        result = run_jouleguard(
+            server, apps["x264"], 2.0, n_iterations=200, seed=0
+        )
+        assert result.energy_savings == pytest.approx(2.0, rel=0.1)
+
+    def test_custom_workload_respected(self, server, apps):
+        workload = steady(25, base_work=1.0)
+        result = run_jouleguard(
+            server, apps["x264"], 1.5, workload=workload, seed=0
+        )
+        assert len(result.trace) == 25
+
+    def test_measured_energy_close_to_true(self, server, apps):
+        # The runtime's sensor view should track ground truth within the
+        # configured sensor noise.
+        result = run_jouleguard(
+            server, apps["x264"], 1.5, n_iterations=100, seed=1
+        )
+        true = np.array(result.trace.true_energy_j)
+        measured = np.array(result.trace.measured_energy_j)
+        assert np.abs(measured / true - 1.0).mean() < 0.05

@@ -1,0 +1,46 @@
+"""Tests for the evaluation metrics (Eqns. 12–13)."""
+
+import pytest
+
+from repro.runtime.metrics import effective_accuracy, relative_error
+
+
+class TestRelativeError:
+    def test_under_budget_is_zero(self):
+        # Eqn. 12: only overshoot counts.
+        assert relative_error(90.0, 100.0) == 0.0
+
+    def test_exactly_on_budget_is_zero(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_overshoot_is_percentage(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_scale_invariant(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(
+            relative_error(1100.0, 1000.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+        with pytest.raises(ValueError):
+            relative_error(-1.0, 1.0)
+
+
+class TestEffectiveAccuracy:
+    def test_matching_oracle_is_one(self):
+        assert effective_accuracy(0.9, 0.9) == 1.0
+
+    def test_fraction_of_oracle(self):
+        assert effective_accuracy(0.8, 1.0) == pytest.approx(0.8)
+
+    def test_can_exceed_one(self):
+        # The paper plots the raw ratio (noise can favour the runtime).
+        assert effective_accuracy(1.0, 0.95) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_accuracy(0.5, 0.0)
+        with pytest.raises(ValueError):
+            effective_accuracy(-0.1, 1.0)

@@ -1,0 +1,110 @@
+"""Tests for the clairvoyant oracle."""
+
+import pytest
+
+from repro.runtime.oracle import (
+    best_system_energy_per_work,
+    default_energy_per_work,
+    max_feasible_factor,
+    oracle_accuracy,
+)
+from repro.workloads.phases import three_scene_video
+
+
+class TestEnergyPerWork:
+    def test_best_no_worse_than_default(self, machines, apps):
+        for machine in machines.values():
+            for app in apps.values():
+                if not app.runs_on(machine.name):
+                    continue
+                best, _ = best_system_energy_per_work(machine, app)
+                assert best <= default_energy_per_work(machine, app) + 1e-12
+
+    def test_best_config_is_in_space(self, server, apps):
+        _, config = best_system_energy_per_work(server, apps["x264"])
+        assert config in server.space
+
+    def test_tablet_best_is_default(self, tablet, apps):
+        # Sec. 4.3: peak efficiency at the default setting on Tablet.
+        _, config = best_system_energy_per_work(tablet, apps["x264"])
+        assert config == tablet.default_config
+
+
+class TestOracleAccuracy:
+    def test_trivial_goal_is_full_accuracy(self, server, apps):
+        result = oracle_accuracy(server, apps["x264"], factor=1.0)
+        assert result.accuracy == 1.0
+        assert result.feasible
+
+    def test_accuracy_monotone_in_factor(self, server, apps):
+        accuracies = [
+            oracle_accuracy(server, apps["bodytrack"], factor=f).accuracy
+            for f in (1.0, 1.5, 2.0, 3.0, 4.0)
+        ]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_system_headroom_defers_accuracy_loss(self, server, apps):
+        # While f is below the system-only savings, accuracy stays 1
+        # (Fig. 7: "accuracy only starts to decrease at the point where
+        # system-level manipulations are no longer effective").
+        app = apps["x264"]
+        savings = default_energy_per_work(
+            server, app
+        ) / best_system_energy_per_work(server, app)[0]
+        result = oracle_accuracy(server, app, factor=savings * 0.95)
+        assert result.accuracy == 1.0
+
+    def test_infeasible_goal_flagged(self, server, apps):
+        app = apps["ferret"]
+        beyond = max_feasible_factor(server, app) * 1.2
+        result = oracle_accuracy(server, app, factor=beyond)
+        assert not result.feasible
+
+    def test_feasible_up_to_max_factor(self, server, apps):
+        app = apps["canneal"]
+        result = oracle_accuracy(
+            server, app, factor=max_feasible_factor(server, app) * 0.99
+        )
+        assert result.feasible
+
+    def test_invalid_factor_rejected(self, server, apps):
+        with pytest.raises(ValueError):
+            oracle_accuracy(server, apps["x264"], factor=0.5)
+
+
+class TestOracleWithPhases:
+    def test_easy_phase_raises_mean_accuracy(self, mobile, apps):
+        app = apps["bodytrack"]
+        factor = max_feasible_factor(mobile, app) * 0.8
+        flat = oracle_accuracy(mobile, app, factor)
+        phased = oracle_accuracy(
+            mobile, app, factor, workload=three_scene_video(100)
+        )
+        assert phased.accuracy >= flat.accuracy
+
+    def test_phase_weighting(self, mobile, apps):
+        # Mean accuracy is weighted by phase length.
+        app = apps["bodytrack"]
+        factor = max_feasible_factor(mobile, app) * 0.8
+        result = oracle_accuracy(
+            mobile, app, factor, workload=three_scene_video(100)
+        )
+        assert 0.0 < result.accuracy <= 1.0
+
+
+class TestMaxFeasibleFactor:
+    def test_composes_system_and_app_ranges(self, server, apps):
+        app = apps["swish"]
+        best, _ = best_system_energy_per_work(server, app)
+        expected = (
+            default_energy_per_work(server, app) / best
+        ) * app.table.max_speedup
+        assert max_feasible_factor(server, app) == pytest.approx(expected)
+
+    def test_paper_ferret_limited_on_tablet(self, tablet, apps):
+        # Sec. 5.3: "ferret can only achieve reductions up to 1.2x on
+        # Tablet" — the tablet has no system headroom, so the limit is
+        # ferret's own 1.24x table.
+        assert max_feasible_factor(tablet, apps["ferret"]) == pytest.approx(
+            1.24, abs=0.05
+        )

@@ -1,0 +1,103 @@
+"""Tests for seed replication and summary statistics."""
+
+import pytest
+
+from repro.hw import get_machine
+from repro.runtime.harness import run_jouleguard
+from repro.runtime.repeat import MetricSummary, _summarize, replicate
+
+
+class TestMetricSummary:
+    def test_summarize_basic_stats(self):
+        summary = _summarize("m", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.n == 3
+
+    def test_single_value_zero_std(self):
+        summary = _summarize("m", [5.0])
+        assert summary.std == 0.0
+        assert summary.confidence_interval() == (5.0, 5.0)
+
+    def test_confidence_interval_shrinks_with_n(self):
+        narrow = _summarize("m", [1.0, 2.0] * 50)
+        wide = _summarize("m", [1.0, 2.0])
+        lo_n, hi_n = narrow.confidence_interval()
+        lo_w, hi_w = wide.confidence_interval()
+        assert (hi_n - lo_n) < (hi_w - lo_w)
+
+    def test_interval_contains_mean(self):
+        summary = _summarize("m", [1.0, 4.0, 2.0, 3.0])
+        lo, hi = summary.confidence_interval()
+        assert lo <= summary.mean <= hi
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def summary(self, apps):
+        return replicate(
+            run_jouleguard,
+            seeds=(1, 2, 3),
+            machine=get_machine("tablet"),
+            app=apps["x264"],
+            factor=1.5,
+            n_iterations=60,
+        )
+
+    def test_one_result_per_seed(self, summary):
+        assert len(summary.results) == 3
+
+    def test_expected_metrics_present(self, summary):
+        for name in (
+            "relative_error_pct",
+            "mean_accuracy",
+            "energy_savings",
+            "effective_acc",
+        ):
+            assert name in summary.metrics
+
+    def test_getitem(self, summary):
+        assert isinstance(summary["mean_accuracy"], MetricSummary)
+
+    def test_aggregates_match_results(self, summary):
+        accuracies = [r.mean_accuracy for r in summary.results]
+        assert summary["mean_accuracy"].mean == pytest.approx(
+            sum(accuracies) / len(accuracies)
+        )
+
+    def test_effective_accuracy_skippable(self, apps):
+        summary = replicate(
+            run_jouleguard,
+            seeds=(1, 2),
+            machine=get_machine("tablet"),
+            app=apps["x264"],
+            factor=1.5,
+            n_iterations=30,
+            compute_oracle=False,
+        )
+        assert "effective_acc" not in summary.metrics
+
+    def test_requires_seeds(self, apps):
+        with pytest.raises(ValueError):
+            replicate(
+                run_jouleguard,
+                seeds=(),
+                machine=get_machine("tablet"),
+                app=apps["x264"],
+                factor=1.5,
+            )
+
+    def test_works_with_baselines(self, apps):
+        from repro.runtime.baselines import run_system_only
+
+        summary = replicate(
+            run_system_only,
+            seeds=(1, 2),
+            machine=get_machine("server"),
+            app=apps["swish"],
+            factor=1.5,
+            n_iterations=50,
+        )
+        assert summary["mean_accuracy"].mean == 1.0

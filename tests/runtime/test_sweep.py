@@ -1,0 +1,90 @@
+"""Tests for the sweep library."""
+
+import pytest
+
+from repro.hw import get_machine
+from repro.runtime.sweep import (
+    SweepCell,
+    filter_cells,
+    summarize,
+    sweep_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def tablet_cells():
+    return sweep_platform(
+        get_machine("tablet"),
+        factors=(1.1, 1.5, 2.0),
+        n_iterations=80,
+        seed=3,
+    )
+
+
+class TestSweepPlatform:
+    def test_cells_cover_feasible_combinations(self, tablet_cells):
+        apps = {c.app for c in tablet_cells}
+        assert "x264" in apps
+        assert "swish" in apps  # 1.1 and maybe 1.5 feasible on tablet
+        # ferret maxes at 1.24: only the 1.1 goal survives the margin.
+        ferret = [c for c in tablet_cells if c.app == "ferret"]
+        assert {c.factor for c in ferret} == {1.1}
+
+    def test_cells_have_oracle_accuracy(self, tablet_cells):
+        assert all(c.oracle_accuracy > 0 for c in tablet_cells)
+
+    def test_machine_labelled(self, tablet_cells):
+        assert all(c.machine == "tablet" for c in tablet_cells)
+
+    def test_deterministic(self):
+        a = sweep_platform(
+            get_machine("tablet"), factors=(1.5,), n_iterations=40, seed=9
+        )
+        b = sweep_platform(
+            get_machine("tablet"), factors=(1.5,), n_iterations=40, seed=9
+        )
+        assert [c.relative_error_pct for c in a] == [
+            c.relative_error_pct for c in b
+        ]
+
+
+class TestSummarize:
+    def test_headline_numbers(self, tablet_cells):
+        summary = summarize(tablet_cells)
+        assert summary.n_runs == len(tablet_cells)
+        assert 0.0 <= summary.median_error_pct <= summary.max_error_pct
+        assert (
+            summary.min_effective_accuracy
+            <= summary.mean_effective_accuracy
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFilterCells:
+    def make(self, machine, app, factor):
+        return SweepCell(
+            machine=machine,
+            app=app,
+            factor=factor,
+            relative_error_pct=0.0,
+            effective_accuracy=1.0,
+            mean_accuracy=1.0,
+            oracle_accuracy=1.0,
+        )
+
+    def test_filters_compose(self):
+        cells = [
+            self.make("tablet", "x264", 1.5),
+            self.make("tablet", "radar", 1.5),
+            self.make("server", "x264", 1.5),
+            self.make("tablet", "x264", 2.0),
+        ]
+        assert len(filter_cells(cells, machine="tablet")) == 3
+        assert len(filter_cells(cells, app="x264")) == 3
+        assert (
+            len(filter_cells(cells, machine="tablet", app="x264", factor=1.5))
+            == 1
+        )

@@ -1,0 +1,64 @@
+"""Tests for run traces."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.trace import RunTrace
+
+
+def make_trace(rows):
+    trace = RunTrace()
+    for work, energy, accuracy in rows:
+        trace.append(
+            work=work,
+            time_s=0.1,
+            true_energy_j=energy,
+            measured_energy_j=energy,
+            true_power_w=energy / 0.1,
+            rate=work / 0.1,
+            accuracy=accuracy,
+            speedup_setpoint=1.0,
+            system_index=0,
+            app_index=0,
+            pole=0.0,
+            epsilon=0.0,
+            explored=False,
+            feasible=True,
+        )
+    return trace
+
+
+class TestRunTrace:
+    def test_length(self):
+        assert len(make_trace([(1, 2, 1.0)] * 5)) == 5
+
+    def test_energy_per_work(self):
+        trace = make_trace([(2.0, 10.0, 1.0), (1.0, 3.0, 1.0)])
+        assert trace.energy_per_work() == pytest.approx([5.0, 3.0])
+
+    def test_totals(self):
+        trace = make_trace([(2.0, 10.0, 1.0), (1.0, 3.0, 1.0)])
+        assert trace.total_energy_j() == pytest.approx(13.0)
+        assert trace.total_work() == pytest.approx(3.0)
+
+    def test_mean_accuracy_is_work_weighted(self):
+        trace = make_trace([(3.0, 1.0, 1.0), (1.0, 1.0, 0.0)])
+        assert trace.mean_accuracy() == pytest.approx(0.75)
+
+    def test_windowed_energy_per_work(self):
+        trace = make_trace([(1.0, 2.0, 1.0)] * 10)
+        smoothed = trace.windowed_energy_per_work(window=4)
+        assert len(smoothed) == 7
+        assert np.allclose(smoothed, 2.0)
+
+    def test_windowed_smooths_spikes(self):
+        rows = [(1.0, 2.0, 1.0)] * 10
+        rows[5] = (1.0, 20.0, 1.0)
+        trace = make_trace(rows)
+        raw = trace.energy_per_work()
+        smoothed = trace.windowed_energy_per_work(window=5)
+        assert smoothed.max() < raw.max()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make_trace([(1, 1, 1)]).windowed_energy_per_work(0)

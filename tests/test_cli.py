@@ -1,0 +1,124 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mobile", "tablet", "server"):
+            assert name in out
+        assert "1024" in out  # server space size
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("x264", "swish", "streamcluster"):
+            assert name in out
+        assert "560" in out  # x264 config count
+
+
+class TestCharacterize:
+    def test_csv_output(self, capsys):
+        assert main(["characterize", "tablet", "x264", "--points", "8"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert lines[0] == "index,efficiency,rate,power_w"
+        assert len(lines) > 3
+
+    def test_platform_gating(self, capsys):
+        assert main(["characterize", "mobile", "swish"]) == 2
+        assert "does not run" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_summary_printed(self, capsys):
+        code = main(
+            ["run", "tablet", "x264", "1.5", "--iterations", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relative_error_pct" in out
+        assert "mean_accuracy" in out
+
+    def test_controller_choice(self, capsys):
+        code = main(
+            [
+                "run", "server", "swish", "1.5",
+                "--controller", "system-only", "--iterations", "30",
+            ]
+        )
+        assert code == 0
+        assert "system_only" in capsys.readouterr().out
+
+    def test_exports(self, tmp_path, capsys):
+        trace = tmp_path / "t.csv"
+        summary = tmp_path / "s.json"
+        code = main(
+            [
+                "run", "tablet", "x264", "1.5",
+                "--iterations", "20",
+                "--trace-csv", str(trace),
+                "--summary-json", str(summary),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        loaded = json.loads(summary.read_text())
+        assert loaded["iterations"] == 20
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "tablet", "doom", "1.5"])
+
+    def test_plot_renders_charts(self, capsys):
+        code = main(
+            ["run", "tablet", "x264", "1.5", "--iterations", "40", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy per work unit" in out
+        assert "accuracy" in out
+        assert "*" in out
+
+
+class TestSweepAndOracle:
+    def test_sweep_with_csv(self, tmp_path, capsys):
+        out_csv = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep", "tablet",
+                "--iterations", "25",
+                "--margin", "0.3",
+                "--csv", str(out_csv),
+            ]
+        )
+        assert code == 0
+        assert out_csv.exists()
+        out = capsys.readouterr().out
+        assert "rel err %" in out
+
+    def test_oracle(self, capsys):
+        assert main(["oracle", "server", "swish", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle accuracy" in out
+        assert "max feasible factor" in out
+
+    def test_racepace(self, capsys):
+        assert main(["racepace", "mobile", "--slacks", "2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "pace" in out or "race" in out
+
+    def test_racepace_infeasible_slack(self, capsys):
+        assert main(["racepace", "tablet", "--slacks", "0.0001"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,96 @@
+"""Smoke tests: every shipped example runs end-to-end and produces the
+output its narrative promises."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart" in names
+    assert len(names) >= 3  # the deliverable floor; we ship more
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "relative error" in out
+    assert "effective acc." in out
+
+
+def test_mobile_video_battery(capsys):
+    out = run_example("mobile_video_battery", capsys)
+    assert "battery died at frame" in out
+    assert "jouleguard" in out
+
+
+def test_server_search_energy(capsys):
+    out = run_example("server_search_energy", capsys)
+    assert "system-only" in out
+    assert "uncoordinated" in out
+    assert "mean F1" in out
+
+
+def test_phase_adaptive_tracking(capsys):
+    out = run_example("phase_adaptive_tracking", capsys)
+    assert "easy" in out
+    assert "relative error" in out
+
+
+def test_custom_application(capsys):
+    out = run_example("custom_application", capsys)
+    assert "thumbnailer" in out
+    assert "ordinal-accuracy mode" in out
+
+
+def test_approximate_hardware(capsys):
+    out = run_example("approximate_hardware", capsys)
+    assert "power budget" in out
+    assert "infeasible" in out
+
+
+def test_kernel_profiling(capsys):
+    out = run_example("kernel_profiling", capsys)
+    assert "profiled table" in out
+
+
+def test_multi_app_battery(capsys):
+    out = run_example("multi_app_battery", capsys)
+    assert "transferred" in out
+    assert "within the global budget" in out
+
+
+def test_custom_platform(capsys):
+    out = run_example("custom_platform", capsys)
+    assert "pi4" in out
+    assert "over-budget" in out
+
+
+def test_bursty_workload(capsys):
+    out = run_example("bursty_workload", capsys)
+    assert "regime segments" in out
+    assert "budget adherence" in out
+
+
+def test_race_vs_pace(capsys):
+    out = run_example("race_vs_pace", capsys)
+    for machine in ("mobile", "tablet", "server"):
+        assert machine in out
+    assert "winner" in out

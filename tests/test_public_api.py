@@ -1,0 +1,146 @@
+"""Public-API stability: the names the README and docs promise exist.
+
+Downstream users import from the package roots; this test pins the
+documented surface so refactors cannot silently drop it.
+"""
+
+import importlib
+
+import pytest
+
+EXPECTED = {
+    "repro": [
+        "build_application",
+        "build_all",
+        "get_machine",
+        "all_machines",
+        "run_jouleguard",
+        "run_system_only",
+        "run_application_only",
+        "run_uncoordinated",
+        "oracle_accuracy",
+        "table2",
+        "steady",
+        "three_scene_video",
+        "EnergyGoal",
+        "JouleGuardRuntime",
+        "Measurement",
+        "SystemEnergyOptimizer",
+        "PAPER_FACTORS",
+        "__version__",
+    ],
+    "repro.core": [
+        "SystemEnergyOptimizer",
+        "UcbSystemOptimizer",
+        "SpeedupController",
+        "AdaptivePole",
+        "Vdbe",
+        "Ewma",
+        "ScalarKalmanFilter",
+        "JouleGuardRuntime",
+        "MultiAppCoordinator",
+        "BudgetAccountant",
+        "EnergyGoal",
+        "HardwareApproxTable",
+        "PowerReductionController",
+        "nominal_loop",
+        "perturbed_loop",
+        "stability_bound",
+        "pole_for_error",
+        "split_budget",
+    ],
+    "repro.hw": [
+        "Machine",
+        "Knob",
+        "SystemConfig",
+        "ConfigSpace",
+        "PlatformSimulator",
+        "NoiseModel",
+        "OnChipPowerSensor",
+        "ExternalPowerMeter",
+        "work_rate",
+        "system_power",
+        "compare_policies",
+        "race_to_idle",
+        "best_pace",
+        "best_hybrid",
+        "get_machine",
+    ],
+    "repro.apps": [
+        "ApproximateApplication",
+        "ConfigTable",
+        "AppConfig",
+        "PerforatableLoop",
+        "perforate",
+        "calibrated_knob",
+        "profile_table",
+        "profile_application",
+        "build_application",
+        "applications_for_platform",
+        "PAPER_TABLE2",
+    ],
+    "repro.runtime": [
+        "run_jouleguard",
+        "run_green",
+        "run_with_callbacks",
+        "CallbackSystem",
+        "ExperimentResult",
+        "RunTrace",
+        "replicate",
+        "relative_error",
+        "effective_accuracy",
+        "write_trace_csv",
+        "write_sweep_csv",
+        "sparkline",
+        "chart",
+        "prior_shapes",
+    ],
+    "repro.kernels": [
+        "SearchEngine",
+        "SyntheticCorpus",
+        "StreamCluster",
+        "Annealer",
+        "price_swaption",
+        "detect_targets",
+        "cfar_detect",
+        "beamform",
+        "encode_sequence",
+        "AnnealedParticleFilter",
+        "SimilaritySearch",
+    ],
+    "repro.workloads": [
+        "PhasedWorkload",
+        "WorkGenerator",
+        "steady",
+        "three_scene_video",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(EXPECTED))
+def test_documented_names_exist(module_name):
+    module = importlib.import_module(module_name)
+    missing = [
+        name for name in EXPECTED[module_name] if not hasattr(module, name)
+    ]
+    assert not missing, f"{module_name} lost public names: {missing}"
+
+
+@pytest.mark.parametrize("module_name", sorted(EXPECTED))
+def test_all_lists_are_importable(module_name):
+    module = importlib.import_module(module_name)
+    if not hasattr(module, "__all__"):
+        return
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+def test_version_matches_pyproject():
+    import pathlib
+
+    import repro
+
+    pyproject = (
+        pathlib.Path(repro.__file__).parent.parent.parent / "pyproject.toml"
+    ).read_text()
+    assert f'version = "{repro.__version__}"' in pyproject

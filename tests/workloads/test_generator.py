@@ -1,0 +1,43 @@
+"""Tests for the per-iteration difficulty generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import WorkGenerator
+from repro.workloads.phases import steady, three_scene_video
+
+
+class TestWorkGenerator:
+    def test_no_jitter_reproduces_phase_multipliers(self):
+        generator = WorkGenerator(three_scene_video(10), jitter=0.0)
+        assert generator.materialize() == list(
+            three_scene_video(10).iteration_difficulty()
+        )
+
+    def test_jitter_has_unit_mean(self):
+        generator = WorkGenerator(steady(20000), jitter=0.2, seed=3)
+        difficulties = np.array(generator.materialize())
+        assert difficulties.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_deterministic_given_seed(self):
+        a = WorkGenerator(steady(50), jitter=0.1, seed=4).materialize()
+        b = WorkGenerator(steady(50), jitter=0.1, seed=4).materialize()
+        assert a == b
+
+    def test_difficulties_positive(self):
+        generator = WorkGenerator(steady(1000), jitter=0.5, seed=5)
+        assert all(d > 0 for d in generator)
+
+    def test_n_iterations(self):
+        assert WorkGenerator(steady(7)).n_iterations == 7
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            WorkGenerator(steady(5), jitter=-0.1)
+
+    def test_phase_structure_survives_jitter(self):
+        generator = WorkGenerator(
+            three_scene_video(100), jitter=0.05, seed=6
+        )
+        difficulties = np.array(generator.materialize())
+        assert difficulties[100:200].mean() < difficulties[:100].mean()

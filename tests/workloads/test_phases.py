@@ -1,0 +1,81 @@
+"""Tests for phased workloads."""
+
+import pytest
+
+from repro.workloads.phases import (
+    PhasedWorkload,
+    WorkloadPhase,
+    steady,
+    three_scene_video,
+)
+
+
+class TestWorkloadPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("p", 0)
+        with pytest.raises(ValueError):
+            WorkloadPhase("p", 10, work_multiplier=0.0)
+
+
+class TestPhasedWorkload:
+    def test_iteration_count(self):
+        workload = PhasedWorkload(
+            (WorkloadPhase("a", 5), WorkloadPhase("b", 3))
+        )
+        assert workload.n_iterations == 8
+
+    def test_total_work_counts_progress_not_difficulty(self):
+        workload = PhasedWorkload(
+            (WorkloadPhase("a", 4, 1.0), WorkloadPhase("b", 4, 0.5)),
+            base_work=2.0,
+        )
+        # A frame is a frame: 8 iterations x 2 work units.
+        assert workload.total_work == pytest.approx(16.0)
+
+    def test_iteration_difficulty_sequence(self):
+        workload = PhasedWorkload(
+            (WorkloadPhase("a", 2, 1.0), WorkloadPhase("b", 2, 0.5))
+        )
+        assert list(workload.iteration_difficulty()) == [1.0, 1.0, 0.5, 0.5]
+
+    def test_phase_of(self):
+        workload = PhasedWorkload(
+            (WorkloadPhase("a", 2), WorkloadPhase("b", 3))
+        )
+        assert workload.phase_of(0).name == "a"
+        assert workload.phase_of(1).name == "a"
+        assert workload.phase_of(2).name == "b"
+        assert workload.phase_of(4).name == "b"
+        with pytest.raises(IndexError):
+            workload.phase_of(5)
+        with pytest.raises(IndexError):
+            workload.phase_of(-1)
+
+    def test_phase_boundaries(self):
+        workload = three_scene_video(frames_per_scene=200)
+        assert workload.phase_boundaries() == [200, 400]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload(())
+
+
+class TestFactories:
+    def test_steady(self):
+        workload = steady(100, base_work=2.0)
+        assert workload.n_iterations == 100
+        assert set(workload.iteration_difficulty()) == {1.0}
+        assert workload.total_work == 200.0
+
+    def test_three_scene_video_structure(self):
+        workload = three_scene_video(frames_per_scene=50, easy_speedup=1.4)
+        assert workload.n_iterations == 150
+        difficulties = list(workload.iteration_difficulty())
+        assert difficulties[0] == 1.0
+        assert difficulties[75] == pytest.approx(1 / 1.4)
+        assert difficulties[149] == 1.0
+
+    def test_easy_scene_cannot_be_harder(self):
+        with pytest.raises(ValueError):
+            three_scene_video(easy_speedup=0.9)

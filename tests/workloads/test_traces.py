@@ -1,0 +1,130 @@
+"""Tests for Markov and recorded workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.phases import steady, three_scene_video
+from repro.workloads.traces import (
+    MarkovWorkload,
+    RecordedTrace,
+    Regime,
+    record_trace,
+)
+
+REGIMES = (
+    Regime("easy", 0.7, mean_dwell=30.0),
+    Regime("normal", 1.0, mean_dwell=50.0),
+    Regime("hard", 1.4, mean_dwell=20.0),
+)
+
+
+class TestRegime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Regime("r", 0.0, 10.0)
+        with pytest.raises(ValueError):
+            Regime("r", 1.0, 0.5)
+
+
+class TestMarkovWorkload:
+    def test_length(self):
+        workload = MarkovWorkload(REGIMES, n_iterations=200, seed=1)
+        assert len(workload.realize()) == 200
+        assert workload.total_work == 200.0
+
+    def test_deterministic_given_seed(self):
+        a = MarkovWorkload(REGIMES, 100, seed=2).realize()
+        b = MarkovWorkload(REGIMES, 100, seed=2).realize()
+        assert a == b
+
+    def test_difficulties_drawn_from_regimes(self):
+        workload = MarkovWorkload(REGIMES, 300, seed=3)
+        levels = set(workload.iteration_difficulty())
+        assert levels <= {r.difficulty for r in REGIMES}
+
+    def test_dwell_times_reflect_mean(self):
+        sticky = MarkovWorkload(
+            (
+                Regime("a", 1.0, mean_dwell=100.0),
+                Regime("b", 2.0, mean_dwell=100.0),
+            ),
+            2000,
+            seed=4,
+        )
+        names = [name for name, _ in sticky.realize()]
+        switches = sum(1 for x, y in zip(names, names[1:]) if x != y)
+        # Expected switches ≈ 2000/100 = 20; allow generous slack.
+        assert 5 <= switches <= 50
+
+    def test_single_regime_never_switches(self):
+        workload = MarkovWorkload(
+            (Regime("only", 1.0, mean_dwell=2.0),), 50, seed=5
+        )
+        assert {name for name, _ in workload.realize()} == {"only"}
+
+    def test_to_phased_preserves_sequence(self):
+        workload = MarkovWorkload(REGIMES, 150, seed=6)
+        phased = workload.to_phased()
+        assert phased.n_iterations == 150
+        assert list(phased.iteration_difficulty()) == list(
+            workload.iteration_difficulty()
+        )
+
+    def test_runs_through_harness(self, apps):
+        from repro.hw import get_machine
+        from repro.runtime.harness import run_jouleguard
+
+        workload = MarkovWorkload(REGIMES, 200, seed=7).to_phased()
+        result = run_jouleguard(
+            get_machine("tablet"),
+            apps["x264"],
+            factor=1.5,
+            workload=workload,
+            seed=8,
+        )
+        assert result.relative_error_pct < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovWorkload((), 10)
+        with pytest.raises(ValueError):
+            MarkovWorkload(REGIMES, 0)
+
+
+class TestRecordedTrace:
+    def test_replay_exact(self):
+        trace = RecordedTrace((1.0, 0.5, 2.0))
+        assert list(trace.iteration_difficulty()) == [1.0, 0.5, 2.0]
+        assert trace.n_iterations == 3
+
+    def test_to_phased_roundtrip(self):
+        trace = RecordedTrace((1.0, 0.5, 2.0), base_work=2.0)
+        phased = trace.to_phased()
+        assert list(phased.iteration_difficulty()) == [1.0, 0.5, 2.0]
+        assert phased.total_work == 6.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = RecordedTrace((1.0, 1.25, 0.8), name="demo")
+        path = trace.save(tmp_path / "trace.json")
+        loaded = RecordedTrace.load(path)
+        assert loaded.difficulties == trace.difficulties
+        assert loaded.name == "demo"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecordedTrace(())
+        with pytest.raises(ValueError):
+            RecordedTrace((1.0, -1.0))
+
+
+class TestRecordTrace:
+    def test_captures_phases(self):
+        trace = record_trace(three_scene_video(10))
+        assert trace.n_iterations == 30
+        assert trace.difficulties[15] == pytest.approx(1 / 1.4)
+
+    def test_captures_jitter_deterministically(self):
+        a = record_trace(steady(50), jitter=0.1, seed=9)
+        b = record_trace(steady(50), jitter=0.1, seed=9)
+        assert a.difficulties == b.difficulties
+        assert np.std(a.difficulties) > 0
