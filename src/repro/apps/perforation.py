@@ -36,7 +36,7 @@ def perforate(iterable: Iterable[T], rate: float) -> Iterator[T]:
     """
     if not 0.0 <= rate < 1.0:
         raise ValueError("perforation rate must be in [0, 1)")
-    if rate == 0.0:
+    if rate <= 0.0:
         yield from iterable
         return
     keep_period = 1.0 / (1.0 - rate)
@@ -99,7 +99,9 @@ def build_table(
     """Configuration table over perforation ``rates`` (first must be 0)."""
     if not rates:
         raise ValueError("need at least one rate")
-    if rates[0] != 0.0:
+    # The default config is *exactly* rate 0 by construction, so an
+    # exact sentinel test is correct here.
+    if rates[0] != 0.0:  # jglint: disable=JG004
         raise ValueError("first rate must be 0 (the default configuration)")
     configs = []
     for index, rate in enumerate(rates):

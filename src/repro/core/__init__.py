@@ -19,6 +19,7 @@ from .analysis import (
 )
 from .bandit import SeoDecision, SystemEnergyOptimizer
 from .budget import PAPER_FACTORS, BudgetAccountant, EnergyGoal
+from .contracts import ContractError, check, invariant, require
 from .controller import SpeedupController, required_rate, speedup_target
 from .ewma import DEFAULT_ALPHA, Ewma
 from .hwapprox import (
@@ -39,6 +40,7 @@ __all__ = [
     "AccuracyOrderedTable",
     "AdaptivePole",
     "BudgetAccountant",
+    "ContractError",
     "DEFAULT_ALPHA",
     "Decision",
     "EnergyGoal",
@@ -58,11 +60,14 @@ __all__ = [
     "UcbSystemOptimizer",
     "Vdbe",
     "build_runtime",
+    "check",
+    "invariant",
     "max_stable_error",
     "multiplicative_error",
     "nominal_loop",
     "perturbed_loop",
     "pole_for_error",
+    "require",
     "required_rate",
     "settling_time",
     "speedup_target",

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from .contracts import check, positive, require, stable_pole
+
 
 @dataclass(frozen=True)
 class FirstOrderLoop:
@@ -43,10 +45,9 @@ class FirstOrderLoop:
     def convergent(self) -> bool:
         return self.stable and abs(self.dc_gain - 1.0) < 1e-12
 
+    @require("n_steps", lambda n: n >= 1, "need at least one step")
     def step_response(self, n_steps: int) -> List[float]:
         """Unit-step response y(t); converges to dc_gain when stable."""
-        if n_steps < 1:
-            raise ValueError("need at least one step")
         output = []
         y = 0.0
         for _ in range(n_steps):
@@ -55,44 +56,38 @@ class FirstOrderLoop:
         return output
 
 
+@require("pole", stable_pole, "pole must be in [0, 1)")
 def nominal_loop(pole: float) -> FirstOrderLoop:
     """Eqn. 7: the closed loop when the rate model is exact."""
-    if not 0.0 <= pole < 1.0:
-        raise ValueError("pole must be in [0, 1)")
     return FirstOrderLoop(gain=1.0 - pole, pole_location=pole)
 
 
+@require("pole", stable_pole, "pole must be in [0, 1)")
+@require("delta", positive, "delta must be positive")
 def perturbed_loop(pole: float, delta: float) -> FirstOrderLoop:
     """Eqn. 8: the closed loop under multiplicative model error ``delta``.
 
     ``delta`` is the ratio true/estimated system rate (δ = 1 is exact).
     """
-    if not 0.0 <= pole < 1.0:
-        raise ValueError("pole must be in [0, 1)")
-    if delta <= 0:
-        raise ValueError("delta must be positive")
     gain = (1.0 - pole) * delta
     return FirstOrderLoop(gain=gain, pole_location=1.0 - gain)
 
 
+@require("pole", stable_pole, "pole must be in [0, 1)")
 def stability_bound(pole: float) -> float:
     """Eqn. 9: the loop is stable iff 0 < δ < this bound."""
-    if not 0.0 <= pole < 1.0:
-        raise ValueError("pole must be in [0, 1)")
     return 2.0 / (1.0 - pole)
 
 
+@require("pole", stable_pole, "pole must be in [0, 1)")
 def settling_time(pole: float, tolerance: float = 0.02) -> int:
     """Iterations for the nominal loop to settle within ``tolerance``.
 
     For a first-order loop the error decays as pole**t; pole 0 settles
     in one step (deadbeat).
     """
-    if not 0.0 <= pole < 1.0:
-        raise ValueError("pole must be in [0, 1)")
-    if not 0.0 < tolerance < 1.0:
-        raise ValueError("tolerance must be in (0, 1)")
-    if pole == 0.0:
+    check(0.0 < tolerance < 1.0, "tolerance must be in (0, 1)")
+    if pole <= 0.0:
         return 1
     import math
 

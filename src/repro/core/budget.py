@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .contracts import check, invariant, non_negative, positive, require
+
 #: The paper's sweep of energy-reduction factors (Sec. 5.2).
 PAPER_FACTORS = (1.1, 1.2, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0)
 
@@ -33,18 +35,23 @@ class EnergyGoal:
     budget_j: float
 
     def __post_init__(self) -> None:
-        if self.total_work <= 0 or self.budget_j <= 0:
-            raise ValueError("work and budget must be positive")
+        check(
+            self.total_work > 0 and self.budget_j > 0,
+            "work and budget must be positive",
+        )
 
     @classmethod
     def from_factor(
         cls, factor: float, total_work: float, default_energy_per_work: float
     ) -> "EnergyGoal":
         """Budget for reducing default energy consumption by ``factor``."""
-        if factor < 1.0:
-            raise ValueError("factor must be >= 1 (1 = default energy)")
-        if default_energy_per_work <= 0:
-            raise ValueError("default energy per work must be positive")
+        check(
+            factor >= 1.0, "factor must be >= 1 (1 = default energy)"
+        )
+        check(
+            positive(default_energy_per_work),
+            "default energy per work must be positive",
+        )
         return cls(
             total_work=total_work,
             budget_j=total_work * default_energy_per_work / factor,
@@ -56,6 +63,10 @@ class EnergyGoal:
         return self.budget_j / self.total_work
 
 
+@invariant(
+    lambda self: self.work_done >= 0.0 and self.energy_used_j >= 0.0,
+    "work/energy tallies can never go negative",
+)
 @dataclass
 class BudgetAccountant:
     """Running work/energy tally against an :class:`EnergyGoal`.
@@ -71,10 +82,10 @@ class BudgetAccountant:
     adjustment_j: float = 0.0
     _energy_trace: List[float] = field(default_factory=list)
 
+    @require("work", non_negative, "work and energy must be non-negative")
+    @require("energy_j", non_negative, "work and energy must be non-negative")
     def record(self, work: float, energy_j: float) -> None:
         """Account one iteration's work and energy."""
-        if work < 0 or energy_j < 0:
-            raise ValueError("work and energy must be non-negative")
         self.work_done += work
         self.energy_used_j += energy_j
         self._energy_trace.append(energy_j)
@@ -85,8 +96,11 @@ class BudgetAccountant:
         Reclaiming below what has already been spent is rejected — a
         coordinator can only take joules that still exist.
         """
-        if self.effective_budget_j + delta_j < self.energy_used_j - 1e-9:
-            raise ValueError("cannot reclaim already-spent budget")
+        check(
+            self.effective_budget_j + delta_j
+            >= self.energy_used_j - 1e-9,
+            "cannot reclaim already-spent budget",
+        )
         self.adjustment_j += delta_j
 
     @property

@@ -1,0 +1,204 @@
+"""Runtime contracts: the dynamic twin of the jglint static rules.
+
+jglint (:mod:`repro.lint`) proves what it can from the AST — literal
+poles in [0, 1), seeded generators, unit discipline.  Values that only
+exist at runtime (a pole computed from measured error, an ε folded from
+efficiency surprise) need *dynamic* enforcement, and this module
+provides it with zero dependencies:
+
+* :func:`check` — an inline assertion that raises :class:`ContractError`
+  (a ``ValueError``) with a precise message;
+* :func:`require` — a decorator declaring a precondition on one named
+  argument, stackable, introspectable via ``__contracts__``;
+* :func:`invariant` — a class decorator re-checking a predicate on
+  ``self`` after every public mutating method.
+
+Contracts raise ``ContractError`` which subclasses ``ValueError``, so
+existing ``pytest.raises(ValueError)`` tests and callers keep working.
+Ready-made predicates for the paper's ranges (``unit_interval`` for
+probabilities/ε, ``stable_pole`` for Eqns. 9–11, ``non_negative`` /
+``positive`` for budgets and rates) keep call sites one line.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, List, Tuple, TypeVar
+
+__all__ = [
+    "ContractError",
+    "check",
+    "invariant",
+    "non_negative",
+    "positive",
+    "require",
+    "stable_pole",
+    "unit_interval",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+C = TypeVar("C", bound=type)
+
+
+class ContractError(ValueError):
+    """A violated precondition or invariant.
+
+    Subclasses ``ValueError`` so contracts strengthen — never change —
+    the exception surface callers already handle.
+    """
+
+
+def check(condition: bool, message: str) -> None:
+    """Inline contract: raise :class:`ContractError` unless ``condition``."""
+    if not condition:
+        raise ContractError(message)
+
+
+# --- ready-made predicates for the paper's ranges ---------------------
+
+
+def stable_pole(value: float) -> bool:
+    """Eqn. 9 stability: a closed-loop pole must lie in [0, 1)."""
+    return 0.0 <= value < 1.0
+
+
+def unit_interval(value: float) -> bool:
+    """Probabilities and VDBE's ε (Eqn. 2) live in [0, 1]."""
+    return 0.0 <= value <= 1.0
+
+
+def non_negative(value: float) -> bool:
+    """Work, energy, and rates cannot be negative."""
+    return value >= 0.0
+
+
+def positive(value: float) -> bool:
+    """Budgets, powers, and divisors must be strictly positive."""
+    return value > 0.0
+
+
+# --- decorators -------------------------------------------------------
+
+
+def require(
+    parameter: str,
+    predicate: Callable[[Any], bool],
+    message: str,
+) -> Callable[[F], F]:
+    """Declare a precondition on one named argument.
+
+    The wrapped function raises :class:`ContractError` when
+    ``predicate(value)`` is false for the bound ``parameter`` (its
+    default applies when the caller omits it).  Stacked ``require``
+    decorators share a single wrapper, so the per-call overhead stays
+    one signature bind regardless of how many contracts are declared::
+
+        @require("pole", stable_pole, "pole must be in [0, 1)")
+        @require("rate", non_negative, "rate cannot be negative")
+        def step(rate: float, pole: float) -> float: ...
+
+    Declared contracts are introspectable via ``__contracts__`` —
+    a tuple of ``(parameter, predicate, message)`` triples.
+    """
+
+    def decorate(func: F) -> F:
+        inner = getattr(func, "__contracts_wrapped__", func)
+        contracts: List[Tuple[str, Callable[[Any], bool], str]] = [
+            (parameter, predicate, message),
+            *getattr(func, "__contracts__", ()),
+        ]
+        signature = inspect.signature(inner)
+        if parameter not in signature.parameters:
+            raise TypeError(
+                f"@require references {parameter!r} but "
+                f"{inner.__qualname__} has no such parameter"
+            )
+
+        @functools.wraps(inner)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            for name, test, text in wrapper.__contracts__:  # type: ignore[attr-defined]
+                if name in bound.arguments and not test(
+                    bound.arguments[name]
+                ):
+                    raise ContractError(
+                        f"{text} (got {name}={bound.arguments[name]!r})"
+                    )
+            return inner(*args, **kwargs)
+
+        wrapper.__contracts__ = tuple(contracts)  # type: ignore[attr-defined]
+        wrapper.__contracts_wrapped__ = inner  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def invariant(
+    predicate: Callable[[Any], bool], message: str
+) -> Callable[[C], C]:
+    """Class decorator: re-check ``predicate(self)`` after mutations.
+
+    Every public method defined *on the class itself* (names not
+    starting with ``_``) is wrapped to evaluate the invariant after it
+    returns, and ``__init__``/``__post_init__`` are wrapped so a freshly
+    constructed instance is checked too.  Properties and private
+    helpers are left untouched — the invariant constrains the states
+    other code can observe, not intermediate bookkeeping::
+
+        @invariant(lambda self: 0.0 <= self.epsilon <= 1.0,
+                   "epsilon must stay in [0, 1]")
+        class Vdbe: ...
+
+    Stacking is supported; each decorator appends to
+    ``__invariants__``.
+    """
+
+    def decorate(cls: C) -> C:
+        first_invariant = not hasattr(cls, "__invariants__")
+        existing = tuple(getattr(cls, "__invariants__", ()))
+        cls.__invariants__ = existing + ((predicate, message),)  # type: ignore[attr-defined]
+        if not first_invariant:
+            # Methods are already wrapped; the new predicate joins the
+            # list every wrapped method consults.
+            return cls
+
+        def verify(instance: Any) -> None:
+            for test, text in type(instance).__invariants__:
+                if not test(instance):
+                    raise ContractError(
+                        f"invariant violated on "
+                        f"{type(instance).__name__}: {text}"
+                    )
+
+        def wrap(method: Callable[..., Any]) -> Callable[..., Any]:
+            @functools.wraps(method)
+            def checked(self: Any, *args: Any, **kwargs: Any) -> Any:
+                result = method(self, *args, **kwargs)
+                verify(self)
+                return result
+
+            return checked
+
+        # One construction hook suffices: __init__ when the class (or a
+        # @dataclass applied below us) defines one, else __post_init__.
+        hooks = next(
+            (
+                [name]
+                for name in ("__init__", "__post_init__")
+                if name in vars(cls)
+            ),
+            [],
+        )
+        public = [
+            name
+            for name, member in vars(cls).items()
+            if not name.startswith("_") and inspect.isfunction(member)
+        ]
+        for name in hooks + public:
+            setattr(cls, name, wrap(vars(cls)[name]))
+        cls.__invariant_verify__ = verify  # type: ignore[attr-defined]
+        return cls
+
+    return decorate

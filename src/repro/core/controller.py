@@ -17,7 +17,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .contracts import (
+    check,
+    invariant,
+    non_negative,
+    positive,
+    require,
+    stable_pole,
+)
 
+
+@require(
+    "target_energy_per_work",
+    positive,
+    "target energy per work must be positive",
+)
+@require("est_system_power", positive, "estimated power must be positive")
 def required_rate(
     target_energy_per_work: float, est_system_power: float
 ) -> float:
@@ -27,10 +42,6 @@ def required_rate(
     factor f and the default rate/power cancel into the target
     joules-per-work-unit the accountant maintains.
     """
-    if target_energy_per_work <= 0:
-        raise ValueError("target energy per work must be positive")
-    if est_system_power <= 0:
-        raise ValueError("estimated power must be positive")
     return est_system_power / target_energy_per_work
 
 
@@ -47,10 +58,17 @@ def speedup_target(
     for analysis and tests — the runtime uses :func:`required_rate` with
     the live remaining-budget target instead.
     """
-    if min(
-        factor, default_rate, default_power, est_system_rate, est_system_power
-    ) <= 0:
-        raise ValueError("all quantities must be positive")
+    check(
+        min(
+            factor,
+            default_rate,
+            default_power,
+            est_system_rate,
+            est_system_power,
+        )
+        > 0,
+        "all quantities must be positive",
+    )
     return (
         factor
         * (default_rate / default_power)
@@ -58,6 +76,10 @@ def speedup_target(
     )
 
 
+@invariant(
+    lambda self: self.min_speedup <= self.speedup <= self.max_speedup,
+    "control signal must stay inside the actuator clamp",
+)
 @dataclass
 class SpeedupController:
     """Integral controller on application speedup (Eqn. 5).
@@ -75,10 +97,11 @@ class SpeedupController:
     initial_speedup: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.min_speedup <= 0:
-            raise ValueError("min_speedup must be positive")
-        if self.max_speedup < self.min_speedup:
-            raise ValueError("max_speedup must be >= min_speedup")
+        check(self.min_speedup > 0, "min_speedup must be positive")
+        check(
+            self.max_speedup >= self.min_speedup,
+            "max_speedup must be >= min_speedup",
+        )
         self.speedup = float(
             min(max(self.initial_speedup, self.min_speedup), self.max_speedup)
         )
@@ -88,6 +111,12 @@ class SpeedupController:
         """True when the control signal sits on a clamp boundary."""
         return self.speedup in (self.min_speedup, self.max_speedup)
 
+    @require("pole", stable_pole, "pole must be in [0, 1)")
+    @require(
+        "est_system_rate", positive, "estimated system rate must be positive"
+    )
+    @require("measured_rate", non_negative, "rates cannot be negative")
+    @require("required", non_negative, "rates cannot be negative")
     def step(
         self,
         required: float,
@@ -96,12 +125,6 @@ class SpeedupController:
         pole: float,
     ) -> float:
         """One control update; returns the new (clamped) speedup."""
-        if not 0.0 <= pole < 1.0:
-            raise ValueError("pole must be in [0, 1)")
-        if est_system_rate <= 0:
-            raise ValueError("estimated system rate must be positive")
-        if measured_rate < 0 or required < 0:
-            raise ValueError("rates cannot be negative")
         error = required - measured_rate
         unclamped = self.speedup + (1.0 - pole) * error / est_system_rate
         self.speedup = float(

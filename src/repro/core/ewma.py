@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .contracts import check
+
 #: The paper's smoothing constant (Sec. 3.2).
 DEFAULT_ALPHA = 0.85
 
@@ -33,8 +35,7 @@ class Ewma:
     updates: int = field(default=0)
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.alpha <= 1.0:
-            raise ValueError("alpha must be in (0, 1]")
+        check(0.0 < self.alpha <= 1.0, "alpha must be in (0, 1]")
 
     def update(self, sample: float) -> float:
         """Fold in ``sample``; return the new estimate."""

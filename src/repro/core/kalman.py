@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .contracts import check, require
+
 
 @dataclass
 class ScalarKalmanFilter:
@@ -46,10 +48,11 @@ class ScalarKalmanFilter:
     updates: int = field(default=0)
 
     def __post_init__(self) -> None:
-        if self.process_variance < 0 or self.measurement_variance <= 0:
-            raise ValueError("variances must be positive (q may be 0)")
-        if self.prior_variance <= 0:
-            raise ValueError("prior variance must be positive")
+        check(
+            self.process_variance >= 0 and self.measurement_variance > 0,
+            "variances must be positive (q may be 0)",
+        )
+        check(self.prior_variance > 0, "prior variance must be positive")
         self._variance = self.prior_variance
 
     @property
@@ -88,7 +91,7 @@ class ScalarKalmanFilter:
         model; useful to pick (q, r) mimicking a target EWMA α.
         """
         q, r = self.process_variance, self.measurement_variance
-        if q == 0.0:
+        if q <= 0.0:
             return 0.0
         return _steady_gain(q / r)
 
@@ -100,6 +103,9 @@ def _steady_gain(ratio: float) -> float:
     return (s + ratio) / (s + ratio + 2.0)
 
 
+@require(
+    "alpha", lambda a: 0.0 < a < 1.0, "alpha must be in (0, 1)"
+)
 def variances_for_alpha(
     alpha: float, measurement_variance: float = 1.0
 ) -> float:
@@ -108,7 +114,5 @@ def variances_for_alpha(
     Lets a Kalman filter be configured to mimic the paper's EWMA in
     steady state while still adapting its gain during start-up.
     """
-    if not 0.0 < alpha < 1.0:
-        raise ValueError("alpha must be in (0, 1)")
     # Invert K* = alpha for the random-walk model: q/r = K^2 / (1 - K).
     return measurement_variance * alpha**2 / (1.0 - alpha)

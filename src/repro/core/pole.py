@@ -20,7 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .contracts import (
+    check,
+    invariant,
+    non_negative,
+    positive,
+    require,
+    stable_pole,
+)
 
+
+@require("predicted_rate", positive, "predicted rate must be positive")
+@require("measured_rate", non_negative, "measured rate cannot be negative")
 def multiplicative_error(measured_rate: float, predicted_rate: float) -> float:
     """Eqn. 10: δ(t) = |measured/predicted − 1|.
 
@@ -28,36 +39,33 @@ def multiplicative_error(measured_rate: float, predicted_rate: float) -> float:
     iteration — the learner's system-rate estimate times the speedup the
     controller had applied.
     """
-    if predicted_rate <= 0:
-        raise ValueError("predicted rate must be positive")
-    if measured_rate < 0:
-        raise ValueError("measured rate cannot be negative")
     return abs(measured_rate / predicted_rate - 1.0)
 
 
+@require("delta", non_negative, "delta cannot be negative")
+@require("margin", lambda m: m >= 1.0, "margin must be >= 1")
 def pole_for_error(delta: float, margin: float = 1.0) -> float:
     """Eqn. 11: smallest pole keeping error ``delta`` inside Eqn. 9.
 
     With ``margin`` m, the pole is chosen so the stability bound covers
     m·δ.  The result is always in [0, 1).
     """
-    if delta < 0:
-        raise ValueError("delta cannot be negative")
-    if margin < 1.0:
-        raise ValueError("margin must be >= 1")
     effective = delta * margin
     if effective > 2.0:
         return 1.0 - 2.0 / effective
     return 0.0
 
 
+@require("pole", stable_pole, "pole must be in [0, 1)")
 def max_stable_error(pole: float) -> float:
     """Eqn. 9: largest multiplicative error a given pole tolerates."""
-    if not 0.0 <= pole < 1.0:
-        raise ValueError("pole must be in [0, 1)")
     return 2.0 / (1.0 - pole)
 
 
+@invariant(
+    lambda self: stable_pole(self.pole),
+    "adaptive pole must stay in the stable range [0, 1) (Eqn. 9)",
+)
 @dataclass
 class AdaptivePole:
     """Stateful pole adaptation with optional smoothing.
@@ -72,8 +80,9 @@ class AdaptivePole:
     _delta: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.smoothing < 1.0:
-            raise ValueError("smoothing must be in [0, 1)")
+        check(
+            0.0 <= self.smoothing < 1.0, "smoothing must be in [0, 1)"
+        )
 
     def update(self, measured_rate: float, predicted_rate: float) -> float:
         """Fold one prediction error; return the new pole."""
@@ -81,10 +90,9 @@ class AdaptivePole:
             multiplicative_error(measured_rate, predicted_rate)
         )
 
+    @require("delta", non_negative, "delta cannot be negative")
     def update_from_delta(self, delta: float) -> float:
         """Fold an already-computed δ(t); return the new pole."""
-        if delta < 0:
-            raise ValueError("delta cannot be negative")
         self._delta = (
             self.smoothing * self._delta + (1.0 - self.smoothing) * delta
         )

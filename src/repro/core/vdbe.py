@@ -30,9 +30,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .contracts import check, invariant, non_negative, require, unit_interval
 from .ewma import DEFAULT_ALPHA
 
 
+@invariant(
+    lambda self: unit_interval(self.epsilon),
+    "exploration rate ε must stay a probability in [0, 1] (Eqn. 2)",
+)
 @dataclass
 class Vdbe:
     """ε adaptation state for one learner.
@@ -59,21 +64,20 @@ class Vdbe:
     epsilon: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.n_configs < 1:
-            raise ValueError("need at least one configuration")
-        if self.sigma <= 0:
-            raise ValueError("sigma must be positive")
-        if not 0.0 <= self.min_weight <= 1.0:
-            raise ValueError("min_weight must be in [0, 1]")
+        check(self.n_configs >= 1, "need at least one configuration")
+        check(self.sigma > 0, "sigma must be positive")
+        check(
+            unit_interval(self.min_weight), "min_weight must be in [0, 1]"
+        )
 
     @property
     def weight(self) -> float:
         return max(1.0 / self.n_configs, self.min_weight)
 
+    @require("measured_eff", non_negative, "efficiencies must be non-negative")
+    @require("estimated_eff", non_negative, "efficiencies must be non-negative")
     def update(self, measured_eff: float, estimated_eff: float) -> float:
         """Fold one (measured, estimated) efficiency pair into ε (Eqn. 2)."""
-        if measured_eff < 0 or estimated_eff < 0:
-            raise ValueError("efficiencies must be non-negative")
         if self.relative:
             if estimated_eff <= 0:
                 difference = 1.0
@@ -87,8 +91,9 @@ class Vdbe:
         self.epsilon = w * rho + (1.0 - w) * self.epsilon
         return self.epsilon
 
+    @require(
+        "rand", lambda r: 0.0 <= r < 1.0, "rand must be in [0, 1)"
+    )
     def should_explore(self, rand: float) -> bool:
         """Paper's exploration test: explore iff ``rand < ε(t)``."""
-        if not 0.0 <= rand < 1.0:
-            raise ValueError("rand must be in [0, 1)")
         return rand < self.epsilon

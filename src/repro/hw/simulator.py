@@ -50,7 +50,7 @@ class NoiseModel:
             raise ValueError("noise sigmas must be non-negative")
 
     def _step(self, state: float, sigma: float, rng: np.random.Generator):
-        if sigma == 0.0:
+        if sigma <= 0.0:
             return 0.0, 1.0
         innovation_sd = sigma * np.sqrt(1.0 - self.correlation**2)
         state = self.correlation * state + rng.normal(0.0, innovation_sd)

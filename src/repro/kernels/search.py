@@ -196,6 +196,6 @@ def f1_score(
 ) -> float:
     """Harmonic mean of precision and recall (0 when both are 0)."""
     precision, recall = precision_recall(returned, reference)
-    if precision + recall == 0.0:
+    if precision + recall <= 0.0:
         return 0.0
     return 2.0 * precision * recall / (precision + recall)

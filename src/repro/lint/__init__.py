@@ -1,0 +1,32 @@
+"""jglint — JouleGuard-aware static analysis.
+
+The reproduction's correctness argument rests on invariants ordinary
+linters do not know about: the controller pole must stay in [0, 1)
+(Eqns. 9–11), VDBE's ε is a probability, energy/power/time quantities
+must not mix units, and every stochastic component must draw from an
+injected seeded generator or the figures stop being reproducible.
+``jglint`` checks those properties statically over the AST::
+
+    python -m repro.lint src benchmarks examples
+
+Rules are ``JG001``–``JG007`` (``--list-rules`` describes them, and
+``docs/static_analysis.md`` ties each to the paper).  Line-level
+``# jglint: disable=JGxxx`` comments sanction deliberate exceptions;
+:mod:`repro.core.contracts` provides the runtime twin of these checks.
+"""
+
+from .engine import FileContext, LintEngine, Rule, iter_python_files
+from .findings import Finding
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "default_rules",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,112 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit status: 0 when the tree is clean, 1 when findings were reported,
+2 on usage errors (unknown rule ids, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import LintEngine, iter_python_files
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "jglint: JouleGuard-aware static analysis "
+            "(seeded randomness, stability ranges, unit discipline, "
+            "float equality, mutable defaults, runtime excepts, API "
+            "drift)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. JG001,JG004)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    registry = default_rules()
+    if options.list_rules:
+        for rule in registry:
+            scope = (
+                f" [only {rule.path_filter}/]" if rule.path_filter else ""
+            )
+            print(f"{rule.rule_id}{scope}: {rule.summary}")
+        return 0
+
+    if not options.paths:
+        parser.error("at least one path is required (or --list-rules)")
+
+    known = {rule.rule_id for rule in registry}
+    for ids in (_split_ids(options.select), _split_ids(options.ignore)):
+        unknown = set(ids or ()) - known
+        if unknown:
+            parser.error(
+                "unknown rule id(s): " + ", ".join(sorted(unknown))
+            )
+
+    missing = [path for path in options.paths if not path.exists()]
+    if missing:
+        parser.error(
+            "no such file or directory: "
+            + ", ".join(str(path) for path in missing)
+        )
+
+    engine = LintEngine(
+        rules=registry,
+        select=_split_ids(options.select),
+        ignore=_split_ids(options.ignore),
+    )
+    files = list(iter_python_files(options.paths))
+    findings = engine.run(options.paths)
+
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(findings, files_checked=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

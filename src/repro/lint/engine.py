@@ -1,0 +1,249 @@
+"""The jglint rule engine.
+
+The engine walks Python files, parses each into an AST once, hands a
+:class:`FileContext` to every registered rule, and filters the findings
+through the suppression comments:
+
+* ``# jglint: disable=JG001`` (or ``=JG001,JG004`` / ``=all``) on the
+  violating line suppresses matching findings on that line only;
+* ``# jglint: disable-file=JG001`` anywhere in the first ten lines
+  suppresses matching findings for the whole file.
+
+Rules are small classes with a ``rule_id``, a one-line ``summary``, and
+a ``check(context)`` generator; the registry lives in
+:mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .findings import Finding
+
+__all__ = ["FileContext", "LintEngine", "Rule", "iter_python_files"]
+
+#: Inline suppression: ``# jglint: disable=JG001,JG002`` or ``=all``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*jglint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+#: File-level suppression, honoured in the first ten lines only.
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*jglint:\s*disable-file=([A-Za-z0-9_,\s]+)"
+)
+#: How many leading lines may carry a ``disable-file`` pragma.
+_FILE_PRAGMA_WINDOW = 10
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one file.
+
+    The AST is parsed once per file and shared by all rules; the raw
+    source lines support comment-sensitive checks; ``repo_root`` (the
+    directory holding ``src``/``docs``, when discoverable) lets
+    project-level rules such as JG007 locate ``docs/api.md``.
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    repo_root: Optional[Path] = None
+
+    @classmethod
+    def from_path(
+        cls, path: Path, repo_root: Optional[Path] = None
+    ) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            repo_root=repo_root or find_repo_root(path),
+        )
+
+    def line_at(self, lineno: int) -> str:
+        """The 1-based physical source line, or '' out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def module_name(self) -> Optional[str]:
+        """Dotted module name when the file sits under a ``repro`` tree."""
+        parts = list(self.path.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        for anchor in range(len(parts) - 1, -1, -1):
+            if parts[anchor] == "repro":
+                return ".".join(parts[anchor:])
+        return None
+
+
+class Rule:
+    """Base class for jglint rules.
+
+    Subclasses set ``rule_id`` (``JGxxx``), ``summary`` (one line, shown
+    by ``--list-rules``), and implement :meth:`check` yielding
+    :class:`Finding` objects.  ``path_filter``, when set, restricts the
+    rule to files whose path contains that directory component (used by
+    JG006, which only polices ``runtime/``).
+    """
+
+    rule_id: str = "JG000"
+    summary: str = ""
+    path_filter: Optional[str] = None
+
+    def applies_to(self, context: FileContext) -> bool:
+        if self.path_filter is None:
+            return True
+        return self.path_filter in context.path.parts
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(context.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def find_repo_root(path: Path) -> Optional[Path]:
+    """Nearest ancestor containing ``docs/api.md`` or ``pyproject.toml``."""
+    probe = path.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "docs" / "api.md").is_file():
+            return candidate
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class LintEngine:
+    """Run a set of rules over files and apply suppressions.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to the full registry.
+    select / ignore:
+        Optional rule-id allow/deny lists (``ignore`` wins).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        selected = {r.upper() for r in select} if select else None
+        ignored = {r.upper() for r in ignore} if ignore else set()
+        self.rules: List[Rule] = [
+            rule
+            for rule in rules
+            if (selected is None or rule.rule_id in selected)
+            and rule.rule_id not in ignored
+        ]
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        """Lint every Python file under ``paths``; return sorted findings."""
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.run_file(path))
+        return sorted(findings)
+
+    def run_file(self, path: Path) -> List[Finding]:
+        try:
+            context = FileContext.from_path(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=getattr(exc, "lineno", None) or 1,
+                    column=0,
+                    rule_id="JG000",
+                    message=f"could not parse file: {exc}",
+                )
+            ]
+        return self.run_context(context)
+
+    def run_context(self, context: FileContext) -> List[Finding]:
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(context):
+                raw.extend(rule.check(context))
+        suppressed_lines = self._line_suppressions(context)
+        suppressed_file = self._file_suppressions(context)
+        kept = [
+            finding
+            for finding in sorted(raw)
+            if not self._is_suppressed(
+                finding, suppressed_lines, suppressed_file
+            )
+        ]
+        return kept
+
+    @staticmethod
+    def _line_suppressions(context: FileContext) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for number, line in enumerate(context.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                table[number] = _parse_rule_list(match.group(1))
+        return table
+
+    @staticmethod
+    def _file_suppressions(context: FileContext) -> Set[str]:
+        rules: Set[str] = set()
+        for line in context.lines[:_FILE_PRAGMA_WINDOW]:
+            match = _SUPPRESS_FILE_RE.search(line)
+            if match:
+                rules |= _parse_rule_list(match.group(1))
+        return rules
+
+    @staticmethod
+    def _is_suppressed(
+        finding: Finding,
+        by_line: Dict[int, Set[str]],
+        by_file: Set[str],
+    ) -> bool:
+        if "ALL" in by_file or finding.rule_id in by_file:
+            return True
+        line_rules = by_line.get(finding.line, set())
+        return "ALL" in line_rules or finding.rule_id in line_rules

@@ -1,0 +1,54 @@
+"""Finding records emitted by jglint rules.
+
+A :class:`Finding` pins one rule violation to a file/line/column so the
+reporters can render it and the engine can apply line-level
+suppressions.  Findings order by location, which keeps reports stable
+across runs and makes diffs between lint runs meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Parameters
+    ----------
+    path:
+        File the violation was found in (as given to the engine).
+    line / column:
+        1-based line and 0-based column, matching ``ast`` conventions.
+    rule_id:
+        The ``JGxxx`` identifier of the rule that fired.
+    message:
+        Human-readable description of the specific violation.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: JGxxx message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

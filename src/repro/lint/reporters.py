@@ -1,0 +1,56 @@
+"""Render jglint findings as text or JSON.
+
+The text reporter is the human-facing default (one ``path:line:col:
+JGxxx message`` line per finding plus a summary); the JSON reporter
+emits a stable machine-readable document for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from .findings import Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings: Sequence[Finding], *, files_checked: int) -> str:
+    """The default human-readable report."""
+    lines: List[str] = [finding.render() for finding in findings]
+    if findings:
+        per_rule = Counter(finding.rule_id for finding in findings)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(per_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"jglint: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} in "
+            f"{files_checked} file{'s' if files_checked != 1 else ''} "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(
+            f"jglint: clean ({files_checked} "
+            f"file{'s' if files_checked != 1 else ''} checked)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, files_checked: int) -> str:
+    """A stable JSON document: findings plus summary counts."""
+    document = {
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "files_checked": files_checked,
+            "by_rule": dict(
+                sorted(
+                    Counter(f.rule_id for f in findings).items()
+                )
+            ),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,593 @@
+"""The JouleGuard-specific rule set (JG001–JG007).
+
+Each rule encodes an invariant the reproduction's correctness argument
+depends on — see ``docs/static_analysis.md`` for the rule-by-rule
+rationale tied to the paper's equations:
+
+* JG001 — all randomness must flow through an injected, seeded
+  generator, or figure reproduction is not deterministic;
+* JG002 — pole / ε / probability literals must respect their stability
+  ranges (Eqns. 2, 9–11);
+* JG003 — energy/power/time identifiers carry unit suffixes and may not
+  be added or compared across units (J = W·s, so ``*_j + *_w`` is a
+  dimensional error);
+* JG004 — float ``==``/``!=`` on continuous quantities is almost always
+  a bug; sanctioned exact zero-guards carry a suppression;
+* JG005 — mutable default arguments alias state across calls;
+* JG006 — the runtime layer may not swallow arbitrary exceptions;
+* JG007 — ``__all__`` must agree with ``docs/api.md``
+  (``tools/gen_api_docs.py --check`` is the CI-side twin).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .engine import FileContext, Rule
+from .findings import Finding
+
+__all__ = [
+    "ApiDriftRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "OverbroadExceptRule",
+    "UnitMismatchRule",
+    "UnseededRandomnessRule",
+    "UnstableConstantRule",
+    "default_rules",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _numeric_literal(node: ast.AST) -> Optional[float]:
+    """The value of an int/float literal (handling unary +/-), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        inner = _numeric_literal(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+class UnseededRandomnessRule(Rule):
+    """JG001: randomness must come from an injected, seeded generator."""
+
+    rule_id = "JG001"
+    summary = (
+        "module-level random.*/np.random.* call instead of an injected "
+        "seeded Generator"
+    )
+
+    #: numpy.random constructors that are fine *when given a seed*.
+    _SEEDED_CTORS = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "RandomState",
+            "PCG64",
+            "PCG64DXSM",
+            "MT19937",
+            "Philox",
+            "SFC64",
+        }
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        aliases = self._collect_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(context, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(context, node, aliases)
+
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+        """Map local names to the canonical modules they alias."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name in ("random", "numpy", "numpy.random"):
+                        local = item.asname or item.name.split(".")[0]
+                        canonical = (
+                            "numpy" if item.name == "numpy" else item.name
+                        )
+                        aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for item in node.names:
+                        if item.name == "random":
+                            aliases[item.asname or "random"] = "numpy.random"
+        return aliases
+
+    def _check_import_from(
+        self, context: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module == "random":
+            names = ", ".join(item.name for item in node.names)
+            yield self.finding(
+                context,
+                node,
+                f"'from random import {names}' pulls functions bound to "
+                "the global, unseeded RNG; inject a seeded "
+                "random.Random(seed) instead",
+            )
+        elif node.module == "numpy.random":
+            bad = [
+                item.name
+                for item in node.names
+                if item.name not in self._SEEDED_CTORS
+            ]
+            if bad:
+                yield self.finding(
+                    context,
+                    node,
+                    "'from numpy.random import "
+                    + ", ".join(bad)
+                    + "' uses the legacy global RNG; use "
+                    "np.random.default_rng(seed) and pass the Generator",
+                )
+
+    def _check_call(
+        self, context: FileContext, node: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        dotted = _dotted_name(node.func)
+        if dotted is None or "." not in dotted:
+            return
+        head, rest = dotted.split(".", 1)
+        canonical = aliases.get(head)
+        if canonical is None:
+            return
+        path = f"{canonical}.{rest}"
+        if path.startswith("random."):
+            fn = path.split(".", 1)[1]
+            if fn == "Random" and node.args:
+                return  # random.Random(seed): explicit, reproducible.
+            yield self.finding(
+                context,
+                node,
+                f"call to global-state '{dotted}()'; draw from an "
+                "injected seeded Generator (np.random.default_rng(seed) "
+                "or random.Random(seed)) instead",
+            )
+        elif path.startswith("numpy.random."):
+            fn = path.split(".", 2)[2].split(".")[0]
+            if fn in self._SEEDED_CTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"'{dotted}()' without a seed is entropy-seeded "
+                        "and not reproducible; pass an explicit seed",
+                    )
+                return
+            yield self.finding(
+                context,
+                node,
+                f"legacy global-RNG call '{dotted}()'; use an injected "
+                "np.random.default_rng(seed) Generator instead",
+            )
+
+
+#: name (exact or ``*_name`` suffix) → (low, high, high_inclusive).
+#: All ranges are closed at the bottom; ``pole`` and ``smoothing`` are
+#: open at 1 (a pole on the unit circle is marginally stable, Eqn. 9).
+_RANGED_NAMES: Dict[str, Tuple[float, float, bool]] = {
+    "pole": (0.0, 1.0, False),
+    "smoothing": (0.0, 1.0, False),
+    "epsilon": (0.0, 1.0, True),
+    "eps": (0.0, 1.0, True),
+    "probability": (0.0, 1.0, True),
+    "prob": (0.0, 1.0, True),
+}
+
+
+def _range_for(name: str) -> Optional[Tuple[str, float, float, bool]]:
+    lowered = name.lower()
+    for key, (low, high, inclusive) in _RANGED_NAMES.items():
+        if lowered == key or lowered.endswith("_" + key):
+            return key, low, high, inclusive
+    return None
+
+
+class UnstableConstantRule(Rule):
+    """JG002: pole/ε/probability literals must sit in their stable range."""
+
+    rule_id = "JG002"
+    summary = (
+        "pole/epsilon/probability literal outside its stability range "
+        "(pole in [0,1), Eqns. 9-11; probabilities in [0,1])"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        yield from self._check_binding(
+                            context, keyword.arg, keyword.value
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield from self._check_binding(
+                            context, target.id, node.value
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value:
+                    yield from self._check_binding(
+                        context, node.target.id, node.value
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(context, node)
+
+    def _check_defaults(
+        self, context: FileContext, node: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        positional = node.args.posonlyargs + node.args.args
+        for arg, default in zip(
+            positional[len(positional) - len(node.args.defaults):],
+            node.args.defaults,
+        ):
+            yield from self._check_binding(context, arg.arg, default)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if default is not None:
+                yield from self._check_binding(context, arg.arg, default)
+
+    def _check_binding(
+        self, context: FileContext, name: str, value: ast.AST
+    ) -> Iterator[Finding]:
+        info = _range_for(name)
+        if info is None:
+            return
+        literal = _numeric_literal(value)
+        if literal is None:
+            return
+        key, low, high, inclusive = info
+        in_range = (literal >= low) and (
+            literal <= high if inclusive else literal < high
+        )
+        if not in_range:
+            bracket = "]" if inclusive else ")"
+            yield self.finding(
+                context,
+                value,
+                f"'{name}' = {literal!r} is outside the stable range "
+                f"[{low}, {high}{bracket} required of '{key}' values",
+            )
+
+
+#: identifier suffix → physical dimension.
+_UNIT_SUFFIXES: Dict[str, str] = {
+    "_j": "energy [J]",
+    "_joule": "energy [J]",
+    "_joules": "energy [J]",
+    "_w": "power [W]",
+    "_watt": "power [W]",
+    "_watts": "power [W]",
+    "_s": "time [s]",
+    "_sec": "time [s]",
+    "_secs": "time [s]",
+    "_seconds": "time [s]",
+    "_ms": "time [s]",
+    "_hz": "frequency [Hz]",
+    "_ghz": "frequency [Hz]",
+}
+
+
+def _dimension_of(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """(identifier, dimension) when the operand names a united quantity."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    lowered = name.lower()
+    # Longest suffix first so ``_joules`` wins over ``_s``.
+    for suffix in sorted(_UNIT_SUFFIXES, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            return name, _UNIT_SUFFIXES[suffix]
+    return None
+
+
+class UnitMismatchRule(Rule):
+    """JG003: no +/-/comparison across different unit suffixes."""
+
+    rule_id = "JG003"
+    summary = (
+        "energy/power/time identifiers with conflicting unit suffixes "
+        "combined additively (e.g. *_joules + *_watts)"
+    )
+
+    _COMPARE_OPS = (
+        ast.Eq,
+        ast.NotEq,
+        ast.Lt,
+        ast.LtE,
+        ast.Gt,
+        ast.GtE,
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    context, node, node.left, node.right, "added/subtracted"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    context, node, node.target, node.value, "accumulated"
+                )
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(node.ops[0], self._COMPARE_OPS):
+                    yield from self._check_pair(
+                        context,
+                        node,
+                        node.left,
+                        node.comparators[0],
+                        "compared",
+                    )
+
+    def _check_pair(
+        self,
+        context: FileContext,
+        node: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        verb: str,
+    ) -> Iterator[Finding]:
+        left_info = _dimension_of(left)
+        right_info = _dimension_of(right)
+        if left_info is None or right_info is None:
+            return
+        (left_name, left_dim), (right_name, right_dim) = left_info, right_info
+        if left_dim != right_dim:
+            yield self.finding(
+                context,
+                node,
+                f"'{left_name}' ({left_dim}) and '{right_name}' "
+                f"({right_dim}) {verb} across units — dimensional error "
+                "(J = W*s; convert explicitly)",
+            )
+
+
+class FloatEqualityRule(Rule):
+    """JG004: no ``==``/``!=`` against float literals."""
+
+    rule_id = "JG004"
+    summary = (
+        "float ==/!= on energy/accuracy/rate values; use math.isclose, a "
+        "sign check, or mark a sanctioned zero-guard with a suppression"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = next(
+                    (
+                        side
+                        for side in (left, right)
+                        if isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                    ),
+                    None,
+                )
+                if literal is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        context,
+                        node,
+                        f"float '{symbol} {literal.value!r}' comparison; "
+                        "use math.isclose / a sign check, or suppress a "
+                        "sanctioned exact zero-guard",
+                    )
+
+
+class MutableDefaultRule(Rule):
+    """JG005: no mutable default arguments."""
+
+    rule_id = "JG005"
+    summary = "mutable default argument aliases state across calls"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                defaults = list(node.args.defaults) + [
+                    default
+                    for default in node.args.kw_defaults
+                    if default is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.finding(
+                            context,
+                            default,
+                            "mutable default argument is shared across "
+                            "calls; default to None (or use "
+                            "dataclasses.field(default_factory=...))",
+                        )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (
+                ast.List,
+                ast.Dict,
+                ast.Set,
+                ast.ListComp,
+                ast.DictComp,
+                ast.SetComp,
+            ),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+class OverbroadExceptRule(Rule):
+    """JG006: the runtime layer may not swallow arbitrary exceptions."""
+
+    rule_id = "JG006"
+    summary = (
+        "bare/overbroad except in runtime/ hides budget-accounting "
+        "failures; catch specific exceptions or re-raise"
+    )
+    path_filter = "runtime"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if self._reraises(node):
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"{broad} silently absorbs control-loop errors; catch "
+                "the specific exception or re-raise after cleanup",
+            )
+
+    def _broad_name(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return "bare 'except:'"
+        names: List[Optional[str]]
+        if isinstance(node, ast.Tuple):
+            names = [_dotted_name(element) for element in node.elts]
+        else:
+            names = [_dotted_name(node)]
+        for name in names:
+            if name is not None and name.split(".")[-1] in self._BROAD:
+                return f"'except {name}'"
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(stmt, ast.Raise) for stmt in ast.walk(handler)
+        )
+
+
+class ApiDriftRule(Rule):
+    """JG007: every ``__all__`` name must be documented in docs/api.md."""
+
+    rule_id = "JG007"
+    summary = (
+        "__all__ drifted from docs/api.md; regenerate with "
+        "'python tools/gen_api_docs.py' (CI runs --check)"
+    )
+
+    def __init__(self) -> None:
+        self._api_cache: Dict[Path, Optional[str]] = {}
+
+    def _api_doc(self, repo_root: Optional[Path]) -> Optional[str]:
+        if repo_root is None:
+            return None
+        if repo_root not in self._api_cache:
+            candidate = repo_root / "docs" / "api.md"
+            self._api_cache[repo_root] = (
+                candidate.read_text(encoding="utf-8")
+                if candidate.is_file()
+                else None
+            )
+        return self._api_cache[repo_root]
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        module = context.module_name()
+        if module is None:
+            return
+        api_doc = self._api_doc(context.repo_root)
+        if api_doc is None:
+            return
+        for node in context.tree.body:
+            names = self._all_names(node)
+            if names is None:
+                continue
+            missing = [
+                name
+                for name in names
+                if not re.search(
+                    r"- `" + re.escape(name) + r"[`(]", api_doc
+                )
+            ]
+            if missing:
+                yield self.finding(
+                    context,
+                    node,
+                    f"__all__ of '{module}' lists "
+                    + ", ".join(repr(name) for name in missing)
+                    + " but docs/api.md does not document "
+                    + ("it" if len(missing) == 1 else "them")
+                    + "; run 'python tools/gen_api_docs.py'",
+                )
+
+    @staticmethod
+    def _all_names(node: ast.stmt) -> Optional[List[str]]:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            return None
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            return None
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return None
+        names = []
+        for element in node.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+        return names
+
+
+def default_rules() -> Sequence[Rule]:
+    """Fresh instances of the full JG rule set, in id order."""
+    return (
+        UnseededRandomnessRule(),
+        UnstableConstantRule(),
+        UnitMismatchRule(),
+        FloatEqualityRule(),
+        MutableDefaultRule(),
+        OverbroadExceptRule(),
+        ApiDriftRule(),
+    )

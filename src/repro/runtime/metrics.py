@@ -10,28 +10,29 @@
 from __future__ import annotations
 
 
+from ..core.contracts import non_negative, positive, require
+
+
+@require("goal_energy_j", positive, "goal energy must be positive")
+@require(
+    "measured_energy_j", non_negative, "measured energy cannot be negative"
+)
 def relative_error(measured_energy_j: float, goal_energy_j: float) -> float:
     """Eqn. 12: percentage overshoot of the energy goal (0 if under).
 
     Returns a percentage, e.g. 3.5 for 3.5 % over the budget.
     """
-    if goal_energy_j <= 0:
-        raise ValueError("goal energy must be positive")
-    if measured_energy_j < 0:
-        raise ValueError("measured energy cannot be negative")
     if measured_energy_j > goal_energy_j:
         return (measured_energy_j - goal_energy_j) / goal_energy_j * 100.0
     return 0.0
 
 
+@require("oracle_accuracy", positive, "oracle accuracy must be positive")
+@require("accuracy", non_negative, "accuracy cannot be negative")
 def effective_accuracy(accuracy: float, oracle_accuracy: float) -> float:
     """Eqn. 13: achieved accuracy as a fraction of the oracle's.
 
     May slightly exceed 1 in noisy runs that got lucky; the paper plots
     the raw ratio, so no clamping is applied.
     """
-    if oracle_accuracy <= 0:
-        raise ValueError("oracle accuracy must be positive")
-    if accuracy < 0:
-        raise ValueError("accuracy cannot be negative")
     return accuracy / oracle_accuracy

@@ -1,0 +1,201 @@
+"""Contracts: predicates, require/invariant decorators, ContractError."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.contracts import (
+    ContractError,
+    check,
+    invariant,
+    non_negative,
+    positive,
+    require,
+    stable_pole,
+    unit_interval,
+)
+
+
+class TestPredicates:
+    def test_stable_pole(self):
+        assert stable_pole(0.0) and stable_pole(0.999)
+        assert not stable_pole(1.0) and not stable_pole(-0.1)
+
+    def test_unit_interval(self):
+        assert unit_interval(0.0) and unit_interval(1.0)
+        assert not unit_interval(1.0001) and not unit_interval(-0.0001)
+
+    def test_signs(self):
+        assert non_negative(0.0) and not non_negative(-1e-9)
+        assert positive(1e-9) and not positive(0.0)
+
+
+class TestCheck:
+    def test_passes_silently(self):
+        check(True, "never raised")
+
+    def test_raises_contract_error(self):
+        with pytest.raises(ContractError, match="budget must be positive"):
+            check(False, "budget must be positive")
+
+    def test_contract_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            check(False, "compatible with existing callers")
+
+
+class TestRequire:
+    def test_accepts_valid_argument(self):
+        @require("pole", stable_pole, "pole must be in [0, 1)")
+        def f(pole):
+            return pole
+
+        assert f(0.5) == 0.5
+        assert f(pole=0.0) == 0.0
+
+    def test_rejects_invalid_argument_with_value_in_message(self):
+        @require("pole", stable_pole, "pole must be in [0, 1)")
+        def f(pole):
+            return pole
+
+        with pytest.raises(ContractError, match=r"pole=1\.5"):
+            f(1.5)
+
+    def test_checks_defaults(self):
+        @require("rate", positive, "rate must be positive")
+        def f(rate=-1.0):
+            return rate
+
+        with pytest.raises(ContractError):
+            f()
+        assert f(2.0) == 2.0
+
+    def test_stacking_checks_all_parameters(self):
+        @require("a", positive, "a must be positive")
+        @require("b", non_negative, "b cannot be negative")
+        def f(a, b):
+            return a + b
+
+        assert f(1.0, 0.0) == 1.0
+        with pytest.raises(ContractError, match="a must be positive"):
+            f(0.0, 0.0)
+        with pytest.raises(ContractError, match="b cannot be negative"):
+            f(1.0, -1.0)
+
+    def test_contracts_are_introspectable(self):
+        @require("a", positive, "a must be positive")
+        @require("b", non_negative, "b cannot be negative")
+        def f(a, b):
+            return a + b
+
+        assert [entry[0] for entry in f.__contracts__] == ["a", "b"]
+
+    def test_unknown_parameter_fails_at_decoration_time(self):
+        with pytest.raises(TypeError, match="no such parameter"):
+
+            @require("missing", positive, "?")
+            def f(a):
+                return a
+
+    def test_works_on_methods(self):
+        class Box:
+            @require("amount", positive, "amount must be positive")
+            def add(self, amount):
+                return amount
+
+        assert Box().add(3.0) == 3.0
+        with pytest.raises(ContractError):
+            Box().add(0.0)
+
+
+class TestInvariant:
+    def build(self):
+        @invariant(
+            lambda self: self.level >= 0.0, "level cannot go negative"
+        )
+        @dataclass
+        class Tank:
+            level: float = 0.0
+
+            def drain(self, amount):
+                self.level -= amount
+                return self.level
+
+            def _internal_set(self, value):
+                self.level = value
+
+        return Tank
+
+    def test_checked_at_construction(self):
+        Tank = self.build()
+        assert Tank(1.0).level == 1.0
+        with pytest.raises(ContractError, match="level cannot go negative"):
+            Tank(-1.0)
+
+    def test_checked_after_public_mutation(self):
+        Tank = self.build()
+        tank = Tank(5.0)
+        assert tank.drain(2.0) == 3.0
+        with pytest.raises(ContractError):
+            tank.drain(10.0)
+
+    def test_private_methods_not_wrapped(self):
+        Tank = self.build()
+        tank = Tank(1.0)
+        tank._internal_set(-4.0)  # intermediate states are allowed
+        assert tank.level == -4.0
+
+    def test_stacked_invariants_all_enforced(self):
+        @invariant(lambda self: self.x >= 0, "x negative")
+        @invariant(lambda self: self.x < 10, "x too large")
+        @dataclass
+        class Bounded:
+            x: int = 0
+
+            def set(self, value):
+                self.x = value
+
+        bounded = Bounded()
+        bounded.set(5)
+        with pytest.raises(ContractError, match="x negative"):
+            bounded.set(-1)
+        bounded.x = 5
+        with pytest.raises(ContractError, match="x too large"):
+            bounded.set(12)
+
+
+class TestAppliedContracts:
+    """The core classes actually carry the contracts."""
+
+    def test_adaptive_pole_declares_invariant(self):
+        from repro.core.pole import AdaptivePole
+
+        assert hasattr(AdaptivePole, "__invariants__")
+        pole = AdaptivePole()
+        pole.update_from_delta(1e9)
+        assert 0.0 <= pole.pole < 1.0
+
+    def test_vdbe_epsilon_stays_probability(self):
+        from repro.core.vdbe import Vdbe
+
+        assert hasattr(Vdbe, "__invariants__")
+        vdbe = Vdbe(n_configs=8)
+        for _ in range(50):
+            vdbe.update(2.0, 1.0)
+        assert 0.0 <= vdbe.epsilon <= 1.0
+
+    def test_speedup_controller_precondition(self):
+        from repro.core.controller import SpeedupController
+
+        controller = SpeedupController(min_speedup=1.0, max_speedup=4.0)
+        with pytest.raises(ContractError):
+            controller.step(
+                required=1.0,
+                measured_rate=1.0,
+                est_system_rate=1.0,
+                pole=1.0,
+            )
+
+    def test_contract_error_importable_from_core(self):
+        import repro.core
+
+        assert repro.core.ContractError is ContractError

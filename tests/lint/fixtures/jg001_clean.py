@@ -1,0 +1,18 @@
+"""JG001 clean: all randomness flows through injected seeded generators."""
+
+import random
+
+import numpy as np
+
+
+def roll(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def noise(n, rng: np.random.Generator):
+    return rng.normal(size=n)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

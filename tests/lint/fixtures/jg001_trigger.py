@@ -1,0 +1,18 @@
+"""JG001 trigger: module-level / legacy global RNG use."""
+
+import random
+
+import numpy as np
+from random import randint
+
+
+def roll():
+    return random.random() + randint(1, 6)
+
+
+def noise(n):
+    return np.random.normal(size=n)
+
+
+def fresh_rng():
+    return np.random.default_rng()

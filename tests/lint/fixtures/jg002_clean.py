@@ -1,0 +1,12 @@
+"""JG002 clean: stability-range literals inside their ranges."""
+
+
+def configure(controller):
+    controller.step(required=2.0, pole=0.95)
+
+
+def explore(bandit):
+    bandit.reset(epsilon=1.0)
+
+
+steady_pole = 0.0

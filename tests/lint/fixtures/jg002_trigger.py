@@ -1,0 +1,12 @@
+"""JG002 trigger: stability-range literals out of bounds."""
+
+
+def configure(controller):
+    controller.step(required=2.0, pole=1.5)
+
+
+def explore(bandit):
+    bandit.reset(epsilon=-0.25)
+
+
+unstable_pole = 1.0

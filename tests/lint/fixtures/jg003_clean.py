@@ -1,0 +1,14 @@
+"""JG003 clean: unit-consistent arithmetic (J = W*s conversions)."""
+
+
+def total(budget_joules, idle_watts, elapsed_s):
+    return budget_joules + idle_watts * elapsed_s
+
+
+def drain(battery, power_w, elapsed_s):
+    battery.level_j -= power_w * elapsed_s
+    return battery.level_j
+
+
+def over(used_j, budget_j):
+    return used_j > budget_j

@@ -1,0 +1,14 @@
+"""JG003 trigger: arithmetic across unit suffixes."""
+
+
+def total(budget_joules, idle_watts):
+    return budget_joules + idle_watts
+
+
+def drain(battery, elapsed_s):
+    battery.level_j -= elapsed_s
+    return battery.level_j
+
+
+def over(power_w, budget_j):
+    return power_w > budget_j

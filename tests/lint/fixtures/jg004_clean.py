@@ -1,0 +1,16 @@
+"""JG004 clean: isclose / sign checks, plus one sanctioned zero-guard."""
+
+import math
+
+
+def at_goal(energy_j, budget_j):
+    return math.isclose(energy_j, budget_j) or energy_j <= 0.0
+
+
+def changed(accuracy):
+    return not math.isclose(accuracy, 1.0)
+
+
+def is_sentinel(rate):
+    # The default config is exactly 0 by construction.
+    return rate == 0.0  # jglint: disable=JG004

@@ -1,0 +1,9 @@
+"""JG004 trigger: float equality on continuous quantities."""
+
+
+def at_goal(energy_j, budget_j):
+    return energy_j == budget_j * 1.0 or energy_j == 0.0
+
+
+def changed(accuracy):
+    return accuracy != 1.0

@@ -1,0 +1,11 @@
+"""JG005 clean: None defaults and immutable sentinels."""
+
+
+def collect(sample, history=None):
+    history = [] if history is None else history
+    history.append(sample)
+    return history
+
+
+def tally(counts=None, labels=()):
+    return counts or {}, set(labels)

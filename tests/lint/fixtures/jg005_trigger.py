@@ -1,0 +1,14 @@
+"""JG005 trigger: mutable default arguments."""
+
+
+def collect(sample, history=[]):
+    history.append(sample)
+    return history
+
+
+def tally(counts={}, labels=set()):
+    return counts, labels
+
+
+def build(rows=list()):
+    return rows

@@ -1,0 +1,17 @@
+"""JG007 fixture: a module whose __all__ the test checks against api.md.
+
+The test copies this file into a synthetic repo tree (``src/repro/``)
+whose ``docs/api.md`` documents only ``documented_fn``; the undocumented
+``drifted_fn`` must then be reported by JG007.
+"""
+
+
+def documented_fn():
+    return 1
+
+
+def drifted_fn():
+    return 2
+
+
+__all__ = ["documented_fn", "drifted_fn"]

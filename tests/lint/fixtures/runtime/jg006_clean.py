@@ -1,0 +1,16 @@
+"""JG006 clean: specific exceptions, and re-raise after cleanup."""
+
+
+def drive(loop):
+    try:
+        loop.step()
+    except StopIteration:
+        pass
+
+
+def harvest(sensor, log):
+    try:
+        return sensor.read()
+    except Exception:
+        log.flush()
+        raise

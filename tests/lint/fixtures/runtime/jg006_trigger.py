@@ -1,0 +1,15 @@
+"""JG006 trigger: overbroad exception handling in a runtime/ path."""
+
+
+def drive(loop):
+    try:
+        loop.step()
+    except:  # noqa: E722
+        pass
+
+
+def harvest(sensor):
+    try:
+        return sensor.read()
+    except Exception:
+        return None

@@ -1,0 +1,75 @@
+"""CLI behaviour: exit codes, formats, and the acceptance scenario of
+deliberately seeding JG001/JG002 violations into a scratch file."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "fine.py").write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_seeded_violations_exit_nonzero_with_rule_ids(tmp_path, capsys):
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text(
+        "import random\n"
+        "value = random.random()\n"
+        "pole = 1.0\n"
+    )
+    assert main([str(scratch)]) == 1
+    out = capsys.readouterr().out
+    assert "JG001" in out and "JG002" in out
+
+
+def test_json_format(tmp_path, capsys):
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text("def f(xs=[]):\n    return xs\n")
+    assert main(["--format", "json", str(scratch)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["by_rule"] == {"JG005": 1}
+
+
+def test_select_restricts_rules(tmp_path, capsys):
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text("import random\npole = 1.5\n")
+    assert main(["--select", "JG002", str(scratch)]) == 1
+    out = capsys.readouterr().out
+    assert "JG002" in out and "JG001" not in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "JG001",
+        "JG002",
+        "JG003",
+        "JG004",
+        "JG005",
+        "JG006",
+        "JG007",
+    ):
+        assert rule_id in out
+
+
+def test_unknown_rule_id_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select", "JG999", str(tmp_path)])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path / "nope.py")])
+    assert excinfo.value.code == 2
+
+
+def test_no_paths_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2

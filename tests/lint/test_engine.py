@@ -1,0 +1,121 @@
+"""Engine behaviour: suppressions, selection, reporters, ordering."""
+
+import json
+
+from repro.lint import (
+    Finding,
+    LintEngine,
+    default_rules,
+    render_json,
+    render_text,
+)
+
+
+def lint_source(tmp_path, source, name="snippet.py", **engine_kwargs):
+    path = tmp_path / name
+    path.write_text(source)
+    return LintEngine(**engine_kwargs).run([path])
+
+
+def test_line_suppression_silences_only_that_line(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "a = 1.0\n"
+        "ok = a == 0.0  # jglint: disable=JG004\n"
+        "bad = a != 0.0\n",
+    )
+    assert [finding.line for finding in findings] == [3]
+    assert findings[0].rule_id == "JG004"
+
+
+def test_line_suppression_is_rule_specific(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "def f(xs=[]):  # jglint: disable=JG001\n    return xs\n",
+    )
+    assert [finding.rule_id for finding in findings] == ["JG005"]
+
+
+def test_file_level_suppression(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "# jglint: disable-file=JG004\n"
+        "a = 1.0\n"
+        "bad = a == 0.0\n"
+        "worse = a != 1.0\n",
+    )
+    assert findings == []
+
+
+def test_disable_all(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "def f(xs=[]):  # jglint: disable=all\n    return xs\n",
+    )
+    assert findings == []
+
+
+def test_select_and_ignore(tmp_path):
+    source = "def f(xs=[], pole=2.0):\n    return xs\n"
+    assert {
+        finding.rule_id
+        for finding in lint_source(tmp_path, source, select=["JG005"])
+    } == {"JG005"}
+    assert {
+        finding.rule_id
+        for finding in lint_source(tmp_path, source, ignore=["JG005"])
+    } == {"JG002"}
+
+
+def test_syntax_error_becomes_jg000_finding(tmp_path):
+    findings = lint_source(tmp_path, "def broken(:\n")
+    assert [finding.rule_id for finding in findings] == ["JG000"]
+
+
+def test_findings_sorted_by_location(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "b = 1.0\n"
+        "late = b != 0.5\n"
+        "def f(xs=[]):\n    return xs\n",
+    )
+    assert findings == sorted(findings)
+    assert [finding.line for finding in findings] == [2, 3]
+
+
+def test_render_text_clean_and_dirty(tmp_path):
+    clean = render_text([], files_checked=3)
+    assert "clean" in clean and "3 files" in clean
+    finding = Finding(
+        path="x.py", line=4, column=2, rule_id="JG004", message="bad"
+    )
+    dirty = render_text([finding], files_checked=1)
+    assert "x.py:4:2: JG004 bad" in dirty
+    assert "1 finding" in dirty and "JG004: 1" in dirty
+
+
+def test_render_json_round_trips():
+    finding = Finding(
+        path="x.py", line=4, column=2, rule_id="JG001", message="bad"
+    )
+    document = json.loads(render_json([finding], files_checked=7))
+    assert document["summary"] == {
+        "total": 1,
+        "files_checked": 7,
+        "by_rule": {"JG001": 1},
+    }
+    assert document["findings"][0]["rule"] == "JG001"
+    assert document["findings"][0]["line"] == 4
+
+
+def test_default_registry_covers_seven_rules():
+    ids = [rule.rule_id for rule in default_rules()]
+    assert ids == [
+        "JG001",
+        "JG002",
+        "JG003",
+        "JG004",
+        "JG005",
+        "JG006",
+        "JG007",
+    ]

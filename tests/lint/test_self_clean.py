@@ -1,0 +1,40 @@
+"""The repo must satisfy its own linter (dogfooding gate).
+
+This is the in-tree mirror of the CI job: ``src/repro`` (and the
+benchmark/example trees when present) lint clean with every rule
+enabled, so a PR introducing an unseeded RNG, an unstable pole literal,
+or API drift fails before review.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintEngine
+
+import repro
+
+PACKAGE_DIR = pathlib.Path(repro.__file__).parent
+REPO_ROOT = PACKAGE_DIR.parent.parent
+
+
+def _lint(path: pathlib.Path):
+    return LintEngine().run([path])
+
+
+def test_package_is_lint_clean():
+    findings = _lint(PACKAGE_DIR)
+    assert findings == [], "\n".join(
+        finding.render() for finding in findings
+    )
+
+
+@pytest.mark.parametrize("tree", ["benchmarks", "examples", "tools"])
+def test_aux_trees_are_lint_clean(tree):
+    target = REPO_ROOT / tree
+    if not target.is_dir():
+        pytest.skip(f"{tree}/ not present in this checkout")
+    findings = _lint(target)
+    assert findings == [], "\n".join(
+        finding.render() for finding in findings
+    )
