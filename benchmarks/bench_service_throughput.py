@@ -1,0 +1,113 @@
+"""Service throughput: sessions/sec and step latency under concurrency.
+
+The daemon hosts every session on one event loop (`repro.service`), so
+the interesting numbers are how step latency degrades as concurrent
+clients multiply, and how much convergence time a warm-start snapshot
+saves.  This bench runs the real daemon (ServerThread on a Unix
+socket) and the real blocking client:
+
+* 1 / 8 / 32 concurrent synthetic clients, each a full closed loop —
+  sessions/sec, steps/sec, and p50/p95 per-step round-trip latency;
+* warm vs cold convergence — iterations until the SEO's ε settles,
+  cold start vs restored from a snapshot.
+
+Results land in ``benchmarks/results/service_throughput.json``.
+Absolute latencies reflect Python and a loopback socket; the shape
+claims that should survive any port are (a) p95 grows roughly linearly
+with client count (one shared loop) and (b) warm starts converge in
+strictly fewer iterations.
+"""
+
+import json
+
+import pytest
+
+from conftest import write_result
+
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    SessionManager,
+    SnapshotStore,
+    drive_synthetic_session,
+    run_load,
+)
+
+CLIENT_COUNTS = (1, 8, 32)
+STEPS_PER_CLIENT = 20
+CONVERGENCE_STEPS = 40
+
+_results = {"load": [], "convergence": {}}
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    manager = SessionManager(
+        global_budget_j=1e9, store=SnapshotStore()
+    )
+    sock = str(tmp_path_factory.mktemp("service") / "bench.sock")
+    with ServerThread(manager, unix_path=sock):
+        yield sock
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_concurrent_load(daemon, n_clients):
+    report = run_load(
+        n_clients,
+        steps=STEPS_PER_CLIENT,
+        unix_path=daemon,
+        base_seed=1000 * n_clients,
+    )
+    assert report.errors == 0
+    assert report.total_steps == n_clients * STEPS_PER_CLIENT
+    row = report.as_dict()
+    _results["load"].append(row)
+    print(
+        f"\n{n_clients:>3} clients: "
+        f"{row['sessions_per_s']:8.1f} sessions/s  "
+        f"{row['steps_per_s']:8.1f} steps/s  "
+        f"p50 {row['p50_step_latency_ms']:6.2f} ms  "
+        f"p95 {row['p95_step_latency_ms']:6.2f} ms"
+    )
+
+
+def test_warm_vs_cold_convergence(daemon):
+    with ServiceClient(unix_path=daemon) as client:
+        cold = drive_synthetic_session(
+            client,
+            machine="tablet",
+            app="x264",
+            factor=1.5,
+            steps=CONVERGENCE_STEPS,
+            seed=7,
+            warm_start=False,
+            take_snapshot=True,
+        )
+        warm = drive_synthetic_session(
+            client,
+            machine="tablet",
+            app="x264",
+            factor=1.5,
+            steps=CONVERGENCE_STEPS,
+            seed=8,
+            warm_start=True,
+        )
+    assert warm.warm and not cold.warm
+    assert warm.convergence_step() < cold.convergence_step()
+    _results["convergence"] = {
+        "steps": CONVERGENCE_STEPS,
+        "cold_convergence_step": cold.convergence_step(),
+        "warm_convergence_step": warm.convergence_step(),
+        "cold_final_epsilon": cold.decisions[-1]["epsilon"],
+        "warm_final_epsilon": warm.decisions[-1]["epsilon"],
+    }
+    print(
+        f"\nconvergence: cold {cold.convergence_step()} iterations, "
+        f"warm {warm.convergence_step()}"
+    )
+
+    path = write_result(
+        "service_throughput.json",
+        json.dumps(_results, indent=2, sort_keys=True) + "\n",
+    )
+    print(f"wrote {path}")

@@ -18,6 +18,12 @@ Subcommands
     paper's factors), optional CSV export.
 ``oracle``
     The clairvoyant optimum and feasibility limit for a combination.
+``serve``
+    Run the multi-tenant JouleGuard daemon (``repro.service``) in the
+    foreground on a TCP port and/or Unix socket.
+``client``
+    Drive one synthetic closed-loop session against a running daemon,
+    or a concurrent load run with ``--clients N``.
 """
 
 from __future__ import annotations
@@ -177,6 +183,99 @@ def _cmd_racepace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .service import SessionManager, SnapshotStore, serve
+
+    if args.host is None and args.unix is None:
+        print("serve needs --host/--port and/or --unix", file=sys.stderr)
+        return 2
+    store = SnapshotStore(
+        directory=pathlib.Path(args.state_dir)
+        if args.state_dir
+        else None
+    )
+    manager = SessionManager(
+        global_budget_j=args.budget_j,
+        store=store,
+        idle_timeout_s=args.idle_timeout,
+    )
+    where = []
+    if args.host is not None:
+        where.append(f"tcp {args.host}:{args.port}")
+    if args.unix is not None:
+        where.append(f"unix {args.unix}")
+    print(f"serving JouleGuard on {', '.join(where)} "
+          f"(budget {args.budget_j:.0f} J)")
+    serve(
+        manager,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        reap_interval_s=args.reap_interval,
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service import (
+        ServiceClient,
+        ServiceError,
+        drive_synthetic_session,
+        run_load,
+    )
+
+    if (args.unix is None) == (args.host is None):
+        print("client needs --host/--port or --unix", file=sys.stderr)
+        return 2
+    if args.clients > 1:
+        report = run_load(
+            args.clients,
+            steps=args.steps,
+            machine=args.machine,
+            app=args.app,
+            factor=args.factor,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            base_seed=args.seed,
+        )
+        for key, value in report.as_dict().items():
+            print(f"{key:>22}: {value}")
+        return 0 if report.errors == 0 else 1
+    try:
+        with ServiceClient(
+            host=args.host, port=args.port, unix_path=args.unix
+        ) as client:
+            run = drive_synthetic_session(
+                client,
+                machine=args.machine,
+                app=args.app,
+                factor=args.factor,
+                steps=args.steps,
+                seed=args.seed,
+                warm_start=not args.cold,
+                take_snapshot=args.snapshot,
+            )
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"client failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{'session':>22}: {run.session}")
+    print(f"{'warm start':>22}: {run.warm}")
+    print(f"{'steps':>22}: {run.steps}")
+    print(f"{'convergence step':>22}: {run.convergence_step()}")
+    print(f"{'final epsilon':>22}: "
+          f"{run.decisions[-1]['epsilon']:.4f}")
+    if run.state is not None:
+        print(f"{'snapshot':>22}: saved "
+              f"({run.state['machine']}, {run.state['app']})")
+    for key in ("energy_used_j", "effective_budget_j", "work_done"):
+        if key in run.report:
+            print(f"{key:>22}: {run.report[key]}")
+    return 0
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     app = build_application(args.app)
@@ -254,6 +353,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     racepace.add_argument("--deep-sleep", type=float, default=0.0)
     racepace.set_defaults(func=_cmd_racepace)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the multi-tenant JouleGuard daemon"
+    )
+    serve_cmd.add_argument("--host", help="TCP listen address")
+    serve_cmd.add_argument("--port", type=int, default=7715)
+    serve_cmd.add_argument("--unix", help="unix socket path")
+    serve_cmd.add_argument(
+        "--budget-j", type=float, default=1e9,
+        help="global energy budget the daemon may promise",
+    )
+    serve_cmd.add_argument(
+        "--state-dir",
+        help="directory persisting warm-start snapshots",
+    )
+    serve_cmd.add_argument("--idle-timeout", type=float, default=300.0)
+    serve_cmd.add_argument("--reap-interval", type=float, default=5.0)
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    client_cmd = sub.add_parser(
+        "client", help="synthetic closed-loop client for the daemon"
+    )
+    client_cmd.add_argument("--host", help="daemon TCP address")
+    client_cmd.add_argument("--port", type=int, default=7715)
+    client_cmd.add_argument("--unix", help="daemon unix socket path")
+    client_cmd.add_argument("--machine", default="tablet",
+                            choices=["mobile", "tablet", "server"])
+    client_cmd.add_argument("--app", default="x264")
+    client_cmd.add_argument("--factor", type=float, default=1.5)
+    client_cmd.add_argument("--steps", type=int, default=50)
+    client_cmd.add_argument("--seed", type=int, default=0)
+    client_cmd.add_argument(
+        "--clients", type=int, default=1,
+        help="run a concurrent load with this many clients",
+    )
+    client_cmd.add_argument(
+        "--cold", action="store_true",
+        help="skip warm-start even when a snapshot exists",
+    )
+    client_cmd.add_argument(
+        "--snapshot", action="store_true",
+        help="store this session's learned state before closing",
+    )
+    client_cmd.set_defaults(func=_cmd_client)
     return parser
 
 

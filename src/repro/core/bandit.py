@@ -21,7 +21,7 @@ initialization intends, while giving them correct units.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -189,3 +189,76 @@ class SystemEnergyOptimizer:
         )
         self.vdbe.update(rate / power, estimated_eff)
         self.updates += 1
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable learned state.
+
+        Everything the VDBE exploration paid for is here — priors,
+        per-arm EWMA tables, visit mask, scale calibration, ε — so a new
+        optimizer for the same configuration space can warm-start
+        instead of re-exploring (see :mod:`repro.service.state`).  The
+        RNG state rides along so a restore without an explicit reseed
+        continues the exact exploration sequence.
+        """
+        return {
+            "alpha": self.alpha,
+            "optimism": self.optimism,
+            "rate_shape": self._rate_shape.tolist(),
+            "power_shape": self._power_shape.tolist(),
+            "rate_est": self._rate_est.tolist(),
+            "power_est": self._power_est.tolist(),
+            "visited": [bool(flag) for flag in self._visited],
+            "rate_scale": self._rate_scale,
+            "power_scale": self._power_scale,
+            "vdbe": self.vdbe.snapshot(),
+            "updates": self.updates,
+            "last_rate_delta": self.last_rate_delta,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Mapping[str, Any],
+        seed: Optional[int] = None,
+    ) -> "SystemEnergyOptimizer":
+        """Rebuild an optimizer from :meth:`snapshot` output.
+
+        ``seed`` reseeds the exploration RNG (for replicated runs that
+        share learned tables but need independent — or deterministic —
+        exploration draws); ``None`` resumes the snapshotted RNG state.
+        """
+        seo = cls(
+            snapshot["rate_shape"],
+            snapshot["power_shape"],
+            alpha=float(snapshot["alpha"]),
+            optimism=float(snapshot["optimism"]),
+            vdbe=Vdbe.restore(snapshot["vdbe"]),
+            seed=0 if seed is None else seed,
+        )
+        rate_est = np.asarray(snapshot["rate_est"], dtype=float)
+        power_est = np.asarray(snapshot["power_est"], dtype=float)
+        visited = np.asarray(snapshot["visited"], dtype=bool)
+        if not (
+            rate_est.shape
+            == power_est.shape
+            == visited.shape
+            == (seo.n_configs,)
+        ):
+            raise ValueError(
+                "snapshot tables do not match the configuration space"
+            )
+        seo._rate_est = rate_est
+        seo._power_est = power_est
+        seo._visited = visited
+        for attr in ("rate_scale", "power_scale"):
+            value = snapshot[attr]
+            setattr(
+                seo, f"_{attr}", None if value is None else float(value)
+            )
+        seo.updates = int(snapshot["updates"])
+        seo.last_rate_delta = float(snapshot["last_rate_delta"])
+        if seed is None and snapshot.get("rng_state") is not None:
+            seo._rng.bit_generator.state = snapshot["rng_state"]
+        return seo

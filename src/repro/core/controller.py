@@ -16,6 +16,7 @@ standard actuator-saturation guard.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
 
 from .contracts import (
     check,
@@ -136,4 +137,22 @@ class SpeedupController:
         """Reset the integrator (used on phase-change detection tests)."""
         self.speedup = float(
             min(max(speedup, self.min_speedup), self.max_speedup)
+        )
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state (see :mod:`repro.service.state`)."""
+        return {
+            "min_speedup": self.min_speedup,
+            "max_speedup": self.max_speedup,
+            "speedup": self.speedup,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, Any]) -> "SpeedupController":
+        """Rebuild a controller from :meth:`snapshot` output."""
+        return cls(
+            min_speedup=float(snapshot["min_speedup"]),
+            max_speedup=float(snapshot["max_speedup"]),
+            initial_speedup=float(snapshot["speedup"]),
         )

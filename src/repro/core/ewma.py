@@ -13,7 +13,7 @@ systems", Sec. 3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 from .contracts import check
 
@@ -49,3 +49,22 @@ class Ewma:
     @property
     def initialized(self) -> bool:
         return self.value is not None
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state (see :mod:`repro.service.state`)."""
+        return {
+            "alpha": self.alpha,
+            "value": self.value,
+            "updates": self.updates,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, Any]) -> "Ewma":
+        """Rebuild an estimator from :meth:`snapshot` output."""
+        value = snapshot["value"]
+        return cls(
+            alpha=float(snapshot["alpha"]),
+            value=None if value is None else float(value),
+            updates=int(snapshot["updates"]),
+        )

@@ -25,7 +25,7 @@ pins the system to minimum-energy operation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from .bandit import SystemEnergyOptimizer
 from .budget import BudgetAccountant, EnergyGoal
@@ -198,6 +198,59 @@ class JouleGuardRuntime:
     def _commit(self, decision: Decision) -> None:
         self._decision = decision
         self._decisions.append(decision)
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot_learned(self) -> Dict[str, Any]:
+        """JSON-serializable *learned* state of this runtime.
+
+        Covers the SEO's bandit tables, the adaptive pole, and the
+        controller's integral state — the pieces that are expensive to
+        re-learn.  Budget accounting and the decision trace are
+        deliberately excluded: they belong to one run, not to the
+        (application, platform) pair.  Wrapped with identity and a
+        format version by :mod:`repro.service.state`.
+        """
+        return {
+            "seo": self.seo.snapshot(),
+            "pole": self.pole_adapter.snapshot(),
+            "controller": self.controller.snapshot(),
+        }
+
+    def restore_learned(
+        self,
+        snapshot: Mapping[str, Any],
+        seed: Optional[int] = None,
+    ) -> None:
+        """Warm-start this runtime from :meth:`snapshot_learned` output.
+
+        The runtime keeps its own goal, accountant, and configuration
+        table; only the learner, pole, and integrator are replaced.
+        ``seed`` reseeds SEO exploration (see
+        :meth:`SystemEnergyOptimizer.restore`).  The pending decision is
+        refreshed so the very first iteration already runs the learned
+        efficiency argmax instead of the cold-start default.
+        """
+        seo = SystemEnergyOptimizer.restore(snapshot["seo"], seed=seed)
+        if seo.n_configs != self.seo.n_configs:
+            raise ValueError(
+                "snapshot covers a different system configuration space "
+                f"({seo.n_configs} configs vs {self.seo.n_configs})"
+            )
+        self.seo = seo
+        self.pole_adapter = AdaptivePole.restore(snapshot["pole"])
+        self.controller.reset(float(snapshot["controller"]["speedup"]))
+        decision = Decision(
+            system_index=self.seo.best_index,
+            app_config=self.table.best_accuracy_for_speedup(
+                self.controller.speedup
+            ),
+            speedup_setpoint=self.controller.speedup,
+            pole=self.pole_adapter.pole,
+            epsilon=self.seo.epsilon,
+            explored=False,
+            feasible=True,
+        )
+        self._commit(decision)
 
 
 def build_runtime(

@@ -135,6 +135,14 @@ class MultiAppCoordinator:
         projected = state.recent_epw * accountant.remaining_work
         return accountant.remaining_energy_j - projected
 
+    def _overdraft_j(self, name: str) -> float:
+        """How far an application's spend already exceeds its budget."""
+        accountant = self._apps[name].runtime.accountant
+        return max(
+            0.0,
+            accountant.energy_used_j - accountant.effective_budget_j,
+        )
+
     def rebalance(self) -> Dict[str, float]:
         """Move surplus joules from under-spenders to strainers.
 
@@ -149,21 +157,36 @@ class MultiAppCoordinator:
         donors = {n: s for n, s in surpluses.items() if s > 0}
         needers = {n: -s for n, s in surpluses.items() if s < 0}
         deltas = {name: 0.0 for name in self._apps}
-        if donors and needers:
+        while donors and needers:
             available = sum(donors.values()) * self.transfer_fraction
             needed = sum(needers.values())
             moved = min(available, needed)
-            if moved > 0:
-                for name, surplus in donors.items():
-                    share = (
-                        moved * surplus / sum(donors.values())
-                    )
-                    self._apps[name].runtime.accountant.adjust_budget(-share)
-                    deltas[name] -= share
-                for name, deficit in needers.items():
-                    share = moved * deficit / needed
-                    self._apps[name].runtime.accountant.adjust_budget(share)
-                    deltas[name] += share
+            if moved <= 0:
+                break
+            # A grant below an application's overdraft cannot lift it
+            # back above water and the accountant rejects it (an
+            # effective budget may never end up under what is already
+            # spent), so drop such needers and re-split among the rest.
+            undersized = [
+                name
+                for name, deficit in needers.items()
+                if moved * deficit / needed
+                < self._overdraft_j(name) - 1e-9
+            ]
+            if undersized:
+                for name in undersized:
+                    del needers[name]
+                continue
+            donor_total = sum(donors.values())
+            for name, surplus in donors.items():
+                share = moved * surplus / donor_total
+                self._apps[name].runtime.accountant.adjust_budget(-share)
+                deltas[name] -= share
+            for name, deficit in needers.items():
+                share = moved * deficit / needed
+                self._apps[name].runtime.accountant.adjust_budget(share)
+                deltas[name] += share
+            break
         self.transfers.append(deltas)
         return deltas
 

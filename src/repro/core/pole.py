@@ -19,6 +19,7 @@ the stability boundary when δ > 2); margin 1 reproduces the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
 
 from .contracts import (
     check,
@@ -105,3 +106,21 @@ class AdaptivePole:
     @property
     def pole(self) -> float:
         return pole_for_error(self._delta, self.margin)
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state (see :mod:`repro.service.state`)."""
+        return {
+            "margin": self.margin,
+            "smoothing": self.smoothing,
+            "delta": self._delta,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, Any]) -> "AdaptivePole":
+        """Rebuild pole state from :meth:`snapshot` output."""
+        return cls(
+            margin=float(snapshot["margin"]),
+            smoothing=float(snapshot["smoothing"]),
+            _delta=float(snapshot["delta"]),
+        )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
 
 from .contracts import check, invariant, non_negative, require, unit_interval
 from .ewma import DEFAULT_ALPHA
@@ -97,3 +98,27 @@ class Vdbe:
     def should_explore(self, rand: float) -> bool:
         """Paper's exploration test: explore iff ``rand < ε(t)``."""
         return rand < self.epsilon
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state (see :mod:`repro.service.state`)."""
+        return {
+            "n_configs": self.n_configs,
+            "sigma": self.sigma,
+            "alpha": self.alpha,
+            "relative": self.relative,
+            "min_weight": self.min_weight,
+            "epsilon": self.epsilon,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, Any]) -> "Vdbe":
+        """Rebuild exploration state from :meth:`snapshot` output."""
+        return cls(
+            n_configs=int(snapshot["n_configs"]),
+            sigma=float(snapshot["sigma"]),
+            alpha=float(snapshot["alpha"]),
+            relative=bool(snapshot["relative"]),
+            min_weight=float(snapshot["min_weight"]),
+            epsilon=float(snapshot["epsilon"]),
+        )

@@ -1,4 +1,4 @@
-"""The JouleGuard-specific rule set (JG001–JG007).
+"""The JouleGuard-specific rule set (JG001–JG008).
 
 Each rule encodes an invariant the reproduction's correctness argument
 depends on — see ``docs/static_analysis.md`` for the rule-by-rule
@@ -16,7 +16,10 @@ rationale tied to the paper's equations:
 * JG005 — mutable default arguments alias state across calls;
 * JG006 — the runtime layer may not swallow arbitrary exceptions;
 * JG007 — ``__all__`` must agree with ``docs/api.md``
-  (``tools/gen_api_docs.py --check`` is the CI-side twin).
+  (``tools/gen_api_docs.py --check`` is the CI-side twin);
+* JG008 — no blocking calls inside ``async def`` bodies: the service
+  daemon multiplexes every session on one event loop, so one
+  ``time.sleep`` stalls every client's control loop.
 """
 
 from __future__ import annotations
@@ -24,13 +27,14 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .engine import FileContext, Rule
 from .findings import Finding
 
 __all__ = [
     "ApiDriftRule",
+    "BlockingAsyncCallRule",
     "FloatEqualityRule",
     "MutableDefaultRule",
     "OverbroadExceptRule",
@@ -580,6 +584,139 @@ class ApiDriftRule(Rule):
         return names
 
 
+class BlockingAsyncCallRule(Rule):
+    """JG008: no blocking calls inside ``async def`` bodies.
+
+    The service daemon hosts every session on one event loop; a single
+    blocking call inside a coroutine stalls *all* concurrent control
+    loops (and their energy accounting) at once.  Flags, directly
+    inside an ``async def`` body:
+
+    * ``time.sleep()`` (use ``await asyncio.sleep()``);
+    * bare ``input()``;
+    * ``socket.create_connection()`` without a ``timeout=`` keyword;
+    * blocking calls on socket-like objects (``.accept()``,
+      ``.recv()``, ...) — use ``loop.sock_*`` or asyncio streams.
+
+    Nested synchronous ``def``/``lambda`` bodies are exempt: defining a
+    blocking helper inside a coroutine does not block the loop (it only
+    blocks if *called* there, which is flagged at the call site when the
+    call is written in the coroutine itself).
+    """
+
+    rule_id = "JG008"
+    summary = (
+        "blocking call (time.sleep / bare input / un-timed socket op) "
+        "inside an async def stalls every session on the event loop"
+    )
+    path_filter = "repro"
+
+    _SOCKET_METHODS = frozenset(
+        {"accept", "connect", "recv", "recvfrom", "recv_into", "sendall"}
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        sleep_aliases = self._time_sleep_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(
+                    context, node, sleep_aliases
+                )
+
+    @staticmethod
+    def _time_sleep_aliases(tree: ast.Module) -> Set[str]:
+        """Local names bound to ``time.sleep`` via ``from time import``."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for item in node.names:
+                    if item.name == "sleep":
+                        aliases.add(item.asname or item.name)
+        return aliases
+
+    def _body_nodes(
+        self, function: ast.AsyncFunctionDef
+    ) -> Iterator[ast.AST]:
+        """Nodes executed *by this coroutine* (nested defs excluded)."""
+        stack: List[ast.AST] = list(function.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue  # own scope: visited separately if async
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_coroutine(
+        self,
+        context: FileContext,
+        function: ast.AsyncFunctionDef,
+        sleep_aliases: Set[str],
+    ) -> Iterator[Finding]:
+        for node in self._body_nodes(function):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    context, function, node, sleep_aliases
+                )
+
+    def _check_call(
+        self,
+        context: FileContext,
+        function: ast.AsyncFunctionDef,
+        node: ast.Call,
+        sleep_aliases: Set[str],
+    ) -> Iterator[Finding]:
+        where = f"'async def {function.name}'"
+        dotted = _dotted_name(node.func)
+        if dotted == "time.sleep" or (
+            dotted is not None and dotted in sleep_aliases
+        ):
+            yield self.finding(
+                context,
+                node,
+                f"blocking '{dotted}()' inside {where} stalls the event "
+                "loop and every session on it; use "
+                "'await asyncio.sleep()'",
+            )
+            return
+        if dotted == "input":
+            yield self.finding(
+                context,
+                node,
+                f"'input()' inside {where} blocks the event loop on the "
+                "terminal; read via a thread or a stream instead",
+            )
+            return
+        if dotted is not None and dotted.endswith(
+            ".create_connection"
+        ) and dotted.split(".")[0] in ("socket",):
+            if not any(
+                keyword.arg == "timeout" for keyword in node.keywords
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"'{dotted}()' without 'timeout=' inside {where} can "
+                    "block the event loop indefinitely; pass a timeout "
+                    "or use 'await asyncio.open_connection()'",
+                )
+            return
+        if isinstance(node.func, ast.Attribute) and (
+            node.func.attr in self._SOCKET_METHODS
+        ):
+            receiver = _dotted_name(node.func.value)
+            if receiver is not None and "sock" in receiver.lower():
+                yield self.finding(
+                    context,
+                    node,
+                    f"blocking socket call '{receiver}."
+                    f"{node.func.attr}()' inside {where}; use "
+                    f"'loop.sock_{node.func.attr}()' or asyncio streams",
+                )
+
+
 def default_rules() -> Sequence[Rule]:
     """Fresh instances of the full JG rule set, in id order."""
     return (
@@ -590,4 +727,5 @@ def default_rules() -> Sequence[Rule]:
         MutableDefaultRule(),
         OverbroadExceptRule(),
         ApiDriftRule(),
+        BlockingAsyncCallRule(),
     )

@@ -1,0 +1,96 @@
+"""repro.service: a multi-tenant JouleGuard daemon.
+
+One long-running process hosts many concurrent controller sessions —
+each an independent :class:`~repro.core.jouleguard.JouleGuardRuntime` —
+under one shared global energy budget, and speaks a small versioned
+JSON-lines protocol over TCP or Unix sockets.  Learned state (SEO
+tables, VDBE exploration, pole adaptation) can be snapshotted per
+``(machine, app)`` pair and used to warm-start later sessions.
+
+Layers, bottom to top:
+
+* :mod:`~repro.service.protocol` — wire format, error codes, payload
+  codecs;
+* :mod:`~repro.service.state` — learned-state snapshots and the
+  :class:`SnapshotStore`;
+* :mod:`~repro.service.sessions` — the :class:`SessionManager`:
+  admission control, the shared budget pool, cross-session rebalance;
+* :mod:`~repro.service.server` — the asyncio daemon (:func:`serve`,
+  :class:`ServerThread`);
+* :mod:`~repro.service.client` — the blocking :class:`ServiceClient`
+  and the :func:`run_load` load generator.
+"""
+
+from .client import (
+    LoadReport,
+    OpenedSession,
+    ServiceClient,
+    ServiceError,
+    SessionRun,
+    drive_synthetic_session,
+    run_load,
+)
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    ProtocolError,
+    decision_payload,
+    decode_message,
+    encode_message,
+    error_response,
+    measurement_from_payload,
+    measurement_payload,
+    ok_response,
+    parse_request,
+)
+from .server import ServerThread, ServiceServer, serve
+from .sessions import Session, SessionError, SessionManager
+from .state import (
+    STATE_VERSION,
+    SnapshotError,
+    SnapshotStore,
+    SnapshotVersionError,
+    apply_state,
+    capture_state,
+    dumps_state,
+    loads_state,
+    validate_state,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "LoadReport",
+    "OpenedSession",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "STATE_VERSION",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SessionError",
+    "SessionManager",
+    "SessionRun",
+    "SnapshotError",
+    "SnapshotStore",
+    "SnapshotVersionError",
+    "apply_state",
+    "capture_state",
+    "decision_payload",
+    "decode_message",
+    "drive_synthetic_session",
+    "dumps_state",
+    "encode_message",
+    "error_response",
+    "loads_state",
+    "measurement_from_payload",
+    "measurement_payload",
+    "ok_response",
+    "parse_request",
+    "run_load",
+    "serve",
+    "validate_state",
+]

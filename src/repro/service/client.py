@@ -1,0 +1,424 @@
+"""Blocking client library and load generator for the daemon.
+
+:class:`ServiceClient` is the reference protocol implementation for
+callers that live outside the daemon's event loop: it speaks the
+JSON-lines protocol over TCP or a Unix socket with a timeout on every
+operation, raises :class:`ServiceError` with the server's structured
+error code, and exposes one method per request type.
+
+On top of it, :func:`drive_synthetic_session` closes the loop the way
+:func:`repro.runtime.harness.run_jouleguard` does — but with the
+*client* owning the (simulated) platform and the *daemon* owning the
+controller — and :func:`run_load` drives N such clients concurrently
+to measure sessions/sec and step-latency percentiles.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..apps import build_application
+from ..core.types import Measurement
+from ..hw import PlatformSimulator, get_machine
+from ..hw.simulator import NoiseModel
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    measurement_payload,
+)
+
+__all__ = [
+    "LoadReport",
+    "OpenedSession",
+    "ServiceClient",
+    "ServiceError",
+    "SessionRun",
+    "drive_synthetic_session",
+    "run_load",
+]
+
+
+class ServiceError(RuntimeError):
+    """A structured error returned by the daemon."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class OpenedSession:
+    """The daemon's answer to ``open_session``."""
+
+    session: str
+    warm: bool
+    granted_budget_j: float
+    decision: Dict[str, Any]
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for one daemon connection.
+
+    Parameters
+    ----------
+    host / port:
+        TCP address of the daemon (mutually exclusive with
+        ``unix_path``).
+    unix_path:
+        Unix-socket path of the daemon.
+    timeout_s:
+        Socket timeout applied to connect and to every request.
+    handshake:
+        Send ``hello`` on connect and verify the protocol version.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout_s: float = 30.0,
+        handshake: bool = True,
+    ) -> None:
+        if (unix_path is None) == (host is None):
+            raise ValueError(
+                "give either host/port (TCP) or unix_path, not both"
+            )
+        if timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout_s = timeout_s
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(unix_path)
+        else:
+            if port is None:
+                raise ValueError("TCP needs an explicit port")
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        self._file = self._sock.makefile("rwb")
+        self.server_stats: Dict[str, Any] = {}
+        if handshake:
+            self.server_stats = self.hello()
+
+    # -- transport -------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises on error envelopes."""
+        self._file.write(encode_message(payload))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = decode_message(line)
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServiceError(
+                str(error.get("code", "internal")),
+                str(error.get("message", "unspecified error")),
+            )
+        return response
+
+    def close_connection(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close_connection()
+
+    # -- one method per request type -------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        return self.request(
+            {"type": "hello", "version": PROTOCOL_VERSION}
+        )
+
+    def open_session(
+        self,
+        machine: str,
+        app: str,
+        factor: float,
+        total_work: float,
+        seed: int = 0,
+        warm_start: bool = True,
+        client_name: str = "",
+    ) -> OpenedSession:
+        response = self.request(
+            {
+                "type": "open_session",
+                "machine": machine,
+                "app": app,
+                "factor": factor,
+                "total_work": total_work,
+                "seed": seed,
+                "warm_start": warm_start,
+                "client": client_name,
+            }
+        )
+        return OpenedSession(
+            session=response["session"],
+            warm=response["warm"],
+            granted_budget_j=response["granted_budget_j"],
+            decision=response["decision"],
+        )
+
+    def step(
+        self, session: str, measurement: Measurement
+    ) -> Dict[str, Any]:
+        """Send one heartbeat; return the next decision payload."""
+        response = self.request(
+            {
+                "type": "step",
+                "session": session,
+                "measurement": measurement_payload(measurement),
+            }
+        )
+        return response["decision"]
+
+    def report(self, session: str) -> Dict[str, Any]:
+        return self.request({"type": "report", "session": session})[
+            "report"
+        ]
+
+    def snapshot(self, session: str) -> Dict[str, Any]:
+        """Ask the daemon to persist this session's learned state."""
+        return self.request({"type": "snapshot", "session": session})[
+            "state"
+        ]
+
+    def close(self, session: str) -> Dict[str, Any]:
+        return self.request({"type": "close", "session": session})[
+            "report"
+        ]
+
+
+# -- synthetic closed loop ----------------------------------------------------
+@dataclass
+class SessionRun:
+    """Outcome of one synthetic client session."""
+
+    session: str
+    warm: bool
+    steps: int
+    decisions: List[Dict[str, Any]] = field(default_factory=list)
+    step_latencies_s: List[float] = field(default_factory=list)
+    report: Dict[str, Any] = field(default_factory=dict)
+    state: Optional[Dict[str, Any]] = None
+
+    def convergence_step(self, epsilon_threshold: float = 0.2) -> int:
+        """First step whose decision has ε below the threshold.
+
+        Counts the iterations spent exploring before the learner
+        settles; a warm-started session should converge in strictly
+        fewer iterations than a cold one.  Returns ``steps`` when the
+        run never converged.
+        """
+        for index, decision in enumerate(self.decisions):
+            if decision["epsilon"] < epsilon_threshold:
+                return index
+        return self.steps
+
+
+def drive_synthetic_session(
+    client: ServiceClient,
+    machine: str,
+    app: str,
+    factor: float,
+    steps: int,
+    seed: int = 0,
+    warm_start: bool = True,
+    take_snapshot: bool = False,
+    close: bool = True,
+    noise: Optional[NoiseModel] = None,
+    client_name: str = "synthetic",
+) -> SessionRun:
+    """Run one closed loop with the daemon deciding, the client acting.
+
+    The client simulates the platform locally (seeded with ``seed``,
+    exactly like the in-process harness) and feeds measured heartbeats
+    to the daemon, which answers with the next decision.  ``seed``
+    therefore pins the *whole* loop: same seed, same daemon state →
+    identical decision trace, replicating
+    :func:`repro.runtime.repeat.replicate` against the service.
+    """
+    if steps < 1:
+        raise ValueError("need at least one step")
+    machine_model = get_machine(machine)
+    application = build_application(app)
+    simulator = PlatformSimulator(
+        machine_model,
+        application.resource_profile,
+        noise=noise if noise is not None else NoiseModel(),
+        seed=seed,
+    )
+    space = machine_model.space
+
+    opened = client.open_session(
+        machine=machine,
+        app=app,
+        factor=factor,
+        total_work=steps * application.work_per_iteration,
+        seed=seed,
+        warm_start=warm_start,
+        client_name=client_name,
+    )
+    run = SessionRun(
+        session=opened.session, warm=opened.warm, steps=steps
+    )
+    decision = opened.decision
+    run.decisions.append(decision)
+    for _ in range(steps):
+        result = simulator.run_iteration(
+            config=space[decision["system_index"]],
+            work=application.work_per_iteration,
+            app_speedup=decision["app_speedup"],
+            app_power_factor=decision["app_power_factor"],
+        )
+        measurement = Measurement(
+            work=result.work,
+            energy_j=result.measured_power_w * result.time_s,
+            rate=result.measured_rate,
+            power_w=result.measured_power_w,
+        )
+        sent_s = time.perf_counter()
+        decision = client.step(run.session, measurement)
+        run.step_latencies_s.append(time.perf_counter() - sent_s)
+        run.decisions.append(decision)
+    if take_snapshot:
+        run.state = client.snapshot(run.session)
+    if close:
+        run.report = client.close(run.session)
+    else:
+        run.report = client.report(run.session)
+    return run
+
+
+# -- load generation ----------------------------------------------------------
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate results of one load-generation run."""
+
+    n_clients: int
+    steps_per_client: int
+    total_steps: int
+    elapsed_s: float
+    sessions_per_s: float
+    steps_per_s: float
+    p50_step_latency_s: float
+    p95_step_latency_s: float
+    errors: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n_clients": self.n_clients,
+            "steps_per_client": self.steps_per_client,
+            "total_steps": self.total_steps,
+            "elapsed_s": self.elapsed_s,
+            "sessions_per_s": self.sessions_per_s,
+            "steps_per_s": self.steps_per_s,
+            "p50_step_latency_ms": self.p50_step_latency_s * 1e3,
+            "p95_step_latency_ms": self.p95_step_latency_s * 1e3,
+            "errors": self.errors,
+        }
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _connect_kwargs(
+    host: Optional[str],
+    port: Optional[int],
+    unix_path: Optional[str],
+    timeout_s: float,
+) -> Dict[str, Any]:
+    return {
+        "host": host,
+        "port": port,
+        "unix_path": unix_path,
+        "timeout_s": timeout_s,
+    }
+
+
+def run_load(
+    n_clients: int,
+    steps: int,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    base_seed: int = 0,
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """Drive ``n_clients`` concurrent synthetic sessions; aggregate.
+
+    Each client thread opens its own connection and session (seeded
+    ``base_seed + index`` so runs replicate), steps it to completion,
+    and closes.  Latency percentiles are over all step round trips.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    failures: List[Optional[str]] = [None] * n_clients
+
+    def _one(index: int) -> None:
+        try:
+            with ServiceClient(
+                **_connect_kwargs(host, port, unix_path, timeout_s)
+            ) as client:
+                run = drive_synthetic_session(
+                    client,
+                    machine=machine,
+                    app=app,
+                    factor=factor,
+                    steps=steps,
+                    seed=base_seed + index,
+                    client_name=f"load-{index}",
+                )
+                latencies[index] = run.step_latencies_s
+        except (ServiceError, ConnectionError, OSError) as exc:
+            failures[index] = str(exc)
+
+    threads = [
+        threading.Thread(target=_one, args=(index,), daemon=True)
+        for index in range(n_clients)
+    ]
+    started_s = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = max(time.perf_counter() - started_s, 1e-9)
+
+    flat = [value for chunk in latencies for value in chunk]
+    completed = sum(1 for failure in failures if failure is None)
+    return LoadReport(
+        n_clients=n_clients,
+        steps_per_client=steps,
+        total_steps=len(flat),
+        elapsed_s=elapsed_s,
+        sessions_per_s=completed / elapsed_s,
+        steps_per_s=len(flat) / elapsed_s,
+        p50_step_latency_s=_percentile(flat, 0.50),
+        p95_step_latency_s=_percentile(flat, 0.95),
+        errors=sum(1 for failure in failures if failure is not None),
+    )

@@ -1,0 +1,208 @@
+"""The JouleGuard service wire protocol (version 1).
+
+Newline-delimited JSON over a stream socket (TCP or Unix): every
+request and every response is one JSON object on one line.  Requests
+carry a ``type`` and the fields of that operation; responses carry
+``ok`` (bool) plus either the operation's payload or a structured
+``error`` object::
+
+    -> {"type": "hello", "version": 1}
+    <- {"ok": true, "type": "hello", "version": 1, "sessions": 0}
+    -> {"type": "open_session", "machine": "tablet", "app": "x264",
+        "factor": 1.5, "total_work": 200, "seed": 7}
+    <- {"ok": true, "type": "open_session", "session": "s000001",
+        "warm": false, "granted_budget_j": 123.4, "decision": {...}}
+    -> {"type": "step", "session": "s000001",
+        "measurement": {"work": 1, "energy_j": 0.6,
+                        "rate": 31.2, "power_w": 19.8}}
+    <- {"ok": true, "type": "step", "decision": {...}}
+
+Request types: ``hello``, ``open_session``, ``step``, ``report``,
+``snapshot``, ``close``.  Error codes are stable strings
+(:data:`ERROR_CODES`) so clients can branch without parsing messages.
+The protocol is versioned: ``hello`` negotiates
+:data:`PROTOCOL_VERSION`, and learned-state snapshots embed their own
+format version (:mod:`repro.service.state`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Tuple
+
+from ..core.jouleguard import Decision
+from ..core.types import Measurement
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_TYPES",
+    "ProtocolError",
+    "decision_payload",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "measurement_from_payload",
+    "measurement_payload",
+    "ok_response",
+    "parse_request",
+]
+
+#: Wire protocol version negotiated by ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded message (guards the server's readline).
+MAX_LINE_BYTES = 1_000_000
+
+#: The operations a client may request.
+REQUEST_TYPES = (
+    "hello",
+    "open_session",
+    "step",
+    "report",
+    "snapshot",
+    "close",
+)
+
+#: Stable error codes carried in ``error.code``.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_type",
+    "version_mismatch",
+    "unknown_session",
+    "infeasible_goal",
+    "budget_exhausted",
+    "unknown_application",
+    "unknown_machine",
+    "snapshot_mismatch",
+    "internal",
+)
+
+
+class ProtocolError(Exception):
+    """A malformed or unserviceable message, with a stable error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# -- framing ------------------------------------------------------------------
+def encode_message(payload: Mapping[str, Any]) -> bytes:
+    """One protocol message: compact JSON plus the line terminator."""
+    return json.dumps(
+        dict(payload), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message object.
+
+    Raises :class:`ProtocolError` (``bad_request``) on oversized lines,
+    invalid JSON, or a non-object payload.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "bad_request",
+            f"message exceeds {MAX_LINE_BYTES} bytes",
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad_request", "message must be a JSON object"
+        )
+    return message
+
+
+def parse_request(message: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Validate a request envelope; return ``(type, fields)``."""
+    request_type = message.get("type")
+    if not isinstance(request_type, str):
+        raise ProtocolError("bad_request", "request needs a string 'type'")
+    if request_type not in REQUEST_TYPES:
+        raise ProtocolError(
+            "unknown_type",
+            f"unknown request type {request_type!r}; "
+            f"expected one of {', '.join(REQUEST_TYPES)}",
+        )
+    fields = {key: value for key, value in message.items() if key != "type"}
+    return request_type, fields
+
+
+# -- envelopes ----------------------------------------------------------------
+def ok_response(request_type: str, **fields: Any) -> Dict[str, Any]:
+    """A success envelope echoing the request type."""
+    response: Dict[str, Any] = {"ok": True, "type": request_type}
+    response.update(fields)
+    return response
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    """A structured error envelope."""
+    if code not in ERROR_CODES:
+        code, message = "internal", f"[{code}] {message}"
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+# -- payload codecs -----------------------------------------------------------
+def measurement_payload(measurement: Measurement) -> Dict[str, Any]:
+    """Wire form of one heartbeat measurement."""
+    return {
+        "work": measurement.work,
+        "energy_j": measurement.energy_j,
+        "rate": measurement.rate,
+        "power_w": measurement.power_w,
+    }
+
+
+def measurement_from_payload(payload: Any) -> Measurement:
+    """Decode and validate a ``step`` request's measurement."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            "bad_request", "'measurement' must be an object"
+        )
+    try:
+        return Measurement(
+            work=float(payload["work"]),
+            energy_j=float(payload["energy_j"]),
+            rate=float(payload["rate"]),
+            power_w=float(payload["power_w"]),
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            "bad_request", f"measurement is missing field {exc}"
+        ) from exc
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "bad_request", f"invalid measurement: {exc}"
+        ) from exc
+
+
+def decision_payload(decision: Decision) -> Dict[str, Any]:
+    """Wire form of one runtime decision.
+
+    Carries everything a client needs to *actuate*: the system
+    configuration index, and the application configuration's index,
+    speedup, accuracy, and power factor (the client owns the actual
+    knobs; the daemon only decides).
+    """
+    app_config = decision.app_config
+    return {
+        "system_index": decision.system_index,
+        "app_index": getattr(app_config, "index", -1),
+        "app_speedup": app_config.speedup,
+        "app_accuracy": app_config.accuracy,
+        "app_power_factor": getattr(app_config, "power_factor", 1.0),
+        "speedup_setpoint": decision.speedup_setpoint,
+        "pole": decision.pole,
+        "epsilon": decision.epsilon,
+        "explored": decision.explored,
+        "feasible": decision.feasible,
+    }

@@ -1,0 +1,397 @@
+"""The JouleGuard daemon: an asyncio JSON-lines server.
+
+One process hosts one :class:`~repro.service.sessions.SessionManager`
+and serves the :mod:`repro.service.protocol` over TCP and/or a Unix
+socket.  All session state lives on the event loop thread; request
+handling is synchronous between awaits, so no locking is needed.  A
+background reaper closes idle sessions on a fixed cadence.
+
+Three entry points:
+
+* :class:`ServiceServer` — the asyncio server object (``await
+  server.start()`` inside a running loop);
+* :func:`serve` — blocking convenience for the CLI (``python -m repro
+  serve``), runs until interrupted;
+* :class:`ServerThread` — context manager running a daemon in a
+  background thread, for tests, benchmarks, and notebooks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decision_payload,
+    decode_message,
+    encode_message,
+    error_response,
+    measurement_from_payload,
+    ok_response,
+    parse_request,
+)
+from .sessions import SessionError, SessionManager
+
+__all__ = [
+    "ServerThread",
+    "ServiceServer",
+    "serve",
+]
+
+
+class ServiceServer:
+    """Serves one :class:`SessionManager` over TCP and/or Unix sockets.
+
+    Parameters
+    ----------
+    manager:
+        The session manager to expose.
+    host / port:
+        TCP listening address; ``port=0`` picks a free port (see
+        :attr:`tcp_address` after :meth:`start`).  ``host=None``
+        disables TCP.
+    unix_path:
+        Unix-socket path; ``None`` disables the Unix listener.
+    reap_interval_s:
+        Cadence of the idle-session reaper.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        reap_interval_s: float = 5.0,
+    ) -> None:
+        if host is None and unix_path is None:
+            raise ValueError("need a TCP host and/or a unix socket path")
+        if reap_interval_s <= 0:
+            raise ValueError("reap interval must be positive")
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.reap_interval_s = reap_interval_s
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._unix_server: Optional[asyncio.AbstractServer] = None
+        self._reaper: Optional[asyncio.Task] = None
+        self.connections = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind listeners and start the reaper (loop must be running)."""
+        if self.host is not None:
+            self._tcp_server = await asyncio.start_server(
+                self._serve_connection, host=self.host, port=self.port
+            )
+            self.port = self._tcp_server.sockets[0].getsockname()[1]
+        if self.unix_path is not None:
+            self._unix_server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.unix_path
+            )
+        self._reaper = asyncio.get_running_loop().create_task(
+            self._reap_forever()
+        )
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """The bound ``(host, port)``, once started with TCP enabled."""
+        if self.host is None:
+            return None
+        return (self.host, self.port)
+
+    async def aclose(self) -> None:
+        """Stop listeners, the reaper, and close every live session."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+            self._reaper = None
+        for server in (self._tcp_server, self._unix_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._tcp_server = None
+        self._unix_server = None
+        if self.unix_path is not None and os.path.exists(self.unix_path):
+            os.unlink(self.unix_path)
+        self.manager.close_all()
+
+    async def _reap_forever(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval_s)
+            self.manager.reap_idle()
+
+    # -- connection handling ---------------------------------------------------
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = self.handle_line(line)
+                writer.write(encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    # -- dispatch (synchronous: one request, one response) ---------------------
+    def handle_line(self, line: bytes) -> Dict[str, Any]:
+        """Decode, dispatch, and answer one request line."""
+        try:
+            request_type, fields = parse_request(decode_message(line))
+            return self._dispatch(request_type, fields)
+        except ProtocolError as exc:
+            return error_response(exc.code, exc.message)
+        except SessionError as exc:
+            return error_response(exc.code, exc.message)
+        except Exception as exc:  # daemon must answer every request
+            return error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _dispatch(
+        self, request_type: str, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        handler = getattr(self, f"_handle_{request_type}")
+        return handler(fields)
+
+    def _handle_hello(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        version = fields.get("version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "version_mismatch",
+                f"client speaks protocol {version!r}; "
+                f"server speaks {PROTOCOL_VERSION}",
+            )
+        return ok_response(
+            "hello",
+            version=PROTOCOL_VERSION,
+            server="repro.service",
+            **self.manager.stats(),
+        )
+
+    def _handle_open_session(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        try:
+            machine = str(fields["machine"])
+            app = str(fields["app"])
+            factor = float(fields["factor"])
+            total_work = float(fields["total_work"])
+        except KeyError as exc:
+            raise ProtocolError(
+                "bad_request", f"open_session is missing field {exc}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", f"invalid open_session field: {exc}"
+            ) from exc
+        seed = fields.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ProtocolError(
+                "bad_request", "'seed' must be an integer"
+            )
+        session = self.manager.open_session(
+            machine_name=machine,
+            app_name=app,
+            factor=factor,
+            total_work=total_work,
+            seed=seed,
+            warm_start=bool(fields.get("warm_start", True)),
+            client=str(fields.get("client", "")),
+        )
+        return ok_response(
+            "open_session",
+            session=session.session_id,
+            warm=session.warm_started,
+            granted_budget_j=session.granted_budget_j,
+            decision=decision_payload(session.decision),
+        )
+
+    def _require_session(self, fields: Dict[str, Any]) -> str:
+        session_id = fields.get("session")
+        if not isinstance(session_id, str):
+            raise ProtocolError(
+                "bad_request", "request needs a string 'session'"
+            )
+        return session_id
+
+    def _handle_step(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = self._require_session(fields)
+        measurement = measurement_from_payload(
+            fields.get("measurement")
+        )
+        decision = self.manager.step(session_id, measurement)
+        return ok_response(
+            "step", decision=decision_payload(decision)
+        )
+
+    def _handle_report(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = self._require_session(fields)
+        return ok_response(
+            "report", report=self.manager.report(session_id)
+        )
+
+    def _handle_snapshot(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        session_id = self._require_session(fields)
+        state = self.manager.snapshot(session_id)
+        return ok_response("snapshot", state=state)
+
+    def _handle_close(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = self._require_session(fields)
+        return ok_response(
+            "close", report=self.manager.close(session_id)
+        )
+
+
+async def _serve_until_cancelled(server: ServiceServer) -> None:
+    await server.start()
+    try:
+        await asyncio.Event().wait()  # sleep until cancelled
+    finally:
+        await server.aclose()
+
+
+def serve(
+    manager: SessionManager,
+    host: Optional[str] = None,
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    reap_interval_s: float = 5.0,
+    ready: Optional[Any] = None,
+) -> None:
+    """Run a daemon in the foreground until interrupted.
+
+    ``ready``, when given, is an object with a ``set()`` method
+    (e.g. :class:`threading.Event`) signalled once listeners are bound.
+    """
+    server = ServiceServer(
+        manager,
+        host=host,
+        port=port,
+        unix_path=unix_path,
+        reap_interval_s=reap_interval_s,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        if ready is not None:
+            ready.set()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """A daemon running in a background thread (tests and benchmarks).
+
+    >>> manager = SessionManager(global_budget_j=1e6)
+    >>> with ServerThread(manager, unix_path="/tmp/jg.sock") as handle:
+    ...     client = ServiceClient(unix_path=handle.unix_path)
+
+    The manager stays accessible for white-box assertions; remember
+    that it mutates on the server thread, so inspect it only while no
+    request is in flight.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        reap_interval_s: float = 5.0,
+    ) -> None:
+        self.manager = manager
+        self.server = ServiceServer(
+            manager,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            reap_interval_s=reap_interval_s,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def unix_path(self) -> Optional[str]:
+        return self.server.unix_path
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        return self.server.tcp_address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+            loop.run_until_complete(self.server.aclose())
+        finally:
+            loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="jouleguard-service", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,492 @@
+"""Session management for the JouleGuard daemon.
+
+One :class:`SessionManager` hosts many concurrent controller sessions —
+one :class:`~repro.core.jouleguard.JouleGuardRuntime` each — under a
+single *global* energy budget, extending :mod:`repro.core.multi` from a
+fixed fleet to a dynamic one:
+
+* **admission control** — a session is rejected up front when its goal
+  is infeasible (``factor`` beyond
+  :func:`repro.runtime.oracle.max_feasible_factor`, Sec. 3.4.3) or when
+  the remaining global budget cannot cover its requested share, so the
+  daemon never promises joules it does not have;
+* **budget accounts** — each admitted session is granted
+  ``total_work × default_epw / factor`` joules; periodic rebalances
+  move forecast surplus from under-spenders to strainers exactly as
+  :class:`~repro.core.multi.MultiAppCoordinator` does, conserving the
+  sum of effective budgets; closing a session returns its unspent
+  grant to the pool;
+* **warm starts** — on open, a known ``(machine, app)`` pair restores
+  learned state from the :class:`~repro.service.state.SnapshotStore`
+  (reseeded from the session's RNG seed, keeping replication exact);
+* **idle reaping** — sessions silent longer than ``idle_timeout_s``
+  are closed and their budget reclaimed.
+
+The manager is synchronous and single-threaded by design: the asyncio
+server serializes access on its event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..apps import build_application
+from ..apps.base import ApproximateApplication
+from ..core.bandit import SystemEnergyOptimizer
+from ..core.budget import EnergyGoal
+from ..core.jouleguard import Decision, JouleGuardRuntime
+from ..core.types import Measurement
+from ..hw import get_machine
+from ..hw.machine import Machine
+from ..runtime.harness import prior_shapes
+from ..runtime.oracle import default_energy_per_work, max_feasible_factor
+from .state import SnapshotError, SnapshotStore, apply_state, capture_state
+
+__all__ = [
+    "Session",
+    "SessionError",
+    "SessionManager",
+]
+
+
+class SessionError(RuntimeError):
+    """A session operation the manager refuses, with a protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Session:
+    """One live controller session."""
+
+    session_id: str
+    client: str
+    machine_name: str
+    app_name: str
+    factor: float
+    seed: int
+    granted_budget_j: float
+    runtime: JouleGuardRuntime
+    warm_started: bool
+    created_s: float
+    last_active_s: float
+    steps: int = 0
+    recent_epw: Optional[float] = None
+    closed: bool = False
+    close_reason: str = ""
+
+    @property
+    def decision(self) -> Decision:
+        return self.runtime.current_decision
+
+
+class SessionManager:
+    """Hosts concurrent JouleGuard sessions under one global budget.
+
+    Parameters
+    ----------
+    global_budget_j:
+        Joules the daemon may promise across all sessions, ever.
+    store:
+        Warm-start snapshot store (fresh in-memory store by default).
+    idle_timeout_s:
+        Sessions silent this long are reaped (see :meth:`reap_idle`).
+    feasibility_margin:
+        Fraction of the oracle's maximum feasible factor admitted;
+        below 1.0 keeps a safety margin against model noise.
+    rebalance_period:
+        Total manager steps between budget rebalances (as in
+        :class:`~repro.core.multi.MultiAppCoordinator`).
+    transfer_fraction / smoothing:
+        Rebalance conservatism knobs, matching :mod:`repro.core.multi`.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        global_budget_j: float,
+        store: Optional[SnapshotStore] = None,
+        idle_timeout_s: float = 300.0,
+        feasibility_margin: float = 1.0,
+        rebalance_period: int = 25,
+        transfer_fraction: float = 0.5,
+        smoothing: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if global_budget_j <= 0:
+            raise ValueError("global budget must be positive")
+        if idle_timeout_s <= 0:
+            raise ValueError("idle timeout must be positive")
+        if not 0.0 < feasibility_margin <= 1.0:
+            raise ValueError("feasibility margin must be in (0, 1]")
+        if rebalance_period < 1:
+            raise ValueError("rebalance period must be >= 1")
+        if not 0.0 < transfer_fraction <= 1.0:
+            raise ValueError("transfer_fraction must be in (0, 1]")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.global_budget_j = global_budget_j
+        self.store = store if store is not None else SnapshotStore()
+        self.idle_timeout_s = idle_timeout_s
+        self.feasibility_margin = feasibility_margin
+        self.rebalance_period = rebalance_period
+        self.transfer_fraction = transfer_fraction
+        self.smoothing = smoothing
+        self.clock = clock
+        self._sessions: Dict[str, Session] = {}
+        self._next_serial = 1
+        self._spent_closed_j = 0.0
+        self._steps_since_rebalance = 0
+        self.transfers: List[Dict[str, float]] = []
+        self.sessions_opened = 0
+        self.sessions_rejected = 0
+        self._admission_cache: Dict[
+            Tuple[str, str], Tuple[float, float]
+        ] = {}
+        self._machines: Dict[str, Machine] = {}
+        self._apps: Dict[str, ApproximateApplication] = {}
+
+    # -- budget pool -----------------------------------------------------------
+    @property
+    def live_sessions(self) -> List[Session]:
+        return list(self._sessions.values())
+
+    @property
+    def committed_budget_j(self) -> float:
+        """Joules currently promised to live sessions."""
+        return sum(
+            session.runtime.accountant.effective_budget_j
+            for session in self._sessions.values()
+        )
+
+    @property
+    def available_budget_j(self) -> float:
+        """Joules the pool can still grant to new sessions."""
+        return (
+            self.global_budget_j
+            - self._spent_closed_j
+            - self.committed_budget_j
+        )
+
+    # -- model caches ----------------------------------------------------------
+    def _machine(self, name: str) -> Machine:
+        if name not in self._machines:
+            try:
+                self._machines[name] = get_machine(name)
+            except (KeyError, ValueError) as exc:
+                raise SessionError(
+                    "unknown_machine", f"unknown machine {name!r}"
+                ) from exc
+        return self._machines[name]
+
+    def _app(self, name: str) -> ApproximateApplication:
+        if name not in self._apps:
+            try:
+                self._apps[name] = build_application(name)
+            except (KeyError, ValueError) as exc:
+                raise SessionError(
+                    "unknown_application", f"unknown application {name!r}"
+                ) from exc
+        return self._apps[name]
+
+    def _admission_limits(
+        self, machine: Machine, app: ApproximateApplication
+    ) -> Tuple[float, float]:
+        """(default_epw, admitted factor limit), cached per pair."""
+        key = (machine.name, app.name)
+        if key not in self._admission_cache:
+            self._admission_cache[key] = (
+                default_energy_per_work(machine, app),
+                max_feasible_factor(machine, app)
+                * self.feasibility_margin,
+            )
+        return self._admission_cache[key]
+
+    # -- lifecycle -------------------------------------------------------------
+    def open_session(
+        self,
+        machine_name: str,
+        app_name: str,
+        factor: float,
+        total_work: float,
+        seed: int = 0,
+        warm_start: bool = True,
+        client: str = "",
+    ) -> Session:
+        """Admit one session, or raise :class:`SessionError`.
+
+        The RNG ``seed`` flows end-to-end: the SEO is built with
+        ``seed + 1`` exactly as :func:`repro.runtime.harness.run_jouleguard`
+        does, so a daemon-hosted session replicates a harness run that
+        used the same seed (``runtime.repeat``-style replication works
+        against the service).
+        """
+        machine = self._machine(machine_name)
+        app = self._app(app_name)
+        if not app.runs_on(machine.name):
+            self.sessions_rejected += 1
+            raise SessionError(
+                "bad_request",
+                f"{app_name} does not run on {machine_name}",
+            )
+        if factor < 1.0:
+            self.sessions_rejected += 1
+            raise SessionError(
+                "bad_request", "factor must be >= 1 (1 = default energy)"
+            )
+        if total_work <= 0:
+            self.sessions_rejected += 1
+            raise SessionError(
+                "bad_request", "total_work must be positive"
+            )
+        default_epw, factor_limit = self._admission_limits(machine, app)
+        if factor > factor_limit:
+            self.sessions_rejected += 1
+            raise SessionError(
+                "infeasible_goal",
+                f"factor {factor:g} exceeds the feasible limit "
+                f"{factor_limit:.2f} for {app_name} on {machine_name} "
+                "(Sec. 3.4.3)",
+            )
+        needed_j = total_work * default_epw / factor
+        if needed_j > self.available_budget_j + 1e-9:
+            self.sessions_rejected += 1
+            raise SessionError(
+                "budget_exhausted",
+                f"session needs {needed_j:.3f} J but only "
+                f"{max(self.available_budget_j, 0.0):.3f} J of the "
+                "global budget remains unallocated",
+            )
+
+        rate_shape, power_shape = prior_shapes(machine)
+        seo = SystemEnergyOptimizer(
+            rate_shape, power_shape, seed=seed + 1
+        )
+        goal = EnergyGoal(total_work=total_work, budget_j=needed_j)
+        runtime = JouleGuardRuntime(seo=seo, table=app.table, goal=goal)
+
+        warm = False
+        if warm_start:
+            snapshot = self.store.get(machine.name, app.name)
+            if snapshot is not None:
+                try:
+                    apply_state(
+                        runtime,
+                        snapshot,
+                        machine=machine.name,
+                        app=app.name,
+                        seed=seed + 1,
+                    )
+                    warm = True
+                except SnapshotError:
+                    warm = False  # stale store entry: fall back to cold
+
+        now_s = self.clock()
+        session = Session(
+            session_id=f"s{self._next_serial:06d}",
+            client=client,
+            machine_name=machine.name,
+            app_name=app.name,
+            factor=factor,
+            seed=seed,
+            granted_budget_j=needed_j,
+            runtime=runtime,
+            warm_started=warm,
+            created_s=now_s,
+            last_active_s=now_s,
+        )
+        self._next_serial += 1
+        self._sessions[session.session_id] = session
+        self.sessions_opened += 1
+        return session
+
+    def _get(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(
+                "unknown_session",
+                f"no live session {session_id!r} "
+                "(closed, reaped, or never opened)",
+            )
+        return session
+
+    def step(
+        self, session_id: str, measurement: Measurement
+    ) -> Decision:
+        """Feed one heartbeat; rebalance budgets on schedule."""
+        session = self._get(session_id)
+        epw = measurement.energy_j / measurement.work
+        if session.recent_epw is None:
+            session.recent_epw = epw
+        else:
+            session.recent_epw += self.smoothing * (
+                epw - session.recent_epw
+            )
+        session.steps += 1
+        session.last_active_s = self.clock()
+        decision = session.runtime.step(measurement)
+        self._steps_since_rebalance += 1
+        if self._steps_since_rebalance >= self.rebalance_period:
+            self.rebalance()
+            self._steps_since_rebalance = 0
+        return decision
+
+    def report(self, session_id: str) -> Dict[str, Any]:
+        """Accounting and controller snapshot for one session."""
+        session = self._get(session_id)
+        accountant = session.runtime.accountant
+        return {
+            "session": session.session_id,
+            "client": session.client,
+            "machine": session.machine_name,
+            "app": session.app_name,
+            "factor": session.factor,
+            "seed": session.seed,
+            "steps": session.steps,
+            "warm_started": session.warm_started,
+            "granted_budget_j": session.granted_budget_j,
+            "effective_budget_j": accountant.effective_budget_j,
+            "energy_used_j": accountant.energy_used_j,
+            "work_done": accountant.work_done,
+            "remaining_work": accountant.remaining_work,
+            "epsilon": session.runtime.seo.epsilon,
+            "visited_configs": session.runtime.seo.visited_count,
+            "infeasible": session.runtime.goal_reported_infeasible,
+        }
+
+    def snapshot(self, session_id: str) -> Dict[str, Any]:
+        """Capture a session's learned state into the warm-start store."""
+        session = self._get(session_id)
+        state = capture_state(
+            session.runtime, session.machine_name, session.app_name
+        )
+        self.store.put(state)
+        return state
+
+    def close(self, session_id: str, reason: str = "client") -> Dict[str, Any]:
+        """Close a session; return its final report.
+
+        The unspent part of the grant flows back to the pool; the spent
+        part is retired for good (burned joules cannot be re-promised).
+        """
+        session = self._get(session_id)
+        final = self.report(session_id)
+        accountant = session.runtime.accountant
+        self._spent_closed_j += min(
+            accountant.energy_used_j, accountant.effective_budget_j
+        )
+        session.closed = True
+        session.close_reason = reason
+        del self._sessions[session.session_id]
+        final["closed"] = True
+        final["close_reason"] = reason
+        return final
+
+    def reap_idle(self) -> List[str]:
+        """Close sessions idle beyond the timeout; return their ids."""
+        now_s = self.clock()
+        stale = [
+            session.session_id
+            for session in self._sessions.values()
+            if now_s - session.last_active_s > self.idle_timeout_s
+        ]
+        for session_id in stale:
+            self.close(session_id, reason="idle")
+        return stale
+
+    def close_all(self, reason: str = "shutdown") -> int:
+        """Close every live session (daemon shutdown)."""
+        ids = list(self._sessions)
+        for session_id in ids:
+            self.close(session_id, reason=reason)
+        return len(ids)
+
+    # -- budget transfers ------------------------------------------------------
+    def _forecast_surplus(self, session: Session) -> float:
+        """Remaining budget minus forecast remaining spend (can be < 0)."""
+        accountant = session.runtime.accountant
+        if accountant.complete or session.recent_epw is None:
+            return accountant.remaining_energy_j
+        projected = session.recent_epw * accountant.remaining_work
+        return accountant.remaining_energy_j - projected
+
+    def _overdraft_j(self, session_id: str) -> float:
+        """How far a session's spend already exceeds its budget."""
+        accountant = self._sessions[session_id].runtime.accountant
+        return max(
+            0.0,
+            accountant.energy_used_j - accountant.effective_budget_j,
+        )
+
+    def rebalance(self) -> Dict[str, float]:
+        """Move surplus joules between live sessions (conservative).
+
+        Mirrors :meth:`repro.core.multi.MultiAppCoordinator.rebalance`:
+        the sum of effective budgets is invariant, so the daemon-wide
+        guarantee survives any schedule of transfers.
+        """
+        surpluses = {
+            session_id: self._forecast_surplus(session)
+            for session_id, session in self._sessions.items()
+        }
+        donors = {s: v for s, v in surpluses.items() if v > 0}
+        needers = {s: -v for s, v in surpluses.items() if v < 0}
+        deltas = {session_id: 0.0 for session_id in self._sessions}
+        while donors and needers:
+            available = sum(donors.values()) * self.transfer_fraction
+            needed = sum(needers.values())
+            moved = min(available, needed)
+            if moved <= 0:
+                break
+            # A grant below a session's overdraft cannot lift it back
+            # above water and the accountant rejects it (an effective
+            # budget may never end up under what is already spent), so
+            # drop such needers and re-split among the rest.
+            undersized = [
+                session_id
+                for session_id, deficit in needers.items()
+                if moved * deficit / needed
+                < self._overdraft_j(session_id) - 1e-9
+            ]
+            if undersized:
+                for session_id in undersized:
+                    del needers[session_id]
+                continue
+            donor_total = sum(donors.values())
+            for session_id, surplus in donors.items():
+                share = moved * surplus / donor_total
+                accountant = self._sessions[
+                    session_id
+                ].runtime.accountant
+                accountant.adjust_budget(-share)
+                deltas[session_id] -= share
+            for session_id, deficit in needers.items():
+                share = moved * deficit / needed
+                accountant = self._sessions[
+                    session_id
+                ].runtime.accountant
+                accountant.adjust_budget(share)
+                deltas[session_id] += share
+            break
+        self.transfers.append(deltas)
+        return deltas
+
+    # -- daemon-wide stats -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """One-line daemon health summary (served by ``hello``)."""
+        return {
+            "sessions": len(self._sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_rejected": self.sessions_rejected,
+            "global_budget_j": self.global_budget_j,
+            "committed_budget_j": self.committed_budget_j,
+            "available_budget_j": self.available_budget_j,
+            "rebalances": len(self.transfers),
+            "snapshots_stored": len(self.store),
+        }

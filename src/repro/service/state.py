@@ -1,0 +1,208 @@
+"""Warm-start snapshots of learned JouleGuard state.
+
+The expensive part of a JouleGuard run is what the SEO *learns*: the
+per-configuration rate/power tables (Eqn. 1), the calibrated prior
+scales, the VDBE exploration state (Eqn. 2), and the adaptive pole
+(Eqns. 10–11).  A one-shot harness throws all of it away; the daemon
+captures it here, keyed by ``(machine, app)``, so a new session for a
+known pair starts from the learned efficiency argmax instead of
+re-exploring the configuration space.
+
+A snapshot is a plain JSON document::
+
+    {"version": 1, "machine": "tablet", "app": "x264",
+     "n_configs": 32, "updates": 183, "learned": {...}}
+
+``version`` is the snapshot *format* version — :func:`loads_state` and
+:func:`validate_state` reject documents from a different format, and
+:func:`apply_state` additionally rejects identity or configuration-space
+mismatches, so a daemon never silently warm-starts from foreign state.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.jouleguard import JouleGuardRuntime
+
+__all__ = [
+    "STATE_VERSION",
+    "SnapshotError",
+    "SnapshotStore",
+    "SnapshotVersionError",
+    "apply_state",
+    "capture_state",
+    "dumps_state",
+    "loads_state",
+    "validate_state",
+]
+
+#: Format version of learned-state snapshots.
+STATE_VERSION = 1
+
+_REQUIRED_FIELDS = ("version", "machine", "app", "n_configs", "learned")
+
+
+class SnapshotError(ValueError):
+    """A snapshot that cannot be applied (shape/identity mismatch)."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot from a different format version."""
+
+
+def capture_state(
+    runtime: JouleGuardRuntime, machine: str, app: str
+) -> Dict[str, Any]:
+    """Wrap a runtime's learned state with identity and version."""
+    return {
+        "version": STATE_VERSION,
+        "machine": machine,
+        "app": app,
+        "n_configs": runtime.seo.n_configs,
+        "updates": runtime.seo.updates,
+        "learned": runtime.snapshot_learned(),
+    }
+
+
+def validate_state(state: Any) -> Dict[str, Any]:
+    """Check a snapshot document's envelope; return it as a dict.
+
+    Raises :class:`SnapshotVersionError` on a format-version mismatch
+    and :class:`SnapshotError` on a malformed document.
+    """
+    if not isinstance(state, Mapping):
+        raise SnapshotError("snapshot must be a JSON object")
+    missing = [key for key in _REQUIRED_FIELDS if key not in state]
+    if missing:
+        raise SnapshotError(
+            "snapshot is missing fields: " + ", ".join(missing)
+        )
+    version = state["version"]
+    if version != STATE_VERSION:
+        raise SnapshotVersionError(
+            f"snapshot format version {version!r} != "
+            f"supported version {STATE_VERSION}"
+        )
+    return dict(state)
+
+
+def apply_state(
+    runtime: JouleGuardRuntime,
+    state: Mapping[str, Any],
+    machine: Optional[str] = None,
+    app: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> None:
+    """Warm-start ``runtime`` from a captured snapshot.
+
+    ``machine``/``app``, when given, must match the snapshot's identity;
+    ``seed`` reseeds SEO exploration so replicated sessions stay
+    deterministic even when warm-started.
+    """
+    document = validate_state(state)
+    for label, expected in (("machine", machine), ("app", app)):
+        if expected is not None and document[label] != expected:
+            raise SnapshotError(
+                f"snapshot is for {label} {document[label]!r}, "
+                f"not {expected!r}"
+            )
+    if int(document["n_configs"]) != runtime.seo.n_configs:
+        raise SnapshotError(
+            "snapshot covers a different system configuration space "
+            f"({document['n_configs']} configs vs "
+            f"{runtime.seo.n_configs})"
+        )
+    try:
+        runtime.restore_learned(document["learned"], seed=seed)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"corrupt learned state: {exc}") from exc
+
+
+def dumps_state(state: Mapping[str, Any]) -> str:
+    """Serialize a snapshot document to compact JSON."""
+    return json.dumps(validate_state(state), separators=(",", ":"))
+
+
+def loads_state(text: str) -> Dict[str, Any]:
+    """Parse and validate a snapshot document (round-trip of dumps)."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"invalid snapshot JSON: {exc}") from exc
+    return validate_state(document)
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", name)
+
+
+class SnapshotStore:
+    """Warm-start snapshots keyed by ``(machine, app)``.
+
+    In-memory by default; give a ``directory`` to persist each snapshot
+    as ``<machine>__<app>.json`` so learned state survives daemon
+    restarts.  Thread-safe: the daemon's event loop and a blocking
+    caller (tests, tools) may share one store.
+    """
+
+    def __init__(
+        self, directory: Optional[pathlib.Path] = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._states: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load_directory()
+
+    def _path_for(self, machine: str, app: str) -> pathlib.Path:
+        assert self.directory is not None
+        return self.directory / f"{_slug(machine)}__{_slug(app)}.json"
+
+    def _load_directory(self) -> None:
+        assert self.directory is not None
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                state = loads_state(path.read_text(encoding="utf-8"))
+            except (OSError, SnapshotError):
+                continue  # ignore foreign or stale files
+            key = (str(state["machine"]), str(state["app"]))
+            self._states[key] = state
+
+    # -- mapping interface ----------------------------------------------------
+    def put(self, state: Mapping[str, Any]) -> None:
+        """Store (and optionally persist) one validated snapshot."""
+        document = validate_state(state)
+        key = (str(document["machine"]), str(document["app"]))
+        with self._lock:
+            self._states[key] = document
+            if self.directory is not None:
+                self._path_for(*key).write_text(
+                    dumps_state(document), encoding="utf-8"
+                )
+
+    def get(
+        self, machine: str, app: str
+    ) -> Optional[Dict[str, Any]]:
+        """The stored snapshot for a pair, or None."""
+        with self._lock:
+            return self._states.get((machine, app))
+
+    def keys(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return sorted(self._states)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._states)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._states

@@ -1,0 +1,26 @@
+"""JG008 clean fixture: coroutines that never block the loop."""
+
+import asyncio
+import socket
+import time
+
+
+async def naps_politely():
+    await asyncio.sleep(0.5)
+
+
+async def dials_with_timeout(address):
+    return socket.create_connection(address, timeout=5.0)
+
+
+async def defines_a_blocking_helper():
+    def helper():  # nested sync def: its body is not loop code
+        time.sleep(0.5)
+        return input()
+
+    return await asyncio.get_running_loop().run_in_executor(None, helper)
+
+
+def plain_function_may_block():
+    time.sleep(0.01)
+    return socket.create_connection(("localhost", 1))

@@ -1,0 +1,20 @@
+"""JG008 trigger fixture: blocking calls inside async defs."""
+
+import socket
+import time
+
+
+async def stalls_the_loop():
+    time.sleep(0.5)  # finding 1: blocking sleep
+
+
+async def asks_the_terminal():
+    return input()  # finding 2: blocking terminal read
+
+
+async def dials_without_timeout(address):
+    return socket.create_connection(address)  # finding 3: no timeout
+
+
+async def reads_a_raw_socket(client_sock):
+    return client_sock.recv(4096)  # finding 4: blocking socket op

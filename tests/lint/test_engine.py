@@ -108,7 +108,7 @@ def test_render_json_round_trips():
     assert document["findings"][0]["line"] == 4
 
 
-def test_default_registry_covers_seven_rules():
+def test_default_registry_covers_every_rule():
     ids = [rule.rule_id for rule in default_rules()]
     assert ids == [
         "JG001",
@@ -118,4 +118,5 @@ def test_default_registry_covers_seven_rules():
         "JG005",
         "JG006",
         "JG007",
+        "JG008",
     ]

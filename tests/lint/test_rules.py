@@ -17,6 +17,7 @@ PAIRS = {
     "JG004": ("jg004_trigger.py", "jg004_clean.py"),
     "JG005": ("jg005_trigger.py", "jg005_clean.py"),
     "JG006": ("runtime/jg006_trigger.py", "runtime/jg006_clean.py"),
+    "JG008": ("repro/jg008_trigger.py", "repro/jg008_clean.py"),
 }
 
 
@@ -60,6 +61,37 @@ def test_jg003_names_both_units():
     assert len(findings) == 3
     first = findings[0].message
     assert "energy [J]" in first and "power [W]" in first
+
+
+def test_jg008_counts_each_site():
+    engine = LintEngine(select=["JG008"])
+    findings = engine.run([FIXTURES / "repro" / "jg008_trigger.py"])
+    # time.sleep, input(), un-timed create_connection, sock.recv
+    assert len(findings) == 4
+    messages = " ".join(finding.message for finding in findings)
+    assert "asyncio.sleep" in messages
+    assert "timeout" in messages
+    assert "sock_recv" in messages
+
+
+def test_jg008_flags_from_import_sleep(tmp_path):
+    target = tmp_path / "repro" / "mod.py"
+    target.parent.mkdir()
+    target.write_text(
+        "from time import sleep\n\n\n"
+        "async def napper():\n"
+        "    sleep(1)\n"
+    )
+    engine = LintEngine(select=["JG008"])
+    assert len(engine.run([target])) == 1
+
+
+def test_jg008_only_applies_under_repro(tmp_path):
+    outside = tmp_path / "helpers.py"
+    outside.write_text(
+        (FIXTURES / "repro" / "jg008_trigger.py").read_text()
+    )
+    assert "JG008" not in rule_ids(outside)
 
 
 def test_jg006_only_applies_under_runtime(tmp_path):

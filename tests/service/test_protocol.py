@@ -1,0 +1,122 @@
+"""Wire-protocol framing, envelopes, and payload codecs."""
+
+import json
+
+import pytest
+
+from repro.core.types import Measurement
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    measurement_from_payload,
+    measurement_payload,
+    ok_response,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "hello", "version": PROTOCOL_VERSION}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == message
+
+    def test_one_line_per_message(self):
+        line = encode_message({"a": "x", "b": [1, 2]})
+        assert line.count(b"\n") == 1
+
+    def test_compact_and_sorted(self):
+        line = encode_message({"b": 1, "a": 2})
+        assert line == b'{"a":2,"b":1}\n'
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_message(b"{nope\n")
+        assert excinfo.value.code == "bad_request"
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+
+    def test_rejects_oversized_line(self):
+        blob = b'"' + b"x" * MAX_LINE_BYTES + b'"\n'
+        with pytest.raises(ProtocolError):
+            decode_message(blob)
+
+
+class TestRequestEnvelope:
+    def test_parse_splits_type_and_fields(self):
+        kind, fields = parse_request(
+            {"type": "step", "session": "s1", "measurement": {}}
+        )
+        assert kind == "step"
+        assert fields == {"session": "s1", "measurement": {}}
+
+    def test_every_request_type_parses(self):
+        for kind in REQUEST_TYPES:
+            assert parse_request({"type": kind}) == (kind, {})
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request({"type": "dance"})
+        assert excinfo.value.code == "unknown_type"
+
+    def test_missing_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request({"session": "s1"})
+        assert excinfo.value.code == "bad_request"
+
+
+class TestResponses:
+    def test_ok_envelope(self):
+        response = ok_response("hello", version=1)
+        assert response == {"ok": True, "type": "hello", "version": 1}
+
+    def test_error_envelope_is_structured(self):
+        response = error_response("unknown_session", "gone")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown_session"
+
+    def test_unknown_code_degrades_to_internal(self):
+        response = error_response("martian", "what")
+        assert response["error"]["code"] == "internal"
+        assert "martian" in response["error"]["message"]
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("martian", "nope")
+
+    def test_error_codes_are_unique(self):
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+
+
+class TestMeasurementCodec:
+    def test_round_trip(self):
+        measurement = Measurement(
+            work=1.0, energy_j=0.5, rate=30.0, power_w=15.0
+        )
+        payload = measurement_payload(measurement)
+        json.dumps(payload)  # must be JSON-able
+        assert measurement_from_payload(payload) == measurement
+
+    def test_missing_field(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            measurement_from_payload({"work": 1.0})
+        assert "energy_j" in str(excinfo.value)
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError):
+            measurement_from_payload([1, 2, 3])
+
+    def test_non_numeric_field(self):
+        with pytest.raises(ProtocolError):
+            measurement_from_payload(
+                {"work": 1, "energy_j": "a lot", "rate": 1, "power_w": 1}
+            )

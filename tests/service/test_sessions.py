@@ -1,0 +1,257 @@
+"""Session manager: admission, budget pool, rebalance, reaping."""
+
+import pytest
+
+from repro.apps import build_application
+from repro.core.types import Measurement
+from repro.hw import get_machine
+from repro.runtime.oracle import (
+    default_energy_per_work,
+    max_feasible_factor,
+)
+from repro.service.sessions import SessionError, SessionManager
+from repro.service.state import SnapshotStore
+
+
+MEASUREMENT = Measurement(
+    work=1.0, energy_j=0.6, rate=30.0, power_w=18.0
+)
+
+
+def manager(budget_j=1e6, **kwargs):
+    return SessionManager(global_budget_j=budget_j, **kwargs)
+
+
+def open_default(mgr, total_work=50.0, factor=1.5, seed=0, **kwargs):
+    return mgr.open_session(
+        "tablet", "x264", factor=factor, total_work=total_work,
+        seed=seed, **kwargs,
+    )
+
+
+class TestAdmission:
+    def test_grant_formula(self):
+        mgr = manager()
+        session = open_default(mgr, total_work=50.0, factor=2.0)
+        epw = default_energy_per_work(
+            get_machine("tablet"), build_application("x264")
+        )
+        assert session.granted_budget_j == pytest.approx(
+            50.0 * epw / 2.0
+        )
+        assert mgr.committed_budget_j == pytest.approx(
+            session.granted_budget_j
+        )
+
+    def test_unknown_machine(self):
+        with pytest.raises(SessionError) as excinfo:
+            manager().open_session("toaster", "x264", 1.5, 10.0)
+        assert excinfo.value.code == "unknown_machine"
+
+    def test_unknown_application(self):
+        with pytest.raises(SessionError) as excinfo:
+            manager().open_session("tablet", "doom", 1.5, 10.0)
+        assert excinfo.value.code == "unknown_application"
+
+    def test_platform_gating(self):
+        # swish is a server-only application in Table 2.
+        with pytest.raises(SessionError) as excinfo:
+            manager().open_session("mobile", "swish", 1.5, 10.0)
+        assert excinfo.value.code == "bad_request"
+
+    def test_factor_below_one(self):
+        with pytest.raises(SessionError) as excinfo:
+            open_default(manager(), factor=0.5)
+        assert excinfo.value.code == "bad_request"
+
+    def test_infeasible_factor(self):
+        mgr = manager()
+        limit = max_feasible_factor(
+            get_machine("tablet"), build_application("x264")
+        )
+        with pytest.raises(SessionError) as excinfo:
+            open_default(mgr, factor=limit * 2)
+        assert excinfo.value.code == "infeasible_goal"
+        assert mgr.sessions_rejected == 1
+
+    def test_feasibility_margin_tightens_the_limit(self):
+        limit = max_feasible_factor(
+            get_machine("tablet"), build_application("x264")
+        )
+        strict = manager(feasibility_margin=0.5)
+        with pytest.raises(SessionError) as excinfo:
+            open_default(strict, factor=limit * 0.9)
+        assert excinfo.value.code == "infeasible_goal"
+
+    def test_budget_exhausted(self):
+        mgr = manager(budget_j=1.0)
+        with pytest.raises(SessionError) as excinfo:
+            open_default(mgr, total_work=1e6)
+        assert excinfo.value.code == "budget_exhausted"
+
+    def test_admission_never_overcommits(self):
+        grant = open_default(manager(), total_work=50.0).granted_budget_j
+        budget = 2.5 * grant  # room for two sessions, not three
+        mgr = manager(budget_j=budget)
+        opened = 0
+        while True:
+            try:
+                open_default(mgr, total_work=50.0)
+            except SessionError as exc:
+                assert exc.code == "budget_exhausted"
+                break
+            opened += 1
+            assert opened < 100  # must terminate
+        assert opened == 2
+        assert mgr.committed_budget_j <= budget + 1e-9
+
+
+class TestLifecycle:
+    def test_step_advances_the_decision(self):
+        mgr = manager()
+        session = open_default(mgr)
+        decision = mgr.step(session.session_id, MEASUREMENT)
+        assert decision is session.runtime.current_decision
+        assert session.steps == 1
+
+    def test_unknown_session(self):
+        with pytest.raises(SessionError) as excinfo:
+            manager().step("s999999", MEASUREMENT)
+        assert excinfo.value.code == "unknown_session"
+
+    def test_report_keys(self):
+        mgr = manager()
+        session = open_default(mgr)
+        mgr.step(session.session_id, MEASUREMENT)
+        report = mgr.report(session.session_id)
+        for key in (
+            "session", "machine", "app", "factor", "steps",
+            "granted_budget_j", "effective_budget_j",
+            "energy_used_j", "work_done", "epsilon",
+        ):
+            assert key in report
+        assert report["steps"] == 1
+
+    def test_close_returns_unspent_budget_to_the_pool(self):
+        mgr = manager(budget_j=100.0)
+        session = open_default(mgr, total_work=50.0)
+        granted = session.granted_budget_j
+        mgr.step(session.session_id, MEASUREMENT)
+        final = mgr.close(session.session_id)
+        assert final["closed"] is True
+        # Only the spent joules are retired for good.
+        spent = final["energy_used_j"]
+        assert mgr.available_budget_j == pytest.approx(100.0 - spent)
+        assert granted > spent  # one step cannot burn the whole grant
+
+    def test_close_all(self):
+        mgr = manager()
+        open_default(mgr, seed=1)
+        open_default(mgr, seed=2)
+        assert mgr.close_all() == 2
+        assert mgr.live_sessions == []
+
+    def test_reap_idle_uses_the_injected_clock(self):
+        now = [0.0]
+        mgr = manager(idle_timeout_s=10.0, clock=lambda: now[0])
+        session = open_default(mgr)
+        now[0] = 5.0
+        assert mgr.reap_idle() == []
+        now[0] = 20.0
+        assert mgr.reap_idle() == [session.session_id]
+        assert mgr.live_sessions == []
+
+
+class TestBudgetInvariant:
+    def test_rebalance_conserves_the_sum_of_effective_budgets(self):
+        mgr = manager(rebalance_period=5)
+        sessions = [open_default(mgr, seed=seed) for seed in range(3)]
+        total_before = mgr.committed_budget_j
+        for _ in range(10):
+            for session in sessions:
+                mgr.step(session.session_id, MEASUREMENT)
+        assert len(mgr.transfers) >= 1
+        assert mgr.committed_budget_j == pytest.approx(
+            total_before, rel=1e-9
+        )
+        # Every recorded transfer round is itself zero-sum.
+        for deltas in mgr.transfers:
+            assert sum(deltas.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rebalance_skips_underwater_needers(self):
+        mgr = manager(rebalance_period=10_000)
+        donor = open_default(mgr, seed=1, total_work=100.0)
+        needer = open_default(mgr, seed=2, total_work=100.0)
+        # Drown the needer: burn several times its whole grant, so any
+        # conservative grant would be smaller than its overdraft (the
+        # accountant rejects grants that leave spend above budget).
+        splurge = Measurement(
+            work=1.0,
+            energy_j=needer.granted_budget_j,
+            rate=30.0,
+            power_w=18.0,
+        )
+        for _ in range(3):
+            mgr.step(needer.session_id, splurge)
+        mgr.step(
+            donor.session_id,
+            Measurement(
+                work=1.0, energy_j=0.01, rate=30.0, power_w=18.0
+            ),
+        )
+        total = mgr.committed_budget_j
+        deltas = mgr.rebalance()  # must not raise ContractError
+        assert deltas[needer.session_id] == 0.0
+        assert mgr.committed_budget_j == pytest.approx(total)
+
+
+class TestWarmStart:
+    def test_second_session_restores_from_the_store(self):
+        store = SnapshotStore()
+        mgr = manager(store=store)
+        first = open_default(mgr, seed=1)
+        for _ in range(20):
+            mgr.step(first.session_id, MEASUREMENT)
+        mgr.snapshot(first.session_id)
+        mgr.close(first.session_id)
+
+        second = open_default(mgr, seed=2)
+        assert second.warm_started is True
+        assert second.runtime.seo.epsilon < 1.0
+
+    def test_warm_start_can_be_declined(self):
+        store = SnapshotStore()
+        mgr = manager(store=store)
+        first = open_default(mgr, seed=1)
+        mgr.step(first.session_id, MEASUREMENT)
+        mgr.snapshot(first.session_id)
+        mgr.close(first.session_id)
+
+        cold = open_default(mgr, seed=2, warm_start=False)
+        assert cold.warm_started is False
+        assert cold.runtime.seo.epsilon == 1.0
+
+    def test_stale_snapshot_falls_back_to_cold(self):
+        store = SnapshotStore()
+        mgr = manager(store=store)
+        first = open_default(mgr, seed=1)
+        mgr.snapshot(first.session_id)
+        mgr.close(first.session_id)
+        state = store.get("tablet", "x264")
+        state["learned"] = {"seo": {}}  # corrupt it in place
+
+        second = open_default(mgr, seed=2)
+        assert second.warm_started is False
+
+
+class TestStats:
+    def test_stats_shape(self):
+        mgr = manager()
+        session = open_default(mgr)
+        stats = mgr.stats()
+        assert stats["sessions"] == 1
+        assert stats["sessions_opened"] == 1
+        assert stats["committed_budget_j"] == pytest.approx(
+            session.granted_budget_j
+        )
+        assert stats["available_budget_j"] < stats["global_budget_j"]

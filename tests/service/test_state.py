@@ -1,0 +1,190 @@
+"""Snapshot capture/restore: round trips, rejection, and the store."""
+
+import pytest
+
+from repro.apps import build_application
+from repro.core.budget import EnergyGoal
+from repro.core.bandit import SystemEnergyOptimizer
+from repro.core.jouleguard import JouleGuardRuntime
+from repro.core.types import Measurement
+from repro.hw import PlatformSimulator, get_machine
+from repro.runtime.harness import prior_shapes
+from repro.service.state import (
+    STATE_VERSION,
+    SnapshotError,
+    SnapshotStore,
+    SnapshotVersionError,
+    apply_state,
+    capture_state,
+    dumps_state,
+    loads_state,
+    validate_state,
+)
+
+
+def make_runtime(seed=1, total_work=100.0, budget_j=120.0):
+    machine = get_machine("tablet")
+    app = build_application("x264")
+    rate_shape, power_shape = prior_shapes(machine)
+    seo = SystemEnergyOptimizer(rate_shape, power_shape, seed=seed)
+    goal = EnergyGoal(total_work=total_work, budget_j=budget_j)
+    return machine, app, JouleGuardRuntime(
+        seo=seo, table=app.table, goal=goal
+    )
+
+
+def run_steps(machine, app, runtime, steps, seed=1):
+    """Drive the runtime against the simulator; return the decisions."""
+    simulator = PlatformSimulator(
+        machine, app.resource_profile, seed=seed
+    )
+    decisions = [runtime.current_decision]
+    for _ in range(steps):
+        decision = decisions[-1]
+        result = simulator.run_iteration(
+            config=machine.space[decision.system_index],
+            work=app.work_per_iteration,
+            app_speedup=decision.app_config.speedup,
+            app_power_factor=decision.app_config.power_factor,
+        )
+        decisions.append(
+            runtime.step(
+                Measurement(
+                    work=result.work,
+                    energy_j=result.measured_power_w * result.time_s,
+                    rate=result.measured_rate,
+                    power_w=result.measured_power_w,
+                )
+            )
+        )
+    return decisions
+
+
+class TestCaptureAndValidate:
+    def test_envelope_fields(self):
+        machine, app, runtime = make_runtime()
+        state = capture_state(runtime, "tablet", "x264")
+        assert state["version"] == STATE_VERSION
+        assert state["machine"] == "tablet"
+        assert state["app"] == "x264"
+        assert state["n_configs"] == runtime.seo.n_configs
+        assert validate_state(state) == state
+
+    def test_json_round_trip(self):
+        machine, app, runtime = make_runtime()
+        run_steps(machine, app, runtime, 15)
+        state = capture_state(runtime, "tablet", "x264")
+        assert loads_state(dumps_state(state)) == state
+
+    def test_version_mismatch_rejected(self):
+        machine, app, runtime = make_runtime()
+        state = capture_state(runtime, "tablet", "x264")
+        state["version"] = STATE_VERSION + 1
+        with pytest.raises(SnapshotVersionError):
+            validate_state(state)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SnapshotError) as excinfo:
+            validate_state({"version": STATE_VERSION})
+        assert "machine" in str(excinfo.value)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SnapshotError):
+            validate_state([1, 2, 3])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SnapshotError):
+            loads_state("{broken")
+
+
+class TestApplyState:
+    def test_restores_learned_tables(self):
+        machine, app, source = make_runtime(seed=1)
+        run_steps(machine, app, source, 25)
+        state = loads_state(
+            dumps_state(capture_state(source, "tablet", "x264"))
+        )
+
+        _, _, target = make_runtime(seed=1)
+        assert target.seo.epsilon == 1.0
+        apply_state(target, state, machine="tablet", app="x264")
+        assert target.seo.epsilon == source.seo.epsilon
+        assert target.seo.best_index == source.seo.best_index
+        assert target.seo.visited_count == source.seo.visited_count
+        # The committed decision carries the restored (converged) ε.
+        assert target.current_decision.epsilon < 1.0
+
+    def test_identity_mismatch_rejected(self):
+        machine, app, runtime = make_runtime()
+        state = capture_state(runtime, "tablet", "x264")
+        _, _, target = make_runtime()
+        with pytest.raises(SnapshotError):
+            apply_state(target, state, machine="server", app="x264")
+        with pytest.raises(SnapshotError):
+            apply_state(target, state, machine="tablet", app="swish")
+
+    def test_config_space_mismatch_rejected(self):
+        machine, app, runtime = make_runtime()
+        state = capture_state(runtime, "tablet", "x264")
+        state["n_configs"] = 7
+        _, _, target = make_runtime()
+        with pytest.raises(SnapshotError):
+            apply_state(target, state)
+
+    def test_corrupt_learned_state_rejected(self):
+        machine, app, runtime = make_runtime()
+        state = capture_state(runtime, "tablet", "x264")
+        state["learned"] = {"seo": {}}
+        _, _, target = make_runtime()
+        with pytest.raises(SnapshotError):
+            apply_state(target, state)
+
+    def test_reseeded_restore_is_deterministic(self):
+        machine, app, source = make_runtime(seed=1)
+        run_steps(machine, app, source, 20)
+        state = capture_state(source, "tablet", "x264")
+
+        traces = []
+        for _ in range(2):
+            _, _, target = make_runtime(seed=1)
+            apply_state(target, state, seed=99)
+            decisions = run_steps(machine, app, target, 15, seed=99)
+            traces.append(
+                [decision.system_index for decision in decisions]
+            )
+        assert traces[0] == traces[1]
+
+
+class TestSnapshotStore:
+    def test_put_get(self):
+        machine, app, runtime = make_runtime()
+        store = SnapshotStore()
+        assert store.get("tablet", "x264") is None
+        store.put(capture_state(runtime, "tablet", "x264"))
+        assert store.get("tablet", "x264") is not None
+        assert ("tablet", "x264") in store
+        assert len(store) == 1
+        assert store.keys() == [("tablet", "x264")]
+
+    def test_persists_and_reloads(self, tmp_path):
+        machine, app, runtime = make_runtime()
+        run_steps(machine, app, runtime, 10)
+        store = SnapshotStore(directory=tmp_path)
+        store.put(capture_state(runtime, "tablet", "x264"))
+        assert (tmp_path / "tablet__x264.json").is_file()
+
+        reloaded = SnapshotStore(directory=tmp_path)
+        assert reloaded.get("tablet", "x264") == store.get(
+            "tablet", "x264"
+        )
+
+    def test_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "junk.json").write_text("{not json")
+        (tmp_path / "other.json").write_text('{"version": 999}')
+        store = SnapshotStore(directory=tmp_path)
+        assert len(store) == 0
+
+    def test_put_validates(self):
+        store = SnapshotStore()
+        with pytest.raises(SnapshotError):
+            store.put({"version": STATE_VERSION})

@@ -122,3 +122,50 @@ class TestSweepAndOracle:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestService:
+    def test_serve_requires_an_address(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--unix" in capsys.readouterr().err
+
+    def test_client_requires_one_address(self, capsys):
+        assert main(["client"]) == 2
+        assert "--unix" in capsys.readouterr().err
+        assert main(
+            ["client", "--host", "127.0.0.1", "--unix", "/tmp/x.sock"]
+        ) == 2
+
+    def test_client_against_live_daemon(self, tmp_path, capsys):
+        from repro.service import ServerThread, SessionManager
+
+        sock = str(tmp_path / "jg.sock")
+        manager = SessionManager(global_budget_j=1e8)
+        with ServerThread(manager, unix_path=sock):
+            code = main(
+                [
+                    "client", "--unix", sock,
+                    "--steps", "12", "--snapshot",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "convergence step" in out
+            assert "snapshot" in out
+
+            code = main(
+                ["client", "--unix", sock, "--steps", "12",
+                 "--clients", "2"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "p95_step_latency_ms" in out
+            assert "errors: 0" in out
+
+    def test_client_reports_connection_failure(self, tmp_path, capsys):
+        code = main(
+            ["client", "--unix", str(tmp_path / "missing.sock"),
+             "--steps", "5"]
+        )
+        assert code == 1
+        assert "client failed" in capsys.readouterr().err

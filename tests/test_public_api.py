@@ -114,6 +114,24 @@ EXPECTED = {
         "steady",
         "three_scene_video",
     ],
+    "repro.service": [
+        "PROTOCOL_VERSION",
+        "STATE_VERSION",
+        "ServiceClient",
+        "ServiceError",
+        "ServiceServer",
+        "ServerThread",
+        "SessionManager",
+        "SessionError",
+        "SnapshotStore",
+        "apply_state",
+        "capture_state",
+        "dumps_state",
+        "loads_state",
+        "drive_synthetic_session",
+        "run_load",
+        "serve",
+    ],
 }
 
 
