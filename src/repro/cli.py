@@ -24,6 +24,10 @@ Subcommands
 ``client``
     Drive one synthetic closed-loop session against a running daemon,
     or a concurrent load run with ``--clients N``.
+``chaos``
+    Run the seeded fault-injection suite (``repro.faults``) and check
+    its invariants: budgets never silently overdrawn, pole stable,
+    accuracy monotone in fault severity, runs replayable.
 """
 
 from __future__ import annotations
@@ -220,6 +224,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_client(args: argparse.Namespace) -> int:
     from .service import (
+        RetryPolicy,
         ServiceClient,
         ServiceError,
         drive_synthetic_session,
@@ -229,6 +234,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     if (args.unix is None) == (args.host is None):
         print("client needs --host/--port or --unix", file=sys.stderr)
         return 2
+    retry = RetryPolicy(seed=args.seed) if args.retry else None
     if args.clients > 1:
         report = run_load(
             args.clients,
@@ -240,13 +246,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
             port=args.port,
             unix_path=args.unix,
             base_seed=args.seed,
+            retry=retry,
         )
         for key, value in report.as_dict().items():
             print(f"{key:>22}: {value}")
         return 0 if report.errors == 0 else 1
     try:
         with ServiceClient(
-            host=args.host, port=args.port, unix_path=args.unix
+            host=args.host, port=args.port, unix_path=args.unix,
+            retry=retry,
         ) as client:
             run = drive_synthetic_session(
                 client,
@@ -274,6 +282,51 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if key in run.report:
             print(f"{key:>22}: {run.report[key]}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import run_chaos_suite, shipped_plans
+
+    if args.list:
+        for name, plan in shipped_plans(seed=args.seed).items():
+            parts = [
+                part
+                for part, present in (
+                    ("sensor", plan.sensor),
+                    ("channel", plan.channel),
+                    ("budget", plan.budget),
+                    ("network", plan.network),
+                    ("crash", plan.crash),
+                )
+                if present is not None
+            ]
+            print(f"{name:<20} {'+'.join(parts)}")
+        return 0
+    try:
+        suite = run_chaos_suite(
+            plan_names=args.plan or None,
+            seed=args.seed,
+            n_iterations=args.iterations,
+            steps=args.steps,
+            machine=args.machine,
+            app=args.app,
+            factor=args.factor,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(suite, indent=2, sort_keys=True))
+    else:
+        for name, report in suite["plans"].items():
+            status = "PASS" if report["passed"] else "FAIL"
+            print(f"{name:<20} {status}")
+            for violation in report.get("violations", []):
+                print(f"    {violation}")
+        print(f"chaos suite: {'PASS' if suite['passed'] else 'FAIL'}")
+    return 0 if suite["passed"] else 1
 
 
 def _cmd_oracle(args: argparse.Namespace) -> int:
@@ -396,7 +449,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot", action="store_true",
         help="store this session's learned state before closing",
     )
+    client_cmd.add_argument(
+        "--retry", action="store_true",
+        help="retry lost requests with backoff and idempotent ids",
+    )
     client_cmd.set_defaults(func=_cmd_client)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection suite and its invariants",
+    )
+    chaos_cmd.add_argument(
+        "--plan", action="append",
+        help="run only this plan (repeatable; default: all shipped)",
+    )
+    chaos_cmd.add_argument(
+        "--list", action="store_true",
+        help="list the shipped fault plans and exit",
+    )
+    chaos_cmd.add_argument("--machine", default="tablet",
+                           choices=["mobile", "tablet", "server"])
+    chaos_cmd.add_argument("--app", default="x264")
+    chaos_cmd.add_argument("--factor", type=float, default=1.5)
+    chaos_cmd.add_argument(
+        "--iterations", type=int, default=120,
+        help="closed-loop iterations per severity level",
+    )
+    chaos_cmd.add_argument(
+        "--steps", type=int, default=25,
+        help="steps per session in service-level scenarios",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the full machine-readable report",
+    )
+    chaos_cmd.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -33,6 +33,7 @@ class Ewma:
     alpha: float = DEFAULT_ALPHA
     value: Optional[float] = None
     updates: int = field(default=0)
+    holds: int = field(default=0)
 
     def __post_init__(self) -> None:
         check(0.0 < self.alpha <= 1.0, "alpha must be in (0, 1]")
@@ -44,6 +45,20 @@ class Ewma:
         else:
             self.value = (1.0 - self.alpha) * self.value + self.alpha * sample
         self.updates += 1
+        return self.value
+
+    def hold(self) -> float:
+        """Return the estimate unchanged, counting the hold-over.
+
+        Used when a sample is unavailable (sensor dropout): the caller
+        serves the last smoothed value instead of stalling, and the
+        ``holds`` counter records how often feedback was missing.
+        Raises :class:`ValueError` before any sample has been folded —
+        there is nothing to hold yet.
+        """
+        if self.value is None:
+            raise ValueError("cannot hold an uninitialized estimate")
+        self.holds += 1
         return self.value
 
     @property

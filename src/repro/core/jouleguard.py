@@ -195,6 +195,32 @@ class JouleGuardRuntime:
         self._commit(decision)
         return decision
 
+    def pin_safe_fallback(self) -> Decision:
+        """Pin minimum-energy operation without fresh feedback.
+
+        The degradation path for sensor loss: with no trustworthy
+        measurements the runtime cannot run Algorithm 1, so it falls
+        back to its most conservative known-safe configuration — the
+        best-efficiency system configuration it has learned so far and
+        the application's maximum speedup (lowest energy per work, as
+        in the impossible-goals path of Sec. 3.4.3).  No estimator is
+        updated; when feedback returns, :meth:`step` resumes from the
+        learned state unchanged.
+        """
+        speedup = self.table.max_speedup
+        self.controller.speedup = speedup
+        decision = Decision(
+            system_index=self.seo.best_index,
+            app_config=self.table.best_accuracy_for_speedup(speedup),
+            speedup_setpoint=speedup,
+            pole=self.pole_adapter.pole,
+            epsilon=self.seo.epsilon,
+            explored=False,
+            feasible=self._decision.feasible,
+        )
+        self._commit(decision)
+        return decision
+
     def _commit(self, decision: Decision) -> None:
         self._decision = decision
         self._decisions.append(decision)

@@ -1,0 +1,56 @@
+"""Fault injection and deterministic chaos testing for JouleGuard.
+
+:mod:`repro.faults.models` defines seeded, composable fault models —
+sensor dropout/stuck-at/spikes, stale measurement delivery, mid-run
+budget revisions, request/response loss, session crashes — as pure
+wrappers around the seams of the system.  :mod:`repro.faults.harness`
+runs fault plans through the closed loop (and through a real daemon)
+and checks the paper-level invariants that must survive chaos:
+budgets are never silently overdrawn, the pole stays in its stability
+region, accuracy degrades monotonically with fault severity, and every
+faulted run replays decision for decision under its seed.
+"""
+
+from .harness import (
+    ChaosInvariantError,
+    ChaosRunResult,
+    decision_fingerprint,
+    run_chaos,
+    run_chaos_suite,
+    run_restart_scenario,
+    run_service_chaos,
+    verify_plan,
+)
+from .models import (
+    BudgetRevision,
+    ChannelFaults,
+    CrashFaults,
+    FaultPlan,
+    FaultyPowerSensor,
+    MeasurementChannel,
+    NetworkFaults,
+    RequestChaos,
+    SensorFaults,
+    shipped_plans,
+)
+
+__all__ = [
+    "BudgetRevision",
+    "ChannelFaults",
+    "ChaosInvariantError",
+    "ChaosRunResult",
+    "CrashFaults",
+    "FaultPlan",
+    "FaultyPowerSensor",
+    "MeasurementChannel",
+    "NetworkFaults",
+    "RequestChaos",
+    "SensorFaults",
+    "decision_fingerprint",
+    "run_chaos",
+    "run_chaos_suite",
+    "run_restart_scenario",
+    "run_service_chaos",
+    "shipped_plans",
+    "verify_plan",
+]

@@ -1,0 +1,636 @@
+"""Deterministic chaos harness: run fault plans, assert invariants.
+
+The harness closes the loop the way
+:func:`repro.runtime.harness.run_jouleguard` does, but with a
+:class:`~repro.faults.models.FaultPlan` injected at every seam: the
+power sensor is wrapped (fault injection + hold-over), measurements
+flow through a possibly-stale channel, the budget may be revised
+mid-run, and — for network/crash plans — the whole loop runs against a
+real daemon with transport chaos in front of the dispatcher.
+
+What makes this *chaos testing* rather than fuzzing is that every run
+is seeded and replayable, so the harness can assert paper-level
+invariants instead of merely "it did not crash":
+
+1. **No silent overdraft** — accounted spend never exceeds the
+   effective budget (beyond tolerance) unless the runtime *reported*
+   the goal infeasible (Sec. 3.4.3's escape hatch).
+2. **Pole stability** — every decision's pole stays inside ``[0, 1)``,
+   the stability region of Eqn. 9's closed loop.
+3. **Monotone degradation** — mean accuracy does not *improve* as
+   fault severity rises (within tolerance): faults may cost accuracy,
+   never conjure it.
+4. **Determinism** — re-running a faulted plan under the same seed
+   reproduces the decision trace exactly, decision for decision.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps import build_application
+from ..core.bandit import SystemEnergyOptimizer
+from ..core.budget import EnergyGoal
+from ..core.jouleguard import JouleGuardRuntime
+from ..core.types import Measurement
+from ..hw import get_machine
+from ..hw.sensors import (
+    HoldoverPowerSensor,
+    OnChipPowerSensor,
+    SensorLostError,
+)
+from ..hw.simulator import NoiseModel, PlatformSimulator
+from ..runtime.harness import prior_shapes
+from ..runtime.oracle import default_energy_per_work
+from .models import FaultPlan, shipped_plans
+
+__all__ = [
+    "ChaosInvariantError",
+    "ChaosRunResult",
+    "decision_fingerprint",
+    "run_chaos",
+    "run_chaos_suite",
+    "run_restart_scenario",
+    "run_service_chaos",
+    "verify_plan",
+]
+
+#: Relative slack on the budget invariant (estimates are noisy).
+BUDGET_TOLERANCE = 0.05
+
+#: Absolute slack on the monotone-degradation invariant.
+ACCURACY_TOLERANCE = 0.02
+
+
+class ChaosInvariantError(AssertionError):
+    """A fault plan violated one of the harness's invariants."""
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one faulted closed-loop run produced."""
+
+    plan_name: str
+    severity: float
+    steps: int
+    effective_budget_j: float
+    spent_j: float
+    infeasible: bool
+    mean_accuracy: float
+    min_pole: float
+    max_pole: float
+    sensor_lost: bool
+    fingerprint: Tuple[Tuple[int, int, float, float], ...]
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def overdrawn(self) -> bool:
+        """Spend beyond tolerance without an infeasibility report."""
+        limit = self.effective_budget_j * (1.0 + BUDGET_TOLERANCE)
+        return self.spent_j > limit and not self.infeasible
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan_name,
+            "severity": self.severity,
+            "steps": self.steps,
+            "effective_budget_j": self.effective_budget_j,
+            "spent_j": self.spent_j,
+            "infeasible": self.infeasible,
+            "mean_accuracy": self.mean_accuracy,
+            "min_pole": self.min_pole,
+            "max_pole": self.max_pole,
+            "sensor_lost": self.sensor_lost,
+            "overdrawn": self.overdrawn,
+            "counters": dict(self.counters),
+        }
+
+
+def decision_fingerprint(decisions) -> Tuple[Tuple[int, int, float, float], ...]:
+    """A hashable digest of a decision trace for replay comparison."""
+    return tuple(
+        (
+            decision.system_index,
+            getattr(decision.app_config, "index", -1),
+            round(decision.speedup_setpoint, 9),
+            round(decision.pole, 9),
+        )
+        for decision in decisions
+    )
+
+
+def _apply_budget_revision(
+    runtime: JouleGuardRuntime, scale: float
+) -> float:
+    """Rescale the *remaining* budget; return the applied delta (J).
+
+    Routed through the accountant's transfer interface, which refuses
+    to revoke already-spent joules — the clamp below keeps a cut inside
+    what still exists.
+    """
+    accountant = runtime.accountant
+    remaining_j = (
+        accountant.effective_budget_j - accountant.energy_used_j
+    )
+    delta_j = remaining_j * (scale - 1.0)
+    if delta_j < 0.0:
+        delta_j = max(delta_j, -max(0.0, remaining_j))
+    if delta_j != 0.0:  # jglint: disable=JG004
+        accountant.adjust_budget(delta_j)
+    return delta_j
+
+
+def _crash_and_restore(
+    runtime: JouleGuardRuntime, seed: int
+) -> Optional[JouleGuardRuntime]:
+    """Simulate a crash/restart: new runtime, learned state restored.
+
+    Run-local state (accounting, decision trace) dies with the crash;
+    the new runtime gets a goal covering only the remaining work and
+    budget, exactly what a daemon grants a re-opened session.  Returns
+    ``None`` when there is nothing left to run.
+    """
+    accountant = runtime.accountant
+    remaining_work = accountant.remaining_work
+    if remaining_work <= 0.0:
+        return None
+    learned = runtime.snapshot_learned()
+    remaining_j = max(
+        accountant.effective_budget_j - accountant.energy_used_j, 1e-9
+    )
+    restarted = JouleGuardRuntime(
+        seo=type(runtime.seo).restore(learned["seo"], seed=seed),
+        table=runtime.table,
+        goal=EnergyGoal(
+            total_work=remaining_work, budget_j=remaining_j
+        ),
+    )
+    restarted.restore_learned(learned, seed=seed)
+    return restarted
+
+
+def run_chaos(
+    plan: FaultPlan,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    n_iterations: int = 120,
+    seed: int = 0,
+    severity: float = 1.0,
+    max_consecutive_holds: int = 25,
+) -> ChaosRunResult:
+    """Run one faulted closed loop; return its measured outcome.
+
+    Seeding matches :func:`repro.runtime.harness.run_jouleguard`
+    (simulator ``seed``, SEO ``seed + 1``), with the plan's own streams
+    layered on top, so the run is replayable end to end.
+    """
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    scaled = plan.scaled(severity)
+    machine_model = get_machine(machine)
+    application = build_application(app)
+    if not application.runs_on(machine_model.name):
+        raise ValueError(f"{app} does not run on {machine}")
+
+    base_sensor = OnChipPowerSensor(
+        fixed_offset_w=machine_model.external_w,
+        rng=np.random.default_rng(seed + 1),
+    )
+    sensor = HoldoverPowerSensor(
+        inner=scaled.wrap_sensor(base_sensor),
+        max_consecutive_holds=max_consecutive_holds,
+    )
+    simulator = PlatformSimulator(
+        machine_model,
+        application.resource_profile,
+        noise=NoiseModel(),
+        seed=seed,
+        sensor=sensor,
+    )
+    channel = scaled.measurement_channel()
+
+    work_per_iteration = application.work_per_iteration
+    total_work = n_iterations * work_per_iteration
+    default_epw = default_energy_per_work(machine_model, application)
+    goal = EnergyGoal.from_factor(
+        factor,
+        total_work=total_work,
+        default_energy_per_work=default_epw,
+    )
+    rate_shape, power_shape = prior_shapes(machine_model)
+    runtime = JouleGuardRuntime(
+        seo=SystemEnergyOptimizer(
+            rate_shape, power_shape, seed=seed + 1
+        ),
+        table=application.table,
+        goal=goal,
+    )
+
+    space = machine_model.space
+    accuracies: List[float] = []
+    poles: List[float] = []
+    fingerprints: List[Any] = []
+    sensor_lost = False
+    spent_j = 0.0
+    steps = 0
+    infeasible = False
+    for step in range(n_iterations):
+        if (
+            scaled.budget is not None
+            and step == scaled.budget.at_step
+        ):
+            _apply_budget_revision(runtime, scaled.budget.scale)
+        if (
+            scaled.crash is not None
+            and step == scaled.crash.at_step
+        ):
+            infeasible = (
+                infeasible or runtime.goal_reported_infeasible
+            )
+            spent_j += runtime.accountant.energy_used_j
+            restarted = _crash_and_restore(runtime, seed=seed + 1)
+            if restarted is None:
+                break
+            runtime = restarted
+        decision = runtime.current_decision
+        try:
+            result = simulator.run_iteration(
+                config=space[decision.system_index],
+                work=work_per_iteration,
+                app_speedup=decision.app_config.speedup,
+                app_power_factor=getattr(
+                    decision.app_config, "power_factor", 1.0
+                ),
+            )
+        except SensorLostError:
+            # Persistent sensor loss: pin the known-safe fallback and
+            # stop steering — the service layer's degradation path.
+            runtime.pin_safe_fallback()
+            sensor_lost = True
+            break
+        accuracies.append(decision.app_config.accuracy)
+        measurement = channel.transmit(
+            Measurement(
+                work=result.work,
+                energy_j=result.measured_power_w * result.time_s,
+                rate=result.measured_rate,
+                power_w=result.measured_power_w,
+            )
+        )
+        next_decision = runtime.step(measurement)
+        poles.append(next_decision.pole)
+        fingerprints.append(next_decision)
+        steps += 1
+
+    spent_j += runtime.accountant.energy_used_j
+    counters: Dict[str, int] = {"holds": sensor.holds}
+    wrapped = sensor.inner
+    for attr in ("dropouts", "spikes", "stuck_windows", "reads"):
+        if hasattr(wrapped, attr):
+            counters[attr] = getattr(wrapped, attr)
+    counters["stale_deliveries"] = channel.stale_deliveries
+    return ChaosRunResult(
+        plan_name=plan.name,
+        severity=severity,
+        steps=steps,
+        effective_budget_j=runtime.accountant.effective_budget_j,
+        spent_j=spent_j,
+        infeasible=(
+            infeasible or runtime.goal_reported_infeasible
+        ),
+        mean_accuracy=(
+            float(np.mean(accuracies)) if accuracies else 0.0
+        ),
+        min_pole=min(poles) if poles else 0.0,
+        max_pole=max(poles) if poles else 0.0,
+        sensor_lost=sensor_lost,
+        fingerprint=decision_fingerprint(fingerprints),
+        counters=counters,
+    )
+
+
+def verify_plan(
+    plan: FaultPlan,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    n_iterations: int = 120,
+    seed: int = 0,
+    severities: Sequence[float] = (0.0, 0.5, 1.0),
+) -> Dict[str, Any]:
+    """Run one plan across severities and check every invariant.
+
+    Returns a report dict with ``passed`` and a (possibly empty)
+    ``violations`` list; raises nothing — callers decide whether a
+    violation is fatal (the chaos tests raise, the CLI reports).
+    """
+    violations: List[str] = []
+    runs: List[ChaosRunResult] = []
+    for severity in severities:
+        result = run_chaos(
+            plan,
+            machine=machine,
+            app=app,
+            factor=factor,
+            n_iterations=n_iterations,
+            seed=seed,
+            severity=severity,
+        )
+        runs.append(result)
+        if result.overdrawn:
+            violations.append(
+                f"severity {severity:g}: spent {result.spent_j:.3f} J "
+                f"of {result.effective_budget_j:.3f} J without "
+                "reporting infeasibility"
+            )
+        if not 0.0 <= result.min_pole <= result.max_pole < 1.0:
+            violations.append(
+                f"severity {severity:g}: pole left [0, 1) "
+                f"(range [{result.min_pole:.6f}, "
+                f"{result.max_pole:.6f}])"
+            )
+    # Monotone degradation: accuracy must not improve with severity.
+    for lighter, heavier in zip(runs, runs[1:]):
+        if (
+            heavier.mean_accuracy
+            > lighter.mean_accuracy + ACCURACY_TOLERANCE
+        ):
+            violations.append(
+                "accuracy improved under heavier faults: "
+                f"{lighter.mean_accuracy:.4f} at severity "
+                f"{lighter.severity:g} vs {heavier.mean_accuracy:.4f} "
+                f"at severity {heavier.severity:g}"
+            )
+    # Determinism: the full-severity run replays decision for decision.
+    replay = run_chaos(
+        plan,
+        machine=machine,
+        app=app,
+        factor=factor,
+        n_iterations=n_iterations,
+        seed=seed,
+        severity=severities[-1],
+    )
+    if replay.fingerprint != runs[-1].fingerprint:
+        violations.append(
+            "replay diverged: same plan and seed produced a "
+            "different decision trace"
+        )
+    return {
+        "plan": plan.name,
+        "passed": not violations,
+        "violations": violations,
+        "runs": [result.as_dict() for result in runs],
+    }
+
+
+# -- service-level chaos -------------------------------------------------------
+def run_service_chaos(
+    plan: FaultPlan,
+    n_sessions: int = 3,
+    steps: int = 25,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    seed: int = 0,
+    global_budget_j: float = 1e7,
+) -> Dict[str, Any]:
+    """Drive a multi-session workload against a chaotic daemon.
+
+    The daemon gets the plan's :class:`RequestChaos` in front of its
+    dispatcher; the client retries with backoff and idempotent request
+    ids.  Returns a report including the pool-level budget invariants
+    (the service-side analogue of "no silent overdraft").
+    """
+    from ..service.client import (
+        RetryPolicy,
+        ServiceClient,
+        drive_synthetic_session,
+    )
+    from ..service.server import ServerThread
+    from ..service.sessions import SessionManager
+
+    chaos = plan.request_chaos()
+    manager = SessionManager(
+        global_budget_j=global_budget_j, rebalance_period=10
+    )
+    reports: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = f"{tmp}/chaos.sock"
+        with ServerThread(manager, unix_path=sock, chaos=chaos):
+            client = ServiceClient(
+                unix_path=sock,
+                retry=RetryPolicy(
+                    max_attempts=8, base_delay_s=0.01, seed=seed
+                ),
+            )
+            try:
+                for index in range(n_sessions):
+                    run = drive_synthetic_session(
+                        client,
+                        machine=machine,
+                        app=app,
+                        factor=factor,
+                        steps=steps,
+                        seed=seed + index,
+                        warm_start=False,
+                        client_name=f"chaos-{index}",
+                    )
+                    reports.append(run.report)
+            finally:
+                retries = client.retries
+                reconnects = client.reconnects
+                client.close_connection()
+    stats = manager.stats()
+    pool_ok = (
+        stats["available_budget_j"] >= -1e-6
+        and stats["committed_budget_j"] - 1e-6
+        <= stats["global_budget_j"]
+    )
+    return {
+        "plan": plan.name,
+        "sessions": len(reports),
+        "reports": reports,
+        "retries": retries,
+        "reconnects": reconnects,
+        "chaos": chaos.counters() if chaos is not None else {},
+        "pool_ok": pool_ok,
+        "passed": pool_ok and len(reports) == n_sessions,
+        "stats": stats,
+    }
+
+
+def run_restart_scenario(
+    plan: FaultPlan,
+    steps_before: Optional[int] = None,
+    steps_after: int = 30,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    seed: int = 0,
+    global_budget_j: float = 1e7,
+    store_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Kill the daemon mid-session; restart it from its snapshot store.
+
+    Phase one steps a session ``steps_before`` times (the plan's crash
+    step by default), snapshots, then the daemon "crashes" (thread
+    stopped — sessions die, learned state survives on disk).  Phase two
+    starts a fresh daemon over the same store directory and re-opens
+    the session warm.  A cold control run measures the convergence bar
+    the restarted session must beat (or match).
+    """
+    from ..service.client import (
+        RetryPolicy,
+        ServiceClient,
+        drive_synthetic_session,
+    )
+    from ..service.server import ServerThread
+    from ..service.sessions import SessionManager
+    from ..service.state import SnapshotStore
+
+    if steps_before is None:
+        steps_before = (
+            plan.crash.at_step if plan.crash is not None else 10
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = store_dir if store_dir is not None else f"{tmp}/store"
+        sock = f"{tmp}/restart.sock"
+        retry = RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=seed)
+
+        manager1 = SessionManager(
+            global_budget_j=global_budget_j,
+            store=SnapshotStore(directory=directory),
+        )
+        with ServerThread(manager1, unix_path=sock):
+            with ServiceClient(unix_path=sock, retry=retry) as client:
+                first = drive_synthetic_session(
+                    client,
+                    machine=machine,
+                    app=app,
+                    factor=factor,
+                    steps=steps_before,
+                    seed=seed,
+                    warm_start=False,
+                    take_snapshot=True,
+                    close=False,
+                    client_name="pre-crash",
+                )
+        # The daemon is gone; its sessions died with it.  Learned state
+        # lives on in the store directory.
+
+        manager2 = SessionManager(
+            global_budget_j=global_budget_j,
+            store=SnapshotStore(directory=directory),
+        )
+        with ServerThread(manager2, unix_path=sock):
+            with ServiceClient(unix_path=sock, retry=retry) as client:
+                resumed = drive_synthetic_session(
+                    client,
+                    machine=machine,
+                    app=app,
+                    factor=factor,
+                    steps=steps_after,
+                    seed=seed,
+                    warm_start=True,
+                    client_name="post-crash",
+                )
+
+        # Cold control: same workload, no snapshot store to warm from.
+        manager_cold = SessionManager(global_budget_j=global_budget_j)
+        with ServerThread(manager_cold, unix_path=sock):
+            with ServiceClient(unix_path=sock, retry=retry) as client:
+                cold = drive_synthetic_session(
+                    client,
+                    machine=machine,
+                    app=app,
+                    factor=factor,
+                    steps=steps_after,
+                    seed=seed,
+                    warm_start=False,
+                    client_name="cold-control",
+                )
+
+    stats = manager2.stats()
+    pool_ok = stats["available_budget_j"] >= -1e-6
+    return {
+        "plan": plan.name,
+        "pre_crash_steps": first.steps,
+        "warm_resumed": resumed.warm,
+        "resumed_convergence": resumed.convergence_step(),
+        "cold_convergence": cold.convergence_step(),
+        "resumed_report": resumed.report,
+        "cold_report": cold.report,
+        "pool_ok": pool_ok,
+        "passed": (
+            resumed.warm
+            and pool_ok
+            and resumed.convergence_step() <= cold.convergence_step()
+        ),
+    }
+
+
+def run_chaos_suite(
+    plan_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    n_iterations: int = 120,
+    steps: int = 25,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+) -> Dict[str, Any]:
+    """Verify a set of shipped plans; the CLI's ``chaos`` entry point.
+
+    Loop-level plans (sensor/channel/budget faults) go through
+    :func:`verify_plan`; ``network``-bearing plans through
+    :func:`run_service_chaos`; ``crash``-bearing plans through
+    :func:`run_restart_scenario`.
+    """
+    plans = shipped_plans(seed=seed)
+    if plan_names:
+        unknown = sorted(set(plan_names) - set(plans))
+        if unknown:
+            raise KeyError(
+                f"unknown plan(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(plans))}"
+            )
+        selected = {name: plans[name] for name in plan_names}
+    else:
+        selected = plans
+    results: Dict[str, Any] = {}
+    for name, plan in selected.items():
+        if plan.network is not None:
+            results[name] = run_service_chaos(
+                plan,
+                steps=steps,
+                machine=machine,
+                app=app,
+                factor=factor,
+                seed=seed,
+            )
+        elif plan.crash is not None:
+            results[name] = run_restart_scenario(
+                plan,
+                machine=machine,
+                app=app,
+                factor=factor,
+                seed=seed,
+            )
+        else:
+            results[name] = verify_plan(
+                plan,
+                machine=machine,
+                app=app,
+                factor=factor,
+                n_iterations=n_iterations,
+                seed=seed,
+            )
+    return {
+        "passed": all(r["passed"] for r in results.values()),
+        "plans": results,
+    }

@@ -1,0 +1,451 @@
+"""Seeded, composable fault models for the JouleGuard loop and service.
+
+JouleGuard's guarantee (Eqns. 7–11) is a claim about behaviour *under
+uncertainty*: noisy sensors, model error, workload phase changes.  The
+happy-path simulator only exercises mild Gaussian noise; this module
+supplies the unhappy paths as first-class, deterministic objects:
+
+* **sensor faults** — dropout (a reading is simply unavailable),
+  stuck-at (the register repeats a frozen value), and spikes (a reading
+  is off by a large multiplicative factor);
+* **measurement-channel faults** — stale delivery (the heartbeat the
+  controller sees is an older one, as happens when telemetry queues
+  back up);
+* **budget revisions** — the global pool is re-negotiated mid-run (an
+  operator cuts the datacenter budget, a battery reports less charge
+  than forecast);
+* **network faults** — requests or responses between client and daemon
+  are dropped or delayed;
+* **session crashes** — the daemon dies mid-session and restarts from
+  its snapshot store.
+
+Every model draws from its own :class:`numpy.random.SeedSequence`
+spawn of the plan's seed, so a :class:`FaultPlan` is *replayable*: the
+same plan and seed produce the same fault schedule, which is what lets
+the chaos harness (:mod:`repro.faults.harness`) assert
+decision-for-decision determinism under faults.
+
+Fault models are pure wrappers: they perturb what flows *between*
+components (sensor readings, measurements, requests) and never reach
+into controller or accounting logic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.types import Measurement
+from ..hw.sensors import PowerSensorLike, SensorReadError
+
+__all__ = [
+    "BudgetRevision",
+    "ChannelFaults",
+    "CrashFaults",
+    "FaultPlan",
+    "FaultyPowerSensor",
+    "MeasurementChannel",
+    "NetworkFaults",
+    "RequestChaos",
+    "SensorFaults",
+    "shipped_plans",
+]
+
+
+def _probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1]")
+
+
+def _scaled_prob(prob: float, severity: float) -> float:
+    return min(1.0, prob * severity)
+
+
+@dataclass(frozen=True)
+class SensorFaults:
+    """Faults applied to individual power-sensor readings.
+
+    ``dropout_prob`` readings are unavailable (:class:`SensorReadError`),
+    ``stuck_prob`` readings begin a window of ``stuck_hold`` readings
+    repeating the last good value, and ``spike_prob`` readings are
+    multiplied by ``spike_magnitude``.
+    """
+
+    dropout_prob: float = 0.0
+    stuck_prob: float = 0.0
+    stuck_hold: int = 5
+    spike_prob: float = 0.0
+    spike_magnitude: float = 5.0
+
+    def __post_init__(self) -> None:
+        _probability(self.dropout_prob, "dropout_prob")
+        _probability(self.stuck_prob, "stuck_prob")
+        _probability(self.spike_prob, "spike_prob")
+        if self.stuck_hold < 1:
+            raise ValueError("stuck_hold must be >= 1")
+        if self.spike_magnitude <= 0:
+            raise ValueError("spike_magnitude must be positive")
+
+    def scaled(self, severity: float) -> "SensorFaults":
+        return replace(
+            self,
+            dropout_prob=_scaled_prob(self.dropout_prob, severity),
+            stuck_prob=_scaled_prob(self.stuck_prob, severity),
+            spike_prob=_scaled_prob(self.spike_prob, severity),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Faults on the measurement channel between platform and runtime.
+
+    With probability ``stale_prob`` the controller receives an *older*
+    measurement instead of the current one; ``max_age`` bounds how far
+    back the channel may reach (a bounded telemetry queue).
+    """
+
+    stale_prob: float = 0.0
+    max_age: int = 3
+
+    def __post_init__(self) -> None:
+        _probability(self.stale_prob, "stale_prob")
+        if self.max_age < 1:
+            raise ValueError("max_age must be >= 1")
+
+    def scaled(self, severity: float) -> "ChannelFaults":
+        return replace(
+            self, stale_prob=_scaled_prob(self.stale_prob, severity)
+        )
+
+
+@dataclass(frozen=True)
+class BudgetRevision:
+    """A mid-run revision of the energy budget.
+
+    At iteration ``at_step`` the remaining budget is rescaled by
+    ``scale`` (0.5 halves what is left, 1.5 grants half again more).
+    The harness applies it through the accountant's transfer interface,
+    which refuses to revoke already-spent joules — a revision can only
+    reclaim energy that still exists.
+    """
+
+    at_step: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.at_step < 0:
+            raise ValueError("at_step must be non-negative")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def scaled(self, severity: float) -> "BudgetRevision":
+        # Severity interpolates the revision toward the identity:
+        # severity 0 leaves the budget alone, 1 applies the full cut.
+        return replace(
+            self, scale=1.0 + (self.scale - 1.0) * min(1.0, severity)
+        )
+
+
+@dataclass(frozen=True)
+class NetworkFaults:
+    """Faults on the client↔daemon transport.
+
+    ``drop_request_prob`` requests are lost before the daemon processes
+    them; ``drop_response_prob`` responses are lost *after* processing
+    (the dangerous case — only idempotent request ids make a retry
+    safe).  ``delay_prob``/``delay_s`` add slow-network jitter.
+    """
+
+    drop_request_prob: float = 0.0
+    drop_response_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        _probability(self.drop_request_prob, "drop_request_prob")
+        _probability(self.drop_response_prob, "drop_response_prob")
+        _probability(self.delay_prob, "delay_prob")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    def scaled(self, severity: float) -> "NetworkFaults":
+        return replace(
+            self,
+            drop_request_prob=_scaled_prob(
+                self.drop_request_prob, severity
+            ),
+            drop_response_prob=_scaled_prob(
+                self.drop_response_prob, severity
+            ),
+            delay_prob=_scaled_prob(self.delay_prob, severity),
+        )
+
+
+@dataclass(frozen=True)
+class CrashFaults:
+    """The daemon crashes after serving ``at_step`` steps of a session
+    and restarts from its snapshot store."""
+
+    at_step: int
+
+    def __post_init__(self) -> None:
+        if self.at_step < 1:
+            raise ValueError("at_step must be >= 1")
+
+    def scaled(self, severity: float) -> "CrashFaults":
+        return self
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named, seeded, composable fault schedule.
+
+    A plan combines any subset of the fault models; components left as
+    ``None`` inject nothing.  ``seed`` pins every random draw the plan
+    will ever make: the sensor, channel, and network streams each get
+    their own :class:`numpy.random.SeedSequence` spawn so composing
+    faults does not perturb each other's schedules.
+    """
+
+    name: str
+    seed: int = 0
+    sensor: Optional[SensorFaults] = None
+    channel: Optional[ChannelFaults] = None
+    budget: Optional[BudgetRevision] = None
+    network: Optional[NetworkFaults] = None
+    crash: Optional[CrashFaults] = None
+
+    #: Fixed spawn indices: composing/removing one fault never shifts
+    #: another fault's RNG stream.
+    _STREAMS = {"sensor": 0, "channel": 1, "network": 2}
+
+    def scaled(self, severity: float) -> "FaultPlan":
+        """The same plan with fault intensities scaled by ``severity``.
+
+        Severity 0 is fault-free, 1 is the plan as configured; values
+        above 1 stress harder (probabilities saturate at 1).
+        """
+        if severity < 0:
+            raise ValueError("severity must be non-negative")
+        return replace(
+            self,
+            sensor=self.sensor.scaled(severity) if self.sensor else None,
+            channel=(
+                self.channel.scaled(severity) if self.channel else None
+            ),
+            budget=self.budget.scaled(severity) if self.budget else None,
+            network=(
+                self.network.scaled(severity) if self.network else None
+            ),
+        )
+
+    def reseeded(self, seed: int) -> "FaultPlan":
+        """The same fault schedule shape under a different seed."""
+        return replace(self, seed=seed)
+
+    def _rng(self, stream: str) -> np.random.Generator:
+        children = np.random.SeedSequence(self.seed).spawn(
+            len(self._STREAMS)
+        )
+        return np.random.default_rng(children[self._STREAMS[stream]])
+
+    # -- component factories ---------------------------------------------------
+    def wrap_sensor(self, inner: PowerSensorLike) -> PowerSensorLike:
+        """Wrap a power sensor with this plan's sensor faults (if any)."""
+        if self.sensor is None:
+            return inner
+        return FaultyPowerSensor(
+            inner=inner, faults=self.sensor, rng=self._rng("sensor")
+        )
+
+    def measurement_channel(self) -> "MeasurementChannel":
+        """A measurement channel applying this plan's staleness faults."""
+        return MeasurementChannel(
+            faults=self.channel, rng=self._rng("channel")
+        )
+
+    def request_chaos(self) -> Optional["RequestChaos"]:
+        """Transport chaos for the daemon, or None without network faults."""
+        if self.network is None:
+            return None
+        return RequestChaos(
+            faults=self.network, rng=self._rng("network")
+        )
+
+
+@dataclass
+class FaultyPowerSensor:
+    """A power sensor whose readings fail the way real registers fail.
+
+    Wraps any object with ``read(true_power_w) -> float``.  Dropout
+    raises :class:`~repro.hw.sensors.SensorReadError`; stuck-at windows
+    repeat the last good value for ``stuck_hold`` readings; spikes
+    multiply one reading by ``spike_magnitude``.  All draws come from
+    the injected seeded generator, so a faulted run replays exactly.
+    """
+
+    inner: PowerSensorLike
+    faults: SensorFaults
+    rng: np.random.Generator
+    reads: int = 0
+    dropouts: int = 0
+    spikes: int = 0
+    stuck_windows: int = 0
+    _stuck_left: int = 0
+    _stuck_value: Optional[float] = None
+
+    def read(self, true_package_power_w: float) -> float:
+        self.reads += 1
+        # Draw every stream decision each read so the schedule does not
+        # depend on which fault fired previously (replayable schedule).
+        draw_drop = float(self.rng.random())
+        draw_stuck = float(self.rng.random())
+        draw_spike = float(self.rng.random())
+        if self._stuck_left > 0 and self._stuck_value is not None:
+            self._stuck_left -= 1
+            return self._stuck_value
+        if draw_drop < self.faults.dropout_prob:
+            self.dropouts += 1
+            raise SensorReadError("sensor reading dropped (injected)")
+        value = self.inner.read(true_package_power_w)
+        if draw_stuck < self.faults.stuck_prob:
+            self.stuck_windows += 1
+            self._stuck_left = self.faults.stuck_hold
+            self._stuck_value = value
+        if draw_spike < self.faults.spike_prob:
+            self.spikes += 1
+            value *= self.faults.spike_magnitude
+        return value
+
+
+@dataclass
+class MeasurementChannel:
+    """Delivers measurements to the controller, possibly stale.
+
+    With probability ``stale_prob`` the channel delivers the oldest
+    queued measurement instead of the newest — the bounded-queue model
+    of telemetry backpressure.  ``faults=None`` is a transparent wire.
+    """
+
+    faults: Optional[ChannelFaults] = None
+    rng: Optional[np.random.Generator] = None
+    stale_deliveries: int = 0
+    _queue: Deque[Measurement] = field(default_factory=deque)
+
+    def transmit(self, measurement: Measurement) -> Measurement:
+        """Push the newest measurement; return the one delivered."""
+        if self.faults is None or self.rng is None:
+            return measurement
+        self._queue.append(measurement)
+        while len(self._queue) > self.faults.max_age:
+            self._queue.popleft()
+        if (
+            len(self._queue) > 1
+            and float(self.rng.random()) < self.faults.stale_prob
+        ):
+            self.stale_deliveries += 1
+            return self._queue[0]
+        return self._queue[-1]
+
+
+@dataclass
+class RequestChaos:
+    """Seeded per-request transport decisions for the daemon.
+
+    The server consults :meth:`on_request` once per request line:
+    ``"deliver"`` serves normally, ``"drop_request"`` discards the
+    request unprocessed, ``"drop_response"`` processes the request but
+    loses the response (the connection is closed) — the case that makes
+    retries unsafe without idempotent request ids.
+    """
+
+    faults: NetworkFaults
+    rng: np.random.Generator
+    delivered: int = 0
+    dropped_requests: int = 0
+    dropped_responses: int = 0
+    delays: int = 0
+
+    def on_request(self) -> str:
+        draw = float(self.rng.random())
+        if draw < self.faults.drop_request_prob:
+            self.dropped_requests += 1
+            return "drop_request"
+        if (
+            draw
+            < self.faults.drop_request_prob
+            + self.faults.drop_response_prob
+        ):
+            self.dropped_responses += 1
+            return "drop_response"
+        self.delivered += 1
+        return "deliver"
+
+    def delay_for(self) -> float:
+        """Seconds of injected latency for this request (often 0)."""
+        if self.faults.delay_s <= 0 or self.faults.delay_prob <= 0:
+            return 0.0
+        if float(self.rng.random()) < self.faults.delay_prob:
+            self.delays += 1
+            return self.faults.delay_s
+        return 0.0
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "delivered": self.delivered,
+            "dropped_requests": self.dropped_requests,
+            "dropped_responses": self.dropped_responses,
+            "delays": self.delays,
+        }
+
+
+def shipped_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """The named fault plans the chaos suite and CI exercise.
+
+    Each stresses one failure mode at a realistic intensity; compose
+    your own :class:`FaultPlan` for combined scenarios (see
+    ``docs/faults.md``).
+    """
+    plans: List[FaultPlan] = [
+        FaultPlan(
+            name="sensor-dropout",
+            seed=seed,
+            sensor=SensorFaults(dropout_prob=0.15),
+        ),
+        FaultPlan(
+            name="sensor-stuck",
+            seed=seed,
+            sensor=SensorFaults(stuck_prob=0.05, stuck_hold=5),
+        ),
+        FaultPlan(
+            name="sensor-spike",
+            seed=seed,
+            sensor=SensorFaults(spike_prob=0.05, spike_magnitude=4.0),
+        ),
+        FaultPlan(
+            name="stale-measurements",
+            seed=seed,
+            channel=ChannelFaults(stale_prob=0.2, max_age=3),
+        ),
+        FaultPlan(
+            name="budget-cut",
+            seed=seed,
+            budget=BudgetRevision(at_step=40, scale=0.7),
+        ),
+        FaultPlan(
+            name="network-drop",
+            seed=seed,
+            network=NetworkFaults(
+                drop_request_prob=0.05, drop_response_prob=0.05
+            ),
+        ),
+        FaultPlan(
+            name="crash-restart",
+            seed=seed,
+            crash=CrashFaults(at_step=10),
+        ),
+    ]
+    return {plan.name: plan for plan in plans}

@@ -27,7 +27,14 @@ from .machines import (
 )
 from .power_model import package_power, powerup_over_minimal, system_power
 from .profiles import GENERIC_PROFILE, AppResourceProfile
-from .sensors import ExternalPowerMeter, OnChipPowerSensor
+from .sensors import (
+    ExternalPowerMeter,
+    HoldoverPowerSensor,
+    OnChipPowerSensor,
+    PowerSensorLike,
+    SensorLostError,
+    SensorReadError,
+)
 from .serialize import (
     load_machine,
     machine_from_dict,
@@ -47,6 +54,7 @@ __all__ = [
     "ConfigSpace",
     "ExternalPowerMeter",
     "GENERIC_PROFILE",
+    "HoldoverPowerSensor",
     "IterationResult",
     "Knob",
     "Machine",
@@ -54,7 +62,10 @@ __all__ = [
     "OnChipPowerSensor",
     "PlatformSimulator",
     "PolicyOutcome",
+    "PowerSensorLike",
     "RacePaceComparison",
+    "SensorLostError",
+    "SensorReadError",
     "SystemConfig",
     "ThermalModel",
     "all_machines",

@@ -15,8 +15,38 @@ but only exposes it at coarse sample boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
+
+from ..core.ewma import Ewma
+
+
+class SensorReadError(RuntimeError):
+    """A sensor could not produce a reading (dropout, bus error, ...)."""
+
+
+class SensorLostError(SensorReadError):
+    """A sensor has failed persistently; hold-over is no longer safe."""
+
+
+@runtime_checkable
+class PowerSensorLike(Protocol):
+    """Anything that turns true package power into one reading."""
+
+    def read(self, true_package_power_w: float) -> float: ...
+
+
+#: Root seed sequence for sensors constructed without an explicit rng.
+#: Each default-constructed sensor spawns its own child stream, so two
+#: sensors never share (and therefore never replay) one noise stream —
+#: the regression behind requiring this was two default sensors
+#: producing byte-identical noise via a shared ``default_rng(0)``.
+_DEFAULT_SENSOR_SEEDS = np.random.SeedSequence(20151005)
+
+
+def _spawn_sensor_rng() -> np.random.Generator:
+    return np.random.default_rng(_DEFAULT_SENSOR_SEEDS.spawn(1)[0])
 
 
 @dataclass
@@ -33,20 +63,26 @@ class OnChipPowerSensor:
     noise_rel:
         Standard deviation of multiplicative Gaussian reading noise.
     rng:
-        Numpy generator; pass a seeded one for reproducible runs.
+        Numpy generator; pass a seeded one for reproducible runs.  When
+        omitted, a distinct stream is spawned from a module-level
+        :class:`~numpy.random.SeedSequence` — deterministic per process
+        but never shared between sensors.
     """
 
     fixed_offset_w: float = 0.0
     quantum_w: float = 0.005
     noise_rel: float = 0.01
-    rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
-    )
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = _spawn_sensor_rng()
 
     def read(self, true_package_power_w: float) -> float:
         """Return one sensor reading for the given true package power."""
         if true_package_power_w < 0:
             raise ValueError("power cannot be negative")
+        assert self.rng is not None  # set by __post_init__
         noisy = true_package_power_w * (
             1.0 + self.rng.normal(0.0, self.noise_rel)
         )
@@ -54,6 +90,75 @@ class OnChipPowerSensor:
         if self.quantum_w > 0:
             noisy = round(noisy / self.quantum_w) * self.quantum_w
         return noisy + self.fixed_offset_w
+
+
+@dataclass
+class HoldoverPowerSensor:
+    """Last-good-value + EWMA hold-over around an unreliable sensor.
+
+    Wraps any :class:`PowerSensorLike`.  Good readings pass through
+    unchanged while feeding an EWMA of recent values; when the inner
+    sensor raises :class:`SensorReadError` (dropout, bus error, an
+    injected fault), the wrapper *holds over* — it answers with the
+    EWMA estimate instead of propagating the failure, so one missed
+    register read does not stall the control loop (the paper's loop
+    needs feedback every iteration, Sec. 4.2).
+
+    Hold-over is only safe transiently: after ``max_consecutive_holds``
+    failures in a row the sensor is declared lost and
+    :class:`SensorLostError` is raised, which upstream layers treat as
+    "degrade gracefully" (see ``repro.service.sessions``).
+
+    Parameters
+    ----------
+    inner:
+        The wrapped sensor.
+    alpha:
+        EWMA weight of each new good reading (Eqn. 1 convention: the
+        weight of the *new* sample).
+    max_consecutive_holds:
+        Consecutive failed reads tolerated before declaring loss.
+    """
+
+    inner: PowerSensorLike
+    alpha: float = 0.3
+    max_consecutive_holds: int = 10
+    holds: int = 0
+    consecutive_holds: int = 0
+    _estimate: Ewma = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_holds < 1:
+            raise ValueError("max_consecutive_holds must be >= 1")
+        self._estimate = Ewma(alpha=self.alpha)
+
+    def read(self, true_package_power_w: float) -> float:
+        """One reading: the inner sensor's value, or the held estimate."""
+        try:
+            value = self.inner.read(true_package_power_w)
+        except SensorLostError:
+            raise
+        except SensorReadError:
+            if not self._estimate.initialized:
+                raise SensorLostError(
+                    "sensor failed before producing any reading"
+                ) from None
+            self.holds += 1
+            self.consecutive_holds += 1
+            if self.consecutive_holds > self.max_consecutive_holds:
+                raise SensorLostError(
+                    f"{self.consecutive_holds} consecutive failed "
+                    "reads; hold-over is no longer trustworthy"
+                ) from None
+            return self._estimate.hold()
+        self.consecutive_holds = 0
+        self._estimate.update(value)
+        return value
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """The current hold-over estimate (None before any good read)."""
+        return self._estimate.value
 
 
 @dataclass

@@ -9,7 +9,7 @@ injected seeded generator or the figures stop being reproducible.
 
     python -m repro.lint src benchmarks examples
 
-Rules are ``JG001``–``JG008`` (``--list-rules`` describes them, and
+Rules are ``JG001``–``JG009`` (``--list-rules`` describes them, and
 ``docs/static_analysis.md`` ties each to the paper).  Line-level
 ``# jglint: disable=JGxxx`` comments sanction deliberate exceptions;
 :mod:`repro.core.contracts` provides the runtime twin of these checks.

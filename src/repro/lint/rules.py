@@ -20,6 +20,10 @@ rationale tied to the paper's equations:
 * JG008 — no blocking calls inside ``async def`` bodies: the service
   daemon multiplexes every session on one event loop, so one
   ``time.sleep`` stalls every client's control loop.
+* JG009 — the service and fault-injection layers may not swallow an
+  exception without leaving a trace: a daemon that silently eats a
+  failure shows healthy stats while sessions rot, and the chaos
+  harness cannot assert invariants over errors nobody recorded.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = [
     "FloatEqualityRule",
     "MutableDefaultRule",
     "OverbroadExceptRule",
+    "SwallowedExceptionRule",
     "UnitMismatchRule",
     "UnseededRandomnessRule",
     "UnstableConstantRule",
@@ -717,6 +722,148 @@ class BlockingAsyncCallRule(Rule):
                 )
 
 
+class SwallowedExceptionRule(Rule):
+    """JG009: service/faults except clauses must leave a trace.
+
+    The daemon's contract is that failures are *observable*: every
+    ``except`` in :mod:`repro.service` and :mod:`repro.faults` must
+    either re-raise or record evidence the exception happened.  An
+    except body counts as recording when it does any of:
+
+    * re-raise (any ``raise`` statement, including ``raise X from e``);
+    * read the bound exception name (``except E as exc`` with ``exc``
+      used — building an error envelope, stashing ``last_error``, ...);
+    * bump a counter (``self.connection_errors += 1``);
+    * call a recorder — a function or method whose dotted name contains
+      a logging/metrics verb (``log``, ``warn``, ``error``, ``record``,
+      ``metric``, ``count``, ...);
+    * assign to an error-evidence name (``sensor_lost``,
+      ``close_reason``, ``*_failures``, ...).
+
+    Anything else is a silent swallow: the daemon keeps serving healthy
+    stats while sessions rot, and the chaos harness cannot assert
+    invariants over errors nobody recorded.
+    """
+
+    rule_id = "JG009"
+    summary = (
+        "except clause in service/faults swallows the exception without "
+        "re-raising or recording a metric/log"
+    )
+
+    _PATH_COMPONENTS = ("service", "faults")
+
+    #: Substrings marking a call as a recording/telemetry operation.
+    _RECORDING_VERBS = (
+        "log",
+        "warn",
+        "error",
+        "exception",
+        "record",
+        "metric",
+        "incr",
+        "count",
+        "note",
+        "debug",
+        "info",
+        "audit",
+        "trace",
+    )
+
+    #: Substrings marking an assignment target as error evidence.
+    _EVIDENCE_NAMES = (
+        "error",
+        "fail",
+        "lost",
+        "dropped",
+        "skipped",
+        "degraded",
+        "reason",
+        "warning",
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        return any(
+            component in context.path.parts
+            for component in self._PATH_COMPONENTS
+        )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._leaves_trace(node):
+                continue
+            caught = self._caught_names(node.type)
+            yield self.finding(
+                context,
+                node,
+                f"'except {caught}' swallows the exception without "
+                "re-raising or recording it (no counter bump, log/metric "
+                "call, or use of the bound exception); silent failures "
+                "hide degraded sessions",
+            )
+
+    @staticmethod
+    def _caught_names(node: Optional[ast.AST]) -> str:
+        if node is None:
+            return ":"
+        if isinstance(node, ast.Tuple):
+            names = [
+                _dotted_name(element) or "?" for element in node.elts
+            ]
+            return "(" + ", ".join(names) + ")"
+        return _dotted_name(node) or "?"
+
+    def _leaves_trace(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Add
+            ):
+                return True
+            if isinstance(node, ast.Call) and self._is_recorder(node):
+                return True
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                if self._assigns_evidence(node):
+                    return True
+        return False
+
+    def _is_recorder(self, node: ast.Call) -> bool:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return False
+        lowered = dotted.lower()
+        return any(verb in lowered for verb in self._RECORDING_VERBS)
+
+    def _assigns_evidence(self, node: ast.stmt) -> bool:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            return False
+        for target in targets:
+            name = _dotted_name(target)
+            if name is None:
+                continue
+            lowered = name.lower()
+            if any(
+                evidence in lowered
+                for evidence in self._EVIDENCE_NAMES
+            ):
+                return True
+        return False
+
+
 def default_rules() -> Sequence[Rule]:
     """Fresh instances of the full JG rule set, in id order."""
     return (
@@ -728,4 +875,5 @@ def default_rules() -> Sequence[Rule]:
         OverbroadExceptRule(),
         ApiDriftRule(),
         BlockingAsyncCallRule(),
+        SwallowedExceptionRule(),
     )

@@ -24,6 +24,7 @@ Layers, bottom to top:
 from .client import (
     LoadReport,
     OpenedSession,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     SessionRun,
@@ -43,8 +44,10 @@ from .protocol import (
     measurement_payload,
     ok_response,
     parse_request,
+    request_id_of,
+    sensor_ok_from_payload,
 )
-from .server import ServerThread, ServiceServer, serve
+from .server import RID_CACHE_MAX, ServerThread, ServiceServer, serve
 from .sessions import Session, SessionError, SessionManager
 from .state import (
     STATE_VERSION,
@@ -65,6 +68,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "REQUEST_TYPES",
+    "RID_CACHE_MAX",
+    "RetryPolicy",
     "STATE_VERSION",
     "ServerThread",
     "ServiceClient",
@@ -90,7 +95,9 @@ __all__ = [
     "measurement_payload",
     "ok_response",
     "parse_request",
+    "request_id_of",
     "run_load",
+    "sensor_ok_from_payload",
     "serve",
     "validate_state",
 ]

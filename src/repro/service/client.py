@@ -15,9 +15,13 @@ to measure sessions/sec and step-latency percentiles.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
+import random
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -36,6 +40,7 @@ from .protocol import (
 __all__ = [
     "LoadReport",
     "OpenedSession",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "SessionRun",
@@ -51,6 +56,40 @@ class ServiceError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for lossy transports.
+
+    Attempt *n* (zero-based) sleeps ``base_delay_s * 2**n`` capped at
+    ``max_delay_s``, shrunk by up to ``jitter`` (a fraction in [0, 1])
+    drawn from a ``random.Random(seed)`` stream so retry schedules are
+    reproducible.  Only transport failures are retried; structured
+    :class:`ServiceError` responses mean the daemon answered and are
+    raised immediately.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                "delays must satisfy 0 <= base_delay_s <= max_delay_s"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before retry ``attempt`` (zero-based)."""
+        delay = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        return delay * (1.0 - self.jitter * rng.random())
 
 
 @dataclass(frozen=True)
@@ -77,6 +116,13 @@ class ServiceClient:
         Socket timeout applied to connect and to every request.
     handshake:
         Send ``hello`` on connect and verify the protocol version.
+    retry:
+        Optional :class:`RetryPolicy`.  When given, every request
+        carries an idempotency id (``rid``), transport failures trigger
+        reconnect + resend with exponential backoff, and the daemon's
+        rid cache guarantees a retried ``step`` is not executed twice.
+        ``None`` (the default) keeps the historical fail-fast behavior:
+        a dropped connection raises :class:`ConnectionError`.
     """
 
     def __init__(
@@ -86,6 +132,7 @@ class ServiceClient:
         unix_path: Optional[str] = None,
         timeout_s: float = 30.0,
         handshake: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if (unix_path is None) == (host is None):
             raise ValueError(
@@ -93,25 +140,62 @@ class ServiceClient:
             )
         if timeout_s <= 0:
             raise ValueError("timeout must be positive")
+        if host is not None and port is None:
+            raise ValueError("TCP needs an explicit port")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
         self.timeout_s = timeout_s
-        if unix_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout_s)
-            self._sock.connect(unix_path)
-        else:
-            if port is None:
-                raise ValueError("TCP needs an explicit port")
-            self._sock = socket.create_connection(
-                (host, port), timeout=timeout_s
-            )
-        self._file = self._sock.makefile("rwb")
+        self.retry = retry
+        self.retries = 0
+        self.reconnects = 0
+        self._retry_rng = (
+            random.Random(retry.seed) if retry is not None else None
+        )
+        self._rid_token = uuid.uuid4().hex[:12]
+        self._rid_counter = itertools.count()
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._connect()
         self.server_stats: Dict[str, Any] = {}
         if handshake:
             self.server_stats = self.hello()
 
     # -- transport -------------------------------------------------------------
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """One request/response round trip; raises on error envelopes."""
+    def _connect(self) -> None:
+        if self.unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(self.timeout_s)
+            self._sock.connect(self.unix_path)
+        else:
+            assert self.port is not None
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        self._file = self._sock.makefile("rwb")
+
+    def _drop_connection(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        # Teardown of an already-broken transport: close errors carry
+        # no information the caller can act on.
+        if file is not None:
+            with contextlib.suppress(OSError):
+                file.close()
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _next_rid(self) -> str:
+        return f"{self._rid_token}-{next(self._rid_counter)}"
+
+    def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip on the live connection."""
+        if self._file is None:
+            self._connect()
+            self.reconnects += 1
+        assert self._file is not None
         self._file.write(encode_message(payload))
         self._file.flush()
         line = self._file.readline(MAX_LINE_BYTES + 2)
@@ -126,11 +210,37 @@ class ServiceClient:
             )
         return response
 
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises on error envelopes.
+
+        With a :class:`RetryPolicy`, a ``rid`` is attached and transport
+        failures (dropped connections, timeouts) are retried with
+        backoff; resends reuse the same ``rid`` so the daemon replays
+        the cached response rather than re-executing the operation.
+        """
+        if self.retry is None:
+            return self._request_once(payload)
+        assert self._retry_rng is not None
+        payload = dict(payload)
+        payload.setdefault("rid", self._next_rid())
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(self.retry.delay_s(attempt - 1, self._retry_rng))
+            try:
+                return self._request_once(payload)
+            except ServiceError:
+                raise  # the daemon answered; retrying cannot help
+            except OSError as exc:  # includes ConnectionError, timeouts
+                last_error = exc
+                self._drop_connection()
+        raise ConnectionError(
+            f"request failed after {self.retry.max_attempts} attempts"
+        ) from last_error
+
     def close_connection(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -348,12 +458,14 @@ def _connect_kwargs(
     port: Optional[int],
     unix_path: Optional[str],
     timeout_s: float,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, Any]:
     return {
         "host": host,
         "port": port,
         "unix_path": unix_path,
         "timeout_s": timeout_s,
+        "retry": retry,
     }
 
 
@@ -368,6 +480,7 @@ def run_load(
     unix_path: Optional[str] = None,
     base_seed: int = 0,
     timeout_s: float = 60.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Drive ``n_clients`` concurrent synthetic sessions; aggregate.
 
@@ -383,7 +496,7 @@ def run_load(
     def _one(index: int) -> None:
         try:
             with ServiceClient(
-                **_connect_kwargs(host, port, unix_path, timeout_s)
+                **_connect_kwargs(host, port, unix_path, timeout_s, retry)
             ) as client:
                 run = drive_synthetic_session(
                     client,

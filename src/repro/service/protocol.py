@@ -28,7 +28,7 @@ format version (:mod:`repro.service.state`).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..core.jouleguard import Decision
 from ..core.types import Measurement
@@ -47,6 +47,8 @@ __all__ = [
     "measurement_payload",
     "ok_response",
     "parse_request",
+    "request_id_of",
+    "sensor_ok_from_payload",
 ]
 
 #: Wire protocol version negotiated by ``hello``.
@@ -132,8 +134,32 @@ def parse_request(message: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
             f"unknown request type {request_type!r}; "
             f"expected one of {', '.join(REQUEST_TYPES)}",
         )
-    fields = {key: value for key, value in message.items() if key != "type"}
+    fields = {
+        key: value
+        for key, value in message.items()
+        if key not in ("type", "rid")
+    }
     return request_type, fields
+
+
+def request_id_of(message: Mapping[str, Any]) -> Optional[str]:
+    """The request's idempotency id (``rid``), validated, or None.
+
+    A client that retries after a lost response resends the *same*
+    ``rid``; the server answers non-``hello`` retries from its response
+    cache instead of re-executing them, which is what makes retrying a
+    ``step`` safe (stepping a controller twice would corrupt its budget
+    accounting).  Raises ``bad_request`` for a non-string or empty id.
+    """
+    rid = message.get("rid")
+    if rid is None:
+        return None
+    if not isinstance(rid, str) or not rid or len(rid) > 128:
+        raise ProtocolError(
+            "bad_request",
+            "'rid' must be a non-empty string of at most 128 chars",
+        )
+    return rid
 
 
 # -- envelopes ----------------------------------------------------------------
@@ -152,14 +178,27 @@ def error_response(code: str, message: str) -> Dict[str, Any]:
 
 
 # -- payload codecs -----------------------------------------------------------
-def measurement_payload(measurement: Measurement) -> Dict[str, Any]:
-    """Wire form of one heartbeat measurement."""
-    return {
+def measurement_payload(
+    measurement: Measurement, sensor_ok: bool = True
+) -> Dict[str, Any]:
+    """Wire form of one heartbeat measurement.
+
+    ``sensor_ok=False`` marks the heartbeat as carrying *held-over*
+    estimates rather than trustworthy sensor readings (the client's
+    power sensor is lost); the daemon degrades the session instead of
+    feeding the learner unreliable feedback.  The flag is only encoded
+    when False, keeping version-1 frames byte-identical for healthy
+    heartbeats.
+    """
+    payload: Dict[str, Any] = {
         "work": measurement.work,
         "energy_j": measurement.energy_j,
         "rate": measurement.rate,
         "power_w": measurement.power_w,
     }
+    if not sensor_ok:
+        payload["sensor_ok"] = False
+    return payload
 
 
 def measurement_from_payload(payload: Any) -> Measurement:
@@ -183,6 +222,13 @@ def measurement_from_payload(payload: Any) -> Measurement:
         raise ProtocolError(
             "bad_request", f"invalid measurement: {exc}"
         ) from exc
+
+
+def sensor_ok_from_payload(payload: Any) -> bool:
+    """Whether a ``step`` measurement carries trustworthy sensor data."""
+    if not isinstance(payload, Mapping):
+        return True
+    return bool(payload.get("sensor_ok", True))
 
 
 def decision_payload(decision: Decision) -> Dict[str, Any]:

@@ -22,7 +22,8 @@ import asyncio
 import contextlib
 import os
 import threading
-from typing import Any, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from .protocol import (
     PROTOCOL_VERSION,
@@ -34,14 +35,23 @@ from .protocol import (
     measurement_from_payload,
     ok_response,
     parse_request,
+    request_id_of,
+    sensor_ok_from_payload,
 )
 from .sessions import SessionError, SessionManager
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.models import RequestChaos
+
 __all__ = [
+    "RID_CACHE_MAX",
     "ServerThread",
     "ServiceServer",
     "serve",
 ]
+
+#: Upper bound on cached idempotent responses (oldest evicted first).
+RID_CACHE_MAX = 1024
 
 
 class ServiceServer:
@@ -59,6 +69,11 @@ class ServiceServer:
         Unix-socket path; ``None`` disables the Unix listener.
     reap_interval_s:
         Cadence of the idle-session reaper.
+    chaos:
+        Optional :class:`~repro.faults.models.RequestChaos` injecting
+        deterministic request/response drops and delays in front of the
+        dispatcher (fault-injection testing only; ``None`` in
+        production).
     """
 
     def __init__(
@@ -68,6 +83,7 @@ class ServiceServer:
         port: int = 0,
         unix_path: Optional[str] = None,
         reap_interval_s: float = 5.0,
+        chaos: Optional["RequestChaos"] = None,
     ) -> None:
         if host is None and unix_path is None:
             raise ValueError("need a TCP host and/or a unix socket path")
@@ -78,10 +94,16 @@ class ServiceServer:
         self.port = port
         self.unix_path = unix_path
         self.reap_interval_s = reap_interval_s
+        self.chaos = chaos
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._unix_server: Optional[asyncio.AbstractServer] = None
         self._reaper: Optional[asyncio.Task] = None
         self.connections = 0
+        self.connection_errors = 0
+        self.replayed_responses = 0
+        self.chaos_dropped_requests = 0
+        self.chaos_dropped_responses = 0
+        self._rid_cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
@@ -140,16 +162,34 @@ class ServiceServer:
                 try:
                     line = await reader.readline()
                 except (ConnectionError, asyncio.LimitOverrunError):
+                    self.connection_errors += 1
                     break
                 if not line:
                     break
                 if not line.strip():
                     continue
+                action = "deliver"
+                if self.chaos is not None:
+                    action = self.chaos.on_request()
+                    delay_s = self.chaos.delay_for()
+                    if delay_s > 0.0:
+                        await asyncio.sleep(delay_s)
+                if action == "drop_request":
+                    # The request "never arrived": no processing, and the
+                    # connection dies so the client sees a reset.
+                    self.chaos_dropped_requests += 1
+                    break
                 response = self.handle_line(line)
+                if action == "drop_response":
+                    # Processed, but the answer is "lost on the wire".
+                    # The rid cache is what lets a retry recover this.
+                    self.chaos_dropped_responses += 1
+                    break
                 writer.write(encode_message(response))
                 try:
                     await writer.drain()
                 except ConnectionError:
+                    self.connection_errors += 1
                     break
         finally:
             writer.close()
@@ -158,10 +198,24 @@ class ServiceServer:
 
     # -- dispatch (synchronous: one request, one response) ---------------------
     def handle_line(self, line: bytes) -> Dict[str, Any]:
-        """Decode, dispatch, and answer one request line."""
+        """Decode, dispatch, and answer one request line.
+
+        Requests carrying a ``rid`` are idempotent: the first execution's
+        response is cached (bounded by :data:`RID_CACHE_MAX`) and a
+        retried ``rid`` is answered from the cache without re-executing.
+        Error envelopes are never cached — a retry should re-attempt the
+        operation, since the failure may have been transient.
+        """
+        rid: Optional[str] = None
         try:
-            request_type, fields = parse_request(decode_message(line))
-            return self._dispatch(request_type, fields)
+            message = decode_message(line)
+            rid = request_id_of(message)
+            if rid is not None and rid in self._rid_cache:
+                self.replayed_responses += 1
+                self._rid_cache.move_to_end(rid)
+                return self._rid_cache[rid]
+            request_type, fields = parse_request(message)
+            response = self._dispatch(request_type, fields)
         except ProtocolError as exc:
             return error_response(exc.code, exc.message)
         except SessionError as exc:
@@ -170,6 +224,13 @@ class ServiceServer:
             return error_response(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
+        if rid is not None:
+            response = dict(response)
+            response["rid"] = rid
+            self._rid_cache[rid] = response
+            while len(self._rid_cache) > RID_CACHE_MAX:
+                self._rid_cache.popitem(last=False)
+        return response
 
     def _dispatch(
         self, request_type: str, fields: Dict[str, Any]
@@ -240,10 +301,13 @@ class ServiceServer:
 
     def _handle_step(self, fields: Dict[str, Any]) -> Dict[str, Any]:
         session_id = self._require_session(fields)
-        measurement = measurement_from_payload(
-            fields.get("measurement")
+        payload = fields.get("measurement")
+        measurement = measurement_from_payload(payload)
+        decision = self.manager.step(
+            session_id,
+            measurement,
+            sensor_ok=sensor_ok_from_payload(payload),
         )
-        decision = self.manager.step(session_id, measurement)
         return ok_response(
             "step", decision=decision_payload(decision)
         )
@@ -306,10 +370,8 @@ def serve(
         finally:
             await server.aclose()
 
-    try:
+    with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_main())
-    except KeyboardInterrupt:
-        pass
 
 
 class ServerThread:
@@ -331,6 +393,7 @@ class ServerThread:
         port: int = 0,
         unix_path: Optional[str] = None,
         reap_interval_s: float = 5.0,
+        chaos: Optional["RequestChaos"] = None,
     ) -> None:
         self.manager = manager
         self.server = ServiceServer(
@@ -339,6 +402,7 @@ class ServerThread:
             port=port,
             unix_path=unix_path,
             reap_interval_s=reap_interval_s,
+            chaos=chaos,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None

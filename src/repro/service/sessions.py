@@ -79,6 +79,9 @@ class Session:
     recent_epw: Optional[float] = None
     closed: bool = False
     close_reason: str = ""
+    degraded: bool = False
+    sensor_failures: int = 0
+    reclaimed_j: float = 0.0
 
     @property
     def decision(self) -> Decision:
@@ -104,6 +107,11 @@ class SessionManager:
         :class:`~repro.core.multi.MultiAppCoordinator`).
     transfer_fraction / smoothing:
         Rebalance conservatism knobs, matching :mod:`repro.core.multi`.
+    degrade_after:
+        Consecutive sensor-loss heartbeats a session may send before
+        the manager degrades it (pins its most conservative known-safe
+        configuration and reclaims its forecast surplus) instead of
+        letting it keep steering on untrustworthy feedback.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -117,6 +125,7 @@ class SessionManager:
         rebalance_period: int = 25,
         transfer_fraction: float = 0.5,
         smoothing: float = 0.25,
+        degrade_after: int = 3,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if global_budget_j <= 0:
@@ -131,6 +140,9 @@ class SessionManager:
             raise ValueError("transfer_fraction must be in (0, 1]")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1")
+        self.degrade_after = degrade_after
         self.global_budget_j = global_budget_j
         self.store = store if store is not None else SnapshotStore()
         self.idle_timeout_s = idle_timeout_s
@@ -146,6 +158,9 @@ class SessionManager:
         self.transfers: List[Dict[str, float]] = []
         self.sessions_opened = 0
         self.sessions_rejected = 0
+        self.sessions_degraded = 0
+        self.warm_start_failures = 0
+        self.budget_revisions: List[Dict[str, float]] = []
         self._admission_cache: Dict[
             Tuple[str, str], Tuple[float, float]
         ] = {}
@@ -285,7 +300,9 @@ class SessionManager:
                     )
                     warm = True
                 except SnapshotError:
-                    warm = False  # stale store entry: fall back to cold
+                    # Stale store entry: record it, fall back to cold.
+                    self.warm_start_failures += 1
+                    warm = False
 
         now_s = self.clock()
         session = Session(
@@ -317,25 +334,117 @@ class SessionManager:
         return session
 
     def step(
-        self, session_id: str, measurement: Measurement
+        self,
+        session_id: str,
+        measurement: Measurement,
+        sensor_ok: bool = True,
     ) -> Decision:
-        """Feed one heartbeat; rebalance budgets on schedule."""
+        """Feed one heartbeat; rebalance budgets on schedule.
+
+        ``sensor_ok=False`` marks the heartbeat's energy/power values
+        as untrustworthy (the client's sensor is lost and holding
+        over).  The manager keeps accounting such heartbeats — using
+        its own smoothed energy-per-work estimate where it has one, the
+        conservative choice — but stops feeding them to the learner;
+        after :attr:`degrade_after` consecutive failures the session is
+        degraded (see :meth:`_degrade`) rather than killed.  A healthy
+        heartbeat clears the failure streak and resumes normal control.
+        """
         session = self._get(session_id)
-        epw = measurement.energy_j / measurement.work
-        if session.recent_epw is None:
-            session.recent_epw = epw
-        else:
-            session.recent_epw += self.smoothing * (
-                epw - session.recent_epw
-            )
         session.steps += 1
         session.last_active_s = self.clock()
-        decision = session.runtime.step(measurement)
+        if not sensor_ok:
+            decision = self._step_without_sensor(session, measurement)
+        else:
+            session.sensor_failures = 0
+            session.degraded = False
+            epw = measurement.energy_j / measurement.work
+            if session.recent_epw is None:
+                session.recent_epw = epw
+            else:
+                session.recent_epw += self.smoothing * (
+                    epw - session.recent_epw
+                )
+            decision = session.runtime.step(measurement)
         self._steps_since_rebalance += 1
         if self._steps_since_rebalance >= self.rebalance_period:
             self.rebalance()
             self._steps_since_rebalance = 0
         return decision
+
+    def _step_without_sensor(
+        self, session: Session, measurement: Measurement
+    ) -> Decision:
+        """One heartbeat with no trustworthy sensor behind it."""
+        session.sensor_failures += 1
+        accountant = session.runtime.accountant
+        # Account the work conservatively: trust our own smoothed
+        # estimate of this session's energy per work over the client's
+        # held-over numbers, and never below what the client reported.
+        energy_j = measurement.energy_j
+        if session.recent_epw is not None:
+            energy_j = max(
+                energy_j, session.recent_epw * measurement.work
+            )
+        accountant.record(measurement.work, energy_j)
+        if (
+            not session.degraded
+            and session.sensor_failures >= self.degrade_after
+        ):
+            self._degrade(session)
+        return session.runtime.current_decision
+
+    def _degrade(self, session: Session) -> None:
+        """Fall back to known-safe operation instead of dying.
+
+        The session's runtime pins its most conservative known-safe
+        configuration (minimum-energy operation, Sec. 3.4.3), and the
+        budget accountant reclaims the session's forecast surplus for
+        the pool — a blind session must not sit on joules that healthy
+        sessions could use.
+        """
+        session.degraded = True
+        self.sessions_degraded += 1
+        session.runtime.pin_safe_fallback()
+        surplus = self._forecast_surplus(session)
+        accountant = session.runtime.accountant
+        # Never reclaim below what is already spent (the accountant
+        # would reject it) and never "reclaim" a deficit.
+        reclaimable = min(
+            max(0.0, surplus),
+            max(
+                0.0,
+                accountant.effective_budget_j
+                - accountant.energy_used_j,
+            ),
+        )
+        if reclaimable > 0.0:
+            accountant.adjust_budget(-reclaimable)
+            session.reclaimed_j += reclaimable
+
+    def revise_global_budget(self, new_budget_j: float) -> float:
+        """Revise the global pool mid-run; return the applied budget.
+
+        Models an operator or battery revising the energy available to
+        the daemon.  The pool can grow freely, but it can never shrink
+        below what is already spent or promised — burned joules are
+        gone and grants are contracts — so a cut is clamped to
+        ``spent + committed``.  Each revision is recorded in
+        :attr:`budget_revisions`.
+        """
+        if new_budget_j <= 0:
+            raise ValueError("global budget must be positive")
+        floor_j = self._spent_closed_j + self.committed_budget_j
+        applied_j = max(new_budget_j, floor_j)
+        self.budget_revisions.append(
+            {
+                "requested_j": new_budget_j,
+                "applied_j": applied_j,
+                "previous_j": self.global_budget_j,
+            }
+        )
+        self.global_budget_j = applied_j
+        return applied_j
 
     def report(self, session_id: str) -> Dict[str, Any]:
         """Accounting and controller snapshot for one session."""
@@ -358,6 +467,9 @@ class SessionManager:
             "epsilon": session.runtime.seo.epsilon,
             "visited_configs": session.runtime.seo.visited_count,
             "infeasible": session.runtime.goal_reported_infeasible,
+            "degraded": session.degraded,
+            "sensor_failures": session.sensor_failures,
+            "reclaimed_j": session.reclaimed_j,
         }
 
     def snapshot(self, session_id: str) -> Dict[str, Any]:
@@ -484,6 +596,9 @@ class SessionManager:
             "sessions": len(self._sessions),
             "sessions_opened": self.sessions_opened,
             "sessions_rejected": self.sessions_rejected,
+            "sessions_degraded": self.sessions_degraded,
+            "warm_start_failures": self.warm_start_failures,
+            "budget_revisions": len(self.budget_revisions),
             "global_budget_j": self.global_budget_j,
             "committed_budget_j": self.committed_budget_j,
             "available_budget_j": self.available_budget_j,

@@ -155,6 +155,7 @@ class SnapshotStore:
     ) -> None:
         self._lock = threading.Lock()
         self._states: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self.skipped_files = 0
         self.directory = (
             pathlib.Path(directory) if directory is not None else None
         )
@@ -172,7 +173,10 @@ class SnapshotStore:
             try:
                 state = loads_state(path.read_text(encoding="utf-8"))
             except (OSError, SnapshotError):
-                continue  # ignore foreign or stale files
+                # Foreign or stale file: skip it, but keep count so a
+                # store that silently lost snapshots is observable.
+                self.skipped_files += 1
+                continue
             key = (str(state["machine"]), str(state["app"]))
             self._states[key] = state
 

@@ -1,0 +1,286 @@
+"""Unit tests for the seeded fault models themselves."""
+
+import numpy as np
+import pytest
+
+from repro.faults.models import (
+    BudgetRevision,
+    ChannelFaults,
+    CrashFaults,
+    FaultPlan,
+    FaultyPowerSensor,
+    MeasurementChannel,
+    NetworkFaults,
+    RequestChaos,
+    SensorFaults,
+    shipped_plans,
+)
+from repro.core.types import Measurement
+from repro.hw.sensors import SensorReadError
+
+
+class ConstantSensor:
+    """A perfect inner sensor: reads exactly the true power."""
+
+    def read(self, true_package_power_w):
+        return true_package_power_w
+
+
+def measurement(tag):
+    return Measurement(
+        work=1.0, energy_j=float(tag), rate=30.0, power_w=18.0
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"dropout_prob": -0.1},
+        {"dropout_prob": 1.5},
+        {"stuck_prob": 2.0},
+        {"spike_prob": -1.0},
+        {"stuck_hold": 0},
+        {"spike_magnitude": 0.0},
+    ])
+    def test_sensor_faults_reject_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SensorFaults(**kwargs)
+
+    def test_channel_faults_reject_bad_values(self):
+        with pytest.raises(ValueError):
+            ChannelFaults(stale_prob=1.1)
+        with pytest.raises(ValueError):
+            ChannelFaults(max_age=0)
+
+    def test_budget_revision_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BudgetRevision(at_step=-1, scale=0.5)
+        with pytest.raises(ValueError):
+            BudgetRevision(at_step=1, scale=0.0)
+
+    def test_network_faults_reject_bad_values(self):
+        with pytest.raises(ValueError):
+            NetworkFaults(drop_request_prob=1.2)
+        with pytest.raises(ValueError):
+            NetworkFaults(delay_s=-1.0)
+
+    def test_crash_faults_reject_bad_step(self):
+        with pytest.raises(ValueError):
+            CrashFaults(at_step=0)
+
+    def test_plan_rejects_negative_severity(self):
+        with pytest.raises(ValueError):
+            FaultPlan(name="x").scaled(-0.5)
+
+
+class TestScaling:
+    def test_severity_zero_disables_probabilistic_faults(self):
+        plan = FaultPlan(
+            name="x",
+            sensor=SensorFaults(dropout_prob=0.5, spike_prob=0.2),
+            channel=ChannelFaults(stale_prob=0.3),
+            network=NetworkFaults(drop_request_prob=0.4),
+        ).scaled(0.0)
+        assert plan.sensor.dropout_prob == 0.0
+        assert plan.sensor.spike_prob == 0.0
+        assert plan.channel.stale_prob == 0.0
+        assert plan.network.drop_request_prob == 0.0
+
+    def test_probabilities_saturate_at_one(self):
+        faults = SensorFaults(dropout_prob=0.6).scaled(5.0)
+        assert faults.dropout_prob == 1.0
+
+    def test_budget_revision_interpolates_toward_identity(self):
+        revision = BudgetRevision(at_step=10, scale=0.5)
+        assert revision.scaled(0.0).scale == pytest.approx(1.0)
+        assert revision.scaled(0.5).scale == pytest.approx(0.75)
+        assert revision.scaled(1.0).scale == pytest.approx(0.5)
+
+    def test_severity_one_is_identity(self):
+        plan = shipped_plans()["sensor-dropout"]
+        assert plan.scaled(1.0) == plan
+
+    def test_reseeded_changes_only_seed(self):
+        plan = shipped_plans()["sensor-dropout"]
+        other = plan.reseeded(99)
+        assert other.seed == 99
+        assert other.sensor == plan.sensor
+        assert other.name == plan.name
+
+
+class TestFaultyPowerSensor:
+    def plan(self, seed=0, **sensor_kwargs):
+        return FaultPlan(
+            name="t", seed=seed, sensor=SensorFaults(**sensor_kwargs)
+        )
+
+    def readings(self, plan, n=60, power=20.0):
+        sensor = plan.wrap_sensor(ConstantSensor())
+        out = []
+        for _ in range(n):
+            try:
+                out.append(sensor.read(power))
+            except SensorReadError:
+                out.append(None)
+        return out, sensor
+
+    def test_dropout_raises_and_counts(self):
+        readings, sensor = self.readings(
+            self.plan(dropout_prob=0.3), n=100
+        )
+        dropped = sum(1 for value in readings if value is None)
+        assert dropped == sensor.dropouts
+        assert 10 <= dropped <= 50  # ~30 expected
+
+    def test_same_seed_same_fault_schedule(self):
+        first, _ = self.readings(self.plan(seed=7, dropout_prob=0.3))
+        second, _ = self.readings(self.plan(seed=7, dropout_prob=0.3))
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        first, _ = self.readings(self.plan(seed=1, dropout_prob=0.3))
+        second, _ = self.readings(self.plan(seed=2, dropout_prob=0.3))
+        assert first != second
+
+    def test_stuck_window_repeats_last_good_value(self):
+        plan = self.plan(stuck_prob=1.0, stuck_hold=3)
+        sensor = plan.wrap_sensor(ConstantSensor())
+        first = sensor.read(10.0)  # good read, starts a stuck window
+        held = [sensor.read(10.0 + step) for step in range(1, 4)]
+        assert held == [first] * 3
+        assert sensor.stuck_windows >= 1
+
+    def test_spike_multiplies_reading(self):
+        plan = self.plan(spike_prob=1.0, spike_magnitude=4.0)
+        sensor = plan.wrap_sensor(ConstantSensor())
+        assert sensor.read(10.0) == pytest.approx(40.0)
+        assert sensor.spikes == 1
+
+    def test_composing_channel_does_not_shift_sensor_stream(self):
+        # Fixed SeedSequence spawn indices: adding an unrelated fault
+        # component must not perturb the sensor's fault schedule.
+        bare = FaultPlan(
+            name="t", seed=3, sensor=SensorFaults(dropout_prob=0.3)
+        )
+        composed = FaultPlan(
+            name="t",
+            seed=3,
+            sensor=SensorFaults(dropout_prob=0.3),
+            channel=ChannelFaults(stale_prob=0.5),
+        )
+        first, _ = self.readings(bare)
+        second, _ = self.readings(composed)
+        assert first == second
+
+    def test_no_sensor_component_is_passthrough(self):
+        plan = FaultPlan(name="t")
+        inner = ConstantSensor()
+        assert plan.wrap_sensor(inner) is inner
+
+
+class TestMeasurementChannel:
+    def test_transparent_without_faults(self):
+        channel = MeasurementChannel()
+        sent = measurement(1)
+        assert channel.transmit(sent) is sent
+
+    def test_stale_delivery_replays_older_measurement(self):
+        plan = FaultPlan(
+            name="t", channel=ChannelFaults(stale_prob=1.0, max_age=3)
+        )
+        channel = plan.measurement_channel()
+        first = channel.transmit(measurement(1))
+        assert first.energy_j == 1.0  # queue of one: nothing older
+        second = channel.transmit(measurement(2))
+        assert second.energy_j == 1.0  # oldest queued delivered
+        assert channel.stale_deliveries == 1
+
+    def test_staleness_bounded_by_max_age(self):
+        plan = FaultPlan(
+            name="t", channel=ChannelFaults(stale_prob=1.0, max_age=2)
+        )
+        channel = plan.measurement_channel()
+        for tag in range(1, 6):
+            delivered = channel.transmit(measurement(tag))
+        assert delivered.energy_j >= 4.0  # at most max_age behind
+
+    def test_seeded_channel_replays(self):
+        def deliveries(seed):
+            plan = FaultPlan(
+                name="t",
+                seed=seed,
+                channel=ChannelFaults(stale_prob=0.5, max_age=3),
+            )
+            channel = plan.measurement_channel()
+            return [
+                channel.transmit(measurement(tag)).energy_j
+                for tag in range(40)
+            ]
+
+        assert deliveries(5) == deliveries(5)
+
+
+class TestRequestChaos:
+    def test_actions_replay_under_same_seed(self):
+        def actions(seed):
+            chaos = FaultPlan(
+                name="t",
+                seed=seed,
+                network=NetworkFaults(
+                    drop_request_prob=0.2, drop_response_prob=0.2
+                ),
+            ).request_chaos()
+            return [chaos.on_request() for _ in range(50)]
+
+        assert actions(11) == actions(11)
+
+    def test_counters_match_actions(self):
+        chaos = FaultPlan(
+            name="t",
+            network=NetworkFaults(
+                drop_request_prob=0.3, drop_response_prob=0.3
+            ),
+        ).request_chaos()
+        actions = [chaos.on_request() for _ in range(100)]
+        counters = chaos.counters()
+        assert counters["delivered"] == actions.count("deliver")
+        assert counters["dropped_requests"] == actions.count(
+            "drop_request"
+        )
+        assert counters["dropped_responses"] == actions.count(
+            "drop_response"
+        )
+
+    def test_delay_only_with_positive_probability(self):
+        quiet = FaultPlan(
+            name="t", network=NetworkFaults(drop_request_prob=0.1)
+        ).request_chaos()
+        assert all(quiet.delay_for() == 0.0 for _ in range(20))
+        slow = FaultPlan(
+            name="t",
+            network=NetworkFaults(delay_prob=1.0, delay_s=0.25),
+        ).request_chaos()
+        assert slow.delay_for() == pytest.approx(0.25)
+        assert slow.delays == 1
+
+    def test_no_network_component_means_no_chaos(self):
+        assert FaultPlan(name="t").request_chaos() is None
+
+
+class TestShippedPlans:
+    def test_expected_catalogue(self):
+        plans = shipped_plans()
+        assert set(plans) == {
+            "sensor-dropout",
+            "sensor-stuck",
+            "sensor-spike",
+            "stale-measurements",
+            "budget-cut",
+            "network-drop",
+            "crash-restart",
+        }
+        for name, plan in plans.items():
+            assert plan.name == name
+
+    def test_seed_threads_through(self):
+        plans = shipped_plans(seed=42)
+        assert all(plan.seed == 42 for plan in plans.values())

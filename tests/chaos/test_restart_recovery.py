@@ -1,0 +1,58 @@
+"""Daemon crash/restart: warm resume from the snapshot store.
+
+The scenario kills a daemon mid-session (its thread stops; live
+sessions die with it), starts a fresh daemon over the same snapshot
+directory, re-opens the session warm, and compares convergence against
+a cold control run.  Recovery must not cost learned state and must not
+overdraw the budget pool.
+"""
+
+import pytest
+
+from repro.faults import run_restart_scenario, shipped_plans
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_restart_scenario(
+        shipped_plans()["crash-restart"], steps_after=25
+    )
+
+
+def test_scenario_passes_end_to_end(scenario):
+    assert scenario["passed"], scenario
+
+
+def test_restarted_session_resumes_warm(scenario):
+    # The pre-crash session snapshotted; the re-opened session must
+    # find that state in the store, not start from scratch.
+    assert scenario["pre_crash_steps"] == 10  # the plan's crash step
+    assert scenario["warm_resumed"]
+
+
+def test_warm_resume_converges_no_slower_than_cold(scenario):
+    assert (
+        scenario["resumed_convergence"]
+        <= scenario["cold_convergence"]
+    )
+
+
+def test_no_budget_overdraft_across_restart(scenario):
+    assert scenario["pool_ok"]
+    for key in ("resumed_report", "cold_report"):
+        report = scenario[key]
+        assert (
+            report["energy_used_j"]
+            <= report["effective_budget_j"] * 1.05
+            or report["infeasible"]
+        )
+
+
+def test_explicit_steps_override():
+    result = run_restart_scenario(
+        shipped_plans()["crash-restart"],
+        steps_before=5,
+        steps_after=15,
+    )
+    assert result["pre_crash_steps"] == 5
+    assert result["warm_resumed"]

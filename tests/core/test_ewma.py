@@ -53,3 +53,25 @@ class TestEwma:
         for n in range(1, 6):
             ewma.update(0.0)
             assert ewma.value == pytest.approx(0.15**n)
+
+
+class TestHold:
+    def test_hold_returns_estimate_unchanged(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(10.0)
+        ewma.update(20.0)
+        before = ewma.value
+        assert ewma.hold() == before
+        assert ewma.value == before
+        assert ewma.holds == 1
+
+    def test_hold_does_not_count_as_update(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(10.0)
+        ewma.hold()
+        assert ewma.updates == 1
+        assert ewma.holds == 1
+
+    def test_hold_before_any_sample_raises(self):
+        with pytest.raises(ValueError):
+            Ewma().hold()

@@ -172,3 +172,26 @@ class TestRuntimeMechanics:
                     decision.app_config.speedup
                     >= decision.speedup_setpoint - 1e-9
                 )
+
+
+class TestSafeFallback:
+    def settled_runtime(self):
+        runtime = make_runtime(1.5, 50)
+        run_plant(runtime, 20)
+        return runtime
+
+    def test_pin_safe_fallback_is_min_energy_operation(self):
+        runtime = self.settled_runtime()
+        decision = runtime.pin_safe_fallback()
+        assert decision.speedup_setpoint == runtime.table.max_speedup
+        assert decision.system_index == runtime.seo.best_index
+        assert not decision.explored
+        assert runtime.current_decision == decision
+
+    def test_pin_safe_fallback_preserves_learned_state(self):
+        runtime = self.settled_runtime()
+        epsilon = runtime.seo.epsilon
+        visited = runtime.seo.visited_count
+        runtime.pin_safe_fallback()
+        assert runtime.seo.epsilon == epsilon
+        assert runtime.seo.visited_count == visited

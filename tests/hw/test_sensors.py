@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.hw.sensors import ExternalPowerMeter, OnChipPowerSensor
+from repro.hw.sensors import (
+    ExternalPowerMeter,
+    HoldoverPowerSensor,
+    OnChipPowerSensor,
+    SensorLostError,
+    SensorReadError,
+)
 
 
 class TestOnChipPowerSensor:
@@ -43,6 +49,81 @@ class TestOnChipPowerSensor:
         assert [a.read(5.0) for _ in range(10)] == [
             b.read(5.0) for _ in range(10)
         ]
+
+    def test_default_sensors_draw_distinct_noise(self):
+        # Regression: default-constructed sensors used to share
+        # default_rng(0) and produce byte-identical noise streams.
+        a = OnChipPowerSensor(quantum_w=0.0, noise_rel=0.05)
+        b = OnChipPowerSensor(quantum_w=0.0, noise_rel=0.05)
+        assert [a.read(100.0) for _ in range(10)] != [
+            b.read(100.0) for _ in range(10)
+        ]
+
+
+class FlakySensor:
+    """Scripted inner sensor: reads a schedule of values/failures."""
+
+    def __init__(self, schedule):
+        self.schedule = list(schedule)
+
+    def read(self, true_package_power_w):
+        item = self.schedule.pop(0)
+        if item is None:
+            raise SensorReadError("scripted dropout")
+        return item
+
+
+class TestHoldoverPowerSensor:
+    def test_good_readings_pass_through_unchanged(self):
+        sensor = HoldoverPowerSensor(
+            inner=FlakySensor([10.0, 20.0, 30.0])
+        )
+        assert [sensor.read(0.0) for _ in range(3)] == [
+            10.0, 20.0, 30.0,
+        ]
+        assert sensor.holds == 0
+
+    def test_failure_answered_with_ewma_holdover(self):
+        sensor = HoldoverPowerSensor(
+            inner=FlakySensor([10.0, 20.0, None]), alpha=0.5
+        )
+        sensor.read(0.0)
+        sensor.read(0.0)
+        held = sensor.read(0.0)
+        assert held == pytest.approx(15.0)  # ewma of 10, 20 at α=0.5
+        assert sensor.holds == 1
+
+    def test_consecutive_hold_budget_then_lost(self):
+        sensor = HoldoverPowerSensor(
+            inner=FlakySensor([10.0, None, None, None]),
+            max_consecutive_holds=2,
+        )
+        sensor.read(0.0)
+        sensor.read(0.0)
+        sensor.read(0.0)
+        with pytest.raises(SensorLostError):
+            sensor.read(0.0)
+
+    def test_good_read_resets_consecutive_count(self):
+        sensor = HoldoverPowerSensor(
+            inner=FlakySensor([10.0, None, 12.0, None, 14.0]),
+            max_consecutive_holds=1,
+        )
+        for _ in range(5):
+            sensor.read(0.0)
+        assert sensor.holds == 2
+        assert sensor.consecutive_holds == 0
+
+    def test_failure_before_any_reading_is_loss(self):
+        sensor = HoldoverPowerSensor(inner=FlakySensor([None]))
+        with pytest.raises(SensorLostError):
+            sensor.read(0.0)
+
+    def test_invalid_hold_budget_rejected(self):
+        with pytest.raises(ValueError):
+            HoldoverPowerSensor(
+                inner=FlakySensor([]), max_consecutive_holds=0
+            )
 
 
 class TestExternalPowerMeter:

@@ -79,14 +79,17 @@ class TestConcurrentSessionsShareOneBudget:
         # conservative rebalances moved joules *between* them, so the
         # sum of effective budgets equals the sum of grants exactly
         # (the core.multi invariant, extended to a dynamic fleet).
+        # Fetch the reports together, after every thread has joined: a
+        # per-thread report races the other threads' steps, and a
+        # rebalance between two snapshots makes their sum inconsistent.
         assert len(manager.live_sessions) == 3
+        with client_for(sock) as client:
+            reports = [client.report(run.session) for run in runs]
         granted = sum(
-            report["granted_budget_j"]
-            for report in (run.report for run in runs)
+            report["granted_budget_j"] for report in reports
         )
         effective = sum(
-            report["effective_budget_j"]
-            for report in (run.report for run in runs)
+            report["effective_budget_j"] for report in reports
         )
         assert effective == pytest.approx(granted, rel=1e-9)
         assert manager.committed_budget_j == pytest.approx(

@@ -1,0 +1,36 @@
+"""JG009 clean: every except clause re-raises or records evidence."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class Daemon:
+    def __init__(self):
+        self.connection_errors = 0
+        self.last_error = None
+
+    def serve_one(self, connection):
+        try:
+            connection.step()
+        except ConnectionError:
+            self.connection_errors += 1  # counter bump is a trace
+
+    def snapshot(self, store, state):
+        try:
+            store.put(state)
+        except KeyError as exc:
+            raise RuntimeError("snapshot failed") from exc
+
+    def reap(self, session):
+        try:
+            session.close()
+        except OSError as exc:
+            self.last_error = exc  # bound exception is kept
+
+    def warm_start(self, store):
+        try:
+            return store.get("machine", "app")
+        except LookupError:
+            logger.warning("warm start unavailable")  # logged
+            return None

@@ -1,0 +1,23 @@
+"""JG009 trigger: service-layer except clauses that leave no trace."""
+
+
+def serve_one(connection):
+    try:
+        connection.step()
+    except ValueError:
+        pass  # swallowed: no re-raise, no counter, no log
+
+
+def reap(sessions):
+    for session in sessions:
+        try:
+            session.close()
+        except (OSError, RuntimeError):
+            continue  # swallowed: the failure is simply skipped
+
+
+def snapshot(store, state):
+    try:
+        store.put(state)
+    except KeyError:
+        return None  # swallowed: caller cannot tell failure from empty

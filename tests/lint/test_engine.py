@@ -119,4 +119,5 @@ def test_default_registry_covers_every_rule():
         "JG006",
         "JG007",
         "JG008",
+        "JG009",
     ]

@@ -18,6 +18,7 @@ PAIRS = {
     "JG005": ("jg005_trigger.py", "jg005_clean.py"),
     "JG006": ("runtime/jg006_trigger.py", "runtime/jg006_clean.py"),
     "JG008": ("repro/jg008_trigger.py", "repro/jg008_clean.py"),
+    "JG009": ("service/jg009_trigger.py", "service/jg009_clean.py"),
 }
 
 
@@ -100,6 +101,34 @@ def test_jg006_only_applies_under_runtime(tmp_path):
         (FIXTURES / "runtime" / "jg006_trigger.py").read_text()
     )
     assert "JG006" not in rule_ids(outside)
+
+
+def test_jg009_counts_each_site():
+    engine = LintEngine(select=["JG009"])
+    findings = engine.run(
+        [FIXTURES / "service" / "jg009_trigger.py"]
+    )
+    # pass-swallow, continue-swallow, return-None-swallow
+    assert len(findings) == 3
+    messages = " ".join(finding.message for finding in findings)
+    assert "swallows" in messages
+
+
+def test_jg009_applies_under_faults_too(tmp_path):
+    target = tmp_path / "faults" / "mod.py"
+    target.parent.mkdir()
+    target.write_text(
+        (FIXTURES / "service" / "jg009_trigger.py").read_text()
+    )
+    assert "JG009" in rule_ids(target)
+
+
+def test_jg009_only_applies_to_service_and_faults(tmp_path):
+    outside = tmp_path / "helpers.py"
+    outside.write_text(
+        (FIXTURES / "service" / "jg009_trigger.py").read_text()
+    )
+    assert "JG009" not in rule_ids(outside)
 
 
 def _synthetic_repo(tmp_path: Path, documented: str) -> Path:

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on the service wire protocol.
+
+The codec invariants the daemon's liveness rests on: every encodable
+message round-trips bit-exactly through one frame, and *no* byte
+sequence a client can send produces anything but a well-formed message
+or a stable ``bad_request`` error — the dispatcher never sees garbage
+and the connection loop never dies on a malformed frame.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Measurement
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    measurement_from_payload,
+    measurement_payload,
+    parse_request,
+    request_id_of,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+messages = st.dictionaries(st.text(max_size=20), json_values, max_size=8)
+
+finite_positive = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+measurements = st.builds(
+    Measurement,
+    work=finite_positive,
+    energy_j=finite_positive,
+    rate=finite_positive,
+    power_w=finite_positive,
+)
+
+
+# -- framing round trip --------------------------------------------------------
+
+
+@given(messages)
+def test_encode_decode_round_trip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@given(messages)
+def test_encoding_is_one_complete_line(message):
+    frame = encode_message(message)
+    assert frame.endswith(b"\n")
+    assert b"\n" not in frame[:-1]
+
+
+@given(messages)
+def test_encoding_is_canonical(message):
+    # Key order in the input never changes the bytes on the wire.
+    shuffled = dict(reversed(list(message.items())))
+    assert encode_message(message) == encode_message(shuffled)
+
+
+# -- malformed frames ----------------------------------------------------------
+
+
+@given(st.binary(max_size=200))
+def test_arbitrary_bytes_decode_or_raise_bad_request(data):
+    try:
+        message = decode_message(data)
+    except ProtocolError as exc:
+        assert exc.code == "bad_request"
+    else:
+        assert isinstance(message, dict)
+
+
+@given(json_values)
+def test_non_object_payloads_rejected(value):
+    line = json.dumps(value).encode() + b"\n"
+    if isinstance(value, dict):
+        assert decode_message(line) == value
+    else:
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_message(line)
+        assert excinfo.value.code == "bad_request"
+
+
+def test_oversized_line_rejected_before_parsing():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_message(b" " * (MAX_LINE_BYTES + 1))
+    assert excinfo.value.code == "bad_request"
+
+
+@given(messages)
+def test_parse_request_total_over_arbitrary_messages(message):
+    # parse_request either yields a known type or a coded error; it
+    # must never raise anything else, whatever the envelope holds.
+    try:
+        request_type, fields = parse_request(message)
+    except ProtocolError as exc:
+        assert exc.code in ("bad_request", "unknown_type")
+    else:
+        assert request_type in REQUEST_TYPES
+        assert "type" not in fields and "rid" not in fields
+
+
+# -- error envelope stability --------------------------------------------------
+
+
+@given(st.text(max_size=30), st.text(max_size=100))
+def test_error_envelope_always_well_formed(code, message):
+    envelope = error_response(code, message)
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] in ERROR_CODES
+    # Unknown codes collapse to "internal" but keep the original code
+    # visible in the message for debugging.
+    if code not in ERROR_CODES:
+        assert envelope["error"]["code"] == "internal"
+        assert code in envelope["error"]["message"]
+    # The envelope itself must survive the wire.
+    assert decode_message(encode_message(envelope)) == envelope
+
+
+# -- request ids ---------------------------------------------------------------
+
+
+@given(st.text(min_size=1, max_size=128))
+def test_valid_rid_passes_through(rid):
+    assert request_id_of({"rid": rid}) == rid
+
+
+@given(json_values)
+def test_rid_validation_is_total(value):
+    message = {"rid": value}
+    if value is None:
+        assert request_id_of(message) is None
+    elif isinstance(value, str) and 1 <= len(value) <= 128:
+        assert request_id_of(message) == value
+    else:
+        with pytest.raises(ProtocolError) as excinfo:
+            request_id_of(message)
+        assert excinfo.value.code == "bad_request"
+
+
+# -- measurement codec ---------------------------------------------------------
+
+
+@given(measurements)
+@settings(max_examples=50)
+def test_measurement_round_trip(measurement):
+    decoded = measurement_from_payload(
+        measurement_payload(measurement)
+    )
+    assert math.isclose(decoded.work, measurement.work)
+    assert math.isclose(decoded.energy_j, measurement.energy_j)
+    assert math.isclose(decoded.rate, measurement.rate)
+    assert math.isclose(decoded.power_w, measurement.power_w)
+
+
+@given(measurements)
+@settings(max_examples=50)
+def test_measurement_survives_the_wire(measurement):
+    payload = measurement_payload(measurement)
+    revived = decode_message(encode_message(payload))
+    decoded = measurement_from_payload(revived)
+    assert decoded == measurement_from_payload(payload)
+
+
+@given(json_values)
+def test_measurement_decoder_is_total(payload):
+    # Any JSON value either decodes to a Measurement or raises the
+    # stable bad_request error — never a bare KeyError/TypeError.
+    try:
+        decoded = measurement_from_payload(payload)
+    except ProtocolError as exc:
+        assert exc.code == "bad_request"
+    else:
+        assert isinstance(decoded, Measurement)

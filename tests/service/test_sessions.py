@@ -255,3 +255,114 @@ class TestStats:
             session.granted_budget_j
         )
         assert stats["available_budget_j"] < stats["global_budget_j"]
+
+
+class TestSensorLossDegradation:
+    def warm_epw(self, mgr, session, n=3):
+        for _ in range(n):
+            mgr.step(session.session_id, MEASUREMENT)
+
+    def test_degrades_after_consecutive_sensor_failures(self):
+        mgr = manager(degrade_after=3)
+        session = open_default(mgr)
+        self.warm_epw(mgr, session)
+        for _ in range(2):
+            mgr.step(
+                session.session_id, MEASUREMENT, sensor_ok=False
+            )
+        assert not session.degraded
+        mgr.step(session.session_id, MEASUREMENT, sensor_ok=False)
+        assert session.degraded
+        assert mgr.sessions_degraded == 1
+
+    def test_degraded_decision_is_known_safe_fallback(self):
+        mgr = manager(degrade_after=1)
+        session = open_default(mgr)
+        self.warm_epw(mgr, session)
+        decision = mgr.step(
+            session.session_id, MEASUREMENT, sensor_ok=False
+        )
+        table = session.runtime.table
+        assert decision.speedup_setpoint == table.max_speedup
+        assert not decision.explored
+
+    def test_healthy_heartbeat_clears_the_streak(self):
+        mgr = manager(degrade_after=2)
+        session = open_default(mgr)
+        self.warm_epw(mgr, session)
+        mgr.step(session.session_id, MEASUREMENT, sensor_ok=False)
+        mgr.step(session.session_id, MEASUREMENT)  # sensor recovered
+        mgr.step(session.session_id, MEASUREMENT, sensor_ok=False)
+        assert not session.degraded
+        assert session.sensor_failures == 1
+
+    def test_degradation_reclaims_forecast_surplus(self):
+        # A cheap workload (low measured epw) leaves a forecast
+        # surplus; degrading must return it to the pool.
+        mgr = manager(degrade_after=1)
+        session = open_default(mgr, total_work=200.0, factor=1.2)
+        cheap = Measurement(
+            work=1.0, energy_j=0.05, rate=30.0, power_w=18.0
+        )
+        for _ in range(3):
+            mgr.step(session.session_id, cheap)
+        mgr.step(session.session_id, cheap, sensor_ok=False)
+        assert session.degraded
+        assert session.reclaimed_j > 0.0
+        report = mgr.report(session.session_id)
+        assert report["degraded"]
+        assert report["reclaimed_j"] == pytest.approx(
+            session.reclaimed_j
+        )
+
+    def test_blind_accounting_is_conservative(self):
+        # Held-over heartbeats are charged at least the session's own
+        # smoothed energy-per-work estimate, never the client's
+        # (possibly optimistic) held-over number.
+        mgr = manager(degrade_after=10)
+        session = open_default(mgr)
+        expensive = Measurement(
+            work=1.0, energy_j=2.0, rate=30.0, power_w=18.0
+        )
+        for _ in range(3):
+            mgr.step(session.session_id, expensive)
+        accountant = session.runtime.accountant
+        before = accountant.energy_used_j
+        optimistic = Measurement(
+            work=1.0, energy_j=0.01, rate=30.0, power_w=18.0
+        )
+        mgr.step(session.session_id, optimistic, sensor_ok=False)
+        charged = accountant.energy_used_j - before
+        assert charged >= session.recent_epw * 0.99
+
+    def test_invalid_degrade_after_rejected(self):
+        with pytest.raises(ValueError):
+            manager(degrade_after=0)
+
+
+class TestGlobalBudgetRevision:
+    def test_pool_can_grow(self):
+        mgr = manager(budget_j=1e6)
+        applied = mgr.revise_global_budget(2e6)
+        assert applied == 2e6
+        assert mgr.global_budget_j == 2e6
+        assert mgr.stats()["budget_revisions"] == 1
+
+    def test_cut_clamped_to_commitments(self):
+        mgr = manager(budget_j=1e6)
+        session = open_default(mgr)
+        applied = mgr.revise_global_budget(1.0)
+        assert applied == pytest.approx(session.granted_budget_j)
+        assert mgr.available_budget_j >= 0.0
+
+    def test_revision_is_recorded(self):
+        mgr = manager(budget_j=1e6)
+        mgr.revise_global_budget(5e5)
+        record = mgr.budget_revisions[-1]
+        assert record["requested_j"] == 5e5
+        assert record["previous_j"] == 1e6
+
+    def test_nonpositive_budget_rejected(self):
+        mgr = manager()
+        with pytest.raises(ValueError):
+            mgr.revise_global_budget(0.0)

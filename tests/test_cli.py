@@ -169,3 +169,47 @@ class TestService:
         )
         assert code == 1
         assert "client failed" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_list_plans(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sensor-dropout" in out
+        assert "crash-restart" in out
+
+    def test_single_plan_passes(self, capsys):
+        code = main(
+            ["chaos", "--plan", "sensor-dropout",
+             "--iterations", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sensor-dropout" in out and "PASS" in out
+
+    def test_json_report(self, capsys):
+        code = main(
+            ["chaos", "--plan", "budget-cut",
+             "--iterations", "40", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert "budget-cut" in report["plans"]
+
+    def test_unknown_plan_is_an_error(self, capsys):
+        assert main(["chaos", "--plan", "nope"]) == 2
+        assert "unknown plan" in capsys.readouterr().err
+
+    def test_client_retry_flag(self, tmp_path, capsys):
+        from repro.service import ServerThread, SessionManager
+
+        sock = str(tmp_path / "jg.sock")
+        manager = SessionManager(global_budget_j=1e8)
+        with ServerThread(manager, unix_path=sock):
+            code = main(
+                ["client", "--unix", sock, "--steps", "8",
+                 "--retry"]
+            )
+            assert code == 0
+            assert "convergence step" in capsys.readouterr().out
