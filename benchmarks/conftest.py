@@ -21,6 +21,9 @@ from repro.runtime.sweep import SweepCell, filter_cells, sweep_all
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Repo root, for the ``BENCH_*.json`` trajectory files tracked per PR.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
 #: Iterations per closed-loop run in the sweeps.  The paper's runs are
 #: minutes long (10^4-10^6 heartbeats); 400 keeps the full sweep fast
 #: while amortizing the learner's exploration.
@@ -32,10 +35,34 @@ SWEEP_ITERATIONS = 400
 FEASIBILITY_MARGIN = 0.9
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--repeats",
+        type=int,
+        default=3,
+        help=(
+            "Runs per load point in timing-sensitive benches; the "
+            "reported numbers are medians across repeats."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def repeats(request) -> int:
+    return max(1, request.config.getoption("--repeats"))
+
+
 def write_result(name: str, text: str) -> pathlib.Path:
     """Persist one benchmark's table under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+def write_repo_result(name: str, text: str) -> pathlib.Path:
+    """Persist a per-PR trajectory file (``BENCH_*.json``) at repo root."""
+    path = REPO_ROOT / name
     path.write_text(text)
     return path
 

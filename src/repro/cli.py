@@ -28,6 +28,9 @@ Subcommands
     Run the seeded fault-injection suite (``repro.faults``) and check
     its invariants: budgets never silently overdrawn, pole stable,
     accuracy monotone in fault severity, runs replayable.
+``lint``
+    Forward to ``python -m repro.lint``: jglint static analysis, plus
+    the jgflow project-wide flow analyses with ``--flow``.
 """
 
 from __future__ import annotations
@@ -329,6 +332,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if suite["passed"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(args.args)
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     app = build_application(args.app)
@@ -485,10 +494,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full machine-readable report",
     )
     chaos_cmd.set_defaults(func=_cmd_chaos)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="jglint static analysis (add --flow for jgflow)",
+    )
+    lint_cmd.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint",
+    )
+    lint_cmd.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Route ``lint`` before argparse: REMAINDER does not forward
+    # leading options like ``--flow`` through a subparser.
+    if list(argv)[:1] == ["lint"]:
+        from .lint.cli import main as lint_main
+
+        return lint_main(list(argv)[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

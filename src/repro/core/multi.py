@@ -22,10 +22,12 @@ accuracy is re-maximized across applications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .budget import BudgetAccountant
+from .contracts import ContractError
 from .jouleguard import Decision, JouleGuardRuntime
 from .types import Measurement
 
@@ -178,14 +180,29 @@ class MultiAppCoordinator:
                     del needers[name]
                 continue
             donor_total = sum(donors.values())
-            for name, surplus in donors.items():
-                share = moved * surplus / donor_total
-                self._apps[name].runtime.accountant.adjust_budget(-share)
-                deltas[name] -= share
-            for name, deficit in needers.items():
-                share = moved * deficit / needed
-                self._apps[name].runtime.accountant.adjust_budget(share)
-                deltas[name] += share
+            # All-or-nothing application of the transfer plan: a
+            # contract rejection mid-plan compensates the transfers
+            # already applied before re-raising, keeping the sum of
+            # effective budgets invariant on the exception edge too
+            # (jgflow JGF301's sanctioned rollback idiom).
+            applied: List[Tuple[BudgetAccountant, float]] = []
+            try:
+                for name, surplus in donors.items():
+                    share_j = moved * surplus / donor_total
+                    accountant = self._apps[name].runtime.accountant
+                    accountant.adjust_budget(-share_j)
+                    applied.append((accountant, -share_j))
+                    deltas[name] -= share_j
+                for name, deficit in needers.items():
+                    share_j = moved * deficit / needed
+                    accountant = self._apps[name].runtime.accountant
+                    accountant.adjust_budget(share_j)
+                    applied.append((accountant, share_j))
+                    deltas[name] += share_j
+            except ContractError:
+                for accountant, applied_j in reversed(applied):
+                    accountant.adjust_budget(-applied_j)
+                raise
             break
         self.transfers.append(deltas)
         return deltas

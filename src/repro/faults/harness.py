@@ -139,6 +139,8 @@ def _apply_budget_revision(
     delta_j = remaining_j * (scale - 1.0)
     if delta_j < 0.0:
         delta_j = max(delta_j, -max(0.0, remaining_j))
+    # Baselined JGF301: the injected fault *is* the one-sided entry —
+    # the chaos log records the returned delta for replay.
     if delta_j != 0.0:  # jglint: disable=JG004
         accountant.adjust_budget(delta_j)
     return delta_j

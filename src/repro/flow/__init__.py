@@ -1,0 +1,53 @@
+"""jgflow — project-wide flow-sensitive analysis for JouleGuard.
+
+jglint (:mod:`repro.lint`) checks one file at a time, syntactically.
+The bug classes the service daemon actually grew — read-modify-write
+sequences on shared session/budget state spanning an ``await``, W·s vs
+J mixups surviving through local variables, rebalance paths that stop
+being zero-sum on an exception edge — need *flow*: a module graph, a
+call graph with may-suspend summaries, and abstract interpretation
+over assignments.  jgflow provides exactly that, reusing jglint's
+``Finding``/reporter/suppression machinery::
+
+    python -m repro.flow src/repro
+    python -m repro lint --flow src/repro
+
+Three analyses ship on the engine (``--list-rules`` describes them,
+``docs/flow.md`` has the design):
+
+* **JGF101** — asyncio atomicity: a shared ``self.*`` attribute read
+  before and written after a suspension point without a guarding lock;
+* **JGF201** — dimensional inference: physical units (J, W, s, 1/s,
+  work, ratios) propagated through assignments and arithmetic, with
+  mismatches and unannotated budget sinks flagged;
+* **JGF301** — zero-sum budget paths: every path mutating a budget
+  ledger field must be balanced (paired debit/credit, rollback on
+  exception edges) or explicitly contract-covered.
+
+Accepted findings live in ``jgflow.baseline.json`` at the repo root;
+line-level ``# jglint: disable=JGF101`` comments work exactly as they
+do for jglint.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .callgraph import CallGraph
+from .engine import FlowEngine, FlowRule, default_flow_rules
+from .project import FunctionInfo, ProjectContext
+from .units import BOTTOM, TOP, Unit, join, meet, unit_of_name
+
+__all__ = [
+    "BOTTOM",
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "FlowEngine",
+    "FlowRule",
+    "FunctionInfo",
+    "ProjectContext",
+    "TOP",
+    "Unit",
+    "default_flow_rules",
+    "join",
+    "meet",
+    "unit_of_name",
+]

@@ -1,0 +1,383 @@
+"""JGF101 — asyncio atomicity: cross-await read-modify-write races.
+
+The daemon's correctness argument is "all session state lives on the
+event loop thread; request handling is synchronous between awaits, so
+no locking is needed".  That argument is only as good as the *between
+awaits* part: a coroutine that reads shared state (``self.*`` — the
+session manager, budget pool, snapshot store, rid cache, listener
+handles), then suspends, then writes the same state has opened a
+window in which any other coroutine can interleave and the write
+clobbers theirs.
+
+The detector linearizes each ``async def`` body into an event stream
+— reads and writes of ``self.*`` attribute chains, suspension points,
+lock regions — and flags every chain with an unprotected read before
+a suspension point and a write after it.  Suspension points are
+refined interprocedurally: ``await`` of a project coroutine that
+provably never suspends (per :class:`~repro.flow.callgraph.CallGraph`
+summaries) is not a race window.  Reads and writes inside the *same*
+``async with <lock>`` region are protected: other holders of that
+lock cannot interleave there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint.findings import Finding
+from .callgraph import CallGraph, dotted_name
+from .engine import FlowRule
+from .project import FunctionInfo, ProjectContext
+
+__all__ = ["AsyncAtomicityRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Substrings marking an ``async with`` context as a guarding lock.
+_LOCKISH = ("lock", "mutex", "sem", "cond")
+
+
+@dataclass
+class _Event:
+    kind: str  # "read" | "write" | "suspend"
+    chain: str = ""
+    node: Optional[ast.AST] = None
+    detail: str = ""
+    region: Optional[int] = None
+
+
+class _Linearizer:
+    """Flatten a coroutine body into an ordered event stream.
+
+    Control flow is over-approximated: both branches of an ``if`` are
+    appended sequentially, loop bodies are walked once (asyncio
+    interleaving only happens at suspension points, so a read and
+    write with no suspension between them — even inside a loop — is
+    atomic).  Nested function definitions are their own scope and are
+    skipped.
+    """
+
+    def __init__(self, info: FunctionInfo, callgraph: CallGraph) -> None:
+        self.info = info
+        self.callgraph = callgraph
+        self.events: List[_Event] = []
+        self._regions: List[int] = []
+        self._next_region = 0
+
+    def run(self) -> List[_Event]:
+        body = getattr(self.info.node, "body", [])
+        self._stmts(body)
+        return self.events
+
+    # -- emission ----------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        chain: str = "",
+        node: Optional[ast.AST] = None,
+        detail: str = "",
+    ) -> None:
+        region = self._regions[-1] if self._regions else None
+        self.events.append(
+            _Event(
+                kind=kind,
+                chain=chain,
+                node=node,
+                detail=detail,
+                region=region,
+            )
+        )
+
+    @staticmethod
+    def _shared_chain(node: ast.AST) -> Optional[str]:
+        chain = dotted_name(node)
+        if chain is not None and chain.startswith("self."):
+            return chain
+        return None
+
+    # -- expressions -------------------------------------------------------
+    def _expr(self, node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self._expr(node.value)
+            if self.callgraph.await_suspends(node, self.info):
+                if isinstance(node.value, ast.Call):
+                    detail = dotted_name(node.value.func) or "await"
+                else:
+                    detail = dotted_name(node.value) or "await"
+                self._emit("suspend", node=node, detail=detail)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            chain = self._shared_chain(node)
+            if chain is not None:
+                self._emit("read", chain=chain, node=node)
+                return
+            if isinstance(node, ast.Attribute):
+                self._expr(node.value)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        for child in ast.iter_child_nodes(node):
+            self._expr(child)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        mutated: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            receiver = self._shared_chain(func.value)
+            if func.attr in _MUTATORS and receiver is not None:
+                mutated = receiver
+                self._emit("read", chain=receiver, node=func)
+            else:
+                self._expr(func.value)
+        else:
+            self._expr(func)
+        for arg in node.args:
+            self._expr(arg)
+        for keyword in node.keywords:
+            self._expr(keyword.value)
+        if mutated is not None:
+            self._emit("write", chain=mutated, node=node)
+
+    # -- assignment targets ------------------------------------------------
+    def _target(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            chain = self._shared_chain(node)
+            if chain is not None:
+                self._emit("write", chain=chain, node=node)
+            else:
+                self._expr(node.value)
+        elif isinstance(node, ast.Subscript):
+            self._expr(node.slice)
+            chain = self._shared_chain(node.value)
+            if chain is not None:
+                self._emit("write", chain=chain, node=node)
+            else:
+                self._expr(node.value)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._target(element)
+        elif isinstance(node, ast.Starred):
+            self._target(node.value)
+        # Plain names are function-locals: not shared state.
+
+    # -- statements --------------------------------------------------------
+    def _stmts(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            self._expr(node.value)
+            for target in node.targets:
+                self._target(target)
+        elif isinstance(node, ast.AugAssign):
+            # Augmented assignment loads the target before evaluating
+            # the value, so the read comes first in the event stream.
+            chain = self._shared_chain(node.target)
+            if chain is not None:
+                self._emit("read", chain=chain, node=node)
+            self._expr(node.value)
+            self._target(node.target)
+        elif isinstance(node, ast.AnnAssign):
+            self._expr(node.value)
+            self._target(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._target(target)
+        elif isinstance(node, ast.If):
+            self._expr(node.test)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.While,)):
+            self._expr(node.test)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, ast.For):
+            self._expr(node.iter)
+            self._target(node.target)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, ast.AsyncFor):
+            self._expr(node.iter)
+            self._emit("suspend", node=node, detail="async for")
+            self._target(node.target)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, ast.With):
+            self._with(node, is_async=False)
+        elif isinstance(node, ast.AsyncWith):
+            self._with(node, is_async=True)
+        elif isinstance(node, ast.Try):
+            self._stmts(node.body)
+            for handler in node.handlers:
+                self._stmts(handler.body)
+            self._stmts(node.orelse)
+            self._stmts(node.finalbody)
+        elif isinstance(node, (ast.Return, ast.Expr)):
+            self._expr(node.value)
+        elif isinstance(node, ast.Raise):
+            self._expr(node.exc)
+            self._expr(node.cause)
+        elif isinstance(node, ast.Assert):
+            self._expr(node.test)
+            self._expr(node.msg)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._stmt(child)
+                elif isinstance(child, ast.expr):
+                    self._expr(child)
+
+    def _with(self, node: ast.stmt, is_async: bool) -> None:
+        items = getattr(node, "items", [])
+        lockish = bool(items) and all(
+            self._is_lockish(item.context_expr) for item in items
+        )
+        for item in items:
+            self._expr(item.context_expr)
+            if item.optional_vars is not None:
+                self._target(item.optional_vars)
+        if lockish:
+            if is_async:
+                # Acquiring the lock itself may suspend — that window
+                # is *before* the protected region opens.
+                self._emit("suspend", node=node, detail="lock acquire")
+            self._next_region += 1
+            self._regions.append(self._next_region)
+            self._stmts(getattr(node, "body", []))
+            self._regions.pop()
+            return
+        if is_async:
+            self._emit("suspend", node=node, detail="async with enter")
+            self._stmts(getattr(node, "body", []))
+            self._emit("suspend", node=node, detail="async with exit")
+            return
+        self._stmts(getattr(node, "body", []))
+
+    @staticmethod
+    def _is_lockish(node: ast.AST) -> bool:
+        target = node.func if isinstance(node, ast.Call) else node
+        chain = dotted_name(target)
+        if chain is None:
+            return False
+        tail = chain.rsplit(".", 1)[-1].lower()
+        return any(mark in tail for mark in _LOCKISH)
+
+
+class AsyncAtomicityRule(FlowRule):
+    """JGF101: unlocked read-modify-write spanning a suspension point."""
+
+    rule_id = "JGF101"
+    summary = (
+        "shared self.* attribute read before and written after an "
+        "await/async-with suspension point without a guarding lock "
+        "(asyncio interleaving can clobber concurrent updates)"
+    )
+    components = ("service", "faults")
+
+    def check_project(
+        self, project: ProjectContext, callgraph: CallGraph
+    ) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not info.is_async:
+                continue
+            if not self.applies_to(info.context):
+                continue
+            yield from self._check_function(info, callgraph)
+
+    def _check_function(
+        self, info: FunctionInfo, callgraph: CallGraph
+    ) -> Iterator[Finding]:
+        events = _Linearizer(info, callgraph).run()
+        suspends = [
+            (index, event)
+            for index, event in enumerate(events)
+            if event.kind == "suspend"
+        ]
+        if not suspends:
+            return
+        reads: Dict[str, List[Tuple[int, _Event]]] = {}
+        flagged: Set[str] = set()
+        for index, event in enumerate(events):
+            if event.kind == "read":
+                reads.setdefault(event.chain, []).append((index, event))
+                continue
+            if event.kind != "write":
+                continue
+            hit = self._race_for_write(
+                index, event, reads.get(event.chain, []), suspends
+            )
+            # A completed write consumes earlier reads of the chain:
+            # the read-modify-write it belonged to is done, so those
+            # reads cannot race with a *later* write (e.g. two
+            # separate `self.counter += 1` statements around an await
+            # are each atomic).
+            reads.pop(event.chain, None)
+            if hit is None or event.chain in flagged:
+                continue
+            read_event, suspend_event = hit
+            flagged.add(event.chain)
+            read_line = getattr(read_event.node, "lineno", "?")
+            suspend_line = getattr(suspend_event.node, "lineno", "?")
+            at = suspend_event.detail or "await"
+            yield self.finding(
+                info,
+                event.node or info.node,
+                f"'{event.chain}' is read (line {read_line}) and "
+                f"written back after the suspension point at line "
+                f"{suspend_line} ('{at}') with no guarding lock — "
+                "another coroutine can interleave and its update is "
+                "lost; capture-and-clear before the await, or hold an "
+                "'async with' lock across the read-modify-write",
+            )
+
+    @staticmethod
+    def _race_for_write(
+        write_index: int,
+        write: _Event,
+        chain_reads: List[Tuple[int, _Event]],
+        suspends: List[Tuple[int, _Event]],
+    ) -> Optional[Tuple[_Event, _Event]]:
+        for read_index, read in chain_reads:
+            if read_index >= write_index:
+                break
+            protected = (
+                read.region is not None and read.region == write.region
+            )
+            if protected:
+                continue
+            for suspend_index, suspend in suspends:
+                if read_index < suspend_index < write_index:
+                    return read, suspend
+        return None

@@ -1,0 +1,167 @@
+"""Accepted-findings baseline for jgflow.
+
+Flow findings are project-wide and long-lived: a race that is
+provably benign ("only runs once at startup") or a ledger revision
+with an audit trail should not fail CI forever, but silently
+suppressing it in source hides the reasoning.  The baseline file
+(``jgflow.baseline.json`` at the repo root) records each accepted
+finding with a *mandatory justification* and matches findings by
+``(rule, path, symbol)`` — stable across line drift, unlike
+line-pinned suppressions.
+
+Stale entries (nothing matches anymore) are reported as warnings so
+the baseline shrinks as fixes land; they never fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "find_baseline"]
+
+#: Default baseline file name, looked up at the repo root.
+BASELINE_NAME = "jgflow.baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: rule + site + why it is acceptable."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    symbol: str  # dotted qualname of the containing function
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings anchored at ``root``."""
+
+    root: Path
+    entries: List[BaselineEntry]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                symbol=item.get("symbol", ""),
+                justification=item.get("justification", ""),
+            )
+            for item in document.get("findings", [])
+        ]
+        return cls(root=path.parent.resolve(), entries=entries)
+
+    @classmethod
+    def empty(cls, root: Path) -> "Baseline":
+        return cls(root=root.resolve(), entries=[])
+
+    def save(self, path: Path) -> None:
+        document = {
+            "note": (
+                "Accepted jgflow findings. Every entry needs a "
+                "justification; stale entries are warned about and "
+                "should be deleted."
+            ),
+            "findings": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "symbol": entry.symbol,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    # -- matching ----------------------------------------------------------
+    def _relative(self, finding_path: str) -> str:
+        path = Path(finding_path)
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _finding_key(self, finding: Finding) -> Tuple[str, str, str]:
+        return (
+            finding.rule_id,
+            self._relative(finding.path),
+            finding.symbol,
+        )
+
+    def matches(self, finding: Finding) -> bool:
+        key = self._finding_key(finding)
+        return any(entry.key() == key for entry in self.entries)
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, stale-entries).
+
+        ``new`` is every finding not covered by the baseline; the
+        second element lists entries that matched nothing (candidates
+        for deletion).
+        """
+        used: Dict[Tuple[str, str, str], bool] = {
+            entry.key(): False for entry in self.entries
+        }
+        new: List[Finding] = []
+        for finding in findings:
+            key = self._finding_key(finding)
+            if key in used:
+                used[key] = True
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries if not used[entry.key()]
+        ]
+        return new, stale
+
+    @classmethod
+    def from_findings(
+        cls,
+        root: Path,
+        findings: Sequence[Finding],
+        justification: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        baseline = cls.empty(root)
+        seen: set = set()
+        for finding in findings:
+            key = baseline._finding_key(finding)
+            if key in seen:
+                continue
+            seen.add(key)
+            baseline.entries.append(
+                BaselineEntry(
+                    rule=key[0],
+                    path=key[1],
+                    symbol=key[2],
+                    justification=justification,
+                )
+            )
+        return baseline
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Nearest ``jgflow.baseline.json`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        path = candidate / BASELINE_NAME
+        if path.is_file():
+            return path
+    return None

@@ -1,0 +1,528 @@
+"""JGF301 — zero-sum budget paths.
+
+JouleGuard's guarantee is an accounting identity: every joule is
+either unspent pool, promised to a live session, or retired as spent
+— and transfers between accounts must sum to zero on *every* path,
+including the ones an exception takes.  PR 2 fixed a latent
+``core.multi`` overdraft by hand; this rule closes the class.
+
+The rule finds every statement that mutates a budget ledger field
+(``adjustment_j`` via ``adjust_budget``, ``_spent_closed_j``,
+``global_budget_j``, ``reclaimed_j``), enumerates the code paths of
+each mutating function (branches split, loop bodies taken once,
+``raise``/``return``/``break`` terminate), and requires each path to
+be *provably balanced*:
+
+* a syntactic **debit** (``adjust_budget(-x)``, ``field -= x``) must
+  pair with a **credit** of the *same amount expression* on the same
+  path, and vice versa;
+* a **retirement** (crediting ``_spent_closed_j``) is balanced by the
+  session leaving the live set on the same path (``del``/``.pop``) —
+  but the retired amount must be the *unclamped* spend: an inline
+  ``min``/``max`` in a retirement leaks the clamped-away joules back
+  into the pool;
+* a debit that can raise (``adjust_budget`` enforces the accountant's
+  invariant) inside a loop is a partial-application hazard: earlier
+  iterations stand if a later one raises.  The sanctioned idiom is a
+  **rollback** ``try``/``except`` whose handler compensates and
+  re-raises — mutations inside one are balanced by construction;
+* a mutation guarded by a ``check(...)`` contract naming the amount
+  (the :class:`~repro.core.budget.BudgetAccountant` primitives) is
+  **contract-covered** and exempt;
+* an absolute assignment to a ledger field (``self.global_budget_j =
+  x``) is never zero-sum-provable and must be baselined with its
+  audit-trail justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..lint.findings import Finding
+from .callgraph import CallGraph, dotted_name
+from .engine import FlowRule
+from .project import FunctionInfo, ProjectContext
+
+__all__ = ["ZeroSumBudgetRule"]
+
+#: Ledger fields whose mutations must be zero-sum.
+_BUDGET_FIELDS = frozenset(
+    {"adjustment_j", "_spent_closed_j", "global_budget_j", "reclaimed_j"}
+)
+
+#: Fields whose credits retire joules for good (see close()).
+_RETIRE_FIELDS = frozenset({"_spent_closed_j"})
+
+#: Functions that initialize rather than transfer.
+_INIT_FUNCTIONS = frozenset({"__init__", "__post_init__", "__new__"})
+
+_PATH_CAP = 128
+
+
+@dataclass
+class _Site:
+    kind: str  # transfer|field|retire|revise|removal|check|end
+    node: Optional[ast.AST] = None
+    sign: str = ""  # "pos" | "neg"
+    amount: str = ""
+    field: str = ""
+    clamped: bool = False
+    raising: bool = False
+    in_loop: bool = False
+    protected: bool = False
+    covered: bool = False
+    text: str = ""  # check-call text for coverage matching
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"\s+", "", text)
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def _contains_clamp(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = dotted_name(child.func)
+            if name in ("min", "max"):
+                return True
+    return False
+
+
+class _SiteExtractor:
+    """Collect the budget-relevant sites of one statement/expression."""
+
+    def __init__(self, in_loop: bool) -> None:
+        self.in_loop = in_loop
+        self.sites: List[_Site] = []
+
+    def expr_sites(self, node: Optional[ast.AST]) -> List[_Site]:
+        if node is None:
+            return []
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._call(child)
+        return self.sites
+
+    def stmt_sites(self, node: ast.stmt) -> List[_Site]:
+        if isinstance(node, ast.AugAssign):
+            self._aug_assign(node)
+            self.expr_sites(node.value)
+        elif isinstance(node, ast.Assign):
+            self.expr_sites(node.value)
+            for target in node.targets:
+                self._plain_assign(target, node)
+        elif isinstance(node, ast.AnnAssign):
+            self.expr_sites(node.value)
+            self._plain_assign(node.target, node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    chain = dotted_name(target.value)
+                    if chain is not None and chain.startswith("self."):
+                        self.sites.append(
+                            _Site(kind="removal", node=node)
+                        )
+        else:
+            for child in ast.walk(node):
+                if isinstance(child, ast.Call):
+                    self._call(child)
+        return self.sites
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, (ast.Attribute, ast.Name)):
+            return
+        name = func.attr if isinstance(func, ast.Attribute) else func.id
+        if name == "adjust_budget" and len(node.args) == 1:
+            self._transfer(node)
+        elif name == "pop" and isinstance(func, ast.Attribute):
+            chain = dotted_name(func.value)
+            if chain is not None and chain.startswith("self."):
+                self.sites.append(_Site(kind="removal", node=node))
+        elif name == "check":
+            self.sites.append(
+                _Site(
+                    kind="check",
+                    node=node,
+                    text=_normalize(_unparse(node)),
+                )
+            )
+
+    def _transfer(self, node: ast.Call) -> None:
+        arg = node.args[0]
+        sign = "pos"
+        amount_node: ast.AST = arg
+        if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+            sign = "neg"
+            amount_node = arg.operand
+        elif isinstance(arg, ast.Constant) and isinstance(
+            arg.value, (int, float)
+        ):
+            sign = "neg" if arg.value < 0 else "pos"
+        self.sites.append(
+            _Site(
+                kind="transfer",
+                node=node,
+                sign=sign,
+                amount=_normalize(_unparse(amount_node)),
+                clamped=_contains_clamp(arg),
+                raising=sign == "neg",
+                in_loop=self.in_loop,
+            )
+        )
+
+    def _aug_assign(self, node: ast.AugAssign) -> None:
+        chain = dotted_name(node.target)
+        if chain is None:
+            return
+        tail = chain.rsplit(".", 1)[-1]
+        if tail not in _BUDGET_FIELDS:
+            return
+        sign = "pos" if isinstance(node.op, ast.Add) else "neg"
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        kind = "retire" if tail in _RETIRE_FIELDS else "field"
+        self.sites.append(
+            _Site(
+                kind=kind,
+                node=node,
+                sign=sign,
+                amount=_normalize(_unparse(node.value)),
+                field=tail,
+                clamped=_contains_clamp(node.value),
+                in_loop=self.in_loop,
+            )
+        )
+
+    def _plain_assign(self, target: ast.AST, node: ast.stmt) -> None:
+        chain = dotted_name(target)
+        if chain is None:
+            return
+        tail = chain.rsplit(".", 1)[-1]
+        if tail in _BUDGET_FIELDS:
+            self.sites.append(
+                _Site(kind="revise", node=node, field=tail)
+            )
+
+
+class _PathEnumerator:
+    """Expand one function body into mutation-site paths."""
+
+    def __init__(self) -> None:
+        self.loop_depth = 0
+
+    def paths(self, body: Sequence[ast.stmt]) -> List[List[_Site]]:
+        paths: List[List[_Site]] = [[]]
+        for stmt in body:
+            segments = self._segments(stmt)
+            extended: List[List[_Site]] = []
+            for path in paths:
+                if path and path[-1].kind == "end":
+                    extended.append(path)
+                    continue
+                for segment in segments:
+                    extended.append(path + segment)
+            paths = extended[:_PATH_CAP]
+        return paths
+
+    def _expr_sites(self, node: Optional[ast.AST]) -> List[_Site]:
+        return _SiteExtractor(self.loop_depth > 0).expr_sites(node)
+
+    def _segments(self, stmt: ast.stmt) -> List[List[_Site]]:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return [[]]
+        if isinstance(stmt, ast.If):
+            test = self._expr_sites(stmt.test)
+            branches = [
+                test + path for path in self.paths(stmt.body)
+            ] + [test + path for path in self.paths(stmt.orelse)]
+            return branches[:_PATH_CAP]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            prefix = self._expr_sites(stmt.iter)
+            self.loop_depth += 1
+            inner = self.paths(stmt.body)
+            self.loop_depth -= 1
+            after = self.paths(stmt.orelse)
+            combined = [
+                prefix + loop_path + tail
+                for loop_path in inner
+                for tail in after
+            ]
+            return self._unend_loop(combined)[:_PATH_CAP]
+        if isinstance(stmt, ast.While):
+            prefix = self._expr_sites(stmt.test)
+            self.loop_depth += 1
+            inner = self.paths(stmt.body)
+            self.loop_depth -= 1
+            after = self.paths(stmt.orelse)
+            combined = [
+                prefix + loop_path + tail
+                for loop_path in inner
+                for tail in after
+            ]
+            return self._unend_loop(combined)[:_PATH_CAP]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            prefix: List[_Site] = []
+            for item in stmt.items:
+                prefix.extend(self._expr_sites(item.context_expr))
+            return [
+                prefix + path for path in self.paths(stmt.body)
+            ][:_PATH_CAP]
+        if isinstance(stmt, ast.Try):
+            return self._try_segments(stmt)
+        if isinstance(stmt, (ast.Return,)):
+            sites = self._expr_sites(stmt.value)
+            return [sites + [_Site(kind="end")]]
+        if isinstance(stmt, ast.Raise):
+            sites = self._expr_sites(stmt.exc)
+            return [sites + [_Site(kind="end")]]
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return [[_Site(kind="end")]]
+        extractor = _SiteExtractor(self.loop_depth > 0)
+        return [extractor.stmt_sites(stmt)]
+
+    @staticmethod
+    def _unend_loop(paths: List[List[_Site]]) -> List[List[_Site]]:
+        """``break``/``continue`` end the loop body, not the function."""
+        cleaned = []
+        for path in paths:
+            if path and path[-1].kind == "end":
+                cleaned.append(path[:-1])
+            else:
+                cleaned.append(path)
+        return cleaned
+
+    def _try_segments(self, stmt: ast.Try) -> List[List[_Site]]:
+        rollback = any(
+            self._is_rollback_handler(handler)
+            for handler in stmt.handlers
+        )
+        body_paths = self.paths(stmt.body)
+        if rollback:
+            for path in body_paths:
+                for site in path:
+                    site.protected = True
+        final_paths = self.paths(stmt.finalbody)
+        orelse_paths = self.paths(stmt.orelse)
+        segments = [
+            body + orelse + final
+            for body in body_paths
+            for orelse in orelse_paths
+            for final in final_paths
+        ]
+        for handler in stmt.handlers:
+            if rollback and self._is_rollback_handler(handler):
+                continue
+            for handler_path in self.paths(handler.body):
+                for final in final_paths:
+                    segments.append(handler_path + final)
+        return segments[:_PATH_CAP]
+
+    @staticmethod
+    def _is_rollback_handler(handler: ast.ExceptHandler) -> bool:
+        """A handler that compensates applied transfers and re-raises."""
+        compensates = False
+        reraises = False
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                reraises = True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "adjust_budget"
+                ):
+                    compensates = True
+        return compensates and reraises
+
+
+class ZeroSumBudgetRule(FlowRule):
+    """JGF301: every budget-mutating path balanced or contract-covered."""
+
+    rule_id = "JGF301"
+    summary = (
+        "code path mutates a budget ledger field without a matching "
+        "opposite entry (unpaired debit/credit, clamped retirement, "
+        "raising transfer in a loop without rollback, or absolute "
+        "revision) — the pool stops being zero-sum"
+    )
+    components = ("core", "service", "faults")
+
+    def check_project(
+        self, project: ProjectContext, callgraph: CallGraph
+    ) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not self.applies_to(info.context):
+                continue
+            if info.name in _INIT_FUNCTIONS:
+                continue
+            yield from self._check_function(info)
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Finding]:
+        body = getattr(info.node, "body", [])
+        if not self._mentions_ledger(info.node):
+            return
+        paths = _PathEnumerator().paths(body)
+        seen: Set[Tuple[str, int, str]] = set()
+        for path in paths:
+            self._mark_covered(path)
+            for finding in self._check_path(info, path):
+                key = (finding.rule_id, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    @staticmethod
+    def _mentions_ledger(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Attribute):
+                if child.attr in _BUDGET_FIELDS:
+                    return True
+            elif isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "adjust_budget"
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _mark_covered(path: List[_Site]) -> None:
+        checks: List[str] = []
+        for site in path:
+            if site.kind == "check":
+                checks.append(site.text)
+                continue
+            if site.kind in ("transfer", "field", "retire", "revise"):
+                token = site.amount or site.field
+                if token and any(token in text for text in checks):
+                    site.covered = True
+
+    def _check_path(
+        self, info: FunctionInfo, path: List[_Site]
+    ) -> Iterator[Finding]:
+        active = [
+            site
+            for site in path
+            if site.kind in ("transfer", "field", "retire", "revise")
+            and not site.protected
+            and not site.covered
+        ]
+        has_removal = any(site.kind == "removal" for site in path)
+        for site in active:
+            if site.kind == "retire":
+                yield from self._check_retire(info, site, has_removal)
+            elif site.kind == "revise":
+                yield self.finding(
+                    info,
+                    site.node or info.node,
+                    f"absolute assignment to ledger field "
+                    f"'{site.field}' cannot be proven zero-sum; "
+                    "express it as paired transfers, or baseline the "
+                    "site with its audit-trail justification",
+                )
+        yield from self._check_pairing(info, active)
+        yield from self._check_loops(info, active)
+
+    def _check_retire(
+        self, info: FunctionInfo, site: _Site, has_removal: bool
+    ) -> Iterator[Finding]:
+        if site.clamped:
+            yield self.finding(
+                info,
+                site.node or info.node,
+                f"retirement into '{site.field}' clamps the amount "
+                f"('{site.amount}'): on the overdrawn branch the "
+                "clamped-away joules are burned but never retired, so "
+                "they leak back into the available pool — retire the "
+                "full spend instead",
+            )
+        elif not has_removal:
+            yield self.finding(
+                info,
+                site.node or info.node,
+                f"'{site.field}' is credited on a path that does not "
+                "remove the session from the live set — the same "
+                "joules stay both retired and committed",
+            )
+
+    def _check_pairing(
+        self, info: FunctionInfo, active: List[_Site]
+    ) -> Iterator[Finding]:
+        pool = [
+            site
+            for site in active
+            if site.kind in ("transfer", "field")
+        ]
+        unpaired_neg: List[_Site] = []
+        credits = [site for site in pool if site.sign == "pos"]
+        matched: Set[int] = set()
+        for site in pool:
+            if site.sign != "neg":
+                continue
+            partner = next(
+                (
+                    index
+                    for index, credit in enumerate(credits)
+                    if index not in matched
+                    and credit.amount == site.amount
+                ),
+                None,
+            )
+            if partner is None:
+                unpaired_neg.append(site)
+            else:
+                matched.add(partner)
+        unpaired_pos = [
+            credit
+            for index, credit in enumerate(credits)
+            if index not in matched
+        ]
+        for site in unpaired_neg:
+            yield self.finding(
+                info,
+                site.node or info.node,
+                f"path debits '{site.amount}' without a matching "
+                "credit of the same amount — joules vanish from the "
+                "ledger on this path",
+            )
+        for site in unpaired_pos:
+            yield self.finding(
+                info,
+                site.node or info.node,
+                f"path credits '{site.amount}' without a matching "
+                "debit of the same amount — the ledger mints joules "
+                "on this path (if the amount can be negative, this is "
+                "also an unprovable-sign transfer)",
+            )
+
+    def _check_loops(
+        self, info: FunctionInfo, active: List[_Site]
+    ) -> Iterator[Finding]:
+        for site in active:
+            if (
+                site.kind == "transfer"
+                and site.raising
+                and site.in_loop
+            ):
+                yield self.finding(
+                    info,
+                    site.node or info.node,
+                    f"debit of '{site.amount}' can raise the "
+                    "accountant's contract mid-loop, leaving earlier "
+                    "iterations applied and the pool unbalanced — "
+                    "apply the plan under a rollback try/except that "
+                    "compensates and re-raises",
+                )

@@ -1,0 +1,151 @@
+"""Best-effort call graph and may-suspend summaries.
+
+The asyncio race detector (JGF101) needs to know, for every ``await``
+expression, whether control can actually leave the coroutine there.
+``await`` on an external callee (``asyncio.sleep``,
+``writer.drain()``, a bare task handle) must be assumed to suspend;
+``await`` on a *project* coroutine suspends only if that coroutine
+itself may suspend.  :class:`CallGraph` resolves call expressions to
+:class:`~repro.flow.project.FunctionInfo` targets (``self.method``,
+bare module functions, and imported ``module.func`` forms) and
+computes the least fixpoint of the ``may_suspend`` predicate over the
+resulting graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from .project import FunctionInfo, ProjectContext
+
+__all__ = ["CallGraph", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def own_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Nodes executed by this function itself (nested defs excluded)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class CallGraph:
+    """Call resolution plus the may-suspend fixpoint.
+
+    Resolution is deliberately conservative: only ``self.method()``
+    (same class), bare ``function()`` (same module), and
+    ``alias.function()`` through the module's import table are
+    resolved; everything else is *unknown*, and an awaited unknown is
+    assumed to suspend.
+    """
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self._edges: Dict[str, Set[str]] = {}
+        self._may_suspend: Dict[str, bool] = {}
+        self._build()
+
+    # -- resolution --------------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """The project function a call lands on, when determinable."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and len(parts) == 2:
+            if caller.cls is None:
+                return None
+            return self.project.functions.get(
+                f"{caller.module}.{caller.cls}.{parts[1]}"
+            )
+        if len(parts) == 1:
+            return self.project.functions.get(
+                f"{caller.module}.{parts[0]}"
+            )
+        table = self.project.imports.get(caller.module, {})
+        target = table.get(parts[0])
+        if target is None:
+            return None
+        full = ".".join([target, *parts[1:]])
+        return self.project.functions.get(full)
+
+    def callees(self, info: FunctionInfo) -> Set[str]:
+        return self._edges.get(info.full_name, set())
+
+    # -- may-suspend -------------------------------------------------------
+    def may_suspend(self, info: FunctionInfo) -> bool:
+        """Can awaiting this function suspend the caller?"""
+        return self._may_suspend.get(info.full_name, False)
+
+    def await_suspends(
+        self, node: ast.Await, caller: FunctionInfo
+    ) -> bool:
+        """Whether control may leave the coroutine at this ``await``.
+
+        ``await`` of a resolved project coroutine defers to that
+        coroutine's own summary; awaiting anything unresolved (an
+        external API, a task handle, a future) is assumed to suspend.
+        """
+        if isinstance(node.value, ast.Call):
+            callee = self.resolve_call(node.value, caller)
+            if callee is not None and callee.is_async:
+                return self.may_suspend(callee)
+        return True
+
+    # -- construction ------------------------------------------------------
+    def _build(self) -> None:
+        for info in self.project.functions.values():
+            edges: Set[str] = set()
+            for node in own_body(info.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(node, info)
+                    if callee is not None:
+                        edges.add(callee.full_name)
+            self._edges[info.full_name] = edges
+            self._may_suspend[info.full_name] = False
+        changed = True
+        while changed:
+            changed = False
+            for info in self.project.functions.values():
+                if not info.is_async:
+                    continue
+                if self._may_suspend[info.full_name]:
+                    continue
+                if self._suspends_directly(info):
+                    self._may_suspend[info.full_name] = True
+                    changed = True
+
+    def _suspends_directly(self, info: FunctionInfo) -> bool:
+        """One fixpoint step: does this coroutine suspend right now?"""
+        for node in own_body(info.node):
+            if isinstance(node, (ast.AsyncWith, ast.AsyncFor)):
+                return True
+            if isinstance(node, ast.Await):
+                if not isinstance(node.value, ast.Call):
+                    return True
+                callee = self.resolve_call(node.value, info)
+                if callee is None or not callee.is_async:
+                    return True
+                if self._may_suspend.get(callee.full_name, False):
+                    return True
+        return False

@@ -1,0 +1,178 @@
+"""The ``python -m repro.flow`` command line.
+
+Mirrors ``python -m repro.lint`` (same exit codes: 0 clean, 1
+findings, 2 usage error) and adds baseline handling: findings matched
+by ``jgflow.baseline.json`` (found at or above the first path, or
+given via ``--baseline``) are accepted and do not fail the run;
+``--write-baseline`` regenerates the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..lint.engine import iter_python_files
+from ..lint.reporters import render_json, render_sarif, render_text
+from .baseline import Baseline, find_baseline
+from .engine import FlowEngine, default_flow_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flow",
+        description=(
+            "jgflow: project-wide flow analysis for JouleGuard "
+            "(asyncio atomicity, dimensional inference, zero-sum "
+            "budget paths)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (as one project)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help=(
+            "accepted-findings file (default: jgflow.baseline.json "
+            "found at or above the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        nargs="?",
+        const=Path("jgflow.baseline.json"),
+        metavar="FILE",
+        help=(
+            "write the current findings as the new baseline "
+            "(default file: ./jgflow.baseline.json) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the flow rule registry and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    registry = default_flow_rules()
+    if options.list_rules:
+        for rule in registry:
+            scope = (
+                " [only " + ", ".join(
+                    f"{component}/" for component in rule.components
+                ) + "]"
+                if rule.components
+                else ""
+            )
+            print(f"{rule.rule_id}{scope}: {rule.summary}")
+        return 0
+
+    if not options.paths:
+        parser.error("at least one path is required (or --list-rules)")
+
+    known = {rule.rule_id for rule in registry} | {"JGF000"}
+    for ids in (_split_ids(options.select), _split_ids(options.ignore)):
+        unknown = set(ids or ()) - known
+        if unknown:
+            parser.error(
+                "unknown rule id(s): " + ", ".join(sorted(unknown))
+            )
+
+    missing = [path for path in options.paths if not path.exists()]
+    if missing:
+        parser.error(
+            "no such file or directory: "
+            + ", ".join(str(path) for path in missing)
+        )
+
+    engine = FlowEngine(
+        select=_split_ids(options.select),
+        ignore=_split_ids(options.ignore),
+    )
+    files = list(iter_python_files(options.paths))
+    findings = engine.run(options.paths)
+
+    if options.write_baseline is not None:
+        root = options.write_baseline.resolve().parent
+        baseline = Baseline.from_findings(root, findings)
+        baseline.save(options.write_baseline)
+        print(
+            f"wrote {len(baseline.entries)} baseline entries to "
+            f"{options.write_baseline}"
+        )
+        return 0
+
+    baseline = None
+    if not options.no_baseline:
+        baseline_path = options.baseline
+        if baseline_path is None:
+            baseline_path = find_baseline(options.paths[0])
+        elif not baseline_path.is_file():
+            parser.error(f"no such baseline file: {baseline_path}")
+        if baseline_path is not None:
+            baseline = Baseline.load(baseline_path)
+
+    if baseline is not None:
+        findings, stale = baseline.apply(findings)
+        for entry in stale:
+            print(
+                f"warning: stale baseline entry {entry.rule} "
+                f"{entry.path} ({entry.symbol or 'module'}) matches "
+                "nothing — delete it",
+                file=sys.stderr,
+            )
+
+    if options.format == "json":
+        renderer = render_json
+    elif options.format == "sarif":
+        renderer = render_sarif
+    else:
+        renderer = render_text
+    print(renderer(findings, files_checked=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

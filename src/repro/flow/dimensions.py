@@ -1,0 +1,447 @@
+"""JGF201 — dimensional inference over budget arithmetic.
+
+jglint's JG003 flags ``*_j + *_w`` when *both* operands wear a unit
+suffix.  That misses the common failure mode: a quantity loses its
+suffix on the way through a local variable (``share = moved * surplus
+/ donor_total``) and then flows into budget arithmetic where nothing
+checks its dimension.  JGF201 closes the gap with abstract
+interpretation over the unit lattice (:mod:`repro.flow.units`):
+
+* parameters and attributes are seeded from JG003's suffix
+  conventions plus the paper's vocabulary (``work``, ``epw``,
+  ``factor``, …);
+* assignments propagate units through locals; ``*`` and ``/`` add and
+  subtract exponent vectors (so ``energy_j / work`` is ``[J/work]``
+  and ``power_w * dt_s`` is ``[J]``);
+* ``+``/``-``/comparisons across two *different* concrete dimensions
+  are flagged, as are assignments whose value's dimension contradicts
+  the target name's suffix;
+* known budget sinks (``adjust_budget``, ``BudgetAccountant.record``,
+  ``EnergyGoal``, ``revise_global_budget``) have typed signatures —
+  an argument with the wrong concrete dimension is an error, and a
+  bare local of *unknown* dimension feeding a sink is flagged so the
+  quantity gets named with its unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint.findings import Finding
+from .callgraph import CallGraph, dotted_name
+from .engine import FlowRule
+from .project import FunctionInfo, ProjectContext
+from .units import (
+    BOTTOM,
+    ENERGY,
+    POWER,
+    RATE,
+    TIME,
+    TOP,
+    WORK,
+    Unit,
+    unit_of_name,
+)
+
+__all__ = ["DimensionalInferenceRule"]
+
+#: Calls whose return value has a known dimension.
+_TIME_SOURCES = frozenset(
+    {
+        "time.monotonic",
+        "time.time",
+        "time.perf_counter",
+        "monotonic",
+        "perf_counter",
+    }
+)
+
+#: Builtins that pass their arguments' dimension through.
+_PASSTHROUGH = frozenset({"abs", "float", "round", "min", "max"})
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class _FunctionAnalyzer:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self, rule: "DimensionalInferenceRule", info: FunctionInfo
+    ) -> None:
+        self.rule = rule
+        self.info = info
+        self.env: Dict[str, Unit] = {}
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+        args = info.node.args  # type: ignore[attr-defined]
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ):
+            seeded = unit_of_name(arg.arg)
+            if seeded is not None:
+                self.env[arg.arg] = seeded
+
+    # -- reporting ---------------------------------------------------------
+    def _report(self, node: ast.AST, message: str) -> None:
+        key = (
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(self.rule.finding(self.info, node, message))
+
+    @staticmethod
+    def _describe(node: ast.AST) -> str:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            text = "<expr>"
+        return text if len(text) <= 40 else text[:37] + "..."
+
+    # -- inference ---------------------------------------------------------
+    def unit_of(self, node: Optional[ast.AST]) -> Unit:
+        if node is None:
+            return BOTTOM
+        if isinstance(node, ast.Constant):
+            return BOTTOM
+        if isinstance(node, ast.Name):
+            known = self.env.get(node.id)
+            if known is not None and not known.is_bottom:
+                return known
+            return unit_of_name(node.id) or BOTTOM
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr) or BOTTOM
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            return self._merge(
+                self.unit_of(node.body), self.unit_of(node.orelse)
+            )
+        return BOTTOM
+
+    def _merge(self, left: Unit, right: Unit) -> Unit:
+        if left.is_concrete and right.is_concrete and left != right:
+            return TOP
+        if left.is_concrete:
+            return left
+        if right.is_concrete:
+            return right
+        return BOTTOM
+
+    def _binop(self, node: ast.BinOp) -> Unit:
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        if isinstance(node.op, ast.Mult):
+            return left.mul(right)
+        if isinstance(node.op, ast.Div):
+            return left.div(right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_additive(node, node.left, node.right, "combined")
+            return self._merge(left, right)
+        return BOTTOM
+
+    def _call(self, node: ast.Call) -> Unit:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            if dotted in _TIME_SOURCES or dotted.endswith(".monotonic"):
+                return TIME
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in _PASSTHROUGH or tail == "sum":
+                folded = BOTTOM
+                for arg in node.args:
+                    folded = self._merge(folded, self.unit_of(arg))
+                return folded
+        return BOTTOM
+
+    # -- checks ------------------------------------------------------------
+    def _check_additive(
+        self,
+        node: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        verb: str,
+    ) -> None:
+        left_u = self.unit_of(left)
+        right_u = self.unit_of(right)
+        if (
+            left_u.is_concrete
+            and right_u.is_concrete
+            and left_u != right_u
+        ):
+            self._report(
+                node,
+                f"'{self._describe(left)}' {left_u.label()} and "
+                f"'{self._describe(right)}' {right_u.label()} {verb} "
+                "across dimensions — a dimensional error "
+                "(J = W·s; convert explicitly)",
+            )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, _COMPARE_OPS):
+                self._check_additive(node, left, right, "compared")
+
+    def _check_sinks(self, node: ast.AST) -> None:
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                for expr, expected, sink in self._expectations(call):
+                    self._check_sink_arg(expr, expected, sink)
+
+    def _expectations(
+        self, call: ast.Call
+    ) -> Iterator[Tuple[ast.expr, Unit, str]]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if (
+                attr in ("adjust_budget", "revise_global_budget")
+                and len(call.args) == 1
+            ):
+                yield call.args[0], ENERGY, f"{attr}()"
+            elif attr == "record" and self._is_accountant_record(call):
+                spec = {"work": WORK, "energy_j": ENERGY}
+                for position, arg in enumerate(call.args[:2]):
+                    name = ("work", "energy_j")[position]
+                    yield arg, spec[name], "BudgetAccountant.record()"
+                for keyword in call.keywords:
+                    if keyword.arg in spec:
+                        yield (
+                            keyword.value,
+                            spec[keyword.arg],
+                            "BudgetAccountant.record()",
+                        )
+        elif isinstance(func, ast.Name):
+            ctor = func.id
+            specs: Dict[str, Dict[str, Unit]] = {
+                "EnergyGoal": {
+                    "total_work": WORK,
+                    "budget_j": ENERGY,
+                },
+                "Measurement": {
+                    "work": WORK,
+                    "energy_j": ENERGY,
+                    "power_w": POWER,
+                    "rate": RATE,
+                    "dt_s": TIME,
+                },
+            }
+            spec = specs.get(ctor)
+            if spec is None:
+                return
+            positional = list(spec) if ctor == "EnergyGoal" else []
+            for position, arg in enumerate(call.args):
+                if position < len(positional):
+                    yield (
+                        arg,
+                        spec[positional[position]],
+                        f"{ctor}()",
+                    )
+            for keyword in call.keywords:
+                if keyword.arg in spec:
+                    yield keyword.value, spec[keyword.arg], f"{ctor}()"
+
+    @staticmethod
+    def _is_accountant_record(call: ast.Call) -> bool:
+        """Only ``record`` calls that are budget accounting, not logging."""
+        if any(k.arg == "energy_j" for k in call.keywords):
+            return True
+        func = call.func
+        receiver = (
+            dotted_name(func.value)
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        return receiver is not None and "accountant" in receiver.lower()
+
+    def _check_sink_arg(
+        self, expr: ast.expr, expected: Unit, sink: str
+    ) -> None:
+        actual = self.unit_of(expr)
+        if actual.is_concrete and actual != expected:
+            self._report(
+                expr,
+                f"'{self._describe(expr)}' {actual.label()} flows into "
+                f"{sink}, which takes {expected.label()} — dimensional "
+                "error",
+            )
+            return
+        bare = expr
+        while isinstance(bare, ast.UnaryOp):
+            bare = bare.operand
+        if actual.is_bottom and isinstance(bare, ast.Name):
+            suffix = expected.label().strip("[]").lower()
+            self._report(
+                expr,
+                f"'{bare.id}' has no inferable unit but flows into "
+                f"{sink}, which takes {expected.label()}; name the "
+                f"quantity with its unit (e.g. '{bare.id}_{suffix}') "
+                "so the dimension is checkable",
+            )
+
+    # -- statement walk ----------------------------------------------------
+    def run(self) -> List[Finding]:
+        self._stmts(self.info.node.body)  # type: ignore[attr-defined]
+        return self.findings
+
+    def _stmts(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _check_expr(self, node: Optional[ast.AST]) -> None:
+        """Additive + compare + sink checks over one expression subtree."""
+        if node is None:
+            return
+        self._check_sinks(node)
+        for expr in ast.walk(node):
+            if isinstance(expr, ast.Compare):
+                self._check_compare(expr)
+            elif isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.Add, ast.Sub)
+            ):
+                # unit_of on a +/- BinOp runs the additive check as a
+                # side effect; _report dedupes re-visits.
+                self.unit_of(expr)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            self._check_expr(node)
+            value_u = self.unit_of(node.value)
+            for target in node.targets:
+                self._assign(target, node.value, value_u)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._check_expr(node)
+            self._assign(
+                node.target, node.value, self.unit_of(node.value)
+            )
+        elif isinstance(node, ast.AugAssign):
+            self._check_expr(node.value)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_additive(
+                    node, node.target, node.value, "accumulated"
+                )
+            elif isinstance(node.op, (ast.Mult, ast.Div)) and isinstance(
+                node.target, ast.Name
+            ):
+                current = self.unit_of(node.target)
+                value_u = self.unit_of(node.value)
+                self.env[node.target.id] = (
+                    current.mul(value_u)
+                    if isinstance(node.op, ast.Mult)
+                    else current.div(value_u)
+                )
+        elif isinstance(node, (ast.If, ast.While)):
+            self._check_expr(node.test)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_expr(node.iter)
+            self._clear_target(node.target)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._check_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._clear_target(item.optional_vars)
+            self._stmts(node.body)
+        elif isinstance(node, ast.Try):
+            self._stmts(node.body)
+            for handler in node.handlers:
+                self._stmts(handler.body)
+            self._stmts(node.orelse)
+            self._stmts(node.finalbody)
+        else:
+            self._check_expr(node)
+
+    def _assign(
+        self, target: ast.AST, value: ast.expr, value_u: Unit
+    ) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            self._check_declared(target.id, declared, value, value_u)
+            if declared is not None:
+                self.env[target.id] = declared
+            else:
+                self.env[target.id] = value_u
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            self._check_declared(target.attr, declared, value, value_u)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: List[Optional[ast.expr]] = [None] * len(
+                target.elts
+            )
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                elements = list(value.elts)
+            for element, sub_value in zip(target.elts, elements):
+                if sub_value is not None:
+                    self._assign(
+                        element, sub_value, self.unit_of(sub_value)
+                    )
+                else:
+                    self._clear_target(element)
+
+    def _check_declared(
+        self,
+        name: str,
+        declared: Optional[Unit],
+        value: ast.expr,
+        value_u: Unit,
+    ) -> None:
+        if (
+            declared is not None
+            and value_u.is_concrete
+            and value_u != declared
+        ):
+            self._report(
+                value,
+                f"expression '{self._describe(value)}' "
+                f"{value_u.label()} assigned to '{name}', whose name "
+                f"advertises {declared.label()} — rename one side or "
+                "convert explicitly",
+            )
+
+    def _clear_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = BOTTOM
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_target(element)
+        elif isinstance(target, ast.Starred):
+            self._clear_target(target.value)
+
+
+class DimensionalInferenceRule(FlowRule):
+    """JGF201: units propagated through locals; mismatches flagged."""
+
+    rule_id = "JGF201"
+    summary = (
+        "physical units (J, W, s, work, 1/s) inferred through "
+        "assignments; cross-dimension +/-/comparison and unannotated "
+        "quantities feeding budget sinks are dimensional errors"
+    )
+    components = ("core", "service", "hw", "faults")
+
+    def check_project(
+        self, project: ProjectContext, callgraph: CallGraph
+    ) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not self.applies_to(info.context):
+                continue
+            yield from _FunctionAnalyzer(self, info).run()

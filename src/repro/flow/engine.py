@@ -1,0 +1,147 @@
+"""The jgflow engine: project-wide rules over a :class:`ProjectContext`.
+
+A :class:`FlowRule` differs from a jglint :class:`~repro.lint.engine.Rule`
+in scope only — it checks the whole project at once (module graph,
+call graph, cross-function state) instead of one file.  Everything
+else is shared with jglint: findings are
+:class:`~repro.lint.findings.Finding` records, line-level
+``# jglint: disable=JGFxxx`` comments and ``disable-file`` pragmas
+suppress exactly as they do for jglint, and the same reporters render
+the output.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..lint.engine import FileContext, LintEngine
+from ..lint.findings import Finding
+from .callgraph import CallGraph
+from .project import FunctionInfo, ProjectContext
+
+__all__ = ["FlowEngine", "FlowRule", "default_flow_rules"]
+
+
+class FlowRule:
+    """Base class for project-wide flow rules.
+
+    Subclasses set ``rule_id`` (``JGFxxx``), ``summary``, and
+    optionally ``components`` — path components at least one of which
+    must appear in a file's path for the rule to analyze it (JGF101
+    only polices ``service/`` and ``faults/``).  :meth:`check_project`
+    yields findings over the whole project.
+    """
+
+    rule_id: str = "JGF000"
+    summary: str = ""
+    components: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, context: FileContext) -> bool:
+        if self.components is None:
+            return True
+        return any(
+            component in context.path.parts
+            for component in self.components
+        )
+
+    def check_project(
+        self, project: ProjectContext, callgraph: CallGraph
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        info: FunctionInfo,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=str(info.context.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            symbol=info.qualname,
+        )
+
+
+class FlowEngine:
+    """Run flow rules over a project and apply jglint suppressions.
+
+    Parameters mirror :class:`~repro.lint.engine.LintEngine`:
+    ``select``/``ignore`` filter by rule id (``ignore`` wins).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[FlowRule]] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> None:
+        if rules is None:
+            rules = default_flow_rules()
+        selected = {r.upper() for r in select} if select else None
+        ignored = {r.upper() for r in ignore} if ignore else set()
+        self.rules: List[FlowRule] = [
+            rule
+            for rule in rules
+            if (selected is None or rule.rule_id in selected)
+            and rule.rule_id not in ignored
+        ]
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        """Analyze every file under ``paths``; return sorted findings."""
+        project = ProjectContext.load(paths)
+        return self.run_project(project)
+
+    def run_project(self, project: ProjectContext) -> List[Finding]:
+        callgraph = CallGraph(project)
+        raw: List[Finding] = [
+            Finding(
+                path=error.split(": ", 1)[0],
+                line=1,
+                column=0,
+                rule_id="JGF000",
+                message=f"could not parse file: {error}",
+            )
+            for error in project.errors
+        ]
+        for rule in self.rules:
+            raw.extend(rule.check_project(project, callgraph))
+        return self._apply_suppressions(project, raw)
+
+    @staticmethod
+    def _apply_suppressions(
+        project: ProjectContext, raw: Sequence[Finding]
+    ) -> List[Finding]:
+        by_line: Dict[str, Dict[int, Set[str]]] = {}
+        by_file: Dict[str, Set[str]] = {}
+        for context in project.files:
+            key = str(context.path)
+            by_line[key] = LintEngine._line_suppressions(context)
+            by_file[key] = LintEngine._file_suppressions(context)
+        kept = [
+            finding
+            for finding in sorted(raw)
+            if not LintEngine._is_suppressed(
+                finding,
+                by_line.get(finding.path, {}),
+                by_file.get(finding.path, set()),
+            )
+        ]
+        return kept
+
+
+def default_flow_rules() -> Sequence[FlowRule]:
+    """Fresh instances of the full JGF rule set, in id order."""
+    from .atomicity import AsyncAtomicityRule
+    from .budgetflow import ZeroSumBudgetRule
+    from .dimensions import DimensionalInferenceRule
+
+    return (
+        AsyncAtomicityRule(),
+        DimensionalInferenceRule(),
+        ZeroSumBudgetRule(),
+    )

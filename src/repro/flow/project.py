@@ -1,0 +1,219 @@
+"""Multi-file project context for jgflow.
+
+Where jglint's :class:`~repro.lint.engine.FileContext` sees one file,
+jgflow's :class:`ProjectContext` sees the whole tree at once: every
+parsed file, a dotted module name for each, the import graph between
+project modules, and a table of every function/method with its
+enclosing class.  The analyses and the call graph
+(:mod:`repro.flow.callgraph`) are built on top of this.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..lint.engine import FileContext, iter_python_files
+
+__all__ = ["FunctionInfo", "ProjectContext"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project.
+
+    ``qualname`` is module-relative (``Class.method`` or ``func``);
+    ``full_name`` prefixes the module, giving a project-unique key.
+    """
+
+    module: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    context: FileContext
+    cls: Optional[str] = None
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+def _module_name_for(context: FileContext, root: Path) -> str:
+    """A dotted module name; repro-anchored when possible."""
+    anchored = context.module_name()
+    if anchored is not None:
+        return anchored
+    try:
+        relative = context.path.resolve().relative_to(root)
+    except ValueError:
+        relative = Path(context.path.name)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else context.path.stem
+
+
+def _resolve_relative(
+    module: str, level: int, target: Optional[str]
+) -> Optional[str]:
+    """Absolute module named by ``from <dots><target> import …``."""
+    parts = module.split(".")
+    if len(parts) < level:
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed file plus the cross-module indices over them.
+
+    Attributes
+    ----------
+    files:
+        One :class:`FileContext` per successfully parsed file.
+    modules:
+        Dotted module name → its file context.
+    functions:
+        ``module.Class.method`` / ``module.func`` → function info.
+    imports:
+        Per module, local name → the absolute dotted target it binds
+        (``from .sessions import SessionManager`` binds
+        ``SessionManager`` → ``repro.service.sessions.SessionManager``).
+    module_graph:
+        Module → project modules it imports (the dependency graph).
+    errors:
+        Files that failed to parse, with the exception message.
+    """
+
+    files: List[FileContext] = field(default_factory=list)
+    modules: Dict[str, FileContext] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    imports: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    module_graph: Dict[str, Set[str]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    _module_of_file: Dict[Path, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> "ProjectContext":
+        """Parse every Python file under ``paths`` and index it."""
+        project = cls()
+        root = Path.cwd()
+        for path in paths:
+            candidate = path if path.is_dir() else path.parent
+            root = candidate.resolve()
+            break
+        for path in iter_python_files(paths):
+            try:
+                context = FileContext.from_path(path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                project.errors.append(f"{path}: {exc}")
+                continue
+            module = _module_name_for(context, root)
+            project.files.append(context)
+            project.modules[module] = context
+            project._module_of_file[path.resolve()] = module
+            project._index_module(module, context)
+        project._close_module_graph()
+        return project
+
+    def module_of(self, context: FileContext) -> str:
+        return self._module_of_file.get(
+            context.path.resolve(), context.path.stem
+        )
+
+    def functions_in(self, module: str) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.module == module:
+                yield info
+
+    def methods_of(
+        self, module: str, cls: str
+    ) -> Dict[str, FunctionInfo]:
+        return {
+            info.name: info
+            for info in self.functions.values()
+            if info.module == module and info.cls == cls
+        }
+
+    # -- indexing ----------------------------------------------------------
+    def _index_module(self, module: str, context: FileContext) -> None:
+        table: Dict[str, str] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    target = (
+                        item.name
+                        if item.asname
+                        else item.name.split(".")[0]
+                    )
+                    table[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base: Optional[str]
+                if node.level:
+                    base = _resolve_relative(
+                        module, node.level, node.module
+                    )
+                else:
+                    base = node.module
+                if base is None:
+                    continue
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    local = item.asname or item.name
+                    table[local] = f"{base}.{item.name}"
+        self.imports[module] = table
+        for node in context.tree.body:
+            self._index_scope(module, context, node, cls=None)
+
+    def _index_scope(
+        self,
+        module: str,
+        context: FileContext,
+        node: ast.stmt,
+        cls: Optional[str],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{cls}.{node.name}" if cls else node.name
+            info = FunctionInfo(
+                module=module,
+                qualname=qualname,
+                node=node,
+                context=context,
+                cls=cls,
+            )
+            self.functions[info.full_name] = info
+            # Nested defs are not indexed: they are their own scope
+            # and the analyses treat them as opaque.
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                self._index_scope(module, context, child, cls=node.name)
+
+    def _close_module_graph(self) -> None:
+        known = set(self.modules)
+        for module, table in self.imports.items():
+            edges: Set[str] = set()
+            for target in table.values():
+                probe = target
+                while probe:
+                    if probe in known:
+                        edges.add(probe)
+                        break
+                    if "." not in probe:
+                        break
+                    probe = probe.rsplit(".", 1)[0]
+            edges.discard(module)
+            self.module_graph[module] = edges

@@ -1,0 +1,229 @@
+"""The physical-unit lattice behind JGF201.
+
+Every quantity JouleGuard's math touches is a product of three base
+dimensions — energy (J), time (s), and abstract work units — so a unit
+is an integer exponent vector ``(energy, time, work)``:
+
+=========  ============  ==========================================
+unit       exponents     meaning
+=========  ============  ==========================================
+J          (1, 0, 0)     energy
+s          (0, 1, 0)     time
+W          (1, -1, 0)    power, J/s
+Hz         (0, -1, 0)    frequency, 1/s
+work       (0, 0, 1)     work units (frames, queries, …)
+work/s     (0, -1, 1)    service rate
+J/work     (1, 0, -1)    energy per work (the paper's ``epw``)
+ratio      (0, 0, 0)     dimensionless (factors, poles, ε, …)
+=========  ============  ==========================================
+
+On top of the concrete dimensions sit the two lattice bounds:
+:data:`BOTTOM` (``unknown`` — no evidence yet; literals start here)
+and :data:`TOP` (``conflict`` — contradictory evidence).  The order is
+flat: ``BOTTOM ≤ d ≤ TOP`` for every dimension ``d``, and distinct
+dimensions are incomparable.  :func:`join` and :func:`meet` are the
+usual least-upper/greatest-lower bounds; both are commutative,
+associative, and idempotent (property-tested in
+``tests/flow/test_units.py``).
+
+Name seeding follows jglint's JG003 suffix conventions (``*_j``,
+``*_w``, ``*_s``, …) extended with the vocabulary the paper's
+equations use (``work``, ``rate``, ``epw``, ``factor``, ``pole``, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "BOTTOM",
+    "ENERGY",
+    "EPW",
+    "FREQUENCY",
+    "POWER",
+    "RATE",
+    "RATIO",
+    "TIME",
+    "TOP",
+    "Unit",
+    "WORK",
+    "join",
+    "meet",
+    "unit_of_name",
+]
+
+#: Canonical labels for the dimension vectors named above.
+_LABELS: Dict[Tuple[int, int, int], str] = {
+    (1, 0, 0): "J",
+    (0, 1, 0): "s",
+    (1, -1, 0): "W",
+    (0, -1, 0): "Hz",
+    (0, 0, 1): "work",
+    (0, -1, 1): "work/s",
+    (1, 0, -1): "J/work",
+    (0, 0, 0): "ratio",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Unit:
+    """One element of the unit lattice.
+
+    ``kind`` is ``"bottom"`` (unknown), ``"dim"`` (a concrete
+    dimension vector), or ``"top"`` (conflicting evidence); ``dims``
+    is the ``(energy, time, work)`` exponent vector, meaningful only
+    when ``kind == "dim"``.
+    """
+
+    kind: str
+    dims: Tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.kind == "dim"
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.kind == "bottom"
+
+    @property
+    def is_top(self) -> bool:
+        return self.kind == "top"
+
+    def label(self) -> str:
+        """A human-readable rendering, e.g. ``[J]`` or ``[J·s^2]``."""
+        if self.kind == "bottom":
+            return "[unknown]"
+        if self.kind == "top":
+            return "[conflict]"
+        known = _LABELS.get(self.dims)
+        if known is not None:
+            return f"[{known}]"
+        parts = []
+        for base, exponent in zip(("J", "s", "work"), self.dims):
+            if exponent == 1:
+                parts.append(base)
+            elif exponent != 0:
+                parts.append(f"{base}^{exponent}")
+        return "[" + "·".join(parts) + "]"
+
+    def mul(self, other: "Unit") -> "Unit":
+        """The unit of a product: exponent vectors add."""
+        return _combine(self, other, 1)
+
+    def div(self, other: "Unit") -> "Unit":
+        """The unit of a quotient: exponent vectors subtract."""
+        return _combine(self, other, -1)
+
+
+def _combine(left: Unit, right: Unit, sign: int) -> Unit:
+    if left.is_top or right.is_top:
+        return TOP
+    if left.is_bottom or right.is_bottom:
+        return BOTTOM
+    dims = tuple(
+        a + sign * b for a, b in zip(left.dims, right.dims)
+    )
+    return Unit("dim", (dims[0], dims[1], dims[2]))
+
+
+def join(left: Unit, right: Unit) -> Unit:
+    """Least upper bound: agreement stands, disagreement is TOP."""
+    if left == right:
+        return left
+    if left.is_bottom:
+        return right
+    if right.is_bottom:
+        return left
+    return TOP
+
+
+def meet(left: Unit, right: Unit) -> Unit:
+    """Greatest lower bound: agreement stands, disagreement is BOTTOM."""
+    if left == right:
+        return left
+    if left.is_top:
+        return right
+    if right.is_top:
+        return left
+    return BOTTOM
+
+
+BOTTOM = Unit("bottom")
+TOP = Unit("top")
+ENERGY = Unit("dim", (1, 0, 0))
+TIME = Unit("dim", (0, 1, 0))
+POWER = Unit("dim", (1, -1, 0))
+FREQUENCY = Unit("dim", (0, -1, 0))
+WORK = Unit("dim", (0, 0, 1))
+RATE = Unit("dim", (0, -1, 1))
+EPW = Unit("dim", (1, 0, -1))
+RATIO = Unit("dim", (0, 0, 0))
+
+#: JG003's suffix conventions, mapped onto the lattice, plus the
+#: flow-only suffixes jglint has no dimension for.  Longest first so
+#: ``_joules`` wins over ``_s``.
+_SUFFIX_UNITS: Dict[str, Unit] = {
+    "_joules": ENERGY,
+    "_joule": ENERGY,
+    "_j": ENERGY,
+    "_watts": POWER,
+    "_watt": POWER,
+    "_w": POWER,
+    "_seconds": TIME,
+    "_secs": TIME,
+    "_sec": TIME,
+    "_ms": TIME,
+    "_s": TIME,
+    "_ghz": FREQUENCY,
+    "_hz": FREQUENCY,
+    "_epw": EPW,
+    "_work": WORK,
+    "_rate": RATE,
+    "_fraction": RATIO,
+    "_ratio": RATIO,
+    "_factor": RATIO,
+    "_margin": RATIO,
+    "_pct": RATIO,
+}
+
+#: Exact identifiers the paper's equations use without a suffix.
+_EXACT_UNITS: Dict[str, Unit] = {
+    "work": WORK,
+    "total_work": WORK,
+    "remaining_work": WORK,
+    "work_done": WORK,
+    "rate": RATE,
+    "epw": EPW,
+    "recent_epw": EPW,
+    "default_epw": EPW,
+    "factor": RATIO,
+    "speedup": RATIO,
+    "fraction": RATIO,
+    "priority": RATIO,
+    "epsilon": RATIO,
+    "eps": RATIO,
+    "pole": RATIO,
+    "smoothing": RATIO,
+    "probability": RATIO,
+    "prob": RATIO,
+}
+
+
+def unit_of_name(identifier: str) -> Optional[Unit]:
+    """The unit an identifier's name advertises, if any.
+
+    Seeded from jglint's JG003 suffix table (``dt_s``, ``budget_j``,
+    ``power_w``, …) plus exact names from the paper's vocabulary
+    (``work``, ``epw``, ``factor``, …).  Returns ``None`` when the
+    name carries no unit evidence.
+    """
+    lowered = identifier.lower()
+    exact = _EXACT_UNITS.get(lowered)
+    if exact is not None:
+        return exact
+    for suffix in sorted(_SUFFIX_UNITS, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            return _SUFFIX_UNITS[suffix]
+    return None

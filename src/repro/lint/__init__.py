@@ -17,7 +17,7 @@ Rules are ``JG001``–``JG009`` (``--list-rules`` describes them, and
 
 from .engine import FileContext, LintEngine, Rule, iter_python_files
 from .findings import Finding
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import default_rules
 
 __all__ = [
@@ -28,5 +28,6 @@ __all__ = [
     "default_rules",
     "iter_python_files",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -12,7 +12,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .engine import LintEngine, iter_python_files
-from .reporters import render_json, render_text
+from .findings import Finding
+from .reporters import render_json, render_sarif, render_text
 from .rules import default_rules
 
 __all__ = ["main"]
@@ -36,9 +37,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the jgflow project-wide analyses (JGF101, "
+            "JGF201, JGF301) with baseline handling"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help=(
+            "accepted jgflow findings (default: jgflow.baseline.json "
+            "found at or above the first path; only with --flow)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -69,18 +87,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     options = parser.parse_args(argv)
 
     registry = default_rules()
+    flow_registry = ()
+    if options.flow:
+        from ..flow.engine import default_flow_rules
+
+        flow_registry = default_flow_rules()
     if options.list_rules:
         for rule in registry:
             scope = (
                 f" [only {rule.path_filter}/]" if rule.path_filter else ""
             )
             print(f"{rule.rule_id}{scope}: {rule.summary}")
+        for flow_rule in flow_registry:
+            scope = (
+                " [only " + ", ".join(
+                    f"{component}/"
+                    for component in flow_rule.components
+                ) + "]"
+                if flow_rule.components
+                else ""
+            )
+            print(f"{flow_rule.rule_id}{scope}: {flow_rule.summary}")
         return 0
 
     if not options.paths:
         parser.error("at least one path is required (or --list-rules)")
 
     known = {rule.rule_id for rule in registry}
+    if options.flow:
+        known |= {rule.rule_id for rule in flow_registry} | {"JGF000"}
     for ids in (_split_ids(options.select), _split_ids(options.ignore)):
         unknown = set(ids or ()) - known
         if unknown:
@@ -95,17 +130,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             + ", ".join(str(path) for path in missing)
         )
 
-    engine = LintEngine(
-        rules=registry,
-        select=_split_ids(options.select),
-        ignore=_split_ids(options.ignore),
-    )
+    select = _split_ids(options.select)
+    ignore = _split_ids(options.ignore)
+    engine = LintEngine(rules=registry, select=select, ignore=ignore)
     files = list(iter_python_files(options.paths))
     findings = engine.run(options.paths)
 
-    renderer = render_json if options.format == "json" else render_text
+    if options.flow:
+        findings = findings + _run_flow(parser, options, select, ignore)
+        findings.sort()
+
+    if options.format == "json":
+        renderer = render_json
+    elif options.format == "sarif":
+        renderer = render_sarif
+    else:
+        renderer = render_text
     print(renderer(findings, files_checked=len(files)))
     return 1 if findings else 0
+
+
+def _run_flow(
+    parser: argparse.ArgumentParser,
+    options: argparse.Namespace,
+    select: Optional[List[str]],
+    ignore: Optional[List[str]],
+) -> List[Finding]:
+    """Run jgflow over the same paths, with baseline handling."""
+    from ..flow.baseline import Baseline, find_baseline
+    from ..flow.engine import FlowEngine
+
+    flow_select = None
+    if select is not None:
+        flow_select = [i for i in select if i.startswith("JGF")]
+        if not flow_select:
+            return []
+    flow_ignore = [i for i in ignore or () if i.startswith("JGF")]
+    engine = FlowEngine(select=flow_select, ignore=flow_ignore)
+    findings = engine.run(options.paths)
+
+    baseline_path = options.baseline
+    if baseline_path is not None and not baseline_path.is_file():
+        parser.error(f"no such baseline file: {baseline_path}")
+    if baseline_path is None:
+        baseline_path = find_baseline(options.paths[0])
+    if baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+        findings, stale = baseline.apply(findings)
+        for entry in stale:
+            print(
+                f"warning: stale baseline entry {entry.rule} "
+                f"{entry.path} ({entry.symbol or 'module'}) matches "
+                "nothing — delete it",
+                file=sys.stderr,
+            )
+    return findings
 
 
 if __name__ == "__main__":

@@ -28,6 +28,11 @@ class Finding:
         The ``JGxxx`` identifier of the rule that fired.
     message:
         Human-readable description of the specific violation.
+    symbol:
+        Dotted qualname of the enclosing function, when known.  Flow
+        rules (``JGFxxx``) set this so baselines can match findings
+        stably across line drift; file-local jglint rules leave it
+        empty.
     """
 
     path: str
@@ -35,6 +40,7 @@ class Finding:
     column: int
     rule_id: str
     message: str = field(compare=False)
+    symbol: str = field(default="", compare=False)
 
     def render(self) -> str:
         """The canonical one-line ``path:line:col: JGxxx message`` form."""
@@ -45,10 +51,13 @@ class Finding:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form for the JSON reporter."""
-        return {
+        document: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
             "rule": self.rule_id,
             "message": self.message,
         }
+        if self.symbol:
+            document["symbol"] = self.symbol
+        return document

@@ -1,19 +1,22 @@
-"""Render jglint findings as text or JSON.
+"""Render jglint/jgflow findings as text, JSON, or SARIF.
 
 The text reporter is the human-facing default (one ``path:line:col:
 JGxxx message`` line per finding plus a summary); the JSON reporter
-emits a stable machine-readable document for CI annotation tooling.
+emits a stable machine-readable document for CI annotation tooling;
+the SARIF reporter targets code-scanning uploads (GitHub renders the
+findings as inline PR annotations).  All three are shared between
+jglint (``JGxxx``) and jgflow (``JGFxxx``) findings.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from .findings import Finding
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 
 def render_text(findings: Sequence[Finding], *, files_checked: int) -> str:
@@ -54,3 +57,67 @@ def render_json(findings: Sequence[Finding], *, files_checked: int) -> str:
         },
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int,
+    tool_name: str = "jglint",
+) -> str:
+    """A minimal SARIF 2.1.0 log for code-scanning uploads.
+
+    ``files_checked`` is accepted for signature parity with the other
+    reporters; SARIF has no natural slot for it, so it rides along in
+    the run's ``properties`` bag.
+    """
+    rule_ids = sorted({finding.rule_id for finding in findings})
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.symbol:
+            result["properties"] = {"symbol": finding.symbol}
+        results.append(result)
+    log = {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": rule_id},
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+                "properties": {"files_checked": files_checked},
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -112,6 +112,9 @@ class ServiceServer:
             self._tcp_server = await asyncio.start_server(
                 self._serve_connection, host=self.host, port=self.port
             )
+            # Baselined JGF101: start() runs once, before any other
+            # coroutine of this server exists, so writing the bound
+            # port back across the await cannot race.
             self.port = self._tcp_server.sockets[0].getsockname()[1]
         if self.unix_path is not None:
             self._unix_server = await asyncio.start_unix_server(
@@ -129,18 +132,25 @@ class ServiceServer:
         return (self.host, self.port)
 
     async def aclose(self) -> None:
-        """Stop listeners, the reaper, and close every live session."""
-        if self._reaper is not None:
-            self._reaper.cancel()
+        """Stop listeners, the reaper, and close every live session.
+
+        The handles are captured and cleared *before* any await
+        (jgflow JGF101): a second ``aclose`` racing this one on the
+        event loop then sees ``None`` everywhere and is a no-op,
+        instead of cancelling/closing the same handles twice.
+        """
+        reaper, self._reaper = self._reaper, None
+        servers = (self._tcp_server, self._unix_server)
+        self._tcp_server = None
+        self._unix_server = None
+        if reaper is not None:
+            reaper.cancel()
             with contextlib.suppress(asyncio.CancelledError):
-                await self._reaper
-            self._reaper = None
-        for server in (self._tcp_server, self._unix_server):
+                await reaper
+        for server in servers:
             if server is not None:
                 server.close()
                 await server.wait_closed()
-        self._tcp_server = None
-        self._unix_server = None
         if self.unix_path is not None and os.path.exists(self.unix_path):
             os.unlink(self.unix_path)
         self.manager.close_all()

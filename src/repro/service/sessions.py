@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..apps import build_application
 from ..apps.base import ApproximateApplication
 from ..core.bandit import SystemEnergyOptimizer
-from ..core.budget import EnergyGoal
+from ..core.budget import BudgetAccountant, EnergyGoal
+from ..core.contracts import ContractError
 from ..core.jouleguard import Decision, JouleGuardRuntime
 from ..core.types import Measurement
 from ..hw import get_machine
@@ -443,6 +444,9 @@ class SessionManager:
                 "previous_j": self.global_budget_j,
             }
         )
+        # Baselined JGF301: a deliberate absolute revision (operator /
+        # battery event); the clamp above plus budget_revisions is the
+        # audit trail standing in for a zero-sum proof.
         self.global_budget_j = applied_j
         return applied_j
 
@@ -486,13 +490,15 @@ class SessionManager:
 
         The unspent part of the grant flows back to the pool; the spent
         part is retired for good (burned joules cannot be re-promised).
+        An overdrawn session retires its *full* spend, not just its
+        grant: clamping the retirement to the effective budget would
+        leak the overdraft back into the available pool as joules the
+        hardware already burned (caught by jgflow JGF301).
         """
         session = self._get(session_id)
         final = self.report(session_id)
         accountant = session.runtime.accountant
-        self._spent_closed_j += min(
-            accountant.energy_used_j, accountant.effective_budget_j
-        )
+        self._spent_closed_j += accountant.energy_used_j
         session.closed = True
         session.close_reason = reason
         del self._sessions[session.session_id]
@@ -571,20 +577,33 @@ class SessionManager:
                     del needers[session_id]
                 continue
             donor_total = sum(donors.values())
-            for session_id, surplus in donors.items():
-                share = moved * surplus / donor_total
-                accountant = self._sessions[
-                    session_id
-                ].runtime.accountant
-                accountant.adjust_budget(-share)
-                deltas[session_id] -= share
-            for session_id, deficit in needers.items():
-                share = moved * deficit / needed
-                accountant = self._sessions[
-                    session_id
-                ].runtime.accountant
-                accountant.adjust_budget(share)
-                deltas[session_id] += share
+            # Apply the transfer plan all-or-nothing: if any grant is
+            # rejected by the accountant's contract mid-plan, earlier
+            # transfers are compensated before re-raising, so the sum
+            # of effective budgets stays invariant on the exception
+            # edge too (jgflow JGF301's sanctioned rollback idiom).
+            applied: List[Tuple[BudgetAccountant, float]] = []
+            try:
+                for session_id, surplus in donors.items():
+                    share_j = moved * surplus / donor_total
+                    accountant = self._sessions[
+                        session_id
+                    ].runtime.accountant
+                    accountant.adjust_budget(-share_j)
+                    applied.append((accountant, -share_j))
+                    deltas[session_id] -= share_j
+                for session_id, deficit in needers.items():
+                    share_j = moved * deficit / needed
+                    accountant = self._sessions[
+                        session_id
+                    ].runtime.accountant
+                    accountant.adjust_budget(share_j)
+                    applied.append((accountant, share_j))
+                    deltas[session_id] += share_j
+            except ContractError:
+                for accountant, applied_j in reversed(applied):
+                    accountant.adjust_budget(-applied_j)
+                raise
             break
         self.transfers.append(deltas)
         return deltas

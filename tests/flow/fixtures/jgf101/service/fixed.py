@@ -1,0 +1,15 @@
+"""JGF101 fixed: the read-modify-write holds a lock across the await."""
+
+import asyncio
+
+
+class Pool:
+    def __init__(self) -> None:
+        self.balance_j = 100.0
+        self._lock = asyncio.Lock()
+
+    async def spend(self, amount_j: float) -> None:
+        async with self._lock:
+            balance_j = self.balance_j
+            await asyncio.sleep(0)
+            self.balance_j = balance_j - amount_j

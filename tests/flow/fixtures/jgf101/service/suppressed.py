@@ -1,0 +1,13 @@
+"""JGF101 suppressed: the race is sanctioned with a line comment."""
+
+import asyncio
+
+
+class Pool:
+    def __init__(self) -> None:
+        self.balance_j = 100.0
+
+    async def spend(self, amount_j: float) -> None:
+        balance_j = self.balance_j
+        await asyncio.sleep(0)
+        self.balance_j = balance_j - amount_j  # jglint: disable=JGF101

@@ -1,0 +1,5 @@
+"""JGF201 fixed: the watts are integrated over time first (J = W·s)."""
+
+
+def total_energy(energy_j: float, power_w: float, dt_s: float) -> float:
+    return energy_j + power_w * dt_s

@@ -1,0 +1,5 @@
+"""JGF201 suppressed: the mixup is sanctioned with a line comment."""
+
+
+def total_energy(energy_j: float, power_w: float) -> float:
+    return energy_j + power_w  # jglint: disable=JGF201

@@ -1,0 +1,5 @@
+"""JGF201 trigger: joules plus watts — the paper's dimensional crime."""
+
+
+def total_energy(energy_j: float, power_w: float) -> float:
+    return energy_j + power_w

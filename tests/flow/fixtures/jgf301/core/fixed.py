@@ -1,0 +1,8 @@
+"""JGF301 fixed: every path pairs the debit with an equal credit."""
+
+
+def transfer(donor, needer, amount_j: float, allow: bool) -> None:
+    if not allow:
+        return
+    donor.adjust_budget(-amount_j)
+    needer.adjust_budget(amount_j)

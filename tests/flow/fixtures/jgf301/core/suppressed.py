@@ -1,0 +1,7 @@
+"""JGF301 suppressed: the unbalanced path is sanctioned with a comment."""
+
+
+def transfer(donor, needer, amount_j: float, allow: bool) -> None:
+    donor.adjust_budget(-amount_j)  # jglint: disable=JGF301
+    if allow:
+        needer.adjust_budget(amount_j)

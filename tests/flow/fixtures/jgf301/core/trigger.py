@@ -1,0 +1,7 @@
+"""JGF301 trigger: one branch debits the donor without crediting."""
+
+
+def transfer(donor, needer, amount_j: float, allow: bool) -> None:
+    donor.adjust_budget(-amount_j)
+    if allow:
+        needer.adjust_budget(amount_j)

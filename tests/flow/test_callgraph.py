@@ -1,0 +1,95 @@
+"""Call resolution and the may-suspend fixpoint."""
+
+import textwrap
+
+from repro.flow import CallGraph, ProjectContext
+
+
+def load(tmp_path, source):
+    (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+    project = ProjectContext.load([tmp_path])
+    return project, CallGraph(project)
+
+
+def test_non_suspending_coroutine(tmp_path):
+    project, graph = load(
+        tmp_path,
+        """
+        async def compute():
+            return 1 + 1
+        """,
+    )
+    info = project.functions["mod.compute"]
+    assert not graph.may_suspend(info)
+
+
+def test_direct_suspension(tmp_path):
+    project, graph = load(
+        tmp_path,
+        """
+        import asyncio
+
+
+        async def napper():
+            await asyncio.sleep(1)
+        """,
+    )
+    assert graph.may_suspend(project.functions["mod.napper"])
+
+
+def test_suspension_propagates_through_calls(tmp_path):
+    project, graph = load(
+        tmp_path,
+        """
+        import asyncio
+
+
+        async def leaf():
+            await asyncio.sleep(1)
+
+
+        async def middle():
+            await leaf()
+
+
+        async def quiet():
+            return 0
+
+
+        async def caller():
+            await quiet()
+        """,
+    )
+    assert graph.may_suspend(project.functions["mod.leaf"])
+    assert graph.may_suspend(project.functions["mod.middle"])
+    assert not graph.may_suspend(project.functions["mod.quiet"])
+    assert not graph.may_suspend(project.functions["mod.caller"])
+
+
+def test_self_method_resolution(tmp_path):
+    project, graph = load(
+        tmp_path,
+        """
+        class Service:
+            async def helper(self):
+                return 1
+
+            async def entry(self):
+                return await self.helper()
+        """,
+    )
+    entry = project.functions["mod.Service.entry"]
+    assert "mod.Service.helper" in graph.callees(entry)
+    assert not graph.may_suspend(entry)
+
+
+def test_async_with_counts_as_suspension(tmp_path):
+    project, graph = load(
+        tmp_path,
+        """
+        async def locked(lock):
+            async with lock:
+                return 1
+        """,
+    )
+    assert graph.may_suspend(project.functions["mod.locked"])

@@ -1,0 +1,92 @@
+"""The jgflow CLI and its integration into ``python -m repro lint``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.flow.cli import main as flow_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TRIGGER = FIXTURES / "jgf301" / "core" / "trigger.py"
+
+
+def test_list_rules_documents_all_three(capsys):
+    assert flow_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("JGF101", "JGF201", "JGF301"):
+        assert rule_id in out
+
+
+def test_findings_exit_one(capsys):
+    code = flow_main(["--no-baseline", str(TRIGGER)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "JGF301" in out
+
+
+def test_clean_exit_zero(capsys):
+    clean = FIXTURES / "jgf301" / "core" / "fixed.py"
+    assert flow_main(["--no-baseline", str(clean)]) == 0
+
+
+def test_unknown_rule_id_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        flow_main(["--select", "JGX999", str(TRIGGER)])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        flow_main(["does/not/exist.py"])
+    assert excinfo.value.code == 2
+
+
+def test_sarif_output_is_valid(capsys):
+    code = flow_main(
+        ["--no-baseline", "--format", "sarif", str(TRIGGER)]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    log = json.loads(out)
+    assert log["version"] == "2.1.0"
+    results = log["runs"][0]["results"]
+    assert results[0]["ruleId"] == "JGF301"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("trigger.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_write_then_pass_with_baseline(tmp_path, capsys):
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "mod.py").write_text(TRIGGER.read_text())
+    baseline = tmp_path / "jgflow.baseline.json"
+    assert (
+        flow_main(
+            [str(tmp_path), "--write-baseline", str(baseline)]
+        )
+        == 0
+    )
+    assert baseline.is_file()
+    capsys.readouterr()
+    # Auto-discovery: the baseline sits at the project root.
+    assert flow_main([str(tmp_path)]) == 0
+    # Removing the trigger makes the entry stale: warn, still pass.
+    (core / "mod.py").write_text("x = 1\n")
+    assert flow_main([str(tmp_path)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_repro_lint_forwards_flow(capsys):
+    code = repro_main(["lint", "--flow", str(TRIGGER)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "JGF301" in out
+
+
+def test_repro_lint_flow_lists_flow_rules(capsys):
+    assert repro_main(["lint", "--flow", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "JG001" in out and "JGF301" in out

@@ -1,0 +1,114 @@
+"""FlowEngine behaviour: parse errors, file pragmas, baselines."""
+
+import json
+from pathlib import Path
+
+from repro.flow import Baseline, BaselineEntry, FlowEngine
+from repro.flow.baseline import find_baseline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+TRIGGER = FIXTURES / "jgf301" / "core" / "trigger.py"
+
+
+def test_parse_error_becomes_jgf000(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "broken.py").write_text("def nope(:\n")
+    findings = FlowEngine().run([tmp_path])
+    assert [finding.rule_id for finding in findings] == ["JGF000"]
+
+
+def test_file_pragma_silences_whole_file(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    source = TRIGGER.read_text()
+    (core / "mod.py").write_text(
+        "# jglint: disable-file=JGF301\n" + source
+    )
+    findings = FlowEngine().run([tmp_path])
+    assert "JGF301" not in {finding.rule_id for finding in findings}
+
+
+def test_findings_carry_symbols():
+    findings = FlowEngine().run([TRIGGER])
+    assert findings
+    assert all(finding.symbol == "transfer" for finding in findings)
+
+
+class TestBaseline:
+    def entry(self):
+        return BaselineEntry(
+            rule="JGF301",
+            path="core/trigger.py",
+            symbol="transfer",
+            justification="fixture",
+        )
+
+    def test_matching_entry_accepts_finding(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "trigger.py").write_text(TRIGGER.read_text())
+        findings = FlowEngine().run([tmp_path])
+        assert findings
+        baseline = Baseline(root=tmp_path, entries=[self.entry()])
+        new, stale = baseline.apply(findings)
+        assert new == []
+        assert stale == []
+
+    def test_unmatched_entry_is_stale(self, tmp_path):
+        baseline = Baseline(root=tmp_path, entries=[self.entry()])
+        new, stale = baseline.apply([])
+        assert new == []
+        assert stale == [self.entry()]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "jgflow.baseline.json"
+        baseline = Baseline(root=tmp_path, entries=[self.entry()])
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == [self.entry()]
+        assert loaded.root == tmp_path.resolve()
+        document = json.loads(path.read_text())
+        assert document["findings"][0]["justification"] == "fixture"
+
+    def test_from_findings_dedupes(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "trigger.py").write_text(TRIGGER.read_text())
+        findings = FlowEngine().run([tmp_path])
+        baseline = Baseline.from_findings(tmp_path, findings * 2)
+        assert len(baseline.entries) == len(
+            {
+                (f.rule_id, f.symbol)
+                for f in findings
+            }
+        )
+
+    def test_find_baseline_walks_up(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        target = tmp_path / "jgflow.baseline.json"
+        Baseline(root=tmp_path, entries=[]).save(target)
+        assert find_baseline(nested) == target
+        assert find_baseline(tmp_path) == target
+
+
+def test_repo_baseline_is_current():
+    """The checked-in baseline matches the tree: no new findings, no
+    stale entries.  This is the same gate CI applies."""
+    repo_root = Path(__file__).resolve().parents[2]
+    src = repo_root / "src" / "repro"
+    findings = FlowEngine().run([src])
+    baseline = Baseline.load(repo_root / "jgflow.baseline.json")
+    new, stale = baseline.apply(findings)
+    assert new == [], [finding.render() for finding in new]
+    assert stale == []
+
+
+def test_repo_baseline_entries_all_justified():
+    repo_root = Path(__file__).resolve().parents[2]
+    baseline = Baseline.load(repo_root / "jgflow.baseline.json")
+    assert baseline.entries
+    for entry in baseline.entries:
+        assert len(entry.justification) > 20, entry

@@ -1,0 +1,81 @@
+"""ProjectContext: module naming, function indexing, import graph."""
+
+import textwrap
+
+from repro.flow import ProjectContext
+
+
+def write_project(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "alpha.py").write_text(
+        textwrap.dedent(
+            """
+            from .beta import helper
+
+
+            class Widget:
+                def method(self):
+                    return helper()
+
+                async def amethod(self):
+                    return None
+
+
+            def top():
+                return Widget()
+            """
+        )
+    )
+    (tmp_path / "pkg" / "beta.py").write_text(
+        textwrap.dedent(
+            """
+            import math
+
+
+            def helper():
+                return math.pi
+            """
+        )
+    )
+    return ProjectContext.load([tmp_path])
+
+
+def test_modules_and_functions_indexed(tmp_path):
+    project = write_project(tmp_path)
+    assert "pkg.alpha" in project.modules
+    assert "pkg.beta" in project.modules
+    names = set(project.functions)
+    assert "pkg.alpha.Widget.method" in names
+    assert "pkg.alpha.top" in names
+    assert "pkg.beta.helper" in names
+
+
+def test_function_info_properties(tmp_path):
+    project = write_project(tmp_path)
+    info = project.functions["pkg.alpha.Widget.amethod"]
+    assert info.is_async
+    assert info.name == "amethod"
+    assert info.cls == "Widget"
+    sync = project.functions["pkg.alpha.top"]
+    assert not sync.is_async
+    assert sync.cls is None
+
+
+def test_relative_import_resolved(tmp_path):
+    project = write_project(tmp_path)
+    table = project.imports["pkg.alpha"]
+    assert table["helper"] == "pkg.beta.helper"
+
+
+def test_module_graph_edges(tmp_path):
+    project = write_project(tmp_path)
+    assert "pkg.beta" in project.module_graph["pkg.alpha"]
+    assert project.module_graph["pkg.beta"] == set()
+
+
+def test_parse_error_recorded(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    project = ProjectContext.load([tmp_path])
+    assert any("bad.py" in error for error in project.errors)

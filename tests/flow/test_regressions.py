@@ -1,0 +1,156 @@
+"""Regression tests for the real defects jgflow surfaced.
+
+Each test here demonstrates, on the *fixed* code, the accounting
+property that the pre-fix code violated:
+
+* ``SessionManager.close`` used to retire ``min(spent, granted)``
+  instead of the full spend, so an overdrawn session's overdraft
+  leaked back into the available pool (JGF301, clamped retirement);
+* ``ServiceServer.aclose`` awaited between reading and clearing its
+  task/listener handles, so two concurrent closes could cancel and
+  close the same handles twice (JGF101, cross-await RMW);
+* both ``rebalance`` implementations applied donor debits before
+  needer credits with no rollback, so a contract rejection mid-plan
+  left the pool unbalanced (JGF301, raising transfer in a loop).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.contracts import ContractError
+from repro.core.types import Measurement
+from repro.service.server import ServiceServer
+from repro.service.sessions import SessionManager
+
+
+def manager(budget_j=1e6, **kwargs):
+    return SessionManager(global_budget_j=budget_j, **kwargs)
+
+
+def open_default(mgr, total_work=50.0, factor=1.5, seed=0, **kwargs):
+    return mgr.open_session(
+        "tablet", "x264", factor=factor, total_work=total_work,
+        seed=seed, **kwargs,
+    )
+
+
+class TestOverdrawnCloseRetiresFullSpend:
+    def overdraw_and_close(self):
+        mgr = manager(rebalance_period=10_000)
+        session = open_default(mgr)
+        granted_j = session.granted_budget_j
+        # Burn far more than the grant in one heartbeat: the
+        # accountant records the spend even though it exceeds the
+        # effective budget (hardware joules are facts).
+        burned_j = granted_j + 1000.0
+        mgr.step(
+            session.session_id,
+            Measurement(
+                work=1.0, energy_j=burned_j, rate=30.0, power_w=18.0
+            ),
+        )
+        accountant = session.runtime.accountant
+        assert accountant.energy_used_j > accountant.effective_budget_j
+        used_j = accountant.energy_used_j
+        mgr.close(session.session_id)
+        return mgr, used_j
+
+    def test_pool_reflects_real_spend(self):
+        mgr, used_j = self.overdraw_and_close()
+        # Pre-fix: close() retired min(used, granted), so available
+        # came out as global - granted, silently re-promising the
+        # overdraft that was already burned.
+        assert mgr.available_budget_j == pytest.approx(
+            mgr.global_budget_j - used_j
+        )
+
+    def test_retired_joules_are_the_spend(self):
+        mgr, used_j = self.overdraw_and_close()
+        assert mgr._spent_closed_j == pytest.approx(used_j)
+
+
+class TestConcurrentAclose:
+    def test_two_acloses_race_cleanly(self):
+        async def scenario():
+            mgr = manager()
+            server = ServiceServer(mgr, host="127.0.0.1", port=0)
+            await server.start()
+            assert server.port != 0
+            await asyncio.gather(server.aclose(), server.aclose())
+            assert server._tcp_server is None
+            assert server._reaper is None
+
+        asyncio.run(scenario())
+
+    def test_aclose_after_aclose_is_noop(self):
+        async def scenario():
+            mgr = manager()
+            server = ServiceServer(mgr, host="127.0.0.1", port=0)
+            await server.start()
+            await server.aclose()
+            await server.aclose()
+
+        asyncio.run(scenario())
+
+
+class TestRebalanceRollback:
+    def loaded_manager(self):
+        """Two sessions: one forecast donor, one forecast needer."""
+        mgr = manager(rebalance_period=10_000)
+        donor = open_default(mgr, total_work=50.0, seed=0)
+        needer = open_default(mgr, total_work=50.0, seed=1)
+        epw = donor.granted_budget_j / 50.0
+        # Donor spends at half its budgeted energy-per-work rate,
+        # needer at four times it.
+        mgr.step(
+            donor.session_id,
+            Measurement(
+                work=1.0, energy_j=epw * 0.5, rate=30.0, power_w=18.0
+            ),
+        )
+        mgr.step(
+            needer.session_id,
+            Measurement(
+                work=1.0, energy_j=epw * 4.0, rate=30.0, power_w=18.0
+            ),
+        )
+        return mgr, donor, needer
+
+    def total_effective_j(self, mgr):
+        return sum(
+            session.runtime.accountant.effective_budget_j
+            for session in mgr.live_sessions
+        )
+
+    def test_transfer_happens_normally(self):
+        mgr, donor, needer = self.loaded_manager()
+        before_j = self.total_effective_j(mgr)
+        deltas = mgr.rebalance()
+        assert deltas[donor.session_id] < 0
+        assert deltas[needer.session_id] > 0
+        assert self.total_effective_j(mgr) == pytest.approx(before_j)
+
+    def test_midplan_rejection_rolls_back(self, monkeypatch):
+        mgr, donor, needer = self.loaded_manager()
+        before = {
+            session.session_id:
+                session.runtime.accountant.effective_budget_j
+            for session in mgr.live_sessions
+        }
+        accountant = needer.runtime.accountant
+
+        def reject(delta_j):
+            raise ContractError("injected rejection")
+
+        monkeypatch.setattr(accountant, "adjust_budget", reject)
+        with pytest.raises(ContractError):
+            mgr.rebalance()
+        # The donor's already-applied debit was compensated: every
+        # effective budget is exactly what it was before the plan.
+        after = {
+            session.session_id:
+                session.runtime.accountant.effective_budget_j
+            for session in mgr.live_sessions
+        }
+        assert after == pytest.approx(before)

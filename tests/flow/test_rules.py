@@ -1,0 +1,82 @@
+"""Per-rule trigger / fixed / suppressed coverage over the fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.flow import FlowEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id → fixture package (trigger.py / fixed.py / suppressed.py)
+PACKAGES = {
+    "JGF101": "jgf101/service",
+    "JGF201": "jgf201/core",
+    "JGF301": "jgf301/core",
+}
+
+
+def flow_ids(path: Path) -> set:
+    return {finding.rule_id for finding in FlowEngine().run([path])}
+
+
+@pytest.mark.parametrize("rule_id", sorted(PACKAGES))
+def test_trigger_fixture_fires(rule_id):
+    path = FIXTURES / PACKAGES[rule_id] / "trigger.py"
+    assert rule_id in flow_ids(path)
+
+
+@pytest.mark.parametrize("rule_id", sorted(PACKAGES))
+def test_fixed_fixture_is_silent(rule_id):
+    path = FIXTURES / PACKAGES[rule_id] / "fixed.py"
+    assert rule_id not in flow_ids(path)
+
+
+@pytest.mark.parametrize("rule_id", sorted(PACKAGES))
+def test_suppression_comment_silences(rule_id):
+    path = FIXTURES / PACKAGES[rule_id] / "suppressed.py"
+    assert rule_id not in flow_ids(path)
+
+
+def test_jgf101_names_the_chain_and_remedy():
+    path = FIXTURES / "jgf101/service/trigger.py"
+    findings = [
+        finding
+        for finding in FlowEngine().run([path])
+        if finding.rule_id == "JGF101"
+    ]
+    assert len(findings) == 1
+    assert "self.balance_j" in findings[0].message
+    assert "lock" in findings[0].message
+    assert findings[0].symbol == "Pool.spend"
+
+
+def test_jgf201_names_both_dimensions():
+    path = FIXTURES / "jgf201/core/trigger.py"
+    findings = [
+        finding
+        for finding in FlowEngine().run([path])
+        if finding.rule_id == "JGF201"
+    ]
+    assert findings
+    message = findings[0].message
+    assert "[J]" in message and "[W]" in message
+
+
+def test_jgf301_reports_the_unpaired_amount():
+    path = FIXTURES / "jgf301/core/trigger.py"
+    findings = [
+        finding
+        for finding in FlowEngine().run([path])
+        if finding.rule_id == "JGF301"
+    ]
+    assert len(findings) == 1
+    assert "amount_j" in findings[0].message
+
+
+def test_select_and_ignore_filter_rules():
+    path = FIXTURES / "jgf301/core/trigger.py"
+    only = FlowEngine(select=["JGF101"]).run([path])
+    assert not only
+    ignored = FlowEngine(ignore=["JGF301"]).run([path])
+    assert "JGF301" not in {finding.rule_id for finding in ignored}

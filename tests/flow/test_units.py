@@ -1,0 +1,108 @@
+"""Lattice laws for the unit domain, checked property-style.
+
+The soundness of JGF201's abstract interpretation rests on ``join``/
+``meet`` forming a (flat) lattice: merging branch environments must
+not depend on visit order (commutativity + associativity) and must be
+stable under re-merging (idempotence).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flow.units import (
+    BOTTOM,
+    ENERGY,
+    EPW,
+    FREQUENCY,
+    POWER,
+    RATE,
+    RATIO,
+    TIME,
+    TOP,
+    Unit,
+    WORK,
+    join,
+    meet,
+    unit_of_name,
+)
+
+CONCRETE = [ENERGY, TIME, POWER, FREQUENCY, WORK, RATE, EPW, RATIO]
+
+units = st.one_of(
+    st.sampled_from([BOTTOM, TOP, *CONCRETE]),
+    st.builds(
+        Unit,
+        st.just("dim"),
+        st.tuples(
+            st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)
+        ),
+    ),
+)
+
+
+@given(units, units)
+def test_join_commutative(a, b):
+    assert join(a, b) == join(b, a)
+
+
+@given(units, units)
+def test_meet_commutative(a, b):
+    assert meet(a, b) == meet(b, a)
+
+
+@given(units, units, units)
+def test_join_associative(a, b, c):
+    assert join(join(a, b), c) == join(a, join(b, c))
+
+
+@given(units, units, units)
+def test_meet_associative(a, b, c):
+    assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+
+@given(units)
+def test_join_meet_idempotent(a):
+    assert join(a, a) == a
+    assert meet(a, a) == a
+
+
+@given(units)
+def test_bounds(a):
+    assert join(a, BOTTOM) == a
+    assert join(a, TOP) == TOP
+    assert meet(a, TOP) == a
+    assert meet(a, BOTTOM) == BOTTOM
+
+
+@given(units, units)
+def test_absorption(a, b):
+    assert join(a, meet(a, b)) == a
+    assert meet(a, join(a, b)) == a
+
+
+def test_dimensional_arithmetic():
+    assert POWER.mul(TIME) == ENERGY
+    assert ENERGY.div(TIME) == POWER
+    assert ENERGY.div(WORK) == EPW
+    assert EPW.mul(WORK) == ENERGY
+    assert WORK.div(TIME) == RATE
+    assert ENERGY.div(ENERGY) == RATIO
+    assert TOP.mul(ENERGY) == TOP
+    assert BOTTOM.mul(ENERGY) == BOTTOM
+
+
+def test_unit_of_name_conventions():
+    assert unit_of_name("budget_j") == ENERGY
+    assert unit_of_name("power_w") == POWER
+    assert unit_of_name("dt_s") == TIME
+    assert unit_of_name("total_work") == WORK
+    assert unit_of_name("default_epw") == EPW
+    assert unit_of_name("transfer_fraction") == RATIO
+    assert unit_of_name("factor") == RATIO
+    assert unit_of_name("mystery") is None
+
+
+def test_labels_are_readable():
+    assert ENERGY.label() == "[J]"
+    assert POWER.label() == "[W]"
+    assert RATIO.label() == "[ratio]"
