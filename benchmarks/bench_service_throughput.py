@@ -7,7 +7,14 @@ saves.  This bench runs the real daemon (ServerThread on a Unix
 socket) and the real blocking client:
 
 * 1 / 8 / 32 concurrent synthetic clients, each a full closed loop —
-  sessions/sec, steps/sec, and p50/p95 per-step round-trip latency;
+  sessions/sec, steps/sec, p50/p95/p99 per-step round-trip latency,
+  and the per-client steps/sec spread (min/mean/max exposes unfair
+  scheduling the aggregate hides);
+* telemetry overhead — the same load against a daemon with
+  ``ServiceTelemetry.disabled()`` vs the default enabled telemetry;
+  the enabled daemon must stay within 5 % of the disabled one's
+  throughput (the ``repro.obs`` hot path is dict lookups and float
+  adds, and this gate keeps it that way);
 * warm vs cold convergence — iterations until the SEO's ε settles,
   cold start vs restored from a snapshot.
 
@@ -33,6 +40,7 @@ from conftest import write_repo_result, write_result
 from repro.service import (
     ServerThread,
     ServiceClient,
+    ServiceTelemetry,
     SessionManager,
     SnapshotStore,
     drive_synthetic_session,
@@ -42,6 +50,8 @@ from repro.service import (
 CLIENT_COUNTS = (1, 8, 32)
 STEPS_PER_CLIENT = 20
 CONVERGENCE_STEPS = 40
+OVERHEAD_CLIENTS = 8
+OVERHEAD_LIMIT = 0.05
 
 #: Keys of ``LoadReport.as_dict`` whose median across repeats is the
 #: headline number; the rest (client/step counts) are invariant.
@@ -51,9 +61,18 @@ _MEDIAN_KEYS = (
     "steps_per_s",
     "p50_step_latency_ms",
     "p95_step_latency_ms",
+    "p99_step_latency_ms",
+    "client_steps_per_s_mean",
+    "client_steps_per_s_min",
+    "client_steps_per_s_max",
 )
 
-_results = {"repeats": None, "load": [], "convergence": {}}
+_results = {
+    "repeats": None,
+    "load": [],
+    "overhead": {},
+    "convergence": {},
+}
 
 
 def _median_row(runs):
@@ -95,8 +114,60 @@ def test_concurrent_load(daemon, n_clients, repeats):
         f"{row['sessions_per_s']:8.1f} sessions/s  "
         f"{row['steps_per_s']:8.1f} steps/s  "
         f"p50 {row['p50_step_latency_ms']:6.2f} ms  "
-        f"p95 {row['p95_step_latency_ms']:6.2f} ms"
+        f"p95 {row['p95_step_latency_ms']:6.2f} ms  "
+        f"p99 {row['p99_step_latency_ms']:6.2f} ms"
     )
+
+
+def _median_steps_per_s(sock, repeats, base_seed):
+    rates = []
+    for repeat in range(repeats):
+        report = run_load(
+            OVERHEAD_CLIENTS,
+            steps=STEPS_PER_CLIENT,
+            unix_path=sock,
+            base_seed=base_seed + 100 * repeat,
+        )
+        assert report.errors == 0
+        rates.append(report.steps_per_s)
+    return statistics.median(rates)
+
+
+def test_metrics_overhead(tmp_path_factory, repeats):
+    rates = {}
+    for mode in ("disabled", "enabled"):
+        manager = SessionManager(
+            global_budget_j=1e9,
+            store=SnapshotStore(),
+            telemetry=(
+                ServiceTelemetry.disabled()
+                if mode == "disabled"
+                else None
+            ),
+        )
+        sock = str(
+            tmp_path_factory.mktemp(f"obs_{mode}") / "bench.sock"
+        )
+        with ServerThread(manager, unix_path=sock):
+            rates[mode] = _median_steps_per_s(
+                sock, repeats, base_seed=5000
+            )
+    overhead = 1.0 - rates["enabled"] / rates["disabled"]
+    _results["overhead"] = {
+        "n_clients": OVERHEAD_CLIENTS,
+        "steps_per_client": STEPS_PER_CLIENT,
+        "steps_per_s_disabled": rates["disabled"],
+        "steps_per_s_enabled": rates["enabled"],
+        "overhead_fraction": overhead,
+        "limit_fraction": OVERHEAD_LIMIT,
+    }
+    print(
+        f"\ntelemetry overhead (median of {repeats}): "
+        f"disabled {rates['disabled']:8.1f} steps/s  "
+        f"enabled {rates['enabled']:8.1f} steps/s  "
+        f"overhead {100 * overhead:+5.2f}%"
+    )
+    assert overhead <= OVERHEAD_LIMIT
 
 
 def test_warm_vs_cold_convergence(daemon):
@@ -143,6 +214,7 @@ def test_warm_vs_cold_convergence(daemon):
         "bench": "service_throughput",
         "repeats": _results["repeats"],
         "load": [point["median"] for point in _results["load"]],
+        "overhead": _results["overhead"],
         "convergence": _results["convergence"],
     }
     path = write_repo_result(

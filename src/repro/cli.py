@@ -27,7 +27,13 @@ Subcommands
 ``chaos``
     Run the seeded fault-injection suite (``repro.faults``) and check
     its invariants: budgets never silently overdrawn, pole stable,
-    accuracy monotone in fault severity, runs replayable.
+    accuracy monotone in fault severity, runs replayable.  With
+    ``--enforce``, run the enforcement-ladder scenario instead:
+    escalating runaway sessions against a live manager, asserting
+    hard-tier sessions end with exactly zero budget overdraft.
+``dash``
+    Live ascii dashboard over a running daemon's ``metrics`` and
+    ``events`` verbs (``repro.obs``).
 ``lint``
     Forward to ``python -m repro.lint``: jglint static analysis, plus
     the jgflow project-wide flow analyses with ``--flow``.
@@ -213,6 +219,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         where.append(f"tcp {args.host}:{args.port}")
     if args.unix is not None:
         where.append(f"unix {args.unix}")
+    if args.metrics_host is not None:
+        where.append(
+            f"metrics http://{args.metrics_host}:{args.metrics_port}"
+            "/metrics"
+        )
     print(f"serving JouleGuard on {', '.join(where)} "
           f"(budget {args.budget_j:.0f} J)")
     serve(
@@ -221,7 +232,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         unix_path=args.unix,
         reap_interval_s=args.reap_interval,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
     )
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .obs.dash import run_dash
+    from .service import ServiceError
+
+    if (args.unix is None) == (args.host is None):
+        print("dash needs --host/--port or --unix", file=sys.stderr)
+        return 2
+    try:
+        run_dash(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            interval_s=args.interval,
+            frames=args.frames,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        print()
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"dash failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -290,8 +327,37 @@ def _cmd_client(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from .faults import run_chaos_suite, shipped_plans
+    from .faults import (
+        run_chaos_suite,
+        run_enforcement_chaos,
+        shipped_plans,
+    )
 
+    if args.enforce:
+        report = run_enforcement_chaos(
+            machine=args.machine,
+            app=args.app,
+            factor=args.factor,
+            seed=args.seed,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for session in report["sessions"]:
+                print(
+                    f"x{session['inflation']:<6g}"
+                    f"{session['tier']:<10}"
+                    f"killed={str(session['killed']):<6}"
+                    f"steps={session['steps']:<4d}"
+                    f"overdraft={session['hard_overdraft_j']:.6f} J"
+                )
+            for violation in report["violations"]:
+                print(f"    {violation}")
+            print(
+                "enforcement chaos: "
+                f"{'PASS' if report['passed'] else 'FAIL'}"
+            )
+        return 0 if report["passed"] else 1
     if args.list:
         for name, plan in shipped_plans(seed=args.seed).items():
             parts = [
@@ -432,7 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument("--idle-timeout", type=float, default=300.0)
     serve_cmd.add_argument("--reap-interval", type=float, default=5.0)
+    serve_cmd.add_argument(
+        "--metrics-host",
+        help="also expose Prometheus metrics over HTTP on this address",
+    )
+    serve_cmd.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="metrics HTTP port (0 picks a free one)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    dash_cmd = sub.add_parser(
+        "dash", help="live ascii dashboard over a running daemon"
+    )
+    dash_cmd.add_argument("--host", help="daemon TCP address")
+    dash_cmd.add_argument("--port", type=int, default=7715)
+    dash_cmd.add_argument("--unix", help="daemon unix socket path")
+    dash_cmd.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes",
+    )
+    dash_cmd.add_argument(
+        "--frames", type=int,
+        help="stop after this many refreshes (default: run until ^C)",
+    )
+    dash_cmd.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    dash_cmd.set_defaults(func=_cmd_dash)
 
     client_cmd = sub.add_parser(
         "client", help="synthetic closed-loop client for the daemon"
@@ -489,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="steps per session in service-level scenarios",
     )
     chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--enforce", action="store_true",
+        help="run the enforcement-ladder scenario instead of the "
+        "fault-plan suite",
+    )
     chaos_cmd.add_argument(
         "--json", action="store_true",
         help="emit the full machine-readable report",

@@ -29,7 +29,7 @@ from .hwapprox import (
 )
 from .jouleguard import Decision, JouleGuardRuntime, build_runtime
 from .kalman import ScalarKalmanFilter, variances_for_alpha
-from .multi import MultiAppCoordinator, split_budget
+from .multi import ApplicationKilled, MultiAppCoordinator, split_budget
 from .pole import AdaptivePole, max_stable_error, multiplicative_error, pole_for_error
 from .types import AccuracyOrderedConfig, AccuracyOrderedTable, Measurement
 from .ucb import UcbSystemOptimizer
@@ -39,6 +39,7 @@ __all__ = [
     "AccuracyOrderedConfig",
     "AccuracyOrderedTable",
     "AdaptivePole",
+    "ApplicationKilled",
     "BudgetAccountant",
     "ContractError",
     "DEFAULT_ALPHA",

@@ -26,10 +26,32 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..enforce.ladder import (
+    EnforcementLadder,
+    LadderPolicy,
+    Tier,
+    overdraft_signal,
+)
 from .budget import BudgetAccountant
 from .contracts import ContractError
 from .jouleguard import Decision, JouleGuardRuntime
 from .types import Measurement
+
+
+class ApplicationKilled(RuntimeError):
+    """The enforcement ladder terminated one coordinated application.
+
+    The application's unspent share stays in its accountant and drains
+    to strainers through subsequent rebalances (killed applications are
+    pure donors), so the coordinator-wide budget sum stays invariant.
+    """
+
+    def __init__(self, name: str, summary: Dict[str, float]) -> None:
+        super().__init__(
+            f"application {name!r} killed by the enforcement ladder"
+        )
+        self.name = name
+        self.summary = summary
 
 
 @dataclass
@@ -37,6 +59,13 @@ class _AppState:
     runtime: JouleGuardRuntime
     recent_epw: Optional[float] = None
     steps: int = 0
+    ladder: Optional[EnforcementLadder] = None
+    recent_step_energy_j: Optional[float] = None
+    killed: bool = False
+
+    @property
+    def tier(self) -> Tier:
+        return self.ladder.tier if self.ladder is not None else Tier.NOMINAL
 
 
 def split_budget(
@@ -81,6 +110,13 @@ class MultiAppCoordinator:
         everything at once overreacts to noisy forecasts).
     smoothing:
         EWMA weight for each application's recent energy-per-work.
+    enforcement:
+        Optional :class:`~repro.enforce.ladder.LadderPolicy`; when set,
+        each application gets its own enforcement ladder.  DEGRADE pins
+        the safe fallback, THROTTLE is surfaced via :meth:`throttle_s`
+        (the caller owns the loop, so it owns the sleep), and KILL
+        freezes the application and raises :class:`ApplicationKilled`.
+        ``None`` (the default) preserves the pre-ladder behaviour.
     """
 
     def __init__(
@@ -89,6 +125,7 @@ class MultiAppCoordinator:
         rebalance_period: int = 25,
         transfer_fraction: float = 0.5,
         smoothing: float = 0.25,
+        enforcement: Optional[LadderPolicy] = None,
     ) -> None:
         if not runtimes:
             raise ValueError("no runtimes to coordinate")
@@ -99,7 +136,14 @@ class MultiAppCoordinator:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
         self._apps = {
-            name: _AppState(runtime=runtime)
+            name: _AppState(
+                runtime=runtime,
+                ladder=(
+                    EnforcementLadder(policy=enforcement)
+                    if enforcement is not None
+                    else None
+                ),
+            )
             for name, runtime in runtimes.items()
         }
         self.rebalance_period = rebalance_period
@@ -113,8 +157,16 @@ class MultiAppCoordinator:
         return self._apps[name].runtime.current_decision
 
     def step(self, name: str, measurement: Measurement) -> Decision:
-        """Feed one application's measurement; rebalance on schedule."""
+        """Feed one application's measurement; rebalance on schedule.
+
+        With enforcement configured, the heartbeat also feeds this
+        application's ladder: DEGRADE pins its safe fallback, and KILL
+        freezes it (further steps raise) and raises
+        :class:`ApplicationKilled`.
+        """
         state = self._apps[name]
+        if state.killed:
+            raise ApplicationKilled(name, self._app_summary(state))
         epw = measurement.energy_j / measurement.work
         if state.recent_epw is None:
             state.recent_epw = epw
@@ -122,17 +174,63 @@ class MultiAppCoordinator:
             state.recent_epw += self.smoothing * (epw - state.recent_epw)
         state.steps += 1
         decision = state.runtime.step(measurement)
+        if state.recent_step_energy_j is None:
+            state.recent_step_energy_j = measurement.energy_j
+        else:
+            state.recent_step_energy_j += self.smoothing * (
+                measurement.energy_j - state.recent_step_energy_j
+            )
+        if state.ladder is not None:
+            decision = self._enforce(name, state, decision)
         self._steps_since_rebalance += 1
         if self._steps_since_rebalance >= self.rebalance_period:
             self.rebalance()
             self._steps_since_rebalance = 0
         return decision
 
+    def _enforce(
+        self, name: str, state: _AppState, decision: Decision
+    ) -> Decision:
+        """One ladder observation for one application."""
+        assert state.ladder is not None
+        signal = overdraft_signal(
+            state.runtime.accountant,
+            state.recent_epw,
+            state.recent_step_energy_j,
+        )
+        tier = state.ladder.observe(signal, state.steps)
+        if Tier.DEGRADE <= tier < Tier.KILL:
+            # Re-pin every enforced step; the pin is per-decision.
+            state.runtime.pin_safe_fallback()
+            decision = state.runtime.current_decision
+        if tier is Tier.KILL:
+            state.killed = True
+            raise ApplicationKilled(name, self._app_summary(state))
+        return decision
+
+    def tier_of(self, name: str) -> Tier:
+        """This application's current enforcement tier."""
+        return self._apps[name].tier
+
+    def throttle_s(self, name: str) -> float:
+        """Duty-cycle sleep the caller should inject for this app."""
+        ladder = self._apps[name].ladder
+        return ladder.throttle_s() if ladder is not None else 0.0
+
     # -- budget transfers ----------------------------------------------------------
     def _forecast_surplus(self, state: _AppState) -> float:
-        """Remaining budget minus forecast remaining spend (can be < 0)."""
+        """Remaining budget minus forecast remaining spend (can be < 0).
+
+        A killed application will never spend again, so its whole
+        remaining budget is surplus: rebalances drain it to strainers
+        instead of deleting it, keeping the budget sum invariant.
+        """
         accountant = state.runtime.accountant
-        if accountant.complete or state.recent_epw is None:
+        if (
+            state.killed
+            or accountant.complete
+            or state.recent_epw is None
+        ):
             return accountant.remaining_energy_j
         projected = state.recent_epw * accountant.remaining_work
         return accountant.remaining_energy_j - projected
@@ -223,16 +321,21 @@ class MultiAppCoordinator:
             for state in self._apps.values()
         )
 
+    def _app_summary(self, state: _AppState) -> Dict[str, float]:
+        accountant = state.runtime.accountant
+        return {
+            "budget_j": accountant.goal.budget_j,
+            "effective_budget_j": accountant.effective_budget_j,
+            "energy_used_j": accountant.energy_used_j,
+            "work_done": accountant.work_done,
+            "infeasible": state.runtime.goal_reported_infeasible,
+            "tier": state.tier.label,
+            "killed": state.killed,
+        }
+
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-application accounting snapshot."""
-        report = {}
-        for name, state in self._apps.items():
-            accountant = state.runtime.accountant
-            report[name] = {
-                "budget_j": accountant.goal.budget_j,
-                "effective_budget_j": accountant.effective_budget_j,
-                "energy_used_j": accountant.energy_used_j,
-                "work_done": accountant.work_done,
-                "infeasible": state.runtime.goal_reported_infeasible,
-            }
-        return report
+        return {
+            name: self._app_summary(state)
+            for name, state in self._apps.items()
+        }

@@ -17,6 +17,7 @@ from .harness import (
     decision_fingerprint,
     run_chaos,
     run_chaos_suite,
+    run_enforcement_chaos,
     run_restart_scenario,
     run_service_chaos,
     verify_plan,
@@ -49,6 +50,7 @@ __all__ = [
     "decision_fingerprint",
     "run_chaos",
     "run_chaos_suite",
+    "run_enforcement_chaos",
     "run_restart_scenario",
     "run_service_chaos",
     "shipped_plans",

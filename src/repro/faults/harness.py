@@ -54,6 +54,7 @@ __all__ = [
     "decision_fingerprint",
     "run_chaos",
     "run_chaos_suite",
+    "run_enforcement_chaos",
     "run_restart_scenario",
     "run_service_chaos",
     "verify_plan",
@@ -574,6 +575,209 @@ def run_restart_scenario(
             and pool_ok
             and resumed.convergence_step() <= cold.convergence_step()
         ),
+    }
+
+
+def _drive_inflated_session(
+    manager: Any,
+    machine_model: Any,
+    application: Any,
+    factor: float,
+    steps: int,
+    seed: int,
+    inflation: float,
+) -> Dict[str, Any]:
+    """One session whose reported energy is inflated by a fixed factor.
+
+    Inflation 1.0 is an honest client; higher factors model a runaway
+    workload (or rogue meter) burning through its grant faster than any
+    in-budget trajectory allows.  Returns the final report plus whether
+    the enforcement ladder killed the session.
+    """
+    from ..service.sessions import SessionKilled
+
+    space = machine_model.space
+    simulator = PlatformSimulator(
+        machine_model,
+        application.resource_profile,
+        noise=NoiseModel(),
+        seed=seed,
+    )
+    session = manager.open_session(
+        machine_model.name,
+        application.name,
+        factor=factor,
+        total_work=steps * application.work_per_iteration,
+        seed=seed,
+        warm_start=False,
+        client=f"enforce-x{inflation:g}",
+    )
+    decision = session.runtime.current_decision
+    killed = False
+    report: Optional[Dict[str, Any]] = None
+    for _ in range(steps):
+        result = simulator.run_iteration(
+            config=space[decision.system_index],
+            work=application.work_per_iteration,
+            app_speedup=decision.app_config.speedup,
+            app_power_factor=getattr(
+                decision.app_config, "power_factor", 1.0
+            ),
+        )
+        measurement = Measurement(
+            work=result.work,
+            energy_j=inflation * result.measured_power_w * result.time_s,
+            rate=result.measured_rate,
+            power_w=inflation * result.measured_power_w,
+        )
+        try:
+            decision = manager.step(session.session_id, measurement)
+        except SessionKilled as exc:
+            killed = True
+            report = exc.report
+            break
+    if report is None:
+        report = manager.close(session.session_id, reason="chaos")
+    return {"inflation": inflation, "killed": killed, "report": report}
+
+
+def run_enforcement_chaos(
+    inflations: Sequence[float] = (1.0, 2.0, 3.5),
+    steps: int = 40,
+    machine: str = "tablet",
+    app: str = "x264",
+    factor: float = 1.5,
+    seed: int = 0,
+    global_budget_j: float = 1e6,
+) -> Dict[str, Any]:
+    """Escalating runaway sessions against the enforcement ladder.
+
+    One :class:`~repro.service.sessions.SessionManager` hosts a session
+    per inflation factor and the harness checks the ladder's hard
+    guarantees:
+
+    1. **Hard-tier zero overdraft** — any session the ladder killed, or
+       whose final tier is THROTTLE or worse, ends with *exactly* zero
+       hard-budget overdraft (spend never exceeded its effective
+       budget; the margin built into the predictive kill is the proof).
+    2. **Honest sessions run free** — the inflation-1.0 session is
+       never killed and never reaches a hard tier.
+    3. **Monotone transitions** — every session's recorded ladder
+       history climbs one rung at a time and KILL follows an attempted
+       DEGRADE (:func:`repro.enforce.ladder.monotone_transitions`).
+    4. **Pool conservation** — spent + committed + available equals the
+       global budget after all sessions close (kills retire budget
+       zero-sum, same path as a client close).
+    5. **Determinism** — replaying the same inflations under the same
+       seed reproduces every kill step and transition history.
+    """
+    from ..enforce.ladder import Tier, monotone_transitions
+    from ..service.sessions import SessionManager
+    from ..service.telemetry import ServiceTelemetry
+
+    machine_model = get_machine(machine)
+    application = build_application(app)
+
+    def one_pass() -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        manager = SessionManager(
+            global_budget_j=global_budget_j,
+            telemetry=ServiceTelemetry.disabled(),
+        )
+        outcomes = [
+            _drive_inflated_session(
+                manager,
+                machine_model,
+                application,
+                factor=factor,
+                steps=steps,
+                seed=seed,
+                inflation=inflation,
+            )
+            for inflation in inflations
+        ]
+        return outcomes, manager.stats()
+
+    outcomes, stats = one_pass()
+    violations: List[str] = []
+    hard_labels = (Tier.THROTTLE.label, Tier.KILL.label)
+    for outcome in outcomes:
+        report = outcome["report"]
+        tag = f"inflation {outcome['inflation']:g}"
+        # Sanctioned exact zero-guard: the invariant is *exactly*
+        # zero (hard_overdraft_j is max(0, spent - budget) and a
+        # predictive kill fires before spend reaches the budget), so
+        # any nonzero value, however small, is a real violation.
+        overdraft_j = report["hard_overdraft_j"]
+        if (
+            outcome["killed"] or report["tier"] in hard_labels
+        ) and overdraft_j != 0.0:  # jglint: disable=JG004
+            violations.append(
+                f"{tag}: hard-tier session overdrafted "
+                f"{overdraft_j:.6f} J"
+            )
+        enforcement = report["enforcement"] or {}
+        ok, reason = monotone_transitions(
+            enforcement.get("transitions", [])
+        )
+        if not ok:
+            violations.append(f"{tag}: {reason}")
+        # Inflation is a configured constant (the sweep's own input),
+        # not a measured quantity: exact equality is the honest test.
+        if outcome["inflation"] == 1.0:  # jglint: disable=JG004
+            if outcome["killed"]:
+                violations.append(f"{tag}: honest session was killed")
+            reached = [Tier.NOMINAL.label] + [
+                t["to"] for t in enforcement.get("transitions", [])
+            ]
+            if any(label in hard_labels for label in reached):
+                violations.append(
+                    f"{tag}: honest session reached a hard tier"
+                )
+    conserved = (
+        stats["global_budget_j"]
+        - stats["committed_budget_j"]
+        - stats["available_budget_j"]
+    )
+    spent_j = global_budget_j - stats["available_budget_j"]
+    if stats["available_budget_j"] < -1e-6:
+        violations.append(
+            f"pool overcommitted by {-stats['available_budget_j']:.6f} J"
+        )
+    if abs(conserved - spent_j) > 1e-6 * max(global_budget_j, 1.0):
+        violations.append("pool accounting does not balance")
+    replay, _ = one_pass()
+    for first, second in zip(outcomes, replay):
+        same = (
+            first["killed"] == second["killed"]
+            and first["report"]["steps"] == second["report"]["steps"]
+            and first["report"]["enforcement"]
+            == second["report"]["enforcement"]
+        )
+        if not same:
+            violations.append(
+                f"inflation {first['inflation']:g}: replay diverged"
+            )
+    return {
+        "inflations": list(inflations),
+        "steps": steps,
+        "sessions": [
+            {
+                "inflation": outcome["inflation"],
+                "killed": outcome["killed"],
+                "tier": outcome["report"]["tier"],
+                "steps": outcome["report"]["steps"],
+                "hard_overdraft_j": outcome["report"][
+                    "hard_overdraft_j"
+                ],
+                "transitions": (
+                    outcome["report"]["enforcement"] or {}
+                ).get("transitions", []),
+            }
+            for outcome in outcomes
+        ],
+        "stats": stats,
+        "passed": not violations,
+        "violations": violations,
     }
 
 

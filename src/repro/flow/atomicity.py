@@ -304,7 +304,7 @@ class AsyncAtomicityRule(FlowRule):
         "await/async-with suspension point without a guarding lock "
         "(asyncio interleaving can clobber concurrent updates)"
     )
-    components = ("service", "faults")
+    components = ("service", "faults", "enforce", "obs")
 
     def check_project(
         self, project: ProjectContext, callgraph: CallGraph

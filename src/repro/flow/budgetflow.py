@@ -357,7 +357,7 @@ class ZeroSumBudgetRule(FlowRule):
         "raising transfer in a loop without rollback, or absolute "
         "revision) — the pool stops being zero-sum"
     )
-    components = ("core", "service", "faults")
+    components = ("core", "service", "faults", "enforce", "obs")
 
     def check_project(
         self, project: ProjectContext, callgraph: CallGraph

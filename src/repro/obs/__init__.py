@@ -1,0 +1,48 @@
+"""repro.obs: zero-dependency observability for the JouleGuard daemon.
+
+Production enforcement (:mod:`repro.enforce`) is only trustworthy if
+operators can *watch* it: budget burn-down, tier transitions, and
+controller state have to be visible while sessions run, not after.
+This package provides that surface without adding a dependency:
+
+* :mod:`~repro.obs.registry` — an in-process metrics registry
+  (counters, gauges, histograms, with labels);
+* :mod:`~repro.obs.prom` — Prometheus text-format exposition
+  (rendering, escaping, and a small parser used by tests and CI);
+* :mod:`~repro.obs.http` — an asyncio HTTP endpoint serving
+  ``GET /metrics`` (hosted by the service daemon);
+* :mod:`~repro.obs.events` — a bounded structured event log with
+  cursor-based reads (the daemon's ``events`` protocol verb);
+* :mod:`~repro.obs.dash` — an ASCII dashboard
+  (``python -m repro dash``) streaming per-session pole, epsilon,
+  budget burn-down, and enforcement transitions over the JSON-lines
+  protocol, rendered with :mod:`repro.runtime.ascii_plot`.
+"""
+
+from .dash import DashboardState, render_dashboard, run_dash
+from .events import Event, EventLog
+from .http import MetricsHTTPServer
+from .prom import parse_text, render_text
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+
+__all__ = [
+    "Counter",
+    "DashboardState",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "Sample",
+    "parse_text",
+    "render_dashboard",
+    "render_text",
+    "run_dash",
+]

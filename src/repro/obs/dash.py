@@ -1,0 +1,226 @@
+"""ASCII dashboard for a running JouleGuard daemon.
+
+``python -m repro dash`` connects to the daemon over the normal
+JSON-lines protocol, polls the ``metrics`` and ``events`` verbs, and
+renders a terminal view of live sessions::
+
+    JouleGuard daemon -- 2 open / 5 opened / 17432 steps / 812.4 J
+      budget  [████████▃           ]  41.3% committed of 2.0e+03 J
+      alpha   pole 0.834  eps 0.041  tier nominal
+              burn [███▂                ]  16.2%  pole ▂▃▅▆▇██▇▇▇
+      bravo   pole 0.412  eps 0.212  tier throttle
+              burn [████████████████▅   ]  83.1%  pole ▇▆▅▄▃▂▁▁▁▁
+    events:
+      [ 14] tier_transition session=bravo degrade->throttle step=96
+
+Rendering reuses :mod:`repro.runtime.ascii_plot` (sparklines and the
+:func:`~repro.runtime.ascii_plot.hbar` burn-down bars) — the dashboard
+adds state tracking and layout, not another plotter.
+
+:class:`DashboardState` is pure (ingest dicts, render text), so tests
+can drive it without a socket; :func:`run_dash` owns the poll loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+)
+
+from ..runtime.ascii_plot import hbar, sparkline
+
+__all__ = ["DashboardState", "render_dashboard", "run_dash"]
+
+#: Per-session gauge families the dashboard tracks, keyed by their
+#: ``session`` label.
+_SESSION_GAUGES = (
+    "jg_session_pole",
+    "jg_session_epsilon",
+    "jg_session_budget_burn_ratio",
+    "jg_session_tier",
+    "jg_session_overdraft_joules",
+)
+
+_TIER_LABELS = ("nominal", "advise", "degrade", "throttle", "kill")
+
+_HISTORY = 120
+_EVENT_TAIL = 8
+
+
+class DashboardState:
+    """Tracked daemon state: latest samples plus short histories."""
+
+    def __init__(self, history: int = _HISTORY) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        self.totals: Dict[str, float] = {}
+        self.sessions: Dict[str, Dict[str, float]] = {}
+        self.pole_history: Dict[str, Deque[float]] = {}
+        self.burn_history: Dict[str, Deque[float]] = {}
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=64)
+        self.cursor = 0
+        self.frames = 0
+
+    def ingest_samples(self, samples: Sequence[Dict[str, Any]]) -> None:
+        """Fold one ``metrics`` response into the state."""
+        seen: Dict[str, Dict[str, float]] = {}
+        for sample in samples:
+            name = str(sample.get("name", ""))
+            labels = sample.get("labels") or {}
+            value = float(sample.get("value", 0.0))
+            if name in _SESSION_GAUGES and "session" in labels:
+                session = str(labels["session"])
+                seen.setdefault(session, {})[name] = value
+            elif not labels:
+                self.totals[name] = value
+        self.sessions = seen
+        for session, gauges in seen.items():
+            pole = self.pole_history.setdefault(
+                session, deque(maxlen=self.history)
+            )
+            if "jg_session_pole" in gauges:
+                pole.append(gauges["jg_session_pole"])
+            burn = self.burn_history.setdefault(
+                session, deque(maxlen=self.history)
+            )
+            if "jg_session_budget_burn_ratio" in gauges:
+                burn.append(gauges["jg_session_budget_burn_ratio"])
+        # Histories of closed sessions stay until the dashboard exits:
+        # the final frame should still show what happened to them.
+        self.frames += 1
+
+    def ingest_events(
+        self, events: Sequence[Dict[str, Any]], next_cursor: int
+    ) -> None:
+        """Fold one ``events`` response into the state."""
+        for event in events:
+            self.events.append(dict(event))
+        self.cursor = max(self.cursor, int(next_cursor))
+
+
+def _format_event(event: Dict[str, Any]) -> str:
+    seq = event.get("seq", "?")
+    kind = str(event.get("kind", "event"))
+    rest = " ".join(
+        f"{key}={event[key]}"
+        for key in sorted(event)
+        if key not in ("seq", "kind")
+    )
+    return f"[{seq:>4}] {kind} {rest}".rstrip()
+
+
+def _tier_label(value: float) -> str:
+    index = int(value)
+    if 0 <= index < len(_TIER_LABELS):
+        return _TIER_LABELS[index]
+    return f"tier{index}"
+
+
+def render_dashboard(state: DashboardState, width: int = 72) -> str:
+    """One frame of the dashboard as a plain string."""
+    totals = state.totals
+    bar_width = max(10, min(24, width // 3))
+    spark_width = max(10, min(30, width // 3))
+    lines: List[str] = []
+    lines.append(
+        "JouleGuard daemon -- "
+        f"{totals.get('jg_sessions_open', 0):.0f} open / "
+        f"{totals.get('jg_sessions_opened_total', 0):.0f} opened / "
+        f"{totals.get('jg_steps_total', 0):.0f} steps / "
+        f"{totals.get('jg_energy_spent_joules_total', 0):.1f} J"
+    )
+    global_j = totals.get("jg_budget_global_joules", 0.0)
+    committed_j = totals.get("jg_budget_committed_joules", 0.0)
+    if global_j > 0:
+        fraction = committed_j / global_j
+        lines.append(
+            f"  budget  [{hbar(fraction, bar_width)}] "
+            f"{100 * fraction:5.1f}% committed of {global_j:.3g} J"
+        )
+    for session in sorted(state.sessions):
+        gauges = state.sessions[session]
+        tier = _tier_label(gauges.get("jg_session_tier", 0.0))
+        lines.append(
+            f"  {session:<12} "
+            f"pole {gauges.get('jg_session_pole', 0.0):6.3f}  "
+            f"eps {gauges.get('jg_session_epsilon', 0.0):6.3f}  "
+            f"tier {tier}"
+        )
+        burn = gauges.get("jg_session_budget_burn_ratio", 0.0)
+        poles = state.pole_history.get(session, ())
+        detail = (
+            f"  {'':<12} burn [{hbar(burn, bar_width)}] "
+            f"{100 * min(burn, 1.0):5.1f}%"
+        )
+        if len(poles) >= 2:
+            detail += f"  pole {sparkline(list(poles), spark_width)}"
+        lines.append(detail)
+        overdraft = gauges.get("jg_session_overdraft_joules", 0.0)
+        if overdraft > 0:
+            lines.append(
+                f"  {'':<12} !! hard overdraft {overdraft:.3g} J"
+            )
+    if not state.sessions:
+        lines.append("  (no open sessions)")
+    if state.events:
+        lines.append("events:")
+        tail = list(state.events)[-_EVENT_TAIL:]
+        for event in tail:
+            lines.append(f"  {_format_event(event)}")
+    return "\n".join(lines)
+
+
+def poll_once(client: Any, state: DashboardState) -> None:
+    """Fetch one metrics + events round and fold it into ``state``."""
+    metrics = client.request({"type": "metrics"})
+    state.ingest_samples(metrics.get("samples", []))
+    events = client.request({"type": "events", "since": state.cursor})
+    state.ingest_events(
+        events.get("events", []), int(events.get("next", state.cursor))
+    )
+
+
+def run_dash(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    interval_s: float = 1.0,
+    frames: Optional[int] = None,
+    out: Optional[TextIO] = None,
+    clear: bool = True,
+) -> DashboardState:
+    """Poll the daemon and stream dashboard frames to ``out``.
+
+    ``frames`` bounds the number of frames (``None`` streams until the
+    connection drops or the user interrupts); tests and ``--once`` use
+    ``frames=1``.  Returns the final state.
+    """
+    from ..service.client import ServiceClient
+
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    stream = out if out is not None else sys.stdout
+    state = DashboardState()
+    with ServiceClient(
+        host=host, port=port, unix_path=unix_path
+    ) as client:
+        while frames is None or state.frames < frames:
+            if state.frames:
+                time.sleep(interval_s)
+            poll_once(client, state)
+            frame = render_dashboard(state)
+            if clear and state.frames > 1:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame + "\n")
+            stream.flush()
+    return state

@@ -1,0 +1,81 @@
+"""A bounded, structured event log with cursor-based reads.
+
+The daemon appends one :class:`Event` per noteworthy state change —
+session opened/closed/killed, enforcement tier transition, budget
+revision — and serves them through the ``events`` protocol verb.
+Consumers (the dashboard, tests, CI) poll with the last sequence
+number they saw; the log answers everything newer, so a slow consumer
+misses nothing until the ring wraps.
+
+Events are deterministic by construction: they carry a monotonically
+increasing sequence number and whatever fields the producer recorded
+(step indices, joules, tiers) — no wall-clock timestamp is required,
+which keeps chaos-harness runs replayable byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log entry."""
+
+    seq: int
+    kind: str
+    fields: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"seq": self.seq, "kind": self.kind}
+        payload.update(self.fields)
+        return payload
+
+
+class EventLog:
+    """Ring buffer of :class:`Event` with an ever-increasing cursor."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._next_seq = 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended event will get."""
+        return self._next_seq
+
+    def append(self, kind: str, **fields: Any) -> Event:
+        """Record one event; returns it (with its sequence number)."""
+        if not kind:
+            raise ValueError("event kind cannot be empty")
+        event = Event(seq=self._next_seq, kind=kind, fields=dict(fields))
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def since(
+        self, seq: int = 0, limit: Optional[int] = None
+    ) -> List[Event]:
+        """Events with a sequence number strictly greater than ``seq``."""
+        if seq < 0:
+            raise ValueError("cursor cannot be negative")
+        newer = [event for event in self._events if event.seq > seq]
+        if limit is not None:
+            newer = newer[: max(0, limit)]
+        return newer
+
+    def tail(self, n: int = 10) -> List[Event]:
+        """The most recent ``n`` events, oldest first."""
+        if n < 0:
+            raise ValueError("tail length cannot be negative")
+        return list(self._events)[-n:] if n else []

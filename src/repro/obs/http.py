@@ -1,0 +1,129 @@
+"""A minimal asyncio HTTP endpoint for Prometheus scrapes.
+
+The daemon hosts this next to its JSON-lines socket so a scraper (or
+``curl`` in CI) can ``GET /metrics`` without speaking the repro
+protocol.  Only what a scraper needs is implemented:
+
+* ``GET /metrics`` — the registry rendered with
+  :func:`repro.obs.prom.render_text`;
+* ``GET /healthz`` — ``ok`` (liveness probe);
+* anything else — 404.
+
+Requests are read up to the blank line and the rest is ignored; the
+connection is closed after each response (``Connection: close``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from .prom import CONTENT_TYPE, render_text
+from .registry import MetricsRegistry
+
+__all__ = ["MetricsHTTPServer"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsHTTPServer:
+    """Serves ``GET /metrics`` for one :class:`MetricsRegistry`."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("metrics server is not running")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port
+        )
+
+    async def aclose(self) -> None:
+        # Capture-and-clear before any await (jgflow JGF101): a second
+        # aclose racing this one sees None and no-ops instead of
+        # closing the same server twice.
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.close()
+        await server.wait_closed()
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await reader.readline()
+            if not request or len(request) > _MAX_REQUEST_BYTES:
+                return
+            # Drain headers up to the blank line; their content is
+            # irrelevant to a scrape.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            writer.write(self._respond(request))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _respond(self, request_line: bytes) -> bytes:
+        try:
+            method, path, _ = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return _response(400, "text/plain", "bad request\n")
+        path = path.split("?", 1)[0]
+        if method != "GET":
+            return _response(405, "text/plain", "method not allowed\n")
+        if path == "/metrics":
+            return _response(200, CONTENT_TYPE, render_text(self.registry))
+        if path == "/healthz":
+            return _response(200, "text/plain", "ok\n")
+        return _response(404, "text/plain", "not found\n")
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+}
+
+
+def _response(status: int, content_type: str, body: str) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload

@@ -1,0 +1,181 @@
+"""Prometheus text exposition format (version 0.0.4).
+
+:func:`render_text` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the ``text/plain; version=0.0.4`` body a Prometheus scraper
+expects::
+
+    # HELP jg_sessions_open Live sessions hosted by the daemon.
+    # TYPE jg_sessions_open gauge
+    jg_sessions_open 3
+    jg_requests_total{ok="true",type="step"} 1204
+
+Output is deterministic: families in name order, children in
+label-value order, label names sorted within a sample.  Escaping
+follows the spec — ``\\``, ``"`` and newlines in label values;
+``\\`` and newlines in help text.
+
+:func:`parse_text` is the inverse for well-formed output.  It exists
+so the property tests can assert a lossless round-trip (including
+escaping) and so CI can scrape the live endpoint and assert required
+families — it is not a general Prometheus parser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .registry import MetricsRegistry, Sample
+
+__all__ = [
+    "escape_help",
+    "escape_label_value",
+    "parse_text",
+    "render_text",
+    "unescape_label_value",
+]
+
+#: Content type of the exposition (what the HTTP endpoint serves).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP line: backslashes and newlines."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslashes, quotes, and newlines."""
+    return (
+        value.replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    """Left-to-right unescape of ``\\\\``, ``\\n``, and ``\\"``."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    return _unescape(value)
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_sample(sample: Sample) -> str:
+    if not sample.labels:
+        return f"{sample.name} {_format_value(sample.value)}"
+    labels = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in sorted(sample.labels)
+    )
+    return f"{sample.name}{{{labels}}} {_format_value(sample.value)}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """The full exposition body for one registry (trailing newline)."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(
+            f"# HELP {metric.name} {escape_help(metric.help_text)}"
+        )
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        for sample in metric.samples():
+            lines.append(_render_sample(sample))
+    return "\n".join(lines) + "\n"
+
+
+def _split_labels(body: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse the inside of ``{...}`` respecting escaped quotes."""
+    items: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        eq = body.index("=", index)
+        name = body[index:eq]
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {body[eq:]!r}")
+        cursor = eq + 2
+        raw: List[str] = []
+        while True:
+            char = body[cursor]
+            if char == "\\":
+                raw.append(body[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        items.append((name, unescape_label_value("".join(raw))))
+        index = cursor + 1
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError(f"junk after label near {body[index:]!r}")
+            index += 1
+    return tuple(items)
+
+
+def parse_text(
+    text: str,
+) -> Tuple[Dict[str, Tuple[str, str]], List[Sample]]:
+    """Parse exposition text back into ``(families, samples)``.
+
+    ``families`` maps metric name to ``(type, help)``; ``samples`` is
+    the flat sample list with labels unescaped.  Raises ``ValueError``
+    on lines the renderer could not have produced.
+    """
+    families: Dict[str, Tuple[str, str]] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Sample] = []
+    # Split on literal newlines only: splitlines() also breaks on
+    # Unicode line separators (U+2028, \x1c..\x1e, ...), which are
+    # legal *inside* an escaped label value.
+    for line in text.split("\n"):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP ") :].partition(" ")
+            helps[name] = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            name, _, type_name = line[len("# TYPE ") :].partition(" ")
+            families[name] = (type_name.strip(), helps.get(name, ""))
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            body, _, value = rest.rpartition("} ")
+            labels = _split_labels(body)
+        else:
+            name, _, value = line.rpartition(" ")
+            labels = ()
+        samples.append(Sample(name, labels, float(value)))
+    return families, samples

@@ -52,6 +52,26 @@ def _resample(values: Sequence[float], width: int) -> List[float]:
     return resampled
 
 
+def hbar(fraction: float, width: int = 20) -> str:
+    """A horizontal bar filling ``fraction`` of ``width`` cells.
+
+    Fractions are clamped to [0, 1]; partial cells render with the
+    sparkline glyph ramp so a 0.5 %-of-a-cell change is still visible.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    fraction = min(max(float(fraction), 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    bar = "█" * full
+    if full < width:
+        remainder = cells - full
+        level = int(round(remainder * (len(_SPARK_LEVELS) - 1)))
+        bar += _SPARK_LEVELS[level]
+        bar += " " * (width - full - 1)
+    return bar
+
+
 def chart(
     values: Sequence[float],
     height: int = 8,

@@ -13,8 +13,11 @@ Layers, bottom to top:
   codecs;
 * :mod:`~repro.service.state` — learned-state snapshots and the
   :class:`SnapshotStore`;
+* :mod:`~repro.service.telemetry` — the daemon's metrics registry and
+  event log (the :mod:`repro.obs` glue);
 * :mod:`~repro.service.sessions` — the :class:`SessionManager`:
-  admission control, the shared budget pool, cross-session rebalance;
+  admission control, the shared budget pool, cross-session rebalance,
+  and the per-session enforcement ladder (:mod:`repro.enforce`);
 * :mod:`~repro.service.server` — the asyncio daemon (:func:`serve`,
   :class:`ServerThread`);
 * :mod:`~repro.service.client` — the blocking :class:`ServiceClient`
@@ -27,6 +30,7 @@ from .client import (
     RetryPolicy,
     ServiceClient,
     ServiceError,
+    SessionKilledError,
     SessionRun,
     drive_synthetic_session,
     run_load,
@@ -48,7 +52,7 @@ from .protocol import (
     sensor_ok_from_payload,
 )
 from .server import RID_CACHE_MAX, ServerThread, ServiceServer, serve
-from .sessions import Session, SessionError, SessionManager
+from .sessions import Session, SessionError, SessionKilled, SessionManager
 from .state import (
     STATE_VERSION,
     SnapshotError,
@@ -60,6 +64,7 @@ from .state import (
     loads_state,
     validate_state,
 )
+from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ERROR_CODES",
@@ -75,8 +80,11 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "ServiceTelemetry",
     "Session",
     "SessionError",
+    "SessionKilled",
+    "SessionKilledError",
     "SessionManager",
     "SessionRun",
     "SnapshotError",

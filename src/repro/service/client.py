@@ -23,7 +23,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..apps import build_application
 from ..core.types import Measurement
@@ -43,6 +43,7 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "SessionKilledError",
     "SessionRun",
     "drive_synthetic_session",
     "run_load",
@@ -56,6 +57,23 @@ class ServiceError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class SessionKilledError(ServiceError):
+    """The daemon's enforcement ladder terminated the session.
+
+    Raised by :meth:`ServiceClient.step` when the step response says
+    ``killed``.  The session is already closed daemon-side with its
+    budget retired; :attr:`report` is its final report.
+    """
+
+    def __init__(self, report: Dict[str, Any]) -> None:
+        session = report.get("session", "?")
+        super().__init__(
+            "session_killed",
+            f"session {session} was killed by the enforcement ladder",
+        )
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -286,7 +304,12 @@ class ServiceClient:
     def step(
         self, session: str, measurement: Measurement
     ) -> Dict[str, Any]:
-        """Send one heartbeat; return the next decision payload."""
+        """Send one heartbeat; return the next decision payload.
+
+        Raises :class:`SessionKilledError` (carrying the final report)
+        when the daemon's enforcement ladder terminated the session
+        instead of answering with a decision.
+        """
         response = self.request(
             {
                 "type": "step",
@@ -294,7 +317,13 @@ class ServiceClient:
                 "measurement": measurement_payload(measurement),
             }
         )
-        return response["decision"]
+        if response.get("killed", False):
+            raise SessionKilledError(response.get("report", {}))
+        decision = dict(response["decision"])
+        decision["enforcement"] = response.get(
+            "enforcement", {"tier": "nominal", "throttle_s": 0.0}
+        )
+        return decision
 
     def report(self, session: str) -> Dict[str, Any]:
         return self.request({"type": "report", "session": session})[
@@ -312,6 +341,21 @@ class ServiceClient:
             "report"
         ]
 
+    def metrics(self) -> List[Dict[str, Any]]:
+        """The daemon's metric samples (name/labels/value dicts)."""
+        return self.request({"type": "metrics"})["samples"]
+
+    def events(
+        self, since: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Events newer than ``since``; returns ``(events, cursor)``.
+
+        Pass the returned cursor back as ``since`` to poll without
+        re-reading (the dashboard's loop).
+        """
+        response = self.request({"type": "events", "since": since})
+        return response["events"], int(response["next"])
+
 
 # -- synthetic closed loop ----------------------------------------------------
 @dataclass
@@ -325,6 +369,7 @@ class SessionRun:
     step_latencies_s: List[float] = field(default_factory=list)
     report: Dict[str, Any] = field(default_factory=dict)
     state: Optional[Dict[str, Any]] = None
+    killed: bool = False
 
     def convergence_step(self, epsilon_threshold: float = 0.2) -> int:
         """First step whose decision has ε below the threshold.
@@ -402,7 +447,15 @@ def drive_synthetic_session(
             power_w=result.measured_power_w,
         )
         sent_s = time.perf_counter()
-        decision = client.step(run.session, measurement)
+        try:
+            decision = client.step(run.session, measurement)
+        except SessionKilledError as exc:
+            # The daemon terminated the session (hard budget bound);
+            # its final report is the run's report.
+            run.killed = True
+            run.report = exc.report
+            run.step_latencies_s.append(time.perf_counter() - sent_s)
+            return run
         run.step_latencies_s.append(time.perf_counter() - sent_s)
         run.decisions.append(decision)
     if take_snapshot:
@@ -417,7 +470,13 @@ def drive_synthetic_session(
 # -- load generation ----------------------------------------------------------
 @dataclass(frozen=True)
 class LoadReport:
-    """Aggregate results of one load-generation run."""
+    """Aggregate results of one load-generation run.
+
+    ``client_steps_per_s`` is each client's own throughput (its step
+    count over the wall-clock of the whole run); the spread between
+    min and max exposes unfair scheduling that the aggregate
+    ``steps_per_s`` hides.
+    """
 
     n_clients: int
     steps_per_client: int
@@ -427,9 +486,20 @@ class LoadReport:
     steps_per_s: float
     p50_step_latency_s: float
     p95_step_latency_s: float
+    p99_step_latency_s: float
+    client_steps_per_s: List[float]
     errors: int
 
+    @property
+    def mean_client_steps_per_s(self) -> float:
+        if not self.client_steps_per_s:
+            return 0.0
+        return sum(self.client_steps_per_s) / len(
+            self.client_steps_per_s
+        )
+
     def as_dict(self) -> Dict[str, Any]:
+        per_client = self.client_steps_per_s
         return {
             "n_clients": self.n_clients,
             "steps_per_client": self.steps_per_client,
@@ -439,6 +509,10 @@ class LoadReport:
             "steps_per_s": self.steps_per_s,
             "p50_step_latency_ms": self.p50_step_latency_s * 1e3,
             "p95_step_latency_ms": self.p95_step_latency_s * 1e3,
+            "p99_step_latency_ms": self.p99_step_latency_s * 1e3,
+            "client_steps_per_s_mean": self.mean_client_steps_per_s,
+            "client_steps_per_s_min": min(per_client, default=0.0),
+            "client_steps_per_s_max": max(per_client, default=0.0),
             "errors": self.errors,
         }
 
@@ -533,5 +607,9 @@ def run_load(
         steps_per_s=len(flat) / elapsed_s,
         p50_step_latency_s=_percentile(flat, 0.50),
         p95_step_latency_s=_percentile(flat, 0.95),
+        p99_step_latency_s=_percentile(flat, 0.99),
+        client_steps_per_s=[
+            len(chunk) / elapsed_s for chunk in latencies
+        ],
         errors=sum(1 for failure in failures if failure is not None),
     )

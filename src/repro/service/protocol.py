@@ -1,4 +1,4 @@
-"""The JouleGuard service wire protocol (version 1).
+"""The JouleGuard service wire protocol (version 2).
 
 Newline-delimited JSON over a stream socket (TCP or Unix): every
 request and every response is one JSON object on one line.  Requests
@@ -6,8 +6,8 @@ carry a ``type`` and the fields of that operation; responses carry
 ``ok`` (bool) plus either the operation's payload or a structured
 ``error`` object::
 
-    -> {"type": "hello", "version": 1}
-    <- {"ok": true, "type": "hello", "version": 1, "sessions": 0}
+    -> {"type": "hello", "version": 2}
+    <- {"ok": true, "type": "hello", "version": 2, "sessions": 0}
     -> {"type": "open_session", "machine": "tablet", "app": "x264",
         "factor": 1.5, "total_work": 200, "seed": 7}
     <- {"ok": true, "type": "open_session", "session": "s000001",
@@ -15,14 +15,22 @@ carry a ``type`` and the fields of that operation; responses carry
     -> {"type": "step", "session": "s000001",
         "measurement": {"work": 1, "energy_j": 0.6,
                         "rate": 31.2, "power_w": 19.8}}
-    <- {"ok": true, "type": "step", "decision": {...}}
+    <- {"ok": true, "type": "step", "decision": {...},
+        "enforcement": {"tier": "nominal", "throttle_s": 0.0}}
 
 Request types: ``hello``, ``open_session``, ``step``, ``report``,
-``snapshot``, ``close``.  Error codes are stable strings
-(:data:`ERROR_CODES`) so clients can branch without parsing messages.
-The protocol is versioned: ``hello`` negotiates
+``snapshot``, ``close``, ``metrics``, ``events``.  Error codes are
+stable strings (:data:`ERROR_CODES`) so clients can branch without
+parsing messages.  The protocol is versioned: ``hello`` negotiates
 :data:`PROTOCOL_VERSION`, and learned-state snapshots embed their own
 format version (:mod:`repro.service.state`).
+
+Version 2 (enforcement + observability) adds the ``metrics`` and
+``events`` verbs, the ``enforcement`` object on ``step`` responses,
+and the ``killed`` step outcome: when the enforcement ladder
+terminates a session, the step response carries ``killed: true`` plus
+the final (budget-retired) session ``report`` instead of a decision;
+clients surface that as the stable error code ``session_killed``.
 """
 
 from __future__ import annotations
@@ -52,7 +60,7 @@ __all__ = [
 ]
 
 #: Wire protocol version negotiated by ``hello``.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one encoded message (guards the server's readline).
 MAX_LINE_BYTES = 1_000_000
@@ -65,6 +73,8 @@ REQUEST_TYPES = (
     "report",
     "snapshot",
     "close",
+    "metrics",
+    "events",
 )
 
 #: Stable error codes carried in ``error.code``.
@@ -78,6 +88,7 @@ ERROR_CODES = (
     "unknown_application",
     "unknown_machine",
     "snapshot_mismatch",
+    "session_killed",
     "internal",
 )
 

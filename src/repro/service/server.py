@@ -22,9 +22,11 @@ import asyncio
 import contextlib
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
+from ..obs.http import MetricsHTTPServer
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -38,7 +40,7 @@ from .protocol import (
     request_id_of,
     sensor_ok_from_payload,
 )
-from .sessions import SessionError, SessionManager
+from .sessions import SessionError, SessionKilled, SessionManager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.models import RequestChaos
@@ -74,6 +76,12 @@ class ServiceServer:
         deterministic request/response drops and delays in front of the
         dispatcher (fault-injection testing only; ``None`` in
         production).
+    metrics_host / metrics_port:
+        When ``metrics_host`` is given, an HTTP endpoint serving
+        ``GET /metrics`` (Prometheus text format, from the manager's
+        telemetry registry) is hosted alongside the protocol listeners;
+        ``metrics_port=0`` picks a free port (see
+        :attr:`metrics_address` after :meth:`start`).
     """
 
     def __init__(
@@ -84,6 +92,8 @@ class ServiceServer:
         unix_path: Optional[str] = None,
         reap_interval_s: float = 5.0,
         chaos: Optional["RequestChaos"] = None,
+        metrics_host: Optional[str] = None,
+        metrics_port: int = 0,
     ) -> None:
         if host is None and unix_path is None:
             raise ValueError("need a TCP host and/or a unix socket path")
@@ -95,6 +105,9 @@ class ServiceServer:
         self.unix_path = unix_path
         self.reap_interval_s = reap_interval_s
         self.chaos = chaos
+        self.metrics_host = metrics_host
+        self.metrics_port = metrics_port
+        self._metrics_http: Optional[MetricsHTTPServer] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._unix_server: Optional[asyncio.AbstractServer] = None
         self._reaper: Optional[asyncio.Task] = None
@@ -120,6 +133,14 @@ class ServiceServer:
             self._unix_server = await asyncio.start_unix_server(
                 self._serve_connection, path=self.unix_path
             )
+        if self.metrics_host is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.manager.telemetry.registry,
+                host=self.metrics_host,
+                port=self.metrics_port,
+            )
+            await self._metrics_http.start()
+            self.metrics_port = self._metrics_http.address[1]
         self._reaper = asyncio.get_running_loop().create_task(
             self._reap_forever()
         )
@@ -130,6 +151,13 @@ class ServiceServer:
         if self.host is None:
             return None
         return (self.host, self.port)
+
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """The bound metrics ``(host, port)``, when enabled."""
+        if self.metrics_host is None:
+            return None
+        return (self.metrics_host, self.metrics_port)
 
     async def aclose(self) -> None:
         """Stop listeners, the reaper, and close every live session.
@@ -143,6 +171,7 @@ class ServiceServer:
         servers = (self._tcp_server, self._unix_server)
         self._tcp_server = None
         self._unix_server = None
+        metrics_http, self._metrics_http = self._metrics_http, None
         if reaper is not None:
             reaper.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -151,6 +180,8 @@ class ServiceServer:
             if server is not None:
                 server.close()
                 await server.wait_closed()
+        if metrics_http is not None:
+            await metrics_http.aclose()
         if self.unix_path is not None and os.path.exists(self.unix_path):
             os.unlink(self.unix_path)
         self.manager.close_all()
@@ -195,6 +226,12 @@ class ServiceServer:
                     # The rid cache is what lets a retry recover this.
                     self.chaos_dropped_responses += 1
                     break
+                # THROTTLE tier: duty-cycle the session's step loop by
+                # holding the response back — the client cannot send
+                # its next heartbeat until this one is answered.
+                throttle_s = _throttle_of(response)
+                if throttle_s > 0.0:
+                    await asyncio.sleep(throttle_s)
                 writer.write(encode_message(response))
                 try:
                     await writer.drain()
@@ -216,7 +253,10 @@ class ServiceServer:
         Error envelopes are never cached — a retry should re-attempt the
         operation, since the failure may have been transient.
         """
+        started_s = time.perf_counter()
+        request_type = "invalid"
         rid: Optional[str] = None
+        cache = True
         try:
             message = decode_message(line)
             rid = request_id_of(message)
@@ -227,19 +267,27 @@ class ServiceServer:
             request_type, fields = parse_request(message)
             response = self._dispatch(request_type, fields)
         except ProtocolError as exc:
-            return error_response(exc.code, exc.message)
+            cache = False
+            response = error_response(exc.code, exc.message)
         except SessionError as exc:
-            return error_response(exc.code, exc.message)
+            cache = False
+            response = error_response(exc.code, exc.message)
         except Exception as exc:  # daemon must answer every request
-            return error_response(
+            cache = False
+            response = error_response(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
-        if rid is not None:
+        if cache and rid is not None:
             response = dict(response)
             response["rid"] = rid
             self._rid_cache[rid] = response
             while len(self._rid_cache) > RID_CACHE_MAX:
                 self._rid_cache.popitem(last=False)
+        self.manager.telemetry.record_request(
+            request_type,
+            bool(response.get("ok", False)),
+            time.perf_counter() - started_s,
+        )
         return response
 
     def _dispatch(
@@ -313,13 +361,26 @@ class ServiceServer:
         session_id = self._require_session(fields)
         payload = fields.get("measurement")
         measurement = measurement_from_payload(payload)
-        decision = self.manager.step(
-            session_id,
-            measurement,
-            sensor_ok=sensor_ok_from_payload(payload),
-        )
+        try:
+            decision = self.manager.step(
+                session_id,
+                measurement,
+                sensor_ok=sensor_ok_from_payload(payload),
+            )
+        except SessionKilled as exc:
+            # The kill already closed the session and retired its
+            # budget; answer ok (and rid-cacheable, so a retried step
+            # replays the same outcome) with the final report.
+            return ok_response(
+                "step",
+                killed=True,
+                report=exc.report,
+                enforcement={"tier": "kill", "throttle_s": 0.0},
+            )
         return ok_response(
-            "step", decision=decision_payload(decision)
+            "step",
+            decision=decision_payload(decision),
+            enforcement=self.manager.enforcement_of(session_id),
         )
 
     def _handle_report(self, fields: Dict[str, Any]) -> Dict[str, Any]:
@@ -341,6 +402,38 @@ class ServiceServer:
             "close", report=self.manager.close(session_id)
         )
 
+    def _handle_metrics(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        registry = self.manager.telemetry.registry
+        return ok_response(
+            "metrics",
+            samples=[sample.as_dict() for sample in registry.samples()],
+        )
+
+    def _handle_events(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        since = fields.get("since", 0)
+        if not isinstance(since, int) or isinstance(since, bool):
+            raise ProtocolError(
+                "bad_request", "'since' must be an integer cursor"
+            )
+        log = self.manager.telemetry.events
+        events = log.since(max(0, since))
+        return ok_response(
+            "events",
+            events=[event.as_dict() for event in events],
+            next=log.next_seq - 1,
+        )
+
+
+def _throttle_of(response: Dict[str, Any]) -> float:
+    """The duty-cycle sleep a response asks the server to inject."""
+    enforcement = response.get("enforcement")
+    if not isinstance(enforcement, dict):
+        return 0.0
+    throttle_s = enforcement.get("throttle_s", 0.0)
+    if not isinstance(throttle_s, (int, float)):
+        return 0.0
+    return max(0.0, float(throttle_s))
+
 
 async def _serve_until_cancelled(server: ServiceServer) -> None:
     await server.start()
@@ -357,6 +450,8 @@ def serve(
     unix_path: Optional[str] = None,
     reap_interval_s: float = 5.0,
     ready: Optional[Any] = None,
+    metrics_host: Optional[str] = None,
+    metrics_port: int = 0,
 ) -> None:
     """Run a daemon in the foreground until interrupted.
 
@@ -369,6 +464,8 @@ def serve(
         port=port,
         unix_path=unix_path,
         reap_interval_s=reap_interval_s,
+        metrics_host=metrics_host,
+        metrics_port=metrics_port,
     )
 
     async def _main() -> None:
@@ -404,6 +501,8 @@ class ServerThread:
         unix_path: Optional[str] = None,
         reap_interval_s: float = 5.0,
         chaos: Optional["RequestChaos"] = None,
+        metrics_host: Optional[str] = None,
+        metrics_port: int = 0,
     ) -> None:
         self.manager = manager
         self.server = ServiceServer(
@@ -413,6 +512,8 @@ class ServerThread:
             unix_path=unix_path,
             reap_interval_s=reap_interval_s,
             chaos=chaos,
+            metrics_host=metrics_host,
+            metrics_port=metrics_port,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -426,6 +527,10 @@ class ServerThread:
     @property
     def tcp_address(self) -> Optional[Tuple[str, int]]:
         return self.server.tcp_address
+
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        return self.server.metrics_address
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()

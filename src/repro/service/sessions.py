@@ -30,7 +30,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NoReturn,
+    Optional,
+    Tuple,
+)
 
 from ..apps import build_application
 from ..apps.base import ApproximateApplication
@@ -39,15 +47,24 @@ from ..core.budget import BudgetAccountant, EnergyGoal
 from ..core.contracts import ContractError
 from ..core.jouleguard import Decision, JouleGuardRuntime
 from ..core.types import Measurement
+from ..enforce.ladder import (
+    DEFAULT_LADDER,
+    EnforcementLadder,
+    LadderPolicy,
+    Tier,
+    overdraft_signal,
+)
 from ..hw import get_machine
 from ..hw.machine import Machine
 from ..runtime.harness import prior_shapes
 from ..runtime.oracle import default_energy_per_work, max_feasible_factor
 from .state import SnapshotError, SnapshotStore, apply_state, capture_state
+from .telemetry import ServiceTelemetry
 
 __all__ = [
     "Session",
     "SessionError",
+    "SessionKilled",
     "SessionManager",
 ]
 
@@ -59,6 +76,19 @@ class SessionError(RuntimeError):
         super().__init__(message)
         self.code = code
         self.message = message
+
+
+class SessionKilled(SessionError):
+    """The enforcement ladder terminated this session (hard bound).
+
+    Carries the session's final report — the budget is already retired
+    (the session is closed) by the time this is raised, so the caller's
+    only job is to relay the outcome.
+    """
+
+    def __init__(self, message: str, report: Dict[str, Any]) -> None:
+        super().__init__("session_killed", message)
+        self.report = report
 
 
 @dataclass
@@ -83,10 +113,17 @@ class Session:
     degraded: bool = False
     sensor_failures: int = 0
     reclaimed_j: float = 0.0
+    ladder: Optional[EnforcementLadder] = None
+    recent_step_energy_j: Optional[float] = None
+    throttle_s: float = 0.0
 
     @property
     def decision(self) -> Decision:
         return self.runtime.current_decision
+
+    @property
+    def tier(self) -> Tier:
+        return self.ladder.tier if self.ladder is not None else Tier.NOMINAL
 
 
 class SessionManager:
@@ -113,6 +150,16 @@ class SessionManager:
         the manager degrades it (pins its most conservative known-safe
         configuration and reclaims its forecast surplus) instead of
         letting it keep steering on untrustworthy feedback.
+    enforcement:
+        :class:`~repro.enforce.ladder.LadderPolicy` driving each
+        session's enforcement ladder (``ADVISE -> DEGRADE -> THROTTLE
+        -> KILL``); ``None`` disables enforcement entirely (the
+        pre-ladder behaviour, kept for A/B benchmarks).
+    telemetry:
+        :class:`~repro.service.telemetry.ServiceTelemetry` sink; a
+        fresh enabled one is created by default.  Pass
+        ``ServiceTelemetry.disabled()`` to measure instrumentation
+        overhead.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -127,6 +174,8 @@ class SessionManager:
         transfer_fraction: float = 0.5,
         smoothing: float = 0.25,
         degrade_after: int = 3,
+        enforcement: Optional[LadderPolicy] = DEFAULT_LADDER,
+        telemetry: Optional[ServiceTelemetry] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if global_budget_j <= 0:
@@ -144,6 +193,10 @@ class SessionManager:
         if degrade_after < 1:
             raise ValueError("degrade_after must be >= 1")
         self.degrade_after = degrade_after
+        self.enforcement = enforcement
+        self.telemetry = (
+            telemetry if telemetry is not None else ServiceTelemetry()
+        )
         self.global_budget_j = global_budget_j
         self.store = store if store is not None else SnapshotStore()
         self.idle_timeout_s = idle_timeout_s
@@ -160,6 +213,7 @@ class SessionManager:
         self.sessions_opened = 0
         self.sessions_rejected = 0
         self.sessions_degraded = 0
+        self.sessions_killed = 0
         self.warm_start_failures = 0
         self.budget_revisions: List[Dict[str, float]] = []
         self._admission_cache: Dict[
@@ -167,6 +221,7 @@ class SessionManager:
         ] = {}
         self._machines: Dict[str, Machine] = {}
         self._apps: Dict[str, ApproximateApplication] = {}
+        self._record_pool()
 
     # -- budget pool -----------------------------------------------------------
     @property
@@ -188,6 +243,13 @@ class SessionManager:
             self.global_budget_j
             - self._spent_closed_j
             - self.committed_budget_j
+        )
+
+    def _record_pool(self) -> None:
+        self.telemetry.record_pool(
+            self.global_budget_j,
+            self.committed_budget_j,
+            self.available_budget_j,
         )
 
     # -- model caches ----------------------------------------------------------
@@ -246,25 +308,19 @@ class SessionManager:
         machine = self._machine(machine_name)
         app = self._app(app_name)
         if not app.runs_on(machine.name):
-            self.sessions_rejected += 1
-            raise SessionError(
+            self._reject(
                 "bad_request",
                 f"{app_name} does not run on {machine_name}",
             )
         if factor < 1.0:
-            self.sessions_rejected += 1
-            raise SessionError(
+            self._reject(
                 "bad_request", "factor must be >= 1 (1 = default energy)"
             )
         if total_work <= 0:
-            self.sessions_rejected += 1
-            raise SessionError(
-                "bad_request", "total_work must be positive"
-            )
+            self._reject("bad_request", "total_work must be positive")
         default_epw, factor_limit = self._admission_limits(machine, app)
         if factor > factor_limit:
-            self.sessions_rejected += 1
-            raise SessionError(
+            self._reject(
                 "infeasible_goal",
                 f"factor {factor:g} exceeds the feasible limit "
                 f"{factor_limit:.2f} for {app_name} on {machine_name} "
@@ -272,8 +328,7 @@ class SessionManager:
             )
         needed_j = total_work * default_epw / factor
         if needed_j > self.available_budget_j + 1e-9:
-            self.sessions_rejected += 1
-            raise SessionError(
+            self._reject(
                 "budget_exhausted",
                 f"session needs {needed_j:.3f} J but only "
                 f"{max(self.available_budget_j, 0.0):.3f} J of the "
@@ -320,9 +375,20 @@ class SessionManager:
             last_active_s=now_s,
         )
         self._next_serial += 1
+        if self.enforcement is not None:
+            session.ladder = EnforcementLadder(policy=self.enforcement)
         self._sessions[session.session_id] = session
         self.sessions_opened += 1
+        self.telemetry.record_open(
+            session.session_id, len(self._sessions)
+        )
+        self._record_pool()
         return session
+
+    def _reject(self, code: str, message: str) -> NoReturn:
+        self.sessions_rejected += 1
+        self.telemetry.record_reject(code)
+        raise SessionError(code, message)
 
     def _get(self, session_id: str) -> Session:
         session = self._sessions.get(session_id)
@@ -350,15 +416,27 @@ class SessionManager:
         after :attr:`degrade_after` consecutive failures the session is
         degraded (see :meth:`_degrade`) rather than killed.  A healthy
         heartbeat clears the failure streak and resumes normal control.
+
+        After the controller runs, the heartbeat feeds the session's
+        enforcement ladder: tier transitions may pin the safe fallback,
+        set a duty-cycle sleep (:attr:`Session.throttle_s`), or — if
+        the hard bound is about to be breached — close the session and
+        raise :class:`SessionKilled` carrying the final report.
         """
         session = self._get(session_id)
         session.steps += 1
         session.last_active_s = self.clock()
         if not sensor_ok:
-            decision = self._step_without_sensor(session, measurement)
+            decision, energy_j = self._step_without_sensor(
+                session, measurement
+            )
         else:
             session.sensor_failures = 0
-            session.degraded = False
+            if session.tier < Tier.DEGRADE:
+                # A ladder-degraded session stays degraded until the
+                # ladder itself de-escalates; a healthy sensor only
+                # clears sensor-loss degradation.
+                session.degraded = False
             epw = measurement.energy_j / measurement.work
             if session.recent_epw is None:
                 session.recent_epw = epw
@@ -366,7 +444,15 @@ class SessionManager:
                 session.recent_epw += self.smoothing * (
                     epw - session.recent_epw
                 )
+            energy_j = measurement.energy_j
             decision = session.runtime.step(measurement)
+        if session.recent_step_energy_j is None:
+            session.recent_step_energy_j = energy_j
+        else:
+            session.recent_step_energy_j += self.smoothing * (
+                energy_j - session.recent_step_energy_j
+            )
+        decision = self._enforce(session, decision, energy_j)
         self._steps_since_rebalance += 1
         if self._steps_since_rebalance >= self.rebalance_period:
             self.rebalance()
@@ -375,7 +461,7 @@ class SessionManager:
 
     def _step_without_sensor(
         self, session: Session, measurement: Measurement
-    ) -> Decision:
+    ) -> Tuple[Decision, float]:
         """One heartbeat with no trustworthy sensor behind it."""
         session.sensor_failures += 1
         accountant = session.runtime.accountant
@@ -393,7 +479,101 @@ class SessionManager:
             and session.sensor_failures >= self.degrade_after
         ):
             self._degrade(session)
-        return session.runtime.current_decision
+        return session.runtime.current_decision, energy_j
+
+    # -- enforcement ---------------------------------------------------
+    def _enforce(
+        self, session: Session, decision: Decision, energy_j: float
+    ) -> Decision:
+        """Run one ladder observation; apply the resulting tier.
+
+        DEGRADE pins the safe fallback; THROTTLE additionally sets the
+        duty-cycle sleep the server injects into the step loop; KILL
+        closes the session with its budget retired exactly and raises
+        :class:`SessionKilled`.  Unlike sensor-loss degradation
+        (:meth:`_degrade`), ladder degradation reclaims nothing: the
+        session still reports honest measurements, its forecast surplus
+        stays its own, and the pool's zero-sum rebalance invariant
+        (``sum(effective) == sum(granted)`` absent closes) survives
+        enforcement untouched.
+        """
+        ladder = session.ladder
+        if ladder is None:
+            self._record_step_metrics(session, energy_j)
+            return decision
+        signal = overdraft_signal(
+            session.runtime.accountant,
+            session.recent_epw,
+            session.recent_step_energy_j,
+        )
+        previous = ladder.tier
+        tier = ladder.observe(signal, session.steps)
+        if tier is not previous:
+            self.telemetry.record_transition(
+                session.session_id, ladder.transitions[-1]
+            )
+        if Tier.DEGRADE <= tier < Tier.KILL:
+            if not session.degraded:
+                session.degraded = True
+                self.sessions_degraded += 1
+                self.telemetry.record_event(
+                    "session_degraded",
+                    session=session.session_id,
+                    step=session.steps,
+                    reclaimed_j=0.0,
+                )
+            # Re-assert the pin every enforced step: runtime.step()
+            # above resumed normal control (the pin is per-decision).
+            session.runtime.pin_safe_fallback()
+            decision = session.runtime.current_decision
+        session.throttle_s = ladder.throttle_s()
+        self._record_step_metrics(session, energy_j)
+        if tier is Tier.KILL:
+            self._kill(session, signal)
+        return decision
+
+    def _kill(self, session: Session, signal: Any) -> NoReturn:
+        """Terminate a session at the top of the ladder.
+
+        Closing retires the full spend and returns the unspent grant to
+        the pool (zero-sum, same path as a client close), so the hard
+        guarantee costs the pool nothing beyond what was burned.
+        """
+        self.sessions_killed += 1
+        self.telemetry.record_event(
+            "session_killed",
+            session=session.session_id,
+            step=session.steps,
+            burn_fraction=round(signal.burn_fraction, 6),
+        )
+        report = self.close(session.session_id, reason="killed")
+        raise SessionKilled(
+            f"session {session.session_id} killed by the enforcement "
+            f"ladder at step {session.steps} "
+            f"(burn {signal.burn_fraction:.3f} of hard budget)",
+            report,
+        )
+
+    def _record_step_metrics(
+        self, session: Session, energy_j: float
+    ) -> None:
+        accountant = session.runtime.accountant
+        burn = accountant.energy_used_j / max(
+            accountant.effective_budget_j, 1e-12
+        )
+        self.telemetry.record_step(
+            session.session_id,
+            energy_j,
+            session.decision.pole,
+            session.runtime.seo.epsilon,
+            burn,
+            session.tier,
+            max(
+                0.0,
+                accountant.energy_used_j
+                - accountant.effective_budget_j,
+            ),
+        )
 
     def _degrade(self, session: Session) -> None:
         """Fall back to known-safe operation instead of dying.
@@ -422,6 +602,13 @@ class SessionManager:
         if reclaimable > 0.0:
             accountant.adjust_budget(-reclaimable)
             session.reclaimed_j += reclaimable
+        self.telemetry.record_event(
+            "session_degraded",
+            session=session.session_id,
+            step=session.steps,
+            reclaimed_j=round(reclaimable, 6),
+        )
+        self._record_pool()
 
     def revise_global_budget(self, new_budget_j: float) -> float:
         """Revise the global pool mid-run; return the applied budget.
@@ -448,6 +635,12 @@ class SessionManager:
         # battery event); the clamp above plus budget_revisions is the
         # audit trail standing in for a zero-sum proof.
         self.global_budget_j = applied_j
+        self.telemetry.record_event(
+            "budget_revision",
+            requested_j=new_budget_j,
+            applied_j=applied_j,
+        )
+        self._record_pool()
         return applied_j
 
     def report(self, session_id: str) -> Dict[str, Any]:
@@ -474,6 +667,26 @@ class SessionManager:
             "degraded": session.degraded,
             "sensor_failures": session.sensor_failures,
             "reclaimed_j": session.reclaimed_j,
+            "tier": session.tier.label,
+            "throttle_s": session.throttle_s,
+            "hard_overdraft_j": max(
+                0.0,
+                accountant.energy_used_j
+                - accountant.effective_budget_j,
+            ),
+            "enforcement": (
+                session.ladder.as_dict()
+                if session.ladder is not None
+                else None
+            ),
+        }
+
+    def enforcement_of(self, session_id: str) -> Dict[str, Any]:
+        """The enforcement summary a ``step`` response carries."""
+        session = self._get(session_id)
+        return {
+            "tier": session.tier.label,
+            "throttle_s": session.throttle_s,
         }
 
     def snapshot(self, session_id: str) -> Dict[str, Any]:
@@ -504,6 +717,10 @@ class SessionManager:
         del self._sessions[session.session_id]
         final["closed"] = True
         final["close_reason"] = reason
+        self.telemetry.record_close(
+            session.session_id, reason, len(self._sessions)
+        )
+        self._record_pool()
         return final
 
     def reap_idle(self) -> List[str]:
@@ -616,6 +833,7 @@ class SessionManager:
             "sessions_opened": self.sessions_opened,
             "sessions_rejected": self.sessions_rejected,
             "sessions_degraded": self.sessions_degraded,
+            "sessions_killed": self.sessions_killed,
             "warm_start_failures": self.warm_start_failures,
             "budget_revisions": len(self.budget_revisions),
             "global_budget_j": self.global_budget_j,

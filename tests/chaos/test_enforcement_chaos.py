@@ -1,0 +1,62 @@
+"""Chaos tests for the enforcement ladder's hard guarantees."""
+
+import pytest
+
+from repro.faults import run_enforcement_chaos
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_enforcement_chaos()
+
+
+class TestEnforcementChaos:
+    def test_default_sweep_passes(self, chaos_result):
+        assert chaos_result["passed"], chaos_result["violations"]
+        assert chaos_result["violations"] == []
+
+    def test_honest_session_runs_free(self, chaos_result):
+        honest = [
+            s
+            for s in chaos_result["sessions"]
+            if s["inflation"] == 1.0
+        ]
+        assert len(honest) == 1
+        assert honest[0]["killed"] is False
+        assert honest[0]["steps"] == chaos_result["steps"]
+        assert honest[0]["tier"] in ("nominal", "advise", "degrade")
+
+    def test_strong_runaway_is_killed_with_zero_overdraft(
+        self, chaos_result
+    ):
+        runaway = [
+            s
+            for s in chaos_result["sessions"]
+            if s["inflation"] == 3.5
+        ]
+        assert len(runaway) == 1
+        assert runaway[0]["killed"] is True
+        assert runaway[0]["steps"] < chaos_result["steps"]
+        assert runaway[0]["hard_overdraft_j"] == 0.0
+        # The kill was reached one rung at a time.
+        labels = [t["to"] for t in runaway[0]["transitions"]]
+        assert labels[-1] == "kill"
+        assert "degrade" in labels
+
+    def test_stats_count_the_kill(self, chaos_result):
+        stats = chaos_result["stats"]
+        assert stats["sessions_killed"] == 1
+        assert stats["sessions"] == 0  # everything closed or killed
+
+    def test_determinism_across_runs(self, chaos_result):
+        replay = run_enforcement_chaos()
+        assert replay["sessions"] == chaos_result["sessions"]
+
+    def test_gentler_runaway_survives_on_tolerance(self):
+        # A x2 runaway sits in the tolerance regime: the AAO absorbs
+        # it rather than the ladder killing it (predictive kills only
+        # fire when burn AND overrun AND headroom all say runaway).
+        result = run_enforcement_chaos(inflations=(2.0,))
+        (session,) = result["sessions"]
+        assert session["killed"] is False
+        assert result["passed"], result["violations"]

@@ -9,7 +9,7 @@ from repro.service.client import (
     ServiceClient,
     drive_synthetic_session,
 )
-from repro.service.protocol import encode_message
+from repro.service.protocol import PROTOCOL_VERSION, encode_message
 from repro.service.server import RID_CACHE_MAX, ServerThread, ServiceServer
 from repro.service.sessions import SessionManager
 
@@ -144,7 +144,13 @@ class TestRidIdempotency:
     def test_invalid_rid_is_rejected(self):
         server = self.server()
         response = server.handle_line(
-            encode_message({"type": "hello", "version": 1, "rid": ""})
+            encode_message(
+                {
+                    "type": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "rid": "",
+                }
+            )
         )
         assert not response["ok"]
         assert response["error"]["code"] == "bad_request"
@@ -154,7 +160,11 @@ class TestRidIdempotency:
         for index in range(RID_CACHE_MAX + 10):
             server.handle_line(
                 encode_message(
-                    {"type": "hello", "version": 1, "rid": f"r{index}"}
+                    {
+                        "type": "hello",
+                        "version": PROTOCOL_VERSION,
+                        "rid": f"r{index}",
+                    }
                 )
             )
         assert len(server._rid_cache) == RID_CACHE_MAX

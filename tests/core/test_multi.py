@@ -6,8 +6,13 @@ import pytest
 from repro.apps.base import AppConfig, ConfigTable
 from repro.core.budget import BudgetAccountant, EnergyGoal
 from repro.core.jouleguard import build_runtime
-from repro.core.multi import MultiAppCoordinator, split_budget
+from repro.core.multi import (
+    ApplicationKilled,
+    MultiAppCoordinator,
+    split_budget,
+)
 from repro.core.types import Measurement
+from repro.enforce.ladder import LadderPolicy, Tier
 
 
 def make_table(max_speedup=3.0):
@@ -202,3 +207,110 @@ class TestCoordinator:
         drive(coordinator, n)
         for deltas in coordinator.transfers:
             assert all(abs(d) < 1e-9 for d in deltas.values())
+
+
+def runaway_feed(coordinator, name, budget_j, burn=0.15, steps=20):
+    """Heartbeats burning ``burn`` of the app's grant per unit work."""
+    energy = burn * budget_j
+    for _ in range(steps):
+        coordinator.step(
+            name,
+            Measurement(
+                work=1.0, energy_j=energy, rate=10.0, power_w=energy
+            ),
+        )
+
+
+class TestEnforcement:
+    def make_coordinator(self, rebalance_period=1000):
+        runtimes = {
+            "video": make_runtime("video", 1000.0, 1000, seed=1),
+            "search": make_runtime("search", 100.0, 100, seed=2),
+        }
+        return MultiAppCoordinator(
+            runtimes,
+            rebalance_period=rebalance_period,
+            enforcement=LadderPolicy(),
+        )
+
+    def test_runaway_app_is_killed(self):
+        coordinator = self.make_coordinator()
+        with pytest.raises(ApplicationKilled) as excinfo:
+            runaway_feed(coordinator, "video", 1000.0)
+        assert excinfo.value.name == "video"
+        summary = excinfo.value.summary
+        assert summary["killed"] is True
+        assert summary["tier"] == "kill"
+        # The hard guarantee: the kill fired before the bound.
+        assert (
+            summary["energy_used_j"] <= summary["effective_budget_j"]
+        )
+
+    def test_step_after_kill_keeps_raising(self):
+        coordinator = self.make_coordinator()
+        with pytest.raises(ApplicationKilled):
+            runaway_feed(coordinator, "video", 1000.0)
+        with pytest.raises(ApplicationKilled):
+            coordinator.step(
+                "video",
+                Measurement(
+                    work=1.0, energy_j=1.0, rate=10.0, power_w=1.0
+                ),
+            )
+        assert coordinator.tier_of("video") is Tier.KILL
+
+    def test_killed_app_donates_its_budget_zero_sum(self):
+        coordinator = self.make_coordinator()
+        # Make search a needer first: energy per work twice its grant.
+        runaway_feed(coordinator, "search", 100.0, burn=0.02, steps=2)
+        with pytest.raises(ApplicationKilled):
+            runaway_feed(coordinator, "video", 1000.0)
+        total_before = coordinator.total_effective_budget_j
+        before = coordinator.summary()
+        coordinator.rebalance()
+        after = coordinator.summary()
+        # The killed app's grant drains to the strainer, zero-sum:
+        # nothing is deleted, so the global guarantee survives.
+        assert (
+            after["video"]["effective_budget_j"]
+            < before["video"]["effective_budget_j"]
+        )
+        assert (
+            after["search"]["effective_budget_j"]
+            > before["search"]["effective_budget_j"]
+        )
+        assert coordinator.total_effective_budget_j == pytest.approx(
+            total_before
+        )
+
+    def test_throttle_surfaces_to_the_caller(self):
+        coordinator = self.make_coordinator()
+        # Four runaway heartbeats climb to THROTTLE (one rung each).
+        runaway_feed(coordinator, "video", 1000.0, steps=4)
+        assert coordinator.tier_of("video") is Tier.THROTTLE
+        assert coordinator.throttle_s("video") > 0.0
+        assert coordinator.throttle_s("search") == 0.0
+
+    def test_degrade_pins_safe_fallback(self):
+        coordinator = self.make_coordinator()
+        runaway_feed(coordinator, "video", 1000.0, steps=2)
+        assert coordinator.tier_of("video") is Tier.DEGRADE
+        decision = coordinator.current_decision("video")
+        # The pinned fallback is minimum-energy operation: the app's
+        # maximum speedup (lowest energy per work, Sec. 3.4.3).
+        assert decision.speedup_setpoint == pytest.approx(3.0)
+        assert decision.app_config.index == 3
+        assert decision.explored is False
+
+    def test_no_enforcement_by_default(self):
+        runtimes = {
+            "video": make_runtime("video", 1000.0, 1000, seed=1),
+            "search": make_runtime("search", 100.0, 100, seed=2),
+        }
+        coordinator = MultiAppCoordinator(
+            runtimes, rebalance_period=1000
+        )
+        runaway_feed(coordinator, "video", 1000.0)  # must not raise
+        assert coordinator.tier_of("video") is Tier.NOMINAL
+        assert coordinator.throttle_s("video") == 0.0
+        assert coordinator.summary()["video"]["killed"] is False

@@ -1,0 +1,1 @@
+"""Tests for repro.enforce (the enforcement ladder)."""

@@ -1,0 +1,172 @@
+"""Observability and enforcement over the wire.
+
+End-to-end: a real daemon thread, a real client socket, plus the HTTP
+metrics endpoint — the paths CI's smoke jobs exercise.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.core.types import Measurement
+from repro.obs.prom import CONTENT_TYPE, parse_text
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    SessionKilledError,
+    drive_synthetic_session,
+)
+from repro.service.server import ServerThread
+from repro.service.sessions import SessionManager
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    manager = SessionManager(global_budget_j=1e7)
+    sock = str(tmp_path / "obs.sock")
+    with ServerThread(
+        manager, unix_path=sock, metrics_host="127.0.0.1"
+    ) as handle:
+        yield manager, sock, handle
+
+
+def _measurement(energy_j):
+    return Measurement(
+        work=1.0, energy_j=energy_j, rate=10.0, power_w=energy_j
+    )
+
+
+class TestMetricsVerb:
+    def test_samples_reflect_driven_sessions(self, daemon):
+        _, sock, _ = daemon
+        with ServiceClient(unix_path=sock) as client:
+            drive_synthetic_session(
+                client,
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                steps=12,
+                close=False,
+            )
+            values = {
+                (s["name"], tuple(sorted(s["labels"].items()))): s[
+                    "value"
+                ]
+                for s in client.metrics()
+            }
+        assert values[("jg_sessions_open", ())] == 1.0
+        assert values[("jg_steps_total", ())] == 12.0
+        assert (
+            values[
+                (
+                    "jg_requests_total",
+                    (("ok", "true"), ("type", "step")),
+                )
+            ]
+            == 12.0
+        )
+        # Per-session gauges carry the session label.
+        session_gauges = [
+            name
+            for (name, labels) in values
+            if labels and dict(labels).get("session")
+        ]
+        assert "jg_session_pole" in session_gauges
+        assert "jg_session_budget_burn_ratio" in session_gauges
+
+
+class TestEventsVerb:
+    def test_cursor_pagination(self, daemon):
+        _, sock, _ = daemon
+        with ServiceClient(unix_path=sock) as client:
+            opened = client.open_session(
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                total_work=100.0,
+            )
+            events, cursor = client.events()
+            kinds = [event["kind"] for event in events]
+            assert "session_opened" in kinds
+            assert cursor >= len(events)
+            # Nothing new: the cursor fences off what we saw.
+            newer, cursor2 = client.events(since=cursor)
+            assert newer == []
+            assert cursor2 == cursor
+            client.close(opened.session)
+            newer, _ = client.events(since=cursor)
+            assert [e["kind"] for e in newer] == ["session_closed"]
+
+
+class TestKillOverTheWire:
+    def test_client_raises_session_killed(self, daemon):
+        manager, sock, _ = daemon
+        with ServiceClient(unix_path=sock) as client:
+            opened = client.open_session(
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                total_work=1000.0,
+            )
+            runaway = _measurement(0.15 * opened.granted_budget_j)
+            with pytest.raises(SessionKilledError) as excinfo:
+                for _ in range(20):
+                    client.step(opened.session, runaway)
+            report = excinfo.value.report
+            assert report["close_reason"] == "killed"
+            assert report["hard_overdraft_j"] == 0.0
+            # The daemon already closed it: another step is unknown.
+            with pytest.raises(ServiceError) as late:
+                client.step(opened.session, runaway)
+            assert late.value.code == "unknown_session"
+            events, _ = client.events()
+            assert "session_killed" in [e["kind"] for e in events]
+        assert manager.stats()["sessions_killed"] == 1
+
+    def test_enforcement_rides_on_step_responses(self, daemon):
+        _, sock, _ = daemon
+        with ServiceClient(unix_path=sock) as client:
+            opened = client.open_session(
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                total_work=1000.0,
+            )
+            # A gentle first heartbeat: nominal enforcement.
+            decision = client.step(
+                opened.session,
+                _measurement(0.001 * opened.granted_budget_j),
+            )
+            assert decision["enforcement"]["tier"] == "nominal"
+            assert decision["enforcement"]["throttle_s"] == 0.0
+
+
+class TestMetricsHTTP:
+    def test_scrape_through_real_daemon(self, daemon):
+        _, sock, handle = daemon
+        with ServiceClient(unix_path=sock) as client:
+            drive_synthetic_session(
+                client,
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                steps=8,
+                close=False,
+            )
+        host, port = handle.metrics_address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            body = response.read().decode("utf-8")
+        families, samples = parse_text(body)
+        for required in (
+            "jg_sessions_open",
+            "jg_steps_total",
+            "jg_energy_spent_joules_total",
+            "jg_budget_available_joules",
+            "jg_request_seconds",
+        ):
+            assert required in families, required
+        values = {s.name: s.value for s in samples if not s.labels}
+        assert values["jg_steps_total"] == 8.0

@@ -14,6 +14,7 @@ from repro.apps import build_application
 from repro.hw import get_machine
 from repro.runtime.oracle import max_feasible_factor
 from repro.service import (
+    PROTOCOL_VERSION,
     ServerThread,
     ServiceClient,
     ServiceError,
@@ -195,7 +196,7 @@ class TestProtocolOverTheWire:
         _, sock, _ = daemon
         with client_for(sock) as client:
             stats = client.server_stats
-        assert stats["version"] == 1
+        assert stats["version"] == PROTOCOL_VERSION
         assert stats["sessions"] == 0
         assert "available_budget_j" in stats
 
@@ -220,5 +221,7 @@ class TestProtocolOverTheWire:
             client._file.write(b"this is not json\n")
             client._file.flush()
             with pytest.raises(ServiceError) as excinfo:
-                client.request({"type": "hello", "version": 1})
+                client.request(
+                    {"type": "hello", "version": PROTOCOL_VERSION}
+                )
             assert excinfo.value.code == "bad_request"

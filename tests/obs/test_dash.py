@@ -1,0 +1,183 @@
+"""Tests for the ascii dashboard (pure state + live daemon polling)."""
+
+import io
+
+import pytest
+
+from repro.obs.dash import (
+    DashboardState,
+    poll_once,
+    render_dashboard,
+    run_dash,
+)
+from repro.service.client import ServiceClient, drive_synthetic_session
+from repro.service.server import ServerThread
+from repro.service.sessions import SessionManager
+
+
+def _sample(name, value, **labels):
+    return {"name": name, "labels": labels, "value": value}
+
+
+def _session_samples(session, pole, burn, tier):
+    return [
+        _sample("jg_session_pole", pole, session=session),
+        _sample("jg_session_epsilon", 0.1, session=session),
+        _sample(
+            "jg_session_budget_burn_ratio", burn, session=session
+        ),
+        _sample("jg_session_tier", tier, session=session),
+    ]
+
+
+class TestDashboardState:
+    def test_ingest_splits_totals_from_sessions(self):
+        state = DashboardState()
+        state.ingest_samples(
+            [_sample("jg_sessions_open", 1)]
+            + _session_samples("alpha", pole=0.8, burn=0.4, tier=0)
+        )
+        assert state.totals["jg_sessions_open"] == 1.0
+        assert state.sessions["alpha"]["jg_session_pole"] == 0.8
+        assert list(state.burn_history["alpha"]) == [0.4]
+        assert state.frames == 1
+
+    def test_histories_accumulate_and_are_bounded(self):
+        state = DashboardState(history=3)
+        for step in range(5):
+            state.ingest_samples(
+                _session_samples(
+                    "alpha", pole=step / 10, burn=0.1, tier=0
+                )
+            )
+        assert len(state.pole_history["alpha"]) == 3
+        assert list(state.pole_history["alpha"]) == [0.2, 0.3, 0.4]
+
+    def test_event_cursor_advances(self):
+        state = DashboardState()
+        state.ingest_events(
+            [{"seq": 1, "kind": "session_opened"}], next_cursor=1
+        )
+        state.ingest_events([], next_cursor=1)
+        assert state.cursor == 1
+        assert len(state.events) == 1
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            DashboardState(history=0)
+
+
+class TestRender:
+    def test_frame_layout(self):
+        state = DashboardState()
+        state.ingest_samples(
+            [
+                _sample("jg_sessions_open", 2),
+                _sample("jg_sessions_opened_total", 2),
+                _sample("jg_steps_total", 40),
+                _sample("jg_energy_spent_joules_total", 12.5),
+                _sample("jg_budget_global_joules", 100.0),
+                _sample("jg_budget_committed_joules", 25.0),
+            ]
+            + _session_samples("alpha", pole=0.9, burn=0.4, tier=1)
+            + _session_samples("bravo", pole=0.5, burn=0.9, tier=3)
+        )
+        state.ingest_events(
+            [
+                {
+                    "seq": 3,
+                    "kind": "tier_transition",
+                    "session": "bravo",
+                    "to": "throttle",
+                }
+            ],
+            next_cursor=3,
+        )
+        frame = render_dashboard(state)
+        assert "2 open / 2 opened / 40 steps / 12.5 J" in frame
+        assert " 25.0% committed of 100 J" in frame
+        assert "tier advise" in frame
+        assert "tier throttle" in frame
+        assert "tier_transition session=bravo to=throttle" in frame
+        # Sessions render sorted by id.
+        assert frame.index("alpha") < frame.index("bravo")
+
+    def test_overdraft_is_flagged(self):
+        state = DashboardState()
+        state.ingest_samples(
+            _session_samples("alpha", pole=0.5, burn=1.1, tier=4)
+            + [
+                _sample(
+                    "jg_session_overdraft_joules",
+                    2.5,
+                    session="alpha",
+                )
+            ]
+        )
+        frame = render_dashboard(state)
+        assert "!! hard overdraft 2.5 J" in frame
+        assert "tier kill" in frame
+
+    def test_empty_daemon_renders(self):
+        state = DashboardState()
+        state.ingest_samples([])
+        assert "(no open sessions)" in render_dashboard(state)
+
+
+class _FakeClient:
+    """Canned metrics/events responses for poll_once."""
+
+    def __init__(self):
+        self.requests = []
+
+    def request(self, message):
+        self.requests.append(message)
+        if message["type"] == "metrics":
+            return {"samples": [_sample("jg_sessions_open", 1)]}
+        return {
+            "events": [{"seq": 1, "kind": "session_opened"}],
+            "next": 1,
+        }
+
+
+def test_poll_once_drives_both_verbs():
+    state = DashboardState()
+    client = _FakeClient()
+    poll_once(client, state)
+    assert [m["type"] for m in client.requests] == [
+        "metrics",
+        "events",
+    ]
+    # Second poll resumes from the advanced cursor.
+    poll_once(client, state)
+    assert client.requests[-1]["since"] == 1
+    assert state.totals["jg_sessions_open"] == 1.0
+
+
+def test_run_dash_against_live_daemon(tmp_path):
+    sock = str(tmp_path / "dash.sock")
+    manager = SessionManager(global_budget_j=1e7)
+    with ServerThread(manager, unix_path=sock):
+        with ServiceClient(unix_path=sock) as client:
+            drive_synthetic_session(
+                client,
+                machine="tablet",
+                app="x264",
+                factor=1.5,
+                steps=10,
+                close=False,
+            )
+        out = io.StringIO()
+        state = run_dash(
+            unix_path=sock, frames=1, out=out, clear=False
+        )
+    frame = out.getvalue()
+    assert state.frames == 1
+    assert "JouleGuard daemon" in frame
+    assert "1 open" in frame
+    assert "session_opened" in frame
+
+
+def test_run_dash_validates_interval():
+    with pytest.raises(ValueError):
+        run_dash(unix_path="/nowhere", interval_s=0.0)

@@ -1,0 +1,57 @@
+"""Tests for the bounded structured event log."""
+
+import pytest
+
+from repro.obs.events import Event, EventLog
+
+
+class TestEventLog:
+    def test_sequence_numbers_start_at_one(self):
+        log = EventLog()
+        first = log.append("session_opened", session="s1")
+        second = log.append("session_closed", session="s1")
+        assert (first.seq, second.seq) == (1, 2)
+        assert log.next_seq == 3
+
+    def test_as_dict_merges_fields(self):
+        event = Event(seq=4, kind="tier_transition", fields={"step": 9})
+        assert event.as_dict() == {
+            "seq": 4,
+            "kind": "tier_transition",
+            "step": 9,
+        }
+
+    def test_since_is_strictly_greater(self):
+        log = EventLog()
+        for index in range(5):
+            log.append("e", index=index)
+        newer = log.since(3)
+        assert [event.seq for event in newer] == [4, 5]
+        assert log.since(0, limit=2)[-1].seq == 2
+
+    def test_ring_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.append("e", index=index)
+        assert len(log) == 3
+        assert [event.seq for event in log.since(0)] == [3, 4, 5]
+        # Sequence numbers keep counting past the wrap.
+        assert log.next_seq == 6
+
+    def test_tail_returns_newest_oldest_first(self):
+        log = EventLog()
+        for index in range(4):
+            log.append("e", index=index)
+        assert [event.seq for event in log.tail(2)] == [3, 4]
+        assert log.tail(0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.append("")
+        with pytest.raises(ValueError):
+            log.since(-1)
+        with pytest.raises(ValueError):
+            log.tail(-1)

@@ -1,0 +1,110 @@
+"""Tests for the asyncio /metrics HTTP endpoint."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.prom import CONTENT_TYPE, parse_text
+from repro.obs.registry import MetricsRegistry
+
+
+async def _request(host, port, raw):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return response.decode("utf-8")
+
+
+def _get(host, port, path, method="GET"):
+    raw = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n\r\n"
+    ).encode("latin-1")
+    return _request(host, port, raw)
+
+
+def _split(response):
+    head, _, body = response.partition("\r\n\r\n")
+    status = int(head.split(" ", 2)[1])
+    headers = {}
+    for line in head.split("\r\n")[1:]:
+        name, _, value = line.partition(": ")
+        headers[name.lower()] = value
+    return status, headers, body
+
+
+async def _with_server(check):
+    registry = MetricsRegistry()
+    registry.gauge("jg_sessions_open", "Live sessions.").set(2)
+    registry.counter("jg_steps_total", "Steps.").inc(5)
+    server = MetricsHTTPServer(registry)
+    await server.start()
+    try:
+        host, port = server.address
+        await check(host, port)
+    finally:
+        await server.aclose()
+
+
+def test_metrics_scrape_round_trips():
+    async def check(host, port):
+        status, headers, body = _split(
+            await _get(host, port, "/metrics")
+        )
+        assert status == 200
+        assert headers["content-type"] == CONTENT_TYPE
+        assert headers["connection"] == "close"
+        families, samples = parse_text(body)
+        assert families["jg_sessions_open"][0] == "gauge"
+        values = {s.name: s.value for s in samples}
+        assert values["jg_sessions_open"] == 2.0
+        assert values["jg_steps_total"] == 5.0
+
+    asyncio.run(_with_server(check))
+
+
+def test_healthz_and_unknown_paths():
+    async def check(host, port):
+        status, _, body = _split(await _get(host, port, "/healthz"))
+        assert (status, body) == (200, "ok\n")
+        status, _, _ = _split(await _get(host, port, "/nope"))
+        assert status == 404
+        # Query strings are ignored for routing.
+        status, _, _ = _split(
+            await _get(host, port, "/metrics?format=text")
+        )
+        assert status == 200
+
+    asyncio.run(_with_server(check))
+
+
+def test_non_get_is_rejected():
+    async def check(host, port):
+        status, _, _ = _split(
+            await _get(host, port, "/metrics", method="POST")
+        )
+        assert status == 405
+
+    asyncio.run(_with_server(check))
+
+
+def test_malformed_request_line():
+    async def check(host, port):
+        response = await _request(host, port, b"garbage\r\n\r\n")
+        status, _, _ = _split(response)
+        assert status == 400
+
+    asyncio.run(_with_server(check))
+
+
+def test_address_requires_running_server():
+    server = MetricsHTTPServer(MetricsRegistry())
+    with pytest.raises(RuntimeError):
+        server.address

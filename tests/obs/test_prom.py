@@ -1,0 +1,87 @@
+"""Tests for the Prometheus text exposition renderer and parser."""
+
+import pytest
+
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    escape_label_value,
+    parse_text,
+    render_text,
+    unescape_label_value,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def small_registry():
+    registry = MetricsRegistry()
+    registry.gauge("jg_sessions_open", "Live sessions.").set(3)
+    requests = registry.counter(
+        "jg_requests_total", "Requests seen.", ("type", "ok")
+    )
+    requests.labels("step", "true").inc(7)
+    registry.histogram(
+        "jg_request_seconds", "Latency.", buckets=(0.01, 0.1)
+    ).observe(0.05)
+    return registry
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        text = render_text(small_registry())
+        assert "# HELP jg_sessions_open Live sessions." in text
+        assert "# TYPE jg_sessions_open gauge" in text
+        assert "# TYPE jg_requests_total counter" in text
+        assert "# TYPE jg_request_seconds histogram" in text
+
+    def test_label_values_sorted_and_quoted(self):
+        text = render_text(small_registry())
+        assert 'jg_requests_total{ok="true",type="step"} 7' in text
+
+    def test_histogram_series(self):
+        text = render_text(small_registry())
+        assert 'jg_request_seconds_bucket{le="0.01"} 0' in text
+        assert 'jg_request_seconds_bucket{le="+Inf"} 1' in text
+        assert "jg_request_seconds_count 1" in text
+
+    def test_deterministic(self):
+        registry = small_registry()
+        assert render_text(registry) == render_text(registry)
+
+    def test_content_type_pins_the_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestEscaping:
+    def test_round_trip_of_specials(self):
+        value = 'a\\b"c\nd'
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escaped_forms(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("a\\n") == "a\\\\n"
+
+
+class TestParse:
+    def test_round_trip_families_and_samples(self):
+        registry = small_registry()
+        families, samples = parse_text(render_text(registry))
+        assert families["jg_sessions_open"][0] == "gauge"
+        assert families["jg_sessions_open"][1] == "Live sessions."
+        by_name = {
+            (s.name, s.labels): s.value for s in samples
+        }
+        assert by_name[("jg_sessions_open", ())] == 3.0
+        assert (
+            by_name[
+                (
+                    "jg_requests_total",
+                    (("ok", "true"), ("type", "step")),
+                )
+            ]
+            == 7.0
+        )
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_text("jg_x{oops} 1\n")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.ascii_plot import _resample, chart, sparkline
+from repro.runtime.ascii_plot import _resample, chart, hbar, sparkline
 
 
 class TestResample:
@@ -72,3 +72,33 @@ class TestChart:
         text = chart([1.0, 2.0], height=6, width=10)
         # 6 value rows + axis + footer.
         assert len(text.splitlines()) == 8
+
+
+class TestHbar:
+    def test_fixed_width(self):
+        for fraction in (0.0, 0.33, 0.5, 1.0):
+            assert len(hbar(fraction, 20)) == 20
+
+    def test_empty_and_full(self):
+        assert hbar(0.0, 10) == " " * 10
+        assert hbar(1.0, 10) == "█" * 10
+
+    def test_fraction_clamped(self):
+        assert hbar(-0.5, 10) == hbar(0.0, 10)
+        assert hbar(2.0, 10) == hbar(1.0, 10)
+
+    def test_partial_cell_uses_glyph_ramp(self):
+        # Half a cell past two full cells: a mid-ramp glyph, not a
+        # jump straight to the next full block.
+        bar = hbar(0.25, 10)
+        assert bar.startswith("██")
+        assert bar[2] not in (" ", "█")
+
+    def test_more_fill_never_shorter(self):
+        fills = [hbar(i / 20, 10).rstrip() for i in range(21)]
+        lengths = [len(f) for f in fills]
+        assert lengths == sorted(lengths)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            hbar(0.5, 0)

@@ -1,0 +1,149 @@
+"""Tests for enforcement-ladder integration in the session manager.
+
+These drive the manager directly with hand-crafted heartbeats whose
+per-step energy is a chosen fraction of the session's grant, so tier
+trajectories are deterministic and independent of the simulator.
+"""
+
+import pytest
+
+from repro.core.types import Measurement
+from repro.enforce.ladder import monotone_transitions
+from repro.service.sessions import (
+    SessionError,
+    SessionKilled,
+    SessionManager,
+)
+
+
+def open_session(manager, total_work=1000.0):
+    return manager.open_session(
+        machine_name="tablet",
+        app_name="x264",
+        factor=1.5,
+        total_work=total_work,
+        seed=0,
+        warm_start=False,
+    )
+
+
+def heartbeat(manager, session, energy_j):
+    measurement = Measurement(
+        work=1.0,
+        energy_j=energy_j,
+        rate=10.0,
+        power_w=energy_j,
+    )
+    return manager.step(session.session_id, measurement)
+
+
+def drive_runaway(manager, session, burn_per_step=0.15, steps=20):
+    """Feed constant heartbeats burning ``burn_per_step`` of the grant."""
+    energy_j = burn_per_step * session.granted_budget_j
+    for _ in range(steps):
+        heartbeat(manager, session, energy_j)
+
+
+class TestKillPath:
+    def test_runaway_session_is_killed_with_zero_overdraft(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager)
+        with pytest.raises(SessionKilled) as excinfo:
+            drive_runaway(manager, session)
+        killed = excinfo.value
+        assert killed.code == "session_killed"
+        report = killed.report
+        assert report["close_reason"] == "killed"
+        assert report["tier"] == "kill"
+        # The hard guarantee: a killed session never overdraws.
+        assert report["hard_overdraft_j"] == 0.0
+        assert report["energy_used_j"] <= report["effective_budget_j"]
+        # Every rung of the ladder was climbed, one at a time.
+        ok, reason = monotone_transitions(
+            report["enforcement"]["transitions"]
+        )
+        assert ok, reason
+        labels = [
+            t["to"] for t in report["enforcement"]["transitions"]
+        ]
+        assert labels == ["advise", "degrade", "throttle", "kill"]
+
+    def test_kill_retires_budget_zero_sum(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager)
+        with pytest.raises(SessionKilled) as excinfo:
+            drive_runaway(manager, session)
+        spent = excinfo.value.report["energy_used_j"]
+        # The session is gone; only what it burned left the pool.
+        assert manager.live_sessions == []
+        assert manager.committed_budget_j == 0.0
+        assert manager.available_budget_j == pytest.approx(
+            1e6 - spent
+        )
+        assert manager.stats()["sessions_killed"] == 1
+
+    def test_step_after_kill_is_unknown_session(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager)
+        with pytest.raises(SessionKilled):
+            drive_runaway(manager, session)
+        with pytest.raises(SessionError) as excinfo:
+            heartbeat(manager, session, 1.0)
+        assert excinfo.value.code == "unknown_session"
+
+
+class TestSoftTiers:
+    def test_enforced_degrade_pins_without_reclaiming(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager)
+        energy_j = 0.15 * session.granted_budget_j
+        # Two runaway heartbeats: burn 0.30 >= the degrade gate.
+        heartbeat(manager, session, energy_j)
+        decision = heartbeat(manager, session, energy_j)
+        report = manager.report(session.session_id)
+        assert report["tier"] == "degrade"
+        assert report["degraded"] is True
+        # Pin-only: unlike sensor-loss degradation, no joules move.
+        assert report["reclaimed_j"] == 0.0
+        assert report["effective_budget_j"] == pytest.approx(
+            session.granted_budget_j
+        )
+        # The pinned decision is the runtime's safe fallback.
+        assert (
+            decision.system_index
+            == session.runtime.current_decision.system_index
+        )
+
+    def test_throttle_sets_duty_cycle_sleep(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager)
+        energy_j = 0.15 * session.granted_budget_j
+        for _ in range(4):
+            heartbeat(manager, session, energy_j)
+        enforcement = manager.enforcement_of(session.session_id)
+        assert enforcement["tier"] == "throttle"
+        assert enforcement["throttle_s"] > 0.0
+
+    def test_healthy_session_stays_nominal(self):
+        manager = SessionManager(global_budget_j=1e6)
+        session = open_session(manager, total_work=100.0)
+        # Spend exactly the granted energy-per-work: no forecast
+        # overrun, no burn ahead of progress.
+        energy_j = session.granted_budget_j / 100.0
+        for _ in range(30):
+            heartbeat(manager, session, energy_j)
+        report = manager.report(session.session_id)
+        assert report["tier"] == "nominal"
+        assert report["throttle_s"] == 0.0
+        assert report["enforcement"]["transitions"] == []
+
+
+class TestDisabledEnforcement:
+    def test_none_policy_never_intervenes(self):
+        manager = SessionManager(global_budget_j=1e6, enforcement=None)
+        session = open_session(manager)
+        drive_runaway(manager, session)  # must not raise
+        report = manager.report(session.session_id)
+        assert report["tier"] == "nominal"
+        assert report["enforcement"] is None
+        assert manager.stats()["sessions_killed"] == 0

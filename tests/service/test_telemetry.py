@@ -1,0 +1,156 @@
+"""Tests for the daemon's telemetry sink (registry + event log)."""
+
+from repro.enforce.ladder import Tier, TierTransition
+from repro.service.telemetry import ServiceTelemetry
+
+
+def _value(telemetry, name, **labels):
+    for sample in telemetry.registry.samples():
+        if sample.name == name and dict(sample.labels) == labels:
+            return sample.value
+    return None
+
+
+def _transition(frm, to, step=5):
+    return TierTransition(
+        step=step,
+        from_tier=frm,
+        to_tier=to,
+        projected_overrun=0.61,
+        burn_fraction=0.55,
+        headroom_steps=12.0,
+    )
+
+
+class TestRecorders:
+    def test_open_close_lifecycle(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_open("s1", open_count=1)
+        telemetry.record_open("s2", open_count=2)
+        telemetry.record_close("s1", reason="client", open_count=1)
+        assert _value(telemetry, "jg_sessions_opened_total") == 2.0
+        assert _value(telemetry, "jg_sessions_open") == 1.0
+        assert (
+            _value(
+                telemetry,
+                "jg_sessions_closed_total",
+                reason="client",
+            )
+            == 1.0
+        )
+        kinds = [e.kind for e in telemetry.events.since(0)]
+        assert kinds == [
+            "session_opened",
+            "session_opened",
+            "session_closed",
+        ]
+
+    def test_step_updates_session_gauges(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_step(
+            "s1",
+            energy_j=2.5,
+            pole=0.8,
+            epsilon=0.05,
+            burn_fraction=0.4,
+            tier=Tier.DEGRADE,
+            overdraft_j=0.0,
+        )
+        telemetry.record_step(
+            "s1",
+            energy_j=1.5,
+            pole=0.7,
+            epsilon=0.04,
+            burn_fraction=0.5,
+            tier=Tier.DEGRADE,
+            overdraft_j=0.0,
+        )
+        assert _value(telemetry, "jg_steps_total") == 2.0
+        assert (
+            _value(telemetry, "jg_energy_spent_joules_total") == 4.0
+        )
+        assert (
+            _value(telemetry, "jg_session_pole", session="s1") == 0.7
+        )
+        assert (
+            _value(telemetry, "jg_session_tier", session="s1") == 2.0
+        )
+
+    def test_close_drops_session_series(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_step(
+            "s1",
+            energy_j=1.0,
+            pole=0.9,
+            epsilon=0.1,
+            burn_fraction=0.1,
+            tier=Tier.NOMINAL,
+            overdraft_j=0.0,
+        )
+        telemetry.record_close("s1", reason="killed", open_count=0)
+        assert (
+            _value(telemetry, "jg_session_pole", session="s1") is None
+        )
+
+    def test_transition_counts_edges_and_logs(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_transition(
+            "s1", _transition(Tier.ADVISE, Tier.DEGRADE)
+        )
+        telemetry.record_transition(
+            "s1", _transition(Tier.DEGRADE, Tier.THROTTLE, step=9)
+        )
+        assert (
+            _value(
+                telemetry,
+                "jg_enforcement_transitions_total",
+                from_tier="advise",
+                to_tier="degrade",
+            )
+            == 1.0
+        )
+        last = telemetry.events.tail(1)[0]
+        assert last.kind == "tier_transition"
+        assert last.fields["edge"] == "degrade->throttle"
+        assert last.fields["step"] == 9
+
+    def test_pool_and_request_recorders(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_pool(
+            global_j=100.0, committed_j=40.0, available_j=60.0
+        )
+        telemetry.record_request("step", ok=True, seconds=0.002)
+        telemetry.record_request("step", ok=False, seconds=0.001)
+        assert (
+            _value(telemetry, "jg_budget_available_joules") == 60.0
+        )
+        assert (
+            _value(
+                telemetry, "jg_requests_total", type="step", ok="true"
+            )
+            == 1.0
+        )
+        assert _value(telemetry, "jg_request_seconds_count") == 2.0
+
+
+class TestDisabled:
+    def test_disabled_recorders_are_noops(self):
+        telemetry = ServiceTelemetry.disabled()
+        telemetry.record_open("s1", open_count=1)
+        telemetry.record_step(
+            "s1",
+            energy_j=1.0,
+            pole=0.9,
+            epsilon=0.1,
+            burn_fraction=0.1,
+            tier=Tier.NOMINAL,
+            overdraft_j=0.0,
+        )
+        telemetry.record_transition(
+            "s1", _transition(Tier.NOMINAL, Tier.ADVISE)
+        )
+        telemetry.record_pool(1.0, 1.0, 0.0)
+        telemetry.record_request("step", ok=True, seconds=0.0)
+        telemetry.record_event("anything", detail=1)
+        assert telemetry.registry.samples() == []
+        assert len(telemetry.events) == 0
