@@ -1,0 +1,193 @@
+"""Fleet engine throughput: vectorized pool vs the scalar session loop.
+
+The point of ``repro.fleet`` is that stepping a cohort as numpy
+struct-of-arrays state is orders of magnitude faster than stepping the
+same sessions through per-object ``JouleGuardRuntime`` loops, while
+staying decision-for-decision equivalent (the equivalence itself is a
+tier-1 test; this bench only measures speed).  Two workloads:
+
+* **throughput** — a 100k-device tablet/x264 cohort stepped in fast
+  mode vs a batch of :class:`~repro.fleet.ScalarSessionLoop` objects
+  over the same number of steps.  Both sides draw their measurements
+  from a :class:`~repro.fleet.CohortHardwareModel`, so synthesis cost
+  is charged to both.  The headline number is device-steps/s and the
+  ratio must clear ``SPEEDUP_FLOOR`` (100x) — the bar the vectorized
+  engine has to keep clearing as the step path grows features;
+* **fleet tails** — one run of the ``smoke`` scenario, recording the
+  fleet-level outcomes a deployment would watch: budget violations
+  per million sessions, kills per million, and the accuracy /
+  burn-fraction distribution tails.
+
+Timing points run ``--repeats`` times (default 3) and report medians.
+Results land in ``benchmarks/results/fleet.json`` and in
+``BENCH_fleet.json`` at the repo root so the perf trajectory is
+tracked per PR.  Absolute rates reflect this container's cores; the
+shape claim that should survive any port is the >=100x gap between
+the vectorized and scalar engines at fleet scale.
+"""
+
+import json
+import statistics
+import time
+
+import numpy as np
+
+from conftest import write_repo_result, write_result
+
+from repro.apps import build_application
+from repro.fleet import (
+    CohortHardwareModel,
+    CohortSpec,
+    FleetSimulator,
+    ScalarSessionLoop,
+    SessionPool,
+    preset_scenario,
+)
+from repro.hw import GENERIC_PROFILE, get_machine
+from repro.hw.vector import MachineTables
+
+POOL_DEVICES = 100_000
+SCALAR_SESSIONS = 192
+N_STEPS = 20
+SPEEDUP_FLOOR = 100.0
+
+#: Work per session far above what N_STEPS can finish, so the pool
+#: stays fully populated (no completion path) for the whole timing.
+BENCH_WORK = 1e9
+
+_results = {
+    "repeats": None,
+    "throughput": {},
+    "fleet": {},
+}
+
+
+def _cohort_fixture(n, seed):
+    machine = get_machine("tablet")
+    app = build_application("x264")
+    spec = CohortSpec.from_pair(machine, app)
+    tables = MachineTables.build(machine, GENERIC_PROFILE)
+    model = CohortHardwareModel(tables, spec, n, seed=seed)
+    work = np.full(n, BENCH_WORK)
+    seeds = np.arange(n, dtype=np.int64) * 7 + seed
+    factors = np.linspace(1.2, 2.5, n)
+    return machine, app, spec, model, work, seeds, factors
+
+
+def _time_pool(repeat):
+    _, _, spec, model, work, seeds, factors = _cohort_fixture(
+        POOL_DEVICES, seed=100 + repeat
+    )
+    pool = SessionPool(spec, mode="fast", seed=100 + repeat)
+    pool.open(work, seeds, factors=factors)
+    start = time.perf_counter()
+    for t in range(N_STEPS):
+        m_work, energy_j, rate, power_w = model.measurements(
+            t, pool.d_sys, pool.d_fpos
+        )
+        pool.step(m_work, energy_j, rate, power_w)
+        model.prune(t)
+    elapsed = time.perf_counter() - start
+    assert pool.alive_count == POOL_DEVICES
+    return POOL_DEVICES * N_STEPS / elapsed
+
+
+def _time_scalar(repeat):
+    machine, app, _, model, work, seeds, factors = _cohort_fixture(
+        SCALAR_SESSIONS, seed=100 + repeat
+    )
+    loops = [
+        ScalarSessionLoop(
+            machine,
+            app,
+            float(work[i]),
+            int(seeds[i]),
+            factor=float(factors[i]),
+        )
+        for i in range(SCALAR_SESSIONS)
+    ]
+    index_to_fpos = {
+        int(index): position
+        for position, index in enumerate(model.spec.frontier_indices)
+    }
+    start = time.perf_counter()
+    for t in range(N_STEPS):
+        for i, loop in enumerate(loops):
+            decision = loop.decision
+            loop.step(
+                model.measurement_for(
+                    i,
+                    t,
+                    decision.system_index,
+                    index_to_fpos[decision.app_config.index],
+                )
+            )
+        model.prune(t)
+    elapsed = time.perf_counter() - start
+    return SCALAR_SESSIONS * N_STEPS / elapsed
+
+
+def test_pool_vs_scalar_throughput(repeats):
+    pool_rates = [_time_pool(r) for r in range(repeats)]
+    scalar_rates = [_time_scalar(r) for r in range(repeats)]
+    pool_rate = statistics.median(pool_rates)
+    scalar_rate = statistics.median(scalar_rates)
+    speedup = pool_rate / scalar_rate
+    _results["repeats"] = repeats
+    _results["throughput"] = {
+        "pool_devices": POOL_DEVICES,
+        "scalar_sessions": SCALAR_SESSIONS,
+        "n_steps": N_STEPS,
+        "pool_device_steps_per_s": pool_rate,
+        "scalar_device_steps_per_s": scalar_rate,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "pool_runs": pool_rates,
+        "scalar_runs": scalar_rates,
+    }
+    print(
+        f"\nfleet throughput (median of {repeats}): "
+        f"pool {pool_rate:12.0f} device-steps/s  "
+        f"scalar {scalar_rate:10.0f} device-steps/s  "
+        f"speedup {speedup:8.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_fleet_tail_metrics():
+    scenario = preset_scenario("smoke")
+    report = FleetSimulator(scenario).run()
+    assert report.hard_tier_overdraft == 0
+    assert report.killed > 0
+    _results["fleet"] = {
+        "scenario": scenario.name,
+        "report": report.as_dict(),
+    }
+    print(
+        f"\nfleet tails ({scenario.name}): "
+        f"{report.opened} sessions  "
+        f"{report.violations_per_million:.0f} violations/M  "
+        f"{report.kills_per_million:.0f} kills/M  "
+        f"hard-tier overdraft {report.hard_tier_overdraft}"
+    )
+
+    path = write_result(
+        "fleet.json",
+        json.dumps(_results, indent=2, sort_keys=True) + "\n",
+    )
+    print(f"wrote {path}")
+    trajectory = {
+        "bench": "fleet",
+        "repeats": _results["repeats"],
+        "throughput": {
+            key: value
+            for key, value in _results["throughput"].items()
+            if key not in ("pool_runs", "scalar_runs")
+        },
+        "fleet": _results["fleet"],
+    }
+    path = write_repo_result(
+        "BENCH_fleet.json",
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+    )
+    print(f"wrote {path}")

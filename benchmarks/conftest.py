@@ -11,6 +11,7 @@ is computed once per session and shared.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import List
 
@@ -52,18 +53,33 @@ def repeats(request) -> int:
     return max(1, request.config.getoption("--repeats"))
 
 
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + os.replace).
+
+    A crashed or interrupted bench run must never leave a truncated
+    ``BENCH_*.json`` behind — downstream tooling diffs these files
+    across PRs and a half-written JSON document would poison the
+    trajectory.  ``os.replace`` is atomic on POSIX when source and
+    destination share a filesystem, which holds here because the tmp
+    file lives next to the destination.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
 def write_result(name: str, text: str) -> pathlib.Path:
     """Persist one benchmark's table under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
-    path.write_text(text)
+    _atomic_write_text(path, text)
     return path
 
 
 def write_repo_result(name: str, text: str) -> pathlib.Path:
     """Persist a per-PR trajectory file (``BENCH_*.json``) at repo root."""
     path = REPO_ROOT / name
-    path.write_text(text)
+    _atomic_write_text(path, text)
     return path
 
 

@@ -34,6 +34,11 @@ Subcommands
 ``dash``
     Live ascii dashboard over a running daemon's ``metrics`` and
     ``events`` verbs (``repro.obs``).
+``fleet``
+    Vectorized fleet simulation (``repro.fleet``): cohorts of sessions
+    stepped as numpy arrays under arrivals, churn, warm starts, and
+    the enforcement ladder; ``--smoke`` gates CI on zero hard-tier
+    overdraft plus a pool/scalar equivalence spot check.
 ``lint``
     Forward to ``python -m repro.lint``: jglint static analysis, plus
     the jgflow project-wide flow analyses with ``--flow``.
@@ -398,6 +403,155 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if suite["passed"] else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    from dataclasses import replace as _replace
+
+    from .fleet import (
+        FleetScenario,
+        FleetSimulator,
+        preset_scenario,
+    )
+
+    if args.scenario:
+        text = pathlib.Path(args.scenario).read_text(encoding="utf-8")
+        scenario = FleetScenario.from_json(text)
+        if args.seed is not None:
+            scenario = _replace(scenario, seed=args.seed)
+    else:
+        scenario = preset_scenario(
+            args.preset, seed=args.seed if args.seed is not None else 0
+        )
+    if args.devices is not None:
+        scenario = _replace(scenario, devices=float(args.devices))
+    if args.epochs is not None:
+        scenario = _replace(scenario, n_epochs=args.epochs)
+    if args.scenario_out:
+        pathlib.Path(args.scenario_out).write_text(
+            scenario.to_json() + "\n", encoding="utf-8"
+        )
+
+    simulator = FleetSimulator(scenario)
+    report = simulator.run()
+    summary = report.as_dict()
+    if args.prom:
+        pathlib.Path(args.prom).write_text(
+            simulator.metrics.render(), encoding="utf-8"
+        )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"scenario            : {scenario.name}")
+        print(
+            f"epochs x steps      : {scenario.n_epochs} x "
+            f"{scenario.steps_per_epoch}"
+        )
+        print(f"devices opened      : {summary['opened']}")
+        print(f"device steps        : {summary['device_steps']}")
+        print(
+            "retired             : "
+            f"{summary['completed']} completed, "
+            f"{summary['killed']} killed, "
+            f"{summary['churned']} churned, "
+            f"{summary['running']} running, "
+            f"{summary['shed']} shed"
+        )
+        print(
+            f"violations / million: "
+            f"{summary['violations_per_million']:.1f}"
+        )
+        print(
+            f"hard-tier sessions  : {summary['hard_tier_sessions']} "
+            f"(overdraft: {summary['hard_tier_overdraft']})"
+        )
+        burn = summary["burn_fraction"]
+        print(
+            "burn fraction       : "
+            f"p50 {burn['p50']:.3f}  p95 {burn['p95']:.3f}  "
+            f"p99 {burn['p99']:.3f}  max {burn['max']:.3f}"
+        )
+        accuracy = summary["accuracy"]
+        print(
+            "accuracy            : "
+            f"mean {accuracy['mean']:.4f}  p05 {accuracy['p05']:.4f}  "
+            f"p01 {accuracy['p01']:.4f}"
+        )
+
+    if not args.smoke:
+        return 0
+    failures = []
+    if summary["hard_tier_overdraft"] != 0:
+        failures.append(
+            f"{summary['hard_tier_overdraft']} hard-tier sessions "
+            "finished over budget (the ladder guarantee requires 0)"
+        )
+    if summary["killed"] == 0:
+        failures.append(
+            "no sessions were killed: the smoke run must exercise "
+            "the full enforcement ladder"
+        )
+    mismatches = _fleet_equivalence_spot_check(scenario)
+    if mismatches:
+        failures.append(
+            f"pool/scalar equivalence: {len(mismatches)} divergences, "
+            f"first: {mismatches[0]}"
+        )
+    for failure in failures:
+        print(f"smoke: {failure}")
+    print(f"fleet smoke: {'PASS' if not failures else 'FAIL'}")
+    return 0 if not failures else 1
+
+
+def _fleet_equivalence_spot_check(
+    scenario: "object", n_sessions: int = 8, n_steps: int
+    = 120
+) -> List[str]:
+    """Replay a small mixed cohort in exact mode against the scalar
+    runtime + ladder; return the divergences (empty = equivalent)."""
+    import numpy as np
+
+    from .fleet import (
+        CohortHardwareModel,
+        CohortSpec,
+        ScalarSessionLoop,
+        SessionPool,
+        run_lockstep,
+    )
+    from .hw import GENERIC_PROFILE
+    from .hw.vector import MachineTables
+
+    cohort = scenario.cohorts[0]  # type: ignore[attr-defined]
+    seed = scenario.seed  # type: ignore[attr-defined]
+    machine = get_machine(cohort.machine)
+    app = build_application(cohort.app)
+    spec = CohortSpec.from_pair(machine, app)
+    tables = MachineTables.build(machine, GENERIC_PROFILE)
+    waste = np.ones(n_sessions)
+    waste[n_sessions // 2 :] = cohort.runaway_waste
+    model = CohortHardwareModel(
+        tables, spec, n_sessions, waste=waste, seed=seed + 17
+    )
+    work = np.full(n_sessions, 40.0)
+    seeds = np.arange(n_sessions, dtype=np.int64) * 13 + seed
+    factors = np.linspace(
+        cohort.min_factor, cohort.max_factor, n_sessions
+    )
+    pool = SessionPool(spec, mode="exact")
+    pool.open(work, seeds, factors=factors)
+    loops = [
+        ScalarSessionLoop(
+            machine,
+            app,
+            float(work[i]),
+            int(seeds[i]),
+            factor=float(factors[i]),
+        )
+        for i in range(n_sessions)
+    ]
+    return run_lockstep(pool, loops, model, n_steps)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import main as lint_main
 
@@ -593,6 +747,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full machine-readable report",
     )
     chaos_cmd.set_defaults(func=_cmd_chaos)
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="vectorized fleet simulation (repro.fleet)",
+    )
+    fleet_cmd.add_argument(
+        "--preset",
+        default="smoke",
+        choices=["smoke", "city", "million"],
+        help="named scenario preset (default smoke)",
+    )
+    fleet_cmd.add_argument(
+        "--scenario",
+        default=None,
+        help="path to a scenario JSON (overrides --preset)",
+    )
+    fleet_cmd.add_argument(
+        "--scenario-out",
+        default=None,
+        help="write the resolved scenario JSON to this path",
+    )
+    fleet_cmd.add_argument(
+        "--devices",
+        type=float,
+        default=None,
+        help="override the expected device count",
+    )
+    fleet_cmd.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="override the number of simulation epochs",
+    )
+    fleet_cmd.add_argument(
+        "--seed", type=int, default=None, help="scenario seed"
+    )
+    fleet_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the fleet report as JSON",
+    )
+    fleet_cmd.add_argument(
+        "--prom",
+        default=None,
+        help="write Prometheus text metrics to this path",
+    )
+    fleet_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI gate: require kills with zero hard-tier overdraft "
+            "and re-verify pool/scalar equivalence"
+        ),
+    )
+    fleet_cmd.set_defaults(func=_cmd_fleet)
 
     lint_cmd = sub.add_parser(
         "lint",

@@ -11,7 +11,9 @@ can recompute the *remaining* joules-per-work-unit target each iteration
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from .contracts import check, invariant, non_negative, positive, require
 
@@ -147,3 +149,48 @@ class BudgetAccountant:
     def energy_trace(self) -> List[float]:
         """Per-iteration energy record (used by the figure benchmarks)."""
         return list(self._energy_trace)
+
+
+def remaining_arrays(
+    total_work: np.ndarray,
+    work_done: np.ndarray,
+    effective_budget_j: np.ndarray,
+    energy_used_j: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(remaining_work, remaining_energy_j)`` per ledger.
+
+    Elementwise twins of the :class:`BudgetAccountant` properties —
+    each row uses the identical ``max(0, a - b)`` arithmetic, so the
+    results are bit-equal to a scalar accountant fed the same tallies.
+    """
+    remaining_work = np.maximum(
+        0.0, np.asarray(total_work, dtype=np.float64) - work_done
+    )
+    remaining_energy = np.maximum(
+        0.0,
+        np.asarray(effective_budget_j, dtype=np.float64) - energy_used_j,
+    )
+    return remaining_work, remaining_energy
+
+
+def target_energy_per_work_array(
+    remaining_work: np.ndarray, remaining_energy_j: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Algorithm-1 target: joules/work for the remainder.
+
+    Returns ``(target, complete, exhausted)``.  ``complete`` rows (no
+    work left) mirror the scalar accountant's ``None`` — their target
+    is 0.0 and must be ignored; ``exhausted`` rows (work left, no
+    joules) get target 0.0, matching
+    :meth:`BudgetAccountant.target_energy_per_work`.
+    """
+    work = np.asarray(remaining_work, dtype=np.float64)
+    energy = np.asarray(remaining_energy_j, dtype=np.float64)
+    complete = work <= 0.0
+    exhausted = (~complete) & (energy <= 0.0)
+    target = np.where(
+        complete | exhausted,
+        0.0,
+        energy / np.where(complete, 1.0, work),
+    )
+    return target, complete, exhausted

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from .contracts import check, require
 
 
@@ -94,6 +96,90 @@ class ScalarKalmanFilter:
         if q <= 0.0:
             return 0.0
         return _steady_gain(q / r)
+
+
+class KalmanBank:
+    """A bank of independent :class:`ScalarKalmanFilter` rows.
+
+    The fleet pool keeps one row per session (struct-of-arrays Kalman
+    mean/variance) and folds every session's measurement in a single
+    vectorized update.  Row ``i`` evolves exactly as a scalar filter
+    with the same (q, r) fed the same measurements — the update uses
+    only ``+ - * /``, which numpy and CPython round identically, so
+    the bank is bit-equal to the scalar filter.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        process_variance: float = 1e-2,
+        measurement_variance: float = 1e-1,
+    ) -> None:
+        check(n >= 0, "bank size cannot be negative")
+        check(
+            process_variance >= 0 and measurement_variance > 0,
+            "variances must be positive (q may be 0)",
+        )
+        self.process_variance = process_variance
+        self.measurement_variance = measurement_variance
+        self.value = np.zeros(n, dtype=np.float64)
+        self.variance = np.zeros(n, dtype=np.float64)
+        self.initialized = np.zeros(n, dtype=bool)
+        self.updates = np.zeros(n, dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        return int(self.value.shape[0])
+
+    def extend(self, k: int) -> None:
+        """Append ``k`` fresh (uninitialized) rows."""
+        check(k >= 0, "cannot extend by a negative count")
+        self.value = np.concatenate(
+            [self.value, np.zeros(k, dtype=np.float64)]
+        )
+        self.variance = np.concatenate(
+            [self.variance, np.zeros(k, dtype=np.float64)]
+        )
+        self.initialized = np.concatenate(
+            [self.initialized, np.zeros(k, dtype=bool)]
+        )
+        self.updates = np.concatenate(
+            [self.updates, np.zeros(k, dtype=np.int64)]
+        )
+
+    def keep(self, mask: np.ndarray) -> None:
+        """Drop rows where ``mask`` is False (pool compaction)."""
+        keep = np.asarray(mask, dtype=bool)
+        self.value = self.value[keep]
+        self.variance = self.variance[keep]
+        self.initialized = self.initialized[keep]
+        self.updates = self.updates[keep]
+
+    def update(
+        self, measurements: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Fold one measurement per masked row; return the estimates."""
+        z = np.asarray(measurements, dtype=np.float64)
+        if mask is None:
+            rows = np.ones(self.n, dtype=bool)
+        else:
+            rows = np.asarray(mask, dtype=bool)
+        first = rows & ~self.initialized
+        later = rows & self.initialized
+        predicted = self.variance + self.process_variance
+        gain = predicted / (predicted + self.measurement_variance)
+        folded = self.value + gain * (z - self.value)
+        self.value = np.where(
+            later, folded, np.where(first, z, self.value)
+        )
+        self.variance = np.where(
+            later,
+            (1.0 - gain) * predicted,
+            np.where(first, self.measurement_variance, self.variance),
+        )
+        self.initialized = self.initialized | rows
+        self.updates = self.updates + rows.astype(np.int64)
+        return self.value
 
 
 def _steady_gain(ratio: float) -> float:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping
 
+import numpy as np
+
 from .contracts import (
     check,
     invariant,
@@ -61,6 +63,20 @@ def pole_for_error(delta: float, margin: float = 1.0) -> float:
 def max_stable_error(pole: float) -> float:
     """Eqn. 9: largest multiplicative error a given pole tolerates."""
     return 2.0 / (1.0 - pole)
+
+
+def pole_for_error_array(
+    delta: np.ndarray, margin: float = 1.0
+) -> np.ndarray:
+    """Eqn. 11 over an array of learners' error estimates.
+
+    Elementwise twin of :func:`pole_for_error` — identical arithmetic
+    per row, so results are bit-equal to the scalar rule.
+    """
+    check(margin >= 1.0, "margin must be >= 1")
+    effective = np.asarray(delta, dtype=np.float64) * margin
+    placed = 1.0 - 2.0 / np.where(effective > 2.0, effective, 4.0)
+    return np.where(effective > 2.0, placed, 0.0)
 
 
 @invariant(

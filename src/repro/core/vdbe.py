@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping
 
+import numpy as np
+
 from .contracts import check, invariant, non_negative, require, unit_interval
 from .ewma import DEFAULT_ALPHA
 
@@ -122,3 +124,49 @@ class Vdbe:
             min_weight=float(snapshot["min_weight"]),
             epsilon=float(snapshot["epsilon"]),
         )
+
+
+def vdbe_difference_array(
+    measured_eff: np.ndarray,
+    estimated_eff: np.ndarray,
+    *,
+    relative: bool = True,
+) -> np.ndarray:
+    """Elementwise value difference feeding Eqn. 2, one row per learner."""
+    measured = np.asarray(measured_eff, dtype=np.float64)
+    estimated = np.asarray(estimated_eff, dtype=np.float64)
+    if relative:
+        safe = np.where(estimated > 0.0, estimated, 1.0)
+        return np.where(estimated > 0.0, measured / safe - 1.0, 1.0)
+    return measured - estimated
+
+
+def vdbe_epsilon_array(
+    epsilon: np.ndarray,
+    measured_eff: np.ndarray,
+    estimated_eff: np.ndarray,
+    *,
+    weight: float,
+    sigma: float = 5.0,
+    alpha: float = DEFAULT_ALPHA,
+    relative: bool = True,
+) -> np.ndarray:
+    """Eqn. 2 over an array of independent learners.
+
+    Each row evolves exactly as :meth:`Vdbe.update` would, except the
+    exponential is ``np.exp`` rather than ``math.exp`` — deterministic,
+    but the two libm paths may differ in the last ulp.  Callers needing
+    bit-exact parity with the scalar class (the fleet pool's ``exact``
+    mode) compute the exponential per row via :mod:`math` and use
+    :func:`vdbe_difference_array` directly.
+    """
+    check(sigma > 0, "sigma must be positive")
+    check(0.0 < weight <= 1.0, "weight must be in (0, 1]")
+    eps = np.asarray(epsilon, dtype=np.float64)
+    difference = vdbe_difference_array(
+        measured_eff, estimated_eff, relative=relative
+    )
+    x = np.exp(-np.abs(alpha * difference) / sigma)
+    rho = (1.0 - x) / (1.0 + x)
+    result: np.ndarray = weight * rho + (1.0 - weight) * eps
+    return result

@@ -46,6 +46,12 @@ from .ladder import (
     monotone_transitions,
     overdraft_signal,
 )
+from .vector import (
+    desired_tier_array,
+    ladder_observe_array,
+    overdraft_signal_arrays,
+    throttle_s_array,
+)
 
 __all__ = [
     "DEFAULT_LADDER",
@@ -55,6 +61,10 @@ __all__ = [
     "OverdraftSignal",
     "Tier",
     "TierTransition",
+    "desired_tier_array",
+    "ladder_observe_array",
     "monotone_transitions",
     "overdraft_signal",
+    "overdraft_signal_arrays",
+    "throttle_s_array",
 ]

@@ -1,0 +1,38 @@
+"""repro.fleet: the vectorized fleet engine and device simulator.
+
+Steps whole cohorts of JouleGuard sessions as numpy struct-of-arrays
+state instead of per-object loops — decision-for-decision equivalent
+to the scalar :class:`~repro.core.jouleguard.JouleGuardRuntime` +
+:class:`~repro.enforce.ladder.EnforcementLadder` pair (see
+:mod:`repro.fleet.pool`), and fast enough to simulate million-device
+fleets with arrivals, churn, warm starts, and fleet-level telemetry
+(:mod:`repro.fleet.simulator`).
+"""
+
+from .cohort import CohortSpec
+from .measure import CohortHardwareModel
+from .metrics import FleetMetrics
+from .pool import FleetError, SessionPool
+from .reference import ScalarSessionLoop, run_lockstep
+from .simulator import (
+    CohortScenario,
+    FleetReport,
+    FleetScenario,
+    FleetSimulator,
+    preset_scenario,
+)
+
+__all__ = [
+    "CohortHardwareModel",
+    "CohortScenario",
+    "CohortSpec",
+    "FleetError",
+    "FleetMetrics",
+    "FleetReport",
+    "FleetScenario",
+    "FleetSimulator",
+    "ScalarSessionLoop",
+    "SessionPool",
+    "preset_scenario",
+    "run_lockstep",
+]

@@ -1,0 +1,170 @@
+"""Shared measurement synthesis for equivalence runs and benchmarks.
+
+The equivalence contract of :class:`~repro.fleet.pool.SessionPool` is
+only testable if the vectorized pool and the scalar reference loop see
+*bit-identical* measurements.  :class:`CohortHardwareModel` guarantees
+that: per-step noise vectors are drawn once (in step order, from an
+:class:`~repro.hw.vector.Ar1NoiseBank`) and cached, and both the
+vectorized path (:meth:`measurements`) and the per-row scalar path
+(:meth:`measurement_for`) index the same cached ``float64`` arrays with
+the same elementwise expression, operand order and all — so the two
+drivers cannot diverge in the last ulp.
+
+The model is fixed-capacity by design (rows are identities for the
+whole run); the fleet simulator, whose population churns, uses the
+noise bank directly instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import Measurement
+from ..hw.vector import Ar1NoiseBank, MachineTables
+from .cohort import CohortSpec
+
+__all__ = ["CohortHardwareModel"]
+
+
+class CohortHardwareModel:
+    """Deterministic per-cohort hardware response, replayable per row.
+
+    Parameters
+    ----------
+    tables:
+        Per-system-configuration base rates and powers
+        (:meth:`~repro.hw.vector.MachineTables.build`).
+    spec:
+        The cohort's frontier tables (speedups, power factors).
+    n:
+        Fixed row capacity.
+    waste:
+        Per-row energy multiplier (default all ones).  Rows with waste
+        well above 1 burn through their grant and exercise the hard
+        ladder tiers.
+    difficulty:
+        Optional per-step work-difficulty multipliers (scalar per
+        step, cycled); difficulty divides the delivered rate.
+    """
+
+    def __init__(
+        self,
+        tables: MachineTables,
+        spec: CohortSpec,
+        n: int,
+        waste: Optional[np.ndarray] = None,
+        difficulty: Optional[Sequence[float]] = None,
+        sigma_rate: float = 0.05,
+        sigma_power: float = 0.02,
+        correlation: float = 0.6,
+        seed: int = 0,
+        work_per_step: float = 1.0,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("the model needs at least one row")
+        if work_per_step <= 0:
+            raise ValueError("work per step must be positive")
+        self.tables = tables
+        self.spec = spec
+        self.n = n
+        self.work_per_step = work_per_step
+        if waste is None:
+            self.waste = np.ones(n, dtype=np.float64)
+        else:
+            self.waste = np.asarray(waste, dtype=np.float64)
+            if self.waste.shape != (n,):
+                raise ValueError("waste must have one entry per row")
+            if not bool(np.all(self.waste > 0.0)):
+                raise ValueError("waste multipliers must be positive")
+        if difficulty is not None and (
+            not difficulty or any(d <= 0 for d in difficulty)
+        ):
+            raise ValueError("difficulty multipliers must be positive")
+        self.difficulty = (
+            tuple(float(d) for d in difficulty) if difficulty else (1.0,)
+        )
+        self._bank = Ar1NoiseBank(
+            n,
+            sigma_rate=sigma_rate,
+            sigma_power=sigma_power,
+            correlation=correlation,
+            seed=seed,
+        )
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._next_step = 0
+
+    def _noise(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The (rate, power) noise vectors for ``step`` (cached).
+
+        Draws are strictly sequential; asking for a step that was
+        already pruned is a caller bug.
+        """
+        if step < 0:
+            raise ValueError("step cannot be negative")
+        while self._next_step <= step:
+            self._cache[self._next_step] = self._bank.sample()
+            self._next_step += 1
+        try:
+            return self._cache[step]
+        except KeyError:
+            raise ValueError(
+                f"noise for step {step} was already pruned"
+            ) from None
+
+    def prune(self, before_step: int) -> None:
+        """Drop cached noise for steps below ``before_step``."""
+        for step in [s for s in self._cache if s < before_step]:
+            del self._cache[step]
+
+    def measurements(
+        self, step: int, d_sys: np.ndarray, d_fpos: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized response: ``(work, energy_j, rate, power_w)``."""
+        rate_mult, power_mult = self._noise(step)
+        difficulty = self.difficulty[step % len(self.difficulty)]
+        speedups = self.spec.frontier_speedups
+        factors = self.spec.frontier_power_factors
+        rate = (
+            self.tables.base_rate[d_sys]
+            * speedups[d_fpos]
+            * rate_mult
+            / difficulty
+        )
+        work = np.full(self.n, self.work_per_step, dtype=np.float64)
+        elapsed = work / rate
+        measured_rate = work / elapsed
+        power_w = (
+            self.tables.package_power_w[d_sys] * factors[d_fpos]
+        ) * power_mult + self.tables.external_w
+        energy_j = power_w * elapsed * self.waste
+        return work, energy_j, measured_rate, power_w
+
+    def measurement_for(
+        self, row: int, step: int, sys_index: int, fpos: int
+    ) -> Measurement:
+        """Scalar response for one row — bit-identical to the row's
+        slice of :meth:`measurements` for the same indices."""
+        rate_mult, power_mult = self._noise(step)
+        difficulty = self.difficulty[step % len(self.difficulty)]
+        rate = (
+            float(self.tables.base_rate[sys_index])
+            * float(self.spec.frontier_speedups[fpos])
+            * float(rate_mult[row])
+            / difficulty
+        )
+        work = self.work_per_step
+        elapsed = work / rate
+        measured_rate = work / elapsed
+        power_w = (
+            float(self.tables.package_power_w[sys_index])
+            * float(self.spec.frontier_power_factors[fpos])
+        ) * float(power_mult[row]) + self.tables.external_w
+        energy_j = power_w * elapsed * float(self.waste[row])
+        return Measurement(
+            work=work,
+            energy_j=energy_j,
+            rate=measured_rate,
+            power_w=power_w,
+        )

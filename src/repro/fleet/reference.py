@@ -1,0 +1,250 @@
+"""Scalar reference driver: one session the way the service runs it.
+
+:class:`ScalarSessionLoop` replays the healthy-sensor step path of
+``repro.service.sessions.SessionManager`` — the smoothing EWMAs, the
+:class:`~repro.core.jouleguard.JouleGuardRuntime` step, the overdraft
+signal, the :class:`~repro.enforce.ladder.EnforcementLadder`
+observation, the DEGRADE pin, and the KILL — without the daemon
+plumbing, so a :class:`~repro.fleet.pool.SessionPool` row can be
+checked against it decision for decision.  :func:`run_lockstep` does
+exactly that: it steps a pool and a list of scalar loops over shared
+:class:`~repro.fleet.measure.CohortHardwareModel` measurements and
+reports every field that diverges.
+
+This module is also the benchmark baseline: ``bench_fleet`` times the
+pool against these loops to measure the vectorization speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..apps.base import ApproximateApplication
+from ..core.bandit import SystemEnergyOptimizer
+from ..core.budget import EnergyGoal
+from ..core.jouleguard import Decision, JouleGuardRuntime
+from ..core.types import Measurement
+from ..enforce.ladder import (
+    DEFAULT_LADDER,
+    EnforcementLadder,
+    KilledSessionError,
+    LadderPolicy,
+    Tier,
+    overdraft_signal,
+)
+from ..hw.machine import Machine
+from ..runtime.harness import prior_shapes
+from ..runtime.oracle import default_energy_per_work
+from .measure import CohortHardwareModel
+from .pool import SessionPool
+
+__all__ = ["ScalarSessionLoop", "run_lockstep"]
+
+
+class ScalarSessionLoop:
+    """One JouleGuard session, stepped the way the manager steps it."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        app: ApproximateApplication,
+        total_work: float,
+        seed: int,
+        factor: Optional[float] = None,
+        budget_j: Optional[float] = None,
+        policy: Optional[LadderPolicy] = DEFAULT_LADDER,
+        smoothing: float = 0.25,
+        feasibility_slack: float = 1.05,
+    ) -> None:
+        if (budget_j is None) == (factor is None):
+            raise ValueError("pass exactly one of factor / budget_j")
+        if budget_j is None:
+            assert factor is not None
+            if factor < 1.0:
+                raise ValueError("factor must be >= 1")
+            budget_j = (
+                total_work
+                * default_energy_per_work(machine, app)
+                / factor
+            )
+        rate_shape, power_shape = prior_shapes(machine)
+        # The session manager seeds exploration with ``seed + 1``.
+        seo = SystemEnergyOptimizer(
+            rate_shape, power_shape, seed=seed + 1
+        )
+        self.runtime = JouleGuardRuntime(
+            seo=seo,
+            table=app.table,
+            goal=EnergyGoal(total_work=total_work, budget_j=budget_j),
+            feasibility_slack=feasibility_slack,
+        )
+        self.ladder = (
+            EnforcementLadder(policy=policy)
+            if policy is not None
+            else None
+        )
+        self.smoothing = smoothing
+        self.steps = 0
+        self.recent_epw: Optional[float] = None
+        self.recent_step_energy_j: Optional[float] = None
+        self.throttle_s = 0.0
+        self.degraded = False
+        self.killed = False
+        self.kill_step = -1
+
+    @property
+    def decision(self) -> Decision:
+        return self.runtime.current_decision
+
+    @property
+    def tier(self) -> Tier:
+        return self.ladder.tier if self.ladder is not None else Tier.NOMINAL
+
+    def step(self, measurement: Measurement) -> Decision:
+        """One manager step: EWMAs, Algorithm 1, then the ladder."""
+        if self.killed:
+            raise KilledSessionError("session was killed")
+        self.steps += 1
+        if self.tier < Tier.DEGRADE:
+            self.degraded = False
+        epw = measurement.energy_j / measurement.work
+        if self.recent_epw is None:
+            self.recent_epw = epw
+        else:
+            self.recent_epw += self.smoothing * (epw - self.recent_epw)
+        self.runtime.step(measurement)
+        if self.recent_step_energy_j is None:
+            self.recent_step_energy_j = measurement.energy_j
+        else:
+            self.recent_step_energy_j += self.smoothing * (
+                measurement.energy_j - self.recent_step_energy_j
+            )
+        if self.ladder is not None:
+            self._enforce()
+        return self.runtime.current_decision
+
+    def _enforce(self) -> None:
+        assert self.ladder is not None
+        signal = overdraft_signal(
+            self.runtime.accountant,
+            self.recent_epw,
+            self.recent_step_energy_j,
+        )
+        tier = self.ladder.observe(signal, step=self.steps)
+        if Tier.DEGRADE <= tier < Tier.KILL:
+            self.degraded = True
+            self.runtime.pin_safe_fallback()
+        self.throttle_s = self.ladder.throttle_s()
+        if tier is Tier.KILL:
+            self.killed = True
+            self.kill_step = self.steps
+
+
+def run_lockstep(
+    pool: SessionPool,
+    loops: List[ScalarSessionLoop],
+    model: CohortHardwareModel,
+    n_steps: int,
+    max_report: int = 20,
+) -> List[str]:
+    """Step a pool and scalar loops over shared measurements; return
+    every divergence found (empty list = decision-for-decision equal).
+
+    Row ``i`` of the pool and ``loops[i]`` must have been opened with
+    the same work, budget, and seed (and the pool in ``"exact"`` mode
+    for bit-exactness).  Each step both drivers read the *same* cached
+    noise from ``model``; afterwards every decision field, ledger, and
+    enforcement output is compared exactly — no tolerances.
+    """
+    if pool.n != len(loops):
+        raise ValueError("pool rows and scalar loops must align")
+    spec = pool.spec
+    index_to_fpos = {
+        int(index): position
+        for position, index in enumerate(spec.frontier_indices)
+    }
+    mismatches: List[str] = []
+
+    def note(message: str) -> None:
+        if len(mismatches) < max_report:
+            mismatches.append(message)
+
+    for t in range(n_steps):
+        if pool.alive_count == 0:
+            break
+        d_sys = pool.d_sys.copy()
+        d_fpos = pool.d_fpos.copy()
+        work, energy_j, rate, power_w = model.measurements(
+            t, d_sys, d_fpos
+        )
+        for i, loop in enumerate(loops):
+            if loop.killed or not bool(pool.alive[i]):
+                continue
+            sys_index = loop.decision.system_index
+            fpos = index_to_fpos[loop.decision.app_config.index]
+            if sys_index != int(d_sys[i]) or fpos != int(d_fpos[i]):
+                note(
+                    f"step {t} row {i}: pre-step decision diverged "
+                    f"(scalar sys={sys_index} fpos={fpos}, "
+                    f"pool sys={int(d_sys[i])} fpos={int(d_fpos[i])})"
+                )
+            loop.step(model.measurement_for(i, t, sys_index, fpos))
+        pool.step(work, energy_j, rate, power_w)
+        model.prune(t)
+
+        for i, loop in enumerate(loops):
+            if bool(pool.killed[i]) != loop.killed:
+                note(
+                    f"step {t} row {i}: kill status diverged "
+                    f"(scalar={loop.killed}, pool={bool(pool.killed[i])})"
+                )
+                continue
+            if loop.killed:
+                if int(pool.kill_step[i]) != loop.kill_step:
+                    note(
+                        f"row {i}: kill step diverged "
+                        f"(scalar={loop.kill_step}, "
+                        f"pool={int(pool.kill_step[i])})"
+                    )
+                continue
+            decision = loop.decision
+            accountant = loop.runtime.accountant
+            checks = (
+                ("system_index", decision.system_index, int(pool.d_sys[i])),
+                (
+                    "app_index",
+                    decision.app_config.index,
+                    int(spec.frontier_indices[pool.d_fpos[i]]),
+                ),
+                (
+                    "setpoint",
+                    decision.speedup_setpoint,
+                    float(pool.d_setpoint[i]),
+                ),
+                ("pole", decision.pole, float(pool.d_pole[i])),
+                ("epsilon", decision.epsilon, float(pool.d_epsilon[i])),
+                ("explored", decision.explored, bool(pool.d_explored[i])),
+                ("feasible", decision.feasible, bool(pool.d_feasible[i])),
+                ("tier", int(loop.tier), int(pool.tier[i])),
+                ("throttle_s", loop.throttle_s, float(pool.throttle_s[i])),
+                ("degraded", loop.degraded, bool(pool.degraded[i])),
+                (
+                    "work_done",
+                    accountant.work_done,
+                    float(pool.work_done[i]),
+                ),
+                (
+                    "energy_used_j",
+                    accountant.energy_used_j,
+                    float(pool.energy_used_j[i]),
+                ),
+            )
+            for label, scalar_value, pool_value in checks:
+                if scalar_value != pool_value:
+                    note(
+                        f"step {t} row {i}: {label} diverged "
+                        f"(scalar={scalar_value!r}, pool={pool_value!r})"
+                    )
+    return mismatches

@@ -46,9 +46,11 @@ from .serialize import (
 from .simulator import IterationResult, NoiseModel, PlatformSimulator
 from .speedup_model import speedup_over_minimal, work_rate
 from .thermal import ThermalModel, attach_thermal_model
+from .vector import Ar1NoiseBank, MachineTables
 
 __all__ = [
     "AppResourceProfile",
+    "Ar1NoiseBank",
     "Battery",
     "Cluster",
     "ConfigSpace",
@@ -58,6 +60,7 @@ __all__ = [
     "IterationResult",
     "Knob",
     "Machine",
+    "MachineTables",
     "NoiseModel",
     "OnChipPowerSensor",
     "PlatformSimulator",

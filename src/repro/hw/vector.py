@@ -1,0 +1,177 @@
+"""Vectorized per-machine power/performance tables and noise banks.
+
+The fleet engine (:mod:`repro.fleet`) synthesizes measurements for
+thousands of devices per step, so it cannot afford one
+:func:`~repro.hw.speedup_model.work_rate` call per device per step.
+:class:`MachineTables` precomputes the scalar models once per machine
+shape into dense per-configuration arrays — the scalar functions stay
+the single source of truth; the tables are a cache, verified
+element-for-element against them in the tests.
+
+Index convention: position ``i`` corresponds to ``machine.space[i]``
+(the enumeration order that :func:`repro.runtime.harness.prior_shapes`
+and the SEO share), **not** ``ConfigSpace.linearized()``.
+
+:class:`Ar1NoiseBank` is the vector twin of
+:class:`~repro.hw.simulator.NoiseModel`: one independent AR(1)
+lognormal chain per device, stepped for the whole bank with two
+pooled normal draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.contracts import check
+from .machine import Machine
+from .power_model import package_power
+from .profiles import AppResourceProfile
+from .speedup_model import work_rate
+
+__all__ = ["Ar1NoiseBank", "MachineTables"]
+
+
+@dataclass(frozen=True)
+class MachineTables:
+    """Dense per-configuration model tables for one machine shape.
+
+    Parameters
+    ----------
+    machine_name:
+        The shape the tables were built from (Table 3 name).
+    base_rate:
+        ``work_rate(machine, space[i], profile)`` per configuration.
+    package_power_w:
+        ``package_power(machine, space[i], profile)`` per configuration.
+    external_w:
+        The machine's rest-of-system constant draw; ``system_power``
+        is ``package_power_w + external_w`` by construction.
+    """
+
+    machine_name: str
+    base_rate: np.ndarray
+    package_power_w: np.ndarray
+    external_w: float
+
+    @property
+    def n_configs(self) -> int:
+        return int(self.base_rate.shape[0])
+
+    @property
+    def system_power_w(self) -> np.ndarray:
+        """Full-system power per configuration (package + external)."""
+        result: np.ndarray = self.package_power_w + self.external_w
+        return result
+
+    @classmethod
+    def build(
+        cls, machine: Machine, profile: AppResourceProfile
+    ) -> "MachineTables":
+        """Evaluate the scalar models over the whole config space."""
+        rates = np.empty(len(machine.space), dtype=np.float64)
+        powers = np.empty(len(machine.space), dtype=np.float64)
+        for i, config in enumerate(machine.space):
+            rates[i] = work_rate(machine, config, profile)
+            powers[i] = package_power(machine, config, profile)
+        rates.setflags(write=False)
+        powers.setflags(write=False)
+        return cls(
+            machine_name=machine.name,
+            base_rate=rates,
+            package_power_w=powers,
+            external_w=machine.external_w,
+        )
+
+
+class Ar1NoiseBank:
+    """Independent AR(1) lognormal noise chains, one row per device.
+
+    Each row follows the same process as
+    :class:`~repro.hw.simulator.NoiseModel`::
+
+        state = corr * state + N(0, sigma * sqrt(1 - corr**2))
+        mult  = exp(state)
+
+    but the whole bank advances with two pooled normal draws per step,
+    so stepping 100k devices costs two ``standard_normal(n)`` calls.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        sigma_rate: float = 0.05,
+        sigma_power: float = 0.02,
+        correlation: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        check(n >= 0, "bank size cannot be negative")
+        check(
+            sigma_rate >= 0 and sigma_power >= 0,
+            "noise magnitudes cannot be negative",
+        )
+        check(0.0 <= correlation < 1.0, "correlation must be in [0, 1)")
+        self.sigma_rate = sigma_rate
+        self.sigma_power = sigma_power
+        self.correlation = correlation
+        self._innovation = math.sqrt(1.0 - correlation**2)
+        self._rng = np.random.default_rng(seed)
+        self._rate_state = np.zeros(n, dtype=np.float64)
+        self._power_state = np.zeros(n, dtype=np.float64)
+
+    @property
+    def n(self) -> int:
+        return int(self._rate_state.shape[0])
+
+    def extend(self, k: int) -> None:
+        """Append ``k`` fresh chains starting at the neutral state."""
+        check(k >= 0, "cannot extend by a negative count")
+        self._rate_state = np.concatenate(
+            [self._rate_state, np.zeros(k, dtype=np.float64)]
+        )
+        self._power_state = np.concatenate(
+            [self._power_state, np.zeros(k, dtype=np.float64)]
+        )
+
+    def keep(self, mask: np.ndarray) -> None:
+        """Drop chains where ``mask`` is False (pool compaction)."""
+        keep = np.asarray(mask, dtype=bool)
+        self._rate_state = self._rate_state[keep]
+        self._power_state = self._power_state[keep]
+
+    def sample(
+        self, mask: Optional[np.ndarray] = None
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Advance every (masked) chain; return (rate, power) factors.
+
+        Rows outside the mask keep their state and report the neutral
+        factor 1.0.  The pooled draws are consumed for all rows either
+        way, so a fixed-capacity bank replays the same stream
+        regardless of which rows are currently live.
+        """
+        n = self.n
+        rate_innov = self._rng.standard_normal(n)
+        power_innov = self._rng.standard_normal(n)
+        new_rate = (
+            self.correlation * self._rate_state
+            + self.sigma_rate * self._innovation * rate_innov
+        )
+        new_power = (
+            self.correlation * self._power_state
+            + self.sigma_power * self._innovation * power_innov
+        )
+        if mask is None:
+            self._rate_state = new_rate
+            self._power_state = new_power
+            return np.exp(new_rate), np.exp(new_power)
+        rows = np.asarray(mask, dtype=bool)
+        self._rate_state = np.where(rows, new_rate, self._rate_state)
+        self._power_state = np.where(rows, new_power, self._power_state)
+        ones = np.ones(n, dtype=np.float64)
+        return (
+            np.where(rows, np.exp(new_rate), ones),
+            np.where(rows, np.exp(new_power), ones),
+        )

@@ -1,17 +1,29 @@
-"""Workload structure: phases, traces, and per-iteration generation."""
+"""Workload structure: phases, traces, arrivals, and generation."""
 
+from .arrivals import (
+    ArrivalTrace,
+    arrivals_from_workload,
+    bursty_arrivals,
+    diurnal_arrivals,
+    steady_arrivals,
+)
 from .generator import WorkGenerator
 from .phases import PhasedWorkload, WorkloadPhase, steady, three_scene_video
 from .traces import MarkovWorkload, RecordedTrace, Regime, record_trace
 
 __all__ = [
+    "ArrivalTrace",
     "MarkovWorkload",
     "PhasedWorkload",
     "RecordedTrace",
     "Regime",
     "WorkGenerator",
     "WorkloadPhase",
+    "arrivals_from_workload",
+    "bursty_arrivals",
+    "diurnal_arrivals",
     "record_trace",
     "steady",
+    "steady_arrivals",
     "three_scene_video",
 ]

@@ -1,0 +1,189 @@
+"""Fleet arrival traces built on the workload phase structure.
+
+The fleet simulator (:mod:`repro.fleet.simulator`) opens sessions over
+time rather than all at once: devices come and go following diurnal
+cycles or bursty regimes.  This module expresses those patterns as an
+:class:`ArrivalTrace` — expected arrivals per epoch — reusing the same
+building blocks the per-session workloads use: diurnal shapes are
+authored as :class:`~repro.workloads.phases.PhasedWorkload` phases,
+bursty shapes as a realized
+:class:`~repro.workloads.traces.MarkovWorkload` chain, so arrival
+structure and input-difficulty structure share one vocabulary.
+
+Everything is deterministic given the seed: :meth:`ArrivalTrace.sample`
+draws per-epoch Poisson counts from ``numpy.random.default_rng(seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .phases import PhasedWorkload, WorkloadPhase
+from .traces import MarkovWorkload, Regime
+
+__all__ = [
+    "ArrivalTrace",
+    "arrivals_from_workload",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "steady_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Expected session arrivals per simulation epoch.
+
+    ``expected[e]`` is the Poisson mean for epoch ``e``;
+    :meth:`sample` realizes the actual integer counts.
+    """
+
+    name: str
+    expected: Tuple[float, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.expected:
+            raise ValueError("need at least one epoch")
+        if any(
+            rate < 0 or not math.isfinite(rate) for rate in self.expected
+        ):
+            raise ValueError("expected arrivals must be finite and >= 0")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.expected)
+
+    @property
+    def total_expected(self) -> float:
+        return float(sum(self.expected))
+
+    def scaled_to_total(self, total: float) -> "ArrivalTrace":
+        """Rescale so the expected arrivals over the trace sum to
+        ``total`` (how scenarios express "N devices over the run")."""
+        if total < 0:
+            raise ValueError("total expected arrivals cannot be negative")
+        current = self.total_expected
+        if current <= 0:
+            raise ValueError("cannot scale an all-zero trace")
+        factor = total / current
+        return ArrivalTrace(
+            name=self.name,
+            expected=tuple(rate * factor for rate in self.expected),
+            seed=self.seed,
+        )
+
+    def sample(self) -> np.ndarray:
+        """Realized arrival counts per epoch (seed-deterministic)."""
+        rng = np.random.default_rng(self.seed)
+        counts: np.ndarray = rng.poisson(
+            np.asarray(self.expected, dtype=np.float64)
+        ).astype(np.int64)
+        return counts
+
+
+def arrivals_from_workload(
+    workload: PhasedWorkload,
+    mean_rate: float,
+    name: str = "workload",
+    seed: int = 0,
+) -> ArrivalTrace:
+    """One epoch per workload iteration, intensity from its difficulty.
+
+    The per-iteration work multipliers become relative arrival
+    intensities, normalized so the mean epoch expects ``mean_rate``
+    arrivals — a load trace recorded for one session shapes the whole
+    fleet's arrival curve.
+    """
+    if mean_rate < 0:
+        raise ValueError("mean arrival rate cannot be negative")
+    multipliers = list(workload.iteration_difficulty())
+    mean_multiplier = sum(multipliers) / len(multipliers)
+    return ArrivalTrace(
+        name=name,
+        expected=tuple(
+            mean_rate * m / mean_multiplier for m in multipliers
+        ),
+        seed=seed,
+    )
+
+
+def steady_arrivals(
+    n_epochs: int, rate: float, seed: int = 0
+) -> ArrivalTrace:
+    """A flat arrival curve: ``rate`` expected arrivals every epoch."""
+    workload = PhasedWorkload(
+        phases=(WorkloadPhase("steady", n_epochs),)
+    )
+    return arrivals_from_workload(
+        workload, mean_rate=rate, name="steady", seed=seed
+    )
+
+
+def diurnal_arrivals(
+    n_epochs: int,
+    mean_rate: float,
+    peak_to_trough: float = 4.0,
+    period: int = 24,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """A sinusoidal day/night cycle, authored as workload phases.
+
+    Each epoch becomes one :class:`WorkloadPhase` whose work multiplier
+    follows ``1 + a·sin(2π·e/period)`` with the amplitude ``a`` chosen
+    so peak load is ``peak_to_trough`` times trough load.
+    """
+    if peak_to_trough < 1.0:
+        raise ValueError("peak-to-trough ratio must be >= 1")
+    if period < 2:
+        raise ValueError("diurnal period needs at least two epochs")
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    phases = tuple(
+        WorkloadPhase(
+            name=f"hour-{epoch % period}",
+            n_iterations=1,
+            work_multiplier=(
+                1.0 + amplitude * math.sin(2.0 * math.pi * epoch / period)
+            ),
+        )
+        for epoch in range(n_epochs)
+    )
+    return arrivals_from_workload(
+        PhasedWorkload(phases=phases),
+        mean_rate=mean_rate,
+        name="diurnal",
+        seed=seed,
+    )
+
+
+def bursty_arrivals(
+    n_epochs: int,
+    mean_rate: float,
+    burst_multiplier: float = 6.0,
+    mean_dwell_calm: float = 45.0,
+    mean_dwell_burst: float = 5.0,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Calm/burst regime switching via a Markov workload chain.
+
+    The realized chain's difficulties become relative intensities, so a
+    burst epoch expects ``burst_multiplier`` times the calm load; the
+    trace is normalized to ``mean_rate`` expected arrivals per epoch.
+    """
+    if burst_multiplier < 1.0:
+        raise ValueError("burst multiplier must be >= 1")
+    chain = MarkovWorkload(
+        regimes=(
+            Regime("calm", 1.0, mean_dwell_calm),
+            Regime("burst", burst_multiplier, mean_dwell_burst),
+        ),
+        n_iterations=n_epochs,
+        seed=seed,
+    )
+    return arrivals_from_workload(
+        chain.to_phased(), mean_rate=mean_rate, name="bursty", seed=seed
+    )

@@ -1,0 +1,93 @@
+"""The ``python -m repro fleet`` verb: plumbing, overrides, artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFleetCommand:
+    def test_preset_run_with_overrides(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--preset",
+                "smoke",
+                "--devices",
+                "1200",
+                "--epochs",
+                "10",
+                "--seed",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "devices opened" in out
+        assert "hard-tier sessions" in out
+
+    def test_json_report(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--preset",
+                "smoke",
+                "--devices",
+                "800",
+                "--epochs",
+                "8",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{") :])
+        assert payload["opened"] > 0
+        assert "burn_fraction" in payload
+
+    def test_scenario_file_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        code = main(
+            [
+                "fleet",
+                "--preset",
+                "smoke",
+                "--devices",
+                "600",
+                "--epochs",
+                "6",
+                "--scenario-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        saved = json.loads(path.read_text())
+        assert saved["devices"] == 600
+        capsys.readouterr()
+        code = main(["fleet", "--scenario", str(path)])
+        assert code == 0
+        assert "devices opened" in capsys.readouterr().out
+
+    def test_prometheus_dump(self, tmp_path, capsys):
+        prom = tmp_path / "fleet.prom"
+        code = main(
+            [
+                "fleet",
+                "--preset",
+                "smoke",
+                "--devices",
+                "500",
+                "--epochs",
+                "6",
+                "--prom",
+                str(prom),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert "jg_fleet_sessions_opened_total" in prom.read_text()
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--preset", "galaxy"])

@@ -1,0 +1,176 @@
+"""The fleet engine's design contract: bit-exact scalar equivalence.
+
+A :class:`~repro.fleet.SessionPool` in ``"exact"`` mode must make the
+same decisions, bit for bit, as one
+:class:`~repro.core.jouleguard.JouleGuardRuntime` +
+:class:`~repro.enforce.ladder.EnforcementLadder` pair per session —
+over the whole trajectory, including EWMAs, ledgers, enforcement
+tiers, DEGRADE pins, and KILL events.  :func:`repro.fleet.run_lockstep`
+drives both sides over shared measurements and compares every field
+with no tolerances; these tests assert the divergence list is empty
+for mixed cohorts that exercise every tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_application
+from repro.fleet import (
+    CohortHardwareModel,
+    CohortSpec,
+    ScalarSessionLoop,
+    SessionPool,
+    run_lockstep,
+)
+from repro.hw import GENERIC_PROFILE, get_machine
+from repro.hw.vector import MachineTables
+
+
+def _cohort(machine_name, app_name, n, seed, waste=None, factors=None):
+    machine = get_machine(machine_name)
+    app = build_application(app_name)
+    spec = CohortSpec.from_pair(machine, app)
+    tables = MachineTables.build(machine, GENERIC_PROFILE)
+    model = CohortHardwareModel(
+        tables, spec, n, waste=waste, seed=seed + 17
+    )
+    work = np.full(n, 40.0)
+    seeds = np.arange(n, dtype=np.int64) * 13 + seed
+    if factors is None:
+        factors = np.linspace(1.2, 2.5, n)
+    pool = SessionPool(spec, mode="exact")
+    pool.open(work, seeds, factors=factors)
+    loops = [
+        ScalarSessionLoop(
+            machine,
+            app,
+            float(work[i]),
+            int(seeds[i]),
+            factor=float(factors[i]),
+        )
+        for i in range(n)
+    ]
+    return pool, loops, model
+
+
+class TestBitExactEquivalence:
+    def test_mixed_cohort_with_kills(self):
+        """The centerpiece: healthy + runaway sessions over 160 steps.
+
+        Half the cohort runs with heavy energy waste so the ladder
+        climbs all the way to KILL; the lockstep run must stay
+        bit-exact through the escalation, the DEGRADE pins, and the
+        kill events themselves.
+        """
+        n = 16
+        waste = np.ones(n)
+        waste[n // 2 :] = 3.0
+        pool, loops, model = _cohort(
+            "tablet", "x264", n, seed=11, waste=waste
+        )
+        mismatches = run_lockstep(pool, loops, model, n_steps=160)
+        assert mismatches == []
+        # The scenario must actually exercise the hard tiers.
+        assert any(loop.killed for loop in loops)
+        assert bool(np.any(pool.killed))
+        assert int(pool.tier_peak.max()) == 4
+        # And the healthy half must have finished or stayed nominal.
+        assert any(not loop.killed for loop in loops)
+
+    def test_mobile_swaptions_cohort(self):
+        """Second Table 3 shape x app pair (mobile, C=128)."""
+        n = 8
+        waste = np.ones(n)
+        waste[-2:] = 4.0
+        pool, loops, model = _cohort(
+            "mobile", "swaptions", n, seed=23, waste=waste
+        )
+        mismatches = run_lockstep(pool, loops, model, n_steps=120)
+        assert mismatches == []
+
+    def test_unguarded_pool_matches_bare_runtime(self):
+        """policy=None: pure Algorithm 1, no enforcement ladder."""
+        n = 6
+        machine = get_machine("tablet")
+        app = build_application("x264")
+        spec = CohortSpec.from_pair(machine, app)
+        tables = MachineTables.build(machine, GENERIC_PROFILE)
+        model = CohortHardwareModel(tables, spec, n, seed=5)
+        work = np.full(n, 30.0)
+        seeds = np.arange(n, dtype=np.int64) * 7 + 3
+        factors = np.linspace(1.3, 2.0, n)
+        pool = SessionPool(spec, policy=None, mode="exact")
+        pool.open(work, seeds, factors=factors)
+        loops = [
+            ScalarSessionLoop(
+                machine,
+                app,
+                float(work[i]),
+                int(seeds[i]),
+                factor=float(factors[i]),
+                policy=None,
+            )
+            for i in range(n)
+        ]
+        assert run_lockstep(pool, loops, model, n_steps=80) == []
+
+    def test_lockstep_rejects_misaligned_inputs(self):
+        pool, loops, model = _cohort("tablet", "x264", 4, seed=2)
+        with pytest.raises(ValueError):
+            run_lockstep(pool, loops[:-1], model, n_steps=1)
+
+
+class TestFastModeDeterminism:
+    def test_same_seed_same_trajectory(self):
+        """Fast mode is deterministic given pool seed + open schedule."""
+        ledgers = []
+        for _ in range(2):
+            machine = get_machine("tablet")
+            app = build_application("x264")
+            spec = CohortSpec.from_pair(machine, app)
+            tables = MachineTables.build(machine, GENERIC_PROFILE)
+            model = CohortHardwareModel(tables, spec, 12, seed=9)
+            pool = SessionPool(spec, mode="fast", seed=42)
+            pool.open(
+                np.full(12, 50.0),
+                np.arange(12, dtype=np.int64),
+                factors=np.linspace(1.2, 2.2, 12),
+            )
+            for t in range(60):
+                work, energy, rate, power = model.measurements(
+                    t, pool.d_sys, pool.d_fpos
+                )
+                pool.step(work, energy, rate, power)
+                model.prune(t)
+            ledgers.append(
+                (
+                    pool.energy_used_j.copy(),
+                    pool.d_sys.copy(),
+                    pool.d_fpos.copy(),
+                    pool.tier.copy(),
+                    pool.epsilon.copy(),
+                )
+            )
+        for first, second in zip(*ledgers):
+            np.testing.assert_array_equal(first, second)
+
+    def test_fast_and_exact_agree_on_ledgers(self):
+        """RNG mode changes exploration, not accounting: identical
+        measurements produce identical ledger arithmetic."""
+        for mode in ("fast", "exact"):
+            machine = get_machine("tablet")
+            app = build_application("x264")
+            spec = CohortSpec.from_pair(machine, app)
+            pool = SessionPool(spec, mode=mode, seed=1)
+            pool.open(
+                np.full(3, 20.0),
+                np.arange(3, dtype=np.int64),
+                factors=np.full(3, 1.5),
+            )
+            work = np.full(3, 1.0)
+            energy = np.full(3, 2.0)
+            rate = np.full(3, 4.0)
+            power = np.full(3, 8.0)
+            pool.step(work, energy, rate, power)
+            np.testing.assert_array_equal(pool.work_done, work)
+            np.testing.assert_array_equal(pool.energy_used_j, energy)

@@ -1,0 +1,99 @@
+"""Full serialization round-trips for every Table 3 machine shape.
+
+``test_serialize.py`` covers the dict codec on sampled configurations;
+this suite drives the *file* path (``save_machine`` / ``load_machine``)
+for mobile, tablet, and server, and checks the derived surfaces the
+rest of the stack consumes — prior shapes for the SEO and the dense
+:class:`~repro.hw.vector.MachineTables` the fleet engine steps on —
+so a machine that survives a round-trip is guaranteed to drive
+byte-identical learning and fleet synthesis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    GENERIC_PROFILE,
+    all_machines,
+    get_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+    system_power,
+    work_rate,
+)
+from repro.hw.vector import MachineTables
+from repro.runtime.harness import prior_shapes
+
+SHAPES = ("mobile", "tablet", "server")
+
+
+@pytest.mark.parametrize("name", SHAPES)
+class TestFileRoundTrip:
+    def test_save_load_preserves_identity(self, name, tmp_path):
+        machine = get_machine(name)
+        path = save_machine(machine, tmp_path / f"{name}.json")
+        restored = load_machine(path)
+        assert restored.name == machine.name
+        assert restored.external_w == machine.external_w
+        assert len(restored.space) == len(machine.space)
+        assert list(restored.space) == list(machine.space)
+
+    def test_save_load_preserves_models(self, name, tmp_path):
+        """Every configuration's rate and power, exactly — the models
+        are what the learner and the fleet tables are built from."""
+        machine = get_machine(name)
+        restored = load_machine(save_machine(machine, tmp_path / "m.json"))
+        for config in machine.space:
+            assert work_rate(restored, config, GENERIC_PROFILE) == (
+                work_rate(machine, config, GENERIC_PROFILE)
+            )
+            assert system_power(restored, config, GENERIC_PROFILE) == (
+                system_power(machine, config, GENERIC_PROFILE)
+            )
+
+    def test_prior_shapes_survive(self, name, tmp_path):
+        machine = get_machine(name)
+        restored = load_machine(save_machine(machine, tmp_path / "m.json"))
+        rate, power = prior_shapes(machine)
+        restored_rate, restored_power = prior_shapes(restored)
+        np.testing.assert_array_equal(rate, restored_rate)
+        np.testing.assert_array_equal(power, restored_power)
+
+    def test_fleet_tables_survive(self, name, tmp_path):
+        machine = get_machine(name)
+        restored = load_machine(save_machine(machine, tmp_path / "m.json"))
+        original = MachineTables.build(machine, GENERIC_PROFILE)
+        rebuilt = MachineTables.build(restored, GENERIC_PROFILE)
+        np.testing.assert_array_equal(original.base_rate, rebuilt.base_rate)
+        np.testing.assert_array_equal(
+            original.package_power_w, rebuilt.package_power_w
+        )
+        assert original.external_w == rebuilt.external_w
+
+    def test_dict_codec_matches_file_codec(self, name, tmp_path):
+        machine = get_machine(name)
+        via_dict = machine_from_dict(machine_to_dict(machine))
+        via_file = load_machine(save_machine(machine, tmp_path / "m.json"))
+        assert machine_to_dict(via_dict) == machine_to_dict(via_file)
+
+
+class TestImportSurface:
+    def test_all_machines_cover_the_paper_shapes(self):
+        machines = all_machines()
+        assert set(SHAPES) <= set(machines)
+
+    def test_tables_match_scalar_models_per_config(self):
+        """MachineTables is a cache of the scalar models — verify
+        element-for-element on the tablet shape."""
+        machine = get_machine("tablet")
+        tables = MachineTables.build(machine, GENERIC_PROFILE)
+        assert tables.n_configs == len(machine.space)
+        for i, config in enumerate(machine.space):
+            assert float(tables.base_rate[i]) == work_rate(
+                machine, config, GENERIC_PROFILE
+            )
+            assert float(
+                tables.system_power_w[i]
+            ) == system_power(machine, config, GENERIC_PROFILE)

@@ -1,0 +1,159 @@
+"""Arrival traces: shapes, edge cases, and seed-replication properties.
+
+Covers the degenerate inputs the fleet simulator can hand the
+generators — zero-length phase lists, single-epoch traces — plus
+hypothesis properties that the diurnal/bursty generators replicate
+exactly under a fixed seed (the fleet determinism guarantee rests on
+this).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ArrivalTrace,
+    MarkovWorkload,
+    PhasedWorkload,
+    Regime,
+    WorkloadPhase,
+    arrivals_from_workload,
+    bursty_arrivals,
+    diurnal_arrivals,
+    steady_arrivals,
+)
+
+
+class TestEdgeCases:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="empty", expected=())
+
+    def test_zero_length_phase_list_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload(phases=())
+
+    def test_zero_iteration_phase_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase("null", 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="neg", expected=(1.0, -1.0))
+        with pytest.raises(ValueError):
+            steady_arrivals(4, rate=-1.0)
+
+    def test_non_finite_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(name="inf", expected=(math.inf,))
+
+    def test_single_epoch_traces(self):
+        for trace in (
+            steady_arrivals(1, rate=5.0),
+            bursty_arrivals(1, mean_rate=5.0),
+            diurnal_arrivals(1, mean_rate=5.0),
+        ):
+            assert trace.n_epochs == 1
+            counts = trace.sample()
+            assert counts.shape == (1,)
+            assert counts.dtype == np.int64
+            assert int(counts[0]) >= 0
+
+    def test_diurnal_period_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(8, mean_rate=1.0, period=1)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(8, mean_rate=1.0, peak_to_trough=0.5)
+
+    def test_bursty_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(8, mean_rate=1.0, burst_multiplier=0.9)
+
+    def test_scaling_edge_cases(self):
+        trace = steady_arrivals(4, rate=2.0)
+        scaled = trace.scaled_to_total(100.0)
+        assert scaled.total_expected == pytest.approx(100.0)
+        assert scaled.scaled_to_total(0.0).total_expected == 0.0
+        with pytest.raises(ValueError):
+            trace.scaled_to_total(-1.0)
+        zero = ArrivalTrace(name="zero", expected=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            zero.scaled_to_total(10.0)
+
+
+class TestShapes:
+    def test_steady_is_flat(self):
+        trace = steady_arrivals(6, rate=3.0)
+        assert all(
+            rate == pytest.approx(3.0) for rate in trace.expected
+        )
+
+    def test_diurnal_peak_to_trough(self):
+        trace = diurnal_arrivals(
+            48, mean_rate=10.0, peak_to_trough=4.0, period=24
+        )
+        peak = max(trace.expected)
+        trough = min(trace.expected)
+        assert peak / trough == pytest.approx(4.0, rel=1e-6)
+
+    def test_bursty_has_two_levels(self):
+        trace = bursty_arrivals(
+            200, mean_rate=10.0, burst_multiplier=6.0, seed=3
+        )
+        levels = sorted(set(round(rate, 9) for rate in trace.expected))
+        assert len(levels) == 2
+        assert levels[1] / levels[0] == pytest.approx(6.0, rel=1e-6)
+
+    def test_workload_difficulty_shapes_arrivals(self):
+        workload = PhasedWorkload(
+            phases=(
+                WorkloadPhase("calm", 2, work_multiplier=1.0),
+                WorkloadPhase("spike", 2, work_multiplier=3.0),
+            )
+        )
+        trace = arrivals_from_workload(workload, mean_rate=4.0)
+        assert trace.n_epochs == 4
+        assert trace.expected[3] / trace.expected[0] == pytest.approx(3.0)
+        mean = trace.total_expected / trace.n_epochs
+        assert mean == pytest.approx(4.0)
+
+
+class TestSeedReplication:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_epochs=st.integers(min_value=1, max_value=96),
+        mean_rate=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_diurnal_replicates(self, seed, n_epochs, mean_rate):
+        first = diurnal_arrivals(n_epochs, mean_rate, seed=seed)
+        second = diurnal_arrivals(n_epochs, mean_rate, seed=seed)
+        assert first == second
+        np.testing.assert_array_equal(first.sample(), second.sample())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_epochs=st.integers(min_value=1, max_value=96),
+        mean_rate=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_bursty_replicates(self, seed, n_epochs, mean_rate):
+        first = bursty_arrivals(n_epochs, mean_rate, seed=seed)
+        second = bursty_arrivals(n_epochs, mean_rate, seed=seed)
+        assert first == second
+        np.testing.assert_array_equal(first.sample(), second.sample())
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_sample_is_pure(self, seed):
+        """Sampling twice from one trace gives the same counts."""
+        trace = bursty_arrivals(32, mean_rate=20.0, seed=seed)
+        np.testing.assert_array_equal(trace.sample(), trace.sample())
+
+    def test_different_seeds_differ(self):
+        a = bursty_arrivals(64, mean_rate=20.0, seed=0).sample()
+        b = bursty_arrivals(64, mean_rate=20.0, seed=1).sample()
+        assert not np.array_equal(a, b)
