@@ -209,16 +209,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.host is None and args.unix is None:
         print("serve needs --host/--port and/or --unix", file=sys.stderr)
         return 2
-    store = SnapshotStore(
-        directory=pathlib.Path(args.state_dir)
-        if args.state_dir
-        else None
-    )
-    manager = SessionManager(
-        global_budget_j=args.budget_j,
-        store=store,
-        idle_timeout_s=args.idle_timeout,
-    )
     where = []
     if args.host is not None:
         where.append(f"tcp {args.host}:{args.port}")
@@ -229,6 +219,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"metrics http://{args.metrics_host}:{args.metrics_port}"
             "/metrics"
         )
+    if args.shards > 1:
+        from .service import ShardRouter, serve_sharded
+
+        router = ShardRouter(
+            n_shards=args.shards,
+            budget_j=args.budget_j,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            state_dir=args.state_dir,
+            idle_timeout_s=args.idle_timeout,
+            reap_interval_s=args.reap_interval,
+            metrics_host=args.metrics_host,
+            metrics_port=args.metrics_port,
+        )
+        print(
+            f"serving sharded JouleGuard ({args.shards} workers) on "
+            f"{', '.join(where)} (budget {args.budget_j:.0f} J)"
+        )
+        serve_sharded(router)
+        return 0
+    store = SnapshotStore(
+        directory=pathlib.Path(args.state_dir)
+        if args.state_dir
+        else None
+    )
+    manager = SessionManager(
+        global_budget_j=args.budget_j,
+        store=store,
+        idle_timeout_s=args.idle_timeout,
+        session_prefix=args.session_prefix,
+        external_rebalance=args.external_rebalance,
+    )
     print(f"serving JouleGuard on {', '.join(where)} "
           f"(budget {args.budget_j:.0f} J)")
     serve(
@@ -239,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reap_interval_s=args.reap_interval,
         metrics_host=args.metrics_host,
         metrics_port=args.metrics_port,
+        admin=args.admin,
     )
     return 0
 
@@ -292,6 +316,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
             unix_path=args.unix,
             base_seed=args.seed,
             retry=retry,
+            batch=args.batch,
+            fast=args.fast,
         )
         for key, value in report.as_dict().items():
             print(f"{key:>22}: {value}")
@@ -310,6 +336,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 warm_start=not args.cold,
                 take_snapshot=args.snapshot,
+                batch=args.batch,
+                fast=args.fast,
             )
     except (ServiceError, ConnectionError, OSError) as exc:
         print(f"client failed: {exc}", file=sys.stderr)
@@ -660,6 +688,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-port", type=int, default=0,
         help="metrics HTTP port (0 picks a free one)",
     )
+    serve_cmd.add_argument(
+        "--shards", type=int, default=1,
+        help="run a shard router over this many pinned worker "
+        "processes (1 = single-process daemon)",
+    )
+    serve_cmd.add_argument(
+        "--session-prefix", default="",
+        help="prefix baked into every session id (shard workers)",
+    )
+    serve_cmd.add_argument(
+        "--external-rebalance", action="store_true",
+        help="disable the local rebalance cadence; an external "
+        "coordinator drives rebalances via the admin verbs",
+    )
+    serve_cmd.add_argument(
+        "--admin", action="store_true",
+        help="serve the admin_* verbs (shard workers only; never on "
+        "a listener facing untrusted clients)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
 
     dash_cmd = sub.add_parser(
@@ -709,6 +756,16 @@ def build_parser() -> argparse.ArgumentParser:
     client_cmd.add_argument(
         "--retry", action="store_true",
         help="retry lost requests with backoff and idempotent ids",
+    )
+    client_cmd.add_argument(
+        "--batch", type=int, default=1,
+        help="send heartbeats in protocol-v3 batched frames of this "
+        "size (1 = one step per round trip)",
+    )
+    client_cmd.add_argument(
+        "--fast", action="store_true",
+        help="cheap seeded heartbeat source instead of the full "
+        "platform simulator (load generation only)",
     )
     client_cmd.set_defaults(func=_cmd_client)
 

@@ -24,15 +24,18 @@ from __future__ import annotations
 
 import functools
 import inspect
+import os
 from typing import Any, Callable, List, Tuple, TypeVar
 
 __all__ = [
     "ContractError",
     "check",
+    "contracts_enabled",
     "invariant",
     "non_negative",
     "positive",
     "require",
+    "set_contracts_enabled",
     "stable_pole",
     "unit_interval",
 ]
@@ -49,9 +52,42 @@ class ContractError(ValueError):
     """
 
 
+# Contracts sit on the per-heartbeat hot path (they cost ~40 % of a
+# controller step), and jglint proves the literal-valued subset of them
+# statically.  Deployments that want the cycles back — the sharded
+# daemon's workers, throughput benches — can switch the dynamic checks
+# off; the default is on, and the test suite always runs with them on.
+# Seed the flag from the environment so spawned worker processes
+# inherit the operator's choice without new plumbing.
+_enabled = os.environ.get("REPRO_CONTRACTS", "1") not in (
+    "0",
+    "off",
+    "false",
+)
+
+
+def contracts_enabled() -> bool:
+    """Whether dynamic contract checking is currently active."""
+    return _enabled
+
+
+def set_contracts_enabled(enabled: bool) -> bool:
+    """Toggle dynamic contract checking process-wide; return the old value.
+
+    Disabling skips ``@require`` preconditions, ``@invariant``
+    re-checks, and inline :func:`check` calls.  Decoration-time errors
+    (``@require`` naming a missing parameter) are still raised — the
+    switch removes the per-call work, not the declarations.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
 def check(condition: bool, message: str) -> None:
     """Inline contract: raise :class:`ContractError` unless ``condition``."""
-    if not condition:
+    if _enabled and not condition:
         raise ContractError(message)
 
 
@@ -114,17 +150,44 @@ def require(
                 f"@require references {parameter!r} but "
                 f"{inner.__qualname__} has no such parameter"
             )
+        # Contracts sit on the controller's per-heartbeat hot path, so
+        # the wrapper cannot afford a Signature.bind per call.  Each
+        # contract is compiled once into (positional index, default):
+        # at call time the value is found with dict/tuple lookups and
+        # the inner function keeps sole responsibility for rejecting
+        # genuinely malformed calls.
+        compiled = []
+        positional_kinds = (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+        for name, test, text in contracts:
+            spec = signature.parameters[name]
+            index = None
+            if spec.kind in positional_kinds:
+                index = list(signature.parameters).index(name)
+            has_default = spec.default is not inspect.Parameter.empty
+            compiled.append(
+                (name, test, text, index, has_default, spec.default)
+            )
 
         @functools.wraps(inner)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            bound = signature.bind(*args, **kwargs)
-            bound.apply_defaults()
-            for name, test, text in wrapper.__contracts__:  # type: ignore[attr-defined]
-                if name in bound.arguments and not test(
-                    bound.arguments[name]
-                ):
+            if not _enabled:
+                return inner(*args, **kwargs)
+            for name, test, text, index, has_default, default in compiled:
+                if name in kwargs:
+                    value = kwargs[name]
+                elif index is not None and index < len(args):
+                    value = args[index]
+                elif has_default:
+                    value = default
+                else:
+                    # Unbound without a default: inner raises TypeError.
+                    continue
+                if not test(value):
                     raise ContractError(
-                        f"{text} (got {name}={bound.arguments[name]!r})"
+                        f"{text} (got {name}={value!r})"
                     )
             return inner(*args, **kwargs)
 
@@ -176,7 +239,8 @@ def invariant(
             @functools.wraps(method)
             def checked(self: Any, *args: Any, **kwargs: Any) -> Any:
                 result = method(self, *args, **kwargs)
-                verify(self)
+                if _enabled:
+                    verify(self)
                 return result
 
             return checked

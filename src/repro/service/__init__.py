@@ -21,10 +21,15 @@ Layers, bottom to top:
 * :mod:`~repro.service.server` — the asyncio daemon (:func:`serve`,
   :class:`ServerThread`);
 * :mod:`~repro.service.client` — the blocking :class:`ServiceClient`
-  and the :func:`run_load` load generator.
+  and the :func:`run_load` load generator;
+* :mod:`~repro.service.lease` / :mod:`~repro.service.shard` — the
+  sharded deployment: a :class:`ShardRouter` consistent-hashing
+  sessions onto pinned worker processes, with the shared budget kept
+  coherent by the zero-sum :class:`LeaseLedger`.
 """
 
 from .client import (
+    BatchStepResult,
     LoadReport,
     OpenedSession,
     RetryPolicy,
@@ -35,24 +40,43 @@ from .client import (
     drive_synthetic_session,
     run_load,
 )
+from .lease import LeaseLedger, LedgerError
 from .protocol import (
+    ADMIN_TYPES,
     ERROR_CODES,
+    MAX_BATCH_STEPS,
     PROTOCOL_VERSION,
     REQUEST_TYPES,
+    SUPPORTED_VERSIONS,
     ProtocolError,
+    batch_measurements_from_payload,
     decision_payload,
     decode_message,
     encode_message,
     error_response,
     measurement_from_payload,
     measurement_payload,
+    negotiate_version,
     ok_response,
     parse_request,
     request_id_of,
     sensor_ok_from_payload,
 )
 from .server import RID_CACHE_MAX, ServerThread, ServiceServer, serve
-from .sessions import Session, SessionError, SessionKilled, SessionManager
+from .sessions import (
+    Session,
+    SessionError,
+    SessionKilled,
+    SessionManager,
+    plan_rebalance,
+)
+from .shard import (
+    LEASE_FLOOR_J,
+    ShardRouter,
+    ShardThread,
+    WorkerHandle,
+    serve_sharded,
+)
 from .state import (
     STATE_VERSION,
     SnapshotError,
@@ -64,11 +88,17 @@ from .state import (
     loads_state,
     validate_state,
 )
-from .telemetry import ServiceTelemetry
+from .telemetry import ServiceTelemetry, SessionStepRecorder
 
 __all__ = [
+    "ADMIN_TYPES",
+    "BatchStepResult",
     "ERROR_CODES",
+    "LEASE_FLOOR_J",
+    "LeaseLedger",
+    "LedgerError",
     "LoadReport",
+    "MAX_BATCH_STEPS",
     "OpenedSession",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -76,6 +106,7 @@ __all__ = [
     "RID_CACHE_MAX",
     "RetryPolicy",
     "STATE_VERSION",
+    "SUPPORTED_VERSIONS",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
@@ -87,10 +118,15 @@ __all__ = [
     "SessionKilledError",
     "SessionManager",
     "SessionRun",
+    "SessionStepRecorder",
+    "ShardRouter",
+    "ShardThread",
     "SnapshotError",
     "SnapshotStore",
     "SnapshotVersionError",
+    "WorkerHandle",
     "apply_state",
+    "batch_measurements_from_payload",
     "capture_state",
     "decision_payload",
     "decode_message",
@@ -101,11 +137,14 @@ __all__ = [
     "loads_state",
     "measurement_from_payload",
     "measurement_payload",
+    "negotiate_version",
     "ok_response",
     "parse_request",
+    "plan_rebalance",
     "request_id_of",
     "run_load",
     "sensor_ok_from_payload",
     "serve",
+    "serve_sharded",
     "validate_state",
 ]

@@ -29,7 +29,9 @@ from ..apps import build_application
 from ..core.types import Measurement
 from ..hw import PlatformSimulator, get_machine
 from ..hw.simulator import NoiseModel
+from ..runtime.oracle import default_energy_per_work
 from .protocol import (
+    MAX_BATCH_STEPS,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     decode_message,
@@ -38,6 +40,7 @@ from .protocol import (
 )
 
 __all__ = [
+    "BatchStepResult",
     "LoadReport",
     "OpenedSession",
     "RetryPolicy",
@@ -118,6 +121,28 @@ class OpenedSession:
     warm: bool
     granted_budget_j: float
     decision: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class BatchStepResult:
+    """The daemon's answer to one ``batch_step`` frame (protocol v3).
+
+    ``decisions`` holds one decision payload (with its ``enforcement``
+    attached, like :meth:`ServiceClient.step` returns) per *applied*
+    measurement.  A mid-batch KILL truncates the batch: ``killed`` is
+    True, ``report`` carries the final (budget-retired) session
+    report, and ``decisions`` covers only the heartbeats the session
+    survived.
+    """
+
+    decisions: List[Dict[str, Any]]
+    killed: bool = False
+    report: Optional[Dict[str, Any]] = None
+
+    @property
+    def completed(self) -> int:
+        """Heartbeats applied (the kill entry does not count)."""
+        return len(self.decisions)
 
 
 class ServiceClient:
@@ -325,6 +350,92 @@ class ServiceClient:
         )
         return decision
 
+    def step_batch(
+        self,
+        session: str,
+        measurements: List[Measurement],
+        sensor_ok: Optional[List[bool]] = None,
+    ) -> BatchStepResult:
+        """Send N heartbeats in one frame (protocol v3).
+
+        Returns a :class:`BatchStepResult` rather than raising on a
+        kill: a mid-batch KILL still carries the decisions of the
+        heartbeats that were applied, which the caller usually wants.
+        """
+        if not measurements:
+            raise ValueError("need at least one measurement")
+        if len(measurements) > MAX_BATCH_STEPS:
+            raise ValueError(
+                f"batch of {len(measurements)} exceeds the protocol "
+                f"limit of {MAX_BATCH_STEPS}"
+            )
+        if sensor_ok is not None and len(sensor_ok) != len(measurements):
+            raise ValueError(
+                "sensor_ok must have one flag per measurement"
+            )
+        payload = [
+            measurement_payload(
+                measurement,
+                sensor_ok=True if sensor_ok is None else sensor_ok[i],
+            )
+            for i, measurement in enumerate(measurements)
+        ]
+        response = self.request(
+            {
+                "type": "batch_step",
+                "session": session,
+                "measurements": payload,
+            }
+        )
+        decisions: List[Dict[str, Any]] = []
+        report: Optional[Dict[str, Any]] = None
+        for entry in response.get("results", []):
+            if entry.get("killed", False):
+                report = entry.get("report", {})
+                break
+            decision = dict(entry["decision"])
+            decision["enforcement"] = entry.get(
+                "enforcement", {"tier": "nominal", "throttle_s": 0.0}
+            )
+            decisions.append(decision)
+        return BatchStepResult(
+            decisions=decisions,
+            killed=bool(response.get("killed", False)),
+            report=report,
+        )
+
+    def request_pipeline(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Write K requests back-to-back, then read the K responses.
+
+        Protocol v3 guarantees responses arrive in request order, so
+        the result list lines up with ``payloads`` by position.  Raw
+        response envelopes are returned — including error envelopes —
+        because with several requests in flight, raising on the first
+        error would discard the answers behind it.  Retry policies do
+        not apply here: a transport failure mid-pipeline raises
+        :class:`ConnectionError` and the caller decides what to replay.
+        """
+        if not payloads:
+            return []
+        if self._file is None:
+            self._connect()
+            self.reconnects += 1
+        assert self._file is not None
+        for payload in payloads:
+            self._file.write(encode_message(payload))
+        self._file.flush()
+        responses: List[Dict[str, Any]] = []
+        for _ in payloads:
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+            if not line:
+                raise ConnectionError(
+                    "daemon closed the connection mid-pipeline"
+                )
+            responses.append(decode_message(line))
+        return responses
+
     def report(self, session: str) -> Dict[str, Any]:
         return self.request({"type": "report", "session": session})[
             "report"
@@ -360,7 +471,14 @@ class ServiceClient:
 # -- synthetic closed loop ----------------------------------------------------
 @dataclass
 class SessionRun:
-    """Outcome of one synthetic client session."""
+    """Outcome of one synthetic client session.
+
+    ``steps`` is what was *requested*; ``steps_completed`` counts the
+    heartbeats the daemon actually applied (fewer on a kill).  With
+    batching, ``step_latencies_s`` holds one round-trip latency per
+    *frame*, not per heartbeat — divide by the batch size for an
+    amortized per-step figure.
+    """
 
     session: str
     warm: bool
@@ -370,6 +488,7 @@ class SessionRun:
     report: Dict[str, Any] = field(default_factory=dict)
     state: Optional[Dict[str, Any]] = None
     killed: bool = False
+    steps_completed: int = 0
 
     def convergence_step(self, epsilon_threshold: float = 0.2) -> int:
         """First step whose decision has ε below the threshold.
@@ -385,6 +504,77 @@ class SessionRun:
         return self.steps
 
 
+class _SimMeasurements:
+    """Full-fidelity client platform: one simulator iteration per step."""
+
+    def __init__(
+        self,
+        machine: str,
+        app: str,
+        seed: int,
+        noise: Optional[NoiseModel],
+    ) -> None:
+        machine_model = get_machine(machine)
+        application = build_application(app)
+        self._simulator = PlatformSimulator(
+            machine_model,
+            application.resource_profile,
+            noise=noise if noise is not None else NoiseModel(),
+            seed=seed,
+        )
+        self._space = machine_model.space
+        self.work_per_iteration = application.work_per_iteration
+
+    def next(self, decision: Dict[str, Any]) -> Measurement:
+        result = self._simulator.run_iteration(
+            config=self._space[decision["system_index"]],
+            work=self.work_per_iteration,
+            app_speedup=decision["app_speedup"],
+            app_power_factor=decision["app_power_factor"],
+        )
+        return Measurement(
+            work=result.work,
+            energy_j=result.measured_power_w * result.time_s,
+            rate=result.measured_rate,
+            power_w=result.measured_power_w,
+        )
+
+
+class _FastMeasurements:
+    """Cheap load-generation heartbeats (microseconds, not a simulator).
+
+    Throughput benchmarking wants the *daemon* on the critical path,
+    not the load generator's platform simulation — the same reason
+    HTTP load tools replay canned requests instead of rendering pages.
+    Heartbeats spend a seeded jitter around 90% of the session's
+    per-work budget, so sessions stay comfortably inside their energy
+    goal (no kills or throttles distorting the measurement) while the
+    controller still sees plausible, varying feedback.
+    """
+
+    def __init__(
+        self, machine: str, app: str, factor: float, seed: int
+    ) -> None:
+        machine_model = get_machine(machine)
+        application = build_application(app)
+        self.work_per_iteration = application.work_per_iteration
+        epw = default_energy_per_work(machine_model, application)
+        self._target_epw = epw / max(factor, 1.0) * 0.9
+        self._rng = random.Random(seed)
+        self._slice_s = 0.05
+
+    def next(self, decision: Dict[str, Any]) -> Measurement:
+        work = self.work_per_iteration
+        jitter = 0.95 + 0.1 * self._rng.random()
+        energy_j = self._target_epw * work * jitter
+        return Measurement(
+            work=work,
+            energy_j=energy_j,
+            rate=work / self._slice_s,
+            power_w=energy_j / self._slice_s,
+        )
+
+
 def drive_synthetic_session(
     client: ServiceClient,
     machine: str,
@@ -397,6 +587,8 @@ def drive_synthetic_session(
     close: bool = True,
     noise: Optional[NoiseModel] = None,
     client_name: str = "synthetic",
+    batch: int = 1,
+    fast: bool = False,
 ) -> SessionRun:
     """Run one closed loop with the daemon deciding, the client acting.
 
@@ -406,24 +598,30 @@ def drive_synthetic_session(
     therefore pins the *whole* loop: same seed, same daemon state →
     identical decision trace, replicating
     :func:`repro.runtime.repeat.replicate` against the service.
+
+    ``batch > 1`` switches to protocol v3 batched frames: the client
+    runs up to ``batch`` iterations under the current decision, ships
+    them in one ``batch_step``, and actuates the last returned
+    decision — amortized control, trading per-heartbeat reactivity
+    for round trips.  ``fast=True`` swaps the platform simulator for
+    a cheap seeded heartbeat source (load generation only; see
+    :class:`_FastMeasurements`).
     """
     if steps < 1:
         raise ValueError("need at least one step")
-    machine_model = get_machine(machine)
-    application = build_application(app)
-    simulator = PlatformSimulator(
-        machine_model,
-        application.resource_profile,
-        noise=noise if noise is not None else NoiseModel(),
-        seed=seed,
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    source = (
+        _FastMeasurements(machine, app, factor, seed)
+        if fast
+        else _SimMeasurements(machine, app, seed, noise)
     )
-    space = machine_model.space
 
     opened = client.open_session(
         machine=machine,
         app=app,
         factor=factor,
-        total_work=steps * application.work_per_iteration,
+        total_work=steps * source.work_per_iteration,
         seed=seed,
         warm_start=warm_start,
         client_name=client_name,
@@ -433,31 +631,38 @@ def drive_synthetic_session(
     )
     decision = opened.decision
     run.decisions.append(decision)
-    for _ in range(steps):
-        result = simulator.run_iteration(
-            config=space[decision["system_index"]],
-            work=application.work_per_iteration,
-            app_speedup=decision["app_speedup"],
-            app_power_factor=decision["app_power_factor"],
-        )
-        measurement = Measurement(
-            work=result.work,
-            energy_j=result.measured_power_w * result.time_s,
-            rate=result.measured_rate,
-            power_w=result.measured_power_w,
-        )
+    remaining = steps
+    while remaining > 0:
+        chunk = min(batch, remaining)
+        measurements = [source.next(decision) for _ in range(chunk)]
         sent_s = time.perf_counter()
-        try:
-            decision = client.step(run.session, measurement)
-        except SessionKilledError as exc:
-            # The daemon terminated the session (hard budget bound);
-            # its final report is the run's report.
-            run.killed = True
-            run.report = exc.report
+        if chunk == 1:
+            try:
+                decision = client.step(run.session, measurements[0])
+            except SessionKilledError as exc:
+                # The daemon terminated the session (hard budget
+                # bound); its final report is the run's report.
+                run.killed = True
+                run.report = exc.report
+                run.step_latencies_s.append(
+                    time.perf_counter() - sent_s
+                )
+                return run
             run.step_latencies_s.append(time.perf_counter() - sent_s)
-            return run
-        run.step_latencies_s.append(time.perf_counter() - sent_s)
-        run.decisions.append(decision)
+            run.decisions.append(decision)
+            run.steps_completed += 1
+        else:
+            result = client.step_batch(run.session, measurements)
+            run.step_latencies_s.append(time.perf_counter() - sent_s)
+            run.decisions.extend(result.decisions)
+            run.steps_completed += result.completed
+            if result.killed:
+                run.killed = True
+                run.report = result.report or {}
+                return run
+            if result.decisions:
+                decision = result.decisions[-1]
+        remaining -= chunk
     if take_snapshot:
         run.state = client.snapshot(run.session)
     if close:
@@ -476,6 +681,15 @@ class LoadReport:
     count over the wall-clock of the whole run); the spread between
     min and max exposes unfair scheduling that the aggregate
     ``steps_per_s`` hides.
+
+    ``elapsed_s`` — and every rate derived from it — covers only the
+    *measurement window*: all clients connect and handshake first,
+    rendezvous on a barrier, and the clock starts when the barrier
+    releases.  Connection setup (reported separately as ``setup_s``)
+    scales with client count, so folding it into the window would make
+    the 1-client and 32-client rows incomparable.  With ``batch > 1``
+    the latency percentiles are per *frame* (one round trip carrying
+    ``batch`` heartbeats), not per heartbeat.
     """
 
     n_clients: int
@@ -489,6 +703,8 @@ class LoadReport:
     p99_step_latency_s: float
     client_steps_per_s: List[float]
     errors: int
+    batch: int = 1
+    setup_s: float = 0.0
 
     @property
     def mean_client_steps_per_s(self) -> float:
@@ -503,8 +719,10 @@ class LoadReport:
         return {
             "n_clients": self.n_clients,
             "steps_per_client": self.steps_per_client,
+            "batch": self.batch,
             "total_steps": self.total_steps,
             "elapsed_s": self.elapsed_s,
+            "setup_s": self.setup_s,
             "sessions_per_s": self.sessions_per_s,
             "steps_per_s": self.steps_per_s,
             "p50_step_latency_ms": self.p50_step_latency_s * 1e3,
@@ -555,61 +773,90 @@ def run_load(
     base_seed: int = 0,
     timeout_s: float = 60.0,
     retry: Optional[RetryPolicy] = None,
+    batch: int = 1,
+    fast: bool = False,
 ) -> LoadReport:
     """Drive ``n_clients`` concurrent synthetic sessions; aggregate.
 
-    Each client thread opens its own connection and session (seeded
-    ``base_seed + index`` so runs replicate), steps it to completion,
-    and closes.  Latency percentiles are over all step round trips.
+    Each client thread connects and handshakes first, then all threads
+    rendezvous on a barrier before any session opens — the measurement
+    clock starts at the barrier release, so ``elapsed_s`` (and every
+    derived rate) excludes connection setup.  Each thread runs one
+    session (seeded ``base_seed + index`` so runs replicate), steps it
+    to completion, and closes.  Latency percentiles are over all step
+    round trips (per batched frame when ``batch > 1``).
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
     latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    steps_done = [0] * n_clients
     failures: List[Optional[str]] = [None] * n_clients
+    # n_clients workers + the coordinating thread; a worker that fails
+    # to connect still waits (in its finally) so nobody deadlocks.
+    barrier = threading.Barrier(n_clients + 1)
 
     def _one(index: int) -> None:
+        client: Optional[ServiceClient] = None
         try:
-            with ServiceClient(
+            client = ServiceClient(
                 **_connect_kwargs(host, port, unix_path, timeout_s, retry)
-            ) as client:
-                run = drive_synthetic_session(
-                    client,
-                    machine=machine,
-                    app=app,
-                    factor=factor,
-                    steps=steps,
-                    seed=base_seed + index,
-                    client_name=f"load-{index}",
-                )
-                latencies[index] = run.step_latencies_s
+            )
         except (ServiceError, ConnectionError, OSError) as exc:
             failures[index] = str(exc)
+        finally:
+            barrier.wait()
+        if client is None:
+            return
+        try:
+            run = drive_synthetic_session(
+                client,
+                machine=machine,
+                app=app,
+                factor=factor,
+                steps=steps,
+                seed=base_seed + index,
+                client_name=f"load-{index}",
+                batch=batch,
+                fast=fast,
+            )
+            latencies[index] = run.step_latencies_s
+            steps_done[index] = run.steps_completed
+        except (ServiceError, ConnectionError, OSError) as exc:
+            failures[index] = str(exc)
+        finally:
+            client.close_connection()
 
     threads = [
         threading.Thread(target=_one, args=(index,), daemon=True)
         for index in range(n_clients)
     ]
-    started_s = time.perf_counter()
+    setup_started_s = time.perf_counter()
     for thread in threads:
         thread.start()
+    barrier.wait()
+    started_s = time.perf_counter()
+    setup_s = started_s - setup_started_s
     for thread in threads:
         thread.join()
     elapsed_s = max(time.perf_counter() - started_s, 1e-9)
 
     flat = [value for chunk in latencies for value in chunk]
+    total_steps = sum(steps_done)
     completed = sum(1 for failure in failures if failure is None)
     return LoadReport(
         n_clients=n_clients,
         steps_per_client=steps,
-        total_steps=len(flat),
+        total_steps=total_steps,
         elapsed_s=elapsed_s,
         sessions_per_s=completed / elapsed_s,
-        steps_per_s=len(flat) / elapsed_s,
+        steps_per_s=total_steps / elapsed_s,
         p50_step_latency_s=_percentile(flat, 0.50),
         p95_step_latency_s=_percentile(flat, 0.95),
         p99_step_latency_s=_percentile(flat, 0.99),
         client_steps_per_s=[
-            len(chunk) / elapsed_s for chunk in latencies
+            count / elapsed_s for count in steps_done
         ],
         errors=sum(1 for failure in failures if failure is not None),
+        batch=batch,
+        setup_s=setup_s,
     )

@@ -1,0 +1,187 @@
+"""Zero-sum budget leases for the shard router.
+
+The sharded daemon keeps ONE global energy budget coherent across many
+worker processes without a global lock: the router owns a
+:class:`LeaseLedger` and moves joules between its *unleased* pool and
+per-worker *leases* with the ``admin_lease`` verb.  A worker can only
+promise joules it holds a lease on, so the sum the fleet can commit is
+bounded by the global budget at every instant — the same conservation
+argument :mod:`repro.core.multi` makes for per-session budgets, lifted
+one level up to per-worker pools.
+
+The ledger accounts in **integer microjoules**.  Every movement is an
+exact integer transfer between three buckets::
+
+    unleased + sum(leased per shard) + forfeited == total   (always)
+
+``forfeited`` is the crash sink: when a worker dies, its entire lease
+(committed grants, spent joules, and free headroom alike) is written
+off as spent.  That is deliberately conservative — the fleet can lose
+budget to a crash but can never double-spend it, which is the half of
+the invariant the hard enforcement guarantee rests on.
+
+Residual grants of killed/retired sessions flow back the other way:
+closing a session raises its worker's free headroom, the router shrinks
+the worker's budget with ``admin_lease`` (the worker clamps at
+``spent + committed``, so only genuinely free joules move), and
+:meth:`LeaseLedger.reclaim` returns them to the unleased pool for the
+next admission anywhere in the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "LeaseLedger",
+    "LedgerError",
+    "UJ_PER_J",
+    "joules_to_uj",
+    "uj_to_joules",
+]
+
+#: Microjoules per joule — the ledger's fixed-point scale.
+UJ_PER_J = 10**6
+
+
+def joules_to_uj(value_j: float) -> int:
+    """Joules to integer microjoules (round-half-even)."""
+    return int(round(value_j * UJ_PER_J))
+
+
+def uj_to_joules(value_uj: int) -> float:
+    """Integer microjoules back to (exact, for sane budgets) joules."""
+    return value_uj / UJ_PER_J
+
+
+class LedgerError(RuntimeError):
+    """An operation that would break the ledger's conservation law."""
+
+
+class LeaseLedger:
+    """Integer-microjoule ledger of per-shard budget leases.
+
+    Parameters
+    ----------
+    total_j:
+        The global budget the whole fleet may ever promise, in joules.
+    shards:
+        Shard names to register up front (more can join later via
+        :meth:`add_shard`; a name is registered once and survives the
+        shard's crash/restart cycles).
+    """
+
+    def __init__(self, total_j: float, shards: Iterable[str] = ()) -> None:
+        total_uj = joules_to_uj(total_j)
+        if total_uj <= 0:
+            raise ValueError("ledger total must be positive")
+        self.total_uj = total_uj
+        self.unleased_uj = total_uj
+        self.leased_uj: Dict[str, int] = {}
+        self.forfeited_uj = 0
+        self.forfeits = 0
+        #: Movement log: ``(op, shard, amount_uj)`` in apply order.
+        self.history: List[Tuple[str, str, int]] = []
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- registration ----------------------------------------------------------
+    def add_shard(self, shard: str) -> None:
+        """Register a shard name with a zero opening balance."""
+        if shard in self.leased_uj:
+            raise LedgerError(f"shard {shard!r} is already registered")
+        self.leased_uj[shard] = 0
+
+    def _known(self, shard: str) -> None:
+        if shard not in self.leased_uj:
+            raise LedgerError(f"unknown shard {shard!r}")
+
+    # -- movements -------------------------------------------------------------
+    def lease(self, shard: str, amount_uj: int) -> int:
+        """Move ``amount_uj`` from the unleased pool to ``shard``."""
+        self._known(shard)
+        if amount_uj < 0:
+            raise LedgerError("lease amount must be >= 0")
+        if amount_uj > self.unleased_uj:
+            raise LedgerError(
+                f"cannot lease {amount_uj} uJ to {shard!r}: only "
+                f"{self.unleased_uj} uJ unleased"
+            )
+        self.unleased_uj -= amount_uj
+        self.leased_uj[shard] += amount_uj
+        self.history.append(("lease", shard, amount_uj))
+        return amount_uj
+
+    def reclaim(self, shard: str, amount_uj: int) -> int:
+        """Return ``amount_uj`` from ``shard`` to the unleased pool."""
+        self._known(shard)
+        if amount_uj < 0:
+            raise LedgerError("reclaim amount must be >= 0")
+        if amount_uj > self.leased_uj[shard]:
+            raise LedgerError(
+                f"cannot reclaim {amount_uj} uJ from {shard!r}: its "
+                f"lease holds {self.leased_uj[shard]} uJ"
+            )
+        self.leased_uj[shard] -= amount_uj
+        self.unleased_uj += amount_uj
+        self.history.append(("reclaim", shard, amount_uj))
+        return amount_uj
+
+    def forfeit(self, shard: str) -> int:
+        """Write off a crashed shard's entire lease as spent.
+
+        Returns the forfeited amount.  The shard stays registered with
+        a zero balance, ready for its restarted successor's first
+        lease.
+        """
+        self._known(shard)
+        amount_uj = self.leased_uj[shard]
+        self.leased_uj[shard] = 0
+        self.forfeited_uj += amount_uj
+        self.forfeits += 1
+        self.history.append(("forfeit", shard, amount_uj))
+        return amount_uj
+
+    # -- views -----------------------------------------------------------------
+    @property
+    def leased_total_uj(self) -> int:
+        return sum(self.leased_uj.values())
+
+    @property
+    def available_j(self) -> float:
+        """Joules the router can still lease out."""
+        return uj_to_joules(self.unleased_uj)
+
+    def balance_j(self, shard: str) -> float:
+        self._known(shard)
+        return uj_to_joules(self.leased_uj[shard])
+
+    def assert_balanced(self) -> None:
+        """Raise :class:`LedgerError` unless conservation holds exactly."""
+        books = self.unleased_uj + self.leased_total_uj + self.forfeited_uj
+        if books != self.total_uj:
+            raise LedgerError(
+                f"ledger out of balance: unleased {self.unleased_uj} + "
+                f"leased {self.leased_total_uj} + forfeited "
+                f"{self.forfeited_uj} = {books} uJ != total "
+                f"{self.total_uj} uJ"
+            )
+        negatives = [
+            shard
+            for shard, balance in self.leased_uj.items()
+            if balance < 0
+        ]
+        if self.unleased_uj < 0 or negatives:
+            raise LedgerError(
+                f"negative balances: unleased {self.unleased_uj} uJ, "
+                f"shards {negatives}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_uj": self.total_uj,
+            "unleased_uj": self.unleased_uj,
+            "leased_uj": dict(self.leased_uj),
+            "forfeited_uj": self.forfeited_uj,
+            "forfeits": self.forfeits,
+        }

@@ -1,4 +1,4 @@
-"""The JouleGuard service wire protocol (version 2).
+"""The JouleGuard service wire protocol (version 3).
 
 Newline-delimited JSON over a stream socket (TCP or Unix): every
 request and every response is one JSON object on one line.  Requests
@@ -6,8 +6,8 @@ carry a ``type`` and the fields of that operation; responses carry
 ``ok`` (bool) plus either the operation's payload or a structured
 ``error`` object::
 
-    -> {"type": "hello", "version": 2}
-    <- {"ok": true, "type": "hello", "version": 2, "sessions": 0}
+    -> {"type": "hello", "version": 3}
+    <- {"ok": true, "type": "hello", "version": 3, "sessions": 0}
     -> {"type": "open_session", "machine": "tablet", "app": "x264",
         "factor": 1.5, "total_work": 200, "seed": 7}
     <- {"ok": true, "type": "open_session", "session": "s000001",
@@ -18,12 +18,13 @@ carry a ``type`` and the fields of that operation; responses carry
     <- {"ok": true, "type": "step", "decision": {...},
         "enforcement": {"tier": "nominal", "throttle_s": 0.0}}
 
-Request types: ``hello``, ``open_session``, ``step``, ``report``,
-``snapshot``, ``close``, ``metrics``, ``events``.  Error codes are
-stable strings (:data:`ERROR_CODES`) so clients can branch without
-parsing messages.  The protocol is versioned: ``hello`` negotiates
-:data:`PROTOCOL_VERSION`, and learned-state snapshots embed their own
-format version (:mod:`repro.service.state`).
+Request types: ``hello``, ``open_session``, ``step``, ``batch_step``,
+``report``, ``snapshot``, ``close``, ``metrics``, ``events``.  Error
+codes are stable strings (:data:`ERROR_CODES`) so clients can branch
+without parsing messages.  The protocol is versioned: ``hello``
+negotiates a version out of :data:`SUPPORTED_VERSIONS`, and
+learned-state snapshots embed their own format version
+(:mod:`repro.service.state`).
 
 Version 2 (enforcement + observability) adds the ``metrics`` and
 ``events`` verbs, the ``enforcement`` object on ``step`` responses,
@@ -31,50 +32,95 @@ and the ``killed`` step outcome: when the enforcement ladder
 terminates a session, the step response carries ``killed: true`` plus
 the final (budget-retired) session ``report`` instead of a decision;
 clients surface that as the stable error code ``session_killed``.
+
+Version 3 (sharding + throughput) adds
+
+* **batched step frames** — ``batch_step`` carries up to
+  :data:`MAX_BATCH_STEPS` measurements for one session and answers
+  with one decision + enforcement entry per measurement, amortizing
+  the per-heartbeat syscall and codec cost.  The whole batch is
+  validated *before* any measurement is applied, so an error response
+  (never rid-cached) always means no controller state changed; a
+  mid-batch KILL truncates the result list with a terminal
+  ``{"killed": true, "report": ...}`` entry and IS cached, like a
+  single-step kill.
+* **request pipelining** — a client may write several request lines
+  before reading responses; the server answers strictly in request
+  order, so responses are matched to requests by position (and by
+  ``rid`` when retries are in play).  This is a usage contract, not a
+  frame change: v3 servers guarantee ordered responses per connection.
+* **version negotiation** — ``hello`` succeeds for any version in
+  :data:`SUPPORTED_VERSIONS` and echoes the *negotiated* version, so
+  v2 clients keep working against a v3 daemon (they simply never send
+  ``batch_step``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.jouleguard import Decision
 from ..core.types import Measurement
 
 __all__ = [
+    "ADMIN_TYPES",
     "ERROR_CODES",
+    "MAX_BATCH_STEPS",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_TYPES",
+    "SUPPORTED_VERSIONS",
     "ProtocolError",
+    "batch_measurements_from_payload",
     "decision_payload",
     "decode_message",
     "encode_message",
     "error_response",
     "measurement_from_payload",
     "measurement_payload",
+    "negotiate_version",
     "ok_response",
     "parse_request",
     "request_id_of",
     "sensor_ok_from_payload",
 ]
 
-#: Wire protocol version negotiated by ``hello``.
-PROTOCOL_VERSION = 2
+#: Newest wire protocol version (what this codebase speaks natively).
+PROTOCOL_VERSION = 3
+
+#: Versions a v3 server still serves (v2 clients lack ``batch_step``).
+SUPPORTED_VERSIONS = (2, 3)
 
 #: Upper bound on one encoded message (guards the server's readline).
 MAX_LINE_BYTES = 1_000_000
+
+#: Upper bound on measurements in one ``batch_step`` frame.
+MAX_BATCH_STEPS = 256
 
 #: The operations a client may request.
 REQUEST_TYPES = (
     "hello",
     "open_session",
     "step",
+    "batch_step",
     "report",
     "snapshot",
     "close",
     "metrics",
     "events",
+    "admin_lease",
+    "admin_rebalance_inputs",
+    "admin_rebalance_apply",
+)
+
+#: Verbs only an admin-enabled listener (a shard worker) serves: the
+#: router leases/reclaims budget and drives the global rebalance with
+#: them.  A daemon facing untrusted clients keeps them disabled.
+ADMIN_TYPES = (
+    "admin_lease",
+    "admin_rebalance_inputs",
+    "admin_rebalance_apply",
 )
 
 #: Stable error codes carried in ``error.code``.
@@ -89,6 +135,7 @@ ERROR_CODES = (
     "unknown_machine",
     "snapshot_mismatch",
     "session_killed",
+    "unavailable",
     "internal",
 )
 
@@ -173,6 +220,31 @@ def request_id_of(message: Mapping[str, Any]) -> Optional[str]:
     return rid
 
 
+def negotiate_version(requested: Any) -> int:
+    """Settle the protocol version a ``hello`` asked for.
+
+    Returns the negotiated version (the requested one — the server
+    speaks every supported version natively) or raises
+    ``version_mismatch`` for anything outside
+    :data:`SUPPORTED_VERSIONS`.  A ``hello`` without a version gets
+    the newest.
+    """
+    if requested is None:
+        return PROTOCOL_VERSION
+    if (
+        isinstance(requested, bool)
+        or not isinstance(requested, int)
+        or requested not in SUPPORTED_VERSIONS
+    ):
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+        raise ProtocolError(
+            "version_mismatch",
+            f"client speaks protocol {requested!r}; "
+            f"server supports {supported}",
+        )
+    return requested
+
+
 # -- envelopes ----------------------------------------------------------------
 def ok_response(request_type: str, **fields: Any) -> Dict[str, Any]:
     """A success envelope echoing the request type."""
@@ -181,11 +253,25 @@ def ok_response(request_type: str, **fields: Any) -> Dict[str, Any]:
     return response
 
 
-def error_response(code: str, message: str) -> Dict[str, Any]:
-    """A structured error envelope."""
+def error_response(
+    code: str,
+    message: str,
+    data: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A structured error envelope.
+
+    ``data``, when given, rides along as ``error.data`` — machine-
+    readable context (e.g. ``needed_j``/``available_j`` on a
+    ``budget_exhausted`` rejection, which the shard router uses to
+    size a lease top-up).  Omitted entirely when empty, keeping
+    pre-v3 error frames byte-identical.
+    """
     if code not in ERROR_CODES:
         code, message = "internal", f"[{code}] {message}"
-    return {"ok": False, "error": {"code": code, "message": message}}
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if data:
+        error["data"] = dict(data)
+    return {"ok": False, "error": error}
 
 
 # -- payload codecs -----------------------------------------------------------
@@ -233,6 +319,46 @@ def measurement_from_payload(payload: Any) -> Measurement:
         raise ProtocolError(
             "bad_request", f"invalid measurement: {exc}"
         ) from exc
+
+
+def batch_measurements_from_payload(
+    payload: Any,
+) -> List[Tuple[Measurement, bool]]:
+    """Decode and validate a ``batch_step`` request's measurement list.
+
+    Validates *every* entry before returning, so the caller can apply
+    the batch knowing no entry will fail validation halfway through —
+    the property that makes whole-batch error responses (which are
+    never rid-cached) safe: an error always means nothing was applied.
+    """
+    if not isinstance(payload, list):
+        raise ProtocolError(
+            "bad_request", "'measurements' must be an array"
+        )
+    if not payload:
+        raise ProtocolError(
+            "bad_request", "'measurements' must not be empty"
+        )
+    if len(payload) > MAX_BATCH_STEPS:
+        raise ProtocolError(
+            "bad_request",
+            f"batch carries {len(payload)} measurements; "
+            f"the limit is {MAX_BATCH_STEPS}",
+        )
+    entries: List[Tuple[Measurement, bool]] = []
+    for index, entry in enumerate(payload):
+        try:
+            entries.append(
+                (
+                    measurement_from_payload(entry),
+                    sensor_ok_from_payload(entry),
+                )
+            )
+        except ProtocolError as exc:
+            raise ProtocolError(
+                exc.code, f"measurements[{index}]: {exc.message}"
+            ) from exc
+    return entries
 
 
 def sensor_ok_from_payload(payload: Any) -> bool:

@@ -28,13 +28,14 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..obs.http import MetricsHTTPServer
 from .protocol import (
-    PROTOCOL_VERSION,
     ProtocolError,
+    batch_measurements_from_payload,
     decision_payload,
     decode_message,
     encode_message,
     error_response,
     measurement_from_payload,
+    negotiate_version,
     ok_response,
     parse_request,
     request_id_of,
@@ -82,6 +83,11 @@ class ServiceServer:
         telemetry registry) is hosted alongside the protocol listeners;
         ``metrics_port=0`` picks a free port (see
         :attr:`metrics_address` after :meth:`start`).
+    admin:
+        Serve the ``admin_*`` verbs (protocol v3) the shard router
+        uses to lease budget and drive the global rebalance.  Enabled
+        only on shard workers, whose sockets face the router rather
+        than untrusted clients.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class ServiceServer:
         chaos: Optional["RequestChaos"] = None,
         metrics_host: Optional[str] = None,
         metrics_port: int = 0,
+        admin: bool = False,
     ) -> None:
         if host is None and unix_path is None:
             raise ValueError("need a TCP host and/or a unix socket path")
@@ -105,6 +112,7 @@ class ServiceServer:
         self.unix_path = unix_path
         self.reap_interval_s = reap_interval_s
         self.chaos = chaos
+        self.admin = admin
         self.metrics_host = metrics_host
         self.metrics_port = metrics_port
         self._metrics_http: Optional[MetricsHTTPServer] = None
@@ -271,7 +279,7 @@ class ServiceServer:
             response = error_response(exc.code, exc.message)
         except SessionError as exc:
             cache = False
-            response = error_response(exc.code, exc.message)
+            response = error_response(exc.code, exc.message, exc.data)
         except Exception as exc:  # daemon must answer every request
             cache = False
             response = error_response(
@@ -297,16 +305,10 @@ class ServiceServer:
         return handler(fields)
 
     def _handle_hello(self, fields: Dict[str, Any]) -> Dict[str, Any]:
-        version = fields.get("version", PROTOCOL_VERSION)
-        if version != PROTOCOL_VERSION:
-            raise ProtocolError(
-                "version_mismatch",
-                f"client speaks protocol {version!r}; "
-                f"server speaks {PROTOCOL_VERSION}",
-            )
+        version = negotiate_version(fields.get("version"))
         return ok_response(
             "hello",
-            version=PROTOCOL_VERSION,
+            version=version,
             server="repro.service",
             **self.manager.stats(),
         )
@@ -383,6 +385,67 @@ class ServiceServer:
             enforcement=self.manager.enforcement_of(session_id),
         )
 
+    def _handle_batch_step(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """N measurements in, N decisions + enforcement tiers out.
+
+        The whole batch is validated before the first measurement is
+        applied, so an error response always means no controller state
+        changed (the rid cache never stores errors — a retried failed
+        batch re-executes from scratch, safely).  A mid-batch KILL
+        truncates the results with a terminal killed entry; the
+        response is still ``ok`` (and rid-cacheable) because state
+        *did* change.  The response-level ``enforcement.throttle_s``
+        is the sum over entries: one batch of N throttled heartbeats
+        sleeps as long as N single steps would have.
+        """
+        session_id = self._require_session(fields)
+        entries = batch_measurements_from_payload(
+            fields.get("measurements")
+        )
+        results = []
+        throttle_total = 0.0
+        killed = False
+        for measurement, sensor_ok in entries:
+            try:
+                decision = self.manager.step(
+                    session_id, measurement, sensor_ok=sensor_ok
+                )
+            except SessionKilled as exc:
+                results.append(
+                    {
+                        "killed": True,
+                        "report": exc.report,
+                        "enforcement": {
+                            "tier": "kill",
+                            "throttle_s": 0.0,
+                        },
+                    }
+                )
+                killed = True
+                break
+            enforcement = self.manager.enforcement_of(session_id)
+            throttle_total += float(
+                enforcement.get("throttle_s", 0.0)
+            )
+            results.append(
+                {
+                    "decision": decision_payload(decision),
+                    "enforcement": enforcement,
+                }
+            )
+        return ok_response(
+            "batch_step",
+            results=results,
+            completed=len(results),
+            killed=killed,
+            enforcement={
+                "tier": results[-1]["enforcement"]["tier"],
+                "throttle_s": throttle_total,
+            },
+        )
+
     def _handle_report(self, fields: Dict[str, Any]) -> Dict[str, Any]:
         session_id = self._require_session(fields)
         return ok_response(
@@ -400,6 +463,90 @@ class ServiceServer:
         session_id = self._require_session(fields)
         return ok_response(
             "close", report=self.manager.close(session_id)
+        )
+
+    # -- admin verbs (shard workers only) --------------------------------------
+    def _require_admin(self) -> None:
+        if not self.admin:
+            raise ProtocolError(
+                "bad_request",
+                "admin verbs are disabled on this listener",
+            )
+
+    def _handle_admin_lease(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Grow or shrink this worker's budget lease by ``delta_j``.
+
+        The router moves joules between its unleased pool and workers
+        with this verb; shrinks are clamped by
+        :meth:`SessionManager.revise_global_budget` (never below spend
+        + commitments), and the *applied* delta is reported back so
+        the router's ledger mirrors what actually moved.
+        """
+        self._require_admin()
+        delta_j = fields.get("delta_j")
+        if not isinstance(delta_j, (int, float)) or isinstance(
+            delta_j, bool
+        ):
+            raise ProtocolError(
+                "bad_request", "'delta_j' must be a number"
+            )
+        previous_j = self.manager.global_budget_j
+        target_j = previous_j + float(delta_j)
+        if target_j <= 0.0:
+            raise ProtocolError(
+                "bad_request",
+                f"lease delta {delta_j:g} J would leave a non-positive "
+                f"budget ({target_j:g} J)",
+            )
+        applied_j = self.manager.revise_global_budget(target_j)
+        return ok_response(
+            "admin_lease",
+            budget_j=applied_j,
+            applied_delta_j=applied_j - previous_j,
+            committed_j=self.manager.committed_budget_j,
+            available_j=self.manager.available_budget_j,
+        )
+
+    def _handle_admin_rebalance_inputs(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Per-session rebalance inputs, for the router's global plan."""
+        self._require_admin()
+        surpluses, overdrafts = self.manager.rebalance_inputs()
+        return ok_response(
+            "admin_rebalance_inputs",
+            surpluses=surpluses,
+            overdrafts=overdrafts,
+        )
+
+    def _handle_admin_rebalance_apply(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply this worker's slice of a daemon-wide transfer plan."""
+        self._require_admin()
+        deltas = fields.get("deltas")
+        if not isinstance(deltas, dict):
+            raise ProtocolError(
+                "bad_request", "'deltas' must be an object"
+            )
+        plan: Dict[str, float] = {}
+        for session_id, delta_j in deltas.items():
+            if not isinstance(delta_j, (int, float)) or isinstance(
+                delta_j, bool
+            ):
+                raise ProtocolError(
+                    "bad_request",
+                    f"delta for {session_id!r} must be a number",
+                )
+            plan[str(session_id)] = float(delta_j)
+        applied = self.manager.apply_rebalance(plan)
+        return ok_response(
+            "admin_rebalance_apply",
+            applied=applied,
+            net_j=sum(applied.values()),
+            available_j=self.manager.available_budget_j,
         )
 
     def _handle_metrics(self, fields: Dict[str, Any]) -> Dict[str, Any]:
@@ -452,6 +599,7 @@ def serve(
     ready: Optional[Any] = None,
     metrics_host: Optional[str] = None,
     metrics_port: int = 0,
+    admin: bool = False,
 ) -> None:
     """Run a daemon in the foreground until interrupted.
 
@@ -466,6 +614,7 @@ def serve(
         reap_interval_s=reap_interval_s,
         metrics_host=metrics_host,
         metrics_port=metrics_port,
+        admin=admin,
     )
 
     async def _main() -> None:
@@ -503,6 +652,7 @@ class ServerThread:
         chaos: Optional["RequestChaos"] = None,
         metrics_host: Optional[str] = None,
         metrics_port: int = 0,
+        admin: bool = False,
     ) -> None:
         self.manager = manager
         self.server = ServiceServer(
@@ -514,6 +664,7 @@ class ServerThread:
             chaos=chaos,
             metrics_host=metrics_host,
             metrics_port=metrics_port,
+            admin=admin,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None

@@ -59,23 +59,88 @@ from ..hw.machine import Machine
 from ..runtime.harness import prior_shapes
 from ..runtime.oracle import default_energy_per_work, max_feasible_factor
 from .state import SnapshotError, SnapshotStore, apply_state, capture_state
-from .telemetry import ServiceTelemetry
+from .telemetry import ServiceTelemetry, SessionStepRecorder
 
 __all__ = [
     "Session",
     "SessionError",
     "SessionKilled",
     "SessionManager",
+    "plan_rebalance",
 ]
 
 
-class SessionError(RuntimeError):
-    """A session operation the manager refuses, with a protocol code."""
+def plan_rebalance(
+    surpluses: Dict[str, float],
+    overdrafts: Dict[str, float],
+    transfer_fraction: float,
+) -> Dict[str, float]:
+    """Pure transfer plan: per-session budget deltas, summing to zero.
 
-    def __init__(self, code: str, message: str) -> None:
+    The donor/needer math of :meth:`SessionManager.rebalance` (itself
+    mirroring :meth:`repro.core.multi.MultiAppCoordinator.rebalance`),
+    extracted so the shard router can run the *identical* computation
+    over surpluses gathered from every worker: same inputs in the same
+    dict order produce bit-identical deltas, which is what the
+    cross-shard lockstep rig asserts.
+
+    ``surpluses`` maps session id to forecast surplus (negative =
+    deficit); ``overdrafts`` maps session id to how far its spend
+    already exceeds its budget (0 for healthy sessions).  Iteration
+    order of ``surpluses`` is the tie-breaking order of the plan, so
+    callers must present sessions in global open order.
+    """
+    donors = {s: v for s, v in surpluses.items() if v > 0}
+    needers = {s: -v for s, v in surpluses.items() if v < 0}
+    deltas = {session_id: 0.0 for session_id in surpluses}
+    while donors and needers:
+        available = sum(donors.values()) * transfer_fraction
+        needed = sum(needers.values())
+        moved = min(available, needed)
+        if moved <= 0:
+            break
+        # A grant below a session's overdraft cannot lift it back
+        # above water and the accountant rejects it (an effective
+        # budget may never end up under what is already spent), so
+        # drop such needers and re-split among the rest.
+        undersized = [
+            session_id
+            for session_id, deficit in needers.items()
+            if moved * deficit / needed
+            < overdrafts.get(session_id, 0.0) - 1e-9
+        ]
+        if undersized:
+            for session_id in undersized:
+                del needers[session_id]
+            continue
+        donor_total = sum(donors.values())
+        for session_id, surplus in donors.items():
+            deltas[session_id] -= moved * surplus / donor_total
+        for session_id, deficit in needers.items():
+            deltas[session_id] += moved * deficit / needed
+        break
+    return deltas
+
+
+class SessionError(RuntimeError):
+    """A session operation the manager refuses, with a protocol code.
+
+    ``data`` carries optional machine-readable context for the error
+    envelope (protocol v3): a ``budget_exhausted`` rejection includes
+    ``needed_j``/``available_j`` so the shard router can size a lease
+    top-up instead of parsing the message.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        data: Optional[Dict[str, float]] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.data = data or {}
 
 
 class SessionKilled(SessionError):
@@ -116,6 +181,7 @@ class Session:
     ladder: Optional[EnforcementLadder] = None
     recent_step_energy_j: Optional[float] = None
     throttle_s: float = 0.0
+    step_metrics: Optional[SessionStepRecorder] = None
 
     @property
     def decision(self) -> Decision:
@@ -162,6 +228,17 @@ class SessionManager:
         overhead.
     clock:
         Monotonic time source, injectable for tests.
+    session_prefix:
+        Prepended to every session id (``w0-s000001``).  A shard
+        worker gets a prefix unique to its (worker, restart-epoch)
+        pair so the router can route any session id to its worker by
+        prefix and a restarted worker can never collide with ids its
+        predecessor handed out.
+    external_rebalance:
+        When True, :meth:`step` never triggers the local rebalance
+        cadence — an external coordinator (the shard router) gathers
+        :meth:`rebalance_inputs` across workers and pushes one global
+        plan back through :meth:`apply_rebalance` instead.
     """
 
     def __init__(
@@ -177,6 +254,8 @@ class SessionManager:
         enforcement: Optional[LadderPolicy] = DEFAULT_LADDER,
         telemetry: Optional[ServiceTelemetry] = None,
         clock: Callable[[], float] = time.monotonic,
+        session_prefix: str = "",
+        external_rebalance: bool = False,
     ) -> None:
         if global_budget_j <= 0:
             raise ValueError("global budget must be positive")
@@ -205,6 +284,8 @@ class SessionManager:
         self.transfer_fraction = transfer_fraction
         self.smoothing = smoothing
         self.clock = clock
+        self.session_prefix = session_prefix
+        self.external_rebalance = external_rebalance
         self._sessions: Dict[str, Session] = {}
         self._next_serial = 1
         self._spent_closed_j = 0.0
@@ -333,6 +414,10 @@ class SessionManager:
                 f"session needs {needed_j:.3f} J but only "
                 f"{max(self.available_budget_j, 0.0):.3f} J of the "
                 "global budget remains unallocated",
+                data={
+                    "needed_j": needed_j,
+                    "available_j": max(self.available_budget_j, 0.0),
+                },
             )
 
         rate_shape, power_shape = prior_shapes(machine)
@@ -362,7 +447,7 @@ class SessionManager:
 
         now_s = self.clock()
         session = Session(
-            session_id=f"s{self._next_serial:06d}",
+            session_id=f"{self.session_prefix}s{self._next_serial:06d}",
             client=client,
             machine_name=machine.name,
             app_name=app.name,
@@ -379,16 +464,24 @@ class SessionManager:
             session.ladder = EnforcementLadder(policy=self.enforcement)
         self._sessions[session.session_id] = session
         self.sessions_opened += 1
+        session.step_metrics = self.telemetry.step_recorder(
+            session.session_id
+        )
         self.telemetry.record_open(
             session.session_id, len(self._sessions)
         )
         self._record_pool()
         return session
 
-    def _reject(self, code: str, message: str) -> NoReturn:
+    def _reject(
+        self,
+        code: str,
+        message: str,
+        data: Optional[Dict[str, float]] = None,
+    ) -> NoReturn:
         self.sessions_rejected += 1
         self.telemetry.record_reject(code)
-        raise SessionError(code, message)
+        raise SessionError(code, message, data=data)
 
     def _get(self, session_id: str) -> Session:
         session = self._sessions.get(session_id)
@@ -453,10 +546,11 @@ class SessionManager:
                 energy_j - session.recent_step_energy_j
             )
         decision = self._enforce(session, decision, energy_j)
-        self._steps_since_rebalance += 1
-        if self._steps_since_rebalance >= self.rebalance_period:
-            self.rebalance()
-            self._steps_since_rebalance = 0
+        if not self.external_rebalance:
+            self._steps_since_rebalance += 1
+            if self._steps_since_rebalance >= self.rebalance_period:
+                self.rebalance()
+                self._steps_since_rebalance = 0
         return decision
 
     def _step_without_sensor(
@@ -557,12 +651,14 @@ class SessionManager:
     def _record_step_metrics(
         self, session: Session, energy_j: float
     ) -> None:
+        recorder = session.step_metrics
+        if recorder is None:
+            return
         accountant = session.runtime.accountant
         burn = accountant.energy_used_j / max(
             accountant.effective_budget_j, 1e-12
         )
-        self.telemetry.record_step(
-            session.session_id,
+        recorder.record(
             energy_j,
             session.decision.pole,
             session.runtime.seo.epsilon,
@@ -759,70 +855,84 @@ class SessionManager:
             accountant.energy_used_j - accountant.effective_budget_j,
         )
 
-    def rebalance(self) -> Dict[str, float]:
-        """Move surplus joules between live sessions (conservative).
+    def rebalance_inputs(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """``(surpluses, overdrafts)`` per live session, in open order.
 
-        Mirrors :meth:`repro.core.multi.MultiAppCoordinator.rebalance`:
-        the sum of effective budgets is invariant, so the daemon-wide
-        guarantee survives any schedule of transfers.
+        The inputs :func:`plan_rebalance` needs — exposed so the shard
+        router can gather them from every worker, merge them in global
+        open order, and compute one daemon-wide plan with the exact
+        arithmetic a single-process manager would have used.
         """
         surpluses = {
             session_id: self._forecast_surplus(session)
             for session_id, session in self._sessions.items()
         }
-        donors = {s: v for s, v in surpluses.items() if v > 0}
-        needers = {s: -v for s, v in surpluses.items() if v < 0}
-        deltas = {session_id: 0.0 for session_id in self._sessions}
-        while donors and needers:
-            available = sum(donors.values()) * self.transfer_fraction
-            needed = sum(needers.values())
-            moved = min(available, needed)
-            if moved <= 0:
-                break
-            # A grant below a session's overdraft cannot lift it back
-            # above water and the accountant rejects it (an effective
-            # budget may never end up under what is already spent), so
-            # drop such needers and re-split among the rest.
-            undersized = [
-                session_id
-                for session_id, deficit in needers.items()
-                if moved * deficit / needed
-                < self._overdraft_j(session_id) - 1e-9
-            ]
-            if undersized:
-                for session_id in undersized:
-                    del needers[session_id]
-                continue
-            donor_total = sum(donors.values())
-            # Apply the transfer plan all-or-nothing: if any grant is
-            # rejected by the accountant's contract mid-plan, earlier
-            # transfers are compensated before re-raising, so the sum
-            # of effective budgets stays invariant on the exception
-            # edge too (jgflow JGF301's sanctioned rollback idiom).
-            applied: List[Tuple[BudgetAccountant, float]] = []
-            try:
-                for session_id, surplus in donors.items():
-                    share_j = moved * surplus / donor_total
+        overdrafts = {
+            session_id: self._overdraft_j(session_id)
+            for session_id in self._sessions
+        }
+        return surpluses, overdrafts
+
+    def apply_rebalance(
+        self, deltas: Dict[str, float]
+    ) -> Dict[str, float]:
+        """Apply a transfer plan all-or-nothing; return what was applied.
+
+        If any grant is rejected by the accountant's contract mid-plan,
+        earlier transfers are compensated before re-raising, so the sum
+        of effective budgets stays invariant on the exception edge too
+        (jgflow JGF301's sanctioned rollback idiom).  Donations are
+        applied before grants — the order the historical in-line
+        rebalance used — and sessions unknown to this manager are
+        ignored (the router sends each worker the full daemon-wide
+        plan; a worker applies its own slice).
+        """
+        applied: List[Tuple[BudgetAccountant, float]] = []
+        recorded = {
+            session_id: 0.0
+            for session_id in deltas
+            if session_id in self._sessions
+        }
+        try:
+            for phase in (0, 1):  # 0: donations out, 1: grants in
+                for session_id, delta_j in deltas.items():
+                    if session_id not in self._sessions:
+                        continue
+                    if delta_j == 0.0:  # jglint: disable=JG004
+                        # Exact zero means "no transfer", never a
+                        # rounding artifact: plans carry literal 0.0.
+                        continue
+                    if (delta_j > 0.0) != bool(phase):
+                        continue
                     accountant = self._sessions[
                         session_id
                     ].runtime.accountant
-                    accountant.adjust_budget(-share_j)
-                    applied.append((accountant, -share_j))
-                    deltas[session_id] -= share_j
-                for session_id, deficit in needers.items():
-                    share_j = moved * deficit / needed
-                    accountant = self._sessions[
-                        session_id
-                    ].runtime.accountant
-                    accountant.adjust_budget(share_j)
-                    applied.append((accountant, share_j))
-                    deltas[session_id] += share_j
-            except ContractError:
-                for accountant, applied_j in reversed(applied):
-                    accountant.adjust_budget(-applied_j)
-                raise
-            break
-        self.transfers.append(deltas)
+                    accountant.adjust_budget(delta_j)
+                    applied.append((accountant, delta_j))
+                    recorded[session_id] += delta_j
+        except ContractError:
+            for accountant, applied_j in reversed(applied):
+                accountant.adjust_budget(-applied_j)
+            raise
+        self.transfers.append(recorded)
+        return recorded
+
+    def rebalance(self) -> Dict[str, float]:
+        """Move surplus joules between live sessions (conservative).
+
+        Mirrors :meth:`repro.core.multi.MultiAppCoordinator.rebalance`:
+        the sum of effective budgets is invariant, so the daemon-wide
+        guarantee survives any schedule of transfers.  The plan itself
+        is the pure :func:`plan_rebalance`; application is the
+        all-or-nothing :meth:`apply_rebalance`.
+        """
+        surpluses, overdrafts = self.rebalance_inputs()
+        deltas = plan_rebalance(
+            surpluses, overdrafts, self.transfer_fraction
+        )
+        self.apply_rebalance(deltas)
         return deltas
 
     # -- daemon-wide stats -----------------------------------------------------

@@ -22,6 +22,7 @@ mismatches, so a daemon never silently warm-starts from foreign state.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import re
 import threading
@@ -148,6 +149,14 @@ class SnapshotStore:
     as ``<machine>__<app>.json`` so learned state survives daemon
     restarts.  Thread-safe: the daemon's event loop and a blocking
     caller (tests, tools) may share one store.
+
+    A directory may also be shared by *several processes* (shard
+    workers all pointed at one ``--state-dir``): writes go through an
+    atomic same-directory rename, so a concurrent reader sees either
+    the old or the new document — never a torn file — and
+    :meth:`get` falls through to disk on a memory miss, so a snapshot
+    taken by one worker warm-starts sessions on every other (and on a
+    crashed worker's restarted successor).
     """
 
     def __init__(
@@ -182,22 +191,59 @@ class SnapshotStore:
 
     # -- mapping interface ----------------------------------------------------
     def put(self, state: Mapping[str, Any]) -> None:
-        """Store (and optionally persist) one validated snapshot."""
+        """Store (and optionally persist) one validated snapshot.
+
+        Persistence is write-new-then-rename: ``os.replace`` within the
+        store directory is atomic on POSIX, so two shard workers
+        snapshotting the same ``(machine, app)`` pair cannot clobber
+        each other into a torn file — last full document wins.
+        """
         document = validate_state(state)
         key = (str(document["machine"]), str(document["app"]))
         with self._lock:
             self._states[key] = document
             if self.directory is not None:
-                self._path_for(*key).write_text(
+                path = self._path_for(*key)
+                scratch = path.with_suffix(
+                    f".tmp-{os.getpid()}-{threading.get_ident()}"
+                )
+                scratch.write_text(
                     dumps_state(document), encoding="utf-8"
                 )
+                os.replace(scratch, path)
 
     def get(
         self, machine: str, app: str
     ) -> Optional[Dict[str, Any]]:
-        """The stored snapshot for a pair, or None."""
+        """The stored snapshot for a pair, or None.
+
+        With a directory configured, a memory miss re-reads the disk
+        file: another process sharing the directory may have written
+        the snapshot after this store loaded it (the cross-worker
+        warm-start path).  A newer on-disk document also refreshes a
+        stale memory copy only via this re-read when missing — within
+        one process, memory is authoritative.
+        """
         with self._lock:
-            return self._states.get((machine, app))
+            state = self._states.get((machine, app))
+            if state is not None or self.directory is None:
+                return state
+            try:
+                state = loads_state(
+                    self._path_for(machine, app).read_text(
+                        encoding="utf-8"
+                    )
+                )
+            except FileNotFoundError:  # jglint: disable=JG009
+                # Routine cold start: no snapshot for the pair yet.
+                return None
+            except (OSError, SnapshotError):
+                # Unreadable or corrupt disk entry: a cold start too,
+                # but counted like the directory-load skips.
+                self.skipped_files += 1
+                return None
+            self._states[(machine, app)] = state
+            return state
 
     def keys(self) -> List[Tuple[str, str]]:
         with self._lock:

@@ -14,13 +14,59 @@ that to measure instrumentation overhead as a clean A/B.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from ..enforce.ladder import Tier, TierTransition
 from ..obs.events import EventLog
 from ..obs.registry import MetricsRegistry
 
-__all__ = ["ServiceTelemetry"]
+__all__ = ["ServiceTelemetry", "SessionStepRecorder"]
+
+
+class SessionStepRecorder:
+    """Pre-bound metric children for one session's step hot path.
+
+    ``record_step`` resolves five labelled gauges and two counters per
+    heartbeat; at 10k+ steps/s those dict lookups are measurable.  A
+    recorder binds the children once at session open so the per-step
+    cost is seven attribute loads and float stores.
+    """
+
+    __slots__ = (
+        "_steps",
+        "_energy",
+        "_pole",
+        "_epsilon",
+        "_burn",
+        "_tier",
+        "_overdraft",
+    )
+
+    def __init__(self, telemetry: "ServiceTelemetry", session_id: str) -> None:
+        self._steps = telemetry.steps.labels()
+        self._energy = telemetry.energy_spent.labels()
+        self._pole = telemetry.session_pole.labels(session_id)
+        self._epsilon = telemetry.session_epsilon.labels(session_id)
+        self._burn = telemetry.session_burn.labels(session_id)
+        self._tier = telemetry.session_tier.labels(session_id)
+        self._overdraft = telemetry.session_overdraft.labels(session_id)
+
+    def record(
+        self,
+        energy_j: float,
+        pole: float,
+        epsilon: float,
+        burn_fraction: float,
+        tier: Tier,
+        overdraft_j: float,
+    ) -> None:
+        self._steps.inc()
+        self._energy.inc(max(0.0, energy_j))
+        self._pole.set(pole)
+        self._epsilon.set(epsilon)
+        self._burn.set(burn_fraction)
+        self._tier.set(float(int(tier)))
+        self._overdraft.set(overdraft_j)
 
 
 class ServiceTelemetry:
@@ -110,6 +156,14 @@ class ServiceTelemetry:
     def disabled(cls) -> "ServiceTelemetry":
         """A telemetry sink whose recorders are all no-ops."""
         return cls(enabled=False)
+
+    def step_recorder(
+        self, session_id: str
+    ) -> Optional[SessionStepRecorder]:
+        """Pre-bound per-step recorder for one session (None if disabled)."""
+        if not self.enabled:
+            return None
+        return SessionStepRecorder(self, session_id)
 
     # -- recorders (no-ops when disabled) --------------------------------------
     def record_open(self, session_id: str, open_count: int) -> None:

@@ -199,3 +199,73 @@ class TestAppliedContracts:
         import repro.core
 
         assert repro.core.ContractError is ContractError
+
+
+class TestKillSwitch:
+    """The hot-path switch: contracts off skips every dynamic check."""
+
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        from repro.core.contracts import set_contracts_enabled
+
+        yield
+        set_contracts_enabled(True)
+
+    def test_default_is_enabled(self):
+        from repro.core.contracts import contracts_enabled
+
+        assert contracts_enabled() is True
+
+    def test_toggle_returns_previous_state(self):
+        from repro.core.contracts import (
+            contracts_enabled,
+            set_contracts_enabled,
+        )
+
+        assert set_contracts_enabled(False) is True
+        assert contracts_enabled() is False
+        assert set_contracts_enabled(True) is False
+
+    def test_disabled_skips_require_and_check(self):
+        from repro.core.contracts import set_contracts_enabled
+
+        @require("rate", non_negative, "rate cannot be negative")
+        def f(rate):
+            return rate
+
+        with pytest.raises(ContractError):
+            f(-1.0)
+        set_contracts_enabled(False)
+        assert f(-1.0) == -1.0  # precondition skipped
+        check(False, "inline check skipped too")
+        set_contracts_enabled(True)
+        with pytest.raises(ContractError):
+            f(-1.0)
+
+    def test_disabled_skips_invariant_reverification(self):
+        from repro.core.contracts import set_contracts_enabled
+
+        @invariant(lambda self: self.value >= 0, "value went negative")
+        @dataclass
+        class Counter:
+            value: int = 0
+
+            def add(self, delta):
+                self.value += delta
+
+        counter = Counter()
+        with pytest.raises(ContractError):
+            counter.add(-5)
+        set_contracts_enabled(False)
+        counter.add(-5)  # invariant not re-checked
+        assert counter.value < 0
+
+    def test_declaration_errors_survive_the_switch(self):
+        from repro.core.contracts import set_contracts_enabled
+
+        set_contracts_enabled(False)
+        with pytest.raises(TypeError):
+
+            @require("missing", positive, "no such parameter")
+            def g(x):
+                return x

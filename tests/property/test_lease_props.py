@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on the shard lease ledger.
+
+The sharded daemon's budget coherence reduces to one conservation law
+on an integer ledger::
+
+    unleased + sum(leased per shard) + forfeited == total
+
+These tests drive arbitrary interleavings of the four movements the
+router ever performs — lease (admission top-up), reclaim (retired
+session's residual grant), forfeit (worker crash), and late shard
+registration — and check the law holds *exactly* (integer equality,
+no epsilon) after every step, and that every refused movement leaves
+the books untouched.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.service.lease import (
+    UJ_PER_J,
+    LeaseLedger,
+    LedgerError,
+    joules_to_uj,
+    uj_to_joules,
+)
+
+SHARDS = ("w0", "w1", "w2", "w3")
+
+amounts = st.integers(min_value=0, max_value=10**12)
+shard_names = st.sampled_from(SHARDS)
+
+
+# -- arbitrary interleavings ---------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("lease"), shard_names, amounts),
+        st.tuples(st.just("reclaim"), shard_names, amounts),
+        st.tuples(st.just("forfeit"), shard_names, st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_any_interleaving_conserves_the_total_exactly(ops):
+    ledger = LeaseLedger(total_j=1e6, shards=SHARDS)
+    for op, shard, amount in ops:
+        try:
+            if op == "lease":
+                ledger.lease(shard, amount)
+            elif op == "reclaim":
+                ledger.reclaim(shard, amount)
+            else:
+                ledger.forfeit(shard)
+        except LedgerError:
+            pass  # refused movements must leave the books untouched
+        ledger.assert_balanced()
+    # The law, spelled out: integer equality, not approximation.
+    assert (
+        ledger.unleased_uj
+        + sum(ledger.leased_uj.values())
+        + ledger.forfeited_uj
+        == ledger.total_uj
+    )
+
+
+@given(operations)
+@settings(max_examples=100)
+def test_refused_movements_change_nothing(ops):
+    ledger = LeaseLedger(total_j=1e3, shards=SHARDS)
+    for op, shard, amount in ops:
+        before = ledger.as_dict()
+        try:
+            if op == "lease":
+                ledger.lease(shard, amount)
+            elif op == "reclaim":
+                ledger.reclaim(shard, amount)
+            else:
+                ledger.forfeit(shard)
+        except LedgerError:
+            assert ledger.as_dict() == before
+        ledger.assert_balanced()
+
+
+# -- the router's actual lifecycle, modeled ------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            shard_names,
+            st.integers(min_value=1, max_value=10**9),  # grant
+            st.floats(min_value=0.0, max_value=1.0),    # spend fraction
+            st.booleans(),                              # crash?
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=100)
+def test_session_lifecycles_sum_to_the_budget(lifecycles):
+    """Grant → spend → retire-or-crash, any interleaving, any shard.
+
+    A retired session donates its residual grant back (reclaim); a
+    crashed worker forfeits grant and spend alike.  Whatever the
+    interleaving, spent-and-forfeited joules plus live leases plus the
+    unleased pool reproduce the budget to the microjoule.
+    """
+    ledger = LeaseLedger(total_j=1e6, shards=SHARDS)
+    for shard, grant_uj, spend_fraction, crash in lifecycles:
+        grant_uj = min(grant_uj, ledger.unleased_uj)
+        ledger.lease(shard, grant_uj)
+        if crash:
+            ledger.forfeit(shard)
+        else:
+            spent_uj = int(grant_uj * spend_fraction)
+            # The residual (unspent) part of the grant flows back.
+            ledger.reclaim(shard, grant_uj - spent_uj)
+        ledger.assert_balanced()
+
+
+# -- stateful machine ----------------------------------------------------------
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    """Hypothesis explores ledger op sequences; the law is invariant."""
+
+    @initialize()
+    def fresh_ledger(self):
+        self.ledger = LeaseLedger(total_j=100.0)
+        self.registered = set()
+
+    @rule(shard=st.text(min_size=1, max_size=4))
+    def register(self, shard):
+        if shard in self.registered:
+            with pytest.raises(LedgerError):
+                self.ledger.add_shard(shard)
+        else:
+            self.ledger.add_shard(shard)
+            self.registered.add(shard)
+
+    @rule(shard=st.text(min_size=1, max_size=4), amount=amounts)
+    def lease(self, shard, amount):
+        if shard in self.registered and amount <= self.ledger.unleased_uj:
+            self.ledger.lease(shard, amount)
+        else:
+            with pytest.raises(LedgerError):
+                self.ledger.lease(shard, amount)
+
+    @rule(shard=st.text(min_size=1, max_size=4), amount=amounts)
+    def reclaim(self, shard, amount):
+        if (
+            shard in self.registered
+            and amount <= self.ledger.leased_uj[shard]
+        ):
+            self.ledger.reclaim(shard, amount)
+        else:
+            with pytest.raises(LedgerError):
+                self.ledger.reclaim(shard, amount)
+
+    @rule(shard=st.text(min_size=1, max_size=4))
+    def forfeit(self, shard):
+        if shard in self.registered:
+            balance = self.ledger.leased_uj[shard]
+            forfeited = self.ledger.forfeit(shard)
+            assert forfeited == balance
+            assert self.ledger.leased_uj[shard] == 0
+        else:
+            with pytest.raises(LedgerError):
+                self.ledger.forfeit(shard)
+
+    @invariant()
+    def conservation(self):
+        if hasattr(self, "ledger"):
+            self.ledger.assert_balanced()
+
+
+TestLedgerMachine = LedgerMachine.TestCase
+
+
+# -- fixed-point conversion ----------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_uj_round_trips_through_joules(value_uj):
+    # Microjoule integers below ~2**53 survive the float excursion.
+    assert joules_to_uj(uj_to_joules(value_uj)) == value_uj
+
+
+@given(st.floats(min_value=1e-6, max_value=1e9))
+def test_joules_quantize_within_half_a_microjoule(value_j):
+    assert abs(uj_to_joules(joules_to_uj(value_j)) - value_j) <= (
+        0.5 / UJ_PER_J
+    ) + 1e-9 * value_j

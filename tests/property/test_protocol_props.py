@@ -200,3 +200,240 @@ def test_measurement_decoder_is_total(payload):
         assert exc.code == "bad_request"
     else:
         assert isinstance(decoded, Measurement)
+
+
+# -- protocol v3: batch codec, negotiation, pipelining -------------------------
+
+import math as _math
+
+from repro.service.protocol import (
+    MAX_BATCH_STEPS,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    batch_measurements_from_payload,
+    sensor_ok_from_payload,
+)
+
+batch_entries = st.lists(
+    st.tuples(measurements, st.booleans()), min_size=1, max_size=12
+)
+
+
+@given(batch_entries)
+@settings(max_examples=50)
+def test_batch_codec_round_trips_entrywise(entries):
+    payload = [
+        measurement_payload(measurement, sensor_ok=flag)
+        for measurement, flag in entries
+    ]
+    decoded = batch_measurements_from_payload(payload)
+    assert len(decoded) == len(entries)
+    for (measurement, flag), (revived, revived_flag) in zip(
+        entries, decoded
+    ):
+        assert revived_flag == flag
+        assert _math.isclose(revived.work, measurement.work)
+        assert _math.isclose(revived.energy_j, measurement.energy_j)
+        assert _math.isclose(revived.rate, measurement.rate)
+        assert _math.isclose(revived.power_w, measurement.power_w)
+
+
+@given(batch_entries, st.data())
+@settings(max_examples=50)
+def test_batch_validation_names_the_first_bad_entry(entries, data):
+    payload = [
+        measurement_payload(measurement, sensor_ok=flag)
+        for measurement, flag in entries
+    ]
+    position = data.draw(
+        st.integers(min_value=0, max_value=len(payload) - 1)
+    )
+    payload[position] = {"work": 1.0}  # missing required fields
+    with pytest.raises(ProtocolError) as excinfo:
+        batch_measurements_from_payload(payload)
+    assert excinfo.value.code == "bad_request"
+    assert f"measurements[{position}]:" in excinfo.value.message
+
+
+@given(json_values)
+def test_batch_decoder_is_total(payload):
+    # Like the single-measurement decoder: any JSON either decodes or
+    # raises the stable bad_request error, never a bare TypeError.
+    try:
+        decoded = batch_measurements_from_payload(payload)
+    except ProtocolError as exc:
+        assert exc.code == "bad_request"
+    else:
+        assert 1 <= len(decoded) <= MAX_BATCH_STEPS
+
+
+def test_batch_size_limits():
+    one = measurement_payload(
+        Measurement(work=1.0, energy_j=1.0, rate=1.0, power_w=1.0)
+    )
+    with pytest.raises(ProtocolError):
+        batch_measurements_from_payload([])
+    with pytest.raises(ProtocolError):
+        batch_measurements_from_payload([one] * (MAX_BATCH_STEPS + 1))
+    assert len(
+        batch_measurements_from_payload([one] * MAX_BATCH_STEPS)
+    ) == MAX_BATCH_STEPS
+
+
+@given(json_values)
+def test_version_negotiation_is_total(requested):
+    # Every JSON value either negotiates to a supported version or
+    # raises the stable version_mismatch error.
+    from repro.service.protocol import negotiate_version
+
+    try:
+        negotiated = negotiate_version(requested)
+    except ProtocolError as exc:
+        assert exc.code == "version_mismatch"
+        assert requested is not None
+    else:
+        assert negotiated in SUPPORTED_VERSIONS
+        if requested is None:
+            assert negotiated == PROTOCOL_VERSION
+        else:
+            assert negotiated == requested
+
+
+@given(
+    st.sampled_from(ERROR_CODES),
+    st.text(max_size=60),
+    st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.floats(allow_nan=False, allow_infinity=False),
+        max_size=4,
+    ),
+)
+def test_error_data_rides_only_when_present(code, message, data):
+    with_data = error_response(code, message, data)
+    without = error_response(code, message)
+    # Empty data keeps the frame byte-identical to a pre-v3 error.
+    assert "data" not in without["error"]
+    if data:
+        assert with_data["error"]["data"] == dict(data)
+    else:
+        assert encode_message(with_data) == encode_message(without)
+    assert decode_message(encode_message(with_data)) == with_data
+
+
+@given(st.sampled_from([True, False, 0.5, "3", [3], {}]))
+def test_non_integer_versions_are_refused(requested):
+    from repro.service.protocol import negotiate_version
+
+    with pytest.raises(ProtocolError) as excinfo:
+        negotiate_version(requested)
+    assert excinfo.value.code == "version_mismatch"
+
+
+# -- pipelining and idempotency against a live daemon --------------------------
+
+from hypothesis import HealthCheck
+
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    SessionManager,
+)
+
+
+@pytest.fixture(scope="module")
+def live_daemon(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("props") / "jg.sock")
+    manager = SessionManager(global_budget_j=1e8)
+    with ServerThread(manager, unix_path=sock):
+        yield sock
+
+
+#: Pipelined verbs whose responses are recognizable without state:
+#: each maps to a predicate over the response envelope.
+_PIPELINE_VERBS = {
+    "hello": lambda r: r.get("ok") and r.get("type") == "hello",
+    "metrics": lambda r: r.get("ok") and r.get("type") == "metrics",
+    "events": lambda r: r.get("ok") and r.get("type") == "events",
+    "bogus": lambda r: (
+        not r.get("ok")
+        and r["error"]["code"] == "unknown_type"
+    ),
+    "report": lambda r: (
+        not r.get("ok")
+        and r["error"]["code"] == "unknown_session"
+    ),
+}
+
+
+def _pipeline_request(verb):
+    if verb == "bogus":
+        return {"type": "no_such_verb"}
+    if verb == "report":
+        return {"type": "report", "session": "never-opened"}
+    return {"type": verb}
+
+
+@given(
+    st.lists(
+        st.sampled_from(sorted(_PIPELINE_VERBS)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_pipelined_responses_arrive_in_request_order(live_daemon, verbs):
+    # The v3 ordering contract: K requests written back-to-back are
+    # answered positionally — error envelopes included, so a failure
+    # mid-pipeline cannot shift later responses out of alignment.
+    with ServiceClient(unix_path=live_daemon) as client:
+        responses = client.request_pipeline(
+            [_pipeline_request(verb) for verb in verbs]
+        )
+    assert len(responses) == len(verbs)
+    for verb, response in zip(verbs, responses):
+        assert _PIPELINE_VERBS[verb](response), (verb, response)
+
+
+def test_errors_are_never_rid_cached(live_daemon):
+    # A failed request under rid R must not poison R: the retry that
+    # follows (same rid, now-valid request) executes for real, and
+    # only *its* ok response is replayed thereafter.
+    with ServiceClient(unix_path=live_daemon) as client:
+        failed = client.request_pipeline(
+            [{"type": "report", "session": "ghost", "rid": "rid-x"}]
+        )[0]
+        assert not failed["ok"] and "rid" not in failed
+        opened = client.request_pipeline([
+            {
+                "type": "open_session", "machine": "tablet",
+                "app": "x264", "factor": 1.5, "total_work": 50.0,
+                "seed": 0, "rid": "rid-x",
+            },
+        ])[0]
+        assert opened["ok"] and opened["rid"] == "rid-x"
+        replayed = client.request_pipeline([
+            {
+                "type": "open_session", "machine": "tablet",
+                "app": "x264", "factor": 1.5, "total_work": 50.0,
+                "seed": 0, "rid": "rid-x",
+            },
+        ])[0]
+        # Byte-for-byte the cached response: same session id, not a
+        # second admission.
+        assert replayed == opened
+        client.close(opened["session"])
+
+
+def test_v2_clients_are_still_served(live_daemon):
+    with ServiceClient(unix_path=live_daemon, handshake=False) as client:
+        greeted = client.request({"type": "hello", "version": 2})
+        assert greeted["version"] == 2
+        refused = client.request_pipeline(
+            [{"type": "hello", "version": 1}]
+        )[0]
+        assert not refused["ok"]
+        assert refused["error"]["code"] == "version_mismatch"

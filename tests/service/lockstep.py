@@ -1,0 +1,265 @@
+"""Cross-shard lockstep rig.
+
+The shard router's core claim is *equivalence*: a client cannot tell a
+``ShardRouter`` over N worker processes from one single-process daemon
+— same admissions, same decisions, same enforcement tiers, same kill
+events, same rebalance arithmetic.  This rig makes the claim testable:
+it drives the SAME seeded session script through any daemon speaking
+the service protocol and returns a flat *trace* of everything the
+client observed, normalized so only genuine behavioral differences
+survive comparison (session ids carry a per-worker prefix, so they are
+mapped back to the script's slot numbers).
+
+A script is a list of *waves*; each wave's slots are opened together
+and then driven round-robin — slot order, frame by frame — until every
+slot in the wave has finished (completed its steps, been killed, or
+been rejected at admission).  Serial round-robin driving matters: the
+router guarantees decision-for-decision equality only when requests
+are serialized, because that fixes the global heartbeat order that the
+rebalance cadence counts.
+
+Measurement sources are *closed-loop*: each heartbeat is computed from
+the previous decision the daemon returned, exactly like a real client.
+Equality is therefore inductive — identical decisions yield identical
+measurements yield identical next decisions — and a single divergent
+float anywhere breaks every event after it, which is what makes the
+comparison sharp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import Measurement
+from repro.service import ServiceClient, ServiceError
+from repro.service.client import _SimMeasurements
+
+__all__ = [
+    "SlotSpec",
+    "assert_traces_equal",
+    "run_script",
+]
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One scripted session slot.
+
+    ``burn_per_step`` > 0 switches the slot from the full platform
+    simulator to synthetic runaway heartbeats that each burn that
+    fraction of the granted budget (work 1.0 per step) — the
+    deterministic way to march a session up the enforcement ladder to
+    KILL.  ``work_scale`` inflates ``total_work`` past what the pool
+    can fund, turning the slot into an admission-rejection probe.
+    ``snapshot_after`` asks for a learned-state snapshot once that many
+    heartbeats have been applied, so a later wave can probe warm-start
+    equality.
+    """
+
+    machine: str = "tablet"
+    app: str = "x264"
+    factor: float = 1.5
+    steps: int = 40
+    seed: int = 0
+    batch: int = 1
+    burn_per_step: float = 0.0
+    work_scale: float = 1.0
+    warm_start: bool = True
+    snapshot_after: Optional[int] = None
+
+
+class _RunawaySource:
+    """Synthetic heartbeats burning a fixed fraction of the grant.
+
+    The decision stream is ignored on purpose: a runaway client is one
+    whose energy draw does not respond to the controller.
+    """
+
+    def __init__(self, granted_budget_j: float, burn_per_step: float) -> None:
+        self._energy_j = burn_per_step * granted_budget_j
+
+    def next(self, decision: Dict[str, Any]) -> Measurement:
+        return Measurement(
+            work=1.0,
+            energy_j=self._energy_j,
+            rate=10.0,
+            power_w=self._energy_j,
+        )
+
+
+@dataclass
+class _Slot:
+    spec: SlotSpec
+    session_id: str
+    source: Any
+    decision: Dict[str, Any]
+    remaining: int
+    applied: int = 0
+    done: bool = False
+    snapshotted: bool = False
+
+
+def _total_work(spec: SlotSpec) -> float:
+    if spec.burn_per_step > 0.0:
+        # Work 1.0 per synthetic heartbeat; the scale knob still
+        # applies so a runaway slot can also probe admission.
+        return float(spec.steps) * spec.work_scale
+    probe = _SimMeasurements(spec.machine, spec.app, spec.seed, None)
+    return float(spec.steps) * probe.work_per_iteration * spec.work_scale
+
+
+def _decision_sig(decision: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """A decision as a hashable, order-independent signature."""
+    return tuple(sorted(decision.items(), key=lambda item: item[0]))
+
+
+def _report_sig(report: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """A report signature with the daemon-specific id stripped.
+
+    Session ids differ between daemons by construction (shard workers
+    prefix theirs with ``w{i}e{e}-``); everything else in a report —
+    budgets, spend, tier, overdraft, close reason — must match.
+    """
+    sig = []
+    for key in sorted(report):
+        if key == "session":
+            continue
+        value = report[key]
+        if key == "enforcement" and isinstance(value, dict):
+            value = tuple(sorted(
+                (k, _freeze(v)) for k, v in value.items()
+            ))
+        sig.append((key, _freeze(value)))
+    return tuple(sig)
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (key, _freeze(item)) for key, item in value.items()
+        ))
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _open_slot(
+    client: ServiceClient, index: int, spec: SlotSpec, trace: List[Tuple]
+) -> Optional[_Slot]:
+    try:
+        opened = client.open_session(
+            machine=spec.machine,
+            app=spec.app,
+            factor=spec.factor,
+            total_work=_total_work(spec),
+            seed=spec.seed,
+            warm_start=spec.warm_start,
+            client_name=f"slot{index}",
+        )
+    except ServiceError as exc:
+        trace.append(("reject", index, exc.code))
+        return None
+    trace.append((
+        "open",
+        index,
+        opened.warm,
+        opened.granted_budget_j,
+        _decision_sig(opened.decision),
+    ))
+    if spec.burn_per_step > 0.0:
+        source: Any = _RunawaySource(
+            opened.granted_budget_j, spec.burn_per_step
+        )
+    else:
+        source = _SimMeasurements(spec.machine, spec.app, spec.seed, None)
+    return _Slot(
+        spec=spec,
+        session_id=opened.session,
+        source=source,
+        decision=opened.decision,
+        remaining=spec.steps,
+    )
+
+
+def _drive_frame(
+    client: ServiceClient, index: int, slot: _Slot, trace: List[Tuple]
+) -> None:
+    """One batched frame for one slot; records every applied heartbeat."""
+    n = min(slot.spec.batch, slot.remaining)
+    measurements = [
+        slot.source.next(slot.decision) for _ in range(n)
+    ]
+    result = client.step_batch(slot.session_id, measurements)
+    for decision in result.decisions:
+        enforcement = decision.get("enforcement", {})
+        trace.append((
+            "step",
+            index,
+            slot.applied,
+            _decision_sig(
+                {k: v for k, v in decision.items() if k != "enforcement"}
+            ),
+            enforcement.get("tier"),
+            enforcement.get("throttle_s"),
+        ))
+        slot.decision = decision
+        slot.applied += 1
+    slot.remaining -= result.completed
+    if result.killed:
+        trace.append(("killed", index, _report_sig(result.report or {})))
+        slot.done = True
+        return
+    after = slot.spec.snapshot_after
+    if (
+        after is not None
+        and not slot.snapshotted
+        and slot.applied >= after
+    ):
+        state = client.snapshot(slot.session_id)
+        trace.append(("snapshot", index, _freeze(state)))
+        slot.snapshotted = True
+    if slot.remaining <= 0:
+        report = client.close(slot.session_id)
+        trace.append(("close", index, _report_sig(report)))
+        slot.done = True
+
+
+def run_script(
+    client: ServiceClient, waves: Sequence[Sequence[SlotSpec]]
+) -> List[Tuple]:
+    """Drive a script through one daemon; return its observable trace."""
+    trace: List[Tuple] = []
+    base = 0
+    for wave in waves:
+        slots: List[Optional[_Slot]] = [
+            _open_slot(client, base + offset, spec, trace)
+            for offset, spec in enumerate(wave)
+        ]
+        while any(s is not None and not s.done for s in slots):
+            for offset, slot in enumerate(slots):
+                if slot is None or slot.done:
+                    continue
+                _drive_frame(client, base + offset, slot, trace)
+        base += len(wave)
+    return trace
+
+
+def assert_traces_equal(
+    reference: List[Tuple], candidate: List[Tuple]
+) -> None:
+    """Element-wise trace equality with a readable first-divergence."""
+    for position, (expected, actual) in enumerate(
+        zip(reference, candidate)
+    ):
+        assert expected == actual, (
+            f"traces diverge at event {position}:\n"
+            f"  single-process: {expected!r}\n"
+            f"  sharded:        {actual!r}"
+        )
+    assert len(reference) == len(candidate), (
+        f"trace lengths differ: single-process produced "
+        f"{len(reference)} events, sharded {len(candidate)} "
+        f"(first unmatched: "
+        f"{(reference + candidate)[min(len(reference), len(candidate))]!r})"
+    )

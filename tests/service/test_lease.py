@@ -1,0 +1,129 @@
+"""Unit tests for the lease ledger's movements and refusals.
+
+The exhaustive interleaving coverage lives in
+:mod:`tests.property.test_lease_props`; these are the example-based
+specs of each movement's edge behavior.
+"""
+
+import pytest
+
+from repro.service.lease import (
+    UJ_PER_J,
+    LeaseLedger,
+    LedgerError,
+    joules_to_uj,
+    uj_to_joules,
+)
+
+
+def test_conversion_scale():
+    assert joules_to_uj(1.0) == UJ_PER_J
+    assert joules_to_uj(1e-6) == 1
+    assert uj_to_joules(UJ_PER_J) == 1.0
+
+
+def test_fresh_ledger_is_fully_unleased():
+    ledger = LeaseLedger(100.0, shards=("w0", "w1"))
+    assert ledger.unleased_uj == joules_to_uj(100.0)
+    assert ledger.leased_total_uj == 0
+    assert ledger.balance_j("w0") == 0.0
+    ledger.assert_balanced()
+
+
+def test_lease_and_reclaim_are_inverse():
+    ledger = LeaseLedger(100.0, shards=("w0",))
+    ledger.lease("w0", joules_to_uj(30.0))
+    assert ledger.balance_j("w0") == 30.0
+    assert ledger.available_j == 70.0
+    ledger.reclaim("w0", joules_to_uj(30.0))
+    assert ledger.balance_j("w0") == 0.0
+    assert ledger.available_j == 100.0
+    ledger.assert_balanced()
+
+
+def test_overdrawn_lease_refused():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    with pytest.raises(LedgerError):
+        ledger.lease("w0", joules_to_uj(10.0) + 1)
+
+
+def test_reclaim_beyond_balance_refused():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    ledger.lease("w0", 5)
+    with pytest.raises(LedgerError):
+        ledger.reclaim("w0", 6)
+
+
+def test_negative_amounts_refused():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    with pytest.raises(LedgerError):
+        ledger.lease("w0", -1)
+    with pytest.raises(LedgerError):
+        ledger.reclaim("w0", -1)
+
+
+def test_unknown_shard_refused():
+    ledger = LeaseLedger(10.0)
+    for movement in (
+        lambda: ledger.lease("ghost", 1),
+        lambda: ledger.reclaim("ghost", 1),
+        lambda: ledger.forfeit("ghost"),
+    ):
+        with pytest.raises(LedgerError):
+            movement()
+
+
+def test_duplicate_registration_refused():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    with pytest.raises(LedgerError):
+        ledger.add_shard("w0")
+
+
+def test_forfeit_moves_the_whole_lease_to_the_sink():
+    ledger = LeaseLedger(100.0, shards=("w0", "w1"))
+    ledger.lease("w0", joules_to_uj(40.0))
+    ledger.lease("w1", joules_to_uj(10.0))
+    assert ledger.forfeit("w0") == joules_to_uj(40.0)
+    assert ledger.balance_j("w0") == 0.0
+    assert ledger.forfeited_uj == joules_to_uj(40.0)
+    assert ledger.forfeits == 1
+    # The crash sink is terminal: the successor leases fresh joules,
+    # and the books still balance.
+    ledger.lease("w0", joules_to_uj(5.0))
+    ledger.assert_balanced()
+    assert ledger.available_j == 45.0
+
+
+def test_history_records_every_movement_in_order():
+    ledger = LeaseLedger(100.0, shards=("w0",))
+    ledger.lease("w0", 7)
+    ledger.reclaim("w0", 3)
+    ledger.forfeit("w0")
+    assert ledger.history == [
+        ("lease", "w0", 7),
+        ("reclaim", "w0", 3),
+        ("forfeit", "w0", 4),
+    ]
+
+
+def test_assert_balanced_catches_corruption():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    ledger.leased_uj["w0"] += 1  # simulate a bookkeeping bug
+    with pytest.raises(LedgerError):
+        ledger.assert_balanced()
+
+
+def test_as_dict_snapshot():
+    ledger = LeaseLedger(10.0, shards=("w0",))
+    ledger.lease("w0", 4)
+    snapshot = ledger.as_dict()
+    assert snapshot["total_uj"] == joules_to_uj(10.0)
+    assert snapshot["leased_uj"] == {"w0": 4}
+    assert snapshot["forfeits"] == 0
+
+
+def test_non_positive_total_refused():
+    with pytest.raises(ValueError):
+        LeaseLedger(0.0)
+    with pytest.raises(ValueError):
+        LeaseLedger(-5.0)

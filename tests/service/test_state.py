@@ -188,3 +188,79 @@ class TestSnapshotStore:
         store = SnapshotStore()
         with pytest.raises(SnapshotError):
             store.put({"version": STATE_VERSION})
+
+
+class TestSharedDirectoryStore:
+    """Multi-process semantics: shard workers sharing one --state-dir."""
+
+    def test_get_falls_through_to_disk_on_memory_miss(self, tmp_path):
+        # Worker A snapshots after worker B booted: B's store never saw
+        # the file at load time and must re-read the directory.
+        machine, app, runtime = make_runtime()
+        store_b = SnapshotStore(directory=tmp_path)  # boots first, empty
+        store_a = SnapshotStore(directory=tmp_path)
+        run_steps(machine, app, runtime, steps=5)
+        store_a.put(capture_state(runtime, machine.name, app.name))
+        revived = store_b.get(machine.name, app.name)
+        assert revived is not None
+        assert revived["machine"] == machine.name
+        # The fall-through caches: a second get is a memory hit.
+        assert store_b.get(machine.name, app.name) is revived
+
+    def test_memory_miss_without_directory_stays_none(self):
+        store = SnapshotStore()
+        assert store.get("tablet", "x264") is None
+
+    def test_concurrent_writers_never_tear_a_document(self, tmp_path):
+        # Two stores hammer the same (machine, app) file while a third
+        # reads: every read must parse as one complete document
+        # (os.replace is atomic), never a half-written hybrid.
+        import threading
+
+        machine, app, runtime = make_runtime()
+        run_steps(machine, app, runtime, steps=3)
+        state = capture_state(runtime, machine.name, app.name)
+        writers = [SnapshotStore(directory=tmp_path) for _ in range(2)]
+        errors = []
+
+        def hammer(store):
+            try:
+                for _ in range(50):
+                    store.put(dict(state))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(store,))
+            for store in writers
+        ]
+        for thread in threads:
+            thread.start()
+        reader = SnapshotStore(directory=tmp_path)
+        for _ in range(100):
+            revived = reader.get(machine.name, app.name)
+            if revived is not None:
+                validate_state(revived)
+            reader._states.clear()  # force the disk path every read
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = SnapshotStore(directory=tmp_path)
+        assert final.get(machine.name, app.name) is not None
+
+    def test_leaked_scratch_files_are_ignored(self, tmp_path):
+        # A writer killed between write and rename leaves a tmp file;
+        # it must be invisible to every loader.
+        machine, app, runtime = make_runtime()
+        run_steps(machine, app, runtime, steps=3)
+        store = SnapshotStore(directory=tmp_path)
+        store.put(capture_state(runtime, machine.name, app.name))
+        (tmp_path / "tablet__x264.tmp-999-123").write_text("{trunc")
+        fresh = SnapshotStore(directory=tmp_path)
+        assert fresh.get(machine.name, app.name) is not None
+        assert fresh.skipped_files == 0  # tmp files are not *.json
+
+    def test_corrupt_disk_file_yields_none_not_crash(self, tmp_path):
+        store = SnapshotStore(directory=tmp_path)
+        (tmp_path / "tablet__x264.json").write_text("not json at all")
+        assert store.get("tablet", "x264") is None
