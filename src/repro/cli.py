@@ -233,6 +233,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reap_interval_s=args.reap_interval,
             metrics_host=args.metrics_host,
             metrics_port=args.metrics_port,
+            exec_mode=args.exec_mode,
+            vexec_solo_after=args.vexec_solo_after,
         )
         print(
             f"serving sharded JouleGuard ({args.shards} workers) on "
@@ -263,7 +265,142 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_host=args.metrics_host,
         metrics_port=args.metrics_port,
         admin=args.admin,
+        exec_mode=args.exec_mode,
+        vexec_solo_after=args.vexec_solo_after,
     )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the canned service workload with cProfile.
+
+    The workload is the daemon's step hot path, in-process (no
+    sockets): N sessions driven round-robin for S heartbeats each,
+    through the scalar ``handle_line`` or the vectorized engine —
+    exactly what the throughput bench times, so hot-path claims in
+    BENCH files can be checked against a named function list.
+    """
+    import asyncio
+    import cProfile
+    import json as jsonlib
+    import pstats
+
+    from .service import (
+        ServiceServer,
+        SessionManager,
+        SnapshotStore,
+        encode_message,
+    )
+    from .service.vexec import VexecEngine
+
+    manager = SessionManager(
+        global_budget_j=1e9, store=SnapshotStore()
+    )
+    server = ServiceServer(
+        manager, unix_path="/unused-profile.sock"
+    )
+    session_ids = [
+        manager.open_session(
+            machine_name=args.machine,
+            app_name=args.app,
+            factor=args.factor,
+            # Enough work that no session retires mid-profile, small
+            # enough that N sessions always fit the global budget.
+            total_work=2.0 * args.steps + 100.0,
+            seed=seed,
+        ).session_id
+        for seed in range(args.sessions)
+    ]
+    measurement = {
+        "work": 1.0,
+        "energy_j": 0.5,
+        "rate": 10.0,
+        "power_w": 5.0,
+    }
+    profiler = cProfile.Profile()
+    if args.exec_mode == "vector":
+        from .core.types import Measurement
+
+        heartbeat = Measurement(**measurement)
+
+        async def drive() -> None:
+            engine = VexecEngine(manager)
+            engine.start()
+            try:
+                for _ in range(args.steps):
+                    await asyncio.gather(*[
+                        engine.step_one(sid, heartbeat)
+                        for sid in session_ids
+                    ])
+            finally:
+                await engine.aclose()
+
+        profiler.enable()
+        asyncio.run(drive())
+        profiler.disable()
+    else:
+        lines = [
+            encode_message(
+                {
+                    "type": "step",
+                    "session": sid,
+                    "measurement": measurement,
+                }
+            )
+            for _ in range(args.steps)
+            for sid in session_ids
+        ]
+        profiler.enable()
+        for line in lines:
+            server.handle_line(line)
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    heartbeats = args.steps * args.sessions
+    if args.json:
+        rows = []
+        for (path, lineno, name), record in stats.stats.items():
+            cc, nc, tottime, cumtime, _ = record
+            rows.append(
+                {
+                    "function": name,
+                    "file": path,
+                    "line": lineno,
+                    "ncalls": nc,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+            )
+        rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+        print(
+            jsonlib.dumps(
+                {
+                    "workload": {
+                        "exec": args.exec_mode,
+                        "machine": args.machine,
+                        "app": args.app,
+                        "factor": args.factor,
+                        "sessions": args.sessions,
+                        "steps_per_session": args.steps,
+                        "heartbeats": heartbeats,
+                    },
+                    "total_s": round(stats.total_tt, 6),
+                    "steps_per_s": round(
+                        heartbeats / max(stats.total_tt, 1e-12), 1
+                    ),
+                    "top": rows[: args.top],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"profiled {heartbeats} heartbeats "
+            f"({args.sessions} sessions x {args.steps} steps, "
+            f"exec={args.exec_mode}): {stats.total_tt:.3f} s, "
+            f"{heartbeats / max(stats.total_tt, 1e-12):,.0f} steps/s"
+        )
+        stats.sort_stats("cumulative").print_stats(args.top)
     return 0
 
 
@@ -707,7 +844,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the admin_* verbs (shard workers only; never on "
         "a listener facing untrusted clients)",
     )
+    serve_cmd.add_argument(
+        "--exec", dest="exec_mode", choices=("scalar", "vector"),
+        default="scalar",
+        help="step execution backend: 'scalar' steps one session per "
+        "heartbeat; 'vector' micro-batches concurrent heartbeats into "
+        "exact-mode SessionPool steps (same decisions, A/B-able)",
+    )
+    serve_cmd.add_argument(
+        "--vexec-solo-after", dest="vexec_solo_after", type=int,
+        default=None, metavar="N",
+        help="with --exec vector: after N consecutive single-session "
+        "flushes, serve lone heartbeats scalar-side (uncontended fast "
+        "path; negative keeps every heartbeat in the pool)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="cProfile the daemon's step hot path on a canned workload",
+    )
+    profile_cmd.add_argument("--machine", default="tablet",
+                             choices=["mobile", "tablet", "server"])
+    profile_cmd.add_argument("--app", default="x264")
+    profile_cmd.add_argument("--factor", type=float, default=1.5)
+    profile_cmd.add_argument(
+        "--sessions", type=int, default=8,
+        help="concurrent sessions driven round-robin",
+    )
+    profile_cmd.add_argument(
+        "--steps", type=int, default=2000,
+        help="heartbeats per session",
+    )
+    profile_cmd.add_argument(
+        "--exec", dest="exec_mode", choices=("scalar", "vector"),
+        default="scalar",
+        help="which step execution backend to profile",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=25,
+        help="functions shown, hottest (by cumulative time) first",
+    )
+    profile_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output instead of the pstats table",
+    )
+    profile_cmd.set_defaults(func=_cmd_profile)
 
     dash_cmd = sub.add_parser(
         "dash", help="live ascii dashboard over a running daemon"

@@ -20,6 +20,10 @@ Layers, bottom to top:
   and the per-session enforcement ladder (:mod:`repro.enforce`);
 * :mod:`~repro.service.server` — the asyncio daemon (:func:`serve`,
   :class:`ServerThread`);
+* :mod:`~repro.service.vexec` — the vectorized execution backend
+  (``serve --exec vector``): the :class:`VexecEngine` micro-batches
+  concurrent heartbeats into exact-mode
+  :class:`~repro.fleet.pool.SessionPool` steps;
 * :mod:`~repro.service.client` — the blocking :class:`ServiceClient`
   and the :func:`run_load` load generator;
 * :mod:`~repro.service.lease` / :mod:`~repro.service.shard` — the
@@ -89,6 +93,7 @@ from .state import (
     validate_state,
 )
 from .telemetry import ServiceTelemetry, SessionStepRecorder
+from .vexec import VexecEngine
 
 __all__ = [
     "ADMIN_TYPES",
@@ -124,6 +129,7 @@ __all__ = [
     "SnapshotError",
     "SnapshotStore",
     "SnapshotVersionError",
+    "VexecEngine",
     "WorkerHandle",
     "apply_state",
     "batch_measurements_from_payload",

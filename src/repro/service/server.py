@@ -42,6 +42,7 @@ from .protocol import (
     sensor_ok_from_payload,
 )
 from .sessions import SessionError, SessionKilled, SessionManager
+from .vexec import VexecEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.models import RequestChaos
@@ -88,6 +89,17 @@ class ServiceServer:
         uses to lease budget and drive the global rebalance.  Enabled
         only on shard workers, whose sockets face the router rather
         than untrusted clients.
+    exec_mode:
+        ``"scalar"`` (default) steps sessions one at a time through
+        the synchronous dispatch; ``"vector"`` attaches a
+        :class:`~repro.service.vexec.VexecEngine` that micro-batches
+        concurrent ``step``/``batch_step`` heartbeats into vectorized
+        :class:`~repro.fleet.pool.SessionPool` steps (``mode="exact"``
+        — bit-identical decisions, A/B-able in production).
+    vexec_max_batch / vexec_max_delay_us / vexec_solo_after:
+        Gather-window and solo fast-path tuning for
+        ``exec_mode="vector"`` (see
+        :class:`~repro.service.vexec.VexecEngine`).
     """
 
     def __init__(
@@ -101,12 +113,27 @@ class ServiceServer:
         metrics_host: Optional[str] = None,
         metrics_port: int = 0,
         admin: bool = False,
+        exec_mode: str = "scalar",
+        vexec_max_batch: int = 64,
+        vexec_max_delay_us: float = 150.0,
+        vexec_solo_after: Optional[int] = None,
     ) -> None:
         if host is None and unix_path is None:
             raise ValueError("need a TCP host and/or a unix socket path")
         if reap_interval_s <= 0:
             raise ValueError("reap interval must be positive")
+        if exec_mode not in ("scalar", "vector"):
+            raise ValueError(
+                f"exec_mode must be 'scalar' or 'vector', "
+                f"not {exec_mode!r}"
+            )
         self.manager = manager
+        self.exec_mode = exec_mode
+        self.vexec: Optional[VexecEngine] = None
+        self._vexec_max_batch = vexec_max_batch
+        self._vexec_max_delay_us = vexec_max_delay_us
+        self._vexec_solo_after = vexec_solo_after
+        self._rid_inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self.host = host
         self.port = port
         self.unix_path = unix_path
@@ -129,6 +156,17 @@ class ServiceServer:
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
         """Bind listeners and start the reaper (loop must be running)."""
+        if self.exec_mode == "vector":
+            kwargs = {}
+            if self._vexec_solo_after is not None:
+                kwargs["solo_after"] = self._vexec_solo_after
+            self.vexec = VexecEngine(
+                self.manager,
+                max_batch=self._vexec_max_batch,
+                max_delay_us=self._vexec_max_delay_us,
+                **kwargs,
+            )
+            self.vexec.start()
         if self.host is not None:
             self._tcp_server = await asyncio.start_server(
                 self._serve_connection, host=self.host, port=self.port
@@ -180,6 +218,7 @@ class ServiceServer:
         self._tcp_server = None
         self._unix_server = None
         metrics_http, self._metrics_http = self._metrics_http, None
+        vexec, self.vexec = self.vexec, None
         if reaper is not None:
             reaper.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -190,6 +229,8 @@ class ServiceServer:
                 await server.wait_closed()
         if metrics_http is not None:
             await metrics_http.aclose()
+        if vexec is not None:
+            await vexec.aclose()
         if self.unix_path is not None and os.path.exists(self.unix_path):
             os.unlink(self.unix_path)
         self.manager.close_all()
@@ -228,7 +269,10 @@ class ServiceServer:
                     # connection dies so the client sees a reset.
                     self.chaos_dropped_requests += 1
                     break
-                response = self.handle_line(line)
+                if self.vexec is not None:
+                    response = await self.handle_line_async(line)
+                else:
+                    response = self.handle_line(line)
                 if action == "drop_response":
                     # Processed, but the answer is "lost on the wire".
                     # The rid cache is what lets a retry recover this.
@@ -297,6 +341,187 @@ class ServiceServer:
             time.perf_counter() - started_s,
         )
         return response
+
+    async def handle_line_async(self, line: bytes) -> Dict[str, Any]:
+        """Async twin of :meth:`handle_line` for the vector backend.
+
+        ``step``/``batch_step`` suspend at the gather window, so this
+        path can interleave requests from many connections — which is
+        exactly what fills the micro-batches.  Because execution now
+        spans awaits, a ``rid`` is *reserved* before the first suspend
+        (the shard router's idiom): a concurrent retry of an in-flight
+        rid awaits the original execution's future instead of
+        re-executing the step.  The reservation is dropped on every
+        exit path — including cancellation — so an abandoned request
+        can never park a rid forever.  A waiter woken by an abandoned
+        original re-checks the cache and the in-flight map before
+        falling through: another parked retry may have re-reserved
+        the rid first, and a second execution would double-step the
+        session.
+        """
+        started_s = time.perf_counter()
+        try:
+            message = decode_message(line)
+            rid = request_id_of(message)
+        except ProtocolError as exc:
+            self.manager.telemetry.record_request(
+                "invalid", False, time.perf_counter() - started_s
+            )
+            return error_response(exc.code, exc.message)
+        if rid is None:
+            return await self._execute_line_async(
+                message, None, started_s
+            )
+        while True:
+            if rid in self._rid_cache:
+                self.replayed_responses += 1
+                self._rid_cache.move_to_end(rid)
+                return self._rid_cache[rid]
+            inflight = self._rid_inflight.get(rid)
+            if inflight is None:
+                break
+            self.replayed_responses += 1
+            try:
+                return await asyncio.shield(inflight)
+            except asyncio.CancelledError:
+                if not inflight.cancelled():
+                    raise  # this waiter was cancelled
+                # The original execution was abandoned (its
+                # connection closed mid-flight); loop to re-check
+                # the maps before executing fresh.
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._rid_inflight[rid] = future
+        try:
+            response = await self._execute_line_async(
+                message, rid, started_s
+            )
+            if not future.done():
+                future.set_result(response)
+            return response
+        finally:
+            if self._rid_inflight.get(rid) is future:
+                del self._rid_inflight[rid]
+            if not future.done():
+                # Cancelled mid-execution: wake any duplicate
+                # waiters rather than leaving them parked forever.
+                future.cancel()
+
+    async def _execute_line_async(
+        self,
+        message: Dict[str, Any],
+        rid: Optional[str],
+        started_s: float,
+    ) -> Dict[str, Any]:
+        """Dispatch one decoded request; cache ok responses by rid."""
+        request_type = "invalid"
+        cache = True
+        try:
+            request_type, fields = parse_request(message)
+            if request_type in ("step", "batch_step"):
+                response = await self._dispatch_vexec(
+                    request_type, fields
+                )
+            else:
+                response = self._dispatch(request_type, fields)
+        except ProtocolError as exc:
+            cache = False
+            response = error_response(exc.code, exc.message)
+        except SessionError as exc:
+            cache = False
+            response = error_response(
+                exc.code, exc.message, exc.data
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # daemon must answer every request
+            cache = False
+            response = error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        if cache and rid is not None:
+            response = dict(response)
+            response["rid"] = rid
+            self._rid_cache[rid] = response
+            while len(self._rid_cache) > RID_CACHE_MAX:
+                self._rid_cache.popitem(last=False)
+        self.manager.telemetry.record_request(
+            request_type,
+            bool(response.get("ok", False)),
+            time.perf_counter() - started_s,
+        )
+        return response
+
+    async def _dispatch_vexec(
+        self, request_type: str, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """step/batch_step through the vectorized gather window."""
+        if request_type == "step":
+            return await self._handle_step_vexec(fields)
+        return await self._handle_batch_step_vexec(fields)
+
+    async def _handle_step_vexec(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        assert self.vexec is not None
+        session_id = self._require_session(fields)
+        payload = fields.get("measurement")
+        measurement = measurement_from_payload(payload)
+        entry = await self.vexec.step_one(
+            session_id, measurement, sensor_ok_from_payload(payload)
+        )
+        if entry.get("killed"):
+            return ok_response(
+                "step",
+                killed=True,
+                report=entry["report"],
+                enforcement=entry["enforcement"],
+            )
+        return ok_response(
+            "step",
+            decision=entry["decision"],
+            enforcement=entry["enforcement"],
+        )
+
+    async def _handle_batch_step_vexec(
+        self, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Vector twin of :meth:`_handle_batch_step`.
+
+        A batch is sequential *for its session* (each heartbeat feeds
+        the previous decision), so the entries flow through the gather
+        window one at a time — interleaving with other sessions'
+        heartbeats, which is what keeps the pool batches full under
+        concurrent batched load.  Validation, kill truncation, and the
+        summed throttle match the scalar handler exactly.
+        """
+        assert self.vexec is not None
+        session_id = self._require_session(fields)
+        entries = batch_measurements_from_payload(
+            fields.get("measurements")
+        )
+        # The whole frame goes to the engine as one pending: one
+        # future for 128 heartbeats instead of 128, with the engine
+        # interleaving frames across sessions flush by flush.
+        results = await self.vexec.step_many(session_id, entries)
+        killed = bool(results) and bool(results[-1].get("killed"))
+        # The killed entry's throttle is 0.0, so summing all entries
+        # matches the scalar handler's sum-then-break.
+        throttle_total = sum(
+            float(entry["enforcement"].get("throttle_s", 0.0))
+            for entry in results
+        )
+        return ok_response(
+            "batch_step",
+            results=results,
+            completed=len(results),
+            killed=killed,
+            enforcement={
+                "tier": results[-1]["enforcement"]["tier"],
+                "throttle_s": throttle_total,
+            },
+        )
 
     def _dispatch(
         self, request_type: str, fields: Dict[str, Any]
@@ -600,6 +825,8 @@ def serve(
     metrics_host: Optional[str] = None,
     metrics_port: int = 0,
     admin: bool = False,
+    exec_mode: str = "scalar",
+    vexec_solo_after: Optional[int] = None,
 ) -> None:
     """Run a daemon in the foreground until interrupted.
 
@@ -615,6 +842,8 @@ def serve(
         metrics_host=metrics_host,
         metrics_port=metrics_port,
         admin=admin,
+        exec_mode=exec_mode,
+        vexec_solo_after=vexec_solo_after,
     )
 
     async def _main() -> None:
@@ -653,6 +882,8 @@ class ServerThread:
         metrics_host: Optional[str] = None,
         metrics_port: int = 0,
         admin: bool = False,
+        exec_mode: str = "scalar",
+        vexec_solo_after: Optional[int] = None,
     ) -> None:
         self.manager = manager
         self.server = ServiceServer(
@@ -665,6 +896,8 @@ class ServerThread:
             metrics_host=metrics_host,
             metrics_port=metrics_port,
             admin=admin,
+            exec_mode=exec_mode,
+            vexec_solo_after=vexec_solo_after,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None

@@ -66,9 +66,9 @@ import sys
 import tempfile
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..obs.events import EventLog
 from ..obs.http import MetricsHTTPServer
@@ -106,6 +106,12 @@ LEASE_FLOOR_J = 1e-6
 SESSION_PREFIX_RE = re.compile(r"^w(\d+)e(\d+)-")
 
 _RING_VNODES = 64
+
+#: Lines a connection reads ahead of the executing request.  Read-ahead
+#: exists so a vanished client is noticed *while* its request is in
+#: flight (expiring the rid reservation immediately); the bound keeps a
+#: flooding client from buffering unbounded pipeline in router memory.
+_READAHEAD_LINES = 64
 
 
 def _hash64(key: str) -> int:
@@ -212,6 +218,8 @@ class ShardRouter:
         metrics_port: int = 0,
         worker_ready_timeout_s: float = 60.0,
         python: Optional[str] = None,
+        exec_mode: str = "scalar",
+        vexec_solo_after: Optional[int] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -221,7 +229,11 @@ class ShardRouter:
             raise ValueError("rebalance period must be >= 1")
         if not 0.0 < transfer_fraction <= 1.0:
             raise ValueError("transfer_fraction must be in (0, 1]")
+        if exec_mode not in ("scalar", "vector"):
+            raise ValueError("exec_mode must be 'scalar' or 'vector'")
         self.n_shards = n_shards
+        self.exec_mode = exec_mode
+        self.vexec_solo_after = vexec_solo_after
         self.budget_j = budget_j
         self.host = host
         self.port = port
@@ -422,6 +434,13 @@ class ShardRouter:
             "--reap-interval",
             str(self.reap_interval_s),
         ]
+        if self.exec_mode == "vector":
+            command += ["--exec", "vector"]
+            if self.vexec_solo_after is not None:
+                command += [
+                    "--vexec-solo-after",
+                    str(self.vexec_solo_after),
+                ]
         if self.state_dir is not None:
             command += ["--state-dir", self.state_dir]
         return command
@@ -663,28 +682,109 @@ class ShardRouter:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        """One client connection: ordered execution, eager close detection.
+
+        Requests execute strictly one at a time in arrival order (the
+        protocol's response-ordering guarantee), but the reader keeps
+        running while a request is in flight at a worker.  That
+        read-ahead is what lets a client that disconnects mid-pipeline
+        *expire* its in-flight work: the dispatch task is cancelled the
+        moment the close is seen, which unwinds ``handle_line`` and
+        releases the rid reservation, instead of parking it until a
+        possibly-wedged worker answers.  Unexecuted read-ahead lines
+        from a vanished client are likewise dropped unexecuted.
+        """
         self.connections += 1
+        loop = asyncio.get_running_loop()
+        backlog: Deque[bytes] = deque()
+        read_task: Optional["asyncio.Task[bytes]"] = None
+        handler: Optional["asyncio.Task[Dict[str, Any]]"] = None
+        gone = False
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
-                    # A dropped or misbehaving client ends its own
-                    # connection only; the router keeps serving.
-                    self.connection_errors += 1
-                    break
-                if not line:
-                    break
-                if not line.strip():
+                if handler is None:
+                    if backlog:
+                        line = backlog.popleft()
+                    elif gone:
+                        return
+                    else:
+                        if read_task is None:
+                            read_task = loop.create_task(
+                                reader.readline()
+                            )
+                        try:
+                            line = await read_task
+                        except (
+                            ConnectionError,
+                            asyncio.LimitOverrunError,
+                        ):
+                            # A dropped or misbehaving client ends its
+                            # own connection only; the router serves on.
+                            self.connection_errors += 1
+                            return
+                        finally:
+                            read_task = None
+                        if not line:
+                            return
+                    if not line.strip():
+                        continue
+                    handler = loop.create_task(self.handle_line(line))
+                waiting = {handler}
+                if not gone and len(backlog) < _READAHEAD_LINES:
+                    if read_task is None:
+                        read_task = loop.create_task(reader.readline())
+                    waiting.add(read_task)
+                await asyncio.wait(
+                    waiting, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read_task is not None and read_task.done():
+                    try:
+                        ahead = read_task.result()
+                    except (
+                        ConnectionError,
+                        asyncio.LimitOverrunError,
+                    ):
+                        self.connection_errors += 1
+                        gone = True
+                    else:
+                        if ahead:
+                            backlog.append(ahead)
+                        else:
+                            gone = True
+                    read_task = None
+                if gone and not handler.done():
+                    # Client gone mid-pipeline: nobody can receive the
+                    # answer.  Cancel the dispatch; handle_line's
+                    # unwind releases the rid reservation right now.
+                    handler.cancel()
+                if not handler.done():
                     continue
-                response = await self.handle_line(line)
+                finished, handler = handler, None
+                try:
+                    response = finished.result()
+                except asyncio.CancelledError:
+                    if gone:
+                        backlog.clear()
+                        return
+                    raise
+                if gone:
+                    # Completed before the cancel landed; the response
+                    # (and any cached rid entry) stands, but there is
+                    # no one left to write it to.
+                    backlog.clear()
+                    return
                 writer.write(encode_message(response))
                 try:
                     await writer.drain()
                 except ConnectionError:
                     self.connection_errors += 1
-                    break
+                    return
         finally:
+            for task in (read_task, handler):
+                if task is not None:
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
             writer.close()
             with contextlib.suppress(ConnectionError):
                 await writer.wait_closed()
@@ -702,6 +802,14 @@ class ShardRouter:
         original request is still in flight) awaits the original
         execution's response instead of re-executing a non-idempotent
         verb like ``step``.
+
+        A reservation lives at most as long as the connection that
+        made it: :meth:`_serve_connection` cancels the dispatch the
+        moment its client vanishes, which unwinds this coroutine and
+        expires the reservation — waiters parked on an expired
+        reservation re-check the maps and the first re-executes
+        fresh (the abandoned original may or may not have reached
+        its worker); the rest park on that fresh execution.
         """
         try:
             message = decode_message(line)
@@ -710,24 +818,38 @@ class ShardRouter:
             return error_response(exc.code, exc.message)
         if rid is None:
             return await self._execute_line(message, rid)
-        if rid in self._rid_cache:
+        while True:
+            if rid in self._rid_cache:
+                self.replayed_responses += 1
+                self._rid_cache.move_to_end(rid)
+                return self._rid_cache[rid]
+            inflight = self._rid_inflight.get(rid)
+            if inflight is None:
+                break
             self.replayed_responses += 1
-            self._rid_cache.move_to_end(rid)
-            return self._rid_cache[rid]
-        inflight = self._rid_inflight.get(rid)
-        if inflight is not None:
-            self.replayed_responses += 1
-            return await asyncio.shield(inflight)
+            try:
+                return await asyncio.shield(inflight)
+            except asyncio.CancelledError:
+                if not inflight.cancelled():
+                    raise
+                # The original execution was abandoned (its client
+                # vanished and the connection expired the reservation
+                # on close).  Loop to re-check the maps: another
+                # parked retry may have re-reserved the rid first,
+                # and a second execution would double-step the
+                # session on its worker.
         future: "asyncio.Future[Dict[str, Any]]" = (
             asyncio.get_running_loop().create_future()
         )
         self._rid_inflight[rid] = future
         try:
             response = await self._execute_line(message, rid)
-            future.set_result(response)
+            if not future.done():
+                future.set_result(response)
             return response
         finally:
-            self._rid_inflight.pop(rid, None)
+            if self._rid_inflight.get(rid) is future:
+                del self._rid_inflight[rid]
             if not future.done():
                 # Cancelled mid-execution: wake any duplicate waiters
                 # rather than leaving them parked forever.

@@ -1,0 +1,247 @@
+"""Adopt/evict: sessions migrate between scalar and vector mid-life.
+
+The vectorized service backend moves live sessions into a
+:class:`~repro.fleet.pool.SessionPool` row (:meth:`adopt`) and back
+out (:meth:`evict`) on demand.  The contract is the same as the
+lockstep rig's: in ``"exact"`` mode the migrated trajectory is
+bit-identical to never having migrated at all — decisions, ledgers,
+enforcement tiers, throttles, and kills, for *arbitrary* interleavings
+of scalar and pooled stepping (hypothesis), including a session killed
+while pooled.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_application
+from repro.enforce.ladder import Tier
+from repro.fleet import (
+    CohortHardwareModel,
+    CohortSpec,
+    ScalarSessionLoop,
+    SessionPool,
+)
+from repro.fleet.pool import FleetError
+from repro.hw import GENERIC_PROFILE, get_machine
+from repro.hw.vector import MachineTables
+
+
+def _setup(machine_name="tablet", app_name="x264", waste=1.0, seed=7):
+    machine = get_machine(machine_name)
+    app = build_application(app_name)
+    spec = CohortSpec.from_pair(machine, app)
+    tables = MachineTables.build(machine, GENERIC_PROFILE)
+    model = CohortHardwareModel(
+        tables, spec, 1, waste=np.array([waste]), seed=seed + 17
+    )
+    return machine, app, spec, model
+
+
+def _loop(machine, app, seed, total_work=40.0, factor=1.6):
+    return ScalarSessionLoop(
+        machine, app, total_work, seed, factor=factor
+    )
+
+
+def _fpos_of(spec, loop):
+    return int(
+        np.flatnonzero(
+            spec.frontier_indices == loop.decision.app_config.index
+        )[0]
+    )
+
+
+def _adopt(pool, loop):
+    return pool.adopt(
+        loop.runtime,
+        seed=0,
+        steps=loop.steps,
+        ladder=loop.ladder,
+        recent_epw=loop.recent_epw,
+        recent_step_energy_j=loop.recent_step_energy_j,
+        degraded=loop.degraded,
+        throttle_s=loop.throttle_s,
+    )
+
+
+def _evict(pool, row, loop):
+    state = pool.evict(row, loop.runtime, ladder=loop.ladder)
+    loop.steps = state["steps"]
+    loop.recent_epw = state["recent_epw"]
+    loop.recent_step_energy_j = state["recent_step_energy_j"]
+    loop.degraded = state["degraded"]
+    loop.throttle_s = state["throttle_s"]
+    loop.killed = state["killed"]
+    loop.kill_step = state["kill_step"]
+    return state
+
+
+def _compare(ref, mig, t):
+    a, b = ref.decision, mig.decision
+    assert a.system_index == b.system_index, t
+    assert a.app_config.index == b.app_config.index, t
+    assert a.speedup_setpoint == b.speedup_setpoint, t
+    assert a.pole == b.pole, t
+    assert a.epsilon == b.epsilon, t
+    assert a.explored == b.explored, t
+    assert a.feasible == b.feasible, t
+    assert int(ref.tier) == int(mig.tier), t
+    assert ref.throttle_s == mig.throttle_s, t
+    assert ref.degraded == mig.degraded, t
+    ra, rb = ref.runtime.accountant, mig.runtime.accountant
+    assert ra.work_done == rb.work_done, t
+    assert ra.energy_used_j == rb.energy_used_j, t
+
+
+def _run_interleaved(toggles, n_steps, waste, seed):
+    """Step ``ref`` purely scalar and ``mig`` with representation
+    toggled at each step index in ``toggles``; compare exactly."""
+    machine, app, spec, model = _setup(waste=waste, seed=seed)
+    ref = _loop(machine, app, seed)
+    mig = _loop(machine, app, seed)
+    pool = SessionPool(spec, mode="exact")
+    row = None
+    for t in range(n_steps):
+        if ref.killed:
+            break
+        if t in toggles:
+            if row is None:
+                row = _adopt(pool, mig)
+            else:
+                _evict(pool, row, mig)
+                row = None
+        sys_index = ref.decision.system_index
+        fpos = _fpos_of(spec, ref)
+        measurement = model.measurement_for(0, t, sys_index, fpos)
+        ref.step(measurement)
+        if row is None:
+            mig.step(measurement)
+        else:
+            pool.step(
+                np.full(pool.n, measurement.work),
+                np.full(pool.n, measurement.energy_j),
+                np.full(pool.n, measurement.rate),
+                np.full(pool.n, measurement.power_w),
+                mask=np.arange(pool.n) == row,
+            )
+            if bool(pool.killed[row]):
+                _evict(pool, row, mig)
+                row = None
+        model.prune(t)
+        if row is None:
+            assert ref.killed == mig.killed, t
+            if ref.killed:
+                assert ref.kill_step == mig.kill_step
+                break
+            _compare(ref, mig, t)
+        else:
+            assert not bool(pool.killed[row]), t
+            assert ref.decision.system_index == int(pool.d_sys[row]), t
+            assert ref.decision.app_config.index == int(
+                spec.frontier_indices[pool.d_fpos[row]]
+            ), t
+            assert ref.decision.speedup_setpoint == float(
+                pool.d_setpoint[row]
+            ), t
+            assert ref.decision.epsilon == float(pool.d_epsilon[row]), t
+            assert int(ref.tier) == int(pool.tier[row]), t
+            assert ref.throttle_s == float(pool.throttle_s[row]), t
+    if row is not None:
+        _evict(pool, row, mig)
+        _compare(ref, mig, "final")
+    return ref, mig
+
+
+class TestAdoptEvictEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        toggles=st.sets(st.integers(0, 59), max_size=8),
+        waste=st.sampled_from([1.0, 1.8, 3.0]),
+        seed=st.integers(0, 40),
+    )
+    def test_arbitrary_interleavings_match_pure_scalar(
+        self, toggles, waste, seed
+    ):
+        _run_interleaved(toggles, 60, waste, seed)
+
+    def test_session_killed_while_pooled(self):
+        """Heavy waste escalates to KILL inside the pool; the evicted
+        scalar objects carry the kill bit-exactly."""
+        ref, mig = _run_interleaved({3}, 160, 3.5, seed=11)
+        assert ref.killed and mig.killed
+        assert ref.kill_step == mig.kill_step
+        assert mig.ladder is not None
+        assert mig.ladder.tier is Tier.KILL
+
+    def test_round_trip_without_stepping_is_identity(self):
+        machine, app, spec, model = _setup(seed=3)
+        ref = _loop(machine, app, 3)
+        mig = _loop(machine, app, 3)
+        for t in range(10):
+            sys_index = ref.decision.system_index
+            fpos = _fpos_of(spec, ref)
+            measurement = model.measurement_for(0, t, sys_index, fpos)
+            ref.step(measurement)
+            mig.step(measurement)
+        pool = SessionPool(spec, mode="exact")
+        row = _adopt(pool, mig)
+        _evict(pool, row, mig)
+        _compare(ref, mig, "round-trip")
+        assert (
+            mig.runtime.seo._rate_scale == ref.runtime.seo._rate_scale
+        )
+        # The exploration stream resumes where it left off.
+        for t in range(10, 20):
+            sys_index = ref.decision.system_index
+            fpos = _fpos_of(spec, ref)
+            measurement = model.measurement_for(0, t, sys_index, fpos)
+            ref.step(measurement)
+            mig.step(measurement)
+            _compare(ref, mig, t)
+
+    def test_evicted_row_is_dead_and_compactable(self):
+        machine, app, spec, model = _setup(seed=5)
+        mig = _loop(machine, app, 5)
+        pool = SessionPool(spec, mode="exact")
+        row = _adopt(pool, mig)
+        assert pool.alive_count == 1
+        _evict(pool, row, mig)
+        assert pool.alive_count == 0
+        pool.compact()
+        assert pool.n == 0
+        assert pool._gens == []
+
+
+class TestAdoptValidation:
+    def test_mismatched_cohort_rejected(self):
+        machine, app, spec, _ = _setup()
+        other_machine = get_machine("mobile")
+        other_app = build_application("swaptions")
+        other = ScalarSessionLoop(
+            other_machine, other_app, 40.0, 1, factor=1.5
+        )
+        pool = SessionPool(spec, mode="exact")
+        with pytest.raises(FleetError):
+            _adopt(pool, other)
+
+    def test_ladder_policy_mismatch_rejected(self):
+        machine, app, spec, _ = _setup()
+        loop = ScalarSessionLoop(
+            machine, app, 40.0, 1, factor=1.5, policy=None
+        )
+        pool = SessionPool(spec, mode="exact")
+        with pytest.raises(FleetError):
+            pool.adopt(loop.runtime, ladder=None)
+        assert pool.n == 0
+
+    def test_fresh_session_preserves_none_smoothers(self):
+        machine, app, spec, _ = _setup()
+        mig = _loop(machine, app, 9)
+        pool = SessionPool(spec, mode="exact")
+        row = _adopt(pool, mig)
+        state = pool.evict(row, mig.runtime, ladder=mig.ladder)
+        assert state["recent_epw"] is None
+        assert state["recent_step_energy_j"] is None
+        assert mig.runtime.seo._rate_scale is None

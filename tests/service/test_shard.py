@@ -114,6 +114,29 @@ class TestRouterConstruction:
         assert command[command.index("--session-prefix") + 1] == "w0e0-"
         assert "--state-dir" in command
 
+    def test_worker_command_carries_the_exec_backend(self, tmp_path):
+        vector = ShardRouter(
+            n_shards=1,
+            budget_j=1.0,
+            unix_path=str(tmp_path / "r.sock"),
+            exec_mode="vector",
+        )
+        command = vector._worker_command(
+            str(tmp_path / "w0e0.sock"), "w0e0-"
+        )
+        assert command[command.index("--exec") + 1] == "vector"
+        scalar = ShardRouter(
+            n_shards=1, budget_j=1.0, unix_path=str(tmp_path / "r.sock")
+        )
+        assert "--exec" not in scalar._worker_command(
+            str(tmp_path / "w0e0.sock"), "w0e0-"
+        )
+        with pytest.raises(ValueError):
+            ShardRouter(
+                n_shards=1, budget_j=1.0, unix_path="/tmp/x",
+                exec_mode="turbo",
+            )
+
     def test_ledger_starts_with_the_full_budget_unleased(self):
         router = ShardRouter(
             n_shards=4, budget_j=250.0, unix_path="/tmp/unused.sock"
@@ -280,13 +303,19 @@ class TestRidInflightCoalescing:
         assert len(attempts) == 2  # the error was never cached
         assert router._rid_inflight == {}
 
-    def test_cancelled_execution_wakes_duplicate_waiters(self):
+    def test_cancelled_execution_reexecutes_duplicate_waiters(self):
+        # When the original execution is abandoned (its connection
+        # died and expired the reservation), a parked retry is the
+        # only interested party left: it must run fresh rather than
+        # die with the original's CancelledError.
         import asyncio
         import json
 
         router = self._router()
+        calls = []
 
         async def hung_step(message):
+            calls.append(message)
             await asyncio.Event().wait()  # never returns
 
         async def scenario():
@@ -301,11 +330,195 @@ class TestRidInflightCoalescing:
             first.cancel()
             with pytest.raises(asyncio.CancelledError):
                 await first
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            assert len(calls) == 2  # the retry re-executed
+            assert "retry-4" in router._rid_inflight
+            second.cancel()
             with pytest.raises(asyncio.CancelledError):
                 await second
             assert router._rid_inflight == {}
 
         asyncio.run(scenario())
+
+
+class TestRidExpiryOnConnectionClose:
+    """A client gone mid-request must not leak its rid reservation.
+
+    Reserved in-flight rids used to live until the worker round-trip
+    returned — forever, for a wedged worker — because the connection
+    loop could not see the close while awaiting the dispatch.  The
+    read-ahead loop notices the close immediately, cancels the
+    dispatch, and the unwind expires the reservation; read-ahead lines
+    a vanished client pipelined behind the hung request are dropped
+    unexecuted.
+    """
+
+    def _router(self):
+        return ShardRouter(
+            n_shards=1, budget_j=100.0, unix_path="/tmp/unused.sock"
+        )
+
+    def test_close_expires_the_inflight_reservation(self, tmp_path):
+        import asyncio
+        import json
+
+        router = self._router()
+        started = None
+        unwound = []
+
+        async def hung_step(message):
+            started.set()
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                unwound.append(message)
+                raise
+
+        async def scenario():
+            nonlocal started
+            started = asyncio.Event()
+            router._handle_step = hung_step
+            path = str(tmp_path / "router.sock")
+            server = await asyncio.start_unix_server(
+                router._serve_connection, path=path
+            )
+            try:
+                _, writer = await asyncio.open_unix_connection(path)
+                writer.write(
+                    json.dumps(
+                        {"type": "step", "rid": "gone-1", "session": "s"}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                await asyncio.wait_for(started.wait(), timeout=5.0)
+                assert "gone-1" in router._rid_inflight
+                writer.close()
+                await writer.wait_closed()
+                for _ in range(500):
+                    if "gone-1" not in router._rid_inflight:
+                        break
+                    await asyncio.sleep(0.01)
+                assert "gone-1" not in router._rid_inflight
+                assert unwound, "dispatch was not cancelled"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_pipelined_backlog_is_dropped_with_its_client(
+        self, tmp_path
+    ):
+        import asyncio
+        import json
+
+        router = self._router()
+        started = None
+        calls = []
+
+        async def hung_step(message):
+            calls.append(message)
+            started.set()
+            await asyncio.Event().wait()
+
+        async def scenario():
+            nonlocal started
+            started = asyncio.Event()
+            router._handle_step = hung_step
+            path = str(tmp_path / "router.sock")
+            server = await asyncio.start_unix_server(
+                router._serve_connection, path=path
+            )
+            try:
+                _, writer = await asyncio.open_unix_connection(path)
+                for i in range(3):
+                    writer.write(
+                        json.dumps(
+                            {
+                                "type": "step",
+                                "rid": f"pipe-{i}",
+                                "session": "s",
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                await writer.drain()
+                await asyncio.wait_for(started.wait(), timeout=5.0)
+                writer.close()
+                await writer.wait_closed()
+                for _ in range(500):
+                    if not router._rid_inflight:
+                        break
+                    await asyncio.sleep(0.01)
+                assert router._rid_inflight == {}
+                await asyncio.sleep(0.05)
+                # Only the request that was already executing ever
+                # reached dispatch; the pipelined rest died with the
+                # connection.
+                assert len(calls) == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_pipelined_responses_stay_ordered_while_connected(
+        self, tmp_path
+    ):
+        import asyncio
+        import json
+
+        router = self._router()
+
+        async def echo_step(message):
+            # Finish out of submission order on purpose.
+            await asyncio.sleep(
+                0.02 if message["session"] == "s0" else 0.0
+            )
+            return {
+                "ok": True,
+                "type": "step",
+                "decision": message["session"],
+            }
+
+        async def scenario():
+            router._handle_step = echo_step
+            path = str(tmp_path / "router.sock")
+            server = await asyncio.start_unix_server(
+                router._serve_connection, path=path
+            )
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    path
+                )
+                for i in range(3):
+                    writer.write(
+                        json.dumps(
+                            {
+                                "type": "step",
+                                "rid": f"ord-{i}",
+                                "session": f"s{i}",
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                await writer.drain()
+                answers = []
+                for _ in range(3):
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=5.0
+                    )
+                    answers.append(json.loads(line)["decision"])
+                writer.close()
+                await writer.wait_closed()
+                return answers
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(scenario()) == ["s0", "s1", "s2"]
 
 
 @pytest.mark.skipif(
